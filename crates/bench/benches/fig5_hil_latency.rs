@@ -1,0 +1,68 @@
+//! E4 — Fig. 5 + objective 5: end-to-end latency over the HIL testbed.
+//!
+//! The paper's objective 5 requires a control cycle of 1/4 s or less with
+//! latency ≤ 1/3 of the cycle. This bench runs the 7-node testbed for
+//! 5 minutes and reports the sensor→actuator latency distribution and the
+//! deadline hit ratio.
+
+use evm_bench::{banner, write_result};
+use evm_core::runtime::{Engine, Scenario};
+use evm_sim::SimDuration;
+
+fn main() {
+    banner("E4 / Fig.5", "hardware-in-loop end-to-end latency");
+    let scenario = Scenario::builder()
+        .duration(SimDuration::from_secs(300))
+        .build();
+    let cycle = scenario.rtlink.cycle_duration();
+    let result = Engine::new(scenario).run();
+
+    println!("  control cycle        {cycle}");
+    println!("  actuations           {}", result.actuations);
+    for (label, q) in [("p50", 0.5), ("p90", 0.9), ("p99", 0.99), ("max", 1.0)] {
+        let v = result.e2e_quantile(q).expect("latencies recorded");
+        println!("  latency {label:<12} {v}");
+    }
+    let deadline = cycle / 3;
+    println!("  deadline (cycle/3)   {deadline}");
+    println!(
+        "  deadline hit ratio   {:.4}",
+        result.deadline_hit_ratio()
+    );
+
+    let mut csv = String::from("quantile,latency_us\n");
+    for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0] {
+        let v = result.e2e_quantile(q).expect("latencies");
+        csv.push_str(&format!("{q},{}\n", v.as_micros()));
+    }
+    write_result("fig5_hil_latency.csv", &csv);
+
+    // Per-node radio energy over the run (the testbed's energy budget).
+    println!("\n  per-node radio energy:");
+    println!("    {:<8} {:>10} {:>12} {:>12}", "node", "duty [%]", "avg [mA]", "life [y]");
+    let mut names: Vec<&String> = result.node_energy.keys().collect();
+    names.sort();
+    let mut ecsv = String::from("node,radio_duty,avg_ma,lifetime_years\n");
+    for name in names {
+        let e = &result.node_energy[name];
+        println!(
+            "    {:<8} {:>10.2} {:>12.4} {:>12.2}",
+            name,
+            e.radio_duty * 100.0,
+            e.avg_current_ma,
+            e.lifetime_years
+        );
+        ecsv.push_str(&format!(
+            "{name},{:.5},{:.5},{:.3}\n",
+            e.radio_duty, e.avg_current_ma, e.lifetime_years
+        ));
+    }
+    write_result("fig5_node_energy.csv", &ecsv);
+
+    assert!(cycle <= SimDuration::from_millis(250), "objective 5: cycle");
+    assert!(
+        result.e2e_quantile(0.99).unwrap() <= deadline,
+        "objective 5: latency <= 1/3 cycle"
+    );
+    println!("\nOK: cycle <= 250 ms and p99 latency within 1/3 cycle (objective 5 holds)");
+}

@@ -1,0 +1,70 @@
+//! E6 — §2.1 claim: lifetime and latency vs event rate at 5 % duty.
+//!
+//! The second half of the RT-Link comparison claim: the ordering must hold
+//! "across all … event rates". B-MAC's preamble cost makes it collapse as
+//! traffic grows; S-MAC pays idle listening regardless; RT-Link pays only
+//! actual airtime.
+
+use evm_bench::{banner, f, row, write_result};
+use evm_mac::{BMac, DutyCycledMac, RtLink, SMac, Workload};
+use evm_netsim::Battery;
+
+fn main() {
+    banner("E6", "lifetime & latency vs event rate (5% duty, 32 B)");
+    let battery = Battery::two_aa();
+    let rt = RtLink::default();
+    let bm = BMac::default();
+    let sm = SMac::default();
+
+    println!(
+        "{}",
+        row(&[
+            "rate [/min]".into(),
+            "rt-link [y]".into(),
+            "b-mac [y]".into(),
+            "s-mac [y]".into(),
+            "rt lat [ms]".into(),
+            "bm lat [ms]".into(),
+            "sm lat [ms]".into(),
+        ])
+    );
+    let mut csv =
+        String::from("rate_per_min,rtlink_years,bmac_years,smac_years,rt_lat_ms,bm_lat_ms,sm_lat_ms\n");
+    let mut rt_wins = true;
+    for rate in [0.5, 1.0, 2.0, 5.0, 10.0, 30.0, 60.0, 120.0] {
+        let wl = Workload::periodic(rate, 32, 6);
+        let d = 0.05;
+        let life = [
+            rt.metrics(d, &wl, &battery).lifetime_years,
+            bm.metrics(d, &wl, &battery).lifetime_years,
+            sm.metrics(d, &wl, &battery).lifetime_years,
+        ];
+        let lat = [
+            rt.delivery_latency(d, &wl).as_secs_f64() * 1e3,
+            bm.delivery_latency(d, &wl).as_secs_f64() * 1e3,
+            sm.delivery_latency(d, &wl).as_secs_f64() * 1e3,
+        ];
+        println!(
+            "{}",
+            row(&[
+                format!("{rate}"),
+                f(life[0]),
+                f(life[1]),
+                f(life[2]),
+                f(lat[0]),
+                f(lat[1]),
+                f(lat[2]),
+            ])
+        );
+        csv.push_str(&format!(
+            "{rate},{:.4},{:.4},{:.4},{:.2},{:.2},{:.2}\n",
+            life[0], life[1], life[2], lat[0], lat[1], lat[2]
+        ));
+        if life[0] <= life[1] || life[0] <= life[2] {
+            rt_wins = false;
+        }
+    }
+    write_result("mac_event_rate.csv", &csv);
+    assert!(rt_wins, "RT-Link must win across all event rates");
+    println!("\nOK: RT-Link dominates lifetime at every event rate");
+}

@@ -1,0 +1,68 @@
+//! E8 — §3.1.1 op 1 / §4: task-migration latency.
+//!
+//! Sweeps the migrated image size (TCB + stack + data + metadata) and the
+//! link loss rate, reporting the analytic loss-free plan and the sampled
+//! lossy execution (mean over 200 runs, per-chunk ARQ).
+
+use evm_bench::{banner, f, row, write_result};
+use evm_core::migration::{execute_migration, MigrationPlan};
+use evm_rtos::TaskImage;
+use evm_sim::{SimDuration, SimRng};
+
+fn main() {
+    banner("E8", "task migration latency vs image size and loss");
+    let cycle = SimDuration::from_millis(250);
+    let mut rng = SimRng::seed_from(8);
+
+    println!(
+        "{}",
+        row(&[
+            "image [B]".into(),
+            "frames".into(),
+            "plan [s]".into(),
+            "p=0.1 [s]".into(),
+            "p=0.3 [s]".into(),
+            "p=0.5 [s]".into(),
+        ])
+    );
+    let mut csv = String::from("image_bytes,frames,plan_s,loss10_s,loss30_s,loss50_s\n");
+    let images = [
+        ("minimal", TaskImage::with_sizes(32, 64, 16, 16)),
+        ("typical", TaskImage::typical_control_task()),
+        ("stateful", TaskImage::with_sizes(32, 1024, 512, 64)),
+        ("heavy", TaskImage::with_sizes(32, 4096, 2048, 128)),
+    ];
+    for (_, image) in &images {
+        let plan = MigrationPlan::new(image, 1, cycle);
+        let mut cells = vec![
+            format!("{}", plan.image_bytes),
+            format!("{}", plan.frames),
+            f(plan.duration.as_secs_f64()),
+        ];
+        let mut csv_row = format!("{},{},{:.3}", plan.image_bytes, plan.frames, plan.duration.as_secs_f64());
+        for loss in [0.1, 0.3, 0.5] {
+            let runs = 200;
+            let mean: f64 = (0..runs)
+                .map(|_| {
+                    execute_migration(&plan, loss, 10_000, &mut rng)
+                        .expect("bounded loss converges")
+                        .duration
+                        .as_secs_f64()
+                })
+                .sum::<f64>()
+                / f64::from(runs);
+            cells.push(f(mean));
+            csv_row.push_str(&format!(",{mean:.3}"));
+        }
+        println!("{}", row(&cells));
+        csv.push_str(&csv_row);
+        csv.push('\n');
+    }
+    write_result("migration_latency.csv", &csv);
+
+    // Shape: latency grows with image size and with loss.
+    let small = MigrationPlan::new(&images[0].1, 1, cycle);
+    let big = MigrationPlan::new(&images[3].1, 1, cycle);
+    assert!(big.duration > small.duration);
+    println!("\nOK: migration cost scales with state size; ARQ absorbs loss at bounded latency cost");
+}

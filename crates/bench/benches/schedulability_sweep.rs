@@ -1,0 +1,90 @@
+//! E9 — §3.1.1 op 3: the schedulability gate.
+//!
+//! Compares the three admission tests an EVM node can run — Liu–Layland
+//! bound, hyperbolic bound, exact response-time analysis — on random task
+//! sets: acceptance ratio as a function of total utilization, and the
+//! analysis cost. RTA is exact; the bounds are safe but pessimistic —
+//! the plot shows how much capacity each test leaves on the table.
+
+use std::time::Instant;
+
+use evm_bench::{banner, f, row, write_result};
+use evm_rtos::{
+    assign_rate_monotonic, hyperbolic_test, response_time_analysis, TaskSet, TaskSpec,
+};
+use evm_sim::{SimDuration, SimRng};
+
+/// Random task set with n tasks scaled to total utilization u (UUniFast).
+fn random_set(rng: &mut SimRng, n: usize, u: f64) -> TaskSet {
+    let mut sum_u = u;
+    let mut utils = Vec::with_capacity(n);
+    for i in 1..n {
+        let next = sum_u * rng.uniform().powf(1.0 / (n - i) as f64);
+        utils.push(sum_u - next);
+        sum_u = next;
+    }
+    utils.push(sum_u);
+    let mut set = TaskSet::new();
+    for (i, ui) in utils.iter().enumerate() {
+        let period_ms = [10u64, 20, 40, 50, 100, 200][rng.index(6)];
+        let period = SimDuration::from_millis(period_ms);
+        let wcet = SimDuration::from_micros(
+            ((period.as_micros() as f64 * ui).round() as u64).max(1),
+        );
+        if wcet > period {
+            continue;
+        }
+        set.push(TaskSpec::new(format!("t{i}"), wcet, period));
+    }
+    assign_rate_monotonic(&mut set);
+    set
+}
+
+fn main() {
+    banner("E9", "admission tests: acceptance vs utilization (n=6, 500 sets/point)");
+    let mut rng = SimRng::seed_from(9);
+    let trials = 500;
+
+    println!(
+        "{}",
+        row(&[
+            "U".into(),
+            "liu-layland".into(),
+            "hyperbolic".into(),
+            "exact RTA".into(),
+        ])
+    );
+    let mut csv = String::from("utilization,ll_accept,hyp_accept,rta_accept\n");
+    let mut ll_time = 0.0f64;
+    let mut rta_time = 0.0f64;
+    for u10 in 5..=10 {
+        let u = u10 as f64 / 10.0;
+        let mut acc = [0usize; 3];
+        for _ in 0..trials {
+            let set = random_set(&mut rng, 6, u);
+            let t0 = Instant::now();
+            let ll = evm_rtos::liu_layland_bound(set.len()) >= set.total_utilization();
+            ll_time += t0.elapsed().as_secs_f64();
+            let hyp = hyperbolic_test(&set).schedulable;
+            let t1 = Instant::now();
+            let rta = response_time_analysis(&set).schedulable;
+            rta_time += t1.elapsed().as_secs_f64();
+            acc[0] += usize::from(ll);
+            acc[1] += usize::from(hyp);
+            acc[2] += usize::from(rta);
+        }
+        let r = |k: usize| acc[k] as f64 / trials as f64;
+        println!("{}", row(&[f(u), f(r(0)), f(r(1)), f(r(2))]));
+        csv.push_str(&format!("{u},{},{},{}\n", r(0), r(1), r(2)));
+        // Soundness: the sufficient bounds never accept what RTA rejects.
+        assert!(acc[0] <= acc[2] && acc[1] <= acc[2], "bounds must be safe");
+        assert!(acc[0] <= acc[1], "hyperbolic dominates LL");
+    }
+    write_result("schedulability_sweep.csv", &csv);
+    println!(
+        "\n  analysis cost over the sweep: LL {:.1} us/set, RTA {:.1} us/set",
+        ll_time / (6.0 * trials as f64) * 1e6,
+        rta_time / (6.0 * trials as f64) * 1e6
+    );
+    println!("\nOK: RTA ⊇ hyperbolic ⊇ Liu–Layland at every utilization (safe, ordered tests)");
+}

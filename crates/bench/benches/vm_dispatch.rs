@@ -1,0 +1,85 @@
+//! E13 — interpreter microbenchmarks (criterion).
+//!
+//! Measures the EVM's execution machinery: raw dispatch throughput, the
+//! compiled PID capsule against the native controller, gas-metering
+//! overhead, and capsule encode/decode (the migration serialization path).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use evm_core::bytecode::{
+    compile_control_law, control_law_gas_budget, ControlLawSpec, NullEnv, Op, Program, Vm,
+};
+use evm_plant::{lts_level_loop, LocalController};
+
+fn arith_loop_program(iters: u32) -> Program {
+    // var0 = iters; while (var0) { var0 -= 1 }
+    Program::new(vec![
+        Op::Push(f64::from(iters)),
+        Op::Store(0),
+        Op::Load(0),
+        Op::Jz(6),
+        Op::Load(0),
+        Op::Push(1.0),
+        Op::Sub,
+        Op::Store(0),
+        Op::Jmp(-6),
+        Op::Load(0),
+        Op::Halt,
+    ])
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let program = arith_loop_program(1_000);
+    let mut vm = Vm::new(1_000_000);
+    let mut env = NullEnv::default();
+    c.bench_function("vm_dispatch_5k_ops", |b| {
+        b.iter(|| {
+            let r = vm.run(black_box(&program), &mut env).unwrap();
+            black_box(r)
+        });
+    });
+}
+
+fn bench_pid_capsule_vs_native(c: &mut Criterion) {
+    let spec = ControlLawSpec::from_loop(&lts_level_loop());
+    let program = compile_control_law(&spec);
+    let mut vm = Vm::new(control_law_gas_budget(&program));
+    let mut env = NullEnv {
+        sensor_value: 48.7,
+        ..NullEnv::default()
+    };
+    c.bench_function("pid_capsule", |b| {
+        b.iter(|| {
+            env.writes.clear();
+            env.emissions.clear();
+            let r = vm.run(black_box(&program), &mut env).unwrap();
+            black_box(r)
+        });
+    });
+
+    let mut native = LocalController::new(lts_level_loop());
+    c.bench_function("pid_native", |b| {
+        b.iter(|| black_box(native.compute(black_box(48.7), 0.25)));
+    });
+}
+
+fn bench_capsule_roundtrip(c: &mut Criterion) {
+    let spec = ControlLawSpec::from_loop(&lts_level_loop());
+    let program = compile_control_law(&spec);
+    let bytes = program.encode();
+    c.bench_function("capsule_encode", |b| {
+        b.iter(|| black_box(black_box(&program).encode()));
+    });
+    c.bench_function("capsule_decode", |b| {
+        b.iter(|| black_box(Program::decode(black_box(&bytes)).unwrap()));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_dispatch,
+    bench_pid_capsule_vs_native,
+    bench_capsule_roundtrip
+);
+criterion_main!(benches);

@@ -1,0 +1,120 @@
+//! New-master selection.
+//!
+//! "Control algorithm failure is detected by backup observers and a new
+//! master is selected based on an arbitration algorithm" (§3). The
+//! arbitration here is a deterministic weighted ranking over the resources
+//! the paper lists (§1.1 goal 2): link bandwidth, processing capacity,
+//! energy — candidates that cannot host the task at all (capability or
+//! admission failure) are excluded before scoring.
+
+use evm_netsim::NodeId;
+
+/// A candidate node for taking over a control task.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    /// The node.
+    pub node: NodeId,
+    /// `true` if the node holds the capsule's required capabilities and
+    /// its kernel pre-admitted the task.
+    pub eligible: bool,
+    /// Remaining battery fraction `[0, 1]`.
+    pub battery: f64,
+    /// CPU utilization headroom `[0, 1]`.
+    pub cpu_headroom: f64,
+    /// Link quality to the component's sensors/actuators `[0, 1]`
+    /// (delivery ratio estimate).
+    pub link_quality: f64,
+    /// `true` if the node already holds a warm replica (state up to date).
+    pub warm_replica: bool,
+}
+
+impl Candidate {
+    /// The arbitration score. Warm replicas are strongly preferred (they
+    /// restore control one cycle after promotion); among equals, energy,
+    /// headroom and link quality trade off smoothly.
+    #[must_use]
+    pub fn score(&self) -> f64 {
+        let warm = if self.warm_replica { 1.0 } else { 0.0 };
+        2.0 * warm + 1.0 * self.battery + 0.75 * self.cpu_headroom + 1.25 * self.link_quality
+    }
+}
+
+/// Selects the new master among `candidates`.
+///
+/// Ineligible candidates are skipped; ties break toward the **lowest node
+/// id**, making arbitration deterministic across observers — two nodes
+/// running the same election on the same inputs pick the same master,
+/// which is what prevents dual-Active splits.
+#[must_use]
+pub fn select_master(candidates: &[Candidate]) -> Option<NodeId> {
+    candidates
+        .iter()
+        .filter(|c| c.eligible)
+        .map(|c| (c.score(), c.node))
+        .max_by(|(sa, na), (sb, nb)| {
+            sa.partial_cmp(sb)
+                .expect("scores are finite")
+                // Lower id wins ties, so compare ids in reverse.
+                .then(nb.cmp(na))
+        })
+        .map(|(_, node)| node)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cand(id: u16, battery: f64, headroom: f64, link: f64, warm: bool) -> Candidate {
+        Candidate {
+            node: NodeId(id),
+            eligible: true,
+            battery,
+            cpu_headroom: headroom,
+            link_quality: link,
+            warm_replica: warm,
+        }
+    }
+
+    #[test]
+    fn warm_replica_beats_cold_node() {
+        let cold_strong = cand(1, 1.0, 1.0, 1.0, false);
+        let warm_weak = cand(2, 0.5, 0.3, 0.8, true);
+        assert_eq!(select_master(&[cold_strong, warm_weak]), Some(NodeId(2)));
+    }
+
+    #[test]
+    fn ineligible_candidates_excluded() {
+        let mut best = cand(1, 1.0, 1.0, 1.0, true);
+        best.eligible = false;
+        let ok = cand(2, 0.2, 0.2, 0.2, false);
+        assert_eq!(select_master(&[best, ok]), Some(NodeId(2)));
+        let mut none = cand(3, 1.0, 1.0, 1.0, true);
+        none.eligible = false;
+        assert_eq!(select_master(&[none]), None);
+        assert_eq!(select_master(&[]), None);
+    }
+
+    #[test]
+    fn ties_break_to_lowest_id_deterministically() {
+        let a = cand(7, 0.8, 0.5, 0.9, true);
+        let b = cand(3, 0.8, 0.5, 0.9, true);
+        assert_eq!(select_master(&[a.clone(), b.clone()]), Some(NodeId(3)));
+        // Order independence.
+        assert_eq!(select_master(&[b, a]), Some(NodeId(3)));
+    }
+
+    #[test]
+    fn energy_matters_between_cold_candidates() {
+        let low_batt = cand(1, 0.1, 0.5, 0.9, false);
+        let high_batt = cand(2, 0.9, 0.5, 0.9, false);
+        assert_eq!(select_master(&[low_batt, high_batt]), Some(NodeId(2)));
+    }
+
+    #[test]
+    fn link_quality_outweighs_headroom() {
+        let good_link = cand(1, 0.5, 0.2, 0.9, false);
+        let good_cpu = cand(2, 0.5, 0.6, 0.4, false);
+        // 1.25*0.9 + 0.75*0.2 = 1.275 vs 1.25*0.4 + 0.75*0.6 = 0.95.
+        assert_eq!(select_master(&[good_link, good_cpu]), Some(NodeId(1)));
+    }
+}

@@ -1,0 +1,136 @@
+//! Software attestation (§3.1.1 op 8).
+//!
+//! "When new code or data is received by a node from another node, the
+//! node executes a basic attestation test to ensure the code/data is not
+//! corrupted and passes the schedulability test."
+//!
+//! Attestation here is two checks and one gate:
+//!
+//! 1. **integrity** — the capsule CRC matches its code bytes,
+//! 2. **authenticity** — a keyed digest over (id, version, code) matches,
+//!    using a pre-shared component key (64-bit keyed FNV-style mix; a
+//!    stand-in for the platform's real MAC primitive with identical
+//!    protocol behavior),
+//! 3. the **schedulability gate** is applied separately by the receiving
+//!    kernel (see `evm_rtos::Kernel::admit`) — attestation passing does
+//!    not bypass it.
+
+use crate::bytecode::Capsule;
+
+/// Pre-shared attestation key of a Virtual Component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttestationKey(pub u64);
+
+/// Outcome of attesting a received capsule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttestationReport {
+    /// CRC check outcome.
+    pub integrity_ok: bool,
+    /// Keyed-digest check outcome.
+    pub digest_ok: bool,
+}
+
+impl AttestationReport {
+    /// `true` if the capsule may proceed to the admission gate.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.integrity_ok && self.digest_ok
+    }
+}
+
+/// Computes the keyed digest of a capsule under `key`.
+#[must_use]
+pub fn capsule_digest(capsule: &Capsule, key: AttestationKey) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ key.0;
+    let mut mix = |byte: u8| {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    };
+    for b in capsule.id.0.to_le_bytes() {
+        mix(b);
+    }
+    for b in capsule.version.to_le_bytes() {
+        mix(b);
+    }
+    for b in capsule.program.encode() {
+        mix(b);
+    }
+    // Final avalanche.
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    h ^= h >> 33;
+    h
+}
+
+/// Attests a received capsule against the expected digest its sender
+/// advertised (computed under the shared key).
+#[must_use]
+pub fn attest_capsule(
+    capsule: &Capsule,
+    advertised_digest: u64,
+    key: AttestationKey,
+) -> AttestationReport {
+    AttestationReport {
+        integrity_ok: capsule.integrity_ok(),
+        digest_ok: capsule_digest(capsule, key) == advertised_digest,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bytecode::{Capability, Capsule, CapsuleId, Op, Program};
+
+    fn capsule() -> Capsule {
+        Capsule::new(
+            CapsuleId(1),
+            1,
+            Program::new(vec![Op::Push(1.0), Op::WriteActuator(0), Op::Halt]),
+            32,
+            vec![Capability::ActuatorPort(0)],
+        )
+    }
+
+    const KEY: AttestationKey = AttestationKey(0xDEAD_BEEF_0BAD_F00D);
+
+    #[test]
+    fn genuine_capsule_attests() {
+        let c = capsule();
+        let digest = capsule_digest(&c, KEY);
+        let report = attest_capsule(&c, digest, KEY);
+        assert!(report.passed());
+    }
+
+    #[test]
+    fn corrupted_code_fails_both_checks() {
+        let c = capsule();
+        let digest = capsule_digest(&c, KEY);
+        let bad = c.corrupted(1, 3).expect("still decodes");
+        let report = attest_capsule(&bad, digest, KEY);
+        assert!(!report.integrity_ok || !report.digest_ok);
+        assert!(!report.passed());
+    }
+
+    #[test]
+    fn wrong_key_fails_digest() {
+        let c = capsule();
+        let digest = capsule_digest(&c, KEY);
+        let report = attest_capsule(&c, digest, AttestationKey(42));
+        assert!(report.integrity_ok, "CRC is keyless");
+        assert!(!report.digest_ok);
+        assert!(!report.passed());
+    }
+
+    #[test]
+    fn version_is_covered_by_digest() {
+        let c1 = capsule();
+        let mut c2 = capsule();
+        c2.version = 2;
+        assert_ne!(capsule_digest(&c1, KEY), capsule_digest(&c2, KEY));
+    }
+
+    #[test]
+    fn digest_is_deterministic() {
+        assert_eq!(capsule_digest(&capsule(), KEY), capsule_digest(&capsule(), KEY));
+    }
+}

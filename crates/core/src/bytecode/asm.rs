@@ -1,0 +1,282 @@
+//! Text assembler and disassembler.
+//!
+//! A small FORTH-flavored assembly syntax with labels, so capsules can be
+//! written and inspected by humans:
+//!
+//! ```text
+//! ; count down from 5
+//!     push 5
+//!     store 0
+//! loop:
+//!     load 0
+//!     jz done
+//!     load 0
+//!     push 1
+//!     sub
+//!     store 0
+//!     jmp loop
+//! done:
+//!     load 0
+//!     halt
+//! ```
+
+use std::collections::HashMap;
+
+use super::isa::{Op, Program};
+
+/// Assembly errors, with the offending line number (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err(line: usize, message: impl Into<String>) -> AsmError {
+    AsmError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Assembles source text into a [`Program`].
+///
+/// Labels are `name:` on their own (or before an instruction); jump
+/// targets may be labels or numeric relative offsets; `call` targets may
+/// be labels or absolute addresses. `;` starts a comment.
+///
+/// # Errors
+///
+/// [`AsmError`] with the line number of the first problem.
+pub fn assemble(source: &str) -> Result<Program, AsmError> {
+    // Pass 1: strip comments, collect labels and raw instructions.
+    struct Raw<'a> {
+        line: usize,
+        mnemonic: &'a str,
+        operand: Option<&'a str>,
+    }
+    let mut labels: HashMap<&str, usize> = HashMap::new();
+    let mut raws: Vec<Raw> = Vec::new();
+
+    for (lineno, full_line) in source.lines().enumerate() {
+        let line = lineno + 1;
+        let mut text = full_line;
+        if let Some(i) = text.find(';') {
+            text = &text[..i];
+        }
+        let mut rest = text.trim();
+        // Possibly several labels before the instruction.
+        while let Some(colon) = rest.find(':') {
+            let (label, tail) = rest.split_at(colon);
+            let label = label.trim();
+            if label.is_empty() || label.contains(char::is_whitespace) {
+                return Err(err(line, format!("bad label {label:?}")));
+            }
+            if labels.insert(label, raws.len()).is_some() {
+                return Err(err(line, format!("duplicate label {label:?}")));
+            }
+            rest = tail[1..].trim();
+        }
+        if rest.is_empty() {
+            continue;
+        }
+        let mut parts = rest.split_whitespace();
+        let mnemonic = parts.next().expect("nonempty");
+        let operand = parts.next();
+        if parts.next().is_some() {
+            return Err(err(line, "too many operands"));
+        }
+        raws.push(Raw {
+            line,
+            mnemonic,
+            operand,
+        });
+    }
+
+    // Pass 2: encode.
+    let mut ops = Vec::with_capacity(raws.len());
+    for (idx, raw) in raws.iter().enumerate() {
+        let line = raw.line;
+        let operand = |what: &str| -> Result<&str, AsmError> {
+            raw.operand
+                .ok_or_else(|| err(line, format!("{} needs {what}", raw.mnemonic)))
+        };
+        let no_operand = |op: Op| -> Result<Op, AsmError> {
+            if raw.operand.is_some() {
+                Err(err(line, format!("{} takes no operand", raw.mnemonic)))
+            } else {
+                Ok(op)
+            }
+        };
+        let parse_f64 = |s: &str| -> Result<f64, AsmError> {
+            s.parse().map_err(|_| err(line, format!("bad number {s:?}")))
+        };
+        let parse_u8 = |s: &str| -> Result<u8, AsmError> {
+            s.parse().map_err(|_| err(line, format!("bad index {s:?}")))
+        };
+        let jump_offset = |s: &str| -> Result<i16, AsmError> {
+            if let Some(&target) = labels.get(s) {
+                let off = target as i64 - idx as i64;
+                i16::try_from(off).map_err(|_| err(line, "jump too far"))
+            } else {
+                s.parse().map_err(|_| err(line, format!("unknown label {s:?}")))
+            }
+        };
+
+        let op = match raw.mnemonic {
+            "push" => Op::Push(parse_f64(operand("a literal")?)?),
+            "dup" => no_operand(Op::Dup)?,
+            "drop" => no_operand(Op::Drop)?,
+            "swap" => no_operand(Op::Swap)?,
+            "over" => no_operand(Op::Over)?,
+            "rot" => no_operand(Op::Rot)?,
+            "add" => no_operand(Op::Add)?,
+            "sub" => no_operand(Op::Sub)?,
+            "mul" => no_operand(Op::Mul)?,
+            "div" => no_operand(Op::Div)?,
+            "neg" => no_operand(Op::Neg)?,
+            "abs" => no_operand(Op::Abs)?,
+            "min" => no_operand(Op::Min)?,
+            "max" => no_operand(Op::Max)?,
+            "gt" => no_operand(Op::Gt)?,
+            "lt" => no_operand(Op::Lt)?,
+            "ge" => no_operand(Op::Ge)?,
+            "le" => no_operand(Op::Le)?,
+            "eq" => no_operand(Op::Eq)?,
+            "not" => no_operand(Op::Not)?,
+            "load" => Op::Load(parse_u8(operand("a variable")?)?),
+            "store" => Op::Store(parse_u8(operand("a variable")?)?),
+            "jmp" => Op::Jmp(jump_offset(operand("a target")?)?),
+            "jz" => Op::Jz(jump_offset(operand("a target")?)?),
+            "call" => {
+                let s = operand("a target")?;
+                let addr = if let Some(&target) = labels.get(s) {
+                    target as u16
+                } else {
+                    s.parse()
+                        .map_err(|_| err(line, format!("unknown label {s:?}")))?
+                };
+                Op::Call(addr)
+            }
+            "ret" => no_operand(Op::Ret)?,
+            "halt" => no_operand(Op::Halt)?,
+            "rdsens" => Op::ReadSensor(parse_u8(operand("a port")?)?),
+            "wract" => Op::WriteActuator(parse_u8(operand("a port")?)?),
+            "emit" => Op::Emit(parse_u8(operand("a channel")?)?),
+            "rdclk" => no_operand(Op::ReadClock)?,
+            "rdbat" => no_operand(Op::ReadBattery)?,
+            "rdrole" => no_operand(Op::ReadRole)?,
+            "ext" => Op::Ext(parse_u8(operand("a word")?)?),
+            "nop" => no_operand(Op::Nop)?,
+            other => return Err(err(line, format!("unknown mnemonic {other:?}"))),
+        };
+        ops.push(op);
+    }
+    Ok(Program::new(ops))
+}
+
+/// Renders a program as assembly text (numeric offsets, no labels).
+#[must_use]
+pub fn disassemble(program: &Program) -> String {
+    let mut out = String::new();
+    for (i, op) in program.ops().iter().enumerate() {
+        out.push_str(&format!("{i:4}  {op}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bytecode::{NullEnv, Vm};
+
+    #[test]
+    fn assembles_countdown_loop() {
+        let src = r"
+            ; count down from 5
+                push 5
+                store 0
+            loop:
+                load 0
+                jz done
+                load 0
+                push 1
+                sub
+                store 0
+                jmp loop
+            done:
+                load 0
+                halt
+        ";
+        let p = assemble(src).unwrap();
+        let mut vm = Vm::new(1000);
+        let mut env = NullEnv::default();
+        assert_eq!(vm.run(&p, &mut env), Ok(0.0));
+    }
+
+    #[test]
+    fn label_and_numeric_jumps_agree() {
+        let with_label = assemble("start:\n jmp start").unwrap();
+        let numeric = assemble("jmp 0").unwrap();
+        assert_eq!(with_label, numeric);
+    }
+
+    #[test]
+    fn call_by_label() {
+        let src = r"
+                push 3
+                call square
+                halt
+            square:
+                dup
+                mul
+                ret
+        ";
+        let p = assemble(src).unwrap();
+        let mut vm = Vm::new(1000);
+        assert_eq!(vm.run(&p, &mut NullEnv::default()), Ok(9.0));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble("push 1\nbogus\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("bogus"));
+
+        let e = assemble("push").unwrap_err();
+        assert!(e.message.contains("needs"));
+
+        let e = assemble("dup 3").unwrap_err();
+        assert!(e.message.contains("takes no operand"));
+
+        let e = assemble("jmp nowhere").unwrap_err();
+        assert!(e.message.contains("unknown label"));
+
+        let e = assemble("x:\nx:\n halt").unwrap_err();
+        assert!(e.message.contains("duplicate label"));
+    }
+
+    #[test]
+    fn disassemble_roundtrips_through_assemble() {
+        let src = "push 1.5\nload 3\nadd\nwract 0\nhalt";
+        let p = assemble(src).unwrap();
+        let text = disassemble(&p);
+        // Strip the address column and re-assemble.
+        let stripped: String = text
+            .lines()
+            .map(|l| l.trim_start().split_once("  ").expect("two columns").1)
+            .collect::<Vec<_>>()
+            .join("\n");
+        let q = assemble(&stripped).unwrap();
+        assert_eq!(p, q);
+    }
+}

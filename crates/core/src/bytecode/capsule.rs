@@ -1,0 +1,203 @@
+//! Capsules: versioned, attestable code units.
+//!
+//! A capsule is what actually moves between nodes: program bytes plus the
+//! metadata the receiving EVM needs to gate activation — version (for the
+//! spawn/update protocol), required capabilities, a gas budget (→ WCET for
+//! the schedulability test), a CRC for transport integrity, and a keyed
+//! digest for attestation (§3.1.1 op 8).
+
+use std::fmt;
+
+use super::isa::Program;
+
+/// Identifier of a capsule (stable across versions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CapsuleId(pub u32);
+
+impl fmt::Display for CapsuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cap{}", self.0)
+    }
+}
+
+/// A capability a capsule requires of its host node.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Capability {
+    /// Bound sensor input `port` must exist.
+    SensorPort(u8),
+    /// Bound actuator output `port` must exist.
+    ActuatorPort(u8),
+    /// Node must be allowed to act as a controller.
+    ControllerRole,
+    /// Node must expose the VC data plane (emit channels).
+    DataPlane,
+}
+
+impl fmt::Display for Capability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Capability::SensorPort(p) => write!(f, "sensor-port {p}"),
+            Capability::ActuatorPort(p) => write!(f, "actuator-port {p}"),
+            Capability::ControllerRole => write!(f, "controller-role"),
+            Capability::DataPlane => write!(f, "data-plane"),
+        }
+    }
+}
+
+/// A versioned, integrity-protected unit of mobile code.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Capsule {
+    /// Stable identity.
+    pub id: CapsuleId,
+    /// Monotonic version; receivers only accept upgrades.
+    pub version: u16,
+    /// The code.
+    pub program: Program,
+    /// Per-invocation gas budget.
+    pub gas_budget: u64,
+    /// Host requirements.
+    pub capabilities: Vec<Capability>,
+    /// CRC-32 of the encoded program (transport integrity).
+    crc32: u32,
+}
+
+impl Capsule {
+    /// Packages a program into a capsule.
+    #[must_use]
+    pub fn new(
+        id: CapsuleId,
+        version: u16,
+        program: Program,
+        gas_budget: u64,
+        capabilities: Vec<Capability>,
+    ) -> Self {
+        let crc32 = crc32(&program.encode());
+        Capsule {
+            id,
+            version,
+            program,
+            gas_budget,
+            capabilities,
+            crc32,
+        }
+    }
+
+    /// The stored CRC-32.
+    #[must_use]
+    pub fn crc(&self) -> u32 {
+        self.crc32
+    }
+
+    /// Recomputes the CRC over the current program bytes and compares with
+    /// the stored value — the transport-integrity half of attestation.
+    #[must_use]
+    pub fn integrity_ok(&self) -> bool {
+        crc32(&self.program.encode()) == self.crc32
+    }
+
+    /// Size of the capsule's code on the wire, bytes.
+    #[must_use]
+    pub fn code_size_bytes(&self) -> usize {
+        self.program.encode().len()
+    }
+
+    /// Simulates transport corruption (tests / fault injection): flips one
+    /// bit of the encoded program and re-decodes, leaving the stored CRC
+    /// untouched. Returns `None` if the corrupted bytes no longer decode
+    /// at all.
+    #[must_use]
+    pub fn corrupted(&self, byte_index: usize, bit: u8) -> Option<Capsule> {
+        let mut bytes = self.program.encode();
+        if bytes.is_empty() {
+            return None;
+        }
+        let idx = byte_index % bytes.len();
+        bytes[idx] ^= 1 << (bit % 8);
+        let program = Program::decode(&bytes).ok()?;
+        Some(Capsule {
+            program,
+            ..self.clone()
+        })
+    }
+}
+
+/// Bitwise CRC-32 (IEEE 802.3 polynomial, reflected).
+#[must_use]
+pub(crate) fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bytecode::Op;
+
+    fn capsule() -> Capsule {
+        let program = Program::new(vec![
+            Op::ReadSensor(0),
+            Op::Push(2.0),
+            Op::Mul,
+            Op::WriteActuator(0),
+            Op::Halt,
+        ]);
+        Capsule::new(
+            CapsuleId(7),
+            3,
+            program,
+            64,
+            vec![Capability::SensorPort(0), Capability::ActuatorPort(0)],
+        )
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // Standard test vector: CRC-32("123456789") = 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn fresh_capsule_passes_integrity() {
+        assert!(capsule().integrity_ok());
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let c = capsule();
+        let mut detected = 0;
+        let mut total = 0;
+        for byte in 0..c.code_size_bytes() {
+            for bit in 0..8 {
+                if let Some(bad) = c.corrupted(byte, bit) {
+                    total += 1;
+                    if !bad.integrity_ok() {
+                        detected += 1;
+                    }
+                }
+            }
+        }
+        assert!(total > 0);
+        assert_eq!(detected, total, "CRC-32 must catch every single-bit flip");
+    }
+
+    #[test]
+    fn code_size_reflects_encoding() {
+        let c = capsule();
+        // rdsens(2) + push(9) + mul(1) + wract(2) + halt(1) = 15 bytes.
+        assert_eq!(c.code_size_bytes(), 15);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(CapsuleId(7).to_string(), "cap7");
+        assert_eq!(Capability::SensorPort(1).to_string(), "sensor-port 1");
+    }
+}

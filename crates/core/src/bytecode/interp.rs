@@ -1,0 +1,725 @@
+//! The stack-machine interpreter.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use super::isa::{Op, Program};
+
+/// Maximum data-stack depth (mirrors the 8-bit platform's tight RAM).
+pub const MAX_STACK: usize = 32;
+/// Number of task-local variables.
+pub const N_VARS: usize = 32;
+/// Maximum call depth.
+const MAX_CALLS: usize = 8;
+
+/// Runtime faults the interpreter traps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VmError {
+    /// Pop from an empty stack.
+    StackUnderflow,
+    /// Push onto a full stack.
+    StackOverflow,
+    /// Jump or fall-through outside the program.
+    PcOutOfRange,
+    /// Division by zero.
+    DivideByZero,
+    /// Variable index ≥ [`N_VARS`].
+    BadVariable,
+    /// Gas budget exhausted before `halt`.
+    OutOfGas,
+    /// `ext` with no registered word.
+    UnknownExtension,
+    /// Call stack exhausted.
+    CallDepthExceeded,
+    /// Environment refused a port access.
+    PortFault,
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            VmError::StackUnderflow => "stack underflow",
+            VmError::StackOverflow => "stack overflow",
+            VmError::PcOutOfRange => "pc out of range",
+            VmError::DivideByZero => "divide by zero",
+            VmError::BadVariable => "bad variable index",
+            VmError::OutOfGas => "out of gas",
+            VmError::UnknownExtension => "unknown extension word",
+            VmError::CallDepthExceeded => "call depth exceeded",
+            VmError::PortFault => "port fault",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for VmError {}
+
+/// The node environment a capsule executes against.
+///
+/// The engine implements this for real nodes; [`NullEnv`] serves tests.
+pub trait VmEnv {
+    /// Reads sensor input `port`.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return `Err(VmError::PortFault)` for unbound ports.
+    fn read_sensor(&mut self, port: u8) -> Result<f64, VmError>;
+
+    /// Writes actuator output `port`.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return `Err(VmError::PortFault)` for unbound ports.
+    fn write_actuator(&mut self, port: u8, value: f64) -> Result<(), VmError>;
+
+    /// Publishes `value` on Virtual-Component data channel `ch`.
+    fn emit(&mut self, ch: u8, value: f64);
+
+    /// Node clock, seconds.
+    fn clock_s(&self) -> f64;
+
+    /// Remaining battery fraction.
+    fn battery_fraction(&self) -> f64 {
+        1.0
+    }
+
+    /// The node's controller mode as a small integer (see
+    /// [`crate::roles::ControllerMode::as_f64`]).
+    fn role_code(&self) -> f64 {
+        0.0
+    }
+}
+
+/// A test/bench environment: one sensor value on every port, actuator
+/// writes and emissions recorded.
+#[derive(Debug, Clone, Default)]
+pub struct NullEnv {
+    /// Value served on every sensor port.
+    pub sensor_value: f64,
+    /// Recorded `(port, value)` actuator writes.
+    pub writes: Vec<(u8, f64)>,
+    /// Recorded `(channel, value)` emissions.
+    pub emissions: Vec<(u8, f64)>,
+    /// Clock returned to the program.
+    pub now_s: f64,
+}
+
+impl VmEnv for NullEnv {
+    fn read_sensor(&mut self, _port: u8) -> Result<f64, VmError> {
+        Ok(self.sensor_value)
+    }
+    fn write_actuator(&mut self, port: u8, value: f64) -> Result<(), VmError> {
+        self.writes.push((port, value));
+        Ok(())
+    }
+    fn emit(&mut self, ch: u8, value: f64) {
+        self.emissions.push((ch, value));
+    }
+    fn clock_s(&self) -> f64 {
+        self.now_s
+    }
+}
+
+/// The persistent virtual machine for one task: variables survive across
+/// invocations (that is where PID integrators live), and the extension
+/// dictionary can grow at runtime.
+#[derive(Debug, Clone)]
+pub struct Vm {
+    vars: [f64; N_VARS],
+    extensions: HashMap<u8, Program>,
+    gas_limit: u64,
+    gas_used_last: u64,
+}
+
+impl Vm {
+    /// Creates a VM with the given per-invocation gas budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gas_limit` is zero.
+    #[must_use]
+    pub fn new(gas_limit: u64) -> Self {
+        assert!(gas_limit > 0, "gas limit must be positive");
+        Vm {
+            vars: [0.0; N_VARS],
+            extensions: HashMap::new(),
+            gas_limit,
+            gas_used_last: 0,
+        }
+    }
+
+    /// Registers (or replaces) extension word `n` — the runtime ISA
+    /// extension mechanism. Returns the previous definition, if any.
+    pub fn register_extension(&mut self, n: u8, body: Program) -> Option<Program> {
+        self.extensions.insert(n, body)
+    }
+
+    /// Gas consumed by the last invocation.
+    #[must_use]
+    pub fn gas_used(&self) -> u64 {
+        self.gas_used_last
+    }
+
+    /// The per-invocation gas budget.
+    #[must_use]
+    pub fn gas_limit(&self) -> u64 {
+        self.gas_limit
+    }
+
+    /// Reads a task-local variable (for state migration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= N_VARS`.
+    #[must_use]
+    pub fn var(&self, idx: usize) -> f64 {
+        self.vars[idx]
+    }
+
+    /// Snapshot of all variables (migrated with the TCB).
+    #[must_use]
+    pub fn snapshot_vars(&self) -> [f64; N_VARS] {
+        self.vars
+    }
+
+    /// Restores variables from a migrated snapshot.
+    pub fn restore_vars(&mut self, vars: [f64; N_VARS]) {
+        self.vars = vars;
+    }
+
+    /// Executes `program` from instruction 0 until `halt`.
+    ///
+    /// Returns the top of stack at halt (or 0.0 for an empty stack) — by
+    /// convention the capsule's "result".
+    ///
+    /// # Errors
+    ///
+    /// Any [`VmError`]; stores executed before the fault remain visible in
+    /// the task-local variables (as on the real machine).
+    pub fn run(&mut self, program: &Program, env: &mut dyn VmEnv) -> Result<f64, VmError> {
+        let mut vars = self.vars;
+        let mut gas = 0u64;
+        let result = exec(
+            program,
+            &self.extensions,
+            &mut vars,
+            self.gas_limit,
+            &mut gas,
+            env,
+        );
+        self.vars = vars;
+        self.gas_used_last = gas;
+        result
+    }
+}
+
+/// Code frame: the main program or a runtime-registered extension word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FrameRef {
+    Main,
+    Ext(u8),
+}
+
+#[allow(clippy::too_many_lines)]
+fn exec(
+    program: &Program,
+    extensions: &HashMap<u8, Program>,
+    vars: &mut [f64; N_VARS],
+    gas_limit: u64,
+    gas_out: &mut u64,
+    env: &mut dyn VmEnv,
+) -> Result<f64, VmError> {
+    let code = |f: FrameRef| -> &Program {
+        match f {
+            FrameRef::Main => program,
+            FrameRef::Ext(n) => &extensions[&n],
+        }
+    };
+    {
+        let mut stack: Vec<f64> = Vec::with_capacity(MAX_STACK);
+        let mut calls: Vec<(FrameRef, usize)> = Vec::new();
+        let mut gas: u64 = 0;
+        let mut frame = FrameRef::Main;
+        let mut pc = 0usize;
+
+        macro_rules! pop {
+            () => {
+                stack.pop().ok_or(VmError::StackUnderflow)?
+            };
+        }
+        macro_rules! push {
+            ($v:expr) => {{
+                if stack.len() >= MAX_STACK {
+                    return Err(VmError::StackOverflow);
+                }
+                stack.push($v);
+            }};
+        }
+
+        loop {
+            if gas >= gas_limit {
+                *gas_out = gas;
+                return Err(VmError::OutOfGas);
+            }
+            let ops = code(frame).ops();
+            let Some(&op) = ops.get(pc) else {
+                // Falling off an extension body behaves like ret.
+                if let Some((f, ret)) = calls.pop() {
+                    frame = f;
+                    pc = ret;
+                    continue;
+                }
+                *gas_out = gas;
+                return Err(VmError::PcOutOfRange);
+            };
+            gas += 1;
+            *gas_out = gas;
+            pc += 1;
+            match op {
+                Op::Push(v) => push!(v),
+                Op::Dup => {
+                    let a = *stack.last().ok_or(VmError::StackUnderflow)?;
+                    push!(a);
+                }
+                Op::Drop => {
+                    let _ = pop!();
+                }
+                Op::Swap => {
+                    let b = pop!();
+                    let a = pop!();
+                    push!(b);
+                    push!(a);
+                }
+                Op::Over => {
+                    if stack.len() < 2 {
+                        return Err(VmError::StackUnderflow);
+                    }
+                    let a = stack[stack.len() - 2];
+                    push!(a);
+                }
+                Op::Rot => {
+                    if stack.len() < 3 {
+                        return Err(VmError::StackUnderflow);
+                    }
+                    let n = stack.len();
+                    stack[n - 3..].rotate_left(1);
+                }
+                Op::Add => {
+                    let b = pop!();
+                    let a = pop!();
+                    push!(a + b);
+                }
+                Op::Sub => {
+                    let b = pop!();
+                    let a = pop!();
+                    push!(a - b);
+                }
+                Op::Mul => {
+                    let b = pop!();
+                    let a = pop!();
+                    push!(a * b);
+                }
+                Op::Div => {
+                    let b = pop!();
+                    let a = pop!();
+                    if b == 0.0 {
+                        return Err(VmError::DivideByZero);
+                    }
+                    push!(a / b);
+                }
+                Op::Neg => {
+                    let a = pop!();
+                    push!(-a);
+                }
+                Op::Abs => {
+                    let a = pop!();
+                    push!(a.abs());
+                }
+                Op::Min => {
+                    let b = pop!();
+                    let a = pop!();
+                    push!(a.min(b));
+                }
+                Op::Max => {
+                    let b = pop!();
+                    let a = pop!();
+                    push!(a.max(b));
+                }
+                Op::Gt => {
+                    let b = pop!();
+                    let a = pop!();
+                    push!(if a > b { 1.0 } else { 0.0 });
+                }
+                Op::Lt => {
+                    let b = pop!();
+                    let a = pop!();
+                    push!(if a < b { 1.0 } else { 0.0 });
+                }
+                Op::Ge => {
+                    let b = pop!();
+                    let a = pop!();
+                    push!(if a >= b { 1.0 } else { 0.0 });
+                }
+                Op::Le => {
+                    let b = pop!();
+                    let a = pop!();
+                    push!(if a <= b { 1.0 } else { 0.0 });
+                }
+                Op::Eq => {
+                    let b = pop!();
+                    let a = pop!();
+                    push!(if a == b { 1.0 } else { 0.0 });
+                }
+                Op::Not => {
+                    let a = pop!();
+                    push!(if a == 0.0 { 1.0 } else { 0.0 });
+                }
+                Op::Load(n) => {
+                    if n as usize >= N_VARS {
+                        return Err(VmError::BadVariable);
+                    }
+                    push!(vars[n as usize]);
+                }
+                Op::Store(n) => {
+                    if n as usize >= N_VARS {
+                        return Err(VmError::BadVariable);
+                    }
+                    vars[n as usize] = pop!();
+                }
+                Op::Jmp(off) => {
+                    pc = jump_target(pc, off)?;
+                }
+                Op::Jz(off) => {
+                    let c = pop!();
+                    if c == 0.0 {
+                        pc = jump_target(pc, off)?;
+                    }
+                }
+                Op::Call(addr) => {
+                    if calls.len() >= MAX_CALLS {
+                        return Err(VmError::CallDepthExceeded);
+                    }
+                    calls.push((frame, pc));
+                    pc = addr as usize;
+                }
+                Op::Ret => match calls.pop() {
+                    Some((f, ret)) => {
+                        frame = f;
+                        pc = ret;
+                    }
+                    None => {
+                        *gas_out = gas;
+                        return Ok(stack.last().copied().unwrap_or(0.0));
+                    }
+                },
+                Op::Halt => {
+                    *gas_out = gas;
+                    return Ok(stack.last().copied().unwrap_or(0.0));
+                }
+                Op::ReadSensor(p) => {
+                    let v = env.read_sensor(p)?;
+                    push!(v);
+                }
+                Op::WriteActuator(p) => {
+                    let v = pop!();
+                    env.write_actuator(p, v)?;
+                }
+                Op::Emit(ch) => {
+                    let v = pop!();
+                    env.emit(ch, v);
+                }
+                Op::ReadClock => push!(env.clock_s()),
+                Op::ReadBattery => push!(env.battery_fraction()),
+                Op::ReadRole => push!(env.role_code()),
+                Op::Ext(n) => {
+                    if calls.len() >= MAX_CALLS {
+                        return Err(VmError::CallDepthExceeded);
+                    }
+                    if !extensions.contains_key(&n) {
+                        return Err(VmError::UnknownExtension);
+                    }
+                    calls.push((frame, pc));
+                    frame = FrameRef::Ext(n);
+                    pc = 0;
+                }
+                Op::Nop => {}
+            }
+        }
+    }
+}
+
+fn jump_target(pc_after_fetch: usize, off: i16) -> Result<usize, VmError> {
+    let target = pc_after_fetch as i64 - 1 + off as i64;
+    usize::try_from(target).map_err(|_| VmError::PcOutOfRange)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_ops(ops: Vec<Op>) -> Result<f64, VmError> {
+        let mut vm = Vm::new(10_000);
+        let mut env = NullEnv::default();
+        vm.run(&Program::new(ops), &mut env)
+    }
+
+    #[test]
+    fn arithmetic_works() {
+        assert_eq!(run_ops(vec![Op::Push(2.0), Op::Push(3.0), Op::Add, Op::Halt]), Ok(5.0));
+        assert_eq!(run_ops(vec![Op::Push(2.0), Op::Push(3.0), Op::Sub, Op::Halt]), Ok(-1.0));
+        assert_eq!(run_ops(vec![Op::Push(6.0), Op::Push(3.0), Op::Div, Op::Halt]), Ok(2.0));
+        assert_eq!(run_ops(vec![Op::Push(-4.0), Op::Abs, Op::Halt]), Ok(4.0));
+        assert_eq!(
+            run_ops(vec![Op::Push(1.0), Op::Push(9.0), Op::Max, Op::Halt]),
+            Ok(9.0)
+        );
+    }
+
+    #[test]
+    fn stack_manipulation() {
+        assert_eq!(
+            run_ops(vec![Op::Push(1.0), Op::Push(2.0), Op::Swap, Op::Halt]),
+            Ok(1.0)
+        );
+        assert_eq!(
+            run_ops(vec![Op::Push(1.0), Op::Push(2.0), Op::Over, Op::Halt]),
+            Ok(1.0)
+        );
+        assert_eq!(
+            // 1 2 3 rot -> 2 3 1
+            run_ops(vec![Op::Push(1.0), Op::Push(2.0), Op::Push(3.0), Op::Rot, Op::Halt]),
+            Ok(1.0)
+        );
+    }
+
+    #[test]
+    fn comparison_and_branching() {
+        // if (5 > 3) result = 10 else result = 20
+        let ops = vec![
+            Op::Push(5.0),
+            Op::Push(3.0),
+            Op::Gt,
+            Op::Jz(3),      // to the else branch
+            Op::Push(10.0), // then
+            Op::Jmp(2),
+            Op::Push(20.0), // else
+            Op::Halt,
+        ];
+        assert_eq!(run_ops(ops), Ok(10.0));
+    }
+
+    #[test]
+    fn loop_with_counter() {
+        // var0 = 5; while (var0 != 0) { var0 -= 1 }; result = var0
+        let ops = vec![
+            Op::Push(5.0),
+            Op::Store(0),
+            // loop:
+            Op::Load(0),
+            Op::Jz(6), // exit
+            Op::Load(0),
+            Op::Push(1.0),
+            Op::Sub,
+            Op::Store(0),
+            Op::Jmp(-6), // back to loop
+            // exit:
+            Op::Load(0),
+            Op::Halt,
+        ];
+        assert_eq!(run_ops(ops), Ok(0.0));
+    }
+
+    #[test]
+    fn vars_persist_across_invocations() {
+        let mut vm = Vm::new(1000);
+        let mut env = NullEnv::default();
+        let inc = Program::new(vec![
+            Op::Load(7),
+            Op::Push(1.0),
+            Op::Add,
+            Op::Store(7),
+            Op::Load(7),
+            Op::Halt,
+        ]);
+        assert_eq!(vm.run(&inc, &mut env), Ok(1.0));
+        assert_eq!(vm.run(&inc, &mut env), Ok(2.0));
+        assert_eq!(vm.var(7), 2.0);
+    }
+
+    #[test]
+    fn io_and_emit() {
+        let mut vm = Vm::new(1000);
+        let mut env = NullEnv {
+            sensor_value: 42.0,
+            ..NullEnv::default()
+        };
+        let p = Program::new(vec![
+            Op::ReadSensor(0),
+            Op::Push(2.0),
+            Op::Mul,
+            Op::Dup,
+            Op::WriteActuator(1),
+            Op::Emit(0),
+            Op::Halt,
+        ]);
+        // After emit pops, the stack is empty: result 0.0.
+        assert_eq!(vm.run(&p, &mut env), Ok(0.0));
+        assert_eq!(env.writes, vec![(1, 84.0)]);
+        assert_eq!(env.emissions, vec![(0, 84.0)]);
+    }
+
+    #[test]
+    fn gas_metering_stops_infinite_loops() {
+        let mut vm = Vm::new(100);
+        let mut env = NullEnv::default();
+        let p = Program::new(vec![Op::Jmp(0)]);
+        assert_eq!(vm.run(&p, &mut env), Err(VmError::OutOfGas));
+        assert_eq!(vm.gas_used(), 100);
+    }
+
+    #[test]
+    fn traps_are_reported() {
+        assert_eq!(run_ops(vec![Op::Add]), Err(VmError::StackUnderflow));
+        assert_eq!(
+            run_ops(vec![Op::Push(1.0), Op::Push(0.0), Op::Div]),
+            Err(VmError::DivideByZero)
+        );
+        assert_eq!(run_ops(vec![Op::Load(200)]), Err(VmError::BadVariable));
+        assert_eq!(run_ops(vec![Op::Push(1.0)]), Err(VmError::PcOutOfRange));
+        assert_eq!(run_ops(vec![Op::Ext(9), Op::Halt]), Err(VmError::UnknownExtension));
+        let overflow: Vec<Op> = (0..40).map(|i| Op::Push(i as f64)).collect();
+        assert_eq!(run_ops(overflow), Err(VmError::StackOverflow));
+    }
+
+    #[test]
+    fn call_and_ret() {
+        // main: call square(3); halt   square: dup mul ret  (at addr 4)
+        let ops = vec![
+            Op::Push(3.0),
+            Op::Call(4),
+            Op::Halt,
+            Op::Nop,
+            Op::Dup, // addr 4
+            Op::Mul,
+            Op::Ret,
+        ];
+        assert_eq!(run_ops(ops), Ok(9.0));
+    }
+
+    #[test]
+    fn runtime_extension_words() {
+        let mut vm = Vm::new(1000);
+        let mut env = NullEnv::default();
+        // Define word 1 = "square" at runtime.
+        vm.register_extension(1, Program::new(vec![Op::Dup, Op::Mul, Op::Ret]));
+        let p = Program::new(vec![Op::Push(7.0), Op::Ext(1), Op::Halt]);
+        assert_eq!(vm.run(&p, &mut env), Ok(49.0));
+        // Redefining replaces the behavior.
+        let old = vm.register_extension(1, Program::new(vec![Op::Push(0.0), Op::Add, Op::Ret]));
+        assert!(old.is_some());
+        assert_eq!(vm.run(&p, &mut env), Ok(7.0));
+    }
+
+    #[test]
+    fn extension_without_ret_falls_through() {
+        let mut vm = Vm::new(1000);
+        let mut env = NullEnv::default();
+        vm.register_extension(2, Program::new(vec![Op::Push(5.0)]));
+        let p = Program::new(vec![Op::Ext(2), Op::Halt]);
+        assert_eq!(vm.run(&p, &mut env), Ok(5.0));
+    }
+
+    #[test]
+    fn call_depth_limited() {
+        // Recursive call with no exit.
+        let ops = vec![Op::Call(0)];
+        assert_eq!(run_ops(ops), Err(VmError::CallDepthExceeded));
+    }
+
+    mod fuzz {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_op() -> impl Strategy<Value = Op> {
+            prop_oneof![
+                (-100.0f64..100.0).prop_map(Op::Push),
+                Just(Op::Dup),
+                Just(Op::Drop),
+                Just(Op::Swap),
+                Just(Op::Over),
+                Just(Op::Rot),
+                Just(Op::Add),
+                Just(Op::Sub),
+                Just(Op::Mul),
+                Just(Op::Div),
+                Just(Op::Neg),
+                Just(Op::Abs),
+                Just(Op::Min),
+                Just(Op::Max),
+                Just(Op::Gt),
+                Just(Op::Lt),
+                Just(Op::Eq),
+                Just(Op::Not),
+                any::<u8>().prop_map(Op::Load),
+                any::<u8>().prop_map(Op::Store),
+                (-20i16..20).prop_map(Op::Jmp),
+                (-20i16..20).prop_map(Op::Jz),
+                (0u16..32).prop_map(Op::Call),
+                Just(Op::Ret),
+                Just(Op::Halt),
+                any::<u8>().prop_map(Op::ReadSensor),
+                any::<u8>().prop_map(Op::WriteActuator),
+                any::<u8>().prop_map(Op::Emit),
+                Just(Op::ReadClock),
+                any::<u8>().prop_map(Op::Ext),
+                Just(Op::Nop),
+            ]
+        }
+
+        proptest! {
+            /// The interpreter is total: any byte-valid program either
+            /// halts with a value or traps with a typed error — it never
+            /// panics, and it never exceeds its gas budget.
+            #[test]
+            fn prop_interpreter_is_total(ops in proptest::collection::vec(arb_op(), 0..64)) {
+                let mut vm = Vm::new(256);
+                let mut env = NullEnv { sensor_value: 1.5, ..NullEnv::default() };
+                let program = Program::new(ops);
+                let _ = vm.run(&program, &mut env);
+                prop_assert!(vm.gas_used() <= 256);
+            }
+
+            /// Encode/decode is the identity on arbitrary programs, so a
+            /// migrated capsule executes identically on the target node.
+            #[test]
+            fn prop_migration_preserves_execution(ops in proptest::collection::vec(arb_op(), 0..48)) {
+                let program = Program::new(ops);
+                let decoded = Program::decode(&program.encode()).expect("roundtrip");
+                let mut vm_a = Vm::new(200);
+                let mut vm_b = Vm::new(200);
+                let mut env_a = NullEnv { sensor_value: 2.5, ..NullEnv::default() };
+                let mut env_b = env_a.clone();
+                let ra = vm_a.run(&program, &mut env_a);
+                let rb = vm_b.run(&decoded, &mut env_b);
+                prop_assert_eq!(ra, rb);
+                prop_assert_eq!(env_a.writes, env_b.writes);
+                prop_assert_eq!(vm_a.snapshot_vars(), vm_b.snapshot_vars());
+            }
+        }
+    }
+
+    #[test]
+    fn clock_battery_role() {
+        let mut vm = Vm::new(100);
+        let mut env = NullEnv {
+            now_s: 12.5,
+            ..NullEnv::default()
+        };
+        let p = Program::new(vec![Op::ReadClock, Op::Halt]);
+        assert_eq!(vm.run(&p, &mut env), Ok(12.5));
+        let p = Program::new(vec![Op::ReadBattery, Op::Halt]);
+        assert_eq!(vm.run(&p, &mut env), Ok(1.0));
+        let p = Program::new(vec![Op::ReadRole, Op::Halt]);
+        assert_eq!(vm.run(&p, &mut env), Ok(0.0));
+    }
+}

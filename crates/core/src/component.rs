@@ -1,0 +1,299 @@
+//! The Virtual Component.
+//!
+//! "A Virtual Component is a composition of inter-connected communicating
+//! physical components defined by object transfer relationships" (§1.1).
+//! It is the unit the EVM keeps invariant while the physical network
+//! changes underneath: members join and leave, controllers swap modes,
+//! but the component's task manifest and transfer relationships persist.
+
+use std::collections::BTreeMap;
+
+use evm_netsim::{NodeId, NodeKind};
+
+use crate::bytecode::CapsuleId;
+use crate::roles::ControllerMode;
+use crate::transfers::ObjectTransfer;
+
+/// Per-member record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemberInfo {
+    /// The member node.
+    pub node: NodeId,
+    /// Its physical role.
+    pub kind: NodeKind,
+    /// Controller mode, for controller members hosting the focus task.
+    pub mode: Option<ControllerMode>,
+    /// Capsules currently hosted.
+    pub capsules: Vec<CapsuleId>,
+}
+
+/// A Virtual Component: membership, head, relationships, epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VirtualComponent {
+    name: String,
+    members: BTreeMap<NodeId, MemberInfo>,
+    head: Option<NodeId>,
+    transfers: Vec<ObjectTransfer>,
+    epoch: u64,
+}
+
+impl VirtualComponent {
+    /// Creates an empty component.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        VirtualComponent {
+            name: name.into(),
+            members: BTreeMap::new(),
+            head: None,
+            transfers: Vec::new(),
+            epoch: 0,
+        }
+    }
+
+    /// Component name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Configuration epoch; bumped on every membership or mode change so
+    /// stale messages are recognizable.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The current head, if elected.
+    #[must_use]
+    pub fn head(&self) -> Option<NodeId> {
+        self.head
+    }
+
+    /// All members in id order.
+    pub fn members(&self) -> impl Iterator<Item = &MemberInfo> {
+        self.members.values()
+    }
+
+    /// Looks up one member.
+    #[must_use]
+    pub fn member(&self, node: NodeId) -> Option<&MemberInfo> {
+        self.members.get(&node)
+    }
+
+    /// Number of members.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// `true` if the component has no members.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Adds a member (admission checks happen in
+    /// [`crate::membership`]). Re-adding an existing node updates its
+    /// record. Bumps the epoch and re-runs head election.
+    pub fn add_member(&mut self, info: MemberInfo) {
+        self.members.insert(info.node, info);
+        self.epoch += 1;
+        self.elect_head();
+    }
+
+    /// Removes a member (crash or planned leave). Bumps the epoch; if the
+    /// head left, a new one is elected.
+    pub fn remove_member(&mut self, node: NodeId) -> Option<MemberInfo> {
+        let gone = self.members.remove(&node);
+        if gone.is_some() {
+            self.epoch += 1;
+            if self.head == Some(node) {
+                self.elect_head();
+            }
+        }
+        gone
+    }
+
+    /// Deterministic head election: the lowest-id controller or gateway
+    /// member. Every node observing the same membership elects the same
+    /// head without extra messages.
+    pub fn elect_head(&mut self) {
+        self.head = self
+            .members
+            .values()
+            .find(|m| matches!(m.kind, NodeKind::Controller | NodeKind::Gateway))
+            .map(|m| m.node);
+    }
+
+    /// Pins the head explicitly (deployments often dedicate a supervisory
+    /// controller, as the paper's testbed does with its VC head).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is not a member.
+    pub fn set_head(&mut self, node: NodeId) {
+        assert!(self.members.contains_key(&node), "head must be a member");
+        self.head = Some(node);
+        self.epoch += 1;
+    }
+
+    /// Sets a controller member's mode.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` if the node is unknown or the transition is illegal
+    /// per [`ControllerMode::can_transition_to`]. On error nothing
+    /// changes.
+    pub fn set_mode(&mut self, node: NodeId, mode: ControllerMode) -> Result<(), String> {
+        let m = self
+            .members
+            .get_mut(&node)
+            .ok_or_else(|| format!("unknown member {node}"))?;
+        match m.mode {
+            Some(cur) if !cur.can_transition_to(mode) => {
+                Err(format!("illegal transition {cur} -> {mode} on {node}"))
+            }
+            _ => {
+                m.mode = Some(mode);
+                self.epoch += 1;
+                Ok(())
+            }
+        }
+    }
+
+    /// The controller currently in `Active` mode, if exactly one exists.
+    #[must_use]
+    pub fn active_controller(&self) -> Option<NodeId> {
+        let mut it = self
+            .members
+            .values()
+            .filter(|m| m.mode == Some(ControllerMode::Active))
+            .map(|m| m.node);
+        match (it.next(), it.next()) {
+            (Some(n), None) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// All controllers in `Backup` mode.
+    #[must_use]
+    pub fn backup_controllers(&self) -> Vec<NodeId> {
+        self.members
+            .values()
+            .filter(|m| m.mode == Some(ControllerMode::Backup))
+            .map(|m| m.node)
+            .collect()
+    }
+
+    /// Registers an object-transfer relationship.
+    pub fn add_transfer(&mut self, t: ObjectTransfer) {
+        self.transfers.push(t);
+    }
+
+    /// The relationship list.
+    #[must_use]
+    pub fn transfers(&self) -> &[ObjectTransfer] {
+        &self.transfers
+    }
+
+    /// Single-active-controller safety invariant: at most one member may
+    /// be `Active` (checked by property tests and asserted by the engine
+    /// after every reconfiguration).
+    #[must_use]
+    pub fn invariant_single_active(&self) -> bool {
+        self.members
+            .values()
+            .filter(|m| m.mode == Some(ControllerMode::Active))
+            .count()
+            <= 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn member(id: u16, kind: NodeKind, mode: Option<ControllerMode>) -> MemberInfo {
+        MemberInfo {
+            node: NodeId(id),
+            kind,
+            mode,
+            capsules: vec![],
+        }
+    }
+
+    fn paper_vc() -> VirtualComponent {
+        let mut vc = VirtualComponent::new("lts-loop");
+        vc.add_member(member(1, NodeKind::Sensor, None));
+        vc.add_member(member(2, NodeKind::Controller, Some(ControllerMode::Active)));
+        vc.add_member(member(3, NodeKind::Controller, Some(ControllerMode::Backup)));
+        vc.add_member(member(4, NodeKind::Actuator, None));
+        vc
+    }
+
+    #[test]
+    fn head_is_lowest_controller() {
+        let vc = paper_vc();
+        assert_eq!(vc.head(), Some(NodeId(2)));
+    }
+
+    #[test]
+    fn head_reelected_on_departure() {
+        let mut vc = paper_vc();
+        let e0 = vc.epoch();
+        vc.remove_member(NodeId(2));
+        assert_eq!(vc.head(), Some(NodeId(3)));
+        assert!(vc.epoch() > e0);
+    }
+
+    #[test]
+    fn fig6b_mode_sequence() {
+        let mut vc = paper_vc();
+        // T2: B promotes, A demotes.
+        vc.set_mode(NodeId(3), ControllerMode::Active).unwrap();
+        // Transiently both Active — the engine sequences demote first in
+        // practice; the invariant check exposes the window:
+        assert!(!vc.invariant_single_active());
+        vc.set_mode(NodeId(2), ControllerMode::Backup).unwrap();
+        assert!(vc.invariant_single_active());
+        assert_eq!(vc.active_controller(), Some(NodeId(3)));
+        // T3: A -> Dormant.
+        vc.set_mode(NodeId(2), ControllerMode::Dormant).unwrap();
+        assert_eq!(vc.backup_controllers(), Vec::<NodeId>::new());
+    }
+
+    #[test]
+    fn illegal_transition_rejected() {
+        let mut vc = paper_vc();
+        vc.set_mode(NodeId(2), ControllerMode::Dormant).unwrap();
+        let err = vc.set_mode(NodeId(2), ControllerMode::Indicator);
+        assert!(err.is_err());
+        assert_eq!(vc.member(NodeId(2)).unwrap().mode, Some(ControllerMode::Dormant));
+    }
+
+    #[test]
+    fn unknown_member_errors() {
+        let mut vc = paper_vc();
+        assert!(vc.set_mode(NodeId(99), ControllerMode::Active).is_err());
+        assert!(vc.member(NodeId(99)).is_none());
+        assert!(vc.remove_member(NodeId(99)).is_none());
+    }
+
+    #[test]
+    fn active_controller_ambiguity_returns_none() {
+        let mut vc = paper_vc();
+        vc.set_mode(NodeId(3), ControllerMode::Active).unwrap();
+        assert_eq!(vc.active_controller(), None, "two actives is not a master");
+    }
+
+    #[test]
+    fn epoch_monotone_over_changes() {
+        let mut vc = paper_vc();
+        let mut last = vc.epoch();
+        vc.set_mode(NodeId(3), ControllerMode::Dormant).unwrap();
+        assert!(vc.epoch() > last);
+        last = vc.epoch();
+        vc.add_member(member(9, NodeKind::Controller, None));
+        assert!(vc.epoch() > last);
+    }
+}

@@ -1,0 +1,213 @@
+//! Fault detection: output deviation and heartbeat monitors.
+//!
+//! The Fig. 6b failover starts when "the node Ctrl-B (which is in the
+//! Backup mode) determines inappropriate outputs from Ctrl-A". The backup
+//! computes the same control law on the same inputs and compares the
+//! primary's published output against its own; a configurable number of
+//! **consecutive** deviations beyond a threshold constitutes evidence (a
+//! single glitch, or a lost health report, must not trigger failover —
+//! that is the burst-loss lesson from `evm-netsim::gilbert`).
+
+use evm_netsim::NodeId;
+use evm_sim::{SimDuration, SimTime};
+
+/// Evidence of a confirmed fault, reported to the VC head.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultEvidence {
+    /// The node under suspicion.
+    pub suspect: NodeId,
+    /// The observer raising the evidence.
+    pub observer: NodeId,
+    /// When the last confirming observation was made.
+    pub at: SimTime,
+    /// Mean absolute deviation over the confirming window.
+    pub mean_deviation: f64,
+    /// Number of consecutive anomalous observations.
+    pub consecutive: u32,
+}
+
+/// Compares primary outputs against locally computed ones.
+#[derive(Debug, Clone)]
+pub struct DeviationDetector {
+    observer: NodeId,
+    suspect: NodeId,
+    /// Absolute deviation (in output units) considered anomalous.
+    threshold: f64,
+    /// Consecutive anomalies needed to confirm.
+    needed: u32,
+    run: u32,
+    dev_sum: f64,
+}
+
+impl DeviationDetector {
+    /// Creates a detector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is negative or `needed` is zero.
+    #[must_use]
+    pub fn new(observer: NodeId, suspect: NodeId, threshold: f64, needed: u32) -> Self {
+        assert!(threshold >= 0.0, "threshold must be non-negative");
+        assert!(needed > 0, "need at least one observation");
+        DeviationDetector {
+            observer,
+            suspect,
+            threshold,
+            needed,
+            run: 0,
+            dev_sum: 0.0,
+        }
+    }
+
+    /// Feeds one paired observation (primary's published output vs the
+    /// observer's own computation on the same input). Returns evidence
+    /// when the consecutive-anomaly rule first fires (and keeps returning
+    /// it while the run persists, so lost reports can be retried).
+    pub fn observe(&mut self, primary_out: f64, own_out: f64, at: SimTime) -> Option<FaultEvidence> {
+        let dev = (primary_out - own_out).abs();
+        if dev > self.threshold {
+            self.run += 1;
+            self.dev_sum += dev;
+        } else {
+            self.run = 0;
+            self.dev_sum = 0.0;
+        }
+        if self.run >= self.needed {
+            Some(FaultEvidence {
+                suspect: self.suspect,
+                observer: self.observer,
+                at,
+                mean_deviation: self.dev_sum / f64::from(self.run),
+                consecutive: self.run,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Current consecutive-anomaly count.
+    #[must_use]
+    pub fn run_length(&self) -> u32 {
+        self.run
+    }
+
+    /// Resets the detector (e.g. after the suspect was demoted).
+    pub fn reset(&mut self) {
+        self.run = 0;
+        self.dev_sum = 0.0;
+    }
+}
+
+/// Liveness monitoring by heartbeat timeout (crash faults, as opposed to
+/// the value faults the deviation detector catches).
+#[derive(Debug, Clone)]
+pub struct HeartbeatMonitor {
+    watched: NodeId,
+    timeout: SimDuration,
+    last_seen: Option<SimTime>,
+}
+
+impl HeartbeatMonitor {
+    /// Creates a monitor with the given silence timeout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the timeout is zero.
+    #[must_use]
+    pub fn new(watched: NodeId, timeout: SimDuration) -> Self {
+        assert!(!timeout.is_zero(), "timeout must be positive");
+        HeartbeatMonitor {
+            watched,
+            timeout,
+            last_seen: None,
+        }
+    }
+
+    /// Records a heartbeat (any frame counts).
+    pub fn heard(&mut self, at: SimTime) {
+        self.last_seen = Some(at);
+    }
+
+    /// `true` if the watched node has been silent past the timeout.
+    /// A node never heard from is not (yet) considered dead.
+    #[must_use]
+    pub fn is_silent(&self, now: SimTime) -> bool {
+        match self.last_seen {
+            Some(t) => now.saturating_since(t) > self.timeout,
+            None => false,
+        }
+    }
+
+    /// The monitored node.
+    #[must_use]
+    pub fn watched(&self) -> NodeId {
+        self.watched
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const OBS: NodeId = NodeId(3);
+    const SUS: NodeId = NodeId(2);
+
+    fn detector(needed: u32) -> DeviationDetector {
+        DeviationDetector::new(OBS, SUS, 5.0, needed)
+    }
+
+    #[test]
+    fn single_glitch_does_not_trigger() {
+        let mut d = detector(3);
+        assert!(d.observe(75.0, 11.48, SimTime::from_secs(1)).is_none());
+        assert!(d.observe(11.5, 11.48, SimTime::from_secs(2)).is_none());
+        assert_eq!(d.run_length(), 0, "run resets on a good sample");
+    }
+
+    #[test]
+    fn consecutive_anomalies_trigger() {
+        // The paper's fault: primary stuck at 75 %, correct output 11.48 %.
+        let mut d = detector(3);
+        assert!(d.observe(75.0, 11.48, SimTime::from_secs(1)).is_none());
+        assert!(d.observe(75.0, 11.50, SimTime::from_secs(2)).is_none());
+        let ev = d.observe(75.0, 11.46, SimTime::from_secs(3)).unwrap();
+        assert_eq!(ev.suspect, SUS);
+        assert_eq!(ev.observer, OBS);
+        assert_eq!(ev.consecutive, 3);
+        assert!(ev.mean_deviation > 60.0);
+        assert_eq!(ev.at, SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn evidence_persists_while_run_continues() {
+        let mut d = detector(2);
+        let _ = d.observe(75.0, 11.0, SimTime::from_secs(1));
+        assert!(d.observe(75.0, 11.0, SimTime::from_secs(2)).is_some());
+        assert!(d.observe(75.0, 11.0, SimTime::from_secs(3)).is_some());
+        d.reset();
+        assert_eq!(d.run_length(), 0);
+    }
+
+    #[test]
+    fn small_deviations_tolerated() {
+        // Quantization and float noise between replicas must not trigger.
+        let mut d = detector(3);
+        for k in 0..100 {
+            let own = 11.48 + (k as f64 * 0.01).sin() * 0.2;
+            assert!(d.observe(11.48, own, SimTime::from_secs(k)).is_none());
+        }
+    }
+
+    #[test]
+    fn heartbeat_timeout() {
+        let mut m = HeartbeatMonitor::new(SUS, SimDuration::from_secs(2));
+        assert!(!m.is_silent(SimTime::from_secs(100)), "never heard ≠ dead");
+        m.heard(SimTime::from_secs(10));
+        assert!(!m.is_silent(SimTime::from_secs(11)));
+        assert!(!m.is_silent(SimTime::from_secs(12)));
+        assert!(m.is_silent(SimTime::from_secs(13)));
+        m.heard(SimTime::from_secs(13));
+        assert!(!m.is_silent(SimTime::from_secs(14)));
+        assert_eq!(m.watched(), SUS);
+    }
+}

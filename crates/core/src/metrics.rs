@@ -1,0 +1,148 @@
+//! Run results and QoS metrics.
+
+use std::collections::HashMap;
+
+use evm_sim::{SimDuration, SimTime, TimeSeries, Trace};
+
+/// Per-node radio energy summary for one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeEnergy {
+    /// Average current over the run, mA.
+    pub avg_current_ma: f64,
+    /// Radio duty cycle (TX + RX + listen fraction of the run).
+    pub radio_duty: f64,
+    /// Projected lifetime on 2×AA at this average current, years.
+    pub lifetime_years: f64,
+}
+
+/// Everything a co-simulation run produces: time series for the plotted
+/// tags, the event trace, and derived QoS metrics.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Sampled plant tags by name (the Fig. 6b series among them).
+    pub series: HashMap<String, TimeSeries>,
+    /// The structured event log.
+    pub trace: Trace,
+    /// End-to-end sensor→actuator latencies observed (per actuation).
+    pub e2e_latencies: Vec<SimDuration>,
+    /// Control-cycle deadline misses (actuation later than the cycle).
+    pub deadline_misses: usize,
+    /// Total actuations delivered.
+    pub actuations: usize,
+    /// Radio energy accounting per node label (e.g. `"Ctrl-A"`).
+    pub node_energy: HashMap<String, NodeEnergy>,
+}
+
+impl RunResult {
+    /// A series by name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tag was not sampled — the scenario must list it.
+    #[must_use]
+    pub fn series(&self, tag: &str) -> &TimeSeries {
+        self.series
+            .get(tag)
+            .unwrap_or_else(|| panic!("tag {tag} was not sampled"))
+    }
+
+    /// Time of the first trace entry containing `needle`.
+    #[must_use]
+    pub fn event_time(&self, needle: &str) -> Option<SimTime> {
+        self.trace.time_of(needle)
+    }
+
+    /// Quantile of the end-to-end latency distribution.
+    #[must_use]
+    pub fn e2e_quantile(&self, q: f64) -> Option<SimDuration> {
+        if self.e2e_latencies.is_empty() {
+            return None;
+        }
+        let mut v = self.e2e_latencies.clone();
+        v.sort_unstable();
+        let idx = ((v.len() - 1) as f64 * q).round() as usize;
+        Some(v[idx])
+    }
+
+    /// Fraction of actuations that met the cycle deadline.
+    #[must_use]
+    pub fn deadline_hit_ratio(&self) -> f64 {
+        if self.actuations == 0 {
+            return 1.0;
+        }
+        1.0 - self.deadline_misses as f64 / self.actuations as f64
+    }
+
+    /// Integral squared error of a tag against a reference over a window —
+    /// the control-cost metric of experiment E14.
+    #[must_use]
+    pub fn control_cost(&self, tag: &str, reference: f64, from: SimTime, to: SimTime) -> f64 {
+        self.series(tag)
+            .window(from, to)
+            .integral_squared_error(reference)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result() -> RunResult {
+        let mut series = HashMap::new();
+        let mut s = TimeSeries::new("LTS.LiquidPct");
+        for i in 0..10 {
+            s.push(SimTime::from_secs(i), 50.0 + i as f64);
+        }
+        series.insert("LTS.LiquidPct".to_string(), s);
+        let mut trace = Trace::new();
+        trace.log(SimTime::from_secs(300), "fault", "inject stuck-75");
+        trace.log(SimTime::from_secs(600), "vc", "promote n3");
+        RunResult {
+            series,
+            trace,
+            e2e_latencies: vec![
+                SimDuration::from_millis(60),
+                SimDuration::from_millis(70),
+                SimDuration::from_millis(65),
+                SimDuration::from_millis(90),
+            ],
+            deadline_misses: 1,
+            actuations: 4,
+            node_energy: HashMap::new(),
+        }
+    }
+
+    #[test]
+    fn event_lookup() {
+        let r = result();
+        assert_eq!(r.event_time("promote"), Some(SimTime::from_secs(600)));
+        assert_eq!(r.event_time("nothing"), None);
+    }
+
+    #[test]
+    fn latency_quantiles() {
+        let r = result();
+        assert_eq!(r.e2e_quantile(0.0), Some(SimDuration::from_millis(60)));
+        assert_eq!(r.e2e_quantile(1.0), Some(SimDuration::from_millis(90)));
+    }
+
+    #[test]
+    fn hit_ratio() {
+        let r = result();
+        assert!((r.deadline_hit_ratio() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn control_cost_windows() {
+        let r = result();
+        let full = r.control_cost("LTS.LiquidPct", 50.0, SimTime::ZERO, SimTime::from_secs(10));
+        let early = r.control_cost("LTS.LiquidPct", 50.0, SimTime::ZERO, SimTime::from_secs(3));
+        assert!(full > early);
+    }
+
+    #[test]
+    #[should_panic(expected = "was not sampled")]
+    fn missing_tag_panics() {
+        let _ = result().series("nope");
+    }
+}

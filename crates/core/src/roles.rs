@@ -1,0 +1,121 @@
+//! Controller modes and their transitions.
+//!
+//! Fig. 6(b)'s scenario walks one controller through
+//! `Active → Backup → Dormant` while the other goes `Backup → Active`;
+//! §4 also names a passive *indicator* mode the demoted primary enters
+//! immediately after failover.
+
+use std::fmt;
+
+/// The mode of a controller replica within a Virtual Component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ControllerMode {
+    /// Computes the law and drives the actuator.
+    Active,
+    /// Computes the law, observes the primary, never actuates.
+    Backup,
+    /// Holds the capsule but neither computes nor observes (suspended in
+    /// the kernel; consumes no CPU reserve).
+    Dormant,
+    /// Demoted-primary transition mode: outputs are displayed/logged but
+    /// disconnected from the actuator (the paper's "passive indicator").
+    Indicator,
+}
+
+impl ControllerMode {
+    /// Legal mode transitions (driven by the VC head's arbitration or by
+    /// planned reconfiguration).
+    #[must_use]
+    pub fn can_transition_to(self, next: ControllerMode) -> bool {
+        use ControllerMode::{Active, Backup, Dormant, Indicator};
+        matches!(
+            (self, next),
+            (Active, Indicator)      // demotion on detected fault
+                | (Active, Backup)   // planned swap
+                | (Active, Dormant)  // planned shutdown
+                | (Backup, Active)   // promotion
+                | (Backup, Dormant)  // demotion at end of transition
+                | (Indicator, Backup)
+                | (Indicator, Dormant)
+                | (Dormant, Backup)  // re-warmed replica
+                | (Dormant, Active)  // direct activation (cold standby)
+        )
+    }
+
+    /// `true` if this mode executes the control law every cycle.
+    #[must_use]
+    pub fn computes(self) -> bool {
+        matches!(self, ControllerMode::Active | ControllerMode::Backup | ControllerMode::Indicator)
+    }
+
+    /// `true` if this mode's output reaches the actuator.
+    #[must_use]
+    pub fn actuates(self) -> bool {
+        self == ControllerMode::Active
+    }
+
+    /// Numeric encoding exposed to capsules via `rdrole`.
+    #[must_use]
+    pub fn as_f64(self) -> f64 {
+        match self {
+            ControllerMode::Active => 0.0,
+            ControllerMode::Backup => 1.0,
+            ControllerMode::Dormant => 2.0,
+            ControllerMode::Indicator => 3.0,
+        }
+    }
+}
+
+impl fmt::Display for ControllerMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ControllerMode::Active => "Active",
+            ControllerMode::Backup => "Backup",
+            ControllerMode::Dormant => "Dormant",
+            ControllerMode::Indicator => "Indicator",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ControllerMode::{Active, Backup, Dormant, Indicator};
+
+    #[test]
+    fn paper_scenario_transitions_are_legal() {
+        // Fig. 6b: Ctrl-B Backup -> Active; Ctrl-A Active -> Backup (via
+        // the VC's reconfiguration) -> Dormant at T3.
+        assert!(Backup.can_transition_to(Active));
+        assert!(Active.can_transition_to(Backup));
+        assert!(Backup.can_transition_to(Dormant));
+        assert!(Active.can_transition_to(Indicator));
+        assert!(Indicator.can_transition_to(Dormant));
+    }
+
+    #[test]
+    fn illegal_transitions_rejected() {
+        assert!(!Dormant.can_transition_to(Indicator));
+        assert!(!Indicator.can_transition_to(Active));
+        assert!(!Active.can_transition_to(Active));
+    }
+
+    #[test]
+    fn compute_and_actuate_flags() {
+        assert!(Active.computes() && Active.actuates());
+        assert!(Backup.computes() && !Backup.actuates());
+        assert!(!Dormant.computes());
+        assert!(Indicator.computes() && !Indicator.actuates());
+    }
+
+    #[test]
+    fn role_codes_are_distinct() {
+        let codes = [Active, Backup, Dormant, Indicator].map(ControllerMode::as_f64);
+        for (i, a) in codes.iter().enumerate() {
+            for b in codes.iter().skip(i + 1) {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

@@ -1,0 +1,1374 @@
+//! The co-simulation engine.
+//!
+//! # Topology (Fig. 5)
+//!
+//! Seven nodes in a star around the gateway: `GW`(0) bridges the plant via
+//! ModBus; `S1`(1) publishes the LTS level; `Ctrl-A`(2) and `Ctrl-B`(3)
+//! host the focus control capsule as primary and backup; `A1`(4) drives
+//! the LTS liquid valve; `S2`(5) publishes the tower-feed flow for
+//! monitoring; `Head`(6) is the Virtual Component's head controller.
+//!
+//! # Slot pipeline
+//!
+//! Within each 250 ms RT-Link cycle the flows are scheduled in pipeline
+//! order, so one control cycle completes well inside the cycle
+//! (objective 5): `GW→S1` (HIL downlink), `S1→*` (PV publish, timestamped
+//! at transmission — on the real testbed the sensor samples right before
+//! its slot), `Ctrl-A→*` (output + health publication), `Ctrl-B→*`
+//! (output/alert), `A1→GW` (actuation), `Head→*` (control plane).
+//!
+//! # Failure semantics
+//!
+//! The backup computes the same capsule on the same PV stream and feeds a
+//! [`DeviationDetector`] with (primary output, own output) pairs; a
+//! confirmed run of anomalies raises a `FaultAlert` to the head, which
+//! arbitrates and commits the reconfiguration at its epoch boundary —
+//! the exact Fig. 6(b) machinery.
+
+use std::collections::HashMap;
+
+use evm_mac::rtlink::{Flow, RtLink, SlotSchedule};
+use evm_netsim::{
+    Battery, Channel, EnergyMeter, Frame, FrameKind, NodeId, NodeInfo, NodeKind, Position,
+    RadioPowerModel, RadioState, Topology,
+};
+use evm_plant::{GasPlant, LocalController, Plant, RegisterMap};
+use evm_rtos::Kernel;
+use evm_sim::{EventQueue, SimDuration, SimRng, SimTime, TimeSeries, Trace};
+
+use crate::arbitration::{select_master, Candidate};
+use crate::bytecode::{compile_control_law, control_law_gas_budget, ControlLawSpec, Program, Vm};
+use crate::component::{MemberInfo, VirtualComponent};
+use crate::health::{DeviationDetector, HeartbeatMonitor};
+use crate::metrics::{NodeEnergy, RunResult};
+use crate::migration::{execute_migration, MigrationPlan};
+use crate::roles::ControllerMode;
+use crate::runtime::Scenario;
+
+/// Well-known node ids of the testbed.
+pub mod nodes {
+    use evm_netsim::NodeId;
+    /// Gateway (ModBus bridge).
+    pub const GW: NodeId = NodeId(0);
+    /// LTS level sensor.
+    pub const S1: NodeId = NodeId(1);
+    /// Primary controller.
+    pub const CTRL_A: NodeId = NodeId(2);
+    /// Backup controller.
+    pub const CTRL_B: NodeId = NodeId(3);
+    /// LTS valve actuator.
+    pub const ACT: NodeId = NodeId(4);
+    /// Tower-feed sensor.
+    pub const S2: NodeId = NodeId(5);
+    /// Virtual-component head.
+    pub const HEAD: NodeId = NodeId(6);
+}
+
+/// Frames exchanged between nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// A plant value for a sensor node (HIL downlink) or a published PV.
+    SensorValue {
+        /// Which signal this is: 0 = the focus PV (LTS level), 1 = the
+        /// tower-feed monitoring flow.
+        tag: u8,
+        /// Engineering value.
+        value: f64,
+        /// When the publishing sensor transmitted it.
+        sampled_at: SimTime,
+    },
+    /// A controller's computed output (also its health publication).
+    ControlOutput {
+        /// The computing controller.
+        from: NodeId,
+        /// The output value (post-fault for a faulty controller).
+        value: f64,
+        /// Timestamp of the PV this output responds to.
+        pv_sampled_at: SimTime,
+    },
+    /// Backup's confirmed-fault report to the head.
+    FaultAlert {
+        /// The suspected node.
+        suspect: NodeId,
+        /// The reporting observer.
+        observer: NodeId,
+    },
+    /// Head's atomic reconfiguration command.
+    Reconfig {
+        /// Controller to promote to Active, if any.
+        promote: Option<NodeId>,
+        /// Controller to demote and its new mode, if any.
+        demote: Option<(NodeId, ControllerMode)>,
+    },
+    /// Keepalive a computing controller sends in its slot when it has no
+    /// output pending (e.g. the PV stream stalled) — distinguishes "I am
+    /// alive but starved" from a crash.
+    Heartbeat {
+        /// The sending controller.
+        from: NodeId,
+    },
+    /// Head's order to drive the actuator to its fail-safe position
+    /// (no viable master remains).
+    FailSafe {
+        /// The safe actuator value.
+        value: f64,
+    },
+    /// Actuator's forward of an accepted command to the gateway.
+    ActuateFwd {
+        /// The actuator value.
+        value: f64,
+        /// PV timestamp carried through for latency accounting.
+        pv_sampled_at: SimTime,
+    },
+}
+
+impl Message {
+    /// Approximate MAC payload size, bytes (drives airtime).
+    fn payload_bytes(&self) -> usize {
+        match self {
+            Message::SensorValue { .. } => 12,
+            Message::ControlOutput { .. } => 16,
+            Message::FaultAlert { .. } => 8,
+            Message::Reconfig { .. } => 10,
+            Message::Heartbeat { .. } => 4,
+            Message::FailSafe { .. } => 9,
+            Message::ActuateFwd { .. } => 14,
+        }
+    }
+}
+
+/// Each control-plane command is rebroadcast this many cycles; at 40 %
+/// frame loss the probability every copy is lost is 0.4^20 ≈ 1e-8.
+const CONTROL_PLANE_REPEATS: u32 = 20;
+
+#[derive(Debug)]
+enum Ev {
+    Slot,
+    PlantStep,
+    Sample,
+    Deliver { to: NodeId, msg: Message },
+    TaskDone { node: NodeId },
+    InjectFault,
+    InjectBackupFault,
+    CrashPrimary,
+    HeadDecision { suspect: NodeId },
+    MigrationDone { target: NodeId, suspect: NodeId },
+    DormantDemote { target: NodeId },
+}
+
+/// Per-controller runtime state.
+#[derive(Debug)]
+struct ControllerState {
+    mode: ControllerMode,
+    vm: Vm,
+    program: Program,
+    kernel: Kernel,
+    has_task: bool,
+    latest_pv: Option<(f64, SimTime)>,
+    computing: bool,
+    /// Computed output awaiting this node's TX slot.
+    pending_output: Option<(f64, SimTime)>,
+    /// Last own output (for deviation checks).
+    last_own_output: Option<f64>,
+    detector: DeviationDetector,
+    heartbeat: HeartbeatMonitor,
+    pending_alert: Option<NodeId>,
+    fault: Option<(SimTime, evm_plant::ActuatorFault)>,
+}
+
+/// The co-simulation engine. Build with [`Engine::new`], run with
+/// [`Engine::run`].
+pub struct Engine {
+    scenario: Scenario,
+    plant: GasPlant,
+    regmap: RegisterMap,
+    local_loops: Vec<LocalController>,
+    channel: Channel,
+    topology: Topology,
+    rtlink: RtLink,
+    schedule: SlotSchedule,
+    vc: VirtualComponent,
+    rng: SimRng,
+    trace: Trace,
+    queue: EventQueue<Ev>,
+    now: SimTime,
+
+    controllers: HashMap<NodeId, ControllerState>,
+    /// Sensor nodes' latest values (S1, S2).
+    sensor_latest: HashMap<NodeId, f64>,
+    /// Actuator state: accepted active controller + pending forward.
+    act_active_ctrl: NodeId,
+    act_pending: Option<(f64, SimTime)>,
+    /// Head state: pending control-plane commands with a retransmission
+    /// budget (the fault plane must survive lossy links; receivers apply
+    /// commands idempotently).
+    head_pending_cmds: Vec<(Message, u32)>,
+    head_decision_pending: bool,
+    /// Nodes with confirmed faults — never candidates for promotion.
+    suspected: Vec<NodeId>,
+    /// Actuator lock: once in fail-safe, controller outputs are ignored
+    /// until a promotion arrives.
+    act_failsafe: bool,
+    /// Slot indices (fixed at setup).
+    slot_of: HashMap<&'static str, usize>,
+
+    series: HashMap<String, TimeSeries>,
+    mode_series: HashMap<NodeId, TimeSeries>,
+    /// Radio energy meters per node.
+    meters: HashMap<NodeId, EnergyMeter>,
+    e2e: Vec<SimDuration>,
+    deadline_misses: usize,
+    actuations: usize,
+}
+
+impl Engine {
+    /// Builds the testbed for a scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario's slot schedule cannot be constructed — a
+    /// configuration error, not a runtime condition.
+    #[must_use]
+    pub fn new(scenario: Scenario) -> Self {
+        let mut rng = SimRng::seed_from(scenario.seed);
+        let mut channel = Channel::new(scenario.channel.clone(), rng.fork(1));
+
+        // --- Fig. 5 topology ------------------------------------------
+        let ring = 15.0;
+        let mut infos = vec![NodeInfo::new(nodes::GW, NodeKind::Gateway, Position::new(0.0, 0.0), "GW")];
+        let ring_nodes: [(NodeId, NodeKind, &str); 6] = [
+            (nodes::S1, NodeKind::Sensor, "S1"),
+            (nodes::CTRL_A, NodeKind::Controller, "Ctrl-A"),
+            (nodes::CTRL_B, NodeKind::Controller, "Ctrl-B"),
+            (nodes::ACT, NodeKind::Actuator, "A1"),
+            (nodes::S2, NodeKind::Sensor, "S2"),
+            (nodes::HEAD, NodeKind::Controller, "Head"),
+        ];
+        for (i, (id, kind, label)) in ring_nodes.into_iter().enumerate() {
+            let angle = 2.0 * std::f64::consts::PI * i as f64 / 6.0;
+            infos.push(NodeInfo::new(
+                id,
+                kind,
+                Position::new(ring * angle.cos(), ring * angle.sin()),
+                label,
+            ));
+        }
+        let topology = Topology::derive(infos, &mut channel);
+
+        // --- Slot schedule (pipeline order) ---------------------------
+        let flows = vec![
+            /* 0: GW -> S1  */ Flow::new(nodes::GW, nodes::S1),
+            /* 1: S1 -> all */
+            Flow::new(nodes::S1, nodes::CTRL_A)
+                .with_listeners(vec![nodes::CTRL_B, nodes::HEAD])
+                .after(0),
+            /* 2: A -> out  */
+            Flow::new(nodes::CTRL_A, nodes::ACT)
+                .with_listeners(vec![nodes::CTRL_B, nodes::HEAD])
+                .after(1),
+            /* 3: B -> out  */
+            Flow::new(nodes::CTRL_B, nodes::ACT)
+                .with_listeners(vec![nodes::HEAD])
+                .after(2),
+            /* 4: A1 -> GW  */ Flow::new(nodes::ACT, nodes::GW).after(3),
+            /* 5: Head -> * */
+            Flow::new(nodes::HEAD, nodes::CTRL_A)
+                .with_listeners(vec![nodes::CTRL_B, nodes::ACT, nodes::GW])
+                .after(4),
+            /* 6: GW -> S2  */ Flow::new(nodes::GW, nodes::S2).after(5),
+            /* 7: S2 -> GW  */
+            Flow::new(nodes::S2, nodes::HEAD)
+                .with_listeners(vec![nodes::GW])
+                .after(6),
+        ];
+        let schedule = SlotSchedule::for_flows(&scenario.rtlink, &topology, &flows)
+            .expect("testbed flows must schedule");
+        let slot_idx = |flow: usize, node: NodeId| -> usize {
+            let owned = schedule.owned_slots(node);
+            // Flows are placed in order, so each owner's slots sort by flow.
+            let mine: Vec<usize> = owned;
+            let earlier_same_owner = flows[..flow]
+                .iter()
+                .filter(|f| f.src == node)
+                .count();
+            mine[earlier_same_owner]
+        };
+        let mut slot_of = HashMap::new();
+        slot_of.insert("gw_s1", slot_idx(0, nodes::GW));
+        slot_of.insert("s1_bcast", slot_idx(1, nodes::S1));
+        slot_of.insert("a_out", slot_idx(2, nodes::CTRL_A));
+        slot_of.insert("b_out", slot_idx(3, nodes::CTRL_B));
+        slot_of.insert("act_fwd", slot_idx(4, nodes::ACT));
+        slot_of.insert("head_bcast", slot_idx(5, nodes::HEAD));
+        slot_of.insert("gw_s2", slot_idx(6, nodes::GW));
+        slot_of.insert("s2_bcast", slot_idx(7, nodes::S2));
+
+        // --- Plant + local (wired) loops for the 7 non-focus loops ----
+        let plant = GasPlant::default();
+        let focus_name = scenario.focus_loop.name.clone();
+        let local_loops: Vec<LocalController> = evm_plant::standard_loops()
+            .into_iter()
+            .filter(|l| l.name != focus_name)
+            .map(LocalController::new)
+            .collect();
+
+        // --- Controllers ------------------------------------------------
+        let law = ControlLawSpec::from_loop(&scenario.focus_loop);
+        let program = compile_control_law(&law);
+        let gas = control_law_gas_budget(&program);
+        let period = SimDuration::from_secs_f64(scenario.focus_loop.period_s);
+        let hb_timeout = scenario.rtlink.cycle_duration() * scenario.heartbeat_cycles;
+
+        let mk_controller = |id: NodeId, mode: ControllerMode, hosts_task: bool| {
+            let mut kernel = Kernel::new(format!("{id}"));
+            let mut has_task = false;
+            if hosts_task {
+                kernel
+                    .admit(
+                        evm_rtos::TaskSpec::new("focus", kernel.instr_cost() * gas, period),
+                        evm_rtos::TaskImage::typical_control_task(),
+                        None,
+                    )
+                    .expect("focus task admits on an empty kernel");
+                has_task = true;
+            }
+            ControllerState {
+                mode,
+                vm: Vm::new(gas),
+                program: program.clone(),
+                kernel,
+                has_task,
+                latest_pv: None,
+                computing: false,
+                pending_output: None,
+                last_own_output: None,
+                detector: DeviationDetector::new(
+                    id,
+                    nodes::CTRL_A,
+                    scenario.detect_threshold,
+                    scenario.detect_consecutive,
+                ),
+                heartbeat: HeartbeatMonitor::new(nodes::CTRL_A, hb_timeout),
+                pending_alert: None,
+                fault: None,
+            }
+        };
+        let mut controllers = HashMap::new();
+        controllers.insert(
+            nodes::CTRL_A,
+            mk_controller(nodes::CTRL_A, ControllerMode::Active, true),
+        );
+        let b_mode = if scenario.warm_backup {
+            ControllerMode::Backup
+        } else {
+            ControllerMode::Dormant
+        };
+        controllers.insert(
+            nodes::CTRL_B,
+            mk_controller(nodes::CTRL_B, b_mode, scenario.warm_backup),
+        );
+        // The head always runs a monitor replica of the law: it observes
+        // the data plane and can detect output deviations itself, which is
+        // what makes cold-standby deployments (no warm backup computing)
+        // still fail over.
+        controllers.insert(nodes::HEAD, mk_controller(nodes::HEAD, ControllerMode::Backup, true));
+
+        // --- Virtual component ----------------------------------------
+        let mut vc = VirtualComponent::new("lts-loop");
+        for n in topology.nodes() {
+            let mode = match n.id {
+                id if id == nodes::CTRL_A => Some(ControllerMode::Active),
+                id if id == nodes::CTRL_B => Some(b_mode),
+                _ => None,
+            };
+            vc.add_member(MemberInfo {
+                node: n.id,
+                kind: n.kind,
+                mode,
+                capsules: vec![],
+            });
+        }
+        vc.set_head(nodes::HEAD);
+
+        let series = scenario
+            .sampled_tags
+            .iter()
+            .map(|t| (t.clone(), TimeSeries::new(t.clone())))
+            .collect();
+        let mode_series = [nodes::CTRL_A, nodes::CTRL_B]
+            .into_iter()
+            .map(|n| {
+                let label = topology.node(n).expect("member").label.clone();
+                (n, TimeSeries::new(format!("Mode.{label}")))
+            })
+            .collect();
+
+        let meters = topology
+            .nodes()
+            .iter()
+            .map(|n| (n.id, EnergyMeter::new(RadioPowerModel::cc2420())))
+            .collect();
+
+        let mut engine = Engine {
+            plant,
+            regmap: RegisterMap::gas_plant_standard(),
+            local_loops,
+            channel,
+            topology,
+            rtlink: RtLink::new(scenario.rtlink.clone()),
+            schedule,
+            vc,
+            rng,
+            trace: Trace::new(),
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            controllers,
+            sensor_latest: HashMap::new(),
+            act_active_ctrl: nodes::CTRL_A,
+            act_pending: None,
+            head_pending_cmds: Vec::new(),
+            head_decision_pending: false,
+            suspected: Vec::new(),
+            act_failsafe: false,
+            slot_of,
+            series,
+            mode_series,
+            meters,
+            e2e: Vec::new(),
+            deadline_misses: 0,
+            actuations: 0,
+            scenario,
+        };
+
+        // Seed events.
+        engine.queue.push(SimTime::ZERO, Ev::PlantStep);
+        engine
+            .queue
+            .push(SimTime::ZERO + engine.scenario.rtlink.slot_duration, Ev::Slot);
+        engine.queue.push(SimTime::ZERO, Ev::Sample);
+        if let Some((at, _)) = engine.scenario.fault {
+            engine.queue.push(at, Ev::InjectFault);
+        }
+        if let Some((at, _)) = engine.scenario.backup_fault {
+            engine.queue.push(at, Ev::InjectBackupFault);
+        }
+        if let Some(at) = engine.scenario.primary_crash {
+            engine.queue.push(at, Ev::CrashPrimary);
+        }
+        engine
+    }
+
+    /// The slot schedule (for inspection/tests).
+    #[must_use]
+    pub fn schedule(&self) -> &SlotSchedule {
+        &self.schedule
+    }
+
+    /// The virtual component (for inspection/tests).
+    #[must_use]
+    pub fn component(&self) -> &VirtualComponent {
+        &self.vc
+    }
+
+    /// Runs the scenario to completion and returns the results.
+    #[must_use]
+    pub fn run(mut self) -> RunResult {
+        let end = SimTime::ZERO + self.scenario.duration;
+        while let Some((t, ev)) = self.queue.pop() {
+            if t >= end {
+                break;
+            }
+            self.now = t;
+            self.handle(ev);
+            debug_assert!(
+                self.vc.invariant_single_active(),
+                "single-active invariant violated at {t}"
+            );
+        }
+        // Close out energy accounting: everything not spent on the radio
+        // was deep sleep.
+        let total = self.scenario.duration;
+        let node_energy = self
+            .meters
+            .iter_mut()
+            .map(|(id, m)| {
+                let accounted = m.total_time();
+                m.add(RadioState::Sleep, total.saturating_sub(accounted));
+                let label = self
+                    .topology
+                    .node(*id)
+                    .map_or_else(|| id.to_string(), |n| n.label.clone());
+                let avg = m.average_current_ma();
+                (
+                    label,
+                    NodeEnergy {
+                        avg_current_ma: avg,
+                        radio_duty: m.radio_duty_cycle(),
+                        lifetime_years: Battery::two_aa().lifetime_years_at(avg.max(1e-9)),
+                    },
+                )
+            })
+            .collect();
+        RunResult {
+            series: self
+                .series
+                .into_iter()
+                .chain(
+                    self.mode_series
+                        .into_values()
+                        .map(|s| (s.name().to_string(), s)),
+                )
+                .collect(),
+            trace: self.trace,
+            e2e_latencies: self.e2e,
+            deadline_misses: self.deadline_misses,
+            actuations: self.actuations,
+            node_energy,
+        }
+    }
+
+    fn slot(&self, key: &str) -> usize {
+        self.slot_of[key]
+    }
+
+    fn alive(&self, node: NodeId) -> bool {
+        self.scenario.fault_plan.node_alive(node, self.now)
+    }
+
+    fn handle(&mut self, ev: Ev) {
+        match ev {
+            Ev::PlantStep => self.on_plant_step(),
+            Ev::Slot => self.on_slot(),
+            Ev::Sample => self.on_sample(),
+            Ev::Deliver { to, msg } => self.on_deliver(to, msg),
+            Ev::TaskDone { node } => self.on_task_done(node),
+            Ev::InjectFault => self.on_inject_fault(),
+            Ev::InjectBackupFault => self.on_inject_backup_fault(),
+            Ev::CrashPrimary => self.on_crash_primary(),
+            Ev::HeadDecision { suspect } => self.on_head_decision(suspect),
+            Ev::MigrationDone { target, suspect } => self.on_migration_done(target, suspect),
+            Ev::DormantDemote { target } => {
+                let _ = self.vc.set_mode(target, ControllerMode::Dormant);
+                self.head_pending_cmds.push((
+                    Message::Reconfig {
+                        promote: None,
+                        demote: Some((target, ControllerMode::Dormant)),
+                    },
+                    CONTROL_PLANE_REPEATS,
+                ));
+            }
+        }
+    }
+
+    fn on_plant_step(&mut self) {
+        let dt = self.scenario.plant_dt;
+        // Wired loops run at the gateway against the plant directly.
+        let now_s = self.now.as_secs_f64();
+        for c in &mut self.local_loops {
+            let _ = c.poll(&mut self.plant, now_s);
+        }
+        self.plant.step(dt.as_secs_f64());
+        self.queue.push(self.now + dt, Ev::PlantStep);
+    }
+
+    fn on_sample(&mut self) {
+        for (tag, series) in &mut self.series {
+            if let Some(v) = self.plant.read_tag(tag) {
+                series.push(self.now, v);
+            }
+        }
+        for (node, series) in &mut self.mode_series {
+            let mode = self.controllers[node].mode;
+            series.push(self.now, mode.as_f64());
+        }
+        self.queue.push(self.now + self.scenario.sample_every, Ev::Sample);
+    }
+
+    /// Processes all transmissions of the slot that starts now.
+    fn on_slot(&mut self) {
+        let (cycle, slot) = self.rtlink.slot_at(self.now);
+        if slot == 0 {
+            self.on_cycle_start(cycle);
+        }
+        let assignments: Vec<(NodeId, Vec<NodeId>)> = self
+            .schedule
+            .in_slot(slot)
+            .iter()
+            .map(|a| (a.owner, a.listeners.clone()))
+            .collect();
+        // Detect window a listener pays before shutting down on an empty
+        // slot: guard + PHY header airtime.
+        let detect = self.scenario.rtlink.guard
+            + evm_netsim::frame::airtime_for_bytes(evm_netsim::PHY_HEADER_BYTES);
+        for (owner, listeners) in assignments {
+            if !self.alive(owner) {
+                continue;
+            }
+            let Some(msg) = self.take_outgoing(owner, slot) else {
+                // Empty slot: listeners still pay the detect window.
+                for l in listeners {
+                    if self.alive(l) {
+                        if let Some(m) = self.meters.get_mut(&l) {
+                            m.add(RadioState::Listen, detect);
+                        }
+                    }
+                }
+                continue;
+            };
+            let frame = Frame::new(owner, FrameKind::Broadcast, msg.payload_bytes(), 0);
+            let airtime = frame.airtime();
+            let guard = self.scenario.rtlink.guard;
+            if let Some(m) = self.meters.get_mut(&owner) {
+                m.add(RadioState::Idle, guard);
+                m.add(RadioState::Tx, airtime);
+            }
+            for to in listeners {
+                if !self.alive(to) {
+                    continue;
+                }
+                if let Some(m) = self.meters.get_mut(&to) {
+                    m.add(RadioState::Rx, guard + airtime);
+                }
+                if !self.scenario.fault_plan.link_usable(owner, to, self.now) {
+                    continue;
+                }
+                let d = self.topology.distance(owner, to);
+                if !self.channel.sample_delivery(&frame, to, d) {
+                    continue;
+                }
+                if self.rng.chance(self.scenario.extra_loss) {
+                    continue;
+                }
+                self.queue.push(
+                    self.now + guard + airtime,
+                    Ev::Deliver {
+                        to,
+                        msg: msg.clone(),
+                    },
+                );
+            }
+        }
+        self.queue
+            .push(self.now + self.scenario.rtlink.slot_duration, Ev::Slot);
+    }
+
+    /// Cycle-boundary housekeeping: sync reception energy and heartbeat
+    /// checks on backups.
+    fn on_cycle_start(&mut self, _cycle: u64) {
+        let now = self.now;
+        let sync = self.scenario.rtlink.sync_listen;
+        let ids: Vec<NodeId> = self.topology.nodes().iter().map(|n| n.id).collect();
+        for id in ids {
+            if self.alive(id) {
+                if let Some(m) = self.meters.get_mut(&id) {
+                    m.add(RadioState::Rx, sync);
+                }
+            }
+        }
+        let mut alerts = Vec::new();
+        for (&id, c) in &mut self.controllers {
+            if c.mode == ControllerMode::Backup
+                && id != nodes::HEAD
+                && c.heartbeat.is_silent(now)
+                && c.pending_alert.is_none()
+            {
+                c.pending_alert = Some(c.heartbeat.watched());
+                alerts.push((id, c.heartbeat.watched()));
+            }
+        }
+        for (observer, suspect) in alerts {
+            self.trace.log(
+                self.now,
+                "health",
+                format!("{observer} heartbeat timeout on {suspect}"),
+            );
+        }
+    }
+
+    /// What `owner` transmits in `slot`, if anything.
+    fn take_outgoing(&mut self, owner: NodeId, slot: usize) -> Option<Message> {
+        if owner == nodes::GW && slot == self.slot("gw_s1") {
+            let mut v = self.regmap.read_scaled(&self.plant, 30001).ok()?;
+            if self.scenario.sensor_noise_std > 0.0 {
+                v += self.rng.normal(0.0, self.scenario.sensor_noise_std);
+            }
+            return Some(Message::SensorValue {
+                tag: 0,
+                value: v,
+                sampled_at: self.now,
+            });
+        }
+        if owner == nodes::GW && slot == self.slot("gw_s2") {
+            let v = self.regmap.read_scaled(&self.plant, 30007).ok()?;
+            return Some(Message::SensorValue {
+                tag: 1,
+                value: v,
+                sampled_at: self.now,
+            });
+        }
+        if (owner == nodes::S1 && slot == self.slot("s1_bcast"))
+            || (owner == nodes::S2 && slot == self.slot("s2_bcast"))
+        {
+            let v = *self.sensor_latest.get(&owner)?;
+            let tag = if owner == nodes::S1 { 0 } else { 1 };
+            // Freshness stamp: the sensor publishes "now" (on hardware it
+            // samples right before its slot).
+            return Some(Message::SensorValue {
+                tag,
+                value: v,
+                sampled_at: self.now,
+            });
+        }
+        if (owner == nodes::CTRL_A && slot == self.slot("a_out"))
+            || (owner == nodes::CTRL_B && slot == self.slot("b_out"))
+        {
+            let c = self.controllers.get_mut(&owner)?;
+            if !c.mode.computes() {
+                return None;
+            }
+            // Alerts preempt outputs (fault plane over data plane).
+            if let Some(suspect) = c.pending_alert.take() {
+                return Some(Message::FaultAlert {
+                    suspect,
+                    observer: owner,
+                });
+            }
+            if let Some((value, pv_ts)) = c.pending_output.take() {
+                return Some(Message::ControlOutput {
+                    from: owner,
+                    value,
+                    pv_sampled_at: pv_ts,
+                });
+            }
+            // Nothing to publish (PV stream stalled): send a keepalive so
+            // peers can tell starvation from a crash.
+            return Some(Message::Heartbeat { from: owner });
+        }
+        if owner == nodes::ACT && slot == self.slot("act_fwd") {
+            let (value, pv_ts) = self.act_pending.take()?;
+            return Some(Message::ActuateFwd {
+                value,
+                pv_sampled_at: pv_ts,
+            });
+        }
+        if owner == nodes::HEAD && slot == self.slot("head_bcast") {
+            if let Some((msg, remaining)) = self.head_pending_cmds.first_mut() {
+                let out = msg.clone();
+                *remaining -= 1;
+                if *remaining == 0 {
+                    self.head_pending_cmds.remove(0);
+                }
+                return Some(out);
+            }
+            return None;
+        }
+        None
+    }
+
+    fn on_deliver(&mut self, to: NodeId, msg: Message) {
+        match msg {
+            Message::SensorValue {
+                tag,
+                value,
+                sampled_at,
+            } => {
+                if to == nodes::S1 || to == nodes::S2 {
+                    self.sensor_latest.insert(to, value);
+                } else if let Some(c) = self.controllers.get_mut(&to) {
+                    // Controllers only act on the focus PV.
+                    if tag != 0 {
+                        return;
+                    }
+                    c.latest_pv = Some((value, sampled_at));
+                    if c.mode.computes() && c.has_task && !c.computing {
+                        c.computing = true;
+                        let wcet = c.kernel.instr_cost() * c.vm.gas_limit();
+                        self.queue.push(self.now + wcet, Ev::TaskDone { node: to });
+                    }
+                }
+            }
+            Message::Heartbeat { from } => {
+                if let Some(c) = self.controllers.get_mut(&to) {
+                    if from == c.heartbeat.watched() {
+                        c.heartbeat.heard(self.now);
+                    }
+                }
+            }
+            Message::FailSafe { value } => {
+                if to == nodes::ACT && !self.act_failsafe {
+                    self.act_failsafe = true;
+                    self.act_pending = Some((value, self.now));
+                    self.trace
+                        .log(self.now, "vc", format!("actuator fail-safe at {value}%"));
+                }
+            }
+            Message::ControlOutput {
+                from,
+                value,
+                pv_sampled_at,
+            } => {
+                if to == nodes::ACT {
+                    if from == self.act_active_ctrl && !self.act_failsafe {
+                        self.act_pending = Some((value, pv_sampled_at));
+                    }
+                } else if let Some(c) = self.controllers.get_mut(&to) {
+                    if from == nodes::CTRL_A {
+                        c.heartbeat.heard(self.now);
+                    }
+                    // Backup observation of the primary's published output.
+                    // The suspect is whoever is currently actuating.
+                    let mut confirmed = None;
+                    if c.mode == ControllerMode::Backup && from == self.act_active_ctrl {
+                        if let Some(own) = c.last_own_output {
+                            if let Some(ev) = c.detector.observe(value, own, self.now) {
+                                if c.pending_alert.is_none() {
+                                    c.pending_alert = Some(from);
+                                    confirmed = Some(ev.mean_deviation);
+                                }
+                            }
+                        }
+                    }
+                    if let Some(mean_dev) = confirmed {
+                        self.trace.log(
+                            self.now,
+                            "health",
+                            format!("{to} confirmed deviation on {from} (mean {mean_dev:.1})"),
+                        );
+                        // The head's own monitor short-circuits the alert
+                        // frame (it would be addressed to itself).
+                        if to == nodes::HEAD {
+                            if let Some(c) = self.controllers.get_mut(&nodes::HEAD) {
+                                c.pending_alert = None;
+                            }
+                            self.head_on_alert(from, nodes::HEAD);
+                        }
+                    }
+                }
+            }
+            Message::FaultAlert { suspect, observer } => {
+                if to == nodes::HEAD {
+                    self.head_on_alert(suspect, observer);
+                }
+            }
+            Message::Reconfig { promote, demote } => {
+                self.apply_reconfig(to, promote, demote);
+            }
+            Message::ActuateFwd {
+                value,
+                pv_sampled_at,
+            } => {
+                if to == nodes::GW {
+                    let _ = self.regmap.write_scaled(&mut self.plant, 40002, value);
+                    let e2e = self.now.saturating_since(pv_sampled_at);
+                    let deadline = self.rtlink.config().cycle_duration() / 3;
+                    if e2e > deadline {
+                        self.deadline_misses += 1;
+                    }
+                    self.e2e.push(e2e);
+                    self.actuations += 1;
+                }
+            }
+        }
+    }
+
+    /// Head-side alert handling: schedule the reconfiguration decision at
+    /// the next epoch boundary.
+    fn head_on_alert(&mut self, suspect: NodeId, observer: NodeId) {
+        if self.head_decision_pending {
+            return;
+        }
+        // Only the controller the component believes is Active can be the
+        // subject of a failover (stale alerts from the switchover window
+        // are dropped here).
+        if self.vc.active_controller() != Some(suspect) {
+            return;
+        }
+        self.head_decision_pending = true;
+        let epoch = self.scenario.reconfig_epoch;
+        let decide_at = if epoch.is_zero() {
+            self.now + self.scenario.rtlink.slot_duration
+        } else {
+            self.now.ceil_to(epoch)
+        };
+        self.trace.log(
+            self.now,
+            "vc",
+            format!("head received alert from {observer} on {suspect}; deciding at {decide_at}"),
+        );
+        self.queue.push(decide_at, Ev::HeadDecision { suspect });
+    }
+
+    /// Applies a reconfiguration frame on the receiving node. The VC
+    /// record itself is the *head's* authoritative view, updated when the
+    /// head commits (a crashed node never acks its demotion; the component
+    /// must not wait for it).
+    fn apply_reconfig(
+        &mut self,
+        to: NodeId,
+        promote: Option<NodeId>,
+        demote: Option<(NodeId, ControllerMode)>,
+    ) {
+        // The actuator switches masters (the OS-1 operation switch); a
+        // promotion also releases a fail-safe lock.
+        if to == nodes::ACT {
+            if let Some(p) = promote {
+                self.act_active_ctrl = p;
+                self.act_failsafe = false;
+            }
+            return;
+        }
+        let Some(c) = self.controllers.get_mut(&to) else {
+            return;
+        };
+        // A reconfiguration starts a fresh observation epoch.
+        c.detector.reset();
+        c.pending_alert = None;
+        // Demote first so the single-active invariant holds through the
+        // transition.
+        if let Some((target, mode)) = demote {
+            if target == to && c.mode != mode {
+                let label = self.topology.node(to).expect("member").label.clone();
+                c.mode = mode;
+                if mode == ControllerMode::Dormant {
+                    c.pending_output = None;
+                    c.computing = false;
+                }
+                self.trace.log(self.now, "vc", format!("{label} -> {mode}"));
+            }
+        }
+        if let Some(target) = promote {
+            if target == to && c.mode != ControllerMode::Active {
+                let label = self.topology.node(to).expect("member").label.clone();
+                c.mode = ControllerMode::Active;
+                self.trace.log(self.now, "vc", format!("{label} -> Active"));
+            }
+        }
+    }
+
+    fn on_task_done(&mut self, node: NodeId) {
+        let Some(c) = self.controllers.get_mut(&node) else {
+            return;
+        };
+        c.computing = false;
+        if !c.mode.computes() {
+            return;
+        }
+        let Some((pv, pv_ts)) = c.latest_pv else {
+            return;
+        };
+        struct Env {
+            pv: f64,
+            out: Option<f64>,
+            now_s: f64,
+            role: f64,
+        }
+        impl crate::bytecode::VmEnv for Env {
+            fn read_sensor(&mut self, _p: u8) -> Result<f64, crate::bytecode::VmError> {
+                Ok(self.pv)
+            }
+            fn write_actuator(&mut self, _p: u8, v: f64) -> Result<(), crate::bytecode::VmError> {
+                self.out = Some(v);
+                Ok(())
+            }
+            fn emit(&mut self, _ch: u8, _v: f64) {}
+            fn clock_s(&self) -> f64 {
+                self.now_s
+            }
+            fn role_code(&self) -> f64 {
+                self.role
+            }
+        }
+        let mut env = Env {
+            pv,
+            out: None,
+            now_s: self.now.as_secs_f64(),
+            role: c.mode.as_f64(),
+        };
+        let Ok(_) = c.vm.run(&c.program, &mut env) else {
+            self.trace
+                .log(self.now, "vm", format!("{node} capsule trapped"));
+            return;
+        };
+        let correct = env.out.unwrap_or(0.0);
+        c.last_own_output = Some(correct);
+        // Apply the scripted controller fault to the *published* output.
+        let published = match c.fault {
+            Some((since, fault)) => {
+                let elapsed = self.now.saturating_since(since).as_secs_f64();
+                fault.apply(correct, elapsed, &mut self.rng)
+            }
+            None => correct,
+        };
+        c.pending_output = Some((published, pv_ts));
+    }
+
+    fn on_inject_fault(&mut self) {
+        if let Some((_, fault)) = self.scenario.fault {
+            if let Some(c) = self.controllers.get_mut(&nodes::CTRL_A) {
+                c.fault = Some((self.now, fault));
+            }
+            self.trace
+                .log(self.now, "fault", format!("inject {fault:?} on Ctrl-A"));
+        }
+    }
+
+    fn on_inject_backup_fault(&mut self) {
+        if let Some((_, fault)) = self.scenario.backup_fault {
+            if let Some(c) = self.controllers.get_mut(&nodes::CTRL_B) {
+                c.fault = Some((self.now, fault));
+            }
+            self.trace
+                .log(self.now, "fault", format!("inject {fault:?} on Ctrl-B"));
+        }
+    }
+
+    fn on_crash_primary(&mut self) {
+        self.scenario
+            .fault_plan
+            .add_crash(evm_netsim::NodeCrash::permanent(nodes::CTRL_A, self.now));
+        self.trace.log(self.now, "fault", "Ctrl-A crashed");
+    }
+
+    fn on_head_decision(&mut self, suspect: NodeId) {
+        if !self.suspected.contains(&suspect) {
+            self.suspected.push(suspect);
+        }
+        // Arbitration over the surviving, unsuspected controllers.
+        let candidates: Vec<Candidate> = self
+            .controllers
+            .iter()
+            .filter(|(&id, _)| {
+                id != suspect && id != nodes::HEAD && !self.suspected.contains(&id)
+            })
+            .map(|(&id, c)| Candidate {
+                node: id,
+                eligible: self.alive(id),
+                battery: {
+                    let consumed = self.meters.get(&id).map_or(0.0, EnergyMeter::consumed_mah);
+                    (1.0 - consumed / Battery::two_aa().capacity_mah()).max(0.0)
+                },
+                cpu_headroom: 1.0 - c.kernel.utilization(),
+                link_quality: 1.0,
+                warm_replica: c.has_task,
+            })
+            .collect();
+        let Some(target) = select_master(&candidates) else {
+            // §3.1.2 health-assessment response: LocalFailSafe. Demote the
+            // suspect and drive the actuator to its safe position.
+            self.trace.log(self.now, "vc", "no viable master; engaging fail-safe");
+            let _ = self.vc.set_mode(suspect, ControllerMode::Indicator);
+            self.head_pending_cmds.push((
+                Message::Reconfig {
+                    promote: None,
+                    demote: Some((suspect, ControllerMode::Indicator)),
+                },
+                CONTROL_PLANE_REPEATS,
+            ));
+            self.head_pending_cmds.push((
+                Message::FailSafe {
+                    value: self.scenario.fail_safe_value,
+                },
+                CONTROL_PLANE_REPEATS,
+            ));
+            self.head_decision_pending = false;
+            return;
+        };
+        let warm = self.controllers[&target].has_task;
+        if warm {
+            self.commit_failover(target, suspect);
+        } else {
+            // Cold standby: migrate the task image first.
+            let plan = MigrationPlan::new(
+                &evm_rtos::TaskImage::typical_control_task(),
+                1,
+                self.rtlink.config().cycle_duration(),
+            );
+            let outcome = execute_migration(&plan, self.scenario.extra_loss, 100, &mut self.rng);
+            match outcome {
+                Ok(out) => {
+                    self.trace.log(
+                        self.now,
+                        "migration",
+                        format!(
+                            "image {} B in {} frames ({} retries), {}",
+                            plan.image_bytes, out.frames_sent, out.retries, out.duration
+                        ),
+                    );
+                    self.queue.push(
+                        self.now + out.duration,
+                        Ev::MigrationDone { target, suspect },
+                    );
+                }
+                Err(e) => {
+                    self.trace
+                        .log(self.now, "migration", format!("failed: {e}"));
+                    self.head_decision_pending = false;
+                }
+            }
+        }
+    }
+
+    fn on_migration_done(&mut self, target: NodeId, suspect: NodeId) {
+        // Admission gate on the target before activation.
+        let c = self.controllers.get_mut(&target).expect("target exists");
+        let gas = c.vm.gas_limit();
+        let period = SimDuration::from_secs_f64(self.scenario.focus_loop.period_s);
+        let admitted = c
+            .kernel
+            .admit(
+                evm_rtos::TaskSpec::new("focus", c.kernel.instr_cost() * gas, period),
+                evm_rtos::TaskImage::typical_control_task(),
+                None,
+            )
+            .is_ok();
+        if !admitted {
+            self.trace
+                .log(self.now, "migration", format!("{target} refused admission"));
+            self.head_decision_pending = false;
+            return;
+        }
+        c.has_task = true;
+        // Warm-start the migrated integrator from the suspect's snapshot
+        // (the data section of the migrated TCB).
+        let snapshot = self.controllers[&suspect].vm.snapshot_vars();
+        self.controllers
+            .get_mut(&target)
+            .expect("target exists")
+            .vm
+            .restore_vars(snapshot);
+        self.trace
+            .log(self.now, "migration", format!("task activated on {target}"));
+        self.commit_failover(target, suspect);
+    }
+
+    fn commit_failover(&mut self, target: NodeId, suspect: NodeId) {
+        // Head's authoritative VC view: demote first, then promote.
+        let _ = self.vc.set_mode(suspect, ControllerMode::Backup);
+        let _ = self.vc.set_mode(target, ControllerMode::Active);
+        self.head_pending_cmds.push((
+            Message::Reconfig {
+                promote: Some(target),
+                demote: Some((suspect, ControllerMode::Backup)),
+            },
+            CONTROL_PLANE_REPEATS,
+        ));
+        self.queue.push(
+            self.now + self.scenario.demote_dormant_after,
+            Ev::DormantDemote { target: suspect },
+        );
+        self.trace.log(
+            self.now,
+            "vc",
+            format!("head commits failover {suspect} -> {target}"),
+        );
+        self.head_decision_pending = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn short(scenario: Scenario, secs: u64) -> RunResult {
+        let mut s = scenario;
+        s.duration = SimDuration::from_secs(secs);
+        Engine::new(s).run()
+    }
+
+    #[test]
+    fn baseline_holds_level_and_meets_deadlines() {
+        let r = short(Scenario::baseline(), 120);
+        let level = r.series("LTS.LiquidPct");
+        let last = level.last_value().unwrap();
+        assert!((last - 50.0).abs() < 5.0, "level {last}");
+        assert!(r.actuations > 200, "actuations {}", r.actuations);
+        // Objective 5: latency <= 1/3 of the 250 ms cycle.
+        assert!(
+            r.deadline_hit_ratio() > 0.99,
+            "hit ratio {}",
+            r.deadline_hit_ratio()
+        );
+        let p99 = r.e2e_quantile(0.99).unwrap();
+        assert!(
+            p99 <= SimDuration::from_micros(83_333),
+            "p99 latency {p99}"
+        );
+    }
+
+    #[test]
+    fn schedule_is_pipeline_ordered() {
+        let e = Engine::new(Scenario::baseline());
+        let s = |k: &str| e.slot(k);
+        assert!(s("gw_s1") < s("s1_bcast"));
+        assert!(s("s1_bcast") < s("a_out"));
+        assert!(s("a_out") < s("b_out"));
+        assert!(s("b_out") < s("act_fwd"));
+        assert!(s("act_fwd") < s("head_bcast"));
+        assert!(e.schedule().is_interference_free(&e.topology));
+    }
+
+    #[test]
+    fn fig6b_failover_sequence() {
+        let r = Engine::new(Scenario::fig6b()).run();
+        // Detection happens quickly after the 300 s injection...
+        let detected = r.event_time("confirmed deviation").expect("detected");
+        assert!(detected >= SimTime::from_secs(300));
+        assert!(
+            detected < SimTime::from_secs(310),
+            "detection was slow: {detected}"
+        );
+        // ...but the head commits at the next 300 s epoch: T2 = 600 s.
+        let promoted = r.event_time("Ctrl-B -> Active").expect("promoted");
+        assert!(
+            promoted >= SimTime::from_secs(600) && promoted < SimTime::from_secs(602),
+            "T2 was {promoted}"
+        );
+        // T3 = 800 s: Ctrl-A Dormant.
+        let dormant = r.event_time("Ctrl-A -> Dormant").expect("dormant");
+        assert!(
+            dormant >= SimTime::from_secs(800) && dormant < SimTime::from_secs(802),
+            "T3 was {dormant}"
+        );
+        // Level collapses under the fault, then recovers after failover.
+        let level = r.series("LTS.LiquidPct");
+        let during = level.window(SimTime::from_secs(550), SimTime::from_secs(600));
+        assert!(during.stats().unwrap().max < 20.0, "level must collapse");
+        let late = level.window(SimTime::from_secs(900), SimTime::from_secs(1000));
+        let recovering = late.stats().unwrap().mean;
+        assert!(
+            recovering > during.stats().unwrap().mean + 5.0,
+            "level must recover: {recovering}"
+        );
+    }
+
+    #[test]
+    fn fast_reconfig_recovers_sooner() {
+        let slow = Engine::new(Scenario::fig6b()).run();
+        let fast = Engine::new(Scenario::fig6b_fast()).run();
+        let t_slow = slow.event_time("Ctrl-B -> Active").unwrap();
+        let t_fast = fast.event_time("Ctrl-B -> Active").unwrap();
+        assert!(
+            t_fast < t_slow - SimDuration::from_secs(250),
+            "fast {t_fast} vs slow {t_slow}"
+        );
+        // Lower control cost with fast failover.
+        let cost = |r: &RunResult| {
+            r.control_cost(
+                "LTS.LiquidPct",
+                50.0,
+                SimTime::from_secs(300),
+                SimTime::from_secs(1000),
+            )
+        };
+        assert!(cost(&fast) < cost(&slow));
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        let a = Engine::new(Scenario::fig6b()).run();
+        let b = Engine::new(Scenario::fig6b()).run();
+        assert_eq!(a.trace.render(), b.trace.render());
+        assert_eq!(
+            a.series("LTS.LiquidPct").samples(),
+            b.series("LTS.LiquidPct").samples()
+        );
+    }
+
+    #[test]
+    fn crash_failover_via_heartbeat() {
+        let scenario = Scenario::builder()
+            .crash_primary_at(SimTime::from_secs(100))
+            .reconfig_epoch(SimDuration::ZERO)
+            .duration(SimDuration::from_secs(300))
+            .build();
+        let r = Engine::new(scenario).run();
+        assert!(r.event_time("heartbeat timeout").is_some());
+        let promoted = r.event_time("Ctrl-B -> Active").expect("failover");
+        assert!(
+            promoted < SimTime::from_secs(110),
+            "crash failover took until {promoted}"
+        );
+        // After failover the loop keeps running.
+        let level = r.series("LTS.LiquidPct");
+        let last = level.last_value().unwrap();
+        assert!((last - 50.0).abs() < 10.0, "level {last}");
+    }
+
+    #[test]
+    fn energy_accounting_is_plausible() {
+        let r = short(Scenario::baseline(), 300);
+        let e = |label: &str| r.node_energy.get(label).expect("metered");
+        for label in ["GW", "S1", "Ctrl-A", "Ctrl-B", "A1", "S2", "Head"] {
+            let ne = e(label);
+            assert!(
+                ne.avg_current_ma > 0.05 && ne.avg_current_ma < 5.0,
+                "{label}: {:.3} mA",
+                ne.avg_current_ma
+            );
+            assert!(ne.radio_duty < 0.10, "{label}: duty {:.3}", ne.radio_duty);
+            assert!(ne.lifetime_years > 0.05, "{label}: {:.2} y", ne.lifetime_years);
+        }
+        // The gateway owns two uplink slots and receives actuations: it
+        // must work the radio at least as hard as the idle spare sensor.
+        assert!(e("GW").radio_duty >= e("S2").radio_duty);
+    }
+
+    /// Design property the broadcast-PV architecture buys: because every
+    /// replica computes on the *same published sample*, measurement noise
+    /// cannot diverge primary and backup — so it can never cause a false
+    /// failover, no matter how large.
+    #[test]
+    fn sensor_noise_cannot_cause_false_failover() {
+        let scenario = Scenario::builder()
+            .sensor_noise(5.0) // same magnitude as the detection threshold
+            .reconfig_epoch(SimDuration::ZERO)
+            .duration(SimDuration::from_secs(300))
+            .build();
+        let r = Engine::new(scenario).run();
+        assert!(r.event_time("confirmed deviation").is_none());
+        assert!(r.event_time("Ctrl-B -> Active").is_none());
+        // The loop still regulates (the 2nd-order filter earns its keep).
+        let level = r.series("LTS.LiquidPct");
+        assert!((level.last_value().unwrap() - 50.0).abs() < 6.0);
+    }
+
+    #[test]
+    fn double_fault_engages_fail_safe() {
+        use evm_plant::ActuatorFault;
+        let scenario = Scenario::builder()
+            .fault_at(SimTime::from_secs(100), ActuatorFault::paper_fault())
+            .backup_fault_at(SimTime::from_secs(200), ActuatorFault::StuckOutput(90.0))
+            .reconfig_epoch(SimDuration::ZERO)
+            .duration(SimDuration::from_secs(400))
+            .build();
+        let r = Engine::new(scenario).run();
+        // First failover: B takes over.
+        let first = r.event_time("Ctrl-B -> Active").expect("first failover");
+        assert!(first < SimTime::from_secs(102));
+        // Second fault: A is already suspected, so no viable master.
+        let fs = r.event_time("fail-safe").expect("fail-safe engaged");
+        assert!(fs > SimTime::from_secs(200) && fs < SimTime::from_secs(205));
+        // The valve lands at the fail-safe position and stays there.
+        let valve = r.series("LTSLiqValve.OpeningPct");
+        let late = valve.value_at(SimTime::from_secs(300)).unwrap();
+        assert!(late < 1.0, "valve fail-closed, got {late}");
+        // And the faulty backup was demoted to Indicator mode.
+        let b_mode = r.series("Mode.Ctrl-B");
+        assert_eq!(b_mode.value_at(SimTime::from_secs(300)), Some(3.0));
+    }
+
+    #[test]
+    fn cold_backup_requires_migration() {
+        let scenario = Scenario::builder()
+            .fault_at(SimTime::from_secs(100), evm_plant::ActuatorFault::paper_fault())
+            .reconfig_epoch(SimDuration::ZERO)
+            .cold_backup()
+            .duration(SimDuration::from_secs(400))
+            .build();
+        let r = Engine::new(scenario).run();
+        let migrated = r.event_time("task activated on").expect("migration ran");
+        let promoted = r.event_time("Ctrl-B -> Active").expect("promotion");
+        assert!(migrated <= promoted);
+        assert!(r.event_time("image 384 B").is_some(), "plan logged");
+    }
+}

@@ -1,0 +1,15 @@
+//! The co-simulation runtime: plant ↔ gateway ↔ RT-Link ↔ EVM nodes.
+//!
+//! Reproduces the Fig. 5 hardware-in-the-loop arrangement: the gas plant
+//! (UniSim's stand-in) is bridged through a ModBus register map by the
+//! gateway node; sensor, controller and actuator nodes exchange frames in
+//! RT-Link TDMA slots; controller nodes run control capsules on the EVM
+//! interpreter under nano-RK-style admission; the Virtual Component's
+//! health-assessment, arbitration and mode-change machinery drives
+//! failover.
+
+mod engine;
+mod scenario;
+
+pub use engine::{nodes, Engine, Message};
+pub use scenario::{Scenario, ScenarioBuilder};

@@ -1,0 +1,259 @@
+//! Scenario configuration.
+
+use evm_mac::RtLinkConfig;
+use evm_netsim::{ChannelConfig, FaultPlan};
+use evm_plant::{ActuatorFault, ControlLoopSpec};
+use evm_sim::{SimDuration, SimTime};
+
+/// A fully specified co-simulation run.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// RNG seed — two runs with the same scenario are identical.
+    pub seed: u64,
+    /// Simulated duration.
+    pub duration: SimDuration,
+    /// Plant integration step.
+    pub plant_dt: SimDuration,
+    /// Tag-sampling period for the output series.
+    pub sample_every: SimDuration,
+    /// RT-Link cycle parameters.
+    pub rtlink: RtLinkConfig,
+    /// Radio channel parameters.
+    pub channel: ChannelConfig,
+    /// The focus control loop hosted on the EVM nodes.
+    pub focus_loop: ControlLoopSpec,
+    /// Deviation-detector threshold (output units).
+    pub detect_threshold: f64,
+    /// Consecutive anomalies to confirm a fault.
+    pub detect_consecutive: u32,
+    /// The head commits reconfigurations only at multiples of this epoch
+    /// (the paper's conservative supervisory cadence; zero = immediate).
+    pub reconfig_epoch: SimDuration,
+    /// Delay from demotion (Backup) to Dormant — the paper's T3 − T2.
+    pub demote_dormant_after: SimDuration,
+    /// `true`: the backup holds a warm replica (Fig. 6b). `false`: the
+    /// task must be migrated to the backup before promotion.
+    pub warm_backup: bool,
+    /// Heartbeat silence threshold in RT-Link cycles. Must be large enough
+    /// that a burst of frame losses is not mistaken for a crash: at loss
+    /// rate p the false-alarm rate per cycle is p^n.
+    pub heartbeat_cycles: u64,
+    /// Scripted controller fault on the primary.
+    pub fault: Option<(SimTime, ActuatorFault)>,
+    /// Scripted controller fault on the *backup* (double-fault runs).
+    pub backup_fault: Option<(SimTime, ActuatorFault)>,
+    /// Actuator value driven when no viable master remains (the
+    /// `LocalFailSafe` response; fail-closed for the LTS valve).
+    pub fail_safe_value: f64,
+    /// Scripted crash of the primary node (alternative failure mode).
+    pub primary_crash: Option<SimTime>,
+    /// Extra Bernoulli loss applied to every link (E14 sweeps this).
+    pub extra_loss: f64,
+    /// Gaussian measurement noise added at the gateway's sensor reads
+    /// (engineering units of the focus PV).
+    pub sensor_noise_std: f64,
+    /// Node/link fault script.
+    pub fault_plan: FaultPlan,
+    /// Plant tags to sample into the result series.
+    pub sampled_tags: Vec<String>,
+}
+
+impl Scenario {
+    /// Starts a builder from the baseline (no-fault) configuration.
+    #[must_use]
+    pub fn builder() -> ScenarioBuilder {
+        ScenarioBuilder {
+            inner: Scenario::baseline(),
+        }
+    }
+
+    /// The no-fault baseline: Fig. 5 topology, LTS loop on the EVM nodes,
+    /// paper timing parameters, 1000 s horizon.
+    #[must_use]
+    pub fn baseline() -> Self {
+        Scenario {
+            seed: 42,
+            duration: SimDuration::from_secs(1000),
+            plant_dt: SimDuration::from_millis(100),
+            sample_every: SimDuration::from_secs(1),
+            rtlink: RtLinkConfig::default(),
+            channel: ChannelConfig::default(),
+            focus_loop: evm_plant::lts_level_loop(),
+            detect_threshold: 5.0,
+            detect_consecutive: 3,
+            reconfig_epoch: SimDuration::from_secs(300),
+            demote_dormant_after: SimDuration::from_secs(200),
+            warm_backup: true,
+            heartbeat_cycles: 16,
+            fault: None,
+            backup_fault: None,
+            fail_safe_value: 0.0,
+            primary_crash: None,
+            extra_loss: 0.0,
+            sensor_noise_std: 0.0,
+            fault_plan: FaultPlan::none(),
+            sampled_tags: vec![
+                "LTS.LiquidPct".into(),
+                "SepLiq.MolarFlow".into(),
+                "LTSLiq.MolarFlow".into(),
+                "TowerFeed.MolarFlow".into(),
+                "LTSLiqValve.OpeningPct".into(),
+            ],
+        }
+    }
+
+    /// The paper's Fig. 6b scenario: Ctrl-A sticks at 75 % at T1 = 300 s;
+    /// the head commits the failover at the next 300 s epoch (T2 = 600 s);
+    /// Ctrl-A goes Dormant 200 s later (T3 = 800 s).
+    #[must_use]
+    pub fn fig6b() -> Self {
+        Scenario::builder()
+            .fault_at(SimTime::from_secs(300), ActuatorFault::paper_fault())
+            .build()
+    }
+
+    /// Fig. 6b with immediate reconfiguration — the E3 ablation showing
+    /// what detection-limited failover looks like.
+    #[must_use]
+    pub fn fig6b_fast() -> Self {
+        Scenario::builder()
+            .fault_at(SimTime::from_secs(300), ActuatorFault::paper_fault())
+            .reconfig_epoch(SimDuration::ZERO)
+            .build()
+    }
+}
+
+/// Fluent builder over [`Scenario::baseline`].
+#[derive(Debug, Clone)]
+pub struct ScenarioBuilder {
+    inner: Scenario,
+}
+
+impl ScenarioBuilder {
+    /// Sets the RNG seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.inner.seed = seed;
+        self
+    }
+
+    /// Sets the run duration.
+    #[must_use]
+    pub fn duration(mut self, d: SimDuration) -> Self {
+        self.inner.duration = d;
+        self
+    }
+
+    /// Injects a controller fault on the primary at `at`.
+    #[must_use]
+    pub fn fault_at(mut self, at: SimTime, fault: ActuatorFault) -> Self {
+        self.inner.fault = Some((at, fault));
+        self
+    }
+
+    /// Crashes the primary node at `at`.
+    #[must_use]
+    pub fn crash_primary_at(mut self, at: SimTime) -> Self {
+        self.inner.primary_crash = Some(at);
+        self
+    }
+
+    /// Injects a controller fault on the backup at `at` (double-fault
+    /// scenarios exercising the fail-safe path).
+    #[must_use]
+    pub fn backup_fault_at(mut self, at: SimTime, fault: ActuatorFault) -> Self {
+        self.inner.backup_fault = Some((at, fault));
+        self
+    }
+
+    /// Sets the head's reconfiguration epoch (zero = immediate).
+    #[must_use]
+    pub fn reconfig_epoch(mut self, epoch: SimDuration) -> Self {
+        self.inner.reconfig_epoch = epoch;
+        self
+    }
+
+    /// Chooses cold-standby mode: the backup must receive the task by
+    /// migration before activation.
+    #[must_use]
+    pub fn cold_backup(mut self) -> Self {
+        self.inner.warm_backup = false;
+        self
+    }
+
+    /// Adds uniform extra link loss (E14).
+    #[must_use]
+    pub fn extra_loss(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "loss out of [0,1]");
+        self.inner.extra_loss = p;
+        self
+    }
+
+    /// Crashes an arbitrary node at `at` (sensors, actuators, the head).
+    #[must_use]
+    pub fn crash_node_at(mut self, node: evm_netsim::NodeId, at: SimTime) -> Self {
+        self.inner
+            .fault_plan
+            .add_crash(evm_netsim::NodeCrash::permanent(node, at));
+        self
+    }
+
+    /// Adds Gaussian measurement noise at the sensor interface.
+    #[must_use]
+    pub fn sensor_noise(mut self, std: f64) -> Self {
+        assert!(std >= 0.0, "noise std must be non-negative");
+        self.inner.sensor_noise_std = std;
+        self
+    }
+
+    /// Sets the fault-detection parameters.
+    #[must_use]
+    pub fn detection(mut self, threshold: f64, consecutive: u32) -> Self {
+        self.inner.detect_threshold = threshold;
+        self.inner.detect_consecutive = consecutive;
+        self
+    }
+
+    /// Finishes the scenario.
+    #[must_use]
+    pub fn build(self) -> Scenario {
+        self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig6b_matches_paper_timings() {
+        let s = Scenario::fig6b();
+        let (at, fault) = s.fault.expect("fault scripted");
+        assert_eq!(at, SimTime::from_secs(300));
+        assert_eq!(fault, ActuatorFault::StuckOutput(75.0));
+        assert_eq!(s.reconfig_epoch, SimDuration::from_secs(300));
+        assert_eq!(s.demote_dormant_after, SimDuration::from_secs(200));
+        assert!(s.warm_backup);
+    }
+
+    #[test]
+    fn builder_flows() {
+        let s = Scenario::builder()
+            .seed(7)
+            .duration(SimDuration::from_secs(100))
+            .extra_loss(0.25)
+            .detection(2.0, 5)
+            .cold_backup()
+            .build();
+        assert_eq!(s.seed, 7);
+        assert_eq!(s.extra_loss, 0.25);
+        assert_eq!(s.detect_consecutive, 5);
+        assert!(!s.warm_backup);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss out of")]
+    fn bad_loss_rejected() {
+        let _ = Scenario::builder().extra_loss(1.5);
+    }
+}

@@ -1,0 +1,257 @@
+//! Runtime task management (§3.1.1 op 1).
+//!
+//! "The specific operations supported by the EVM are task **assignment**
+//! to a particular node, task **migration** from one node to another, task
+//! **partition** from one node to another and itself and finally task
+//! **replication** where an instance of a task is also invoked on another
+//! node (using the same state information, stack and register settings)."
+//!
+//! Every operation is *atomic under the safety gate*: if the target
+//! kernel's admission (reserves + schedulability) refuses, the source is
+//! left exactly as it was — there is no window where the task exists
+//! nowhere or consumes capacity twice without both gates having passed.
+
+use evm_netsim::NodeId;
+use evm_rtos::{AdmitError, Kernel, TaskId, TaskSpec, Tcb};
+use evm_sim::SimDuration;
+
+use crate::error::EvmError;
+
+fn refused(node: NodeId, e: AdmitError) -> EvmError {
+    EvmError::AdmissionRefused {
+        node,
+        reason: e.to_string(),
+    }
+}
+
+/// Assigns a fresh task to `kernel` (the basic allocation operation).
+///
+/// # Errors
+///
+/// [`EvmError::AdmissionRefused`] if the kernel's gate refuses.
+pub fn assign(
+    kernel: &mut Kernel,
+    node: NodeId,
+    spec: TaskSpec,
+    image: evm_rtos::TaskImage,
+) -> Result<TaskId, EvmError> {
+    kernel.admit(spec, image, None).map_err(|e| refused(node, e))
+}
+
+/// Migrates task `id` from `src` to `dst`, carrying its full state
+/// (registers, stack, data, metadata). On failure the task is restored on
+/// `src` unchanged.
+///
+/// # Errors
+///
+/// [`EvmError::AdmissionRefused`] with the refusing side's reason.
+///
+/// # Panics
+///
+/// Panics only if restoring the task to its source fails — which cannot
+/// happen, since its capacity was just freed there.
+pub fn migrate(
+    src: &mut Kernel,
+    src_node: NodeId,
+    id: TaskId,
+    dst: &mut Kernel,
+    dst_node: NodeId,
+) -> Result<TaskId, EvmError> {
+    let tcb: Tcb = src.remove(id).map_err(|e| refused(src_node, e))?;
+    match dst.admit(tcb.spec.clone(), tcb.image.clone(), None) {
+        Ok(new_id) => Ok(new_id),
+        Err(e) => {
+            // Roll back: the capacity we just freed readmits by
+            // construction.
+            src.admit(tcb.spec, tcb.image, None)
+                .expect("rollback to freed capacity cannot fail");
+            Err(refused(dst_node, e))
+        }
+    }
+}
+
+/// Replicates task `id` onto `dst` "using the same state information,
+/// stack and register settings" — the source keeps running; the replica
+/// starts with an identical image (the warm-backup pattern of Fig. 6).
+///
+/// # Errors
+///
+/// [`EvmError::AdmissionRefused`] if either kernel objects.
+pub fn replicate(
+    src: &Kernel,
+    src_node: NodeId,
+    id: TaskId,
+    dst: &mut Kernel,
+    dst_node: NodeId,
+) -> Result<TaskId, EvmError> {
+    let tcb = src
+        .tcb(id)
+        .ok_or_else(|| refused(src_node, AdmitError::UnknownTask(id)))?;
+    dst.admit(tcb.spec.clone(), tcb.image.clone(), None)
+        .map_err(|e| refused(dst_node, e))
+}
+
+/// Partitions task `id` "from one node to another and itself": the
+/// execution budget is split so a `fraction` of the work stays on `src`
+/// and the rest moves to `dst` (e.g. sensor fusion staying local while
+/// the control law moves). Both halves pass their gates or nothing
+/// changes.
+///
+/// # Errors
+///
+/// [`EvmError::AdmissionRefused`] if any gate refuses; the original task
+/// is intact on error.
+///
+/// # Panics
+///
+/// Panics if `fraction` is outside `(0, 1)`, or on a rollback failure
+/// (impossible: capacity was just freed).
+pub fn partition(
+    src: &mut Kernel,
+    src_node: NodeId,
+    id: TaskId,
+    dst: &mut Kernel,
+    dst_node: NodeId,
+    fraction: f64,
+) -> Result<(TaskId, TaskId), EvmError> {
+    assert!(
+        fraction > 0.0 && fraction < 1.0,
+        "partition fraction must be in (0,1)"
+    );
+    let tcb: Tcb = src.remove(id).map_err(|e| refused(src_node, e))?;
+    let us = tcb.spec.wcet.as_micros() as f64;
+    let local_wcet = SimDuration::from_micros(((us * fraction).round() as u64).max(1));
+    let remote_wcet = SimDuration::from_micros(((us * (1.0 - fraction)).round() as u64).max(1));
+
+    let mut local_spec = tcb.spec.clone();
+    local_spec.wcet = local_wcet;
+    local_spec.priority = None;
+    let mut remote_spec = tcb.spec.clone();
+    remote_spec.name = format!("{}~part", tcb.spec.name);
+    remote_spec.wcet = remote_wcet;
+    remote_spec.priority = None;
+
+    let local_id = match src.admit(local_spec, tcb.image.clone(), None) {
+        Ok(i) => i,
+        Err(e) => {
+            src.admit(tcb.spec, tcb.image, None)
+                .expect("rollback to freed capacity cannot fail");
+            return Err(refused(src_node, e));
+        }
+    };
+    match dst.admit(remote_spec, tcb.image.clone(), None) {
+        Ok(remote_id) => Ok((local_id, remote_id)),
+        Err(e) => {
+            // Undo the local half, restore the original.
+            src.remove(local_id).expect("local half exists");
+            src.admit(tcb.spec, tcb.image, None)
+                .expect("rollback to freed capacity cannot fail");
+            Err(refused(dst_node, e))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evm_rtos::TaskImage;
+
+    const N1: NodeId = NodeId(1);
+    const N2: NodeId = NodeId(2);
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    fn spec(name: &str, wcet: u64, period: u64) -> TaskSpec {
+        TaskSpec::new(name, ms(wcet), ms(period))
+    }
+
+    fn img() -> TaskImage {
+        TaskImage::typical_control_task()
+    }
+
+    #[test]
+    fn migrate_moves_task_and_state() {
+        let mut a = Kernel::new("a");
+        let mut b = Kernel::new("b");
+        let id = assign(&mut a, N1, spec("pid", 2, 10), img()).unwrap();
+        let new_id = migrate(&mut a, N1, id, &mut b, N2).unwrap();
+        assert!(a.tcb(id).is_none());
+        let moved = b.tcb(new_id).unwrap();
+        assert_eq!(moved.spec.name, "pid");
+        assert_eq!(moved.image, img(), "state travels with the task");
+    }
+
+    #[test]
+    fn migrate_rolls_back_when_target_refuses() {
+        let mut a = Kernel::new("a");
+        let mut b = Kernel::new("b");
+        // Fill b so the migration cannot fit.
+        assign(&mut b, N2, spec("hog", 9, 10), img()).unwrap();
+        let id = assign(&mut a, N1, spec("pid", 5, 10), img()).unwrap();
+        let err = migrate(&mut a, N1, id, &mut b, N2).unwrap_err();
+        assert!(matches!(err, EvmError::AdmissionRefused { node, .. } if node == N2));
+        // Source restored (new id, same task).
+        assert!(a.tcb_by_name("pid").is_some());
+        assert_eq!(b.tcbs().len(), 1);
+    }
+
+    #[test]
+    fn replicate_keeps_source_running() {
+        let mut a = Kernel::new("a");
+        let mut b = Kernel::new("b");
+        let id = assign(&mut a, N1, spec("pid", 2, 10), img()).unwrap();
+        let rep = replicate(&a, N1, id, &mut b, N2).unwrap();
+        assert!(a.tcb(id).is_some(), "source keeps its instance");
+        assert_eq!(b.tcb(rep).unwrap().image, a.tcb(id).unwrap().image);
+    }
+
+    #[test]
+    fn replicate_unknown_task_fails_cleanly() {
+        let a = Kernel::new("a");
+        let mut b = Kernel::new("b");
+        let err = replicate(&a, N1, TaskId(99), &mut b, N2).unwrap_err();
+        assert!(matches!(err, EvmError::AdmissionRefused { node, .. } if node == N1));
+        assert!(b.tcbs().is_empty());
+    }
+
+    #[test]
+    fn partition_splits_utilization() {
+        let mut a = Kernel::new("a");
+        let mut b = Kernel::new("b");
+        let id = assign(&mut a, N1, spec("fusion+control", 6, 20), img()).unwrap();
+        let before = a.utilization();
+        let (local, remote) = partition(&mut a, N1, id, &mut b, N2, 0.5).unwrap();
+        assert!((a.utilization() - before / 2.0).abs() < 1e-9);
+        assert!((b.utilization() - before / 2.0).abs() < 1e-9);
+        assert_eq!(a.tcb(local).unwrap().spec.wcet, ms(3));
+        assert_eq!(b.tcb(remote).unwrap().spec.wcet, ms(3));
+        assert!(b.tcb(remote).unwrap().spec.name.contains("~part"));
+    }
+
+    #[test]
+    fn partition_rolls_back_atomically() {
+        let mut a = Kernel::new("a");
+        let mut b = Kernel::new("b");
+        assign(&mut b, N2, spec("hog", 9, 10), img()).unwrap();
+        let id = assign(&mut a, N1, spec("t", 6, 20), img()).unwrap();
+        let before_a = a.active_set();
+        let err = partition(&mut a, N1, id, &mut b, N2, 0.5).unwrap_err();
+        assert!(matches!(err, EvmError::AdmissionRefused { node, .. } if node == N2));
+        // a holds exactly the original task again (id may differ).
+        assert_eq!(a.tcbs().len(), 1);
+        assert_eq!(a.active_set().total_utilization(), before_a.total_utilization());
+        assert!(a.tcb_by_name("t").is_some());
+        assert_eq!(b.tcbs().len(), 1, "no orphan half on b");
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction must be in")]
+    fn bad_fraction_panics() {
+        let mut a = Kernel::new("a");
+        let mut b = Kernel::new("b");
+        let id = assign(&mut a, N1, spec("t", 2, 10), img()).unwrap();
+        let _ = partition(&mut a, N1, id, &mut b, N2, 1.5);
+    }
+}

@@ -1,0 +1,191 @@
+//! Object-transfer relationship types (§3.1.2).
+//!
+//! "Five elementary object transfer types are included in the EVM design:
+//! disjoint, bi-directional transfers, temporal-conditional transfers,
+//! causal-conditional transfers and health assessment." A Virtual
+//! Component is *defined* by these relationships (§1.1): they say which
+//! node may talk to which, when, and what the failure semantics are.
+
+use evm_netsim::NodeId;
+use evm_sim::{SimDuration, SimTime};
+
+/// Response policy of a health-assessment relationship.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultResponse {
+    /// Raise an operator alert only.
+    TriggerAlert,
+    /// Promote the designated backup (the Fig. 6b behavior).
+    TriggerBackup,
+    /// Halt the watched node's task.
+    Halt,
+    /// Drive the local actuator to its fail-safe position.
+    LocalFailSafe {
+        /// The fail-safe actuator value.
+        safe_value: f64,
+    },
+}
+
+/// One relationship between members of a Virtual Component.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ObjectTransfer {
+    /// No shared state: the nodes may operate concurrently in time and
+    /// space.
+    Disjoint {
+        /// First node.
+        a: NodeId,
+        /// Second node.
+        b: NodeId,
+    },
+    /// One-way transfer (producer → consumer, publish → subscribe).
+    Directional {
+        /// Producer.
+        from: NodeId,
+        /// Consumer.
+        to: NodeId,
+    },
+    /// Two-way transfer (master ↔ slave).
+    Bidirectional {
+        /// One endpoint.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+    },
+    /// Transfer valid only within a time window after `epoch_start`.
+    TemporalConditional {
+        /// Producer.
+        from: NodeId,
+        /// Consumer.
+        to: NodeId,
+        /// Window start.
+        window_start: SimTime,
+        /// Window length.
+        window: SimDuration,
+    },
+    /// Transfer enabled only after another transfer was observed (the
+    /// precedence restriction between inter-connected controllers).
+    CausalConditional {
+        /// Producer.
+        from: NodeId,
+        /// Consumer.
+        to: NodeId,
+        /// Index of the prerequisite transfer in the component's list.
+        after: usize,
+    },
+    /// Monitoring relationship: `watcher` passively observes `watched`
+    /// and applies `response` on confirmed faults.
+    HealthAssessment {
+        /// Observing node (a backup, or the head).
+        watcher: NodeId,
+        /// Observed node (the primary).
+        watched: NodeId,
+        /// What to do on a confirmed fault.
+        response: FaultResponse,
+    },
+}
+
+impl ObjectTransfer {
+    /// Whether a transfer from `from` to `to` is permitted at time `now`,
+    /// given `completed` (whether this relationship's prerequisite — if
+    /// any — has completed).
+    #[must_use]
+    pub fn permits(&self, from: NodeId, to: NodeId, now: SimTime, prerequisite_done: bool) -> bool {
+        match *self {
+            ObjectTransfer::Disjoint { .. } => false,
+            ObjectTransfer::Directional { from: f, to: t } => f == from && t == to,
+            ObjectTransfer::Bidirectional { a, b } => {
+                (a == from && b == to) || (b == from && a == to)
+            }
+            ObjectTransfer::TemporalConditional {
+                from: f,
+                to: t,
+                window_start,
+                window,
+            } => f == from && t == to && now >= window_start && now < window_start + window,
+            ObjectTransfer::CausalConditional { from: f, to: t, .. } => {
+                f == from && t == to && prerequisite_done
+            }
+            ObjectTransfer::HealthAssessment { watcher, watched, .. } => {
+                // Health data flows from the watched node to the watcher.
+                watched == from && watcher == to
+            }
+        }
+    }
+
+    /// The nodes this relationship involves.
+    #[must_use]
+    pub fn endpoints(&self) -> (NodeId, NodeId) {
+        match *self {
+            ObjectTransfer::Disjoint { a, b } | ObjectTransfer::Bidirectional { a, b } => (a, b),
+            ObjectTransfer::Directional { from, to }
+            | ObjectTransfer::TemporalConditional { from, to, .. }
+            | ObjectTransfer::CausalConditional { from, to, .. } => (from, to),
+            ObjectTransfer::HealthAssessment { watcher, watched, .. } => (watched, watcher),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: NodeId = NodeId(1);
+    const B: NodeId = NodeId(2);
+    const T0: SimTime = SimTime::ZERO;
+
+    #[test]
+    fn disjoint_never_permits() {
+        let t = ObjectTransfer::Disjoint { a: A, b: B };
+        assert!(!t.permits(A, B, T0, true));
+        assert!(!t.permits(B, A, T0, true));
+    }
+
+    #[test]
+    fn directional_is_one_way() {
+        let t = ObjectTransfer::Directional { from: A, to: B };
+        assert!(t.permits(A, B, T0, false));
+        assert!(!t.permits(B, A, T0, false));
+    }
+
+    #[test]
+    fn bidirectional_is_two_way() {
+        let t = ObjectTransfer::Bidirectional { a: A, b: B };
+        assert!(t.permits(A, B, T0, false));
+        assert!(t.permits(B, A, T0, false));
+    }
+
+    #[test]
+    fn temporal_window_enforced() {
+        let t = ObjectTransfer::TemporalConditional {
+            from: A,
+            to: B,
+            window_start: SimTime::from_secs(10),
+            window: SimDuration::from_secs(5),
+        };
+        assert!(!t.permits(A, B, SimTime::from_secs(9), true));
+        assert!(t.permits(A, B, SimTime::from_secs(12), true));
+        assert!(!t.permits(A, B, SimTime::from_secs(15), true));
+    }
+
+    #[test]
+    fn causal_requires_prerequisite() {
+        let t = ObjectTransfer::CausalConditional {
+            from: A,
+            to: B,
+            after: 0,
+        };
+        assert!(!t.permits(A, B, T0, false));
+        assert!(t.permits(A, B, T0, true));
+    }
+
+    #[test]
+    fn health_flows_watched_to_watcher() {
+        let t = ObjectTransfer::HealthAssessment {
+            watcher: B,
+            watched: A,
+            response: FaultResponse::TriggerBackup,
+        };
+        assert!(t.permits(A, B, T0, false));
+        assert!(!t.permits(B, A, T0, false));
+        assert_eq!(t.endpoints(), (A, B));
+    }
+}

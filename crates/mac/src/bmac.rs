@@ -1,0 +1,144 @@
+//! B-MAC: low-power listening with preamble sampling (Polastre et al.,
+//! SenSys 2004).
+//!
+//! Receivers wake every *check interval* and sample the channel for a short
+//! time; senders prepend a preamble **at least one check interval long** so
+//! that any receiver is guaranteed to sample it. Idle cost is low (brief
+//! periodic samples) but every transmission pays the full-length preamble —
+//! the structural weakness RT-Link's synchronized slots avoid.
+
+use evm_sim::SimDuration;
+
+use crate::lifetime::{power, DutyCycledMac, Workload};
+
+/// B-MAC model parameters.
+#[derive(Debug, Clone)]
+pub struct BMac {
+    /// Radio-on time of one channel sample.
+    pub sample_time: SimDuration,
+    /// CSMA vulnerable window factor for the collision estimate.
+    pub csma_factor: f64,
+}
+
+impl Default for BMac {
+    fn default() -> Self {
+        BMac {
+            sample_time: SimDuration::from_micros(2_500),
+            csma_factor: 0.5,
+        }
+    }
+}
+
+impl BMac {
+    /// The check interval implied by a sampling duty cycle:
+    /// `t_ci = t_sample / duty`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duty` is outside `(0, 1]`.
+    #[must_use]
+    pub fn check_interval(&self, duty: f64) -> SimDuration {
+        assert!(duty > 0.0 && duty <= 1.0, "duty out of (0,1]: {duty}");
+        SimDuration::from_secs_f64(self.sample_time.as_secs_f64() / duty)
+    }
+}
+
+impl DutyCycledMac for BMac {
+    fn name(&self) -> &'static str {
+        "b-mac"
+    }
+
+    fn average_current_ma(&self, duty: f64, wl: &Workload) -> f64 {
+        let p = power();
+        let t_ci = self.check_interval(duty).as_secs_f64();
+        let t_data = wl.data_airtime().as_secs_f64();
+
+        // Periodic channel sampling.
+        let sampling = p.rx_ma * duty;
+        // Each TX pays a full check-interval preamble plus the data frame.
+        let tx = wl.tx_per_sec * (t_ci + t_data) * p.tx_ma;
+        // Each RX wakes mid-preamble on average: half the preamble + data.
+        let rx = wl.rx_per_sec * (t_ci / 2.0 + t_data) * p.rx_ma;
+        let active_frac =
+            duty + wl.tx_per_sec * (t_ci + t_data) + wl.rx_per_sec * (t_ci / 2.0 + t_data);
+        let sleep = p.sleep_ma * (1.0 - active_frac).max(0.0);
+        sampling + tx + rx + sleep
+    }
+
+    fn delivery_latency(&self, duty: f64, wl: &Workload) -> SimDuration {
+        // The sender transmits immediately; the receiver is guaranteed to
+        // catch the preamble within one check interval.
+        self.check_interval(duty) + wl.data_airtime()
+    }
+
+    fn delivery_ratio(&self, duty: f64, wl: &Workload) -> f64 {
+        // Unslotted CSMA: collisions when two senders' preambles overlap.
+        let t_vuln =
+            self.check_interval(duty).as_secs_f64() + wl.data_airtime().as_secs_f64();
+        let lambda = wl.contenders as f64 * wl.tx_per_sec;
+        (-self.csma_factor * 2.0 * lambda * t_vuln).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_interval_from_duty() {
+        let b = BMac::default();
+        assert_eq!(b.check_interval(0.05).as_micros(), 50_000);
+        assert_eq!(b.check_interval(1.0).as_micros(), 2_500);
+    }
+
+    #[test]
+    fn idle_cost_scales_with_duty() {
+        let b = BMac::default();
+        let idle = Workload {
+            tx_per_sec: 0.0,
+            rx_per_sec: 0.0,
+            payload_bytes: 0,
+            contenders: 0,
+        };
+        let low = b.average_current_ma(0.01, &idle);
+        let high = b.average_current_ma(0.5, &idle);
+        assert!(low < high);
+        // Idle current at duty d is ~ d * I_rx.
+        assert!((high - 19.7 * 0.5).abs() < 0.05, "got {high}");
+    }
+
+    #[test]
+    fn tx_cost_explodes_at_low_duty() {
+        // The preamble-length penalty: at a fixed rate, lower duty means a
+        // longer preamble per packet, so *lower* duty can cost more energy.
+        let b = BMac::default();
+        let wl = Workload::periodic(30.0, 32, 4);
+        let at_low = b.average_current_ma(0.005, &wl);
+        let at_mid = b.average_current_ma(0.05, &wl);
+        assert!(at_low > at_mid, "low {at_low} mid {at_mid}");
+    }
+
+    #[test]
+    fn latency_tracks_check_interval() {
+        let b = BMac::default();
+        let wl = Workload::periodic(6.0, 32, 4);
+        let lat = b.delivery_latency(0.05, &wl);
+        assert!(lat >= SimDuration::from_millis(50));
+        assert!(b.delivery_latency(0.5, &wl) < lat);
+    }
+
+    #[test]
+    fn delivery_ratio_degrades_with_contention() {
+        let b = BMac::default();
+        let light = Workload::periodic(1.0, 32, 2);
+        let heavy = Workload::periodic(120.0, 32, 20);
+        assert!(b.delivery_ratio(0.05, &light) > b.delivery_ratio(0.05, &heavy));
+        assert!(b.delivery_ratio(0.05, &light) <= 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duty out of")]
+    fn zero_duty_panics() {
+        let _ = BMac::default().check_interval(0.0);
+    }
+}

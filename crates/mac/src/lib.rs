@@ -1,0 +1,32 @@
+//! Medium-access-control layer of the EVM reproduction.
+//!
+//! The paper builds on **RT-Link** (Rowe et al., SECON 2006): a TDMA
+//! protocol with out-of-band AM-carrier time synchronization that achieves
+//! sub-150 µs slot jitter and collision-free scheduled communication, and
+//! compares it (in §2.1) against the asynchronous **B-MAC** and the loosely
+//! synchronized **S-MAC**. This crate models all three:
+//!
+//! * [`timesync`] — the AM-carrier synchronization error model,
+//! * [`rtlink`] — TDMA cycles, slot schedules and 2-hop interference-free
+//!   slot assignment,
+//! * [`bmac`] — low-power-listening CSMA with preamble sampling,
+//! * [`smac`] — fixed duty-cycle listen/sleep frames,
+//! * [`lifetime`] — the unified energy/latency/lifetime comparison used by
+//!   experiments E5 and E6.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bmac;
+pub mod lifetime;
+pub mod metrics;
+pub mod rtlink;
+pub mod smac;
+pub mod timesync;
+
+pub use bmac::BMac;
+pub use lifetime::{DutyCycledMac, Workload};
+pub use metrics::MacMetrics;
+pub use rtlink::{RtLink, RtLinkConfig, SlotAssignment, SlotRole, SlotSchedule};
+pub use smac::SMac;
+pub use timesync::{SyncConfig, TimeSync};

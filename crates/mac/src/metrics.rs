@@ -1,0 +1,49 @@
+//! Common MAC performance metrics.
+
+use std::fmt;
+
+use evm_sim::SimDuration;
+
+/// Performance summary of a MAC protocol under a given workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MacMetrics {
+    /// Protocol name.
+    pub protocol: &'static str,
+    /// Average current draw, mA.
+    pub avg_current_ma: f64,
+    /// Projected lifetime on 2×AA cells, years.
+    pub lifetime_years: f64,
+    /// Expected one-hop delivery latency.
+    pub latency: SimDuration,
+    /// Expected delivery ratio in `[0, 1]` (collisions/contention only;
+    /// channel loss is modeled separately).
+    pub delivery_ratio: f64,
+}
+
+impl fmt::Display for MacMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<8} I={:.4} mA life={:.2} y lat={} dr={:.3}",
+            self.protocol, self.avg_current_ma, self.lifetime_years, self.latency, self.delivery_ratio
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let m = MacMetrics {
+            protocol: "rt-link",
+            avg_current_ma: 0.5,
+            lifetime_years: 1.8,
+            latency: SimDuration::from_millis(125),
+            delivery_ratio: 1.0,
+        };
+        let s = m.to_string();
+        assert!(s.contains("rt-link") && s.contains("1.80"));
+    }
+}

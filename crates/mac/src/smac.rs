@@ -1,0 +1,138 @@
+//! S-MAC: loosely synchronized duty-cycled listen/sleep frames (Ye,
+//! Heidemann & Estrin, INFOCOM 2002).
+//!
+//! Nodes agree on a common frame structure: a fixed *listen window* (SYNC +
+//! RTS/CTS) followed by a sleep period whose length sets the duty cycle.
+//! The listen window is paid **every frame regardless of traffic** — the
+//! idle-listening cost that RT-Link's scheduled slots eliminate.
+
+use evm_sim::SimDuration;
+
+use crate::lifetime::{power, DutyCycledMac, Workload};
+
+/// S-MAC model parameters.
+#[derive(Debug, Clone)]
+pub struct SMac {
+    /// Fixed listen window per frame (SYNC + contention window).
+    pub listen_window: SimDuration,
+    /// Airtime of a periodic SYNC packet.
+    pub sync_packet: SimDuration,
+    /// SYNC packets are sent once every this many frames.
+    pub sync_period_frames: u64,
+    /// CSMA vulnerable window factor for the collision estimate.
+    pub csma_factor: f64,
+}
+
+impl Default for SMac {
+    fn default() -> Self {
+        SMac {
+            listen_window: SimDuration::from_millis(115),
+            sync_packet: SimDuration::from_micros(1_500),
+            sync_period_frames: 10,
+            csma_factor: 0.5,
+        }
+    }
+}
+
+impl SMac {
+    /// Frame length implied by a duty cycle: `frame = listen / duty`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duty` is outside `(0, 1]`.
+    #[must_use]
+    pub fn frame_length(&self, duty: f64) -> SimDuration {
+        assert!(duty > 0.0 && duty <= 1.0, "duty out of (0,1]: {duty}");
+        SimDuration::from_secs_f64(self.listen_window.as_secs_f64() / duty)
+    }
+}
+
+impl DutyCycledMac for SMac {
+    fn name(&self) -> &'static str {
+        "s-mac"
+    }
+
+    fn average_current_ma(&self, duty: f64, wl: &Workload) -> f64 {
+        let p = power();
+        let frame = self.frame_length(duty).as_secs_f64();
+        let t_data = wl.data_airtime().as_secs_f64();
+
+        // Idle listening: the whole listen window, every frame.
+        let idle_listen = p.rx_ma * duty;
+        // Periodic SYNC transmissions.
+        let sync_tx =
+            p.tx_ma * self.sync_packet.as_secs_f64() / (frame * self.sync_period_frames as f64);
+        // Data exchange (RTS/CTS + data approximated by 1.5x data airtime).
+        let tx = wl.tx_per_sec * 1.5 * t_data * p.tx_ma;
+        let rx = wl.rx_per_sec * 1.5 * t_data * p.rx_ma;
+        let active_frac = duty + wl.tx_per_sec * 1.5 * t_data + wl.rx_per_sec * 1.5 * t_data;
+        let sleep = p.sleep_ma * (1.0 - active_frac).max(0.0);
+        idle_listen + sync_tx + tx + rx + sleep
+    }
+
+    fn delivery_latency(&self, duty: f64, wl: &Workload) -> SimDuration {
+        // A packet arriving mid-sleep waits half a frame on average for the
+        // next listen window.
+        self.frame_length(duty) / 2 + wl.data_airtime()
+    }
+
+    fn delivery_ratio(&self, duty: f64, wl: &Workload) -> f64 {
+        // Contention is compressed into the listen window: effective offered
+        // load is scaled by 1/duty.
+        let t_vuln = wl.data_airtime().as_secs_f64() / duty;
+        let lambda = wl.contenders as f64 * wl.tx_per_sec;
+        (-self.csma_factor * 2.0 * lambda * t_vuln).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_length_from_duty() {
+        let s = SMac::default();
+        assert_eq!(s.frame_length(0.05).as_millis(), 2_300);
+        assert_eq!(s.frame_length(1.0), s.listen_window);
+    }
+
+    #[test]
+    fn idle_listening_dominates_at_any_duty() {
+        let s = SMac::default();
+        let idle = Workload {
+            tx_per_sec: 0.0,
+            rx_per_sec: 0.0,
+            payload_bytes: 0,
+            contenders: 0,
+        };
+        for duty in [0.01, 0.05, 0.1, 0.5] {
+            let i = s.average_current_ma(duty, &idle);
+            assert!(
+                i >= 19.7 * duty,
+                "idle listening must cost at least duty x rx: {i} at {duty}"
+            );
+        }
+    }
+
+    #[test]
+    fn latency_is_half_frame_plus_data() {
+        let s = SMac::default();
+        let wl = Workload::periodic(6.0, 32, 4);
+        let lat = s.delivery_latency(0.05, &wl);
+        assert!(lat >= SimDuration::from_millis(1_150));
+    }
+
+    #[test]
+    fn collision_worsens_at_lower_duty() {
+        // Same offered load squeezed into a shorter listen fraction.
+        let s = SMac::default();
+        let wl = Workload::periodic(30.0, 32, 8);
+        assert!(s.delivery_ratio(0.02, &wl) < s.delivery_ratio(0.5, &wl));
+    }
+
+    #[test]
+    #[should_panic(expected = "duty out of")]
+    fn bad_duty_panics() {
+        let _ = SMac::default().frame_length(1.5);
+    }
+}

@@ -1,0 +1,155 @@
+//! Battery model and lifetime projection.
+//!
+//! FireFly nodes run on 2×AA cells; the paper's headline platform claim is a
+//! 1.8-year lifetime at a 5 % duty cycle under RT-Link. [`Battery`] converts
+//! the charge accounted by [`crate::EnergyMeter`] into remaining capacity
+//! and projected lifetime.
+
+use std::fmt;
+
+use evm_sim::SimDuration;
+
+/// A primary-cell battery with usable capacity in mAh.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Battery {
+    capacity_mah: f64,
+    consumed_mah: f64,
+}
+
+impl Battery {
+    /// Creates a battery with the given usable capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_mah` is not strictly positive.
+    #[must_use]
+    pub fn new(capacity_mah: f64) -> Self {
+        assert!(capacity_mah > 0.0, "capacity must be positive");
+        Battery {
+            capacity_mah,
+            consumed_mah: 0.0,
+        }
+    }
+
+    /// Two alkaline AA cells in series: ~2500 mAh usable.
+    #[must_use]
+    pub fn two_aa() -> Self {
+        Battery::new(2500.0)
+    }
+
+    /// Usable capacity, mAh.
+    #[must_use]
+    pub fn capacity_mah(&self) -> f64 {
+        self.capacity_mah
+    }
+
+    /// Charge consumed so far, mAh.
+    #[must_use]
+    pub fn consumed_mah(&self) -> f64 {
+        self.consumed_mah
+    }
+
+    /// Remaining charge, mAh (never negative).
+    #[must_use]
+    pub fn remaining_mah(&self) -> f64 {
+        (self.capacity_mah - self.consumed_mah).max(0.0)
+    }
+
+    /// Remaining fraction in `[0, 1]`.
+    #[must_use]
+    pub fn remaining_fraction(&self) -> f64 {
+        self.remaining_mah() / self.capacity_mah
+    }
+
+    /// Draws `mah` of charge; returns `false` if the battery is now empty.
+    pub fn draw_mah(&mut self, mah: f64) -> bool {
+        assert!(mah >= 0.0, "cannot draw negative charge");
+        self.consumed_mah += mah;
+        !self.is_empty()
+    }
+
+    /// `true` once all usable charge is gone.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.consumed_mah >= self.capacity_mah
+    }
+
+    /// Projected total lifetime at a constant average current, as a
+    /// simulation duration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `avg_current_ma` is not strictly positive.
+    #[must_use]
+    pub fn lifetime_at(&self, avg_current_ma: f64) -> SimDuration {
+        assert!(avg_current_ma > 0.0, "current must be positive");
+        let hours = self.capacity_mah / avg_current_ma;
+        SimDuration::from_secs_f64(hours * 3600.0)
+    }
+
+    /// Projected lifetime in years at a constant average current.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `avg_current_ma` is not strictly positive.
+    #[must_use]
+    pub fn lifetime_years_at(&self, avg_current_ma: f64) -> f64 {
+        self.lifetime_at(avg_current_ma).as_secs_f64() / (365.25 * 24.0 * 3600.0)
+    }
+}
+
+impl Default for Battery {
+    fn default() -> Self {
+        Battery::two_aa()
+    }
+}
+
+impl fmt::Display for Battery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "battery {:.0}/{:.0} mAh ({:.1}%)",
+            self.remaining_mah(),
+            self.capacity_mah,
+            self.remaining_fraction() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drain_tracks_remaining() {
+        let mut b = Battery::new(100.0);
+        assert!(b.draw_mah(40.0));
+        assert_eq!(b.remaining_mah(), 60.0);
+        assert!((b.remaining_fraction() - 0.6).abs() < 1e-12);
+        assert!(!b.draw_mah(60.0));
+        assert!(b.is_empty());
+        assert_eq!(b.remaining_mah(), 0.0);
+    }
+
+    #[test]
+    fn lifetime_projection() {
+        let b = Battery::two_aa();
+        // 2500 mAh at 1 mA = 2500 h.
+        let lt = b.lifetime_at(1.0);
+        assert_eq!(lt.as_secs_f64() as u64, 2500 * 3600);
+        // ~0.285 years.
+        assert!((b.lifetime_years_at(1.0) - 2500.0 / (365.25 * 24.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_mentions_percentage() {
+        let b = Battery::new(200.0);
+        assert!(b.to_string().contains("100.0%"));
+    }
+
+    #[test]
+    #[should_panic(expected = "current must be positive")]
+    fn zero_current_lifetime_panics() {
+        let _ = Battery::two_aa().lifetime_at(0.0);
+    }
+}

@@ -1,0 +1,276 @@
+//! Radio channel: path loss, SNR → packet error rate, and per-link burst
+//! loss.
+//!
+//! The propagation model is the standard log-distance model with optional
+//! log-normal shadowing; bit errors follow the IEEE 802.15.4 O-QPSK DSSS
+//! BER curve (the same closed form used by ns-2 and Castalia), and packet
+//! error rate follows from frame length. On top of that, each directed link
+//! runs a [`GilbertElliott`] process so that losses exhibit realistic
+//! bursts.
+
+use std::collections::HashMap;
+
+use evm_sim::SimRng;
+
+use crate::frame::Frame;
+use crate::gilbert::GilbertElliott;
+use crate::node::NodeId;
+
+/// Channel and radio parameters.
+#[derive(Debug, Clone)]
+pub struct ChannelConfig {
+    /// Transmit power in dBm (CC2420 maximum is 0 dBm).
+    pub tx_power_dbm: f64,
+    /// Path loss at the reference distance of 1 m, in dB.
+    pub path_loss_ref_db: f64,
+    /// Path-loss exponent (2 = free space, 2.5–4 indoor/industrial).
+    pub path_loss_exp: f64,
+    /// Standard deviation of log-normal shadowing, in dB (0 disables).
+    pub shadowing_sigma_db: f64,
+    /// Noise floor in dBm.
+    pub noise_floor_dbm: f64,
+    /// Links with expected PER above this are considered disconnected for
+    /// topology purposes.
+    pub connect_per_threshold: f64,
+    /// Default burst-loss process cloned onto each new link.
+    pub burst: GilbertElliott,
+}
+
+impl Default for ChannelConfig {
+    fn default() -> Self {
+        ChannelConfig {
+            tx_power_dbm: 0.0,
+            path_loss_ref_db: 40.0,
+            path_loss_exp: 3.0,
+            shadowing_sigma_db: 0.0,
+            noise_floor_dbm: -95.0,
+            connect_per_threshold: 0.1,
+            burst: GilbertElliott::ideal(),
+        }
+    }
+}
+
+impl ChannelConfig {
+    /// An industrial-plant-like preset: stronger attenuation, mild
+    /// shadowing, and bursty links.
+    #[must_use]
+    pub fn industrial() -> Self {
+        ChannelConfig {
+            path_loss_exp: 3.3,
+            shadowing_sigma_db: 2.0,
+            burst: GilbertElliott::new(0.01, 0.2, 0.0, 0.6),
+            ..ChannelConfig::default()
+        }
+    }
+}
+
+/// The shared radio medium.
+///
+/// Stateless with respect to node positions (those live in the topology);
+/// stateful per directed link for shadowing realizations and burst
+/// processes, so the same link keeps the same character over a run.
+#[derive(Debug)]
+pub struct Channel {
+    config: ChannelConfig,
+    /// Frozen shadowing realization per (src, dst) pair.
+    shadowing_db: HashMap<(NodeId, NodeId), f64>,
+    /// Burst process per (src, dst) pair.
+    bursts: HashMap<(NodeId, NodeId), GilbertElliott>,
+    rng: SimRng,
+}
+
+impl Channel {
+    /// Creates a channel with its own random stream.
+    #[must_use]
+    pub fn new(config: ChannelConfig, rng: SimRng) -> Self {
+        Channel {
+            config,
+            shadowing_db: HashMap::new(),
+            bursts: HashMap::new(),
+            rng,
+        }
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> &ChannelConfig {
+        &self.config
+    }
+
+    /// Received power in dBm at distance `d` meters (deterministic part +
+    /// the link's frozen shadowing realization).
+    pub fn received_power_dbm(&mut self, link: (NodeId, NodeId), d: f64) -> f64 {
+        let d = d.max(1.0);
+        let pl = self.config.path_loss_ref_db + 10.0 * self.config.path_loss_exp * d.log10();
+        let sigma = self.config.shadowing_sigma_db;
+        let shadow = if sigma > 0.0 {
+            let rng = &mut self.rng;
+            *self
+                .shadowing_db
+                .entry(link)
+                .or_insert_with(|| rng.normal(0.0, sigma))
+        } else {
+            0.0
+        };
+        self.config.tx_power_dbm - pl + shadow
+    }
+
+    /// Signal-to-noise ratio in dB on `link` at distance `d`.
+    pub fn snr_db(&mut self, link: (NodeId, NodeId), d: f64) -> f64 {
+        self.received_power_dbm(link, d) - self.config.noise_floor_dbm
+    }
+
+    /// Expected packet error rate for an `air_bytes`-byte frame on `link`
+    /// at distance `d` (before burst losses).
+    pub fn packet_error_rate(&mut self, link: (NodeId, NodeId), d: f64, air_bytes: usize) -> f64 {
+        let snr = self.snr_db(link, d);
+        let ber = oqpsk_ber(snr);
+        1.0 - (1.0 - ber).powi((air_bytes * 8) as i32)
+    }
+
+    /// `true` if the link would be considered usable by the topology layer.
+    pub fn is_connected(&mut self, link: (NodeId, NodeId), d: f64) -> bool {
+        // Judged on a full-size frame, the worst case.
+        self.packet_error_rate(link, d, crate::frame::MAX_FRAME_BYTES + crate::frame::PHY_HEADER_BYTES)
+            <= self.config.connect_per_threshold
+    }
+
+    /// Samples whether a concrete transmission of `frame` from its source to
+    /// `dst` (at distance `d`) is received.
+    ///
+    /// Combines the SNR-based PER with the link's burst process.
+    pub fn sample_delivery(&mut self, frame: &Frame, dst: NodeId, d: f64) -> bool {
+        let link = (frame.src, dst);
+        let per = self.packet_error_rate(link, d, frame.air_bytes());
+        if self.rng.chance(per) {
+            return false;
+        }
+        let default = self.config.burst.clone();
+        let burst = self.bursts.entry(link).or_insert(default);
+        !burst.sample_loss(&mut self.rng)
+    }
+
+    /// Replaces the burst process of one directed link (used by fault
+    /// injection to degrade a specific link mid-run).
+    pub fn set_link_burst(&mut self, link: (NodeId, NodeId), process: GilbertElliott) {
+        self.bursts.insert(link, process);
+    }
+}
+
+/// BER of IEEE 802.15.4 O-QPSK with DSSS as a function of SNR in dB.
+///
+/// Closed form from the 802.15.4 standard (also used by ns-2 / Castalia):
+///
+/// `BER = 8/15 · 1/16 · Σ_{k=2..16} (−1)^k C(16,k) exp(20·SNR·(1/k − 1))`
+#[must_use]
+pub fn oqpsk_ber(snr_db: f64) -> f64 {
+    let snr = 10f64.powf(snr_db / 10.0);
+    let mut sum = 0.0;
+    for k in 2..=16u32 {
+        let sign = if k % 2 == 0 { 1.0 } else { -1.0 };
+        sum += sign * binomial(16, k) * (20.0 * snr * (1.0 / k as f64 - 1.0)).exp();
+    }
+    ((8.0 / 15.0) * (1.0 / 16.0) * sum).clamp(0.0, 0.5)
+}
+
+fn binomial(n: u32, k: u32) -> f64 {
+    let mut r = 1.0;
+    for i in 0..k {
+        r *= (n - i) as f64 / (i + 1) as f64;
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::FrameKind;
+    use proptest::prelude::*;
+
+    fn ch() -> Channel {
+        Channel::new(ChannelConfig::default(), SimRng::seed_from(7))
+    }
+
+    #[test]
+    fn ber_is_monotone_decreasing_in_snr() {
+        let mut prev = oqpsk_ber(-10.0);
+        for snr10 in -95..100 {
+            let b = oqpsk_ber(snr10 as f64 / 10.0);
+            assert!(b <= prev + 1e-15, "BER not monotone at {snr10}");
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn ber_extremes() {
+        assert!(oqpsk_ber(10.0) < 1e-9, "high SNR should be error-free");
+        assert!(oqpsk_ber(-10.0) > 0.1, "low SNR should be lossy");
+    }
+
+    #[test]
+    fn per_increases_with_distance() {
+        let mut c = ch();
+        let link = (NodeId(1), NodeId(2));
+        let near = c.packet_error_rate(link, 5.0, 50);
+        let far = c.packet_error_rate(link, 80.0, 50);
+        assert!(near < far, "near {near} far {far}");
+    }
+
+    #[test]
+    fn per_increases_with_length() {
+        let mut c = ch();
+        let link = (NodeId(1), NodeId(2));
+        let short = c.packet_error_rate(link, 45.0, 20);
+        let long = c.packet_error_rate(link, 45.0, 120);
+        assert!(short < long, "short {short} long {long}");
+    }
+
+    #[test]
+    fn close_links_connect_far_links_do_not() {
+        let mut c = ch();
+        assert!(c.is_connected((NodeId(1), NodeId(2)), 10.0));
+        assert!(!c.is_connected((NodeId(1), NodeId(3)), 500.0));
+    }
+
+    #[test]
+    fn shadowing_is_frozen_per_link() {
+        let mut c = Channel::new(
+            ChannelConfig {
+                shadowing_sigma_db: 6.0,
+                ..ChannelConfig::default()
+            },
+            SimRng::seed_from(9),
+        );
+        let link = (NodeId(1), NodeId(2));
+        let a = c.received_power_dbm(link, 20.0);
+        let b = c.received_power_dbm(link, 20.0);
+        assert_eq!(a, b, "same link must keep its shadowing realization");
+        let other = c.received_power_dbm((NodeId(1), NodeId(3)), 20.0);
+        assert_ne!(a, other, "different links get different realizations");
+    }
+
+    #[test]
+    fn delivery_sampling_respects_ideal_close_link() {
+        let mut c = ch();
+        let f = Frame::new(NodeId(1), FrameKind::Unicast(NodeId(2)), 8, 0);
+        let delivered = (0..1000).filter(|_| c.sample_delivery(&f, NodeId(2), 5.0)).count();
+        assert_eq!(delivered, 1000, "5 m ideal link should never drop");
+    }
+
+    #[test]
+    fn degraded_link_drops() {
+        let mut c = ch();
+        c.set_link_burst((NodeId(1), NodeId(2)), GilbertElliott::bernoulli(1.0));
+        let f = Frame::new(NodeId(1), FrameKind::Unicast(NodeId(2)), 8, 0);
+        assert!(!c.sample_delivery(&f, NodeId(2), 5.0));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_per_in_unit_interval(d in 1.0f64..1000.0, bytes in 1usize..134) {
+            let mut c = ch();
+            let per = c.packet_error_rate((NodeId(1), NodeId(2)), d, bytes);
+            prop_assert!((0.0..=1.0).contains(&per));
+        }
+    }
+}

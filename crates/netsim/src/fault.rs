@@ -1,0 +1,200 @@
+//! Fault injection: node crashes and link blackouts.
+//!
+//! The paper's premise is that "links, nodes and topology of wireless
+//! systems are inherently unreliable". A [`FaultPlan`] scripts that
+//! unreliability deterministically so experiments are reproducible: crash
+//! node 3 at t=300 s, black out the Ctrl-A→head link between 400 s and
+//! 450 s, and so on.
+
+use evm_sim::SimTime;
+
+use crate::node::NodeId;
+
+/// A scripted node crash (optionally with recovery).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeCrash {
+    /// The node that fails.
+    pub node: NodeId,
+    /// When it stops responding.
+    pub at: SimTime,
+    /// When it comes back, if ever.
+    pub recovers_at: Option<SimTime>,
+}
+
+impl NodeCrash {
+    /// A permanent crash at `at`.
+    #[must_use]
+    pub fn permanent(node: NodeId, at: SimTime) -> Self {
+        NodeCrash {
+            node,
+            at,
+            recovers_at: None,
+        }
+    }
+
+    /// A transient crash over `[at, recovers_at)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `recovers_at <= at`.
+    #[must_use]
+    pub fn transient(node: NodeId, at: SimTime, recovers_at: SimTime) -> Self {
+        assert!(recovers_at > at, "recovery must follow the crash");
+        NodeCrash {
+            node,
+            at,
+            recovers_at: Some(recovers_at),
+        }
+    }
+
+    /// `true` if the node is down at time `t` because of this crash.
+    #[must_use]
+    pub fn is_down_at(&self, t: SimTime) -> bool {
+        t >= self.at && self.recovers_at.is_none_or(|r| t < r)
+    }
+}
+
+/// A scripted total outage of one directed link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkBlackout {
+    /// Transmitting side of the affected link.
+    pub from: NodeId,
+    /// Receiving side of the affected link.
+    pub to: NodeId,
+    /// Start of the outage.
+    pub at: SimTime,
+    /// End of the outage (exclusive).
+    pub until: SimTime,
+}
+
+impl LinkBlackout {
+    /// Creates a blackout of `from → to` over `[at, until)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `until <= at`.
+    #[must_use]
+    pub fn new(from: NodeId, to: NodeId, at: SimTime, until: SimTime) -> Self {
+        assert!(until > at, "blackout must have positive length");
+        LinkBlackout { from, to, at, until }
+    }
+
+    /// `true` if the link is dead at `t`.
+    #[must_use]
+    pub fn is_active_at(&self, t: SimTime) -> bool {
+        t >= self.at && t < self.until
+    }
+}
+
+/// A deterministic script of crashes and blackouts for one run.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    crashes: Vec<NodeCrash>,
+    blackouts: Vec<LinkBlackout>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no injected faults).
+    #[must_use]
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Adds a node crash.
+    pub fn add_crash(&mut self, crash: NodeCrash) -> &mut Self {
+        self.crashes.push(crash);
+        self
+    }
+
+    /// Adds a link blackout.
+    pub fn add_blackout(&mut self, blackout: LinkBlackout) -> &mut Self {
+        self.blackouts.push(blackout);
+        self
+    }
+
+    /// `true` if `node` is up (not crashed) at `t`.
+    #[must_use]
+    pub fn node_alive(&self, node: NodeId, t: SimTime) -> bool {
+        !self
+            .crashes
+            .iter()
+            .any(|c| c.node == node && c.is_down_at(t))
+    }
+
+    /// `true` if the directed link `from → to` is usable at `t` (both
+    /// endpoints alive and no blackout).
+    #[must_use]
+    pub fn link_usable(&self, from: NodeId, to: NodeId, t: SimTime) -> bool {
+        self.node_alive(from, t)
+            && self.node_alive(to, t)
+            && !self
+                .blackouts
+                .iter()
+                .any(|b| b.from == from && b.to == to && b.is_active_at(t))
+    }
+
+    /// All scripted crashes.
+    #[must_use]
+    pub fn crashes(&self) -> &[NodeCrash] {
+        &self.crashes
+    }
+
+    /// All scripted blackouts.
+    #[must_use]
+    pub fn blackouts(&self) -> &[LinkBlackout] {
+        &self.blackouts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T100: SimTime = SimTime::from_secs(100);
+    const T200: SimTime = SimTime::from_secs(200);
+    const T300: SimTime = SimTime::from_secs(300);
+
+    #[test]
+    fn permanent_crash_never_recovers() {
+        let c = NodeCrash::permanent(NodeId(1), T100);
+        assert!(!c.is_down_at(SimTime::from_secs(99)));
+        assert!(c.is_down_at(T100));
+        assert!(c.is_down_at(SimTime::from_secs(1_000_000)));
+    }
+
+    #[test]
+    fn transient_crash_recovers() {
+        let c = NodeCrash::transient(NodeId(1), T100, T200);
+        assert!(c.is_down_at(SimTime::from_secs(150)));
+        assert!(!c.is_down_at(T200));
+    }
+
+    #[test]
+    fn plan_answers_liveness_and_links() {
+        let mut plan = FaultPlan::none();
+        plan.add_crash(NodeCrash::transient(NodeId(2), T100, T200))
+            .add_blackout(LinkBlackout::new(NodeId(1), NodeId(3), T200, T300));
+
+        // Before anything: all good.
+        assert!(plan.node_alive(NodeId(2), SimTime::from_secs(50)));
+        assert!(plan.link_usable(NodeId(1), NodeId(3), SimTime::from_secs(50)));
+
+        // During the crash: node 2 down, and any link touching it unusable.
+        assert!(!plan.node_alive(NodeId(2), SimTime::from_secs(150)));
+        assert!(!plan.link_usable(NodeId(1), NodeId(2), SimTime::from_secs(150)));
+        assert!(!plan.link_usable(NodeId(2), NodeId(1), SimTime::from_secs(150)));
+
+        // During the blackout: only the scripted direction is dead.
+        assert!(!plan.link_usable(NodeId(1), NodeId(3), SimTime::from_secs(250)));
+        assert!(plan.link_usable(NodeId(3), NodeId(1), SimTime::from_secs(250)));
+
+        // Afterwards: all restored.
+        assert!(plan.link_usable(NodeId(1), NodeId(3), SimTime::from_secs(301)));
+    }
+
+    #[test]
+    #[should_panic(expected = "recovery must follow")]
+    fn bad_transient_panics() {
+        let _ = NodeCrash::transient(NodeId(0), T200, T100);
+    }
+}

@@ -1,0 +1,169 @@
+//! IEEE 802.15.4 frame sizing and airtime.
+//!
+//! The CC2420 operates at 250 kbps in the 2.4 GHz band. Airtime is what the
+//! TDMA slot sizing, LPL preamble costs and energy metering are all built on,
+//! so it lives here at the bottom of the stack.
+
+use evm_sim::SimDuration;
+
+use crate::node::NodeId;
+
+/// Radio bitrate of the CC2420 at 2.4 GHz, bits per second.
+pub const RADIO_BITRATE_BPS: u64 = 250_000;
+
+/// PHY overhead per frame: 4 B preamble + 1 B SFD + 1 B length.
+pub const PHY_HEADER_BYTES: usize = 6;
+
+/// MAC overhead assumed per data frame (FCF, sequence, addressing, FCS).
+pub const MAC_HEADER_BYTES: usize = 11;
+
+/// Maximum 802.15.4 PHY payload (aMaxPHYPacketSize).
+pub const MAX_FRAME_BYTES: usize = 127;
+
+/// Destination of a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FrameKind {
+    /// Point-to-point frame for one receiver.
+    Unicast(NodeId),
+    /// Delivered to every node in radio range of the sender.
+    Broadcast,
+}
+
+/// One over-the-air frame.
+///
+/// The simulator does not carry real octets for protocol payloads — upper
+/// layers attach their typed messages out of band — but the *length* is
+/// real, because airtime and energy derive from it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    /// Transmitting node.
+    pub src: NodeId,
+    /// Unicast destination or broadcast.
+    pub dst: FrameKind,
+    /// MAC payload length in bytes (excluding PHY + MAC headers).
+    pub payload_bytes: usize,
+    /// Opaque upper-layer handle used by the runtime to route the typed
+    /// message that this frame carries.
+    pub handle: u64,
+}
+
+impl Frame {
+    /// Creates a frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the total frame length would exceed
+    /// [`MAX_FRAME_BYTES`].
+    #[must_use]
+    pub fn new(src: NodeId, dst: FrameKind, payload_bytes: usize, handle: u64) -> Self {
+        let total = payload_bytes + MAC_HEADER_BYTES;
+        assert!(
+            total <= MAX_FRAME_BYTES,
+            "frame too large: {total} > {MAX_FRAME_BYTES} bytes"
+        );
+        Frame {
+            src,
+            dst,
+            payload_bytes,
+            handle,
+        }
+    }
+
+    /// Total bytes on the air, including PHY and MAC headers.
+    #[must_use]
+    pub fn air_bytes(&self) -> usize {
+        PHY_HEADER_BYTES + MAC_HEADER_BYTES + self.payload_bytes
+    }
+
+    /// Time this frame occupies the channel.
+    #[must_use]
+    pub fn airtime(&self) -> SimDuration {
+        airtime_for_bytes(self.air_bytes())
+    }
+
+    /// `true` if this is a broadcast frame.
+    #[must_use]
+    pub fn is_broadcast(&self) -> bool {
+        matches!(self.dst, FrameKind::Broadcast)
+    }
+}
+
+/// Airtime of `bytes` octets at the 802.15.4 bitrate.
+#[must_use]
+pub fn airtime_for_bytes(bytes: usize) -> SimDuration {
+    SimDuration::from_micros((bytes as u64 * 8 * 1_000_000) / RADIO_BITRATE_BPS)
+}
+
+/// How many frames a payload of `total_bytes` must be split into, given the
+/// per-frame payload capacity. Used by the task-migration protocol to move
+/// TCB + stack + data images.
+#[must_use]
+pub fn frames_needed(total_bytes: usize, per_frame_payload: usize) -> usize {
+    assert!(per_frame_payload > 0, "payload capacity must be positive");
+    total_bytes.div_ceil(per_frame_payload)
+}
+
+/// Largest usable MAC payload per frame.
+#[must_use]
+pub fn max_payload() -> usize {
+    MAX_FRAME_BYTES - MAC_HEADER_BYTES
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn airtime_of_full_frame() {
+        // 127 B + 6 B PHY = 133 B = 1064 bits -> 4256 us at 250 kbps.
+        let f = Frame::new(NodeId(1), FrameKind::Broadcast, max_payload(), 0);
+        assert_eq!(f.air_bytes(), 133);
+        assert_eq!(f.airtime().as_micros(), 4_256);
+    }
+
+    #[test]
+    fn airtime_scales_linearly() {
+        assert_eq!(airtime_for_bytes(1).as_micros(), 32);
+        assert_eq!(airtime_for_bytes(10).as_micros(), 320);
+    }
+
+    #[test]
+    #[should_panic(expected = "frame too large")]
+    fn oversize_frame_panics() {
+        let _ = Frame::new(NodeId(1), FrameKind::Broadcast, 120, 0);
+    }
+
+    #[test]
+    fn fragmentation_count() {
+        assert_eq!(frames_needed(0, 100), 0);
+        assert_eq!(frames_needed(1, 100), 1);
+        assert_eq!(frames_needed(100, 100), 1);
+        assert_eq!(frames_needed(101, 100), 2);
+        // A 512 B task image over 116 B payloads needs 5 frames.
+        assert_eq!(frames_needed(512, max_payload()), 5);
+    }
+
+    #[test]
+    fn broadcast_flag() {
+        assert!(Frame::new(NodeId(1), FrameKind::Broadcast, 4, 0).is_broadcast());
+        assert!(!Frame::new(NodeId(1), FrameKind::Unicast(NodeId(2)), 4, 0).is_broadcast());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_airtime_monotonic(a in 0usize..116, b in 0usize..116) {
+            prop_assume!(a <= b);
+            let fa = Frame::new(NodeId(0), FrameKind::Broadcast, a, 0);
+            let fb = Frame::new(NodeId(0), FrameKind::Broadcast, b, 0);
+            prop_assert!(fa.airtime() <= fb.airtime());
+        }
+
+        #[test]
+        fn prop_fragments_cover_payload(total in 1usize..10_000, cap in 1usize..116) {
+            let n = frames_needed(total, cap);
+            prop_assert!(n * cap >= total);
+            prop_assert!((n - 1) * cap < total);
+        }
+    }
+}

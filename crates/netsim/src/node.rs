@@ -1,0 +1,155 @@
+//! Node identities, kinds and positions.
+
+use std::fmt;
+
+/// Identifier of a physical node in the deployment.
+///
+/// Newtype over `u16` to match the 802.15.4 short-address width used by the
+/// FireFly platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub u16);
+
+impl NodeId {
+    /// Conventional gateway address (mirrors the coordinator short address).
+    pub const GATEWAY: NodeId = NodeId(0);
+
+    /// The raw address.
+    #[must_use]
+    pub const fn raw(self) -> u16 {
+        self.0
+    }
+
+    /// Index form for dense per-node tables.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u16> for NodeId {
+    fn from(v: u16) -> Self {
+        NodeId(v)
+    }
+}
+
+/// The functional role of a node in the wireless control network (Fig. 1a).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// Samples plant variables and publishes them.
+    Sensor,
+    /// Drives a final control element (e.g. a valve).
+    Actuator,
+    /// Executes control tasks; candidate host for EVM capsules.
+    Controller,
+    /// Bridges the wireless network to the plant interface (ModBus in
+    /// Fig. 5).
+    Gateway,
+}
+
+impl fmt::Display for NodeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            NodeKind::Sensor => "sensor",
+            NodeKind::Actuator => "actuator",
+            NodeKind::Controller => "controller",
+            NodeKind::Gateway => "gateway",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Planar position in meters.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Position {
+    /// X coordinate in meters.
+    pub x: f64,
+    /// Y coordinate in meters.
+    pub y: f64,
+}
+
+impl Position {
+    /// Creates a position.
+    #[must_use]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Position { x, y }
+    }
+
+    /// Euclidean distance to `other`, in meters.
+    #[must_use]
+    pub fn distance_to(&self, other: &Position) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+}
+
+impl fmt::Display for Position {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.1}, {:.1})", self.x, self.y)
+    }
+}
+
+/// Static description of one deployed node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeInfo {
+    /// The node's address.
+    pub id: NodeId,
+    /// Functional role.
+    pub kind: NodeKind,
+    /// Location in the deployment plane.
+    pub position: Position,
+    /// Human-readable label, e.g. `"Ctrl-A"`.
+    pub label: String,
+}
+
+impl NodeInfo {
+    /// Creates a node description.
+    #[must_use]
+    pub fn new(id: NodeId, kind: NodeKind, position: Position, label: impl Into<String>) -> Self {
+        NodeInfo {
+            id,
+            kind,
+            position,
+            label: label.into(),
+        }
+    }
+}
+
+impl fmt::Display for NodeInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{} {} @ {}]", self.label, self.id, self.kind, self.position)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_display_and_conversions() {
+        let id: NodeId = 7u16.into();
+        assert_eq!(id.to_string(), "n7");
+        assert_eq!(id.raw(), 7);
+        assert_eq!(id.index(), 7);
+        assert_eq!(NodeId::GATEWAY, NodeId(0));
+    }
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Position::new(0.0, 0.0);
+        let b = Position::new(3.0, 4.0);
+        assert!((a.distance_to(&b) - 5.0).abs() < 1e-12);
+        assert_eq!(a.distance_to(&a), 0.0);
+    }
+
+    #[test]
+    fn node_info_display() {
+        let n = NodeInfo::new(NodeId(3), NodeKind::Controller, Position::new(1.0, 2.0), "Ctrl-A");
+        let s = n.to_string();
+        assert!(s.contains("Ctrl-A") && s.contains("controller") && s.contains("n3"));
+    }
+}

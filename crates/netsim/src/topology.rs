@@ -1,0 +1,292 @@
+//! Deployment topologies and connectivity.
+//!
+//! A [`Topology`] owns the set of deployed nodes and answers connectivity
+//! questions against a [`Channel`]: who hears whom, hop distances and
+//! 2-hop interference sets (which the RT-Link slot scheduler needs).
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use crate::channel::Channel;
+use crate::node::{NodeId, NodeInfo, NodeKind, Position};
+
+/// A static deployment of nodes plus its derived connectivity graph.
+#[derive(Debug)]
+pub struct Topology {
+    nodes: Vec<NodeInfo>,
+    by_id: HashMap<NodeId, usize>,
+    /// Adjacency: bidirectional usable links.
+    neighbors: HashMap<NodeId, Vec<NodeId>>,
+}
+
+impl Topology {
+    /// Builds a topology from node descriptions, deriving links from the
+    /// channel model (a link exists if it is usable in **both**
+    /// directions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if two nodes share a [`NodeId`].
+    #[must_use]
+    pub fn derive(nodes: Vec<NodeInfo>, channel: &mut Channel) -> Self {
+        let mut by_id = HashMap::new();
+        for (i, n) in nodes.iter().enumerate() {
+            let prev = by_id.insert(n.id, i);
+            assert!(prev.is_none(), "duplicate node id {}", n.id);
+        }
+        let mut neighbors: HashMap<NodeId, Vec<NodeId>> =
+            nodes.iter().map(|n| (n.id, Vec::new())).collect();
+        for a in &nodes {
+            for b in &nodes {
+                if a.id >= b.id {
+                    continue;
+                }
+                let d = a.position.distance_to(&b.position);
+                if channel.is_connected((a.id, b.id), d) && channel.is_connected((b.id, a.id), d) {
+                    neighbors.get_mut(&a.id).expect("known id").push(b.id);
+                    neighbors.get_mut(&b.id).expect("known id").push(a.id);
+                }
+            }
+        }
+        for v in neighbors.values_mut() {
+            v.sort_unstable();
+        }
+        Topology {
+            nodes,
+            by_id,
+            neighbors,
+        }
+    }
+
+    /// Builds the paper's Fig. 5 testbed shape: a gateway at the origin and
+    /// `n` nodes on a circle of radius `radius_m` around it, all mutually
+    /// in range for a reasonable channel.
+    #[must_use]
+    pub fn star(n: usize, radius_m: f64, kinds: &[NodeKind], channel: &mut Channel) -> Self {
+        let mut nodes = vec![NodeInfo::new(
+            NodeId::GATEWAY,
+            NodeKind::Gateway,
+            Position::new(0.0, 0.0),
+            "GW",
+        )];
+        for i in 0..n {
+            let angle = 2.0 * std::f64::consts::PI * i as f64 / n as f64;
+            let kind = kinds[i % kinds.len()];
+            nodes.push(NodeInfo::new(
+                NodeId((i + 1) as u16),
+                kind,
+                Position::new(radius_m * angle.cos(), radius_m * angle.sin()),
+                format!("{kind}-{}", i + 1),
+            ));
+        }
+        Topology::derive(nodes, channel)
+    }
+
+    /// All nodes.
+    #[must_use]
+    pub fn nodes(&self) -> &[NodeInfo] {
+        &self.nodes
+    }
+
+    /// Node count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` if the deployment is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Looks up a node by id.
+    #[must_use]
+    pub fn node(&self, id: NodeId) -> Option<&NodeInfo> {
+        self.by_id.get(&id).map(|&i| &self.nodes[i])
+    }
+
+    /// Distance between two deployed nodes, meters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is unknown.
+    #[must_use]
+    pub fn distance(&self, a: NodeId, b: NodeId) -> f64 {
+        let pa = self.node(a).expect("unknown node").position;
+        let pb = self.node(b).expect("unknown node").position;
+        pa.distance_to(&pb)
+    }
+
+    /// Direct neighbors of `id` (usable bidirectional links).
+    #[must_use]
+    pub fn neighbors(&self, id: NodeId) -> &[NodeId] {
+        self.neighbors.get(&id).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// `true` if `a` and `b` share a usable link.
+    #[must_use]
+    pub fn are_neighbors(&self, a: NodeId, b: NodeId) -> bool {
+        self.neighbors(a).contains(&b)
+    }
+
+    /// Hop count of the shortest path from `from` to `to` (BFS), or `None`
+    /// if unreachable.
+    #[must_use]
+    pub fn hops(&self, from: NodeId, to: NodeId) -> Option<usize> {
+        if from == to {
+            return Some(0);
+        }
+        let mut seen: HashSet<NodeId> = HashSet::from([from]);
+        let mut queue = VecDeque::from([(from, 0usize)]);
+        while let Some((cur, d)) = queue.pop_front() {
+            for &nb in self.neighbors(cur) {
+                if nb == to {
+                    return Some(d + 1);
+                }
+                if seen.insert(nb) {
+                    queue.push_back((nb, d + 1));
+                }
+            }
+        }
+        None
+    }
+
+    /// `true` if every node can reach every other node.
+    #[must_use]
+    pub fn is_fully_connected(&self) -> bool {
+        match self.nodes.first() {
+            None => true,
+            Some(first) => {
+                let mut seen: HashSet<NodeId> = HashSet::from([first.id]);
+                let mut queue = VecDeque::from([first.id]);
+                while let Some(cur) = queue.pop_front() {
+                    for &nb in self.neighbors(cur) {
+                        if seen.insert(nb) {
+                            queue.push_back(nb);
+                        }
+                    }
+                }
+                seen.len() == self.nodes.len()
+            }
+        }
+    }
+
+    /// The set of nodes within two hops of `id` (excluding `id` itself):
+    /// the interference set the TDMA slot scheduler must keep
+    /// collision-free.
+    #[must_use]
+    pub fn two_hop_set(&self, id: NodeId) -> HashSet<NodeId> {
+        let mut out = HashSet::new();
+        for &nb in self.neighbors(id) {
+            out.insert(nb);
+            for &nb2 in self.neighbors(nb) {
+                if nb2 != id {
+                    out.insert(nb2);
+                }
+            }
+        }
+        out
+    }
+
+    /// Ids of all nodes with the given kind.
+    #[must_use]
+    pub fn of_kind(&self, kind: NodeKind) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .filter(|n| n.kind == kind)
+            .map(|n| n.id)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::{Channel, ChannelConfig};
+    use evm_sim::SimRng;
+
+    fn channel() -> Channel {
+        Channel::new(ChannelConfig::default(), SimRng::seed_from(1))
+    }
+
+    fn line(nodes: usize, spacing: f64) -> Topology {
+        let mut ch = channel();
+        let infos = (0..nodes)
+            .map(|i| {
+                NodeInfo::new(
+                    NodeId(i as u16),
+                    NodeKind::Controller,
+                    Position::new(i as f64 * spacing, 0.0),
+                    format!("c{i}"),
+                )
+            })
+            .collect();
+        Topology::derive(infos, &mut ch)
+    }
+
+    #[test]
+    fn star_is_fully_connected() {
+        let mut ch = channel();
+        let topo = Topology::star(
+            6,
+            15.0,
+            &[NodeKind::Sensor, NodeKind::Controller, NodeKind::Actuator],
+            &mut ch,
+        );
+        assert_eq!(topo.len(), 7);
+        assert!(topo.is_fully_connected());
+        assert_eq!(topo.of_kind(NodeKind::Gateway), vec![NodeId::GATEWAY]);
+        assert_eq!(topo.of_kind(NodeKind::Sensor).len(), 2);
+    }
+
+    #[test]
+    fn line_topology_hops() {
+        // 40 m spacing: neighbors only adjacent (80 m is out of range for
+        // the default config).
+        let topo = line(5, 40.0);
+        assert!(topo.are_neighbors(NodeId(0), NodeId(1)));
+        assert!(!topo.are_neighbors(NodeId(0), NodeId(2)));
+        assert_eq!(topo.hops(NodeId(0), NodeId(4)), Some(4));
+        assert_eq!(topo.hops(NodeId(2), NodeId(2)), Some(0));
+    }
+
+    #[test]
+    fn disconnected_partition_detected() {
+        let mut ch = channel();
+        let infos = vec![
+            NodeInfo::new(NodeId(0), NodeKind::Sensor, Position::new(0.0, 0.0), "a"),
+            NodeInfo::new(NodeId(1), NodeKind::Sensor, Position::new(1000.0, 0.0), "b"),
+        ];
+        let topo = Topology::derive(infos, &mut ch);
+        assert!(!topo.is_fully_connected());
+        assert_eq!(topo.hops(NodeId(0), NodeId(1)), None);
+    }
+
+    #[test]
+    fn two_hop_set_on_line() {
+        let topo = line(5, 40.0);
+        let set = topo.two_hop_set(NodeId(2));
+        assert!(set.contains(&NodeId(0)));
+        assert!(set.contains(&NodeId(1)));
+        assert!(set.contains(&NodeId(3)));
+        assert!(set.contains(&NodeId(4)));
+        assert!(!set.contains(&NodeId(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate node id")]
+    fn duplicate_ids_panic() {
+        let mut ch = channel();
+        let infos = vec![
+            NodeInfo::new(NodeId(0), NodeKind::Sensor, Position::new(0.0, 0.0), "a"),
+            NodeInfo::new(NodeId(0), NodeKind::Sensor, Position::new(1.0, 0.0), "b"),
+        ];
+        let _ = Topology::derive(infos, &mut ch);
+    }
+
+    #[test]
+    fn distance_lookup() {
+        let topo = line(3, 10.0);
+        assert!((topo.distance(NodeId(0), NodeId(2)) - 20.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,102 @@
+//! Propane refrigeration chiller.
+//!
+//! The chiller closes the gap between the gas/gas exchanger outlet and the
+//! LTS operating temperature. Cooling capacity is proportional to the
+//! refrigerant valve opening and derated at higher process flow — enough
+//! structure for the chiller temperature loop (controller 2) to have a
+//! real job.
+
+use crate::stream::Stream;
+
+/// The propane chiller.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Chiller {
+    /// Temperature drop at 100 % refrigerant valve and nominal flow, K.
+    max_drop_k: f64,
+    /// Nominal process flow for the rating, kmol/h.
+    nominal_flow_kmolh: f64,
+}
+
+impl Chiller {
+    /// Creates a chiller.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either rating is not strictly positive.
+    #[must_use]
+    pub fn new(max_drop_k: f64, nominal_flow_kmolh: f64) -> Self {
+        assert!(max_drop_k > 0.0, "rating must be positive");
+        assert!(nominal_flow_kmolh > 0.0, "rating must be positive");
+        Chiller {
+            max_drop_k,
+            nominal_flow_kmolh,
+        }
+    }
+
+    /// Cools `inlet` with the refrigerant valve at `valve_pct`; returns the
+    /// chilled stream.
+    #[must_use]
+    pub fn cool(&self, inlet: &Stream, valve_pct: f64) -> Stream {
+        let pct = valve_pct.clamp(0.0, 100.0);
+        if inlet.molar_flow == 0.0 {
+            return *inlet;
+        }
+        // Capacity derates with flow: twice the gas, half the approach.
+        let derate = (self.nominal_flow_kmolh / inlet.molar_flow).min(2.0);
+        let drop = self.max_drop_k * pct / 100.0 * derate;
+        inlet.at_temperature((inlet.t_k - drop).max(150.0))
+    }
+
+    /// Refrigeration duty estimate in kW for reporting (molar cp of light
+    /// gas ≈ 36 kJ/kmol·K).
+    #[must_use]
+    pub fn duty_kw(&self, inlet: &Stream, outlet: &Stream) -> f64 {
+        let cp = 36.0; // kJ/kmol K
+        inlet.molar_flow * cp * (inlet.t_k - outlet.t_k).max(0.0) / 3600.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::thermo::Composition;
+
+    fn inlet() -> Stream {
+        Stream::new(1400.0, 278.15, 6100.0, Composition::raw_natural_gas())
+    }
+
+    #[test]
+    fn valve_controls_drop() {
+        let ch = Chiller::new(40.0, 1400.0);
+        let half = ch.cool(&inlet(), 50.0);
+        let full = ch.cool(&inlet(), 100.0);
+        assert!((inlet().t_k - half.t_k - 20.0).abs() < 1e-9);
+        assert!((inlet().t_k - full.t_k - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn derates_with_flow() {
+        let ch = Chiller::new(40.0, 1400.0);
+        let mut heavy = inlet();
+        heavy.molar_flow = 2800.0;
+        let out = ch.cool(&heavy, 100.0);
+        assert!((heavy.t_k - out.t_k - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clamps_valve_and_floor_temperature() {
+        let ch = Chiller::new(500.0, 1400.0);
+        let out = ch.cool(&inlet(), 150.0);
+        assert!(out.t_k >= 150.0, "physical floor");
+        let none = ch.cool(&inlet(), -10.0);
+        assert_eq!(none.t_k, inlet().t_k);
+    }
+
+    #[test]
+    fn duty_reports_positive_cooling() {
+        let ch = Chiller::new(40.0, 1400.0);
+        let out = ch.cool(&inlet(), 100.0);
+        assert!(ch.duty_kw(&inlet(), &out) > 0.0);
+        assert_eq!(ch.duty_kw(&out, &inlet()), 0.0);
+    }
+}

@@ -1,0 +1,280 @@
+//! Shortcut depropanizer column.
+//!
+//! The Fig. 4 depropanizer "processes the liquids to produce a
+//! low-propane-content bottoms product". A tray-by-tray model is far more
+//! than the EVM experiments need; this shortcut model keeps the four
+//! control handles real (feed split via reboiler duty, condenser duty /
+//! pressure, sump level, reflux-drum level) while abstracting the internals
+//! to per-component split factors:
+//!
+//! * light components (N₂–C₂) go overhead almost completely,
+//! * propane's split is *driven by the reboiler duty* — more boilup pushes
+//!   more C₃ overhead and the bottoms meets its low-propane spec,
+//! * butanes fall to the bottoms almost completely.
+
+use crate::stream::Stream;
+use crate::thermo::{Component, Composition, N_COMPONENTS};
+
+/// The depropanizer: two holdups (sump, reflux drum), a pressure state and
+/// the shortcut split.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Depropanizer {
+    sump_holdup_kmol: f64,
+    sump_comp: Composition,
+    drum_holdup_kmol: f64,
+    drum_comp: Composition,
+    pressure_kpa: f64,
+
+    sump_volume_m3: f64,
+    drum_volume_m3: f64,
+    nominal_pressure_kpa: f64,
+    /// kPa of pressure rise per kmol of uncondensed vapor.
+    pressure_gain: f64,
+    /// Condenser capacity at 100 % duty, kmol/h.
+    condenser_capacity_kmolh: f64,
+}
+
+impl Depropanizer {
+    /// Creates the column at nominal pressure with both holdups at 50 %.
+    #[must_use]
+    pub fn new(nominal_pressure_kpa: f64, condenser_capacity_kmolh: f64) -> Self {
+        // Representative phase compositions to seed the holdups.
+        let bottoms_seed = Composition::new([0.0, 0.0, 0.0, 0.02, 0.02, 0.48, 0.48]);
+        let overhead_seed = Composition::new([0.01, 0.03, 0.55, 0.25, 0.15, 0.005, 0.005]);
+        let mut col = Depropanizer {
+            sump_holdup_kmol: 0.0,
+            sump_comp: bottoms_seed,
+            drum_holdup_kmol: 0.0,
+            drum_comp: overhead_seed,
+            pressure_kpa: nominal_pressure_kpa,
+            sump_volume_m3: 4.0,
+            drum_volume_m3: 2.5,
+            nominal_pressure_kpa,
+            pressure_gain: 2.0,
+            condenser_capacity_kmolh: condenser_capacity_kmolh.max(1.0),
+        };
+        col.sump_holdup_kmol = col.sump_capacity_kmol() * 0.5;
+        col.drum_holdup_kmol = col.drum_capacity_kmol() * 0.5;
+        col
+    }
+
+    fn sump_capacity_kmol(&self) -> f64 {
+        self.sump_volume_m3 / self.sump_comp.liquid_molar_volume()
+    }
+
+    fn drum_capacity_kmol(&self) -> f64 {
+        self.drum_volume_m3 / self.drum_comp.liquid_molar_volume()
+    }
+
+    /// Sump (reboiler) level, %.
+    #[must_use]
+    pub fn sump_level_pct(&self) -> f64 {
+        (self.sump_holdup_kmol / self.sump_capacity_kmol() * 100.0).clamp(0.0, 100.0)
+    }
+
+    /// Reflux-drum level, %.
+    #[must_use]
+    pub fn drum_level_pct(&self) -> f64 {
+        (self.drum_holdup_kmol / self.drum_capacity_kmol() * 100.0).clamp(0.0, 100.0)
+    }
+
+    /// Column pressure, kPa.
+    #[must_use]
+    pub fn pressure_kpa(&self) -> f64 {
+        self.pressure_kpa
+    }
+
+    /// Control-tray temperature, K — a monotone proxy for the separation
+    /// sharpness the reboiler duty buys (PV of the column TC loop).
+    #[must_use]
+    pub fn tray_temp_k(&self, reboiler_duty_pct: f64) -> f64 {
+        330.0 + 0.3 * (reboiler_duty_pct.clamp(0.0, 100.0) - 60.0)
+            + 0.01 * (self.pressure_kpa - self.nominal_pressure_kpa)
+    }
+
+    /// Propane mole fraction in the bottoms inventory — the product spec
+    /// of §4.1 ("low-propane-content bottoms product").
+    #[must_use]
+    pub fn bottoms_propane_frac(&self) -> f64 {
+        self.sump_comp.fraction(Component::C3)
+    }
+
+    /// Per-component overhead split fraction at a reboiler duty.
+    fn overhead_fraction(c: Component, duty_pct: f64) -> f64 {
+        let d = duty_pct.clamp(0.0, 100.0) / 100.0;
+        match c {
+            Component::N2 | Component::Co2 | Component::C1 => 0.999,
+            Component::C2 => 0.97,
+            Component::C3 => (0.02 + 1.06 * d).min(0.99),
+            Component::IC4 => 0.02 + 0.10 * d,
+            Component::NC4 => 0.01 + 0.05 * d,
+        }
+    }
+
+    /// Advances the column by `dt_s` seconds: splits the feed, condenses
+    /// overhead vapor into the drum (limited by condenser duty), and
+    /// integrates the pressure imbalance.
+    pub fn step(
+        &mut self,
+        feed: &Stream,
+        reboiler_duty_pct: f64,
+        condenser_duty_pct: f64,
+        dt_s: f64,
+    ) {
+        assert!(dt_s > 0.0, "dt must be positive");
+        let dt_h = dt_s / 3600.0;
+
+        // Split the feed per component.
+        let mut ov = [0.0; N_COMPONENTS];
+        let mut bt = [0.0; N_COMPONENTS];
+        let mut ov_flow = 0.0;
+        let mut bt_flow = 0.0;
+        for c in Component::ALL {
+            let f = feed.molar_flow * feed.composition.fraction(c);
+            let s = Self::overhead_fraction(c, reboiler_duty_pct);
+            ov[c.index()] = f * s;
+            bt[c.index()] = f * (1.0 - s);
+            ov_flow += f * s;
+            bt_flow += f * (1.0 - s);
+        }
+
+        // Bottoms accumulate in the sump.
+        if bt_flow > 0.0 {
+            let added = bt_flow * dt_h;
+            self.sump_comp =
+                Composition::mix(&self.sump_comp, self.sump_holdup_kmol, &Composition::new(bt), added);
+            self.sump_holdup_kmol = (self.sump_holdup_kmol + added).min(self.sump_capacity_kmol());
+        }
+
+        // Overhead vapor meets the condenser.
+        let cond_cap = self.condenser_capacity_kmolh * condenser_duty_pct.clamp(0.0, 100.0) / 100.0;
+        let condensed = ov_flow.min(cond_cap);
+        if condensed > 0.0 {
+            let added = condensed * dt_h;
+            self.drum_comp =
+                Composition::mix(&self.drum_comp, self.drum_holdup_kmol, &Composition::new(ov), added);
+            self.drum_holdup_kmol = (self.drum_holdup_kmol + added).min(self.drum_capacity_kmol());
+        }
+
+        // Uncondensed vapor raises pressure; over-capacity pulls it down.
+        let imbalance = ov_flow - cond_cap;
+        self.pressure_kpa += self.pressure_gain * imbalance * dt_h;
+        // Mild self-regulation toward nominal (vent/relief behavior).
+        self.pressure_kpa -= 0.2 * (self.pressure_kpa - self.nominal_pressure_kpa) * dt_h;
+        self.pressure_kpa = self.pressure_kpa.clamp(100.0, 10_000.0);
+    }
+
+    /// Withdraws bottoms product (limited by sump inventory).
+    pub fn draw_bottoms(&mut self, rate_kmolh: f64, dt_s: f64) -> Stream {
+        assert!(dt_s > 0.0, "dt must be positive");
+        let want = rate_kmolh.max(0.0) * dt_s / 3600.0;
+        let got = want.min(self.sump_holdup_kmol);
+        self.sump_holdup_kmol -= got;
+        Stream::new(got * 3600.0 / dt_s, 360.0, self.pressure_kpa, self.sump_comp)
+    }
+
+    /// Withdraws distillate from the reflux drum (limited by inventory).
+    pub fn draw_distillate(&mut self, rate_kmolh: f64, dt_s: f64) -> Stream {
+        assert!(dt_s > 0.0, "dt must be positive");
+        let want = rate_kmolh.max(0.0) * dt_s / 3600.0;
+        let got = want.min(self.drum_holdup_kmol);
+        self.drum_holdup_kmol -= got;
+        Stream::new(got * 3600.0 / dt_s, 310.0, self.pressure_kpa, self.drum_comp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// NGL-ish tower feed.
+    fn tower_feed() -> Stream {
+        Stream::new(
+            180.0,
+            280.0,
+            1400.0,
+            Composition::new([0.001, 0.01, 0.12, 0.20, 0.33, 0.17, 0.169]),
+        )
+    }
+
+    fn column() -> Depropanizer {
+        Depropanizer::new(1400.0, 200.0)
+    }
+
+    #[test]
+    fn duty_pushes_propane_overhead() {
+        let mut lazy = column();
+        let mut hard = column();
+        let feed = tower_feed();
+        for _ in 0..2000 {
+            lazy.step(&feed, 20.0, 80.0, 5.0);
+            hard.step(&feed, 90.0, 80.0, 5.0);
+            let _ = lazy.draw_bottoms(60.0, 5.0);
+            let _ = hard.draw_bottoms(60.0, 5.0);
+        }
+        assert!(
+            hard.bottoms_propane_frac() < lazy.bottoms_propane_frac(),
+            "more duty must strip more propane: {} vs {}",
+            hard.bottoms_propane_frac(),
+            lazy.bottoms_propane_frac()
+        );
+        // The spec point: high duty yields a low-propane bottoms product.
+        assert!(hard.bottoms_propane_frac() < 0.05);
+    }
+
+    #[test]
+    fn pressure_rises_without_condensation() {
+        let mut col = column();
+        let feed = tower_feed();
+        let p0 = col.pressure_kpa();
+        for _ in 0..500 {
+            col.step(&feed, 60.0, 0.0, 5.0);
+        }
+        assert!(col.pressure_kpa() > p0 + 5.0, "pressure must rise");
+    }
+
+    #[test]
+    fn condenser_holds_pressure() {
+        // A simple proportional pressure controller on condenser duty —
+        // the PC-Column loop in miniature.
+        let mut col = column();
+        let feed = tower_feed();
+        for _ in 0..2000 {
+            let duty = (60.0 + 0.4 * (col.pressure_kpa() - 1400.0)).clamp(0.0, 100.0);
+            col.step(&feed, 60.0, duty, 5.0);
+            let _ = col.draw_distillate(120.0, 5.0);
+            let _ = col.draw_bottoms(60.0, 5.0);
+        }
+        assert!(
+            (col.pressure_kpa() - 1400.0).abs() < 150.0,
+            "P = {}",
+            col.pressure_kpa()
+        );
+    }
+
+    #[test]
+    fn levels_respond_to_draws() {
+        let mut col = column();
+        let feed = tower_feed();
+        for _ in 0..200 {
+            col.step(&feed, 60.0, 80.0, 5.0);
+        }
+        let sump_before = col.sump_level_pct();
+        let _ = col.draw_bottoms(500.0, 60.0);
+        assert!(col.sump_level_pct() < sump_before);
+    }
+
+    #[test]
+    fn tray_temp_monotone_in_duty() {
+        let col = column();
+        assert!(col.tray_temp_k(80.0) > col.tray_temp_k(40.0));
+    }
+
+    #[test]
+    fn draw_limits_respect_inventory() {
+        let mut col = column();
+        let huge = col.draw_bottoms(1e9, 1.0);
+        assert!(huge.molar_flow.is_finite());
+        assert_eq!(col.sump_level_pct(), 0.0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Gas/gas heat exchanger (effectiveness model).
+//!
+//! In Fig. 4 the warm inlet gas is pre-cooled against the cold LTS
+//! overhead before entering the chiller — a feed/effluent exchanger. An
+//! effectiveness-NTU model with molar-flow-weighted capacities is entirely
+//! adequate: what the EVM experiments need is the correct *direction and
+//! rough magnitude* of the thermal coupling.
+
+use crate::stream::Stream;
+
+/// A counter-current gas/gas exchanger with fixed effectiveness.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GasGasExchanger {
+    effectiveness: f64,
+}
+
+impl GasGasExchanger {
+    /// Creates an exchanger.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `effectiveness` is outside `[0, 1]`.
+    #[must_use]
+    pub fn new(effectiveness: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&effectiveness),
+            "effectiveness out of [0,1]"
+        );
+        GasGasExchanger { effectiveness }
+    }
+
+    /// The configured effectiveness.
+    #[must_use]
+    pub fn effectiveness(&self) -> f64 {
+        self.effectiveness
+    }
+
+    /// Exchanges heat between the hot and cold streams; returns
+    /// `(hot_out, cold_out)`.
+    ///
+    /// Capacities are approximated by molar flow (near-equal molar heat
+    /// capacities of light gases); the minimum-capacity stream limits the
+    /// duty, as in the standard ε-NTU formulation.
+    #[must_use]
+    pub fn exchange(&self, hot: &Stream, cold: &Stream) -> (Stream, Stream) {
+        if hot.molar_flow == 0.0 || cold.molar_flow == 0.0 || hot.t_k <= cold.t_k {
+            return (*hot, *cold);
+        }
+        let c_hot = hot.molar_flow;
+        let c_cold = cold.molar_flow;
+        let c_min = c_hot.min(c_cold);
+        // Duty in "kmol·K/h" units (cp cancels under the equal-cp
+        // assumption).
+        let duty = self.effectiveness * c_min * (hot.t_k - cold.t_k);
+        let hot_out = hot.at_temperature(hot.t_k - duty / c_hot);
+        let cold_out = cold.at_temperature(cold.t_k + duty / c_cold);
+        (hot_out, cold_out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::thermo::Composition;
+
+    fn hot() -> Stream {
+        Stream::new(1400.0, 303.15, 6200.0, Composition::raw_natural_gas())
+    }
+
+    fn cold() -> Stream {
+        Stream::new(1250.0, 253.15, 6000.0, Composition::raw_natural_gas())
+    }
+
+    #[test]
+    fn directions_are_correct() {
+        let hx = GasGasExchanger::new(0.6);
+        let (h, c) = hx.exchange(&hot(), &cold());
+        assert!(h.t_k < hot().t_k, "hot must cool");
+        assert!(c.t_k > cold().t_k, "cold must warm");
+    }
+
+    #[test]
+    fn energy_balance_holds() {
+        let hx = GasGasExchanger::new(0.75);
+        let (h, c) = hx.exchange(&hot(), &cold());
+        let lost = hot().molar_flow * (hot().t_k - h.t_k);
+        let gained = cold().molar_flow * (c.t_k - cold().t_k);
+        assert!((lost - gained).abs() < 1e-6);
+    }
+
+    #[test]
+    fn no_temperature_crossing() {
+        let hx = GasGasExchanger::new(1.0);
+        let (h, c) = hx.exchange(&hot(), &cold());
+        // With ε = 1 and c_min on the cold side, the cold outlet reaches
+        // the hot inlet at most.
+        assert!(c.t_k <= hot().t_k + 1e-9);
+        assert!(h.t_k >= cold().t_k - 1e-9);
+    }
+
+    #[test]
+    fn zero_effectiveness_is_passthrough() {
+        let hx = GasGasExchanger::new(0.0);
+        let (h, c) = hx.exchange(&hot(), &cold());
+        assert_eq!(h.t_k, hot().t_k);
+        assert_eq!(c.t_k, cold().t_k);
+    }
+
+    #[test]
+    fn inverted_temperatures_no_exchange() {
+        let hx = GasGasExchanger::new(0.8);
+        let (h, c) = hx.exchange(&cold(), &hot());
+        assert_eq!(h.t_k, cold().t_k);
+        assert_eq!(c.t_k, hot().t_k);
+    }
+}

@@ -1,0 +1,42 @@
+//! Stream mixer.
+
+use crate::stream::Stream;
+
+/// Mixes any number of streams (see [`Stream::mix`] for the pairwise
+/// rules). Zero-flow streams are ignored.
+///
+/// # Panics
+///
+/// Panics if `streams` is empty.
+#[must_use]
+pub fn mix_all(streams: &[Stream]) -> Stream {
+    assert!(!streams.is_empty(), "mixer needs at least one inlet");
+    let mut acc = streams[0];
+    for s in &streams[1..] {
+        acc = Stream::mix(&acc, s);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::thermo::{Component, Composition};
+
+    #[test]
+    fn three_way_mix_conserves_flow() {
+        let a = Stream::new(10.0, 300.0, 5000.0, Composition::pure(Component::C1));
+        let b = Stream::new(20.0, 280.0, 5000.0, Composition::pure(Component::C2));
+        let c = Stream::new(30.0, 260.0, 4500.0, Composition::pure(Component::C3));
+        let m = mix_all(&[a, b, c]);
+        assert!((m.molar_flow - 60.0).abs() < 1e-12);
+        assert!((m.composition.fraction(Component::C3) - 0.5).abs() < 1e-12);
+        assert_eq!(m.p_kpa, 4500.0);
+    }
+
+    #[test]
+    fn singleton_mix_is_identity() {
+        let a = Stream::new(10.0, 300.0, 5000.0, Composition::raw_natural_gas());
+        assert_eq!(mix_all(&[a]), a);
+    }
+}

@@ -1,0 +1,19 @@
+//! Flowsheet unit operations.
+//!
+//! Each block is a passive model advanced by explicit calls with explicit
+//! time steps; the [`crate::gasplant::GasPlant`] composes them in the
+//! Fig. 4 arrangement.
+
+mod chiller;
+mod column;
+mod heatex;
+mod mixer;
+mod separator;
+mod valve;
+
+pub use chiller::Chiller;
+pub use column::Depropanizer;
+pub use heatex::GasGasExchanger;
+pub use mixer::mix_all;
+pub use separator::Separator;
+pub use valve::Valve;

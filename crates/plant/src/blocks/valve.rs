@@ -1,0 +1,118 @@
+//! Control valve with first-order actuator dynamics.
+
+/// A linear control valve: flow capacity `cv` (kmol/h at 100 % open) with a
+/// first-order actuator lag between the commanded and actual position.
+///
+/// This is the final control element of every loop in the plant — and the
+/// thing the paper's faulty controller drives to 75 % instead of 11.48 %.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Valve {
+    cv: f64,
+    tau_s: f64,
+    opening_pct: f64,
+    command_pct: f64,
+}
+
+impl Valve {
+    /// Creates a valve at an initial position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cv` is not strictly positive or `tau_s` is negative.
+    #[must_use]
+    pub fn new(cv: f64, tau_s: f64, initial_pct: f64) -> Self {
+        assert!(cv > 0.0, "cv must be positive");
+        assert!(tau_s >= 0.0, "tau must be non-negative");
+        let p = initial_pct.clamp(0.0, 100.0);
+        Valve {
+            cv,
+            tau_s,
+            opening_pct: p,
+            command_pct: p,
+        }
+    }
+
+    /// Flow capacity at 100 %, kmol/h.
+    #[must_use]
+    pub fn cv(&self) -> f64 {
+        self.cv
+    }
+
+    /// Commands a new position (clamped to 0–100 %).
+    pub fn command(&mut self, pct: f64) {
+        self.command_pct = pct.clamp(0.0, 100.0);
+    }
+
+    /// The last commanded position.
+    #[must_use]
+    pub fn command_pct(&self) -> f64 {
+        self.command_pct
+    }
+
+    /// The actual (lagged) position.
+    #[must_use]
+    pub fn opening_pct(&self) -> f64 {
+        self.opening_pct
+    }
+
+    /// Advances the actuator by `dt_s` seconds.
+    pub fn step(&mut self, dt_s: f64) {
+        assert!(dt_s > 0.0, "dt must be positive");
+        if self.tau_s == 0.0 {
+            self.opening_pct = self.command_pct;
+        } else {
+            let alpha = dt_s / (self.tau_s + dt_s);
+            self.opening_pct += alpha * (self.command_pct - self.opening_pct);
+        }
+    }
+
+    /// Current flow demand, kmol/h, limited by what is available upstream.
+    #[must_use]
+    pub fn flow(&self, available_kmolh: f64) -> f64 {
+        (self.cv * self.opening_pct / 100.0).min(available_kmolh.max(0.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lag_approaches_command() {
+        let mut v = Valve::new(1000.0, 2.0, 10.0);
+        v.command(50.0);
+        for _ in 0..10 {
+            v.step(0.1);
+        }
+        assert!(v.opening_pct() > 10.0 && v.opening_pct() < 50.0);
+        for _ in 0..1000 {
+            v.step(0.1);
+        }
+        assert!((v.opening_pct() - 50.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn zero_tau_is_instant() {
+        let mut v = Valve::new(100.0, 0.0, 0.0);
+        v.command(75.0);
+        v.step(0.1);
+        assert_eq!(v.opening_pct(), 75.0);
+    }
+
+    #[test]
+    fn flow_limited_by_supply() {
+        let v = Valve::new(1000.0, 2.0, 50.0);
+        assert!((v.flow(1e9) - 500.0).abs() < 1e-9);
+        assert_eq!(v.flow(100.0), 100.0);
+        assert_eq!(v.flow(-5.0), 0.0);
+    }
+
+    #[test]
+    fn commands_clamped() {
+        let mut v = Valve::new(100.0, 1.0, 0.0);
+        v.command(150.0);
+        assert_eq!(v.command_pct(), 100.0);
+        v.command(-10.0);
+        assert_eq!(v.command_pct(), 0.0);
+    }
+}

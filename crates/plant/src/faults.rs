@@ -1,0 +1,120 @@
+//! Fault library for sensors, actuators and controllers.
+//!
+//! The Fig. 6b scenario is a *controller* fault: Ctrl-A "sets a wrong valve
+//! output level (75 % instead of 11.48 %)". [`ActuatorFault::StuckOutput`]
+//! is that fault; the others let the experiments in E14 explore the wider
+//! space the paper's §1.2 challenge 4 describes.
+
+use evm_sim::SimRng;
+
+/// A fault applied to a controller's *output* before it reaches the
+/// actuator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ActuatorFault {
+    /// Output frozen at a fixed value — the paper's scenario (75 %).
+    StuckOutput(f64),
+    /// A constant offset added to the correct output.
+    Bias(f64),
+    /// Output drifts linearly at `rate` per second from fault onset.
+    Drift {
+        /// Drift rate in output units per second.
+        rate_per_s: f64,
+    },
+    /// Correct value replaced by uniform noise in `[lo, hi]`.
+    Erratic {
+        /// Lower bound of the erratic output.
+        lo: f64,
+        /// Upper bound of the erratic output.
+        hi: f64,
+    },
+}
+
+impl ActuatorFault {
+    /// The Fig. 6b fault: stuck at 75 %.
+    #[must_use]
+    pub fn paper_fault() -> Self {
+        ActuatorFault::StuckOutput(75.0)
+    }
+
+    /// Applies the fault to a correct output value.
+    ///
+    /// `since_onset_s` is the time since the fault began; `rng` feeds the
+    /// erratic variant.
+    #[must_use]
+    pub fn apply(&self, correct: f64, since_onset_s: f64, rng: &mut SimRng) -> f64 {
+        match *self {
+            ActuatorFault::StuckOutput(v) => v,
+            ActuatorFault::Bias(b) => correct + b,
+            ActuatorFault::Drift { rate_per_s } => correct + rate_per_s * since_onset_s,
+            ActuatorFault::Erratic { lo, hi } => rng.range(lo, hi),
+        }
+    }
+}
+
+/// A fault applied to a *sensor* reading before it reaches the controller.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SensorFault {
+    /// Reading frozen at the last good value.
+    Stuck(f64),
+    /// Additive Gaussian noise.
+    Noisy {
+        /// Standard deviation of the added noise.
+        std_dev: f64,
+    },
+    /// Constant offset.
+    Offset(f64),
+}
+
+impl SensorFault {
+    /// Applies the fault to a true reading.
+    #[must_use]
+    pub fn apply(&self, truth: f64, rng: &mut SimRng) -> f64 {
+        match *self {
+            SensorFault::Stuck(v) => v,
+            SensorFault::Noisy { std_dev } => truth + rng.normal(0.0, std_dev),
+            SensorFault::Offset(o) => truth + o,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stuck_ignores_input() {
+        let mut rng = SimRng::seed_from(1);
+        let f = ActuatorFault::paper_fault();
+        assert_eq!(f.apply(11.48, 0.0, &mut rng), 75.0);
+        assert_eq!(f.apply(99.0, 100.0, &mut rng), 75.0);
+    }
+
+    #[test]
+    fn bias_and_drift() {
+        let mut rng = SimRng::seed_from(2);
+        assert_eq!(ActuatorFault::Bias(5.0).apply(10.0, 0.0, &mut rng), 15.0);
+        let d = ActuatorFault::Drift { rate_per_s: 0.1 };
+        assert!((d.apply(10.0, 50.0, &mut rng) - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn erratic_in_bounds() {
+        let mut rng = SimRng::seed_from(3);
+        let f = ActuatorFault::Erratic { lo: 20.0, hi: 80.0 };
+        for _ in 0..100 {
+            let v = f.apply(50.0, 0.0, &mut rng);
+            assert!((20.0..80.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn sensor_faults() {
+        let mut rng = SimRng::seed_from(4);
+        assert_eq!(SensorFault::Stuck(42.0).apply(10.0, &mut rng), 42.0);
+        assert_eq!(SensorFault::Offset(-3.0).apply(10.0, &mut rng), 7.0);
+        let noisy = SensorFault::Noisy { std_dev: 1.0 };
+        let vals: Vec<f64> = (0..200).map(|_| noisy.apply(10.0, &mut rng)).collect();
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        assert!((mean - 10.0).abs() < 0.3);
+    }
+}

@@ -1,0 +1,327 @@
+//! PID regulation with second-order input filtering.
+//!
+//! The paper's LTS controllers "perform second order filtering with a PID
+//! regulator" (§4.2). [`SecondOrderFilter`] is two cascaded first-order
+//! lags; [`PidController`] is a positional PID with anti-windup clamping
+//! and output limits — the form that compiles naturally to EVM bytecode
+//! (see `evm-core::bytecode::builder`).
+
+/// PID tuning parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PidParams {
+    /// Proportional gain (output units per PV unit of error).
+    pub kp: f64,
+    /// Integral time constant, seconds (0 disables integral action).
+    pub ti_s: f64,
+    /// Derivative time constant, seconds (0 disables derivative action).
+    pub td_s: f64,
+    /// Lower output limit.
+    pub out_min: f64,
+    /// Upper output limit.
+    pub out_max: f64,
+    /// `true` if the controller is reverse-acting (output decreases when
+    /// PV rises above SP) — the usual form for level control via an
+    /// *outlet* valve is direct-acting.
+    pub reverse: bool,
+}
+
+impl PidParams {
+    /// Creates PI parameters with output limits `[0, 100]` (valve %).
+    #[must_use]
+    pub fn pi(kp: f64, ti_s: f64) -> Self {
+        PidParams {
+            kp,
+            ti_s,
+            td_s: 0.0,
+            out_min: 0.0,
+            out_max: 100.0,
+            reverse: false,
+        }
+    }
+
+    /// Marks the loop reverse-acting.
+    #[must_use]
+    pub fn reverse_acting(mut self) -> Self {
+        self.reverse = true;
+        self
+    }
+}
+
+/// A discrete positional PID with clamping anti-windup.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PidController {
+    params: PidParams,
+    setpoint: f64,
+    integral: f64,
+    last_pv: Option<f64>,
+    last_output: f64,
+}
+
+impl PidController {
+    /// Creates a controller at the given setpoint with zero state.
+    #[must_use]
+    pub fn new(params: PidParams, setpoint: f64) -> Self {
+        PidController {
+            params,
+            setpoint,
+            integral: 0.0,
+            last_pv: None,
+            last_output: 0.0,
+        }
+    }
+
+    /// The current setpoint.
+    #[must_use]
+    pub fn setpoint(&self) -> f64 {
+        self.setpoint
+    }
+
+    /// Changes the setpoint (mode changes).
+    pub fn set_setpoint(&mut self, sp: f64) {
+        self.setpoint = sp;
+    }
+
+    /// The tuning parameters.
+    #[must_use]
+    pub fn params(&self) -> &PidParams {
+        &self.params
+    }
+
+    /// Pre-loads the integrator so that with PV at setpoint the output
+    /// equals `output` — bumpless initialization at a known operating
+    /// point.
+    pub fn preload(&mut self, output: f64) {
+        self.integral = output.clamp(self.params.out_min, self.params.out_max);
+        self.last_output = self.integral;
+        self.last_pv = None;
+    }
+
+    /// One control-step update: returns the actuator command.
+    ///
+    /// `dt_s` is the time since the previous call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt_s` is not strictly positive.
+    pub fn update(&mut self, pv: f64, dt_s: f64) -> f64 {
+        assert!(dt_s > 0.0, "dt must be positive");
+        let sign = if self.params.reverse { -1.0 } else { 1.0 };
+        // Direct-acting error convention for outlet-valve level control:
+        // PV above SP -> positive error -> open the valve.
+        let error = sign * (pv - self.setpoint);
+
+        let p = self.params.kp * error;
+
+        if self.params.ti_s > 0.0 {
+            self.integral += self.params.kp * error * dt_s / self.params.ti_s;
+        }
+
+        let d = if self.params.td_s > 0.0 {
+            match self.last_pv {
+                Some(prev) => sign * self.params.kp * self.params.td_s * (pv - prev) / dt_s,
+                None => 0.0,
+            }
+        } else {
+            0.0
+        };
+        self.last_pv = Some(pv);
+
+        // Clamping anti-windup: clamp the integrator so P+I stays in range.
+        self.integral = self
+            .integral
+            .clamp(self.params.out_min - p, self.params.out_max - p);
+
+        let out = (p + self.integral + d).clamp(self.params.out_min, self.params.out_max);
+        self.last_output = out;
+        out
+    }
+
+    /// The most recent output.
+    #[must_use]
+    pub fn last_output(&self) -> f64 {
+        self.last_output
+    }
+}
+
+/// Two cascaded first-order lags: the paper's "second order filter".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SecondOrderFilter {
+    tau_s: f64,
+    stage1: Option<f64>,
+    stage2: Option<f64>,
+}
+
+impl SecondOrderFilter {
+    /// Creates a filter with per-stage time constant `tau_s` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tau_s` is negative.
+    #[must_use]
+    pub fn new(tau_s: f64) -> Self {
+        assert!(tau_s >= 0.0, "time constant must be non-negative");
+        SecondOrderFilter {
+            tau_s,
+            stage1: None,
+            stage2: None,
+        }
+    }
+
+    /// Filters one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt_s` is not strictly positive.
+    pub fn update(&mut self, input: f64, dt_s: f64) -> f64 {
+        assert!(dt_s > 0.0, "dt must be positive");
+        if self.tau_s == 0.0 {
+            self.stage1 = Some(input);
+            self.stage2 = Some(input);
+            return input;
+        }
+        let alpha = dt_s / (self.tau_s + dt_s);
+        let s1 = match self.stage1 {
+            Some(prev) => prev + alpha * (input - prev),
+            None => input,
+        };
+        let s2 = match self.stage2 {
+            Some(prev) => prev + alpha * (s1 - prev),
+            None => s1,
+        };
+        self.stage1 = Some(s1);
+        self.stage2 = Some(s2);
+        s2
+    }
+
+    /// The current filtered value, if any sample has been seen.
+    #[must_use]
+    pub fn value(&self) -> Option<f64> {
+        self.stage2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proportional_action_direct_and_reverse() {
+        let mut direct = PidController::new(
+            PidParams {
+                kp: 2.0,
+                ti_s: 0.0,
+                td_s: 0.0,
+                out_min: -100.0,
+                out_max: 100.0,
+                reverse: false,
+            },
+            50.0,
+        );
+        // PV above SP: direct-acting output positive.
+        assert!((direct.update(60.0, 1.0) - 20.0).abs() < 1e-12);
+
+        let mut reverse = PidController::new(
+            PidParams {
+                kp: 2.0,
+                ti_s: 0.0,
+                td_s: 0.0,
+                out_min: -100.0,
+                out_max: 100.0,
+                reverse: true,
+            },
+            50.0,
+        );
+        assert!((reverse.update(60.0, 1.0) + 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn integral_accumulates_and_clamps() {
+        let mut pid = PidController::new(PidParams::pi(1.0, 10.0), 0.0);
+        for _ in 0..1000 {
+            pid.update(10.0, 1.0);
+        }
+        // Saturated at out_max, not beyond.
+        assert_eq!(pid.last_output(), 100.0);
+        // And recovers quickly once the error flips (anti-windup).
+        let mut steps = 0;
+        while pid.update(-10.0, 1.0) >= 100.0 && steps < 10 {
+            steps += 1;
+        }
+        assert!(steps < 10, "windup: output stuck at max");
+    }
+
+    #[test]
+    fn preload_is_bumpless() {
+        let mut pid = PidController::new(PidParams::pi(2.0, 50.0), 50.0);
+        pid.preload(11.48);
+        // At setpoint the first output equals the preload.
+        let out = pid.update(50.0, 0.25);
+        assert!((out - 11.48).abs() < 1e-9, "got {out}");
+    }
+
+    #[test]
+    fn derivative_kicks_on_pv_change() {
+        let params = PidParams {
+            kp: 1.0,
+            ti_s: 0.0,
+            td_s: 5.0,
+            out_min: -100.0,
+            out_max: 100.0,
+            reverse: false,
+        };
+        let mut pid = PidController::new(params, 0.0);
+        let first = pid.update(0.0, 1.0);
+        let kick = pid.update(2.0, 1.0);
+        assert!(kick > first + 5.0, "derivative should amplify the step");
+    }
+
+    #[test]
+    fn closed_loop_integrator_plant_settles() {
+        // Plant: pure integrator dx/dt = -0.05 * u + 0.5 (inflow), PID on
+        // outlet. Start above setpoint, must settle near SP.
+        let mut pid = PidController::new(PidParams::pi(4.0, 60.0), 50.0);
+        pid.preload(10.0);
+        let mut level = 70.0f64;
+        let dt = 0.25;
+        for _ in 0..40_000 {
+            let u = pid.update(level, dt);
+            level += (0.5 - 0.05 * u) * dt * 0.2;
+        }
+        assert!((level - 50.0).abs() < 1.0, "level settled at {level}");
+    }
+
+    #[test]
+    fn filter_converges_to_step_and_lags() {
+        let mut f = SecondOrderFilter::new(2.0);
+        let first = f.update(1.0, 0.1);
+        assert_eq!(first, 1.0, "first sample initializes both stages");
+        let mut g = SecondOrderFilter::new(2.0);
+        g.update(0.0, 0.1);
+        let early = g.update(1.0, 0.1);
+        assert!(early < 0.01, "two-stage lag must be slow initially");
+        let mut last = early;
+        for _ in 0..2_000 {
+            last = g.update(1.0, 0.1);
+        }
+        assert!((last - 1.0).abs() < 1e-3, "converges to input, got {last}");
+    }
+
+    #[test]
+    fn zero_tau_filter_is_passthrough() {
+        let mut f = SecondOrderFilter::new(0.0);
+        assert_eq!(f.update(3.5, 0.1), 3.5);
+        assert_eq!(f.value(), Some(3.5));
+    }
+
+    #[test]
+    fn filter_attenuates_noise() {
+        // Alternating +/-1 noise should be strongly attenuated.
+        let mut f = SecondOrderFilter::new(5.0);
+        let mut out = 0.0;
+        for i in 0..1000 {
+            let x = if i % 2 == 0 { 1.0 } else { -1.0 };
+            out = f.update(x, 0.1);
+        }
+        assert!(out.abs() < 0.05, "noise leak {out}");
+    }
+}

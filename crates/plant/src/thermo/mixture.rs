@@ -1,0 +1,197 @@
+//! Mixture compositions.
+
+use std::fmt;
+use std::ops::Index;
+
+use super::species::{Component, N_COMPONENTS};
+
+/// A normalized molar composition over the fixed component set.
+///
+/// Invariant: every fraction is non-negative and they sum to 1 (enforced at
+/// construction by normalization).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Composition {
+    z: [f64; N_COMPONENTS],
+}
+
+impl Composition {
+    /// Creates a composition from mole amounts or fractions (normalized).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any entry is negative, not finite, or the sum is zero.
+    #[must_use]
+    pub fn new(raw: [f64; N_COMPONENTS]) -> Self {
+        let sum: f64 = raw.iter().sum();
+        assert!(
+            raw.iter().all(|v| v.is_finite() && *v >= 0.0),
+            "fractions must be finite and non-negative: {raw:?}"
+        );
+        assert!(sum > 0.0, "composition cannot be empty");
+        let mut z = raw;
+        for v in &mut z {
+            *v /= sum;
+        }
+        Composition { z }
+    }
+
+    /// The paper's raw natural-gas feed: mostly methane with CO₂, N₂ and
+    /// condensable C₂–C₄ heavies.
+    #[must_use]
+    pub fn raw_natural_gas() -> Self {
+        // N2, CO2, C1, C2, C3, iC4, nC4
+        Composition::new([0.010, 0.020, 0.800, 0.100, 0.040, 0.015, 0.015])
+    }
+
+    /// A pure component.
+    #[must_use]
+    pub fn pure(c: Component) -> Self {
+        let mut z = [0.0; N_COMPONENTS];
+        z[c.index()] = 1.0;
+        Composition { z }
+    }
+
+    /// The fraction of component `c`.
+    #[must_use]
+    pub fn fraction(&self, c: Component) -> f64 {
+        self.z[c.index()]
+    }
+
+    /// The raw fraction array in canonical order.
+    #[must_use]
+    pub fn fractions(&self) -> &[f64; N_COMPONENTS] {
+        &self.z
+    }
+
+    /// Mole-weighted mean molecular weight, kg/kmol.
+    #[must_use]
+    pub fn molecular_weight(&self) -> f64 {
+        Component::ALL
+            .iter()
+            .map(|&c| self.fraction(c) * c.mw())
+            .sum()
+    }
+
+    /// Mole-weighted liquid molar volume, m³/kmol.
+    #[must_use]
+    pub fn liquid_molar_volume(&self) -> f64 {
+        Component::ALL
+            .iter()
+            .map(|&c| self.fraction(c) * c.liquid_molar_volume())
+            .sum()
+    }
+
+    /// Mixes two compositions with the given molar amounts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if both amounts are zero or either is negative.
+    #[must_use]
+    pub fn mix(a: &Composition, na: f64, b: &Composition, nb: f64) -> Composition {
+        assert!(na >= 0.0 && nb >= 0.0, "amounts must be non-negative");
+        assert!(na + nb > 0.0, "cannot mix two empty streams");
+        let mut z = [0.0; N_COMPONENTS];
+        for (i, zi) in z.iter_mut().enumerate() {
+            *zi = a.z[i] * na + b.z[i] * nb;
+        }
+        Composition::new(z)
+    }
+}
+
+impl Index<Component> for Composition {
+    type Output = f64;
+    fn index(&self, c: Component) -> &f64 {
+        &self.z[c.index()]
+    }
+}
+
+impl fmt::Display for Composition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for c in Component::ALL {
+            let v = self.fraction(c);
+            if v > 1e-9 {
+                if !first {
+                    write!(f, " ")?;
+                }
+                write!(f, "{c}:{v:.4}")?;
+                first = false;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn normalization() {
+        let c = Composition::new([2.0, 0.0, 0.0, 0.0, 0.0, 0.0, 2.0]);
+        assert!((c.fraction(Component::N2) - 0.5).abs() < 1e-12);
+        assert!((c.fraction(Component::NC4) - 0.5).abs() < 1e-12);
+        let sum: f64 = c.fractions().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn feed_composition_sums_to_one() {
+        let z = Composition::raw_natural_gas();
+        let sum: f64 = z.fractions().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!((z[Component::C1] - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pure_component() {
+        let c = Composition::pure(Component::C3);
+        assert_eq!(c.fraction(Component::C3), 1.0);
+        assert!((c.molecular_weight() - 44.10).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mixing_conserves_moles() {
+        let a = Composition::pure(Component::C1);
+        let b = Composition::pure(Component::C3);
+        let m = Composition::mix(&a, 3.0, &b, 1.0);
+        assert!((m.fraction(Component::C1) - 0.75).abs() < 1e-12);
+        assert!((m.fraction(Component::C3) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be empty")]
+    fn empty_composition_panics() {
+        let _ = Composition::new([0.0; N_COMPONENTS]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_normalized(raw in proptest::array::uniform7(0.0f64..10.0)) {
+            prop_assume!(raw.iter().sum::<f64>() > 1e-9);
+            let c = Composition::new(raw);
+            let sum: f64 = c.fractions().iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_mix_bounded(
+            raw_a in proptest::array::uniform7(0.0f64..10.0),
+            raw_b in proptest::array::uniform7(0.0f64..10.0),
+            na in 0.1f64..100.0,
+            nb in 0.1f64..100.0,
+        ) {
+            prop_assume!(raw_a.iter().sum::<f64>() > 1e-9);
+            prop_assume!(raw_b.iter().sum::<f64>() > 1e-9);
+            let a = Composition::new(raw_a);
+            let b = Composition::new(raw_b);
+            let m = Composition::mix(&a, na, &b, nb);
+            for c in Component::ALL {
+                let lo = a.fraction(c).min(b.fraction(c)) - 1e-9;
+                let hi = a.fraction(c).max(b.fraction(c)) + 1e-9;
+                prop_assert!(m.fraction(c) >= lo && m.fraction(c) <= hi);
+            }
+        }
+    }
+}

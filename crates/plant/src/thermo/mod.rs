@@ -1,0 +1,9 @@
+//! Thermodynamics: component data, compositions, K-values and flash.
+
+mod flash_calc;
+mod mixture;
+mod species;
+
+pub use flash_calc::{flash, wilson_k, FlashResult};
+pub use mixture::Composition;
+pub use species::{Component, N_COMPONENTS};

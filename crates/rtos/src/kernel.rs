@@ -1,0 +1,402 @@
+//! The per-node kernel facade.
+//!
+//! [`Kernel`] is what an EVM node drives: admit a task (schedulability +
+//! reserve gated), remove one (extracting its migratable image), suspend /
+//! resume replicas, and re-prioritize. It mirrors nano-RK's admission
+//! discipline: **no task-set change takes effect unless the resulting set
+//! passes the schedulability test** — a failed admission leaves the kernel
+//! exactly as it was.
+
+use std::fmt;
+
+use evm_sim::SimDuration;
+
+use crate::reserve::{CpuReserve, ReserveError, ReserveSet};
+use crate::sched::analysis::{response_time_analysis, Verdict};
+use crate::sched::priority::assign_rate_monotonic;
+use crate::task::{TaskId, TaskSet, TaskSpec};
+use crate::tcb::{TaskImage, TaskState, Tcb};
+
+/// Why an admission or task-set change was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdmitError {
+    /// The resulting task set fails the schedulability test.
+    NotSchedulable,
+    /// A reserve capacity would be exceeded.
+    Reserve(ReserveError),
+    /// A task with this name is already hosted.
+    DuplicateName(String),
+    /// No such task.
+    UnknownTask(TaskId),
+}
+
+impl fmt::Display for AdmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmitError::NotSchedulable => write!(f, "task set would not be schedulable"),
+            AdmitError::Reserve(e) => write!(f, "reserve refused: {e}"),
+            AdmitError::DuplicateName(n) => write!(f, "task name already hosted: {n}"),
+            AdmitError::UnknownTask(id) => write!(f, "unknown task {id}"),
+        }
+    }
+}
+
+impl std::error::Error for AdmitError {}
+
+impl From<ReserveError> for AdmitError {
+    fn from(e: ReserveError) -> Self {
+        AdmitError::Reserve(e)
+    }
+}
+
+/// A nano-RK-like kernel instance for one node.
+#[derive(Debug, Clone)]
+pub struct Kernel {
+    name: String,
+    tcbs: Vec<Tcb>,
+    reserves: ReserveSet,
+    next_id: u32,
+    /// Execution cost of one EVM bytecode instruction on this node's MCU
+    /// (8 MHz AVR ≈ 10 cycles per interpreted instruction ≈ 1.25 µs).
+    instr_cost: SimDuration,
+}
+
+impl Kernel {
+    /// Creates an empty kernel.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Kernel {
+            name: name.into(),
+            tcbs: Vec::new(),
+            reserves: ReserveSet::new(),
+            next_id: 1,
+            instr_cost: SimDuration::from_micros(1),
+        }
+    }
+
+    /// Node name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The per-instruction execution cost of this node's interpreter.
+    #[must_use]
+    pub fn instr_cost(&self) -> SimDuration {
+        self.instr_cost
+    }
+
+    /// Overrides the per-instruction cost (heterogeneous nodes).
+    pub fn set_instr_cost(&mut self, cost: SimDuration) {
+        assert!(!cost.is_zero(), "instruction cost must be positive");
+        self.instr_cost = cost;
+    }
+
+    /// The reserve pool.
+    #[must_use]
+    pub fn reserves(&self) -> &ReserveSet {
+        &self.reserves
+    }
+
+    /// Mutable reserve pool (for capacity configuration).
+    pub fn reserves_mut(&mut self) -> &mut ReserveSet {
+        &mut self.reserves
+    }
+
+    /// All hosted TCBs (including suspended ones).
+    #[must_use]
+    pub fn tcbs(&self) -> &[Tcb] {
+        &self.tcbs
+    }
+
+    /// Looks up a task by id.
+    #[must_use]
+    pub fn tcb(&self, id: TaskId) -> Option<&Tcb> {
+        self.tcbs.iter().find(|t| t.id == id)
+    }
+
+    /// Looks up a task by name.
+    #[must_use]
+    pub fn tcb_by_name(&self, name: &str) -> Option<&Tcb> {
+        self.tcbs.iter().find(|t| t.spec.name == name)
+    }
+
+    /// The task set of *active* (non-suspended) tasks, with current
+    /// priorities.
+    #[must_use]
+    pub fn active_set(&self) -> TaskSet {
+        self.tcbs
+            .iter()
+            .filter(|t| t.state != TaskState::Suspended)
+            .map(|t| t.spec.clone())
+            .collect()
+    }
+
+    /// Total utilization of active tasks.
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        self.active_set().total_utilization()
+    }
+
+    /// Schedulability verdict for the current active set.
+    #[must_use]
+    pub fn verdict(&self) -> Verdict {
+        let mut set = self.active_set();
+        if set.is_empty() {
+            return Verdict {
+                schedulable: true,
+                method: "empty",
+                response_times: vec![],
+            };
+        }
+        if !set.priorities_are_unique() {
+            assign_rate_monotonic(&mut set);
+        }
+        response_time_analysis(&set)
+    }
+
+    /// Admits a new task: reserves first, then the schedulability gate.
+    /// On success all active tasks are re-prioritized rate-monotonically
+    /// (the EVM's op 4) and the new task starts `Sleeping`.
+    ///
+    /// # Errors
+    ///
+    /// [`AdmitError::DuplicateName`], [`AdmitError::Reserve`], or
+    /// [`AdmitError::NotSchedulable`]. On error the kernel is unchanged.
+    pub fn admit(
+        &mut self,
+        spec: TaskSpec,
+        image: TaskImage,
+        reserve: Option<CpuReserve>,
+    ) -> Result<TaskId, AdmitError> {
+        if self.tcb_by_name(&spec.name).is_some() {
+            return Err(AdmitError::DuplicateName(spec.name));
+        }
+        // Trial set: active tasks + the newcomer, RM priorities.
+        let mut trial = self.active_set();
+        trial.push(spec.clone());
+        assign_rate_monotonic(&mut trial);
+        if !response_time_analysis(&trial).schedulable {
+            return Err(AdmitError::NotSchedulable);
+        }
+        if let Some(r) = reserve {
+            self.reserves.try_add_cpu(r)?;
+        }
+        // Commit: write back RM priorities to live TCBs by name.
+        let id = TaskId(self.next_id);
+        self.next_id += 1;
+        let mut spec = spec;
+        spec.priority = trial
+            .tasks()
+            .iter()
+            .find(|t| t.name == spec.name)
+            .and_then(|t| t.priority);
+        for tcb in &mut self.tcbs {
+            if tcb.state == TaskState::Suspended {
+                continue;
+            }
+            if let Some(t) = trial.tasks().iter().find(|t| t.name == tcb.spec.name) {
+                tcb.spec.priority = t.priority;
+            }
+        }
+        self.tcbs.push(Tcb::new(id, spec, image));
+        Ok(id)
+    }
+
+    /// Removes a task entirely, returning its TCB (the migration payload).
+    ///
+    /// # Errors
+    ///
+    /// [`AdmitError::UnknownTask`] if the id is not hosted.
+    pub fn remove(&mut self, id: TaskId) -> Result<Tcb, AdmitError> {
+        match self.tcbs.iter().position(|t| t.id == id) {
+            Some(i) => Ok(self.tcbs.remove(i)),
+            None => Err(AdmitError::UnknownTask(id)),
+        }
+    }
+
+    /// Suspends a task (a Dormant/Backup replica consumes no CPU).
+    ///
+    /// # Errors
+    ///
+    /// [`AdmitError::UnknownTask`] if the id is not hosted.
+    pub fn suspend(&mut self, id: TaskId) -> Result<(), AdmitError> {
+        let tcb = self
+            .tcbs
+            .iter_mut()
+            .find(|t| t.id == id)
+            .ok_or(AdmitError::UnknownTask(id))?;
+        tcb.state = TaskState::Suspended;
+        Ok(())
+    }
+
+    /// Resumes a suspended task, re-running the schedulability gate.
+    ///
+    /// # Errors
+    ///
+    /// [`AdmitError::UnknownTask`] or [`AdmitError::NotSchedulable`]
+    /// (in which case the task stays suspended).
+    pub fn resume(&mut self, id: TaskId) -> Result<(), AdmitError> {
+        let idx = self
+            .tcbs
+            .iter()
+            .position(|t| t.id == id)
+            .ok_or(AdmitError::UnknownTask(id))?;
+        if self.tcbs[idx].state != TaskState::Suspended {
+            return Ok(());
+        }
+        let mut trial = self.active_set();
+        trial.push(self.tcbs[idx].spec.clone());
+        assign_rate_monotonic(&mut trial);
+        if !response_time_analysis(&trial).schedulable {
+            return Err(AdmitError::NotSchedulable);
+        }
+        for tcb in &mut self.tcbs {
+            if let Some(t) = trial.tasks().iter().find(|t| t.name == tcb.spec.name) {
+                tcb.spec.priority = t.priority;
+            }
+        }
+        self.tcbs[idx].state = TaskState::Sleeping;
+        Ok(())
+    }
+
+    /// Explicitly re-prioritizes a task, gated by RTA.
+    ///
+    /// # Errors
+    ///
+    /// [`AdmitError::UnknownTask`] or [`AdmitError::NotSchedulable`]
+    /// (in which case priorities are unchanged).
+    pub fn set_priority(&mut self, id: TaskId, priority: u8) -> Result<(), AdmitError> {
+        let idx = self
+            .tcbs
+            .iter()
+            .position(|t| t.id == id)
+            .ok_or(AdmitError::UnknownTask(id))?;
+        let name = self.tcbs[idx].spec.name.clone();
+        let mut trial = self.active_set();
+        for t in trial.tasks_mut() {
+            if t.name == name {
+                t.priority = Some(priority);
+            }
+        }
+        if !trial.priorities_are_unique() || !response_time_analysis(&trial).schedulable {
+            return Err(AdmitError::NotSchedulable);
+        }
+        self.tcbs[idx].spec.priority = Some(priority);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    fn spec(name: &str, wcet: u64, period: u64) -> TaskSpec {
+        TaskSpec::new(name, ms(wcet), ms(period))
+    }
+
+    fn img() -> TaskImage {
+        TaskImage::typical_control_task()
+    }
+
+    #[test]
+    fn admission_assigns_rm_priorities() {
+        let mut k = Kernel::new("ctrl-a");
+        let slow = k.admit(spec("slow", 10, 100), img(), None).unwrap();
+        let fast = k.admit(spec("fast", 1, 10), img(), None).unwrap();
+        let p_slow = k.tcb(slow).unwrap().spec.priority.unwrap();
+        let p_fast = k.tcb(fast).unwrap().spec.priority.unwrap();
+        assert!(p_fast < p_slow, "shorter period must outrank");
+        assert!(k.verdict().schedulable);
+    }
+
+    #[test]
+    fn admission_rejects_overload_and_leaves_state() {
+        let mut k = Kernel::new("n");
+        k.admit(spec("a", 6, 10), img(), None).unwrap();
+        let before = k.active_set();
+        let err = k.admit(spec("b", 6, 10), img(), None).unwrap_err();
+        assert_eq!(err, AdmitError::NotSchedulable);
+        assert_eq!(k.active_set(), before, "failed admission must be a no-op");
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut k = Kernel::new("n");
+        k.admit(spec("pid", 1, 10), img(), None).unwrap();
+        assert!(matches!(
+            k.admit(spec("pid", 1, 20), img(), None),
+            Err(AdmitError::DuplicateName(_))
+        ));
+    }
+
+    #[test]
+    fn reserve_gate_applies() {
+        let mut k = Kernel::new("n");
+        k.reserves_mut().cpu_capacity = 0.3;
+        let r = CpuReserve::new(ms(2), ms(10));
+        assert!(k.admit(spec("a", 2, 10), img(), Some(r)).is_ok());
+        let r2 = CpuReserve::new(ms(2), ms(10));
+        let err = k.admit(spec("b", 2, 10), img(), Some(r2)).unwrap_err();
+        assert!(matches!(err, AdmitError::Reserve(ReserveError::Cpu)));
+    }
+
+    #[test]
+    fn suspend_frees_capacity_resume_regates() {
+        let mut k = Kernel::new("n");
+        let a = k.admit(spec("a", 6, 10), img(), None).unwrap();
+        // b does not fit while a is active...
+        assert!(k.admit(spec("b", 6, 10), img(), None).is_err());
+        // ...but fits once a is suspended (the Dormant-replica pattern).
+        k.suspend(a).unwrap();
+        let _b = k.admit(spec("b", 6, 10), img(), None).unwrap();
+        // Resuming a must now fail the gate and leave a suspended.
+        assert_eq!(k.resume(a), Err(AdmitError::NotSchedulable));
+        assert_eq!(k.tcb(a).unwrap().state, TaskState::Suspended);
+    }
+
+    #[test]
+    fn remove_returns_migration_payload() {
+        let mut k = Kernel::new("n");
+        let id = k.admit(spec("mig", 1, 10), img(), None).unwrap();
+        let tcb = k.remove(id).unwrap();
+        assert_eq!(tcb.spec.name, "mig");
+        assert_eq!(tcb.image.size_bytes(), 384);
+        assert!(k.tcb(id).is_none());
+        assert!(matches!(k.remove(id), Err(AdmitError::UnknownTask(_))));
+    }
+
+    #[test]
+    fn manual_priority_gated() {
+        let mut k = Kernel::new("n");
+        let a = k.admit(spec("a", 1, 10), img(), None).unwrap();
+        let b = k.admit(spec("b", 2, 20), img(), None).unwrap();
+        // Swapping to give b the top priority is still schedulable here
+        // (two steps: a transient duplicate would be rejected).
+        k.set_priority(a, 2).unwrap();
+        k.set_priority(b, 0).unwrap();
+        assert!(k.verdict().schedulable);
+        // Duplicate priority rejected.
+        let err = k.set_priority(b, 2).unwrap_err();
+        assert_eq!(err, AdmitError::NotSchedulable);
+        assert_eq!(k.tcb(b).unwrap().spec.priority, Some(0));
+    }
+
+    #[test]
+    fn empty_kernel_is_schedulable() {
+        let k = Kernel::new("n");
+        assert!(k.verdict().schedulable);
+        assert_eq!(k.utilization(), 0.0);
+    }
+
+    #[test]
+    fn resume_noop_when_active() {
+        let mut k = Kernel::new("n");
+        let a = k.admit(spec("a", 1, 10), img(), None).unwrap();
+        assert!(k.resume(a).is_ok());
+    }
+}

@@ -1,0 +1,38 @@
+//! nano-RK-style real-time kernel model.
+//!
+//! nano-RK (Eswaran, Rowe & Rajkumar) is a fully preemptive fixed-priority
+//! RTOS with first-class *resource reservations*: tasks declare CPU,
+//! network and energy budgets, the kernel admits them only if the resulting
+//! task set is schedulable, and enforces the budgets at runtime. The EVM
+//! sits on top of exactly these services (paper §2.2, Fig. 3): every task
+//! migration or activation is gated by an admission test on the target
+//! node.
+//!
+//! This crate models those services:
+//!
+//! * [`task`] — task specifications and sets,
+//! * [`tcb`] — task control blocks and the migratable task image,
+//! * [`sched`] — schedulability analyses (utilization bounds, hyperbolic
+//!   bound, exact response-time analysis), priority assignment (RM / DM /
+//!   Audsley) and a preemptive fixed-priority execution simulator with
+//!   budget enforcement,
+//! * [`reserve`] — CPU / network / energy reservations,
+//! * [`kernel`] — the per-node facade the EVM drives: admit, remove,
+//!   re-prioritize, suspend/resume, with the schedulability gate built in.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod kernel;
+pub mod reserve;
+pub mod sched;
+pub mod task;
+pub mod tcb;
+
+pub use kernel::{AdmitError, Kernel};
+pub use reserve::{CpuReserve, EnergyReserve, NetReserve, ReserveSet};
+pub use sched::analysis::{hyperbolic_test, liu_layland_bound, response_time_analysis, Verdict};
+pub use sched::executor::{ExecutionLog, Executor};
+pub use sched::priority::{assign_deadline_monotonic, assign_rate_monotonic, audsley};
+pub use task::{TaskId, TaskSet, TaskSpec};
+pub use tcb::{TaskImage, TaskState, Tcb};

@@ -1,0 +1,315 @@
+//! Resource reservations: CPU, network bandwidth and energy.
+//!
+//! nano-RK's defining feature (paper §2.2): tasks own explicit budgets and
+//! the kernel both *admits* against capacity and *enforces* at runtime.
+//! The EVM's "runtime resource allocation" operation (§3.1.1 op 2)
+//! allocates and re-allocates these reserves when tasks move between
+//! nodes.
+
+use std::fmt;
+
+use evm_sim::SimDuration;
+
+/// A CPU reservation: `budget` of execution every `period`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CpuReserve {
+    /// Guaranteed execution budget per period.
+    pub budget: SimDuration,
+    /// Replenishment period.
+    pub period: SimDuration,
+}
+
+impl CpuReserve {
+    /// Creates a reserve.
+    ///
+    /// # Panics
+    ///
+    /// Panics if budget or period is zero, or budget exceeds period.
+    #[must_use]
+    pub fn new(budget: SimDuration, period: SimDuration) -> Self {
+        assert!(!budget.is_zero(), "budget must be positive");
+        assert!(!period.is_zero(), "period must be positive");
+        assert!(budget <= period, "budget cannot exceed period");
+        CpuReserve { budget, period }
+    }
+
+    /// Fraction of the CPU this reserve claims.
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        self.budget.as_secs_f64() / self.period.as_secs_f64()
+    }
+}
+
+impl fmt::Display for CpuReserve {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cpu {}/{}", self.budget, self.period)
+    }
+}
+
+/// A network reservation: TDMA slots per RT-Link cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetReserve {
+    /// Slots this task may transmit in, per cycle.
+    pub slots_per_cycle: u16,
+    /// Usable payload per slot, bytes.
+    pub payload_per_slot: usize,
+    /// Cycle length.
+    pub cycle: SimDuration,
+}
+
+impl NetReserve {
+    /// Creates a network reserve.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any field is zero.
+    #[must_use]
+    pub fn new(slots_per_cycle: u16, payload_per_slot: usize, cycle: SimDuration) -> Self {
+        assert!(slots_per_cycle > 0, "need at least one slot");
+        assert!(payload_per_slot > 0, "payload must be positive");
+        assert!(!cycle.is_zero(), "cycle must be positive");
+        NetReserve {
+            slots_per_cycle,
+            payload_per_slot,
+            cycle,
+        }
+    }
+
+    /// Guaranteed goodput in bytes per second.
+    #[must_use]
+    pub fn bytes_per_sec(&self) -> f64 {
+        self.slots_per_cycle as f64 * self.payload_per_slot as f64 / self.cycle.as_secs_f64()
+    }
+}
+
+/// An energy reservation: average charge budget per day (nano-RK's virtual
+/// energy reservations).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyReserve {
+    /// Allowed consumption, mAh per day.
+    pub mah_per_day: f64,
+}
+
+impl EnergyReserve {
+    /// Creates an energy reserve.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the budget is not strictly positive.
+    #[must_use]
+    pub fn new(mah_per_day: f64) -> Self {
+        assert!(mah_per_day > 0.0, "energy budget must be positive");
+        EnergyReserve { mah_per_day }
+    }
+
+    /// Equivalent average current, mA.
+    #[must_use]
+    pub fn average_current_ma(&self) -> f64 {
+        self.mah_per_day / 24.0
+    }
+}
+
+/// Per-node reserve pool: capacities and current allocations.
+#[derive(Debug, Clone)]
+pub struct ReserveSet {
+    cpu: Vec<CpuReserve>,
+    net: Vec<NetReserve>,
+    energy: Vec<EnergyReserve>,
+    /// Admissible CPU utilization ceiling (≤ 1.0; the schedulability test
+    /// is the real gate, this is the reserve-accounting cap).
+    pub cpu_capacity: f64,
+    /// Slots per cycle this node may own in total.
+    pub net_slot_capacity: u16,
+    /// Node energy budget, mAh per day.
+    pub energy_capacity_mah_per_day: f64,
+}
+
+/// Reason a reserve allocation was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReserveError {
+    /// CPU utilization cap exceeded.
+    Cpu,
+    /// Slot capacity exceeded.
+    Network,
+    /// Energy budget exceeded.
+    Energy,
+}
+
+impl fmt::Display for ReserveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ReserveError::Cpu => "cpu reserve capacity exceeded",
+            ReserveError::Network => "network slot capacity exceeded",
+            ReserveError::Energy => "energy budget exceeded",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for ReserveError {}
+
+impl Default for ReserveSet {
+    fn default() -> Self {
+        ReserveSet {
+            cpu: Vec::new(),
+            net: Vec::new(),
+            energy: Vec::new(),
+            cpu_capacity: 1.0,
+            net_slot_capacity: 8,
+            energy_capacity_mah_per_day: 12.0, // ~0.5 mA average
+        }
+    }
+}
+
+impl ReserveSet {
+    /// Creates a pool with default capacities.
+    #[must_use]
+    pub fn new() -> Self {
+        ReserveSet::default()
+    }
+
+    /// Total CPU utilization currently reserved.
+    #[must_use]
+    pub fn cpu_utilization(&self) -> f64 {
+        self.cpu.iter().map(CpuReserve::utilization).sum()
+    }
+
+    /// Total slots currently reserved.
+    #[must_use]
+    pub fn net_slots(&self) -> u16 {
+        self.net.iter().map(|r| r.slots_per_cycle).sum()
+    }
+
+    /// Total energy currently reserved, mAh/day.
+    #[must_use]
+    pub fn energy_mah_per_day(&self) -> f64 {
+        self.energy.iter().map(|r| r.mah_per_day).sum()
+    }
+
+    /// Attempts to allocate a CPU reserve.
+    ///
+    /// # Errors
+    ///
+    /// [`ReserveError::Cpu`] if the utilization cap would be exceeded.
+    pub fn try_add_cpu(&mut self, r: CpuReserve) -> Result<(), ReserveError> {
+        if self.cpu_utilization() + r.utilization() > self.cpu_capacity + 1e-12 {
+            return Err(ReserveError::Cpu);
+        }
+        self.cpu.push(r);
+        Ok(())
+    }
+
+    /// Attempts to allocate a network reserve.
+    ///
+    /// # Errors
+    ///
+    /// [`ReserveError::Network`] if slot capacity would be exceeded.
+    pub fn try_add_net(&mut self, r: NetReserve) -> Result<(), ReserveError> {
+        if self.net_slots() + r.slots_per_cycle > self.net_slot_capacity {
+            return Err(ReserveError::Network);
+        }
+        self.net.push(r);
+        Ok(())
+    }
+
+    /// Attempts to allocate an energy reserve.
+    ///
+    /// # Errors
+    ///
+    /// [`ReserveError::Energy`] if the daily budget would be exceeded.
+    pub fn try_add_energy(&mut self, r: EnergyReserve) -> Result<(), ReserveError> {
+        if self.energy_mah_per_day() + r.mah_per_day > self.energy_capacity_mah_per_day + 1e-12 {
+            return Err(ReserveError::Energy);
+        }
+        self.energy.push(r);
+        Ok(())
+    }
+
+    /// Releases a CPU reserve (first matching).
+    pub fn release_cpu(&mut self, r: &CpuReserve) -> bool {
+        match self.cpu.iter().position(|x| x == r) {
+            Some(i) => {
+                self.cpu.remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Remaining CPU headroom (capacity minus reserved).
+    #[must_use]
+    pub fn cpu_headroom(&self) -> f64 {
+        (self.cpu_capacity - self.cpu_utilization()).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    #[test]
+    fn cpu_reserve_utilization() {
+        let r = CpuReserve::new(ms(2), ms(10));
+        assert!((r.utilization() - 0.2).abs() < 1e-12);
+        assert_eq!(r.to_string(), "cpu 2.000ms/10.000ms");
+    }
+
+    #[test]
+    fn net_reserve_goodput() {
+        let r = NetReserve::new(2, 100, ms(250));
+        assert!((r.bytes_per_sec() - 800.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_reserve_current() {
+        let r = EnergyReserve::new(24.0);
+        assert!((r.average_current_ma() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pool_admits_until_capacity() {
+        let mut pool = ReserveSet::new();
+        assert!(pool.try_add_cpu(CpuReserve::new(ms(5), ms(10))).is_ok());
+        assert!(pool.try_add_cpu(CpuReserve::new(ms(4), ms(10))).is_ok());
+        assert_eq!(
+            pool.try_add_cpu(CpuReserve::new(ms(2), ms(10))),
+            Err(ReserveError::Cpu)
+        );
+        assert!((pool.cpu_headroom() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pool_releases_reserves() {
+        let mut pool = ReserveSet::new();
+        let r = CpuReserve::new(ms(5), ms(10));
+        pool.try_add_cpu(r).unwrap();
+        assert!(pool.release_cpu(&r));
+        assert!(!pool.release_cpu(&r));
+        assert_eq!(pool.cpu_utilization(), 0.0);
+    }
+
+    #[test]
+    fn net_and_energy_caps() {
+        let mut pool = ReserveSet::new();
+        assert!(pool.try_add_net(NetReserve::new(8, 100, ms(250))).is_ok());
+        assert_eq!(
+            pool.try_add_net(NetReserve::new(1, 100, ms(250))),
+            Err(ReserveError::Network)
+        );
+        assert!(pool.try_add_energy(EnergyReserve::new(12.0)).is_ok());
+        assert_eq!(
+            pool.try_add_energy(EnergyReserve::new(0.1)),
+            Err(ReserveError::Energy)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "budget cannot exceed period")]
+    fn cpu_overbudget_panics() {
+        let _ = CpuReserve::new(ms(11), ms(10));
+    }
+}

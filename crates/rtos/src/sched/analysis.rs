@@ -1,0 +1,229 @@
+//! Schedulability analysis for fixed-priority preemptive scheduling.
+//!
+//! Three tests of increasing precision, matching what an EVM node can
+//! afford to run at different moments (experiment E9 compares them):
+//!
+//! * [`liu_layland_bound`] / [`utilization_test`] — the classic
+//!   `U ≤ n(2^{1/n} − 1)` sufficient test (O(n), very cheap, pessimistic),
+//! * [`hyperbolic_test`] — Bini's `Π(Uᵢ + 1) ≤ 2` sufficient test (O(n),
+//!   strictly less pessimistic),
+//! * [`response_time_analysis`] — exact for constrained-deadline FP tasks:
+//!   fixed-point iteration on `Rᵢ = Cᵢ + Σ_{j∈hp(i)} ⌈Rᵢ/Tⱼ⌉ Cⱼ`.
+
+use evm_sim::SimDuration;
+
+use crate::task::TaskSet;
+
+/// Result of a schedulability test over a task set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Verdict {
+    /// `true` if every task provably meets its deadline.
+    pub schedulable: bool,
+    /// The analysis that produced this verdict.
+    pub method: &'static str,
+    /// Worst-case response time per task (same order as the input set),
+    /// where the method computes one. `None` entries mean the iteration
+    /// diverged past the deadline.
+    pub response_times: Vec<Option<SimDuration>>,
+}
+
+/// The Liu & Layland utilization bound for `n` tasks: `n(2^{1/n} − 1)`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn liu_layland_bound(n: usize) -> f64 {
+    assert!(n > 0, "bound undefined for zero tasks");
+    let n = n as f64;
+    n * (2f64.powf(1.0 / n) - 1.0)
+}
+
+/// Sufficient utilization-bound test (rate-monotonic, implicit deadlines).
+#[must_use]
+pub fn utilization_test(set: &TaskSet) -> Verdict {
+    let schedulable =
+        !set.is_empty() && set.total_utilization() <= liu_layland_bound(set.len()) + 1e-12;
+    Verdict {
+        schedulable,
+        method: "liu-layland",
+        response_times: vec![None; set.len()],
+    }
+}
+
+/// Bini's hyperbolic sufficient test: `Π(Uᵢ + 1) ≤ 2`.
+#[must_use]
+pub fn hyperbolic_test(set: &TaskSet) -> Verdict {
+    let product: f64 = set.tasks().iter().map(|t| t.utilization() + 1.0).product();
+    Verdict {
+        schedulable: !set.is_empty() && product <= 2.0 + 1e-12,
+        method: "hyperbolic",
+        response_times: vec![None; set.len()],
+    }
+}
+
+/// Exact response-time analysis for fixed-priority preemptive scheduling
+/// with constrained deadlines (`D ≤ T`).
+///
+/// Requires unique priorities on every task; returns per-task worst-case
+/// response times in input order.
+///
+/// # Panics
+///
+/// Panics if any task lacks a priority or priorities are not unique.
+#[must_use]
+pub fn response_time_analysis(set: &TaskSet) -> Verdict {
+    assert!(
+        set.priorities_are_unique(),
+        "RTA requires unique priorities on all tasks"
+    );
+    let tasks = set.tasks();
+    let mut response_times = Vec::with_capacity(tasks.len());
+    let mut schedulable = true;
+
+    for (i, task) in tasks.iter().enumerate() {
+        let my_prio = task.priority.expect("checked above");
+        // Higher-priority tasks (lower number).
+        let hp: Vec<usize> = (0..tasks.len())
+            .filter(|&j| j != i && tasks[j].priority.expect("checked") < my_prio)
+            .collect();
+
+        let c = task.wcet.as_micros();
+        let d = task.deadline.as_micros();
+        let mut r = c;
+        let rt = loop {
+            let interference: u64 = hp
+                .iter()
+                .map(|&j| {
+                    let tj = tasks[j].period.as_micros();
+                    let cj = tasks[j].wcet.as_micros();
+                    r.div_ceil(tj) * cj
+                })
+                .sum();
+            let next = c + interference;
+            if next == r {
+                break Some(SimDuration::from_micros(r));
+            }
+            if next > d {
+                break None;
+            }
+            r = next;
+        };
+        if rt.is_none() {
+            schedulable = false;
+        }
+        response_times.push(rt);
+    }
+
+    Verdict {
+        schedulable: schedulable && !tasks.is_empty(),
+        method: "response-time-analysis",
+        response_times,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::TaskSpec;
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    /// Classic textbook set (Liu & Layland schedulable at U ≈ 0.753).
+    fn easy_set() -> TaskSet {
+        [
+            TaskSpec::new("a", ms(1), ms(4)).with_priority(0),
+            TaskSpec::new("b", ms(2), ms(8)).with_priority(1),
+            TaskSpec::new("c", ms(4), ms(16)).with_priority(2),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    /// U = 1.0, RM-schedulable because periods are harmonic.
+    fn harmonic_full() -> TaskSet {
+        [
+            TaskSpec::new("a", ms(2), ms(4)).with_priority(0),
+            TaskSpec::new("b", ms(2), ms(8)).with_priority(1),
+            TaskSpec::new("c", ms(4), ms(16)).with_priority(2),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    fn overloaded() -> TaskSet {
+        [
+            TaskSpec::new("a", ms(3), ms(4)).with_priority(0),
+            TaskSpec::new("b", ms(3), ms(8)).with_priority(1),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn liu_layland_values() {
+        assert!((liu_layland_bound(1) - 1.0).abs() < 1e-12);
+        assert!((liu_layland_bound(2) - 0.8284).abs() < 1e-4);
+        // n -> infinity: ln 2.
+        assert!((liu_layland_bound(10_000) - std::f64::consts::LN_2).abs() < 1e-4);
+    }
+
+    #[test]
+    fn utilization_test_accepts_easy_rejects_harmonic() {
+        assert!(utilization_test(&easy_set()).schedulable);
+        // Harmonic set is schedulable but the LL bound can't see it.
+        assert!(!utilization_test(&harmonic_full()).schedulable);
+    }
+
+    #[test]
+    fn hyperbolic_dominates_liu_layland() {
+        // Any LL-accepted set is hyperbolic-accepted.
+        let set = easy_set();
+        assert!(utilization_test(&set).schedulable);
+        assert!(hyperbolic_test(&set).schedulable);
+    }
+
+    #[test]
+    fn rta_exact_values_on_textbook_set() {
+        let v = response_time_analysis(&easy_set());
+        assert!(v.schedulable);
+        // R_a = 1; R_b = 2 + 1*1 = 3; R_c = 4 + interference = 9? compute:
+        // R_c: start 4 -> 4 + ceil(4/4)*1 + ceil(4/8)*2 = 4+1+2=7
+        //      -> 7 + ceil(7/4)*1 + ceil(7/8)*2 = 4+2+2=8
+        //      -> 8 + ceil(8/4)*1+ceil(8/8)*2 = 4+2+2=8  fixed point.
+        assert_eq!(v.response_times[0], Some(ms(1)));
+        assert_eq!(v.response_times[1], Some(ms(3)));
+        assert_eq!(v.response_times[2], Some(ms(8)));
+    }
+
+    #[test]
+    fn rta_accepts_harmonic_full_utilization() {
+        let v = response_time_analysis(&harmonic_full());
+        assert!(v.schedulable, "harmonic U=1.0 is RM-schedulable");
+        assert_eq!(v.response_times[2], Some(ms(16)));
+    }
+
+    #[test]
+    fn rta_rejects_overload() {
+        let v = response_time_analysis(&overloaded());
+        assert!(!v.schedulable);
+        assert_eq!(v.response_times[0], Some(ms(3)));
+        assert_eq!(v.response_times[1], None);
+    }
+
+    #[test]
+    fn empty_set_is_never_schedulable() {
+        // An empty verdict would be vacuous; the kernel treats it as a
+        // no-op admission anyway.
+        assert!(!utilization_test(&TaskSet::new()).schedulable);
+    }
+
+    #[test]
+    #[should_panic(expected = "unique priorities")]
+    fn rta_requires_priorities() {
+        let set: TaskSet = [TaskSpec::new("a", ms(1), ms(4))].into_iter().collect();
+        let _ = response_time_analysis(&set);
+    }
+}

@@ -1,0 +1,5 @@
+//! Scheduling: analysis, priority assignment and execution simulation.
+
+pub mod analysis;
+pub mod executor;
+pub mod priority;

@@ -1,0 +1,192 @@
+//! Priority assignment policies.
+//!
+//! nano-RK uses fixed priorities; the EVM's "priority assignment"
+//! operation (§3.1.1 op 4) re-derives them when the task set changes.
+//! Rate-monotonic is optimal for implicit deadlines, deadline-monotonic
+//! for constrained deadlines, and Audsley's algorithm is optimal in
+//! general (it searches priority orderings using RTA as the feasibility
+//! oracle).
+
+use crate::sched::analysis::response_time_analysis;
+use crate::task::TaskSet;
+
+/// Assigns rate-monotonic priorities (shorter period = higher priority).
+/// Ties break by input order. Returns the same set, re-prioritized.
+pub fn assign_rate_monotonic(set: &mut TaskSet) {
+    let mut order: Vec<usize> = (0..set.len()).collect();
+    order.sort_by_key(|&i| (set.tasks()[i].period, i));
+    for (prio, &i) in order.iter().enumerate() {
+        set.tasks_mut()[i].priority = Some(prio as u8);
+    }
+}
+
+/// Assigns deadline-monotonic priorities (shorter relative deadline =
+/// higher priority). Ties break by input order.
+pub fn assign_deadline_monotonic(set: &mut TaskSet) {
+    let mut order: Vec<usize> = (0..set.len()).collect();
+    order.sort_by_key(|&i| (set.tasks()[i].deadline, i));
+    for (prio, &i) in order.iter().enumerate() {
+        set.tasks_mut()[i].priority = Some(prio as u8);
+    }
+}
+
+/// Audsley's optimal priority assignment.
+///
+/// Greedily assigns the **lowest** priority level to any task that is
+/// schedulable at that level (with all others above it), then recurses on
+/// the rest. Returns `true` and leaves the set prioritized if a feasible
+/// assignment exists; returns `false` (set left unmodified) otherwise.
+pub fn audsley(set: &mut TaskSet) -> bool {
+    let n = set.len();
+    if n == 0 {
+        return true;
+    }
+    if n > u8::MAX as usize {
+        return false;
+    }
+    let original: Vec<Option<u8>> = set.tasks().iter().map(|t| t.priority).collect();
+
+    // unassigned[i] = true while task i still needs a level.
+    let mut unassigned = vec![true; n];
+    // Assign levels from the bottom (n-1) upward.
+    for level in (0..n).rev() {
+        let mut placed = false;
+        for i in 0..n {
+            if !unassigned[i] {
+                continue;
+            }
+            // Trial: i at `level`, all other unassigned tasks above it.
+            let mut trial = set.clone();
+            let mut next_hp = 0u8;
+            #[allow(clippy::needless_range_loop)] // j indexes two slices in lockstep
+            for j in 0..n {
+                let p = if j == i {
+                    level as u8
+                } else if unassigned[j] {
+                    let p = next_hp;
+                    next_hp += 1;
+                    p
+                } else {
+                    // Already fixed at a lower level in a previous round.
+                    trial.tasks()[j].priority.expect("assigned earlier")
+                };
+                trial.tasks_mut()[j].priority = Some(p);
+            }
+            // Only task i's response time matters at this step (lower
+            // levels are already proven, higher levels don't depend on i).
+            let verdict = response_time_analysis(&trial);
+            if verdict.response_times[i].is_some() {
+                set.tasks_mut()[i].priority = Some(level as u8);
+                unassigned[i] = false;
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            // Infeasible: restore and report.
+            for (t, p) in set.tasks_mut().iter_mut().zip(original) {
+                t.priority = p;
+            }
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::TaskSpec;
+    use evm_sim::SimDuration;
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    #[test]
+    fn rm_orders_by_period() {
+        let mut set: TaskSet = [
+            TaskSpec::new("slow", ms(5), ms(100)),
+            TaskSpec::new("fast", ms(1), ms(10)),
+            TaskSpec::new("mid", ms(2), ms(50)),
+        ]
+        .into_iter()
+        .collect();
+        assign_rate_monotonic(&mut set);
+        let prio = |name: &str| {
+            set.tasks()
+                .iter()
+                .find(|t| t.name == name)
+                .and_then(|t| t.priority)
+                .unwrap()
+        };
+        assert!(prio("fast") < prio("mid"));
+        assert!(prio("mid") < prio("slow"));
+        assert!(set.priorities_are_unique());
+    }
+
+    #[test]
+    fn dm_orders_by_deadline() {
+        let mut set: TaskSet = [
+            TaskSpec::new("a", ms(1), ms(100)).with_deadline(ms(10)),
+            TaskSpec::new("b", ms(1), ms(10)),
+        ]
+        .into_iter()
+        .collect();
+        assign_deadline_monotonic(&mut set);
+        let a = set.tasks().iter().find(|t| t.name == "a").unwrap();
+        let b = set.tasks().iter().find(|t| t.name == "b").unwrap();
+        assert!(a.priority < b.priority, "D=10 beats D=T=10? tie by order");
+    }
+
+    #[test]
+    fn audsley_finds_assignment_rm_misses() {
+        // Non-harmonic constrained-deadline set where DM/Audsley succeed.
+        let mut set: TaskSet = [
+            TaskSpec::new("x", ms(3), ms(12)).with_deadline(ms(5)),
+            TaskSpec::new("y", ms(2), ms(10)),
+            TaskSpec::new("z", ms(2), ms(20)),
+        ]
+        .into_iter()
+        .collect();
+        assert!(audsley(&mut set));
+        assert!(set.priorities_are_unique());
+        assert!(response_time_analysis(&set).schedulable);
+    }
+
+    #[test]
+    fn audsley_rejects_infeasible_and_restores() {
+        let mut set: TaskSet = [
+            TaskSpec::new("a", ms(6), ms(10)).with_priority(42),
+            TaskSpec::new("b", ms(6), ms(10)),
+        ]
+        .into_iter()
+        .collect();
+        assert!(!audsley(&mut set));
+        // Original (partial) priorities restored.
+        assert_eq!(set.tasks()[0].priority, Some(42));
+        assert_eq!(set.tasks()[1].priority, None);
+    }
+
+    #[test]
+    fn audsley_matches_rm_on_schedulable_sets() {
+        let mut rm_set: TaskSet = [
+            TaskSpec::new("a", ms(1), ms(4)),
+            TaskSpec::new("b", ms(2), ms(8)),
+            TaskSpec::new("c", ms(4), ms(16)),
+        ]
+        .into_iter()
+        .collect();
+        let mut aud_set = rm_set.clone();
+        assign_rate_monotonic(&mut rm_set);
+        assert!(audsley(&mut aud_set));
+        assert!(response_time_analysis(&rm_set).schedulable);
+        assert!(response_time_analysis(&aud_set).schedulable);
+    }
+
+    #[test]
+    fn audsley_empty_set_trivially_feasible() {
+        let mut set = TaskSet::new();
+        assert!(audsley(&mut set));
+    }
+}

@@ -1,0 +1,230 @@
+//! Task specifications and task sets.
+
+use std::fmt;
+
+use evm_sim::SimDuration;
+
+/// Identifier of a task within a kernel or task set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TaskId(pub u32);
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A periodic real-time task: the classic `(C, T, D)` triple plus an
+/// optional release offset and an explicit priority (lower number = higher
+/// priority, nano-RK convention).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskSpec {
+    /// Human-readable name, e.g. `"lts-level-pid"`.
+    pub name: String,
+    /// Worst-case execution time `C`.
+    pub wcet: SimDuration,
+    /// Period `T`.
+    pub period: SimDuration,
+    /// Relative deadline `D` (defaults to the period).
+    pub deadline: SimDuration,
+    /// First release offset.
+    pub offset: SimDuration,
+    /// Fixed priority; `None` until assigned. Lower value runs first.
+    pub priority: Option<u8>,
+}
+
+impl TaskSpec {
+    /// Creates a task with implicit deadline (`D = T`) and zero offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wcet` is zero, `period` is zero, or `wcet > period`.
+    #[must_use]
+    pub fn new(name: impl Into<String>, wcet: SimDuration, period: SimDuration) -> Self {
+        assert!(!wcet.is_zero(), "wcet must be positive");
+        assert!(!period.is_zero(), "period must be positive");
+        assert!(wcet <= period, "wcet must not exceed period");
+        TaskSpec {
+            name: name.into(),
+            wcet,
+            period,
+            deadline: period,
+            offset: SimDuration::ZERO,
+            priority: None,
+        }
+    }
+
+    /// Sets a constrained deadline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `deadline < wcet` or `deadline > period`.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: SimDuration) -> Self {
+        assert!(deadline >= self.wcet, "deadline below wcet");
+        assert!(deadline <= self.period, "deadline beyond period");
+        self.deadline = deadline;
+        self
+    }
+
+    /// Sets the release offset.
+    #[must_use]
+    pub fn with_offset(mut self, offset: SimDuration) -> Self {
+        self.offset = offset;
+        self
+    }
+
+    /// Sets an explicit priority (lower value = higher priority).
+    #[must_use]
+    pub fn with_priority(mut self, priority: u8) -> Self {
+        self.priority = Some(priority);
+        self
+    }
+
+    /// CPU utilization `C/T`.
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        self.wcet.as_secs_f64() / self.period.as_secs_f64()
+    }
+}
+
+/// An ordered collection of tasks forming one node's workload.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TaskSet {
+    tasks: Vec<TaskSpec>,
+}
+
+impl TaskSet {
+    /// Creates an empty task set.
+    #[must_use]
+    pub fn new() -> Self {
+        TaskSet::default()
+    }
+
+    /// Adds a task.
+    pub fn push(&mut self, task: TaskSpec) {
+        self.tasks.push(task);
+    }
+
+    /// The tasks, in insertion order.
+    #[must_use]
+    pub fn tasks(&self) -> &[TaskSpec] {
+        &self.tasks
+    }
+
+    /// Mutable access for priority assignment.
+    pub fn tasks_mut(&mut self) -> &mut [TaskSpec] {
+        &mut self.tasks
+    }
+
+    /// Number of tasks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// `true` if empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Total CPU utilization.
+    #[must_use]
+    pub fn total_utilization(&self) -> f64 {
+        self.tasks.iter().map(TaskSpec::utilization).sum()
+    }
+
+    /// Tasks sorted by priority (highest first). Unprioritized tasks sort
+    /// last.
+    #[must_use]
+    pub fn by_priority(&self) -> Vec<&TaskSpec> {
+        let mut v: Vec<&TaskSpec> = self.tasks.iter().collect();
+        v.sort_by_key(|t| t.priority.unwrap_or(u8::MAX));
+        v
+    }
+
+    /// `true` if every task has a priority and no two share one.
+    #[must_use]
+    pub fn priorities_are_unique(&self) -> bool {
+        let mut ps: Vec<u8> = match self.tasks.iter().map(|t| t.priority).collect() {
+            Some(v) => v,
+            None => return false,
+        };
+        ps.sort_unstable();
+        ps.windows(2).all(|w| w[0] != w[1])
+    }
+}
+
+impl FromIterator<TaskSpec> for TaskSet {
+    fn from_iter<I: IntoIterator<Item = TaskSpec>>(iter: I) -> Self {
+        TaskSet {
+            tasks: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<TaskSpec> for TaskSet {
+    fn extend<I: IntoIterator<Item = TaskSpec>>(&mut self, iter: I) {
+        self.tasks.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    #[test]
+    fn spec_builder_and_utilization() {
+        let t = TaskSpec::new("pid", ms(2), ms(10))
+            .with_deadline(ms(8))
+            .with_offset(ms(1))
+            .with_priority(3);
+        assert_eq!(t.deadline, ms(8));
+        assert_eq!(t.offset, ms(1));
+        assert_eq!(t.priority, Some(3));
+        assert!((t.utilization() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "wcet must not exceed period")]
+    fn overlong_wcet_panics() {
+        let _ = TaskSpec::new("bad", ms(20), ms(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "deadline below wcet")]
+    fn tiny_deadline_panics() {
+        let _ = TaskSpec::new("bad", ms(5), ms(10)).with_deadline(ms(2));
+    }
+
+    #[test]
+    fn set_utilization_sums() {
+        let set: TaskSet = [
+            TaskSpec::new("a", ms(1), ms(10)),
+            TaskSpec::new("b", ms(2), ms(10)),
+        ]
+        .into_iter()
+        .collect();
+        assert!((set.total_utilization() - 0.3).abs() < 1e-12);
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn priority_ordering_and_uniqueness() {
+        let mut set = TaskSet::new();
+        set.push(TaskSpec::new("low", ms(1), ms(100)).with_priority(7));
+        set.push(TaskSpec::new("high", ms(1), ms(10)).with_priority(1));
+        let order = set.by_priority();
+        assert_eq!(order[0].name, "high");
+        assert!(set.priorities_are_unique());
+        set.push(TaskSpec::new("dup", ms(1), ms(10)).with_priority(1));
+        assert!(!set.priorities_are_unique());
+        set.push(TaskSpec::new("none", ms(1), ms(10)));
+        assert!(!set.priorities_are_unique());
+    }
+}

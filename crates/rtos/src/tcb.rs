@@ -1,0 +1,145 @@
+//! Task control blocks and the migratable task image.
+//!
+//! The paper's failover mechanism migrates "the task control block, stack,
+//! data and timing/precedence-related metadata" (§4) between controllers.
+//! [`TaskImage`] is exactly that byte-sized payload; its size drives how
+//! many RT-Link slots a migration occupies (experiment E8).
+
+use std::fmt;
+
+use evm_sim::SimTime;
+
+use crate::task::{TaskId, TaskSpec};
+
+/// Runtime state of a task on a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskState {
+    /// Eligible to run when highest-priority.
+    Ready,
+    /// Currently executing.
+    Running,
+    /// Waiting for its next period.
+    Sleeping,
+    /// Explicitly suspended (e.g. a Dormant controller replica).
+    Suspended,
+}
+
+impl fmt::Display for TaskState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TaskState::Ready => "ready",
+            TaskState::Running => "running",
+            TaskState::Sleeping => "sleeping",
+            TaskState::Suspended => "suspended",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The serializable image of a task: what actually crosses the network
+/// during migration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskImage {
+    /// Saved register file (the VM's register window on an 8-bit AVR).
+    pub registers: Vec<u8>,
+    /// Stack snapshot.
+    pub stack: Vec<u8>,
+    /// Task-private data section (e.g. PID integrator state).
+    pub data: Vec<u8>,
+    /// Timing / precedence metadata size in bytes (period, deadline,
+    /// offsets, precedence edges — serialized form).
+    pub metadata_bytes: usize,
+}
+
+impl TaskImage {
+    /// Creates an image with the given section sizes, filled with a
+    /// deterministic pattern (contents only matter for attestation tests).
+    #[must_use]
+    pub fn with_sizes(registers: usize, stack: usize, data: usize, metadata_bytes: usize) -> Self {
+        let fill = |n: usize, tag: u8| (0..n).map(|i| (i as u8).wrapping_mul(31) ^ tag).collect();
+        TaskImage {
+            registers: fill(registers, 0xA5),
+            stack: fill(stack, 0x5A),
+            data: fill(data, 0x3C),
+            metadata_bytes,
+        }
+    }
+
+    /// A typical EVM control-task image on the FireFly class of node:
+    /// 32 B registers, 256 B stack, 64 B data, 32 B metadata.
+    #[must_use]
+    pub fn typical_control_task() -> Self {
+        TaskImage::with_sizes(32, 256, 64, 32)
+    }
+
+    /// Total bytes that must cross the network.
+    #[must_use]
+    pub fn size_bytes(&self) -> usize {
+        self.registers.len() + self.stack.len() + self.data.len() + self.metadata_bytes
+    }
+}
+
+/// A task control block: spec + live state + image.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tcb {
+    /// Kernel-assigned id.
+    pub id: TaskId,
+    /// The task's static parameters.
+    pub spec: TaskSpec,
+    /// Current state.
+    pub state: TaskState,
+    /// Migratable image.
+    pub image: TaskImage,
+    /// Last release time, if any.
+    pub last_release: Option<SimTime>,
+}
+
+impl Tcb {
+    /// Creates a TCB in the `Sleeping` state.
+    #[must_use]
+    pub fn new(id: TaskId, spec: TaskSpec, image: TaskImage) -> Self {
+        Tcb {
+            id,
+            spec,
+            state: TaskState::Sleeping,
+            image,
+            last_release: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evm_sim::SimDuration;
+
+    #[test]
+    fn image_size_sums_sections() {
+        let img = TaskImage::with_sizes(32, 256, 64, 32);
+        assert_eq!(img.size_bytes(), 384);
+        assert_eq!(img.registers.len(), 32);
+        assert_eq!(img.stack.len(), 256);
+    }
+
+    #[test]
+    fn typical_image_is_stable() {
+        let a = TaskImage::typical_control_task();
+        let b = TaskImage::typical_control_task();
+        assert_eq!(a, b, "image generation must be deterministic");
+        assert_eq!(a.size_bytes(), 384);
+    }
+
+    #[test]
+    fn tcb_starts_sleeping() {
+        let spec = TaskSpec::new("x", SimDuration::from_millis(1), SimDuration::from_millis(10));
+        let tcb = Tcb::new(TaskId(1), spec, TaskImage::typical_control_task());
+        assert_eq!(tcb.state, TaskState::Sleeping);
+        assert!(tcb.last_release.is_none());
+    }
+
+    #[test]
+    fn state_display() {
+        assert_eq!(TaskState::Suspended.to_string(), "suspended");
+        assert_eq!(TaskState::Running.to_string(), "running");
+    }
+}

@@ -1,0 +1,109 @@
+//! Cross-crate integration: failure injection across the stack.
+
+use evm::core::runtime::{Engine, Scenario};
+use evm::plant::ActuatorFault;
+use evm::prelude::*;
+
+#[test]
+fn crash_of_primary_is_survived() {
+    let scenario = Scenario::builder()
+        .crash_primary_at(SimTime::from_secs(120))
+        .reconfig_epoch(SimDuration::ZERO)
+        .duration(SimDuration::from_secs(400))
+        .build();
+    let result = Engine::new(scenario).run();
+    let promoted = result.event_time("Ctrl-B -> Active").expect("failover");
+    // Heartbeat timeout (16 cycles = 4 s) + decision + one command slot.
+    assert!(
+        promoted < SimTime::from_secs(130),
+        "crash failover took until {promoted}"
+    );
+    let level = result.series("LTS.LiquidPct");
+    assert!(
+        (level.last_value().unwrap() - 50.0).abs() < 10.0,
+        "loop regulated after crash"
+    );
+}
+
+#[test]
+fn lossy_links_delay_but_do_not_fake_detection() {
+    let run = |loss: f64| {
+        let scenario = Scenario::builder()
+            .seed(77)
+            .fault_at(SimTime::from_secs(100), ActuatorFault::paper_fault())
+            .reconfig_epoch(SimDuration::ZERO)
+            .extra_loss(loss)
+            .duration(SimDuration::from_secs(300))
+            .build();
+        Engine::new(scenario).run()
+    };
+    let clean = run(0.0);
+    let lossy = run(0.3);
+    let t_clean = clean.event_time("confirmed deviation").expect("clean detects");
+    let t_lossy = lossy.event_time("confirmed deviation").expect("lossy detects");
+    assert!(t_clean >= SimTime::from_secs(100), "no false positive");
+    assert!(t_lossy >= t_clean, "loss can only delay detection");
+    assert!(
+        lossy.event_time("Ctrl-B -> Active").is_some(),
+        "failover still completes at 30% loss"
+    );
+}
+
+#[test]
+fn sensor_crash_stalls_the_loop_without_false_failover() {
+    // Losing the sensor is not a controller fault: both replicas starve
+    // of PV together, outputs freeze together, no deviation appears, and
+    // the actuator simply holds its last command (sample-and-hold).
+    use evm::core::runtime::nodes;
+    let scenario = Scenario::builder()
+        .crash_node_at(nodes::S1, SimTime::from_secs(100))
+        .reconfig_epoch(SimDuration::ZERO)
+        .duration(SimDuration::from_secs(300))
+        .build();
+    let result = Engine::new(scenario).run();
+    assert!(result.event_time("confirmed deviation").is_none());
+    assert!(result.event_time("Ctrl-B -> Active").is_none());
+    // Valve held at its last commanded position.
+    let valve = result.series("LTSLiqValve.OpeningPct");
+    let held = valve.value_at(SimTime::from_secs(250)).unwrap();
+    assert!((held - 11.48).abs() < 2.0, "valve drifted to {held}");
+}
+
+#[test]
+fn erratic_fault_is_detected_like_stuck_fault() {
+    let scenario = Scenario::builder()
+        .fault_at(
+            SimTime::from_secs(100),
+            ActuatorFault::Erratic { lo: 40.0, hi: 95.0 },
+        )
+        .reconfig_epoch(SimDuration::ZERO)
+        .duration(SimDuration::from_secs(300))
+        .build();
+    let result = Engine::new(scenario).run();
+    assert!(result.event_time("confirmed deviation").is_some());
+    assert!(result.event_time("Ctrl-B -> Active").is_some());
+}
+
+#[test]
+fn drift_fault_detected_once_threshold_crossed() {
+    // A slow drift (0.2 %/s) crosses the 5 % detection threshold ~25 s
+    // after onset; detection must happen after that, not before.
+    let scenario = Scenario::builder()
+        .fault_at(
+            SimTime::from_secs(100),
+            ActuatorFault::Drift { rate_per_s: 0.2 },
+        )
+        .reconfig_epoch(SimDuration::ZERO)
+        .duration(SimDuration::from_secs(400))
+        .build();
+    let result = Engine::new(scenario).run();
+    let detected = result.event_time("confirmed deviation").expect("detected");
+    assert!(
+        detected >= SimTime::from_secs(124),
+        "drift cannot be detected before crossing the threshold: {detected}"
+    );
+    assert!(
+        detected < SimTime::from_secs(140),
+        "but soon after: {detected}"
+    );
+}

@@ -1,0 +1,76 @@
+//! Cross-crate integration: plant physics regression.
+//!
+//! Pins the calibrated operating point of the gas plant so that model
+//! changes that would silently alter the Fig. 6b preconditions fail CI.
+
+use evm::plant::{standard_loops, Component, Composition, GasPlant, LocalController, Plant};
+use evm::plant::thermo::flash;
+
+#[test]
+fn operating_point_is_pinned() {
+    let plant = GasPlant::default();
+    // The paper's nominal valve position.
+    assert!((plant.lts_valve_pct() - 11.48).abs() < 1e-6);
+    // Vessel starts at its 50 % setpoint.
+    assert!((plant.lts_level_pct() - 50.0).abs() < 1.0);
+    // Feed splits: inlet separator drops a small free-liquid stream.
+    let sep = plant.read_tag("SepLiq.MolarFlow").unwrap();
+    assert!(sep > 5.0 && sep < 60.0, "SepLiq {sep}");
+    // LTS condenses a substantial NGL stream at -20 C.
+    let lts = plant.read_tag("LTSLiq.MolarFlow").unwrap();
+    assert!(lts > 100.0 && lts < 400.0, "LTSLiq {lts}");
+}
+
+#[test]
+fn closed_loop_half_hour_is_stable_everywhere() {
+    let mut plant = GasPlant::default();
+    let mut loops: Vec<LocalController> =
+        standard_loops().into_iter().map(LocalController::new).collect();
+    let dt = 0.25;
+    let mut t = 0.0;
+    for _ in 0..(1800.0 / dt) as usize {
+        for c in &mut loops {
+            let _ = c.poll(&mut plant, t);
+        }
+        plant.step(dt);
+        t += dt;
+    }
+    let read = |tag: &str| plant.read_tag(tag).unwrap();
+    assert!((read("LTS.LiquidPct") - 50.0).abs() < 3.0);
+    assert!((read("InletSep.LevelPct") - 50.0).abs() < 3.0);
+    assert!((read("Chiller.OutletTempK") - 253.15).abs() < 2.0);
+    assert!((read("Column.SumpLevelPct") - 50.0).abs() < 5.0);
+    assert!((read("Column.DrumLevelPct") - 50.0).abs() < 5.0);
+    assert!((read("Column.PressureKPa") - 1400.0).abs() < 100.0);
+}
+
+#[test]
+fn thermo_matches_paper_narrative() {
+    // "a raw natural gas stream containing N2, CO2, and C1 through n-C4 is
+    // processed in a refrigeration system in order to remove the heavier
+    // hydrocarbons" — cooling must preferentially condense C3+.
+    let feed = Composition::raw_natural_gas();
+    let warm = flash(&feed, 303.15, 6200.0);
+    let cold = flash(&feed, 253.15, 6000.0);
+    assert!(cold.vapor_fraction < warm.vapor_fraction);
+    let c3_enrichment =
+        cold.liquid.fraction(Component::C3) / feed.fraction(Component::C3);
+    let c1_enrichment =
+        cold.liquid.fraction(Component::C1) / feed.fraction(Component::C1);
+    assert!(
+        c3_enrichment > 2.0 * c1_enrichment,
+        "the liquid must be an NGL cut, not just compressed feed"
+    );
+}
+
+#[test]
+fn fault_precondition_for_fig6b_holds() {
+    // With the valve forced to the faulty 75 %, the vessel drains fast —
+    // the "rapid drop of the liquid percent level" the paper describes.
+    let mut plant = GasPlant::default();
+    plant.write_tag("LTSLiqValve.Cmd", 75.0).unwrap();
+    for _ in 0..3000 {
+        plant.step(0.1); // 300 s
+    }
+    assert!(plant.lts_level_pct() < 10.0, "level {}", plant.lts_level_pct());
+}
