@@ -32,11 +32,7 @@ fn random_problem(rng: &mut SimRng, n_tasks: usize, n_nodes: usize) -> Synthesis
         .collect();
     // Random but metric-ish hop matrix from a line arrangement.
     let hops = (0..n_nodes)
-        .map(|i| {
-            (0..n_nodes)
-                .map(|j| (i as f64 - j as f64).abs())
-                .collect()
-        })
+        .map(|i| (0..n_nodes).map(|j| (i as f64 - j as f64).abs()).collect())
         .collect();
     SynthesisProblem {
         tasks,
@@ -48,7 +44,10 @@ fn random_problem(rng: &mut SimRng, n_tasks: usize, n_nodes: usize) -> Synthesis
 }
 
 fn main() {
-    banner("E10", "BQP assignment: exact vs greedy vs annealing (30 instances)");
+    banner(
+        "E10",
+        "BQP assignment: exact vs greedy vs annealing (30 instances)",
+    );
     let mut rng = SimRng::seed_from(10);
     let instances = 30;
 
@@ -79,7 +78,10 @@ fn main() {
             sa_ms += t1.elapsed().as_secs_f64() * 1e3;
             greedy_ratio += greedy / exact;
             sa_ratio += sa / exact;
-            assert!(greedy >= exact - 1e-9 && sa >= exact - 1e-9, "exact is a lower bound");
+            assert!(
+                greedy >= exact - 1e-9 && sa >= exact - 1e-9,
+                "exact is a lower bound"
+            );
         }
         let k = f64::from(instances);
         println!(
@@ -99,7 +101,10 @@ fn main() {
             exact_ms / k,
             sa_ms / k
         ));
-        assert!(sa_ratio / k <= greedy_ratio / k + 0.02, "SA at least matches greedy");
+        assert!(
+            sa_ratio / k <= greedy_ratio / k + 0.02,
+            "SA at least matches greedy"
+        );
         assert!(sa_ratio / k < 1.10, "SA within 10% of optimum");
     }
     write_result("bqp_optimizer.csv", &csv);

@@ -14,7 +14,10 @@ use evm_netsim::NodeId;
 use evm_sim::SimRng;
 
 fn main() {
-    banner("E12a", "capacity expansion: max node utilization vs pool size");
+    banner(
+        "E12a",
+        "capacity expansion: max node utilization vs pool size",
+    );
     let mut rng = SimRng::seed_from(12);
     let tasks: Vec<TaskReq> = (0..8)
         .map(|i| TaskReq {
@@ -26,7 +29,10 @@ fn main() {
         })
         .collect();
 
-    println!("{}", row(&["controllers".into(), "max util".into(), "feasible".into()]));
+    println!(
+        "{}",
+        row(&["controllers".into(), "max util".into(), "feasible".into()])
+    );
     let mut csv = String::from("controllers,max_util,feasible\n");
     let mut prev_max = f64::INFINITY;
     for n_nodes in 2..=6 {
@@ -59,11 +65,17 @@ fn main() {
             ])
         );
         csv.push_str(&format!("{n_nodes},{max_util:.3},{}\n", u8::from(feasible)));
-        assert!(max_util <= prev_max + 1e-9, "more nodes must not raise the max");
+        assert!(
+            max_util <= prev_max + 1e-9,
+            "more nodes must not raise the max"
+        );
         prev_max = max_util;
     }
 
-    banner("E12b", "replication degree vs loop availability (p = node failure prob)");
+    banner(
+        "E12b",
+        "replication degree vs loop availability (p = node failure prob)",
+    );
     println!(
         "{}",
         row(&[

@@ -28,7 +28,10 @@ fn outage_below(r: &evm_core::RunResult, threshold: f64) -> f64 {
 }
 
 fn main() {
-    banner("E3", "failover policy ablation (fault @300 s, 1000 s horizon)");
+    banner(
+        "E3",
+        "failover policy ablation (fault @300 s, 1000 s horizon)",
+    );
     let variants: Vec<(&str, Scenario)> = vec![
         ("paper-scripted", Scenario::fig6b()),
         ("fast-epoch", Scenario::fig6b_fast()),
@@ -78,7 +81,10 @@ fn main() {
     let cold = by_name("cold-migration");
     assert!(fast.1 < paper.1, "fast epoch switches earlier");
     assert!(fast.3 < paper.3, "fast epoch costs less");
-    assert!(cold.1 >= fast.1, "migration adds latency over a warm replica");
+    assert!(
+        cold.1 >= fast.1,
+        "migration adds latency over a warm replica"
+    );
     println!(
         "\nOK: warm+fast < cold-migration < paper-scripted in recovery; epoch dominates the paper's timeline"
     );

@@ -13,8 +13,10 @@ fn main() {
 
     // Run the closed-loop plant to steady state (30 simulated minutes).
     let mut plant = GasPlant::default();
-    let mut loops: Vec<LocalController> =
-        standard_loops().into_iter().map(LocalController::new).collect();
+    let mut loops: Vec<LocalController> = standard_loops()
+        .into_iter()
+        .map(LocalController::new)
+        .collect();
     let dt = 0.25;
     let mut t = 0.0;
     for _ in 0..(1800.0 / dt) as usize {
@@ -37,14 +39,54 @@ fn main() {
     );
     let feed = plant.config().feed_kmolh;
     let rows: Vec<(&str, f64, f64, f64)> = vec![
-        ("RawFeed", feed, plant.config().feed_t_k, plant.config().feed_p_kpa),
-        ("SepLiq", get("SepLiq.MolarFlow"), plant.config().feed_t_k, plant.config().feed_p_kpa),
-        ("ChillerOut", feed - get("SepLiq.MolarFlow"), get("Chiller.OutletTempK"), plant.config().lts_p_kpa),
-        ("SalesGas", get("SalesGas.MolarFlow"), get("SalesGas.TempK"), plant.config().lts_p_kpa),
-        ("LTSLiq", get("LTSLiq.MolarFlow"), get("Chiller.OutletTempK"), plant.config().lts_p_kpa),
-        ("TowerFeed", get("TowerFeed.MolarFlow"), get("Chiller.OutletTempK"), plant.config().column_p_kpa),
-        ("Bottoms", get("Bottoms.MolarFlow"), 360.0, get("Column.PressureKPa")),
-        ("Distillate", get("Distillate.MolarFlow"), 310.0, get("Column.PressureKPa")),
+        (
+            "RawFeed",
+            feed,
+            plant.config().feed_t_k,
+            plant.config().feed_p_kpa,
+        ),
+        (
+            "SepLiq",
+            get("SepLiq.MolarFlow"),
+            plant.config().feed_t_k,
+            plant.config().feed_p_kpa,
+        ),
+        (
+            "ChillerOut",
+            feed - get("SepLiq.MolarFlow"),
+            get("Chiller.OutletTempK"),
+            plant.config().lts_p_kpa,
+        ),
+        (
+            "SalesGas",
+            get("SalesGas.MolarFlow"),
+            get("SalesGas.TempK"),
+            plant.config().lts_p_kpa,
+        ),
+        (
+            "LTSLiq",
+            get("LTSLiq.MolarFlow"),
+            get("Chiller.OutletTempK"),
+            plant.config().lts_p_kpa,
+        ),
+        (
+            "TowerFeed",
+            get("TowerFeed.MolarFlow"),
+            get("Chiller.OutletTempK"),
+            plant.config().column_p_kpa,
+        ),
+        (
+            "Bottoms",
+            get("Bottoms.MolarFlow"),
+            360.0,
+            get("Column.PressureKPa"),
+        ),
+        (
+            "Distillate",
+            get("Distillate.MolarFlow"),
+            310.0,
+            get("Column.PressureKPa"),
+        ),
     ];
     let mut csv = String::from("stream,kmol_h,t_k,p_kpa\n");
     for (name, flow, tk, pk) in &rows {
@@ -54,10 +96,22 @@ fn main() {
 
     println!();
     println!("operating point:");
-    println!("  LTS level            {:>8.2} %  (SP 50)", get("LTS.LiquidPct"));
-    println!("  LTS liquid valve     {:>8.2} %  (paper: 11.48)", get("LTSLiqValve.OpeningPct"));
-    println!("  bottoms C3 fraction  {:>8.4}    (low-propane spec)", get("Column.BottomsC3Frac"));
-    println!("  column pressure      {:>8.1} kPa (SP 1400)", get("Column.PressureKPa"));
+    println!(
+        "  LTS level            {:>8.2} %  (SP 50)",
+        get("LTS.LiquidPct")
+    );
+    println!(
+        "  LTS liquid valve     {:>8.2} %  (paper: 11.48)",
+        get("LTSLiqValve.OpeningPct")
+    );
+    println!(
+        "  bottoms C3 fraction  {:>8.4}    (low-propane spec)",
+        get("Column.BottomsC3Frac")
+    );
+    println!(
+        "  column pressure      {:>8.1} kPa (SP 1400)",
+        get("Column.PressureKPa")
+    );
     csv.push_str(&format!(
         "#lts_level,{:.3}\n#lts_valve_pct,{:.3}\n#bottoms_c3,{:.5}\n",
         get("LTS.LiquidPct"),
@@ -67,9 +121,13 @@ fn main() {
     write_result("fig4_steady_state.csv", &csv);
 
     // Shape assertions: the bench itself validates the reproduction.
-    assert!((get("LTS.LiquidPct") - 50.0).abs() < 3.0, "LTS level regulated");
     assert!(
-        (get("TowerFeed.MolarFlow") - get("SepLiq.MolarFlow") - get("LTSLiq.MolarFlow")).abs() < 1.0,
+        (get("LTS.LiquidPct") - 50.0).abs() < 3.0,
+        "LTS level regulated"
+    );
+    assert!(
+        (get("TowerFeed.MolarFlow") - get("SepLiq.MolarFlow") - get("LTSLiq.MolarFlow")).abs()
+            < 1.0,
         "mixer balance"
     );
     println!("\nOK: level regulated, mass balance closed");

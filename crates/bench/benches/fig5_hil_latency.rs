@@ -25,10 +25,7 @@ fn main() {
     }
     let deadline = cycle / 3;
     println!("  deadline (cycle/3)   {deadline}");
-    println!(
-        "  deadline hit ratio   {:.4}",
-        result.deadline_hit_ratio()
-    );
+    println!("  deadline hit ratio   {:.4}", result.deadline_hit_ratio());
 
     let mut csv = String::from("quantile,latency_us\n");
     for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0] {
@@ -39,7 +36,10 @@ fn main() {
 
     // Per-node radio energy over the run (the testbed's energy budget).
     println!("\n  per-node radio energy:");
-    println!("    {:<8} {:>10} {:>12} {:>12}", "node", "duty [%]", "avg [mA]", "life [y]");
+    println!(
+        "    {:<8} {:>10} {:>12} {:>12}",
+        "node", "duty [%]", "avg [mA]", "life [y]"
+    );
     let mut names: Vec<&String> = result.node_energy.keys().collect();
     names.sort();
     let mut ecsv = String::from("node,radio_duty,avg_ma,lifetime_years\n");

@@ -83,5 +83,7 @@ fn main() {
         recovery.stats().unwrap().mean > collapse.stats().unwrap().mean + 5.0,
         "slow recovery after T2"
     );
-    println!("\nOK: drop at T1, collapse by T2, recovery after activation — Fig. 6b shape reproduced");
+    println!(
+        "\nOK: drop at T1, collapse by T2, recovery after activation — Fig. 6b shape reproduced"
+    );
 }

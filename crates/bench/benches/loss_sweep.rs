@@ -63,7 +63,10 @@ fn main() {
         // No spurious failover before the fault; detection only delayed.
         assert!(detect >= 100.0, "no false positives before the fault");
         assert!(switch >= detect, "switch follows detection");
-        assert!(detect >= prev_detect - 2.0, "loss should not speed detection up");
+        assert!(
+            detect >= prev_detect - 2.0,
+            "loss should not speed detection up"
+        );
         prev_detect = detect;
     }
     write_result("loss_sweep.csv", &csv);

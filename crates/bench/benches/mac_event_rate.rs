@@ -28,8 +28,9 @@ fn main() {
             "sm lat [ms]".into(),
         ])
     );
-    let mut csv =
-        String::from("rate_per_min,rtlink_years,bmac_years,smac_years,rt_lat_ms,bm_lat_ms,sm_lat_ms\n");
+    let mut csv = String::from(
+        "rate_per_min,rtlink_years,bmac_years,smac_years,rt_lat_ms,bm_lat_ms,sm_lat_ms\n",
+    );
     let mut rt_wins = true;
     for rate in [0.5, 1.0, 2.0, 5.0, 10.0, 30.0, 60.0, 120.0] {
         let wl = Workload::periodic(rate, 32, 6);

@@ -63,7 +63,12 @@ fn main() {
         "\n  paper:    RT-Link ~1.8 y at 5% duty\n  measured: RT-Link {:.2} y at 5% duty ({:.3} mA avg)",
         at5.lifetime_years, at5.avg_current_ma
     );
-    assert!(rtlink_always_wins, "RT-Link must win across all duty cycles");
+    assert!(
+        rtlink_always_wins,
+        "RT-Link must win across all duty cycles"
+    );
     assert!(at5.lifetime_years > 1.0 && at5.lifetime_years < 4.0);
-    println!("\nOK: RT-Link dominates at every duty cycle; 5% operating point in the paper's range");
+    println!(
+        "\nOK: RT-Link dominates at every duty cycle; 5% operating point in the paper's range"
+    );
 }

@@ -39,7 +39,12 @@ fn main() {
             format!("{}", plan.frames),
             f(plan.duration.as_secs_f64()),
         ];
-        let mut csv_row = format!("{},{},{:.3}", plan.image_bytes, plan.frames, plan.duration.as_secs_f64());
+        let mut csv_row = format!(
+            "{},{},{:.3}",
+            plan.image_bytes,
+            plan.frames,
+            plan.duration.as_secs_f64()
+        );
         for loss in [0.1, 0.3, 0.5] {
             let runs = 200;
             let mean: f64 = (0..runs)
@@ -64,5 +69,7 @@ fn main() {
     let small = MigrationPlan::new(&images[0].1, 1, cycle);
     let big = MigrationPlan::new(&images[3].1, 1, cycle);
     assert!(big.duration > small.duration);
-    println!("\nOK: migration cost scales with state size; ARQ absorbs loss at bounded latency cost");
+    println!(
+        "\nOK: migration cost scales with state size; ARQ absorbs loss at bounded latency cost"
+    );
 }

@@ -18,15 +18,26 @@ fn ms(v: u64) -> SimDuration {
 }
 
 fn main() {
-    banner("E11", "assembly line retooling: 3 Camry : 2 Prius interleave");
+    banner(
+        "E11",
+        "assembly line retooling: 3 Camry : 2 Prius interleave",
+    );
 
     // Station kernel running the Camry-only mode.
     let mut station = Kernel::new("station-7");
     station
-        .admit(TaskSpec::new("camry-weld", ms(30), ms(100)), TaskImage::typical_control_task(), None)
+        .admit(
+            TaskSpec::new("camry-weld", ms(30), ms(100)),
+            TaskImage::typical_control_task(),
+            None,
+        )
         .expect("camry weld");
     station
-        .admit(TaskSpec::new("camry-bolt", ms(20), ms(200)), TaskImage::typical_control_task(), None)
+        .admit(
+            TaskSpec::new("camry-bolt", ms(20), ms(200)),
+            TaskImage::typical_control_task(),
+            None,
+        )
         .expect("camry bolt");
 
     let report = |k: &Kernel, label: &str| {
@@ -36,20 +47,35 @@ fn main() {
             row(&[
                 label.into(),
                 f(k.utilization()),
-                if v.schedulable { "yes".into() } else { "NO".into() },
+                if v.schedulable {
+                    "yes".into()
+                } else {
+                    "NO".into()
+                },
             ])
         );
     };
-    println!("{}", row(&["mode".into(), "util".into(), "schedulable".into()]));
+    println!(
+        "{}",
+        row(&["mode".into(), "util".into(), "schedulable".into()])
+    );
     report(&station, "camry-only");
 
     // Retool: admit the Prius tasks (the 3:2 interleave adds a slower
     // periodic stream of extra operations).
     station
-        .admit(TaskSpec::new("prius-battery", ms(40), ms(250)), TaskImage::typical_control_task(), None)
+        .admit(
+            TaskSpec::new("prius-battery", ms(40), ms(250)),
+            TaskImage::typical_control_task(),
+            None,
+        )
         .expect("prius battery fits");
     station
-        .admit(TaskSpec::new("prius-inverter", ms(25), ms(500)), TaskImage::typical_control_task(), None)
+        .admit(
+            TaskSpec::new("prius-inverter", ms(25), ms(500)),
+            TaskImage::typical_control_task(),
+            None,
+        )
         .expect("prius inverter fits");
     report(&station, "interleaved");
 
@@ -65,7 +91,10 @@ fn main() {
         .count();
     println!("\n  simulated 4 s of the interleaved mode:");
     println!("    camry deadline misses   {camry_misses}");
-    println!("    prius deadline misses   {}", log.misses.len() - camry_misses);
+    println!(
+        "    prius deadline misses   {}",
+        log.misses.len() - camry_misses
+    );
     println!("    camry-weld completions  {}", log.completions(0));
     assert_eq!(log.misses.len(), 0, "no unit may miss across the retool");
 
@@ -81,7 +110,10 @@ fn main() {
     println!("\n  overloaded retool (+45% util) refused by the gate; running mode untouched");
 
     let mut csv = String::from("mode,utilization,schedulable,misses\n");
-    csv.push_str(&format!("camry_only,0.35,1,0\ninterleaved,{:.3},1,0\n", station.utilization()));
+    csv.push_str(&format!(
+        "camry_only,0.35,1,0\ninterleaved,{:.3},1,0\n",
+        station.utilization()
+    ));
     write_result("mode_change.csv", &csv);
     println!("\nOK: mode change admitted, zero misses; unsafe change rejected");
 }

@@ -1,0 +1,76 @@
+//! Scenario diversity — end-to-end engine throughput across builder-made
+//! topologies of increasing node count.
+//!
+//! Times a fixed 120 s simulated horizon on three deployments the
+//! `ScenarioBuilder` DSL can express (the degenerate 3-node loop, the
+//! paper's 7-node Fig. 5 star, and a wide 11-node star) and reports
+//! wall-clock per run plus the achieved simulated-seconds-per-second —
+//! the capacity headroom for batch sweeps.
+
+use std::time::Instant;
+
+use evm_bench::{banner, f, row, write_result};
+use evm_core::runtime::{Engine, ScenarioBuilder};
+use evm_sim::SimDuration;
+
+const HORIZON_S: u64 = 120;
+
+fn main() {
+    banner("E15", "engine throughput across topology sizes");
+
+    let cases: Vec<(&str, ScenarioBuilder)> = vec![
+        ("minimal-3", ScenarioBuilder::minimal()),
+        ("fig5-7", ScenarioBuilder::star()),
+        (
+            "wide-11",
+            ScenarioBuilder::star()
+                .sensors(4)
+                .controllers(4)
+                .actuators(1)
+                .head(true),
+        ),
+    ];
+
+    println!(
+        "  {}",
+        row(&[
+            "topology".into(),
+            "nodes".into(),
+            "wall ms".into(),
+            "sim-s/s".into(),
+            "actuations".into(),
+        ])
+    );
+    let mut csv = String::from("topology,nodes,wall_ms,sim_speedup,actuations\n");
+    for (name, builder) in cases {
+        let scenario = builder.duration(SimDuration::from_secs(HORIZON_S)).build();
+        let nodes = scenario.topology.nodes.len();
+        // Warmup run (page-in, allocator), then the timed run.
+        let _ = Engine::new(scenario.clone()).run();
+        let start = Instant::now();
+        let result = Engine::new(scenario).run();
+        let wall = start.elapsed();
+        let wall_ms = wall.as_secs_f64() * 1e3;
+        let speedup = HORIZON_S as f64 / wall.as_secs_f64();
+        assert!(
+            result.deadline_hit_ratio() > 0.99,
+            "{name}: deadline ratio {}",
+            result.deadline_hit_ratio()
+        );
+        println!(
+            "  {}",
+            row(&[
+                name.into(),
+                nodes.to_string(),
+                f(wall_ms),
+                f(speedup),
+                result.actuations.to_string(),
+            ])
+        );
+        csv.push_str(&format!(
+            "{name},{nodes},{wall_ms:.3},{speedup:.1},{}\n",
+            result.actuations
+        ));
+    }
+    write_result("scenario_diversity.csv", &csv);
+}

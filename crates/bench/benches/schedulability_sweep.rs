@@ -9,9 +9,7 @@
 use std::time::Instant;
 
 use evm_bench::{banner, f, row, write_result};
-use evm_rtos::{
-    assign_rate_monotonic, hyperbolic_test, response_time_analysis, TaskSet, TaskSpec,
-};
+use evm_rtos::{assign_rate_monotonic, hyperbolic_test, response_time_analysis, TaskSet, TaskSpec};
 use evm_sim::{SimDuration, SimRng};
 
 /// Random task set with n tasks scaled to total utilization u (UUniFast).
@@ -28,9 +26,8 @@ fn random_set(rng: &mut SimRng, n: usize, u: f64) -> TaskSet {
     for (i, ui) in utils.iter().enumerate() {
         let period_ms = [10u64, 20, 40, 50, 100, 200][rng.index(6)];
         let period = SimDuration::from_millis(period_ms);
-        let wcet = SimDuration::from_micros(
-            ((period.as_micros() as f64 * ui).round() as u64).max(1),
-        );
+        let wcet =
+            SimDuration::from_micros(((period.as_micros() as f64 * ui).round() as u64).max(1));
         if wcet > period {
             continue;
         }
@@ -41,7 +38,10 @@ fn random_set(rng: &mut SimRng, n: usize, u: f64) -> TaskSet {
 }
 
 fn main() {
-    banner("E9", "admission tests: acceptance vs utilization (n=6, 500 sets/point)");
+    banner(
+        "E9",
+        "admission tests: acceptance vs utilization (n=6, 500 sets/point)",
+    );
     let mut rng = SimRng::seed_from(9);
     let trials = 500;
 

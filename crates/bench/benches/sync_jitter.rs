@@ -33,7 +33,10 @@ fn main() {
     println!("  p99                  {:>8.1} us", q(0.99));
     println!("  p99.9                {:>8.1} us", q(0.999));
     println!("  max                  {:>8.1} us", q(1.0));
-    println!("\n  paper:    sub-150 us jitter\n  measured: max {:.1} us", q(1.0));
+    println!(
+        "\n  paper:    sub-150 us jitter\n  measured: max {:.1} us",
+        q(1.0)
+    );
 
     let mut csv = String::from("quantile,error_us\n");
     for p in [0.5, 0.9, 0.95, 0.99, 0.999, 1.0] {

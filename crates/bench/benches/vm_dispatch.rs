@@ -1,16 +1,36 @@
-//! E13 — interpreter microbenchmarks (criterion).
+//! E13 — interpreter microbenchmarks.
 //!
 //! Measures the EVM's execution machinery: raw dispatch throughput, the
-//! compiled PID capsule against the native controller, gas-metering
-//! overhead, and capsule encode/decode (the migration serialization path).
+//! compiled PID capsule against the native controller, and capsule
+//! encode/decode (the migration serialization path). Self-timed with a
+//! warmup pass and median-of-runs reporting, like the other figure benches.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
+use evm_bench::{banner, f, row, write_result};
 use evm_core::bytecode::{
     compile_control_law, control_law_gas_budget, ControlLawSpec, NullEnv, Op, Program, Vm,
 };
 use evm_plant::{lts_level_loop, LocalController};
+
+/// Times `iters` calls of `op` and returns nanoseconds per call, taking the
+/// median of `runs` timed repetitions after one warmup run.
+fn time_ns_per_iter(iters: u32, runs: usize, mut op: impl FnMut()) -> f64 {
+    let mut samples = Vec::with_capacity(runs);
+    for r in 0..=runs {
+        let start = Instant::now();
+        for _ in 0..iters {
+            op();
+        }
+        let elapsed = start.elapsed();
+        if r > 0 {
+            samples.push(elapsed.as_nanos() as f64 / f64::from(iters));
+        }
+    }
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
 
 fn arith_loop_program(iters: u32) -> Program {
     // var0 = iters; while (var0) { var0 -= 1 }
@@ -29,57 +49,66 @@ fn arith_loop_program(iters: u32) -> Program {
     ])
 }
 
-fn bench_dispatch(c: &mut Criterion) {
+fn main() {
+    banner("E13", "interpreter microbenchmarks");
+
+    let mut rows = vec![row(&[
+        "bench".into(),
+        "ns/iter".into(),
+        "ops/iter".into(),
+        "ns/op".into(),
+    ])];
+    let mut csv = String::from("bench,ns_per_iter,ops_per_iter,ns_per_op\n");
+    let mut record = |name: &str, ns: f64, ops: f64| {
+        rows.push(row(&[name.into(), f(ns), f(ops), f(ns / ops)]));
+        csv.push_str(&format!("{name},{ns:.3},{ops},{:.3}\n", ns / ops));
+    };
+
+    // Raw dispatch: ~5k executed ops per run of the countdown loop.
     let program = arith_loop_program(1_000);
     let mut vm = Vm::new(1_000_000);
     let mut env = NullEnv::default();
-    c.bench_function("vm_dispatch_5k_ops", |b| {
-        b.iter(|| {
-            let r = vm.run(black_box(&program), &mut env).unwrap();
-            black_box(r)
-        });
+    let ns = time_ns_per_iter(500, 7, || {
+        let r = vm.run(black_box(&program), &mut env).unwrap();
+        black_box(r);
     });
-}
+    record("vm_dispatch_5k_ops", ns, 5_000.0);
 
-fn bench_pid_capsule_vs_native(c: &mut Criterion) {
+    // Compiled PID capsule vs the native controller.
     let spec = ControlLawSpec::from_loop(&lts_level_loop());
-    let program = compile_control_law(&spec);
-    let mut vm = Vm::new(control_law_gas_budget(&program));
+    let pid = compile_control_law(&spec);
+    let mut vm = Vm::new(control_law_gas_budget(&pid));
     let mut env = NullEnv {
         sensor_value: 48.7,
         ..NullEnv::default()
     };
-    c.bench_function("pid_capsule", |b| {
-        b.iter(|| {
-            env.writes.clear();
-            env.emissions.clear();
-            let r = vm.run(black_box(&program), &mut env).unwrap();
-            black_box(r)
-        });
+    let ns = time_ns_per_iter(10_000, 7, || {
+        env.writes.clear();
+        env.emissions.clear();
+        let r = vm.run(black_box(&pid), &mut env).unwrap();
+        black_box(r);
     });
+    record("pid_capsule", ns, pid.len() as f64);
 
     let mut native = LocalController::new(lts_level_loop());
-    c.bench_function("pid_native", |b| {
-        b.iter(|| black_box(native.compute(black_box(48.7), 0.25)));
+    let ns = time_ns_per_iter(100_000, 7, || {
+        black_box(native.compute(black_box(48.7), 0.25));
     });
-}
+    record("pid_native", ns, 1.0);
 
-fn bench_capsule_roundtrip(c: &mut Criterion) {
-    let spec = ControlLawSpec::from_loop(&lts_level_loop());
-    let program = compile_control_law(&spec);
-    let bytes = program.encode();
-    c.bench_function("capsule_encode", |b| {
-        b.iter(|| black_box(black_box(&program).encode()));
+    // Capsule encode/decode: the migration serialization path.
+    let bytes = pid.encode();
+    let ns = time_ns_per_iter(100_000, 7, || {
+        black_box(black_box(&pid).encode());
     });
-    c.bench_function("capsule_decode", |b| {
-        b.iter(|| black_box(Program::decode(black_box(&bytes)).unwrap()));
+    record("capsule_encode", ns, 1.0);
+    let ns = time_ns_per_iter(100_000, 7, || {
+        black_box(Program::decode(black_box(&bytes)).unwrap());
     });
-}
+    record("capsule_decode", ns, 1.0);
 
-criterion_group!(
-    benches,
-    bench_dispatch,
-    bench_pid_capsule_vs_native,
-    bench_capsule_roundtrip
-);
-criterion_main!(benches);
+    for r in &rows {
+        println!("  {r}");
+    }
+    write_result("vm_dispatch.csv", &csv);
+}

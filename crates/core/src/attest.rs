@@ -131,6 +131,9 @@ mod tests {
 
     #[test]
     fn digest_is_deterministic() {
-        assert_eq!(capsule_digest(&capsule(), KEY), capsule_digest(&capsule(), KEY));
+        assert_eq!(
+            capsule_digest(&capsule(), KEY),
+            capsule_digest(&capsule(), KEY)
+        );
     }
 }

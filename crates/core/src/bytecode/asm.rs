@@ -118,7 +118,8 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
             }
         };
         let parse_f64 = |s: &str| -> Result<f64, AsmError> {
-            s.parse().map_err(|_| err(line, format!("bad number {s:?}")))
+            s.parse()
+                .map_err(|_| err(line, format!("bad number {s:?}")))
         };
         let parse_u8 = |s: &str| -> Result<u8, AsmError> {
             s.parse().map_err(|_| err(line, format!("bad index {s:?}")))
@@ -128,7 +129,8 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
                 let off = target as i64 - idx as i64;
                 i16::try_from(off).map_err(|_| err(line, "jump too far"))
             } else {
-                s.parse().map_err(|_| err(line, format!("unknown label {s:?}")))
+                s.parse()
+                    .map_err(|_| err(line, format!("unknown label {s:?}")))
             }
         };
 

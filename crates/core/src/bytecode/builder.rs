@@ -216,7 +216,9 @@ mod tests {
         for k in 0..5_000 {
             // A PV trajectory with drift, steps and ripple.
             let t = k as f64 * dt;
-            let pv = 50.0 + 10.0 * (t / 120.0).sin() + if t > 300.0 { -20.0 } else { 0.0 }
+            let pv = 50.0
+                + 10.0 * (t / 120.0).sin()
+                + if t > 300.0 { -20.0 } else { 0.0 }
                 + 0.3 * (t * 2.1).sin();
             let mut env = NullEnv {
                 sensor_value: pv,

@@ -465,9 +465,18 @@ mod tests {
 
     #[test]
     fn arithmetic_works() {
-        assert_eq!(run_ops(vec![Op::Push(2.0), Op::Push(3.0), Op::Add, Op::Halt]), Ok(5.0));
-        assert_eq!(run_ops(vec![Op::Push(2.0), Op::Push(3.0), Op::Sub, Op::Halt]), Ok(-1.0));
-        assert_eq!(run_ops(vec![Op::Push(6.0), Op::Push(3.0), Op::Div, Op::Halt]), Ok(2.0));
+        assert_eq!(
+            run_ops(vec![Op::Push(2.0), Op::Push(3.0), Op::Add, Op::Halt]),
+            Ok(5.0)
+        );
+        assert_eq!(
+            run_ops(vec![Op::Push(2.0), Op::Push(3.0), Op::Sub, Op::Halt]),
+            Ok(-1.0)
+        );
+        assert_eq!(
+            run_ops(vec![Op::Push(6.0), Op::Push(3.0), Op::Div, Op::Halt]),
+            Ok(2.0)
+        );
         assert_eq!(run_ops(vec![Op::Push(-4.0), Op::Abs, Op::Halt]), Ok(4.0));
         assert_eq!(
             run_ops(vec![Op::Push(1.0), Op::Push(9.0), Op::Max, Op::Halt]),
@@ -487,7 +496,13 @@ mod tests {
         );
         assert_eq!(
             // 1 2 3 rot -> 2 3 1
-            run_ops(vec![Op::Push(1.0), Op::Push(2.0), Op::Push(3.0), Op::Rot, Op::Halt]),
+            run_ops(vec![
+                Op::Push(1.0),
+                Op::Push(2.0),
+                Op::Push(3.0),
+                Op::Rot,
+                Op::Halt
+            ]),
             Ok(1.0)
         );
     }
@@ -586,7 +601,10 @@ mod tests {
         );
         assert_eq!(run_ops(vec![Op::Load(200)]), Err(VmError::BadVariable));
         assert_eq!(run_ops(vec![Op::Push(1.0)]), Err(VmError::PcOutOfRange));
-        assert_eq!(run_ops(vec![Op::Ext(9), Op::Halt]), Err(VmError::UnknownExtension));
+        assert_eq!(
+            run_ops(vec![Op::Ext(9), Op::Halt]),
+            Err(VmError::UnknownExtension)
+        );
         let overflow: Vec<Op> = (0..40).map(|i| Op::Push(i as f64)).collect();
         assert_eq!(run_ops(overflow), Err(VmError::StackOverflow));
     }
@@ -638,72 +656,87 @@ mod tests {
 
     mod fuzz {
         use super::*;
-        use proptest::prelude::*;
+        use evm_sim::SimRng;
 
-        fn arb_op() -> impl Strategy<Value = Op> {
-            prop_oneof![
-                (-100.0f64..100.0).prop_map(Op::Push),
-                Just(Op::Dup),
-                Just(Op::Drop),
-                Just(Op::Swap),
-                Just(Op::Over),
-                Just(Op::Rot),
-                Just(Op::Add),
-                Just(Op::Sub),
-                Just(Op::Mul),
-                Just(Op::Div),
-                Just(Op::Neg),
-                Just(Op::Abs),
-                Just(Op::Min),
-                Just(Op::Max),
-                Just(Op::Gt),
-                Just(Op::Lt),
-                Just(Op::Eq),
-                Just(Op::Not),
-                any::<u8>().prop_map(Op::Load),
-                any::<u8>().prop_map(Op::Store),
-                (-20i16..20).prop_map(Op::Jmp),
-                (-20i16..20).prop_map(Op::Jz),
-                (0u16..32).prop_map(Op::Call),
-                Just(Op::Ret),
-                Just(Op::Halt),
-                any::<u8>().prop_map(Op::ReadSensor),
-                any::<u8>().prop_map(Op::WriteActuator),
-                any::<u8>().prop_map(Op::Emit),
-                Just(Op::ReadClock),
-                any::<u8>().prop_map(Op::Ext),
-                Just(Op::Nop),
-            ]
+        /// Draws one random (not necessarily well-formed) instruction.
+        fn random_op(rng: &mut SimRng) -> Op {
+            match rng.index(30) {
+                0 => Op::Push(rng.range(-100.0, 100.0)),
+                1 => Op::Dup,
+                2 => Op::Drop,
+                3 => Op::Swap,
+                4 => Op::Over,
+                5 => Op::Rot,
+                6 => Op::Add,
+                7 => Op::Sub,
+                8 => Op::Mul,
+                9 => Op::Div,
+                10 => Op::Neg,
+                11 => Op::Abs,
+                12 => Op::Min,
+                13 => Op::Max,
+                14 => Op::Gt,
+                15 => Op::Lt,
+                16 => Op::Eq,
+                17 => Op::Not,
+                18 => Op::Load(rng.index(256) as u8),
+                19 => Op::Store(rng.index(256) as u8),
+                20 => Op::Jmp(rng.int_range(-20, 19) as i16),
+                21 => Op::Jz(rng.int_range(-20, 19) as i16),
+                22 => Op::Call(rng.index(32) as u16),
+                23 => Op::Ret,
+                24 => Op::Halt,
+                25 => Op::ReadSensor(rng.index(256) as u8),
+                26 => Op::WriteActuator(rng.index(256) as u8),
+                27 => Op::Emit(rng.index(256) as u8),
+                28 => Op::ReadClock,
+                _ => Op::Ext(rng.index(256) as u8),
+            }
         }
 
-        proptest! {
-            /// The interpreter is total: any byte-valid program either
-            /// halts with a value or traps with a typed error — it never
-            /// panics, and it never exceeds its gas budget.
-            #[test]
-            fn prop_interpreter_is_total(ops in proptest::collection::vec(arb_op(), 0..64)) {
-                let mut vm = Vm::new(256);
-                let mut env = NullEnv { sensor_value: 1.5, ..NullEnv::default() };
-                let program = Program::new(ops);
-                let _ = vm.run(&program, &mut env);
-                prop_assert!(vm.gas_used() <= 256);
-            }
+        fn random_ops(rng: &mut SimRng, max_len: usize) -> Vec<Op> {
+            let len = rng.index(max_len);
+            (0..len).map(|_| random_op(rng)).collect()
+        }
 
-            /// Encode/decode is the identity on arbitrary programs, so a
-            /// migrated capsule executes identically on the target node.
-            #[test]
-            fn prop_migration_preserves_execution(ops in proptest::collection::vec(arb_op(), 0..48)) {
-                let program = Program::new(ops);
+        /// The interpreter is total: any byte-valid program either halts
+        /// with a value or traps with a typed error — it never panics, and
+        /// it never exceeds its gas budget.
+        #[test]
+        fn interpreter_is_total_on_random_programs() {
+            let mut rng = SimRng::seed_from(0xF022);
+            for _ in 0..512 {
+                let mut vm = Vm::new(256);
+                let mut env = NullEnv {
+                    sensor_value: 1.5,
+                    ..NullEnv::default()
+                };
+                let program = Program::new(random_ops(&mut rng, 64));
+                let _ = vm.run(&program, &mut env);
+                assert!(vm.gas_used() <= 256);
+            }
+        }
+
+        /// Encode/decode is the identity on arbitrary programs, so a
+        /// migrated capsule executes identically on the target node.
+        #[test]
+        fn migration_preserves_execution_of_random_programs() {
+            let mut rng = SimRng::seed_from(0xF023);
+            for _ in 0..512 {
+                let program = Program::new(random_ops(&mut rng, 48));
                 let decoded = Program::decode(&program.encode()).expect("roundtrip");
                 let mut vm_a = Vm::new(200);
                 let mut vm_b = Vm::new(200);
-                let mut env_a = NullEnv { sensor_value: 2.5, ..NullEnv::default() };
+                let mut env_a = NullEnv {
+                    sensor_value: 2.5,
+                    ..NullEnv::default()
+                };
                 let mut env_b = env_a.clone();
                 let ra = vm_a.run(&program, &mut env_a);
                 let rb = vm_b.run(&decoded, &mut env_b);
-                prop_assert_eq!(ra, rb);
-                prop_assert_eq!(env_a.writes, env_b.writes);
-                prop_assert_eq!(vm_a.snapshot_vars(), vm_b.snapshot_vars());
+                assert_eq!(ra, rb);
+                assert_eq!(env_a.writes, env_b.writes);
+                assert_eq!(vm_a.snapshot_vars(), vm_b.snapshot_vars());
             }
         }
     }

@@ -278,7 +278,10 @@ fn decode_op(bytes: &[u8]) -> Result<(Op, usize), String> {
         0x00 => (Op::Nop, 1),
         0x01 => {
             let b = need(8)?;
-            (Op::Push(f64::from_le_bytes(b.try_into().expect("8 bytes"))), 9)
+            (
+                Op::Push(f64::from_le_bytes(b.try_into().expect("8 bytes"))),
+                9,
+            )
         }
         0x02 => (Op::Dup, 1),
         0x03 => (Op::Drop, 1),
@@ -303,15 +306,24 @@ fn decode_op(bytes: &[u8]) -> Result<(Op, usize), String> {
         0x31 => (Op::Store(need(1)?[0]), 2),
         0x40 => {
             let b = need(2)?;
-            (Op::Jmp(i16::from_le_bytes(b.try_into().expect("2 bytes"))), 3)
+            (
+                Op::Jmp(i16::from_le_bytes(b.try_into().expect("2 bytes"))),
+                3,
+            )
         }
         0x41 => {
             let b = need(2)?;
-            (Op::Jz(i16::from_le_bytes(b.try_into().expect("2 bytes"))), 3)
+            (
+                Op::Jz(i16::from_le_bytes(b.try_into().expect("2 bytes"))),
+                3,
+            )
         }
         0x42 => {
             let b = need(2)?;
-            (Op::Call(u16::from_le_bytes(b.try_into().expect("2 bytes"))), 3)
+            (
+                Op::Call(u16::from_le_bytes(b.try_into().expect("2 bytes"))),
+                3,
+            )
         }
         0x43 => (Op::Ret, 1),
         0x44 => (Op::Halt, 1),
@@ -330,7 +342,6 @@ fn decode_op(bytes: &[u8]) -> Result<(Op, usize), String> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     fn sample_ops() -> Vec<Op> {
         vec![
@@ -371,14 +382,15 @@ mod tests {
         assert_eq!(Op::Jz(-4).to_string(), "jz -4");
     }
 
-    proptest! {
-        #[test]
-        fn prop_roundtrip_arbitrary_programs(
-            lits in proptest::collection::vec(-1e6f64..1e6, 0..50),
-        ) {
+    #[test]
+    fn roundtrip_random_programs() {
+        use evm_sim::SimRng;
+        let mut rng = SimRng::seed_from(0x15A);
+        for _ in 0..256 {
+            let n = rng.index(50);
             let mut ops = Vec::new();
-            for (i, v) in lits.iter().enumerate() {
-                ops.push(Op::Push(*v));
+            for i in 0..n {
+                ops.push(Op::Push(rng.range(-1e6, 1e6)));
                 ops.push(match i % 5 {
                     0 => Op::Add,
                     1 => Op::Store((i % 32) as u8),
@@ -388,7 +400,7 @@ mod tests {
                 });
             }
             let p = Program::new(ops);
-            prop_assert_eq!(Program::decode(&p.encode()).unwrap(), p);
+            assert_eq!(Program::decode(&p.encode()).unwrap(), p);
         }
     }
 }

@@ -225,8 +225,16 @@ mod tests {
     fn paper_vc() -> VirtualComponent {
         let mut vc = VirtualComponent::new("lts-loop");
         vc.add_member(member(1, NodeKind::Sensor, None));
-        vc.add_member(member(2, NodeKind::Controller, Some(ControllerMode::Active)));
-        vc.add_member(member(3, NodeKind::Controller, Some(ControllerMode::Backup)));
+        vc.add_member(member(
+            2,
+            NodeKind::Controller,
+            Some(ControllerMode::Active),
+        ));
+        vc.add_member(member(
+            3,
+            NodeKind::Controller,
+            Some(ControllerMode::Backup),
+        ));
         vc.add_member(member(4, NodeKind::Actuator, None));
         vc
     }
@@ -268,7 +276,10 @@ mod tests {
         vc.set_mode(NodeId(2), ControllerMode::Dormant).unwrap();
         let err = vc.set_mode(NodeId(2), ControllerMode::Indicator);
         assert!(err.is_err());
-        assert_eq!(vc.member(NodeId(2)).unwrap().mode, Some(ControllerMode::Dormant));
+        assert_eq!(
+            vc.member(NodeId(2)).unwrap().mode,
+            Some(ControllerMode::Dormant)
+        );
     }
 
     #[test]

@@ -63,7 +63,12 @@ impl DeviationDetector {
     /// observer's own computation on the same input). Returns evidence
     /// when the consecutive-anomaly rule first fires (and keeps returning
     /// it while the run persists, so lost reports can be retried).
-    pub fn observe(&mut self, primary_out: f64, own_out: f64, at: SimTime) -> Option<FaultEvidence> {
+    pub fn observe(
+        &mut self,
+        primary_out: f64,
+        own_out: f64,
+        at: SimTime,
+    ) -> Option<FaultEvidence> {
         let dev = (primary_out - own_out).abs();
         if dev > self.threshold {
             self.run += 1;

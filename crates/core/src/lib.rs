@@ -26,7 +26,9 @@
 //! * [`synthesis`] — logical-task → physical-node mapping and the binary
 //!   quadratic programming runtime optimizer (§3.1.1 op 7),
 //! * [`runtime`] — the co-simulation engine tying the plant, ModBus
-//!   gateway, RT-Link network and EVM nodes together (the Fig. 5 testbed),
+//!   gateway, RT-Link network and EVM nodes together: a deterministic
+//!   slot-pipeline driver over per-role node behaviors, configured by a
+//!   topology DSL (the Fig. 5 testbed is one instance),
 //! * [`metrics`] — QoS metrics extracted from runs.
 
 #![forbid(unsafe_code)]
@@ -56,6 +58,6 @@ pub use health::{DeviationDetector, FaultEvidence, HeartbeatMonitor};
 pub use metrics::RunResult;
 pub use migration::{MigrationOutcome, MigrationPlan};
 pub use roles::ControllerMode;
-pub use runtime::{Engine, Scenario, ScenarioBuilder};
+pub use runtime::{Engine, Scenario, ScenarioBuilder, TopologySpec};
 pub use synthesis::{Assignment, BqpInstance, SynthesisProblem};
 pub use transfers::{FaultResponse, ObjectTransfer};

@@ -80,11 +80,7 @@ pub fn admit_node(
         });
     }
     // 2. Capabilities.
-    if let Some(missing) = capsule
-        .capabilities
-        .iter()
-        .find(|c| !profile.satisfies(c))
-    {
+    if let Some(missing) = capsule.capabilities.iter().find(|c| !profile.satisfies(c)) {
         return Err(EvmError::MissingCapability {
             node: profile.node,
             capability: missing.to_string(),

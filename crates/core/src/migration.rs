@@ -176,7 +176,9 @@ mod tests {
         let plan = MigrationPlan::new(&TaskImage::typical_control_task(), 1, cycle());
         let mut rng = SimRng::seed_from(3);
         let err = execute_migration(&plan, 1.0, 5, &mut rng).unwrap_err();
-        assert!(matches!(err, EvmError::MigrationTimeout { frames_remaining } if frames_remaining > 0));
+        assert!(
+            matches!(err, EvmError::MigrationTimeout { frames_remaining } if frames_remaining > 0)
+        );
     }
 
     #[test]

@@ -38,14 +38,17 @@ impl ControllerMode {
                 | (Indicator, Backup)
                 | (Indicator, Dormant)
                 | (Dormant, Backup)  // re-warmed replica
-                | (Dormant, Active)  // direct activation (cold standby)
+                | (Dormant, Active) // direct activation (cold standby)
         )
     }
 
     /// `true` if this mode executes the control law every cycle.
     #[must_use]
     pub fn computes(self) -> bool {
-        matches!(self, ControllerMode::Active | ControllerMode::Backup | ControllerMode::Indicator)
+        matches!(
+            self,
+            ControllerMode::Active | ControllerMode::Backup | ControllerMode::Indicator
+        )
     }
 
     /// `true` if this mode's output reaches the actuator.

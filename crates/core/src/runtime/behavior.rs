@@ -1,0 +1,102 @@
+//! The node-behavior abstraction.
+//!
+//! Each node in the deployment is a [`NodeBehavior`]: the slot-pipeline
+//! driver owns the shared world (plant, channel, schedule, energy meters,
+//! event queue) and calls into behaviors with a [`NodeCtx`] when the node
+//! transmits, receives, or a cycle boundary passes. Behaviors communicate
+//! back through returned messages, scheduled [`Timer`]s, and [`Effect`]s —
+//! never by reaching into another node's state, which is what keeps the
+//! runtime topology-generic.
+
+use evm_netsim::NodeId;
+use evm_plant::{GasPlant, RegisterMap};
+use evm_sim::{SimRng, SimTime, Trace};
+
+use crate::runtime::behaviors::{ControllerCore, HeadPlane};
+use crate::runtime::topo::{FlowKind, RoleMap};
+use crate::runtime::Message;
+
+/// A deferred, node-local event (delivered back to the same node).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Timer {
+    /// The node's focus-task execution completed (WCET elapsed).
+    TaskDone,
+}
+
+/// A cross-node side effect a behavior hands back to the driver.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Effect {
+    /// A confirmed fault report for the head's arbitration (either an
+    /// in-band `FaultAlert` frame arriving at the head, or the head's own
+    /// monitor short-circuiting the radio hop).
+    Alert {
+        /// The node suspected faulty.
+        suspect: NodeId,
+        /// The node reporting it.
+        observer: NodeId,
+    },
+    /// An actuation reached the plant (drives latency/QoS accounting).
+    Actuated {
+        /// Timestamp of the PV this actuation responds to.
+        pv_sampled_at: SimTime,
+    },
+}
+
+/// The slice of the world a behavior may touch during one callback.
+pub struct NodeCtx<'a> {
+    /// Current simulation time.
+    pub now: SimTime,
+    /// The node being driven.
+    pub id: NodeId,
+    /// The node's display label (trace messages, series names).
+    pub label: &'a str,
+    /// Role-resolved addressing for the deployment.
+    pub roles: &'a RoleMap,
+    /// The scenario RNG (single stream — call order is deterministic).
+    pub rng: &'a mut SimRng,
+    /// The structured event log.
+    pub trace: &'a mut Trace,
+    /// The plant (only the gateway bridges to it).
+    pub plant: &'a mut GasPlant,
+    /// The ModBus register map.
+    pub regmap: &'a RegisterMap,
+    /// Side effects for the driver to apply after the callback.
+    pub effects: &'a mut Vec<Effect>,
+    /// Timers to schedule for this node: `(fire_at, timer)`.
+    pub timers: &'a mut Vec<(SimTime, Timer)>,
+}
+
+/// Per-role node logic. The driver is the only caller.
+pub trait NodeBehavior {
+    /// Called at the start of every RT-Link cycle (slot 0), before any
+    /// transmissions — heartbeat silence checks live here.
+    fn on_cycle_start(&mut self, _ctx: &mut NodeCtx<'_>) {}
+
+    /// What this node transmits in a slot scheduled for `kind`, if
+    /// anything. Returning `None` leaves the slot empty (listeners still
+    /// pay the detect window).
+    fn take_outgoing(&mut self, kind: FlowKind, ctx: &mut NodeCtx<'_>) -> Option<Message>;
+
+    /// A frame addressed to (or subscribed by) this node arrived.
+    fn on_deliver(&mut self, msg: &Message, ctx: &mut NodeCtx<'_>);
+
+    /// A timer scheduled by this node fired.
+    fn on_timer(&mut self, _timer: Timer, _ctx: &mut NodeCtx<'_>) {}
+
+    /// The controller replica state, for nodes that host one (controller
+    /// nodes and the head's monitor). Used by the driver for mode
+    /// sampling, arbitration candidates and migration.
+    fn controller_core(&self) -> Option<&ControllerCore> {
+        None
+    }
+
+    /// Mutable access to the controller replica state.
+    fn controller_core_mut(&mut self) -> Option<&mut ControllerCore> {
+        None
+    }
+
+    /// The head's control plane, for the head node.
+    fn head_plane_mut(&mut self) -> Option<&mut HeadPlane> {
+        None
+    }
+}

@@ -1,0 +1,109 @@
+//! Actuator nodes and the actuation gate they share with the gateway.
+
+use evm_netsim::NodeId;
+use evm_sim::SimTime;
+
+use crate::runtime::behavior::{NodeBehavior, NodeCtx};
+use crate::runtime::topo::FlowKind;
+use crate::runtime::Message;
+
+/// Master-acceptance state of an actuation endpoint: which controller's
+/// outputs are honored, and the fail-safe lock. Shared by [`ActuatorNode`]
+/// and by the gateway when a topology has no actuator node.
+#[derive(Debug, Clone)]
+pub struct ActuationGate {
+    active_ctrl: NodeId,
+    failsafe: bool,
+}
+
+impl ActuationGate {
+    /// A gate initially accepting `primary`.
+    #[must_use]
+    pub fn new(primary: NodeId) -> Self {
+        ActuationGate {
+            active_ctrl: primary,
+            failsafe: false,
+        }
+    }
+
+    /// Accepts or rejects a controller output. `Some(value)` if the output
+    /// should drive the valve.
+    #[must_use]
+    pub fn accept(&self, from: NodeId, value: f64) -> Option<f64> {
+        (from == self.active_ctrl && !self.failsafe).then_some(value)
+    }
+
+    /// Engages the fail-safe lock (controller outputs ignored until a
+    /// promotion arrives). Returns `false` if already engaged.
+    pub fn engage_failsafe(&mut self) -> bool {
+        if self.failsafe {
+            return false;
+        }
+        self.failsafe = true;
+        true
+    }
+
+    /// Applies a reconfiguration: switching masters (the OS-1 operation
+    /// switch) also releases the fail-safe lock.
+    pub fn on_reconfig(&mut self, promote: Option<NodeId>) {
+        if let Some(p) = promote {
+            self.active_ctrl = p;
+            self.failsafe = false;
+        }
+    }
+}
+
+/// An actuator node: gates controller outputs and forwards accepted
+/// commands to the gateway in its own slot.
+pub struct ActuatorNode {
+    gate: ActuationGate,
+    /// Accepted command awaiting this node's TX slot.
+    pending: Option<(f64, SimTime)>,
+}
+
+impl ActuatorNode {
+    /// An actuator initially mastered by `primary`.
+    #[must_use]
+    pub fn new(primary: NodeId) -> Self {
+        ActuatorNode {
+            gate: ActuationGate::new(primary),
+            pending: None,
+        }
+    }
+}
+
+impl NodeBehavior for ActuatorNode {
+    fn take_outgoing(&mut self, kind: FlowKind, _ctx: &mut NodeCtx<'_>) -> Option<Message> {
+        match kind {
+            FlowKind::ActuateForward => {
+                let (value, pv_ts) = self.pending.take()?;
+                Some(Message::ActuateFwd {
+                    value,
+                    pv_sampled_at: pv_ts,
+                })
+            }
+            _ => None,
+        }
+    }
+
+    fn on_deliver(&mut self, msg: &Message, ctx: &mut NodeCtx<'_>) {
+        match *msg {
+            Message::ControlOutput {
+                from,
+                value,
+                pv_sampled_at,
+            } => {
+                if let Some(v) = self.gate.accept(from, value) {
+                    self.pending = Some((v, pv_sampled_at));
+                }
+            }
+            Message::FailSafe { value } if self.gate.engage_failsafe() => {
+                self.pending = Some((value, ctx.now));
+                ctx.trace
+                    .log(ctx.now, "vc", format!("actuator fail-safe at {value}%"));
+            }
+            Message::Reconfig { promote, .. } => self.gate.on_reconfig(promote),
+            _ => {}
+        }
+    }
+}

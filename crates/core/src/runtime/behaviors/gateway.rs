@@ -1,0 +1,96 @@
+//! The gateway node: ModBus bridge between the plant and the radio.
+
+use evm_sim::SimTime;
+
+use crate::runtime::behavior::{Effect, NodeBehavior, NodeCtx};
+use crate::runtime::behaviors::ActuationGate;
+use crate::runtime::topo::FlowKind;
+use crate::runtime::Message;
+
+/// The gateway: serves HIL downlinks from the plant's register map,
+/// applies forwarded actuations, and — in topologies without an actuator
+/// node — gates controller outputs itself.
+pub struct GatewayNode {
+    /// Gaussian measurement noise added to the focus PV read.
+    noise_std: f64,
+    /// The focus actuation holding register.
+    act_register: u16,
+    /// Present when this gateway is the actuation endpoint (no actuator
+    /// node in the topology).
+    gate: Option<ActuationGate>,
+}
+
+impl GatewayNode {
+    /// Builds the gateway. `gate` makes it the actuation endpoint.
+    #[must_use]
+    pub fn new(noise_std: f64, act_register: u16, gate: Option<ActuationGate>) -> Self {
+        GatewayNode {
+            noise_std,
+            act_register,
+            gate,
+        }
+    }
+
+    /// Writes an accepted actuation to the plant and accounts for it.
+    fn actuate(&self, value: f64, pv_sampled_at: SimTime, ctx: &mut NodeCtx<'_>) {
+        let _ = ctx.regmap.write_scaled(ctx.plant, self.act_register, value);
+        ctx.effects.push(Effect::Actuated { pv_sampled_at });
+    }
+}
+
+impl NodeBehavior for GatewayNode {
+    fn take_outgoing(&mut self, kind: FlowKind, ctx: &mut NodeCtx<'_>) -> Option<Message> {
+        match kind {
+            FlowKind::HilDownlink { tag } => {
+                let register = *ctx.roles.sensor_registers.get(tag as usize)?;
+                let mut v = ctx.regmap.read_scaled(ctx.plant, register).ok()?;
+                // Measurement noise applies at the focus PV interface.
+                if tag == 0 && self.noise_std > 0.0 {
+                    v += ctx.rng.normal(0.0, self.noise_std);
+                }
+                Some(Message::SensorValue {
+                    tag,
+                    value: v,
+                    sampled_at: ctx.now,
+                })
+            }
+            _ => None,
+        }
+    }
+
+    fn on_deliver(&mut self, msg: &Message, ctx: &mut NodeCtx<'_>) {
+        match *msg {
+            Message::ActuateFwd {
+                value,
+                pv_sampled_at,
+            } => self.actuate(value, pv_sampled_at, ctx),
+            // Endpoint duties, only when no actuator node exists.
+            Message::ControlOutput {
+                from,
+                value,
+                pv_sampled_at,
+            } => {
+                if let Some(gate) = &self.gate {
+                    if let Some(v) = gate.accept(from, value) {
+                        self.actuate(v, pv_sampled_at, ctx);
+                    }
+                }
+            }
+            Message::FailSafe { value } => {
+                if let Some(gate) = &mut self.gate {
+                    if gate.engage_failsafe() {
+                        ctx.trace
+                            .log(ctx.now, "vc", format!("actuator fail-safe at {value}%"));
+                        self.actuate(value, ctx.now, ctx);
+                    }
+                }
+            }
+            Message::Reconfig { promote, .. } => {
+                if let Some(gate) = &mut self.gate {
+                    gate.on_reconfig(promote);
+                }
+            }
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! The Virtual Component's head node.
+//!
+//! The head owns the control plane: it hosts a monitor replica of the
+//! focus law (so cold-standby deployments still detect faults), receives
+//! alerts, and — via the driver, which arbitrates with a global view
+//! standing in for the members' health publications — commits
+//! reconfigurations broadcast in its slot.
+
+use evm_netsim::NodeId;
+
+use crate::runtime::behavior::{Effect, NodeBehavior, NodeCtx, Timer};
+use crate::runtime::behaviors::ControllerCore;
+use crate::runtime::topo::FlowKind;
+use crate::runtime::Message;
+
+/// Each control-plane command is rebroadcast this many cycles; at 40 %
+/// frame loss the probability every copy is lost is 0.4^20 ≈ 1e-8.
+pub const CONTROL_PLANE_REPEATS: u32 = 20;
+
+/// The head's control-plane state.
+#[derive(Debug, Default)]
+pub struct HeadPlane {
+    /// Pending control-plane commands with a retransmission budget (the
+    /// fault plane must survive lossy links; receivers apply commands
+    /// idempotently).
+    pub pending_cmds: Vec<(Message, u32)>,
+    /// An arbitration decision is scheduled and not yet committed.
+    pub decision_pending: bool,
+    /// Nodes with confirmed faults — never candidates for promotion.
+    pub suspected: Vec<NodeId>,
+}
+
+impl HeadPlane {
+    /// Queues a command for rebroadcast.
+    pub fn push_cmd(&mut self, msg: Message) {
+        self.pending_cmds.push((msg, CONTROL_PLANE_REPEATS));
+    }
+}
+
+/// The head node: monitor replica + control plane.
+pub struct HeadNode {
+    monitor: ControllerCore,
+    plane: HeadPlane,
+}
+
+impl HeadNode {
+    /// Builds the head around its monitor replica.
+    #[must_use]
+    pub fn new(monitor: ControllerCore) -> Self {
+        HeadNode {
+            monitor,
+            plane: HeadPlane::default(),
+        }
+    }
+}
+
+impl NodeBehavior for HeadNode {
+    fn on_cycle_start(&mut self, ctx: &mut NodeCtx<'_>) {
+        // The monitor's heartbeat check short-circuits the alert frame (it
+        // would be addressed to this very node).
+        if self.monitor.watched_silent(ctx.now) && !self.plane.decision_pending {
+            let suspect = self.monitor.watched();
+            ctx.trace.log(
+                ctx.now,
+                "health",
+                format!("{} heartbeat timeout on {suspect}", ctx.id),
+            );
+            ctx.effects.push(Effect::Alert {
+                suspect,
+                observer: ctx.id,
+            });
+        }
+    }
+
+    fn take_outgoing(&mut self, kind: FlowKind, _ctx: &mut NodeCtx<'_>) -> Option<Message> {
+        match kind {
+            FlowKind::ControlPlane => {
+                let (msg, remaining) = self.plane.pending_cmds.first_mut()?;
+                let out = msg.clone();
+                *remaining -= 1;
+                if *remaining == 0 {
+                    self.plane.pending_cmds.remove(0);
+                }
+                Some(out)
+            }
+            _ => None,
+        }
+    }
+
+    fn on_deliver(&mut self, msg: &Message, ctx: &mut NodeCtx<'_>) {
+        match *msg {
+            Message::SensorValue {
+                tag,
+                value,
+                sampled_at,
+            } => {
+                // The monitor computes on the focus PV only.
+                if tag != 0 {
+                    return;
+                }
+                if let Some(wcet) = self.monitor.on_pv(value, sampled_at) {
+                    ctx.timers.push((ctx.now + wcet, Timer::TaskDone));
+                }
+            }
+            Message::Heartbeat { from } => self.monitor.heard_from(from, ctx.now),
+            Message::ControlOutput { from, value, .. } => {
+                self.monitor.heard_from(from, ctx.now);
+                if let Some(mean_dev) = self.monitor.observe_peer_output(from, value, ctx.now) {
+                    ctx.trace.log(
+                        ctx.now,
+                        "health",
+                        format!(
+                            "{} confirmed deviation on {from} (mean {mean_dev:.1})",
+                            ctx.id
+                        ),
+                    );
+                    ctx.effects.push(Effect::Alert {
+                        suspect: from,
+                        observer: ctx.id,
+                    });
+                }
+            }
+            Message::FaultAlert { suspect, observer } => {
+                ctx.effects.push(Effect::Alert { suspect, observer });
+            }
+            Message::Reconfig { .. } | Message::FailSafe { .. } | Message::ActuateFwd { .. } => {}
+        }
+    }
+
+    fn on_timer(&mut self, timer: Timer, ctx: &mut NodeCtx<'_>) {
+        match timer {
+            Timer::TaskDone => self.monitor.run_capsule(ctx.now, ctx.rng, ctx.trace),
+        }
+    }
+
+    fn controller_core(&self) -> Option<&ControllerCore> {
+        Some(&self.monitor)
+    }
+
+    fn controller_core_mut(&mut self) -> Option<&mut ControllerCore> {
+        Some(&mut self.monitor)
+    }
+
+    fn head_plane_mut(&mut self) -> Option<&mut HeadPlane> {
+        Some(&mut self.plane)
+    }
+}

@@ -1,0 +1,18 @@
+//! Per-role node behaviors.
+//!
+//! One module per role; each implements
+//! [`NodeBehavior`](crate::runtime::behavior::NodeBehavior) over its own
+//! state only. Cross-node concerns (arbitration, migration, energy,
+//! delivery) live in the driver.
+
+mod actuator;
+mod controller;
+mod gateway;
+mod head;
+mod sensor;
+
+pub use actuator::{ActuationGate, ActuatorNode};
+pub use controller::{ControllerCore, ControllerNode, ReplicaParams};
+pub use gateway::GatewayNode;
+pub use head::{HeadNode, HeadPlane, CONTROL_PLANE_REPEATS};
+pub use sensor::SensorNode;

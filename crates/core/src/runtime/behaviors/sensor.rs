@@ -1,0 +1,44 @@
+//! Sensor nodes: receive HIL downlinks, publish timestamped PVs.
+
+use crate::runtime::behavior::{NodeBehavior, NodeCtx};
+use crate::runtime::topo::FlowKind;
+use crate::runtime::Message;
+
+/// A sensor node publishing one plant signal.
+pub struct SensorNode {
+    tag: u8,
+    latest: Option<f64>,
+}
+
+impl SensorNode {
+    /// A sensor for signal `tag` (0 is the focus PV).
+    #[must_use]
+    pub fn new(tag: u8) -> Self {
+        SensorNode { tag, latest: None }
+    }
+}
+
+impl NodeBehavior for SensorNode {
+    fn take_outgoing(&mut self, kind: FlowKind, ctx: &mut NodeCtx<'_>) -> Option<Message> {
+        match kind {
+            FlowKind::SensorPublish { tag } if tag == self.tag => {
+                // Freshness stamp: the sensor publishes "now" (on hardware
+                // it samples right before its slot).
+                Some(Message::SensorValue {
+                    tag,
+                    value: self.latest?,
+                    sampled_at: ctx.now,
+                })
+            }
+            _ => None,
+        }
+    }
+
+    fn on_deliver(&mut self, msg: &Message, _ctx: &mut NodeCtx<'_>) {
+        if let Message::SensorValue { tag, value, .. } = *msg {
+            if tag == self.tag {
+                self.latest = Some(value);
+            }
+        }
+    }
+}

@@ -1,0 +1,363 @@
+//! The co-simulation driver: the deterministic slot-pipeline engine.
+//!
+//! A thin event loop that owns the shared world — plant, channel,
+//! schedule, energy meters, event queue, the Virtual Component record —
+//! and drives per-role [`NodeBehavior`]s through it. All role dispatch is
+//! resolved from the scenario's [`RoleMap`]; no node id is hard-coded
+//! anywhere in the runtime.
+//!
+//! Construction lives in [`super::setup`]; the head's fault plane
+//! (arbitration, migration, failover commits) in [`super::failover`].
+
+use std::collections::HashMap;
+
+use evm_mac::rtlink::{RtLink, SlotSchedule};
+use evm_netsim::{Battery, Channel, EnergyMeter, Frame, FrameKind, NodeId, RadioState, Topology};
+use evm_plant::{GasPlant, LocalController, Plant, RegisterMap};
+use evm_sim::{EventQueue, SimDuration, SimRng, SimTime, TimeSeries, Trace};
+
+use crate::component::VirtualComponent;
+use crate::metrics::{NodeEnergy, RunResult};
+use crate::runtime::behavior::{Effect, NodeBehavior, NodeCtx, Timer};
+use crate::runtime::registry::NodeRegistry;
+use crate::runtime::topo::{FlowKind, RoleMap};
+use crate::runtime::{Message, Scenario};
+
+/// Driver events. The fault plane (`super::failover`) schedules the
+/// arbitration/migration ones.
+#[derive(Debug)]
+pub(super) enum Ev {
+    Slot,
+    PlantStep,
+    Sample,
+    Deliver { to: NodeId, msg: Message },
+    NodeTimer { node: NodeId, timer: Timer },
+    InjectFault,
+    InjectBackupFault,
+    CrashPrimary,
+    HeadDecision { suspect: NodeId },
+    MigrationDone { target: NodeId, suspect: NodeId },
+    DormantDemote { target: NodeId },
+}
+
+/// The co-simulation engine. Build with [`Engine::new`], run with
+/// [`Engine::run`].
+pub struct Engine {
+    pub(super) scenario: Scenario,
+    pub(super) plant: GasPlant,
+    pub(super) regmap: RegisterMap,
+    pub(super) local_loops: Vec<LocalController>,
+    pub(super) channel: Channel,
+    pub(super) topology: Topology,
+    pub(super) roles: RoleMap,
+    pub(super) rtlink: RtLink,
+    pub(super) schedule: SlotSchedule,
+    /// `(slot, owner) → flow semantic` for every scheduled flow.
+    pub(super) flow_kinds: HashMap<(usize, NodeId), FlowKind>,
+    pub(super) vc: VirtualComponent,
+    pub(super) rng: SimRng,
+    pub(super) trace: Trace,
+    pub(super) queue: EventQueue<Ev>,
+    pub(super) now: SimTime,
+    pub(super) registry: NodeRegistry,
+
+    pub(super) series: HashMap<String, TimeSeries>,
+    pub(super) mode_series: Vec<(NodeId, TimeSeries)>,
+    /// Radio energy meters per node.
+    pub(super) meters: HashMap<NodeId, EnergyMeter>,
+    pub(super) e2e: Vec<SimDuration>,
+    pub(super) deadline_misses: usize,
+    pub(super) actuations: usize,
+}
+
+impl Engine {
+    /// The slot schedule (for inspection/tests).
+    #[must_use]
+    pub fn schedule(&self) -> &SlotSchedule {
+        &self.schedule
+    }
+
+    /// The virtual component (for inspection/tests).
+    #[must_use]
+    pub fn component(&self) -> &VirtualComponent {
+        &self.vc
+    }
+
+    /// The role-resolved addressing (for inspection/tests).
+    #[must_use]
+    pub fn roles(&self) -> &RoleMap {
+        &self.roles
+    }
+
+    /// The physical topology (for inspection/tests).
+    #[must_use]
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The slot in which `owner` serves `kind`, if scheduled.
+    #[must_use]
+    pub fn slot_serving(&self, owner: NodeId, kind: FlowKind) -> Option<usize> {
+        self.flow_kinds
+            .iter()
+            .find(|&(&(_, o), k)| o == owner && *k == kind)
+            .map(|(&(slot, _), _)| slot)
+    }
+
+    /// Runs the scenario to completion and returns the results.
+    #[must_use]
+    pub fn run(mut self) -> RunResult {
+        let end = SimTime::ZERO + self.scenario.duration;
+        while let Some((t, ev)) = self.queue.pop() {
+            if t >= end {
+                break;
+            }
+            self.now = t;
+            self.handle(ev);
+            debug_assert!(
+                self.vc.invariant_single_active(),
+                "single-active invariant violated at {t}"
+            );
+        }
+        // Close out energy accounting: everything not spent on the radio
+        // was deep sleep.
+        let total = self.scenario.duration;
+        let node_energy = self
+            .meters
+            .iter_mut()
+            .map(|(id, m)| {
+                let accounted = m.total_time();
+                m.add(RadioState::Sleep, total.saturating_sub(accounted));
+                let label = self
+                    .topology
+                    .node(*id)
+                    .map_or_else(|| id.to_string(), |n| n.label.clone());
+                let avg = m.average_current_ma();
+                (
+                    label,
+                    NodeEnergy {
+                        avg_current_ma: avg,
+                        radio_duty: m.radio_duty_cycle(),
+                        lifetime_years: Battery::two_aa().lifetime_years_at(avg.max(1e-9)),
+                    },
+                )
+            })
+            .collect();
+        RunResult {
+            series: self
+                .series
+                .into_iter()
+                .chain(
+                    self.mode_series
+                        .into_iter()
+                        .map(|(_, s)| (s.name().to_string(), s)),
+                )
+                .collect(),
+            trace: self.trace,
+            e2e_latencies: self.e2e,
+            deadline_misses: self.deadline_misses,
+            actuations: self.actuations,
+            node_energy,
+        }
+    }
+
+    pub(super) fn alive(&self, node: NodeId) -> bool {
+        self.scenario.fault_plan.node_alive(node, self.now)
+    }
+
+    pub(super) fn label_of(&self, id: NodeId) -> String {
+        self.topology
+            .node(id)
+            .map_or_else(|| id.to_string(), |n| n.label.clone())
+    }
+
+    /// Runs one behavior callback with a scoped [`NodeCtx`], then applies
+    /// the timers and effects it produced. Returns `None` for unknown ids.
+    pub(super) fn dispatch<R>(
+        &mut self,
+        id: NodeId,
+        f: impl FnOnce(&mut dyn NodeBehavior, &mut NodeCtx<'_>) -> R,
+    ) -> Option<R> {
+        let label = self.label_of(id);
+        let mut effects = Vec::new();
+        let mut timers = Vec::new();
+        let out = {
+            let node = self.registry.get_mut(id)?;
+            let mut ctx = NodeCtx {
+                now: self.now,
+                id,
+                label: &label,
+                roles: &self.roles,
+                rng: &mut self.rng,
+                trace: &mut self.trace,
+                plant: &mut self.plant,
+                regmap: &self.regmap,
+                effects: &mut effects,
+                timers: &mut timers,
+            };
+            f(node, &mut ctx)
+        };
+        for (at, timer) in timers {
+            self.queue.push(at, Ev::NodeTimer { node: id, timer });
+        }
+        for effect in effects {
+            self.apply_effect(effect);
+        }
+        Some(out)
+    }
+
+    fn apply_effect(&mut self, effect: Effect) {
+        match effect {
+            Effect::Alert { suspect, observer } => self.head_on_alert(suspect, observer),
+            Effect::Actuated { pv_sampled_at } => {
+                let e2e = self.now.saturating_since(pv_sampled_at);
+                let deadline = self.rtlink.config().cycle_duration() / 3;
+                if e2e > deadline {
+                    self.deadline_misses += 1;
+                }
+                self.e2e.push(e2e);
+                self.actuations += 1;
+            }
+        }
+    }
+
+    fn handle(&mut self, ev: Ev) {
+        match ev {
+            Ev::PlantStep => self.on_plant_step(),
+            Ev::Slot => self.on_slot(),
+            Ev::Sample => self.on_sample(),
+            Ev::Deliver { to, msg } => {
+                self.dispatch(to, |n, ctx| n.on_deliver(&msg, ctx));
+            }
+            Ev::NodeTimer { node, timer } => {
+                self.dispatch(node, |n, ctx| n.on_timer(timer, ctx));
+            }
+            Ev::InjectFault => self.on_inject_fault(),
+            Ev::InjectBackupFault => self.on_inject_backup_fault(),
+            Ev::CrashPrimary => self.on_crash_primary(),
+            Ev::HeadDecision { suspect } => self.on_head_decision(suspect),
+            Ev::MigrationDone { target, suspect } => self.on_migration_done(target, suspect),
+            Ev::DormantDemote { target } => self.on_dormant_demote(target),
+        }
+    }
+
+    fn on_plant_step(&mut self) {
+        let dt = self.scenario.plant_dt;
+        // Wired loops run at the gateway against the plant directly.
+        let now_s = self.now.as_secs_f64();
+        for c in &mut self.local_loops {
+            let _ = c.poll(&mut self.plant, now_s);
+        }
+        self.plant.step(dt.as_secs_f64());
+        self.queue.push(self.now + dt, Ev::PlantStep);
+    }
+
+    fn on_sample(&mut self) {
+        for (tag, series) in &mut self.series {
+            if let Some(v) = self.plant.read_tag(tag) {
+                series.push(self.now, v);
+            }
+        }
+        for (node, series) in &mut self.mode_series {
+            let mode = self
+                .registry
+                .controller(*node)
+                .expect("controller registered")
+                .mode;
+            series.push(self.now, mode.as_f64());
+        }
+        self.queue
+            .push(self.now + self.scenario.sample_every, Ev::Sample);
+    }
+
+    /// Processes all transmissions of the slot that starts now.
+    fn on_slot(&mut self) {
+        let (_cycle, slot) = self.rtlink.slot_at(self.now);
+        if slot == 0 {
+            self.on_cycle_start();
+        }
+        let assignments: Vec<(NodeId, Vec<NodeId>)> = self
+            .schedule
+            .in_slot(slot)
+            .iter()
+            .map(|a| (a.owner, a.listeners.clone()))
+            .collect();
+        // Detect window a listener pays before shutting down on an empty
+        // slot: guard + PHY header airtime.
+        let detect = self.scenario.rtlink.guard
+            + evm_netsim::frame::airtime_for_bytes(evm_netsim::PHY_HEADER_BYTES);
+        for (owner, listeners) in assignments {
+            if !self.alive(owner) {
+                continue;
+            }
+            let kind = self.flow_kinds.get(&(slot, owner)).copied();
+            let msg = kind
+                .and_then(|k| self.dispatch(owner, |n, ctx| n.take_outgoing(k, ctx)))
+                .flatten();
+            let Some(msg) = msg else {
+                // Empty slot: listeners still pay the detect window.
+                for l in listeners {
+                    if self.alive(l) {
+                        if let Some(m) = self.meters.get_mut(&l) {
+                            m.add(RadioState::Listen, detect);
+                        }
+                    }
+                }
+                continue;
+            };
+            let frame = Frame::new(owner, FrameKind::Broadcast, msg.payload_bytes(), 0);
+            let airtime = frame.airtime();
+            let guard = self.scenario.rtlink.guard;
+            if let Some(m) = self.meters.get_mut(&owner) {
+                m.add(RadioState::Idle, guard);
+                m.add(RadioState::Tx, airtime);
+            }
+            for to in listeners {
+                if !self.alive(to) {
+                    continue;
+                }
+                if let Some(m) = self.meters.get_mut(&to) {
+                    m.add(RadioState::Rx, guard + airtime);
+                }
+                if !self.scenario.fault_plan.link_usable(owner, to, self.now) {
+                    continue;
+                }
+                let d = self.topology.distance(owner, to);
+                if !self.channel.sample_delivery(&frame, to, d) {
+                    continue;
+                }
+                if self.rng.chance(self.scenario.extra_loss) {
+                    continue;
+                }
+                self.queue.push(
+                    self.now + guard + airtime,
+                    Ev::Deliver {
+                        to,
+                        msg: msg.clone(),
+                    },
+                );
+            }
+        }
+        self.queue
+            .push(self.now + self.scenario.rtlink.slot_duration, Ev::Slot);
+    }
+
+    /// Cycle-boundary housekeeping: sync reception energy and per-node
+    /// cycle hooks (heartbeat silence checks).
+    fn on_cycle_start(&mut self) {
+        let sync = self.scenario.rtlink.sync_listen;
+        let ids: Vec<NodeId> = self.registry.ids().to_vec();
+        for &id in &ids {
+            if self.alive(id) {
+                if let Some(m) = self.meters.get_mut(&id) {
+                    m.add(RadioState::Rx, sync);
+                }
+            }
+        }
+        for id in ids {
+            if self.alive(id) {
+                self.dispatch(id, |n, ctx| n.on_cycle_start(ctx));
+            }
+        }
+    }
+}

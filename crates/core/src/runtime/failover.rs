@@ -1,0 +1,263 @@
+//! The fault plane: injections, head-side arbitration, migration and
+//! failover commits.
+//!
+//! Backups compute the same capsule on the same PV stream and feed
+//! deviation detectors with (active output, own output) pairs; a confirmed
+//! run of anomalies raises an alert to the head, which arbitrates over the
+//! surviving replicas — with a global view standing in for the members'
+//! health publications — and commits the reconfiguration at its epoch
+//! boundary: the paper's Fig. 6(b) machinery, over arbitrary topologies.
+
+use evm_netsim::{Battery, EnergyMeter, NodeId};
+
+use crate::arbitration::{select_master, Candidate};
+use crate::migration::{execute_migration, MigrationPlan};
+use crate::roles::ControllerMode;
+use crate::runtime::driver::{Engine, Ev};
+use crate::runtime::Message;
+
+impl Engine {
+    pub(super) fn on_inject_fault(&mut self) {
+        if let Some((_, fault)) = self.scenario.fault {
+            let primary = self.roles.primary();
+            if let Some(c) = self.registry.controller_mut(primary) {
+                c.fault = Some((self.now, fault));
+            }
+            let label = self.label_of(primary);
+            self.trace
+                .log(self.now, "fault", format!("inject {fault:?} on {label}"));
+        }
+    }
+
+    pub(super) fn on_inject_backup_fault(&mut self) {
+        let Some(&backup) = self.roles.controllers.get(1) else {
+            return;
+        };
+        if let Some((_, fault)) = self.scenario.backup_fault {
+            if let Some(c) = self.registry.controller_mut(backup) {
+                c.fault = Some((self.now, fault));
+            }
+            let label = self.label_of(backup);
+            self.trace
+                .log(self.now, "fault", format!("inject {fault:?} on {label}"));
+        }
+    }
+
+    pub(super) fn on_crash_primary(&mut self) {
+        let primary = self.roles.primary();
+        self.scenario
+            .fault_plan
+            .add_crash(evm_netsim::NodeCrash::permanent(primary, self.now));
+        let label = self.label_of(primary);
+        self.trace
+            .log(self.now, "fault", format!("{label} crashed"));
+    }
+
+    /// Head-side alert handling: schedule the reconfiguration decision at
+    /// the next epoch boundary.
+    pub(super) fn head_on_alert(&mut self, suspect: NodeId, observer: NodeId) {
+        let Some(head) = self.roles.head else {
+            return;
+        };
+        let Some(plane) = self.registry.head_plane_mut(head) else {
+            return;
+        };
+        if plane.decision_pending {
+            return;
+        }
+        // Only the controller the component believes is Active can be the
+        // subject of a failover (stale alerts from the switchover window
+        // are dropped here).
+        if self.vc.active_controller() != Some(suspect) {
+            return;
+        }
+        if let Some(plane) = self.registry.head_plane_mut(head) {
+            plane.decision_pending = true;
+        }
+        let epoch = self.scenario.reconfig_epoch;
+        let decide_at = if epoch.is_zero() {
+            self.now + self.scenario.rtlink.slot_duration
+        } else {
+            self.now.ceil_to(epoch)
+        };
+        self.trace.log(
+            self.now,
+            "vc",
+            format!("head received alert from {observer} on {suspect}; deciding at {decide_at}"),
+        );
+        self.queue.push(decide_at, Ev::HeadDecision { suspect });
+    }
+
+    pub(super) fn on_head_decision(&mut self, suspect: NodeId) {
+        let Some(head) = self.roles.head else {
+            return;
+        };
+        let suspected = {
+            let Some(plane) = self.registry.head_plane_mut(head) else {
+                return;
+            };
+            if !plane.suspected.contains(&suspect) {
+                plane.suspected.push(suspect);
+            }
+            plane.suspected.clone()
+        };
+        // Arbitration over the surviving, unsuspected controller replicas
+        // (deterministic order: the role map's controller precedence).
+        let candidates: Vec<Candidate> = self
+            .roles
+            .controllers
+            .iter()
+            .filter(|&&id| id != suspect && !suspected.contains(&id))
+            .map(|&id| {
+                let c = self.registry.controller(id).expect("controller registered");
+                Candidate {
+                    node: id,
+                    eligible: self.alive(id),
+                    battery: {
+                        let consumed = self.meters.get(&id).map_or(0.0, EnergyMeter::consumed_mah);
+                        (1.0 - consumed / Battery::two_aa().capacity_mah()).max(0.0)
+                    },
+                    cpu_headroom: 1.0 - c.kernel.utilization(),
+                    link_quality: 1.0,
+                    warm_replica: c.has_task,
+                }
+            })
+            .collect();
+        let Some(target) = select_master(&candidates) else {
+            // §3.1.2 health-assessment response: LocalFailSafe. Demote the
+            // suspect and drive the actuator to its safe position.
+            self.trace
+                .log(self.now, "vc", "no viable master; engaging fail-safe");
+            let _ = self.vc.set_mode(suspect, ControllerMode::Indicator);
+            let fail_safe = self.scenario.fail_safe_value;
+            if let Some(plane) = self.registry.head_plane_mut(head) {
+                plane.push_cmd(Message::Reconfig {
+                    promote: None,
+                    demote: Some((suspect, ControllerMode::Indicator)),
+                });
+                plane.push_cmd(Message::FailSafe { value: fail_safe });
+                plane.decision_pending = false;
+            }
+            return;
+        };
+        let warm = self
+            .registry
+            .controller(target)
+            .expect("controller registered")
+            .has_task;
+        if warm {
+            self.commit_failover(target, suspect);
+        } else {
+            // Cold standby: migrate the task image first.
+            let plan = MigrationPlan::new(
+                &evm_rtos::TaskImage::typical_control_task(),
+                1,
+                self.rtlink.config().cycle_duration(),
+            );
+            let outcome = execute_migration(&plan, self.scenario.extra_loss, 100, &mut self.rng);
+            match outcome {
+                Ok(out) => {
+                    self.trace.log(
+                        self.now,
+                        "migration",
+                        format!(
+                            "image {} B in {} frames ({} retries), {}",
+                            plan.image_bytes, out.frames_sent, out.retries, out.duration
+                        ),
+                    );
+                    self.queue.push(
+                        self.now + out.duration,
+                        Ev::MigrationDone { target, suspect },
+                    );
+                }
+                Err(e) => {
+                    self.trace
+                        .log(self.now, "migration", format!("failed: {e}"));
+                    if let Some(plane) = self.registry.head_plane_mut(head) {
+                        plane.decision_pending = false;
+                    }
+                }
+            }
+        }
+    }
+
+    pub(super) fn on_migration_done(&mut self, target: NodeId, suspect: NodeId) {
+        // Admission gate on the target before activation.
+        let admitted = self
+            .registry
+            .controller_mut(target)
+            .expect("target registered")
+            .admit_focus_task();
+        if !admitted {
+            self.trace
+                .log(self.now, "migration", format!("{target} refused admission"));
+            if let Some(head) = self.roles.head {
+                if let Some(plane) = self.registry.head_plane_mut(head) {
+                    plane.decision_pending = false;
+                }
+            }
+            return;
+        }
+        // Warm-start the migrated integrator from the suspect's snapshot
+        // (the data section of the migrated TCB).
+        if let Some(suspect_core) = self.registry.controller(suspect) {
+            let snapshot = suspect_core.snapshot_vars();
+            self.registry
+                .controller_mut(target)
+                .expect("target registered")
+                .restore_vars(snapshot);
+        }
+        self.trace
+            .log(self.now, "migration", format!("task activated on {target}"));
+        self.commit_failover(target, suspect);
+    }
+
+    pub(super) fn commit_failover(&mut self, target: NodeId, suspect: NodeId) {
+        // Head's authoritative VC view: demote first, then promote.
+        let _ = self.vc.set_mode(suspect, ControllerMode::Backup);
+        let _ = self.vc.set_mode(target, ControllerMode::Active);
+        let Some(head) = self.roles.head else {
+            return;
+        };
+        if let Some(plane) = self.registry.head_plane_mut(head) {
+            plane.push_cmd(Message::Reconfig {
+                promote: Some(target),
+                demote: Some((suspect, ControllerMode::Backup)),
+            });
+            plane.decision_pending = false;
+        }
+        // The head applies its own commit immediately (it never hears its
+        // own broadcast): the monitor re-aims at the new Active.
+        let now = self.now;
+        if let Some(monitor) = self.registry.controller_mut(head) {
+            monitor.apply_reconfig(
+                Some(target),
+                Some((suspect, ControllerMode::Backup)),
+                now,
+                "Head",
+                &mut self.trace,
+            );
+        }
+        self.queue.push(
+            self.now + self.scenario.demote_dormant_after,
+            Ev::DormantDemote { target: suspect },
+        );
+        self.trace.log(
+            self.now,
+            "vc",
+            format!("head commits failover {suspect} -> {target}"),
+        );
+    }
+
+    pub(super) fn on_dormant_demote(&mut self, target: NodeId) {
+        let _ = self.vc.set_mode(target, ControllerMode::Dormant);
+        if let Some(head) = self.roles.head {
+            if let Some(plane) = self.registry.head_plane_mut(head) {
+                plane.push_cmd(Message::Reconfig {
+                    promote: None,
+                    demote: Some((target, ControllerMode::Dormant)),
+                });
+            }
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Frames exchanged between nodes on the RT-Link data and control planes.
+
+use evm_netsim::NodeId;
+use evm_sim::SimTime;
+
+use crate::roles::ControllerMode;
+
+/// Frames exchanged between nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// A plant value for a sensor node (HIL downlink) or a published PV.
+    SensorValue {
+        /// Which signal this is: 0 = the focus PV (e.g. the LTS level),
+        /// 1.. = monitoring flows published by additional sensors.
+        tag: u8,
+        /// Engineering value.
+        value: f64,
+        /// When the publishing sensor transmitted it.
+        sampled_at: SimTime,
+    },
+    /// A controller's computed output (also its health publication).
+    ControlOutput {
+        /// The computing controller.
+        from: NodeId,
+        /// The output value (post-fault for a faulty controller).
+        value: f64,
+        /// Timestamp of the PV this output responds to.
+        pv_sampled_at: SimTime,
+    },
+    /// Backup's confirmed-fault report to the head.
+    FaultAlert {
+        /// The suspected node.
+        suspect: NodeId,
+        /// The reporting observer.
+        observer: NodeId,
+    },
+    /// Head's atomic reconfiguration command.
+    Reconfig {
+        /// Controller to promote to Active, if any.
+        promote: Option<NodeId>,
+        /// Controller to demote and its new mode, if any.
+        demote: Option<(NodeId, ControllerMode)>,
+    },
+    /// Keepalive a computing controller sends in its slot when it has no
+    /// output pending (e.g. the PV stream stalled) — distinguishes "I am
+    /// alive but starved" from a crash.
+    Heartbeat {
+        /// The sending controller.
+        from: NodeId,
+    },
+    /// Head's order to drive the actuator to its fail-safe position
+    /// (no viable master remains).
+    FailSafe {
+        /// The safe actuator value.
+        value: f64,
+    },
+    /// Actuator's forward of an accepted command to the gateway.
+    ActuateFwd {
+        /// The actuator value.
+        value: f64,
+        /// PV timestamp carried through for latency accounting.
+        pv_sampled_at: SimTime,
+    },
+}
+
+impl Message {
+    /// Approximate MAC payload size, bytes (drives airtime).
+    pub(crate) fn payload_bytes(&self) -> usize {
+        match self {
+            Message::SensorValue { .. } => 12,
+            Message::ControlOutput { .. } => 16,
+            Message::FaultAlert { .. } => 8,
+            Message::Reconfig { .. } => 10,
+            Message::Heartbeat { .. } => 4,
+            Message::FailSafe { .. } => 9,
+            Message::ActuateFwd { .. } => 14,
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! The node registry: behaviors keyed by [`NodeId`].
+
+use std::collections::HashMap;
+
+use evm_netsim::NodeId;
+
+use crate::runtime::behavior::NodeBehavior;
+use crate::runtime::behaviors::{ControllerCore, HeadPlane};
+
+/// Owns every node behavior, with a deterministic iteration order (the
+/// topology's node order) so event handling never depends on hash-map
+/// iteration.
+#[derive(Default)]
+pub struct NodeRegistry {
+    order: Vec<NodeId>,
+    nodes: HashMap<NodeId, Box<dyn NodeBehavior>>,
+}
+
+impl NodeRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        NodeRegistry::default()
+    }
+
+    /// Registers a behavior for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is already registered.
+    pub fn insert(&mut self, id: NodeId, behavior: Box<dyn NodeBehavior>) {
+        assert!(
+            self.nodes.insert(id, behavior).is_none(),
+            "duplicate behavior for {id}"
+        );
+        self.order.push(id);
+    }
+
+    /// Node ids in registration (topology) order.
+    #[must_use]
+    pub fn ids(&self) -> &[NodeId] {
+        &self.order
+    }
+
+    /// The behavior for `id`, if registered.
+    pub fn get_mut(&mut self, id: NodeId) -> Option<&mut dyn NodeBehavior> {
+        match self.nodes.get_mut(&id) {
+            Some(b) => Some(&mut **b),
+            None => None,
+        }
+    }
+
+    /// The controller replica hosted by `id` (controller nodes and the
+    /// head's monitor).
+    #[must_use]
+    pub fn controller(&self, id: NodeId) -> Option<&ControllerCore> {
+        self.nodes.get(&id).and_then(|n| n.controller_core())
+    }
+
+    /// Mutable controller replica access.
+    pub fn controller_mut(&mut self, id: NodeId) -> Option<&mut ControllerCore> {
+        self.nodes
+            .get_mut(&id)
+            .and_then(|n| n.controller_core_mut())
+    }
+
+    /// The head's control plane.
+    pub fn head_plane_mut(&mut self, head: NodeId) -> Option<&mut HeadPlane> {
+        self.nodes.get_mut(&head).and_then(|n| n.head_plane_mut())
+    }
+}

@@ -1,9 +1,11 @@
-//! Scenario configuration.
+//! Scenario configuration and the topology-aware builder DSL.
 
 use evm_mac::RtLinkConfig;
 use evm_netsim::{ChannelConfig, FaultPlan};
 use evm_plant::{ActuatorFault, ControlLoopSpec};
 use evm_sim::{SimDuration, SimTime};
+
+use crate::runtime::topo::TopologySpec;
 
 /// A fully specified co-simulation run.
 #[derive(Debug, Clone)]
@@ -16,6 +18,8 @@ pub struct Scenario {
     pub plant_dt: SimDuration,
     /// Tag-sampling period for the output series.
     pub sample_every: SimDuration,
+    /// The deployment: node roles, positions and sensor registers.
+    pub topology: TopologySpec,
     /// RT-Link cycle parameters.
     pub rtlink: RtLinkConfig,
     /// Radio channel parameters.
@@ -31,8 +35,8 @@ pub struct Scenario {
     pub reconfig_epoch: SimDuration,
     /// Delay from demotion (Backup) to Dormant — the paper's T3 − T2.
     pub demote_dormant_after: SimDuration,
-    /// `true`: the backup holds a warm replica (Fig. 6b). `false`: the
-    /// task must be migrated to the backup before promotion.
+    /// `true`: backup controllers hold warm replicas (Fig. 6b). `false`:
+    /// the task must be migrated to a backup before promotion.
     pub warm_backup: bool,
     /// Heartbeat silence threshold in RT-Link cycles. Must be large enough
     /// that a burst of frame losses is not mistaken for a crash: at loss
@@ -40,7 +44,7 @@ pub struct Scenario {
     pub heartbeat_cycles: u64,
     /// Scripted controller fault on the primary.
     pub fault: Option<(SimTime, ActuatorFault)>,
-    /// Scripted controller fault on the *backup* (double-fault runs).
+    /// Scripted controller fault on the *first backup* (double-fault runs).
     pub backup_fault: Option<(SimTime, ActuatorFault)>,
     /// Actuator value driven when no viable master remains (the
     /// `LocalFailSafe` response; fail-closed for the LTS valve).
@@ -64,6 +68,8 @@ impl Scenario {
     pub fn builder() -> ScenarioBuilder {
         ScenarioBuilder {
             inner: Scenario::baseline(),
+            star: StarParams::fig5(),
+            explicit_topology: false,
         }
     }
 
@@ -76,6 +82,7 @@ impl Scenario {
             duration: SimDuration::from_secs(1000),
             plant_dt: SimDuration::from_millis(100),
             sample_every: SimDuration::from_secs(1),
+            topology: TopologySpec::fig5(),
             rtlink: RtLinkConfig::default(),
             channel: ChannelConfig::default(),
             focus_loop: evm_plant::lts_level_loop(),
@@ -102,9 +109,16 @@ impl Scenario {
         }
     }
 
-    /// The paper's Fig. 6b scenario: Ctrl-A sticks at 75 % at T1 = 300 s;
-    /// the head commits the failover at the next 300 s epoch (T2 = 600 s);
-    /// Ctrl-A goes Dormant 200 s later (T3 = 800 s).
+    /// The paper's Fig. 5 testbed, unmodified — an alias of
+    /// [`Scenario::baseline`] that names the topology it reproduces.
+    #[must_use]
+    pub fn fig5() -> Self {
+        Scenario::baseline()
+    }
+
+    /// The paper's Fig. 6b scenario: the primary sticks at 75 % at
+    /// T1 = 300 s; the head commits the failover at the next 300 s epoch
+    /// (T2 = 600 s); the primary goes Dormant 200 s later (T3 = 800 s).
     #[must_use]
     pub fn fig6b() -> Self {
         Scenario::builder()
@@ -123,13 +137,118 @@ impl Scenario {
     }
 }
 
-/// Fluent builder over [`Scenario::baseline`].
+/// Star-topology knobs accumulated by the builder DSL.
+#[derive(Debug, Clone)]
+struct StarParams {
+    sensors: usize,
+    controllers: usize,
+    actuators: usize,
+    head: bool,
+    radius_m: f64,
+}
+
+impl StarParams {
+    /// The Fig. 5 parameter set.
+    fn fig5() -> Self {
+        StarParams {
+            sensors: 2,
+            controllers: 2,
+            actuators: 1,
+            head: true,
+            radius_m: 15.0,
+        }
+    }
+}
+
+/// Fluent builder over [`Scenario::baseline`], including the topology DSL:
+///
+/// ```
+/// use evm_core::runtime::ScenarioBuilder;
+/// let wide = ScenarioBuilder::star()
+///     .sensors(2)
+///     .controllers(3)
+///     .head(true)
+///     .build();
+/// assert_eq!(wide.topology.nodes.len(), 8);
+/// ```
 #[derive(Debug, Clone)]
 pub struct ScenarioBuilder {
     inner: Scenario,
+    star: StarParams,
+    explicit_topology: bool,
 }
 
 impl ScenarioBuilder {
+    /// Starts a star-topology builder (the default layout; an alias of
+    /// [`Scenario::builder`] that reads well with the role-count methods).
+    #[must_use]
+    pub fn star() -> Self {
+        Scenario::builder()
+    }
+
+    /// Starts from the degenerate three-node Virtual Component: gateway,
+    /// one sensor, one controller, no actuator node, no head.
+    #[must_use]
+    pub fn minimal() -> Self {
+        Scenario::builder()
+            .sensors(1)
+            .controllers(1)
+            .actuators(0)
+            .head(false)
+    }
+
+    /// Sets the number of sensor nodes (≥ 1; sensor 1 carries the focus
+    /// PV, the rest publish monitoring flows).
+    #[must_use]
+    pub fn sensors(mut self, n: usize) -> Self {
+        self.star.sensors = n;
+        self
+    }
+
+    /// Sets the number of controller replicas (≥ 1; the first is the
+    /// initial primary).
+    #[must_use]
+    pub fn controllers(mut self, n: usize) -> Self {
+        self.star.controllers = n;
+        self
+    }
+
+    /// Sets the number of actuator nodes: 0 routes actuation through the
+    /// gateway, 1 is a dedicated actuator node. More than one is rejected
+    /// at build time (controller outputs address a single actuation
+    /// endpoint for now).
+    #[must_use]
+    pub fn actuators(mut self, n: usize) -> Self {
+        self.star.actuators = n;
+        self
+    }
+
+    /// Includes (or removes) the Virtual Component head. Without a head
+    /// there is no arbitration and no failover — the minimal data plane.
+    #[must_use]
+    pub fn head(mut self, present: bool) -> Self {
+        self.star.head = present;
+        self
+    }
+
+    /// Sets the star ring radius in meters.
+    #[must_use]
+    pub fn radius_m(mut self, radius: f64) -> Self {
+        self.star.radius_m = radius;
+        self
+    }
+
+    /// Uses an explicit topology instead of the star DSL. Once set, the
+    /// explicit spec wins: the star knobs (`sensors`, `controllers`,
+    /// `actuators`, `head`, `radius_m`) are ignored regardless of call
+    /// order.
+    #[must_use]
+    pub fn topology(mut self, spec: TopologySpec) -> Self {
+        self.inner.topology = spec;
+        self.explicit_topology = true;
+        self
+    }
+
     /// Sets the RNG seed.
     #[must_use]
     pub fn seed(mut self, seed: u64) -> Self {
@@ -158,8 +277,8 @@ impl ScenarioBuilder {
         self
     }
 
-    /// Injects a controller fault on the backup at `at` (double-fault
-    /// scenarios exercising the fail-safe path).
+    /// Injects a controller fault on the first backup at `at`
+    /// (double-fault scenarios exercising the fail-safe path).
     #[must_use]
     pub fn backup_fault_at(mut self, at: SimTime, fault: ActuatorFault) -> Self {
         self.inner.backup_fault = Some((at, fault));
@@ -173,7 +292,7 @@ impl ScenarioBuilder {
         self
     }
 
-    /// Chooses cold-standby mode: the backup must receive the task by
+    /// Chooses cold-standby mode: backups must receive the task by
     /// migration before activation.
     #[must_use]
     pub fn cold_backup(mut self) -> Self {
@@ -182,6 +301,10 @@ impl ScenarioBuilder {
     }
 
     /// Adds uniform extra link loss (E14).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
     #[must_use]
     pub fn extra_loss(mut self, p: f64) -> Self {
         assert!((0.0..=1.0).contains(&p), "loss out of [0,1]");
@@ -199,6 +322,10 @@ impl ScenarioBuilder {
     }
 
     /// Adds Gaussian measurement noise at the sensor interface.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std` is negative.
     #[must_use]
     pub fn sensor_noise(mut self, std: f64) -> Self {
         assert!(std >= 0.0, "noise std must be non-negative");
@@ -214,9 +341,24 @@ impl ScenarioBuilder {
         self
     }
 
-    /// Finishes the scenario.
+    /// Finishes the scenario, materializing the star topology unless an
+    /// explicit one was set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the star parameters are degenerate (no sensor or no
+    /// controller).
     #[must_use]
-    pub fn build(self) -> Scenario {
+    pub fn build(mut self) -> Scenario {
+        if !self.explicit_topology {
+            self.inner.topology = TopologySpec::star(
+                self.star.sensors,
+                self.star.controllers,
+                self.star.actuators,
+                self.star.head,
+                self.star.radius_m,
+            );
+        }
         self.inner
     }
 }
@@ -224,6 +366,7 @@ impl ScenarioBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runtime::topo::Role;
 
     #[test]
     fn fig6b_matches_paper_timings() {
@@ -255,5 +398,51 @@ mod tests {
     #[should_panic(expected = "loss out of")]
     fn bad_loss_rejected() {
         let _ = Scenario::builder().extra_loss(1.5);
+    }
+
+    #[test]
+    fn default_build_is_fig5() {
+        let s = Scenario::builder().build();
+        assert_eq!(s.topology, TopologySpec::fig5());
+        assert_eq!(Scenario::fig5().topology, TopologySpec::fig5());
+    }
+
+    #[test]
+    fn star_dsl_expands_roles() {
+        let s = ScenarioBuilder::star()
+            .sensors(2)
+            .controllers(3)
+            .head(true)
+            .build();
+        // GW + 2 sensors + 3 controllers + 1 actuator + head.
+        assert_eq!(s.topology.nodes.len(), 8);
+        let ctrls = s
+            .topology
+            .nodes
+            .iter()
+            .filter(|n| matches!(n.role, Role::Controller(_)))
+            .count();
+        assert_eq!(ctrls, 3);
+    }
+
+    #[test]
+    fn minimal_dsl_is_three_nodes() {
+        let s = ScenarioBuilder::minimal().build();
+        assert_eq!(s.topology.nodes.len(), 3);
+        assert!(s.topology.nodes.iter().all(|n| n.role != Role::Head));
+    }
+
+    #[test]
+    fn explicit_topology_wins() {
+        let spec = TopologySpec::minimal(22.0);
+        let s = Scenario::builder().topology(spec.clone()).build();
+        assert_eq!(s.topology, spec);
+        // ...even when star knobs are touched afterwards.
+        let s = Scenario::builder()
+            .topology(spec.clone())
+            .radius_m(99.0)
+            .controllers(4)
+            .build();
+        assert_eq!(s.topology, spec);
     }
 }

@@ -1,0 +1,206 @@
+//! Engine construction: resolve the topology, synthesize the schedule,
+//! and instantiate one behavior per role.
+
+use std::collections::HashMap;
+
+use evm_mac::rtlink::{RtLink, SlotSchedule};
+use evm_netsim::{Channel, EnergyMeter, RadioPowerModel};
+use evm_plant::{GasPlant, LocalController, RegisterMap};
+use evm_sim::{EventQueue, SimDuration, SimRng, SimTime, TimeSeries, Trace};
+
+use crate::bytecode::{compile_control_law, control_law_gas_budget, ControlLawSpec};
+use crate::component::{MemberInfo, VirtualComponent};
+use crate::roles::ControllerMode;
+use crate::runtime::behavior::NodeBehavior;
+use crate::runtime::behaviors::{
+    ActuationGate, ActuatorNode, ControllerCore, ControllerNode, GatewayNode, HeadNode,
+    ReplicaParams, SensorNode,
+};
+use crate::runtime::driver::{Engine, Ev};
+use crate::runtime::registry::NodeRegistry;
+use crate::runtime::topo::{synth_flows, FlowKind};
+use crate::runtime::Scenario;
+
+/// The focus loop's actuation holding register (the LTS liquid valve
+/// command in the standard gas-plant map).
+const FOCUS_ACT_REGISTER: u16 = 40002;
+
+impl Engine {
+    /// Builds the deployment described by the scenario's topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology is malformed or its flow pipeline cannot be
+    /// scheduled within one RT-Link cycle — configuration errors, not
+    /// runtime conditions.
+    #[must_use]
+    pub fn new(scenario: Scenario) -> Self {
+        let mut rng = SimRng::seed_from(scenario.seed);
+        let mut channel = Channel::new(scenario.channel.clone(), rng.fork(1));
+        let (topology, roles) = scenario.topology.resolve(&mut channel);
+
+        // --- Schedule synthesis from the role-derived flow pipeline ----
+        let flow_specs = synth_flows(&roles);
+        let flows: Vec<_> = flow_specs.iter().map(|(f, _)| f.clone()).collect();
+        let (schedule, placed) = SlotSchedule::place_flows(&scenario.rtlink, &topology, &flows)
+            .expect("topology flows must schedule");
+        let flow_kinds: HashMap<(usize, evm_netsim::NodeId), FlowKind> = flow_specs
+            .iter()
+            .zip(&placed)
+            .map(|((flow, kind), &slot)| ((slot, flow.src), *kind))
+            .collect();
+
+        // --- Plant + local (wired) loops for the non-focus loops -------
+        let plant = GasPlant::default();
+        let focus_name = scenario.focus_loop.name.clone();
+        let local_loops: Vec<LocalController> = evm_plant::standard_loops()
+            .into_iter()
+            .filter(|l| l.name != focus_name)
+            .map(LocalController::new)
+            .collect();
+
+        // --- Node behaviors --------------------------------------------
+        let law = ControlLawSpec::from_loop(&scenario.focus_loop);
+        let program = compile_control_law(&law);
+        let gas = control_law_gas_budget(&program);
+        let params = ReplicaParams {
+            detect_threshold: scenario.detect_threshold,
+            detect_consecutive: scenario.detect_consecutive,
+            hb_timeout: scenario.rtlink.cycle_duration() * scenario.heartbeat_cycles,
+            period: SimDuration::from_secs_f64(scenario.focus_loop.period_s),
+        };
+        let primary = roles.primary();
+        let b_mode = if scenario.warm_backup {
+            ControllerMode::Backup
+        } else {
+            ControllerMode::Dormant
+        };
+
+        let mut registry = NodeRegistry::new();
+        for info in topology.nodes() {
+            let id = info.id;
+            let behavior: Box<dyn NodeBehavior> = if id == roles.gateway {
+                let gate = roles
+                    .actuators
+                    .is_empty()
+                    .then(|| ActuationGate::new(primary));
+                Box::new(GatewayNode::new(
+                    scenario.sensor_noise_std,
+                    FOCUS_ACT_REGISTER,
+                    gate,
+                ))
+            } else if Some(id) == roles.head {
+                // The head always runs a monitor replica of the law: it
+                // observes the data plane and can detect output deviations
+                // itself, which is what makes cold-standby deployments
+                // (no warm backup computing) still fail over.
+                Box::new(HeadNode::new(ControllerCore::new(
+                    id,
+                    ControllerMode::Backup,
+                    true,
+                    &program,
+                    gas,
+                    primary,
+                    &params,
+                )))
+            } else if let Some(tag) = roles.sensor_tag(id) {
+                Box::new(SensorNode::new(tag))
+            } else if roles.is_controller(id) {
+                let (mode, hosts_task) = if id == primary {
+                    (ControllerMode::Active, true)
+                } else {
+                    (b_mode, scenario.warm_backup)
+                };
+                Box::new(ControllerNode::new(ControllerCore::new(
+                    id, mode, hosts_task, &program, gas, primary, &params,
+                )))
+            } else {
+                Box::new(ActuatorNode::new(primary))
+            };
+            registry.insert(id, behavior);
+        }
+
+        // --- Virtual component -----------------------------------------
+        let mut vc = VirtualComponent::new("lts-loop");
+        for n in topology.nodes() {
+            let mode = if n.id == primary {
+                Some(ControllerMode::Active)
+            } else if roles.is_controller(n.id) {
+                Some(b_mode)
+            } else {
+                None
+            };
+            vc.add_member(MemberInfo {
+                node: n.id,
+                kind: n.kind,
+                mode,
+                capsules: vec![],
+            });
+        }
+        if let Some(head) = roles.head {
+            vc.set_head(head);
+        }
+
+        let series = scenario
+            .sampled_tags
+            .iter()
+            .map(|t| (t.clone(), TimeSeries::new(t.clone())))
+            .collect();
+        let mode_series = roles
+            .controllers
+            .iter()
+            .map(|&n| {
+                let label = topology.node(n).expect("member").label.clone();
+                (n, TimeSeries::new(format!("Mode.{label}")))
+            })
+            .collect();
+        let meters = topology
+            .nodes()
+            .iter()
+            .map(|n| (n.id, EnergyMeter::new(RadioPowerModel::cc2420())))
+            .collect();
+
+        let mut engine = Engine {
+            plant,
+            regmap: RegisterMap::gas_plant_standard(),
+            local_loops,
+            channel,
+            topology,
+            roles,
+            rtlink: RtLink::new(scenario.rtlink.clone()),
+            schedule,
+            flow_kinds,
+            vc,
+            rng,
+            trace: Trace::new(),
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            registry,
+            series,
+            mode_series,
+            meters,
+            e2e: Vec::new(),
+            deadline_misses: 0,
+            actuations: 0,
+            scenario,
+        };
+
+        // Seed events.
+        engine.queue.push(SimTime::ZERO, Ev::PlantStep);
+        engine.queue.push(
+            SimTime::ZERO + engine.scenario.rtlink.slot_duration,
+            Ev::Slot,
+        );
+        engine.queue.push(SimTime::ZERO, Ev::Sample);
+        if let Some((at, _)) = engine.scenario.fault {
+            engine.queue.push(at, Ev::InjectFault);
+        }
+        if let Some((at, _)) = engine.scenario.backup_fault {
+            engine.queue.push(at, Ev::InjectBackupFault);
+        }
+        if let Some(at) = engine.scenario.primary_crash {
+            engine.queue.push(at, Ev::CrashPrimary);
+        }
+        engine
+    }
+}

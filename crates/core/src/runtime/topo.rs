@@ -1,0 +1,479 @@
+//! Topology specification and schedule synthesis.
+//!
+//! A [`TopologySpec`] describes the node set of a deployment by *role*
+//! (gateway / sensor / controller / actuator / head) instead of by
+//! well-known node id. The runtime resolves roles into a [`RoleMap`] and
+//! synthesizes the RT-Link flow pipeline from it, so the same engine runs
+//! the paper's seven-node Fig. 5 testbed, a wide star with extra sensors
+//! and controllers, or a degenerate three-node loop without code changes.
+
+use evm_mac::rtlink::Flow;
+use evm_netsim::{Channel, NodeId, NodeInfo, NodeKind, Position, Topology};
+
+/// The role a node plays in the control loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// ModBus bridge to the plant; origin of HIL downlinks, sink of
+    /// actuation forwards (and the actuation endpoint when the topology
+    /// has no actuator node).
+    Gateway,
+    /// Publishes one plant signal. Sensor `0` carries the focus PV; higher
+    /// indices are monitoring flows.
+    Sensor(u8),
+    /// Hosts a replica of the focus control capsule. Controller `0` starts
+    /// as the Active primary; higher indices are backups.
+    Controller(u8),
+    /// Drives the focus valve from accepted controller outputs. At most
+    /// one per Virtual Component for now — controller outputs address a
+    /// single actuation endpoint.
+    Actuator(u8),
+    /// The Virtual Component's head: arbitration and the control plane.
+    Head,
+}
+
+impl Role {
+    /// The physical node kind this role maps onto.
+    #[must_use]
+    pub fn kind(self) -> NodeKind {
+        match self {
+            Role::Gateway => NodeKind::Gateway,
+            Role::Sensor(_) => NodeKind::Sensor,
+            Role::Controller(_) | Role::Head => NodeKind::Controller,
+            Role::Actuator(_) => NodeKind::Actuator,
+        }
+    }
+}
+
+/// One node of a deployment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeSpec {
+    /// Node identity.
+    pub id: NodeId,
+    /// Role in the control loop.
+    pub role: Role,
+    /// Human-readable label (used in traces, series names and results).
+    pub label: String,
+    /// Planar position (drives path loss and interference).
+    pub position: Position,
+    /// For sensors: the ModBus input register this sensor publishes.
+    pub register: Option<u16>,
+}
+
+/// ModBus input registers handed to monitoring sensors (tags 1..), in
+/// order. The first matches the Fig. 5 testbed's tower-feed flow.
+const MONITOR_REGISTERS: [u16; 11] = [
+    30007, 30002, 30003, 30005, 30006, 30004, 30008, 30009, 30010, 30011, 30012,
+];
+
+/// The focus PV input register (sensor 0).
+const FOCUS_REGISTER: u16 = 30001;
+
+/// A deployment described by roles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopologySpec {
+    /// The node set. The gateway must be present exactly once.
+    pub nodes: Vec<NodeSpec>,
+}
+
+impl TopologySpec {
+    /// The paper's Fig. 5 seven-node star: gateway at the center, ring of
+    /// S1, Ctrl-A, Ctrl-B, A1, S2 and the head at 15 m.
+    #[must_use]
+    pub fn fig5() -> Self {
+        TopologySpec::star(2, 2, 1, true, 15.0)
+    }
+
+    /// A star deployment: the gateway at the origin, all other nodes on a
+    /// ring of `radius_m`. Ring order (and id order) follows the Fig. 5
+    /// convention: focus sensor, controllers, actuators, monitoring
+    /// sensors, head — so `star(2, 2, 1, true, 15.0)` *is* the testbed.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless there is at least one sensor and one controller.
+    #[must_use]
+    pub fn star(
+        sensors: usize,
+        controllers: usize,
+        actuators: usize,
+        head: bool,
+        radius_m: f64,
+    ) -> Self {
+        assert!(sensors >= 1, "a control loop needs its focus sensor");
+        assert!(controllers >= 1, "a control loop needs a controller");
+        let mut roles: Vec<(Role, String)> = Vec::new();
+        roles.push((Role::Sensor(0), "S1".to_string()));
+        for i in 0..controllers {
+            // Ctrl-A, Ctrl-B, ... (wraps to Ctrl-27 past the alphabet).
+            let label = if i < 26 {
+                format!("Ctrl-{}", char::from(b'A' + i as u8))
+            } else {
+                format!("Ctrl-{i}")
+            };
+            roles.push((Role::Controller(i as u8), label));
+        }
+        for i in 0..actuators {
+            roles.push((Role::Actuator(i as u8), format!("A{}", i + 1)));
+        }
+        for i in 1..sensors {
+            roles.push((Role::Sensor(i as u8), format!("S{}", i + 1)));
+        }
+        if head {
+            roles.push((Role::Head, "Head".to_string()));
+        }
+
+        let ring = roles.len();
+        let mut nodes = vec![NodeSpec {
+            id: NodeId(0),
+            role: Role::Gateway,
+            label: "GW".to_string(),
+            position: Position::new(0.0, 0.0),
+            register: None,
+        }];
+        for (i, (role, label)) in roles.into_iter().enumerate() {
+            let angle = 2.0 * std::f64::consts::PI * i as f64 / ring as f64;
+            let register = match role {
+                Role::Sensor(0) => Some(FOCUS_REGISTER),
+                Role::Sensor(tag) => {
+                    Some(MONITOR_REGISTERS[(tag as usize - 1) % MONITOR_REGISTERS.len()])
+                }
+                _ => None,
+            };
+            nodes.push(NodeSpec {
+                id: NodeId((i + 1) as u16),
+                role,
+                label,
+                position: Position::new(radius_m * angle.cos(), radius_m * angle.sin()),
+                register,
+            });
+        }
+        TopologySpec { nodes }
+    }
+
+    /// The degenerate three-node Virtual Component: gateway, one sensor,
+    /// one controller. The gateway doubles as the actuation endpoint and
+    /// no head means no failover machinery — the smallest closed loop the
+    /// runtime can express.
+    #[must_use]
+    pub fn minimal(radius_m: f64) -> Self {
+        TopologySpec::star(1, 1, 0, false, radius_m)
+    }
+
+    /// Resolves the spec into the physical [`Topology`] plus the
+    /// [`RoleMap`] used for dispatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed spec: no gateway, duplicate ids, duplicate
+    /// role indices, no sensor 0, or no controller 0.
+    #[must_use]
+    pub fn resolve(&self, channel: &mut Channel) -> (Topology, RoleMap) {
+        let infos: Vec<NodeInfo> = self
+            .nodes
+            .iter()
+            .map(|n| NodeInfo::new(n.id, n.role.kind(), n.position, n.label.clone()))
+            .collect();
+        {
+            let mut ids: Vec<NodeId> = infos.iter().map(|n| n.id).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            assert_eq!(
+                ids.len(),
+                infos.len(),
+                "duplicate node ids in topology spec"
+            );
+        }
+        let topology = Topology::derive(infos, channel);
+        let roles = RoleMap::from_spec(self);
+        (topology, roles)
+    }
+}
+
+/// Role-resolved addressing: who plays which part, in deterministic order.
+/// This replaces the old engine's hard-coded `nodes::*` constants in every
+/// dispatch decision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoleMap {
+    /// The gateway node.
+    pub gateway: NodeId,
+    /// The head, if the deployment has one.
+    pub head: Option<NodeId>,
+    /// Sensors by tag (index 0 is the focus PV sensor).
+    pub sensors: Vec<NodeId>,
+    /// Controllers in precedence order (index 0 is the initial primary).
+    pub controllers: Vec<NodeId>,
+    /// Actuators in index order (may be empty: the gateway then accepts
+    /// controller outputs directly).
+    pub actuators: Vec<NodeId>,
+    /// ModBus input register backing each sensor tag.
+    pub sensor_registers: Vec<u16>,
+}
+
+impl RoleMap {
+    fn from_spec(spec: &TopologySpec) -> Self {
+        let mut gateway = None;
+        let mut head = None;
+        let mut sensors: Vec<(u8, NodeId, u16)> = Vec::new();
+        let mut controllers: Vec<(u8, NodeId)> = Vec::new();
+        let mut actuators: Vec<(u8, NodeId)> = Vec::new();
+        for n in &spec.nodes {
+            match n.role {
+                Role::Gateway => {
+                    assert!(gateway.is_none(), "two gateways in topology spec");
+                    gateway = Some(n.id);
+                }
+                Role::Head => {
+                    assert!(head.is_none(), "two heads in topology spec");
+                    head = Some(n.id);
+                }
+                Role::Sensor(tag) => {
+                    let reg = n.register.expect("sensor needs a register");
+                    sensors.push((tag, n.id, reg));
+                }
+                Role::Controller(i) => controllers.push((i, n.id)),
+                Role::Actuator(i) => actuators.push((i, n.id)),
+            }
+        }
+        sensors.sort_by_key(|&(tag, _, _)| tag);
+        controllers.sort_by_key(|&(i, _)| i);
+        actuators.sort_by_key(|&(i, _)| i);
+        for (expect, &(tag, _, _)) in sensors.iter().enumerate() {
+            assert_eq!(tag as usize, expect, "sensor tags must be 0..n contiguous");
+        }
+        for (expect, &(i, _)) in controllers.iter().enumerate() {
+            assert_eq!(
+                i as usize, expect,
+                "controller indices must be 0..n contiguous"
+            );
+        }
+        assert!(!sensors.is_empty(), "topology needs the focus sensor");
+        assert!(!controllers.is_empty(), "topology needs a controller");
+        assert!(
+            actuators.len() <= 1,
+            "multiple actuators per focus loop are not supported yet: \
+             controller outputs address a single actuation endpoint, so \
+             extra actuators would hold dead slots (see ROADMAP multi-VC \
+             scaling)"
+        );
+        RoleMap {
+            gateway: gateway.expect("topology needs a gateway"),
+            head,
+            sensor_registers: sensors.iter().map(|&(_, _, r)| r).collect(),
+            sensors: sensors.into_iter().map(|(_, id, _)| id).collect(),
+            controllers: controllers.into_iter().map(|(_, id)| id).collect(),
+            actuators: actuators.into_iter().map(|(_, id)| id).collect(),
+        }
+    }
+
+    /// The initial primary controller.
+    #[must_use]
+    pub fn primary(&self) -> NodeId {
+        self.controllers[0]
+    }
+
+    /// The node controller outputs are addressed to: the first actuator,
+    /// or the gateway when the deployment has none.
+    #[must_use]
+    pub fn actuation_endpoint(&self) -> NodeId {
+        self.actuators.first().copied().unwrap_or(self.gateway)
+    }
+
+    /// `true` if `id` is a controller (the head's monitor replica does not
+    /// count).
+    #[must_use]
+    pub fn is_controller(&self, id: NodeId) -> bool {
+        self.controllers.contains(&id)
+    }
+
+    /// The sensor tag of `id`, if it is a sensor.
+    #[must_use]
+    pub fn sensor_tag(&self, id: NodeId) -> Option<u8> {
+        self.sensors.iter().position(|&s| s == id).map(|i| i as u8)
+    }
+}
+
+/// What a slot owner is expected to transmit — the semantic attached to a
+/// scheduled flow. The driver hands this to the owner's behavior, which
+/// decides the concrete [`crate::runtime::Message`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowKind {
+    /// Gateway → sensor: deliver the plant value backing `tag` (the
+    /// hardware-in-the-loop downlink).
+    HilDownlink {
+        /// The sensor tag served.
+        tag: u8,
+    },
+    /// Sensor → subscribers: publish the latest value of `tag`.
+    SensorPublish {
+        /// The published tag.
+        tag: u8,
+    },
+    /// Controller → actuation endpoint (+observers): output, alert or
+    /// keepalive.
+    ControlPublish,
+    /// Actuator → gateway: forward the accepted command.
+    ActuateForward,
+    /// Head → members: the control plane (reconfig / fail-safe commands).
+    ControlPlane,
+}
+
+/// Synthesizes the pipeline-ordered flow list for a deployment. Each flow
+/// is chained `after` its predecessor, so one control cycle completes
+/// within one RT-Link cycle (objective 5). For the Fig. 5 role set this
+/// reproduces the testbed's eight flows exactly:
+///
+/// 1. `GW→S1` downlink, 2. `S1→Ctrl-A` publish (B, head listen), 3./4.
+///    controller outputs (later controllers and head listen), 5. `A1→GW`
+///    forward, 6. head control plane, then per monitoring sensor its
+///    downlink and publish.
+#[must_use]
+pub fn synth_flows(roles: &RoleMap) -> Vec<(Flow, FlowKind)> {
+    let mut flows: Vec<(Flow, FlowKind)> = Vec::new();
+    let chain = |flows: &mut Vec<(Flow, FlowKind)>, flow: Flow, kind: FlowKind| {
+        let after = flows.len().checked_sub(1);
+        let flow = match after {
+            Some(i) => flow.after(i),
+            None => flow,
+        };
+        flows.push((flow, kind));
+    };
+
+    // Focus PV: downlink then publish to every controller replica.
+    chain(
+        &mut flows,
+        Flow::new(roles.gateway, roles.sensors[0]),
+        FlowKind::HilDownlink { tag: 0 },
+    );
+    let mut pv_listeners: Vec<NodeId> = roles.controllers[1..].to_vec();
+    pv_listeners.extend(roles.head);
+    chain(
+        &mut flows,
+        Flow::new(roles.sensors[0], roles.primary()).with_listeners(pv_listeners),
+        FlowKind::SensorPublish { tag: 0 },
+    );
+
+    // Controller outputs, in precedence order. Later-scheduled replicas
+    // (and the head) observe each output within the same cycle; this is
+    // what feeds the deviation detectors.
+    let endpoint = roles.actuation_endpoint();
+    for (i, &c) in roles.controllers.iter().enumerate() {
+        let mut listeners: Vec<NodeId> = roles.controllers[i + 1..].to_vec();
+        listeners.extend(roles.head);
+        chain(
+            &mut flows,
+            Flow::new(c, endpoint).with_listeners(listeners),
+            FlowKind::ControlPublish,
+        );
+    }
+
+    // Actuation forwards back to the plant bridge.
+    for &a in &roles.actuators {
+        chain(
+            &mut flows,
+            Flow::new(a, roles.gateway),
+            FlowKind::ActuateForward,
+        );
+    }
+
+    // Control plane: head → first controller, everyone else listens.
+    if let Some(head) = roles.head {
+        let mut listeners: Vec<NodeId> = roles.controllers[1..].to_vec();
+        listeners.extend(roles.actuators.iter().copied());
+        listeners.push(roles.gateway);
+        chain(
+            &mut flows,
+            Flow::new(head, roles.primary()).with_listeners(listeners),
+            FlowKind::ControlPlane,
+        );
+    }
+
+    // Monitoring sensors: downlink + publish toward the head (or the
+    // gateway's log when there is no head).
+    for (tag, &s) in roles.sensors.iter().enumerate().skip(1) {
+        let tag = tag as u8;
+        chain(
+            &mut flows,
+            Flow::new(roles.gateway, s),
+            FlowKind::HilDownlink { tag },
+        );
+        let (dst, listeners) = match roles.head {
+            Some(head) => (head, vec![roles.gateway]),
+            None => (roles.gateway, Vec::new()),
+        };
+        chain(
+            &mut flows,
+            Flow::new(s, dst).with_listeners(listeners),
+            FlowKind::SensorPublish { tag },
+        );
+    }
+    flows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5_spec_matches_testbed_layout() {
+        let spec = TopologySpec::fig5();
+        assert_eq!(spec.nodes.len(), 7);
+        let labels: Vec<&str> = spec.nodes.iter().map(|n| n.label.as_str()).collect();
+        assert_eq!(labels, ["GW", "S1", "Ctrl-A", "Ctrl-B", "A1", "S2", "Head"]);
+        let ids: Vec<u16> = spec.nodes.iter().map(|n| n.id.raw()).collect();
+        assert_eq!(ids, [0, 1, 2, 3, 4, 5, 6]);
+        assert_eq!(spec.nodes[1].register, Some(30001));
+        assert_eq!(spec.nodes[5].register, Some(30007));
+    }
+
+    #[test]
+    fn fig5_flow_synthesis_reproduces_the_eight_testbed_flows() {
+        let roles = RoleMap::from_spec(&TopologySpec::fig5());
+        let flows = synth_flows(&roles);
+        let as_tuple = |f: &Flow| (f.src.raw(), f.dst.raw(), f.extra_listeners.clone());
+        assert_eq!(flows.len(), 8);
+        assert_eq!(as_tuple(&flows[0].0), (0, 1, vec![]));
+        assert_eq!(as_tuple(&flows[1].0), (1, 2, vec![NodeId(3), NodeId(6)]));
+        assert_eq!(as_tuple(&flows[2].0), (2, 4, vec![NodeId(3), NodeId(6)]));
+        assert_eq!(as_tuple(&flows[3].0), (3, 4, vec![NodeId(6)]));
+        assert_eq!(as_tuple(&flows[4].0), (4, 0, vec![]));
+        assert_eq!(
+            as_tuple(&flows[5].0),
+            (6, 2, vec![NodeId(3), NodeId(4), NodeId(0)])
+        );
+        assert_eq!(as_tuple(&flows[6].0), (0, 5, vec![]));
+        assert_eq!(as_tuple(&flows[7].0), (5, 6, vec![NodeId(0)]));
+        // Fully chained: every flow after the first has a predecessor.
+        assert!(flows[0].0.after.is_none());
+        for (i, (f, _)) in flows.iter().enumerate().skip(1) {
+            assert_eq!(f.after, Some(i - 1));
+        }
+    }
+
+    #[test]
+    fn minimal_topology_routes_actuation_through_gateway() {
+        let roles = RoleMap::from_spec(&TopologySpec::minimal(10.0));
+        assert_eq!(roles.actuation_endpoint(), roles.gateway);
+        assert!(roles.head.is_none());
+        let flows = synth_flows(&roles);
+        // Downlink, publish, controller output — three flows, no control
+        // plane, no forwards.
+        assert_eq!(flows.len(), 3);
+        assert_eq!(flows[2].1, FlowKind::ControlPublish);
+        assert_eq!(flows[2].0.dst, roles.gateway);
+    }
+
+    #[test]
+    fn wide_star_flows_scale_with_roles() {
+        let roles = RoleMap::from_spec(&TopologySpec::star(3, 3, 1, true, 15.0));
+        let flows = synth_flows(&roles);
+        // 1 downlink + 1 publish + 3 outputs + 1 forward + 1 plane
+        // + 2 * (downlink + publish) = 11.
+        assert_eq!(flows.len(), 11);
+        // The primary's output is observed by both backups and the head.
+        let primary_out = flows
+            .iter()
+            .find(|(f, k)| *k == FlowKind::ControlPublish && f.src == roles.primary())
+            .unwrap();
+        assert_eq!(primary_out.0.extra_listeners.len(), 3);
+    }
+}

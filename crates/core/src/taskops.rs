@@ -35,7 +35,9 @@ pub fn assign(
     spec: TaskSpec,
     image: evm_rtos::TaskImage,
 ) -> Result<TaskId, EvmError> {
-    kernel.admit(spec, image, None).map_err(|e| refused(node, e))
+    kernel
+        .admit(spec, image, None)
+        .map_err(|e| refused(node, e))
 }
 
 /// Migrates task `id` from `src` to `dst`, carrying its full state
@@ -241,7 +243,10 @@ mod tests {
         assert!(matches!(err, EvmError::AdmissionRefused { node, .. } if node == N2));
         // a holds exactly the original task again (id may differ).
         assert_eq!(a.tcbs().len(), 1);
-        assert_eq!(a.active_set().total_utilization(), before_a.total_utilization());
+        assert_eq!(
+            a.active_set().total_utilization(),
+            before_a.total_utilization()
+        );
         assert!(a.tcb_by_name("t").is_some());
         assert_eq!(b.tcbs().len(), 1, "no orphan half on b");
     }

@@ -104,7 +104,9 @@ impl ObjectTransfer {
             ObjectTransfer::CausalConditional { from: f, to: t, .. } => {
                 f == from && t == to && prerequisite_done
             }
-            ObjectTransfer::HealthAssessment { watcher, watched, .. } => {
+            ObjectTransfer::HealthAssessment {
+                watcher, watched, ..
+            } => {
                 // Health data flows from the watched node to the watcher.
                 watched == from && watcher == to
             }
@@ -119,7 +121,9 @@ impl ObjectTransfer {
             ObjectTransfer::Directional { from, to }
             | ObjectTransfer::TemporalConditional { from, to, .. }
             | ObjectTransfer::CausalConditional { from, to, .. } => (from, to),
-            ObjectTransfer::HealthAssessment { watcher, watched, .. } => (watched, watcher),
+            ObjectTransfer::HealthAssessment {
+                watcher, watched, ..
+            } => (watched, watcher),
         }
     }
 }

@@ -1,0 +1,226 @@
+//! Runtime engine tests (ported from the pre-refactor engine's unit
+//! tests): QoS, schedule shape, the Fig. 6b failover machinery, energy
+//! accounting and the fail-safe/migration paths — all through the public
+//! topology-generic API.
+
+use evm_core::runtime::{nodes, Engine, FlowKind, Scenario};
+use evm_core::RunResult;
+use evm_sim::{SimDuration, SimTime};
+
+fn short(scenario: Scenario, secs: u64) -> RunResult {
+    let mut s = scenario;
+    s.duration = SimDuration::from_secs(secs);
+    Engine::new(s).run()
+}
+
+#[test]
+fn baseline_holds_level_and_meets_deadlines() {
+    let r = short(Scenario::baseline(), 120);
+    let level = r.series("LTS.LiquidPct");
+    let last = level.last_value().unwrap();
+    assert!((last - 50.0).abs() < 5.0, "level {last}");
+    assert!(r.actuations > 200, "actuations {}", r.actuations);
+    // Objective 5: latency <= 1/3 of the 250 ms cycle.
+    assert!(
+        r.deadline_hit_ratio() > 0.99,
+        "hit ratio {}",
+        r.deadline_hit_ratio()
+    );
+    let p99 = r.e2e_quantile(0.99).unwrap();
+    assert!(p99 <= SimDuration::from_micros(83_333), "p99 latency {p99}");
+}
+
+#[test]
+fn schedule_is_pipeline_ordered() {
+    let e = Engine::new(Scenario::baseline());
+    let roles = e.roles().clone();
+    let slot = |owner, kind| e.slot_serving(owner, kind).expect("flow scheduled");
+    let gw_s1 = slot(roles.gateway, FlowKind::HilDownlink { tag: 0 });
+    let s1_bcast = slot(roles.sensors[0], FlowKind::SensorPublish { tag: 0 });
+    let a_out = slot(roles.controllers[0], FlowKind::ControlPublish);
+    let b_out = slot(roles.controllers[1], FlowKind::ControlPublish);
+    let act_fwd = slot(roles.actuators[0], FlowKind::ActuateForward);
+    let head_bcast = slot(roles.head.unwrap(), FlowKind::ControlPlane);
+    assert!(gw_s1 < s1_bcast);
+    assert!(s1_bcast < a_out);
+    assert!(a_out < b_out);
+    assert!(b_out < act_fwd);
+    assert!(act_fwd < head_bcast);
+    assert!(e.schedule().is_interference_free(e.topology()));
+    // The resolved Fig. 5 roles are the documented well-known ids.
+    assert_eq!(roles.gateway, nodes::GW);
+    assert_eq!(roles.primary(), nodes::CTRL_A);
+    assert_eq!(roles.head, Some(nodes::HEAD));
+}
+
+#[test]
+fn fig6b_failover_sequence() {
+    let r = Engine::new(Scenario::fig6b()).run();
+    // Detection happens quickly after the 300 s injection...
+    let detected = r.event_time("confirmed deviation").expect("detected");
+    assert!(detected >= SimTime::from_secs(300));
+    assert!(
+        detected < SimTime::from_secs(310),
+        "detection was slow: {detected}"
+    );
+    // ...but the head commits at the next 300 s epoch: T2 = 600 s.
+    let promoted = r.event_time("Ctrl-B -> Active").expect("promoted");
+    assert!(
+        promoted >= SimTime::from_secs(600) && promoted < SimTime::from_secs(602),
+        "T2 was {promoted}"
+    );
+    // T3 = 800 s: Ctrl-A Dormant.
+    let dormant = r.event_time("Ctrl-A -> Dormant").expect("dormant");
+    assert!(
+        dormant >= SimTime::from_secs(800) && dormant < SimTime::from_secs(802),
+        "T3 was {dormant}"
+    );
+    // Level collapses under the fault, then recovers after failover.
+    let level = r.series("LTS.LiquidPct");
+    let during = level.window(SimTime::from_secs(550), SimTime::from_secs(600));
+    assert!(during.stats().unwrap().max < 20.0, "level must collapse");
+    let late = level.window(SimTime::from_secs(900), SimTime::from_secs(1000));
+    let recovering = late.stats().unwrap().mean;
+    assert!(
+        recovering > during.stats().unwrap().mean + 5.0,
+        "level must recover: {recovering}"
+    );
+}
+
+#[test]
+fn fast_reconfig_recovers_sooner() {
+    let slow = Engine::new(Scenario::fig6b()).run();
+    let fast = Engine::new(Scenario::fig6b_fast()).run();
+    let t_slow = slow.event_time("Ctrl-B -> Active").unwrap();
+    let t_fast = fast.event_time("Ctrl-B -> Active").unwrap();
+    assert!(
+        t_fast < t_slow - SimDuration::from_secs(250),
+        "fast {t_fast} vs slow {t_slow}"
+    );
+    // Lower control cost with fast failover.
+    let cost = |r: &RunResult| {
+        r.control_cost(
+            "LTS.LiquidPct",
+            50.0,
+            SimTime::from_secs(300),
+            SimTime::from_secs(1000),
+        )
+    };
+    assert!(cost(&fast) < cost(&slow));
+}
+
+#[test]
+fn determinism_same_seed_same_trace() {
+    let a = Engine::new(Scenario::fig6b()).run();
+    let b = Engine::new(Scenario::fig6b()).run();
+    assert_eq!(a.trace.render(), b.trace.render());
+    assert_eq!(
+        a.series("LTS.LiquidPct").samples(),
+        b.series("LTS.LiquidPct").samples()
+    );
+}
+
+#[test]
+fn crash_failover_via_heartbeat() {
+    let scenario = Scenario::builder()
+        .crash_primary_at(SimTime::from_secs(100))
+        .reconfig_epoch(SimDuration::ZERO)
+        .duration(SimDuration::from_secs(300))
+        .build();
+    let r = Engine::new(scenario).run();
+    assert!(r.event_time("heartbeat timeout").is_some());
+    let promoted = r.event_time("Ctrl-B -> Active").expect("failover");
+    assert!(
+        promoted < SimTime::from_secs(110),
+        "crash failover took until {promoted}"
+    );
+    // After failover the loop keeps running.
+    let level = r.series("LTS.LiquidPct");
+    let last = level.last_value().unwrap();
+    assert!((last - 50.0).abs() < 10.0, "level {last}");
+}
+
+#[test]
+fn energy_accounting_is_plausible() {
+    let r = short(Scenario::baseline(), 300);
+    let e = |label: &str| r.node_energy.get(label).expect("metered");
+    for label in ["GW", "S1", "Ctrl-A", "Ctrl-B", "A1", "S2", "Head"] {
+        let ne = e(label);
+        assert!(
+            ne.avg_current_ma > 0.05 && ne.avg_current_ma < 5.0,
+            "{label}: {:.3} mA",
+            ne.avg_current_ma
+        );
+        assert!(ne.radio_duty < 0.10, "{label}: duty {:.3}", ne.radio_duty);
+        assert!(
+            ne.lifetime_years > 0.05,
+            "{label}: {:.2} y",
+            ne.lifetime_years
+        );
+    }
+    // The gateway owns two uplink slots and receives actuations: it
+    // must work the radio at least as hard as the idle spare sensor.
+    assert!(e("GW").radio_duty >= e("S2").radio_duty);
+}
+
+/// Design property the broadcast-PV architecture buys: because every
+/// replica computes on the *same published sample*, measurement noise
+/// cannot diverge primary and backup — so it can never cause a false
+/// failover, no matter how large.
+#[test]
+fn sensor_noise_cannot_cause_false_failover() {
+    let scenario = Scenario::builder()
+        .sensor_noise(5.0) // same magnitude as the detection threshold
+        .reconfig_epoch(SimDuration::ZERO)
+        .duration(SimDuration::from_secs(300))
+        .build();
+    let r = Engine::new(scenario).run();
+    assert!(r.event_time("confirmed deviation").is_none());
+    assert!(r.event_time("Ctrl-B -> Active").is_none());
+    // The loop still regulates (the 2nd-order filter earns its keep).
+    let level = r.series("LTS.LiquidPct");
+    assert!((level.last_value().unwrap() - 50.0).abs() < 6.0);
+}
+
+#[test]
+fn double_fault_engages_fail_safe() {
+    use evm_plant::ActuatorFault;
+    let scenario = Scenario::builder()
+        .fault_at(SimTime::from_secs(100), ActuatorFault::paper_fault())
+        .backup_fault_at(SimTime::from_secs(200), ActuatorFault::StuckOutput(90.0))
+        .reconfig_epoch(SimDuration::ZERO)
+        .duration(SimDuration::from_secs(400))
+        .build();
+    let r = Engine::new(scenario).run();
+    // First failover: B takes over.
+    let first = r.event_time("Ctrl-B -> Active").expect("first failover");
+    assert!(first < SimTime::from_secs(102));
+    // Second fault: A is already suspected, so no viable master.
+    let fs = r.event_time("fail-safe").expect("fail-safe engaged");
+    assert!(fs > SimTime::from_secs(200) && fs < SimTime::from_secs(205));
+    // The valve lands at the fail-safe position and stays there.
+    let valve = r.series("LTSLiqValve.OpeningPct");
+    let late = valve.value_at(SimTime::from_secs(300)).unwrap();
+    assert!(late < 1.0, "valve fail-closed, got {late}");
+    // And the faulty backup was demoted to Indicator mode.
+    let b_mode = r.series("Mode.Ctrl-B");
+    assert_eq!(b_mode.value_at(SimTime::from_secs(300)), Some(3.0));
+}
+
+#[test]
+fn cold_backup_requires_migration() {
+    let scenario = Scenario::builder()
+        .fault_at(
+            SimTime::from_secs(100),
+            evm_plant::ActuatorFault::paper_fault(),
+        )
+        .reconfig_epoch(SimDuration::ZERO)
+        .cold_backup()
+        .duration(SimDuration::from_secs(400))
+        .build();
+    let r = Engine::new(scenario).run();
+    let migrated = r.event_time("task activated on").expect("migration ran");
+    let promoted = r.event_time("Ctrl-B -> Active").expect("promotion");
+    assert!(migrated <= promoted);
+    assert!(r.event_time("image 384 B").is_some(), "plan logged");
+}

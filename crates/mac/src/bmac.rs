@@ -73,8 +73,7 @@ impl DutyCycledMac for BMac {
 
     fn delivery_ratio(&self, duty: f64, wl: &Workload) -> f64 {
         // Unslotted CSMA: collisions when two senders' preambles overlap.
-        let t_vuln =
-            self.check_interval(duty).as_secs_f64() + wl.data_airtime().as_secs_f64();
+        let t_vuln = self.check_interval(duty).as_secs_f64() + wl.data_airtime().as_secs_f64();
         let lambda = wl.contenders as f64 * wl.tx_per_sec;
         (-self.csma_factor * 2.0 * lambda * t_vuln).exp()
     }

@@ -25,7 +25,11 @@ impl fmt::Display for MacMetrics {
         write!(
             f,
             "{:<8} I={:.4} mA life={:.2} y lat={} dr={:.3}",
-            self.protocol, self.avg_current_ma, self.lifetime_years, self.latency, self.delivery_ratio
+            self.protocol,
+            self.avg_current_ma,
+            self.lifetime_years,
+            self.latency,
+            self.delivery_ratio
         )
     }
 }

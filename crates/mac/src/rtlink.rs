@@ -190,7 +190,10 @@ impl SlotSchedule {
             "slot {} out of range",
             assignment.slot
         );
-        self.slots.entry(assignment.slot).or_default().push(assignment);
+        self.slots
+            .entry(assignment.slot)
+            .or_default()
+            .push(assignment);
     }
 
     /// All assignments in a slot.
@@ -262,6 +265,23 @@ impl SlotSchedule {
         topology: &Topology,
         flows: &[Flow],
     ) -> Result<SlotSchedule, ScheduleError> {
+        Self::place_flows(config, topology, flows).map(|(schedule, _)| schedule)
+    }
+
+    /// Like [`SlotSchedule::for_flows`], but also reports the slot each
+    /// flow was placed in (`result.1[i]` is the slot of `flows[i]`), so a
+    /// caller synthesizing a schedule from a flow specification can map
+    /// slots back to flow semantics without guessing.
+    ///
+    /// # Errors
+    ///
+    /// [`ScheduleError::OutOfSlots`] if a flow cannot be placed,
+    /// [`ScheduleError::BadPrecedence`] on a forward/dangling dependency.
+    pub fn place_flows(
+        config: &RtLinkConfig,
+        topology: &Topology,
+        flows: &[Flow],
+    ) -> Result<(SlotSchedule, Vec<usize>), ScheduleError> {
         let mut schedule = SlotSchedule::new(config.slots_per_cycle);
         let mut placed_slot: Vec<usize> = Vec::with_capacity(flows.len());
         for (i, flow) in flows.iter().enumerate() {
@@ -290,7 +310,7 @@ impl SlotSchedule {
             });
             placed_slot.push(slot);
         }
-        Ok(schedule)
+        Ok((schedule, placed_slot))
     }
 
     /// Verifies the 2-hop interference-freedom invariant for every slot.
@@ -322,10 +342,17 @@ fn conflicts(
     if two_hop.contains(&other.owner) {
         return true;
     }
-    if listeners.iter().any(|l| topology.are_neighbors(*l, other.owner)) {
+    if listeners
+        .iter()
+        .any(|l| topology.are_neighbors(*l, other.owner))
+    {
         return true;
     }
-    if other.listeners.iter().any(|l| topology.are_neighbors(*l, owner)) {
+    if other
+        .listeners
+        .iter()
+        .any(|l| topology.are_neighbors(*l, owner))
+    {
         return true;
     }
     false
@@ -478,11 +505,7 @@ impl crate::lifetime::DutyCycledMac for RtLink {
     /// Average wait for the next owned slot plus the frame airtime;
     /// whole-cycle sleeping below the knee stretches the wait
     /// proportionally.
-    fn delivery_latency(
-        &self,
-        duty: f64,
-        wl: &crate::lifetime::Workload,
-    ) -> evm_sim::SimDuration {
+    fn delivery_latency(&self, duty: f64, wl: &crate::lifetime::Workload) -> evm_sim::SimDuration {
         assert!(duty > 0.0 && duty <= 1.0, "duty out of (0,1]: {duty}");
         let data_slots = (self.config.slots_per_cycle - 1) as f64;
         let k = (duty * data_slots).round().max(2.0);
@@ -651,7 +674,9 @@ mod tests {
         let sched = SlotSchedule::for_flows(&cfg, &topo, &flows).unwrap();
         let rt = RtLink::new(cfg);
         let slot = sched.owned_slots(NodeId(1))[0];
-        let first = rt.next_owned_slot(&sched, NodeId(1), SimTime::ZERO).unwrap();
+        let first = rt
+            .next_owned_slot(&sched, NodeId(1), SimTime::ZERO)
+            .unwrap();
         assert_eq!(first, rt.slot_start(0, slot));
         let after = rt.next_owned_slot(&sched, NodeId(1), first).unwrap();
         assert_eq!(after, rt.slot_start(1, slot));

@@ -129,7 +129,8 @@ pub fn sample_pairwise_error(
     within: SimDuration,
     rng: &mut SimRng,
 ) -> f64 {
-    let t = SimTime::ZERO + SimDuration::from_micros((rng.uniform() * within.as_micros() as f64) as u64);
+    let t = SimTime::ZERO
+        + SimDuration::from_micros((rng.uniform() * within.as_micros() as f64) as u64);
     (a.error_at(t) - b.error_at(t)).abs()
 }
 

@@ -76,7 +76,12 @@ impl LinkBlackout {
     #[must_use]
     pub fn new(from: NodeId, to: NodeId, at: SimTime, until: SimTime) -> Self {
         assert!(until > at, "blackout must have positive length");
-        LinkBlackout { from, to, at, until }
+        LinkBlackout {
+            from,
+            to,
+            at,
+            until,
+        }
     }
 
     /// `true` if the link is dead at `t`.

@@ -112,7 +112,6 @@ pub fn max_payload() -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn airtime_of_full_frame() {
@@ -150,20 +149,30 @@ mod tests {
         assert!(!Frame::new(NodeId(1), FrameKind::Unicast(NodeId(2)), 4, 0).is_broadcast());
     }
 
-    proptest! {
-        #[test]
-        fn prop_airtime_monotonic(a in 0usize..116, b in 0usize..116) {
-            prop_assume!(a <= b);
-            let fa = Frame::new(NodeId(0), FrameKind::Broadcast, a, 0);
-            let fb = Frame::new(NodeId(0), FrameKind::Broadcast, b, 0);
-            prop_assert!(fa.airtime() <= fb.airtime());
+    #[test]
+    fn airtime_monotonic_in_payload() {
+        for a in 0..116usize {
+            for b in a..116usize {
+                let fa = Frame::new(NodeId(0), FrameKind::Broadcast, a, 0);
+                let fb = Frame::new(NodeId(0), FrameKind::Broadcast, b, 0);
+                assert!(fa.airtime() <= fb.airtime());
+            }
         }
+    }
 
-        #[test]
-        fn prop_fragments_cover_payload(total in 1usize..10_000, cap in 1usize..116) {
+    #[test]
+    fn fragments_cover_payload_over_random_sizes() {
+        use evm_sim::SimRng;
+        let mut rng = SimRng::seed_from(0xF7A6);
+        for _ in 0..2_000 {
+            let total = 1 + rng.index(9_999);
+            let cap = 1 + rng.index(115);
             let n = frames_needed(total, cap);
-            prop_assert!(n * cap >= total);
-            prop_assert!((n - 1) * cap < total);
+            assert!(n * cap >= total, "{n} frames x {cap} B < {total} B");
+            assert!(
+                (n - 1) * cap < total,
+                "{n} frames is one too many for {total} B"
+            );
         }
     }
 }

@@ -121,7 +121,11 @@ impl NodeInfo {
 
 impl fmt::Display for NodeInfo {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} [{} {} @ {}]", self.label, self.id, self.kind, self.position)
+        write!(
+            f,
+            "{} [{} {} @ {}]",
+            self.label, self.id, self.kind, self.position
+        )
     }
 }
 
@@ -148,7 +152,12 @@ mod tests {
 
     #[test]
     fn node_info_display() {
-        let n = NodeInfo::new(NodeId(3), NodeKind::Controller, Position::new(1.0, 2.0), "Ctrl-A");
+        let n = NodeInfo::new(
+            NodeId(3),
+            NodeKind::Controller,
+            Position::new(1.0, 2.0),
+            "Ctrl-A",
+        );
         let s = n.to_string();
         assert!(s.contains("Ctrl-A") && s.contains("controller") && s.contains("n3"));
     }

@@ -88,7 +88,8 @@ impl Depropanizer {
     /// sharpness the reboiler duty buys (PV of the column TC loop).
     #[must_use]
     pub fn tray_temp_k(&self, reboiler_duty_pct: f64) -> f64 {
-        330.0 + 0.3 * (reboiler_duty_pct.clamp(0.0, 100.0) - 60.0)
+        330.0
+            + 0.3 * (reboiler_duty_pct.clamp(0.0, 100.0) - 60.0)
             + 0.01 * (self.pressure_kpa - self.nominal_pressure_kpa)
     }
 
@@ -141,8 +142,12 @@ impl Depropanizer {
         // Bottoms accumulate in the sump.
         if bt_flow > 0.0 {
             let added = bt_flow * dt_h;
-            self.sump_comp =
-                Composition::mix(&self.sump_comp, self.sump_holdup_kmol, &Composition::new(bt), added);
+            self.sump_comp = Composition::mix(
+                &self.sump_comp,
+                self.sump_holdup_kmol,
+                &Composition::new(bt),
+                added,
+            );
             self.sump_holdup_kmol = (self.sump_holdup_kmol + added).min(self.sump_capacity_kmol());
         }
 
@@ -151,8 +156,12 @@ impl Depropanizer {
         let condensed = ov_flow.min(cond_cap);
         if condensed > 0.0 {
             let added = condensed * dt_h;
-            self.drum_comp =
-                Composition::mix(&self.drum_comp, self.drum_holdup_kmol, &Composition::new(ov), added);
+            self.drum_comp = Composition::mix(
+                &self.drum_comp,
+                self.drum_holdup_kmol,
+                &Composition::new(ov),
+                added,
+            );
             self.drum_holdup_kmol = (self.drum_holdup_kmol + added).min(self.drum_capacity_kmol());
         }
 
@@ -170,7 +179,12 @@ impl Depropanizer {
         let want = rate_kmolh.max(0.0) * dt_s / 3600.0;
         let got = want.min(self.sump_holdup_kmol);
         self.sump_holdup_kmol -= got;
-        Stream::new(got * 3600.0 / dt_s, 360.0, self.pressure_kpa, self.sump_comp)
+        Stream::new(
+            got * 3600.0 / dt_s,
+            360.0,
+            self.pressure_kpa,
+            self.sump_comp,
+        )
     }
 
     /// Withdraws distillate from the reflux drum (limited by inventory).
@@ -179,7 +193,12 @@ impl Depropanizer {
         let want = rate_kmolh.max(0.0) * dt_s / 3600.0;
         let got = want.min(self.drum_holdup_kmol);
         self.drum_holdup_kmol -= got;
-        Stream::new(got * 3600.0 / dt_s, 310.0, self.pressure_kpa, self.drum_comp)
+        Stream::new(
+            got * 3600.0 / dt_s,
+            310.0,
+            self.pressure_kpa,
+            self.drum_comp,
+        )
     }
 }
 

@@ -194,13 +194,7 @@ mod tests {
 
     #[test]
     fn draw_limited_by_inventory() {
-        let mut s = Separator::new(
-            1.0,
-            253.15,
-            6000.0,
-            1.0,
-            Composition::pure(Component::C3),
-        );
+        let mut s = Separator::new(1.0, 253.15, 6000.0, 1.0, Composition::pure(Component::C3));
         // Ask for far more than is held.
         let out = s.draw_liquid(1e6, 60.0);
         assert!(s.level_pct() < 1e-9, "vessel must be empty");

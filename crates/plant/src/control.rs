@@ -225,8 +225,10 @@ mod tests {
     #[test]
     fn closed_loop_holds_the_lts_level() {
         let mut plant = GasPlant::default();
-        let mut loops: Vec<LocalController> =
-            standard_loops().into_iter().map(LocalController::new).collect();
+        let mut loops: Vec<LocalController> = standard_loops()
+            .into_iter()
+            .map(LocalController::new)
+            .collect();
         let dt = 0.25;
         let mut t = 0.0;
         for _ in 0..(1800.0 / dt) as usize {

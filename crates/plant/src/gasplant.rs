@@ -53,9 +53,9 @@ impl Default for PlantConfig {
     fn default() -> Self {
         PlantConfig {
             feed_kmolh: 1440.0,
-            feed_t_k: 303.15,  // 30 C
+            feed_t_k: 303.15, // 30 C
             feed_p_kpa: 6200.0,
-            lts_t_k: 253.15,   // -20 C
+            lts_t_k: 253.15, // -20 C
             lts_p_kpa: 6000.0,
             hx_effectiveness: 0.6,
             lts_valve_nominal_pct: 11.48,
@@ -156,12 +156,8 @@ impl GasPlant {
             lts_flash.liquid,
         );
 
-        let lts_vapor_prev = Stream::new(
-            sales_ss,
-            config.lts_t_k,
-            config.lts_p_kpa,
-            lts_flash.vapor,
-        );
+        let lts_vapor_prev =
+            Stream::new(sales_ss, config.lts_t_k, config.lts_p_kpa, lts_flash.vapor);
 
         let mut plant = GasPlant {
             config,
@@ -259,7 +255,9 @@ impl Plant for GasPlant {
         let (hx_hot_out, sales_gas) = self.hx.exchange(&inlet_overhead, &self.lts_vapor_prev);
 
         // Chiller to LTS temperature (as the refrigerant valve allows).
-        let chilled = self.chiller.cool(&hx_hot_out, self.chiller_valve.opening_pct());
+        let chilled = self
+            .chiller
+            .cool(&hx_hot_out, self.chiller_valve.opening_pct());
 
         // The LTS runs at the chilled temperature.
         self.lts.set_t_k(chilled.t_k);
@@ -280,7 +278,9 @@ impl Plant for GasPlant {
             self.condenser_duty_pct,
             dt,
         );
-        let bottoms = self.column.draw_bottoms(self.bottoms_valve.flow(f64::MAX), dt);
+        let bottoms = self
+            .column
+            .draw_bottoms(self.bottoms_valve.flow(f64::MAX), dt);
         let distillate = self
             .column
             .draw_distillate(self.distillate_valve.flow(f64::MAX), dt);

@@ -109,7 +109,12 @@ impl Stream {
             molar_flow: total,
             t_k: (a.t_k * a.molar_flow + b.t_k * b.molar_flow) / total,
             p_kpa: a.p_kpa.min(b.p_kpa),
-            composition: Composition::mix(&a.composition, a.molar_flow, &b.composition, b.molar_flow),
+            composition: Composition::mix(
+                &a.composition,
+                a.molar_flow,
+                &b.composition,
+                b.molar_flow,
+            ),
         }
     }
 }

@@ -119,7 +119,7 @@ fn vapor_comp(z: &Composition, k: &[f64], v: f64) -> Composition {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use evm_sim::SimRng;
 
     const LTS_T: f64 = 253.15; // -20 C
     const LTS_P: f64 = 6000.0;
@@ -178,52 +178,66 @@ mod tests {
         assert_eq!(res.liquid, feed);
     }
 
-    proptest! {
-        /// Component material balance: V·yᵢ + (1−V)·xᵢ = zᵢ.
-        #[test]
-        fn prop_flash_material_balance(
-            raw in proptest::array::uniform7(0.01f64..10.0),
-            t in 200.0f64..400.0,
-            p in 500.0f64..8000.0,
-        ) {
-            let z = Composition::new(raw);
+    /// Draws a random feed composition and flash conditions from a seeded
+    /// generator.
+    fn random_case(rng: &mut SimRng) -> (Composition, f64, f64) {
+        let mut raw = [0.0; N_COMPONENTS];
+        for x in &mut raw {
+            *x = rng.range(0.01, 10.0);
+        }
+        (
+            Composition::new(raw),
+            rng.range(200.0, 400.0),
+            rng.range(500.0, 8000.0),
+        )
+    }
+
+    /// Component material balance: V·yᵢ + (1−V)·xᵢ = zᵢ, over many random
+    /// feeds and conditions.
+    #[test]
+    fn flash_material_balance_holds_randomly() {
+        let mut rng = SimRng::seed_from(0xF1A5);
+        for _ in 0..256 {
+            let (z, t, p) = random_case(&mut rng);
             let res = flash(&z, t, p);
             let v = res.vapor_fraction;
             for c in Component::ALL {
                 let recon = v * res.vapor.fraction(c) + (1.0 - v) * res.liquid.fraction(c);
-                prop_assert!(
+                assert!(
                     (recon - z.fraction(c)).abs() < 1e-6,
-                    "{c}: {recon} vs {}", z.fraction(c)
+                    "{c}: {recon} vs {}",
+                    z.fraction(c)
                 );
             }
         }
+    }
 
-        /// Phase compositions are valid compositions.
-        #[test]
-        fn prop_flash_phases_normalized(
-            raw in proptest::array::uniform7(0.01f64..10.0),
-            t in 200.0f64..400.0,
-            p in 500.0f64..8000.0,
-        ) {
-            let z = Composition::new(raw);
+    /// Phase compositions are valid compositions.
+    #[test]
+    fn flash_phases_normalized_randomly() {
+        let mut rng = SimRng::seed_from(0xF1A6);
+        for _ in 0..256 {
+            let (z, t, p) = random_case(&mut rng);
             let res = flash(&z, t, p);
             let sx: f64 = res.liquid.fractions().iter().sum();
             let sy: f64 = res.vapor.fractions().iter().sum();
-            prop_assert!((sx - 1.0).abs() < 1e-9);
-            prop_assert!((sy - 1.0).abs() < 1e-9);
-            prop_assert!((0.0..=1.0).contains(&res.vapor_fraction));
+            assert!((sx - 1.0).abs() < 1e-9);
+            assert!((sy - 1.0).abs() < 1e-9);
+            assert!((0.0..=1.0).contains(&res.vapor_fraction));
         }
+    }
 
-        /// Cooling at fixed pressure can only condense more.
-        #[test]
-        fn prop_cooling_condenses(
-            t in 220.0f64..350.0,
-            p in 1000.0f64..7000.0,
-        ) {
+    /// Cooling at fixed pressure can only condense more.
+    #[test]
+    fn cooling_condenses_randomly() {
+        let mut rng = SimRng::seed_from(0xF1A7);
+        for _ in 0..256 {
+            let t = rng.range(220.0, 350.0);
+            let p = rng.range(1000.0, 7000.0);
             let z = Composition::raw_natural_gas();
             let warm = flash(&z, t + 20.0, p);
             let cold = flash(&z, t, p);
-            prop_assert!(cold.vapor_fraction <= warm.vapor_fraction + 1e-9);
+            assert!(cold.vapor_fraction <= warm.vapor_fraction + 1e-9);
         }
     }
 }

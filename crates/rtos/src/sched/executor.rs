@@ -116,10 +116,8 @@ impl Executor {
         let tasks = set.tasks();
         let mut log = ExecutionLog::default();
         let mut ready: Vec<Job> = Vec::new();
-        let mut next_release: Vec<SimTime> = tasks
-            .iter()
-            .map(|t| SimTime::ZERO + t.offset)
-            .collect();
+        let mut next_release: Vec<SimTime> =
+            tasks.iter().map(|t| SimTime::ZERO + t.offset).collect();
         let mut job_counter: Vec<u64> = vec![0; tasks.len()];
         let mut t = SimTime::ZERO;
 
@@ -146,9 +144,7 @@ impl Executor {
             let current = ready
                 .iter()
                 .enumerate()
-                .min_by_key(|(idx, j)| {
-                    (tasks[j.task].priority.expect("checked"), j.release, *idx)
-                })
+                .min_by_key(|(idx, j)| (tasks[j.task].priority.expect("checked"), j.release, *idx))
                 .map(|(idx, _)| idx);
 
             let upcoming = next_release
@@ -194,10 +190,7 @@ impl Executor {
                 if t > job.deadline {
                     log.misses.push((job.task, job.release));
                 }
-                log.response_times
-                    .entry(job.task)
-                    .or_default()
-                    .push(resp);
+                log.response_times.entry(job.task).or_default().push(resp);
                 ready.swap_remove(cur_idx);
             } else if job.budget_left.is_zero() {
                 // Budget exhausted: nano-RK enforcement cuts the job.
@@ -295,11 +288,14 @@ mod tests {
         .into_iter()
         .collect();
         let budgets = [ms(1), ms(2)];
-        let log = Executor::new(SimTime::from_millis(80)).run_with(
-            &set,
-            Some(&budgets),
-            |task, _| if task == 0 { ms(3) } else { ms(2) },
-        );
+        let log =
+            Executor::new(SimTime::from_millis(80)).run_with(&set, Some(&budgets), |task, _| {
+                if task == 0 {
+                    ms(3)
+                } else {
+                    ms(2)
+                }
+            });
         assert!(!log.throttles.is_empty(), "overruns must be throttled");
         assert!(log.throttles.iter().all(|&(t, _)| t == 0));
         // b never misses thanks to enforcement.

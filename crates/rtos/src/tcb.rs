@@ -131,7 +131,11 @@ mod tests {
 
     #[test]
     fn tcb_starts_sleeping() {
-        let spec = TaskSpec::new("x", SimDuration::from_millis(1), SimDuration::from_millis(10));
+        let spec = TaskSpec::new(
+            "x",
+            SimDuration::from_millis(1),
+            SimDuration::from_millis(10),
+        );
         let tcb = Tcb::new(TaskId(1), spec, TaskImage::typical_control_task());
         assert_eq!(tcb.state, TaskState::Sleeping);
         assert!(tcb.last_release.is_none());

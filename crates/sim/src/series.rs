@@ -199,9 +199,10 @@ impl TimeSeries {
     /// Renders a CSV fragment (`time_s,value` lines, no header).
     #[must_use]
     pub fn to_csv(&self) -> String {
+        use fmt::Write;
         let mut s = String::new();
         for &(t, v) in &self.samples {
-            s.push_str(&format!("{:.3},{:.6}\n", t.as_secs_f64(), v));
+            let _ = writeln!(s, "{:.3},{:.6}", t.as_secs_f64(), v);
         }
         s
     }
@@ -230,11 +231,11 @@ pub fn merged_csv(series: &[&TimeSeries]) -> String {
     }
     out.push('\n');
     for &(t, v0) in series[0].samples() {
-        out.push_str(&format!("{:.3}", t.as_secs_f64()));
-        out.push_str(&format!(",{v0:.6}"));
+        use fmt::Write;
+        let _ = write!(out, "{:.3},{v0:.6}", t.as_secs_f64());
         for s in &series[1..] {
             let v = s.value_at(t).unwrap_or(f64::NAN);
-            out.push_str(&format!(",{v:.6}"));
+            let _ = write!(out, ",{v:.6}");
         }
         out.push('\n');
     }
@@ -319,6 +320,10 @@ mod tests {
         let mut lines = csv.lines();
         assert_eq!(lines.next(), Some("time_s,ramp,b"));
         assert_eq!(csv.lines().count(), 12);
-        assert!(csv.lines().nth(1).unwrap().starts_with("0.000,0.000000,100.000000"));
+        assert!(csv
+            .lines()
+            .nth(1)
+            .unwrap()
+            .starts_with("0.000,0.000000,100.000000"));
     }
 }

@@ -346,9 +346,18 @@ mod tests {
     #[test]
     fn rounding() {
         let step = SimDuration::from_millis(10);
-        assert_eq!(SimTime::from_micros(12_345).floor_to(step).as_micros(), 10_000);
-        assert_eq!(SimTime::from_micros(12_345).ceil_to(step).as_micros(), 20_000);
-        assert_eq!(SimTime::from_micros(20_000).ceil_to(step).as_micros(), 20_000);
+        assert_eq!(
+            SimTime::from_micros(12_345).floor_to(step).as_micros(),
+            10_000
+        );
+        assert_eq!(
+            SimTime::from_micros(12_345).ceil_to(step).as_micros(),
+            20_000
+        );
+        assert_eq!(
+            SimTime::from_micros(20_000).ceil_to(step).as_micros(),
+            20_000
+        );
     }
 
     #[test]
@@ -367,7 +376,9 @@ mod tests {
 
     #[test]
     fn checked_add_overflow() {
-        assert!(SimTime::MAX.checked_add(SimDuration::from_micros(1)).is_none());
+        assert!(SimTime::MAX
+            .checked_add(SimDuration::from_micros(1))
+            .is_none());
         assert_eq!(
             SimTime::ZERO.checked_add(SimDuration::from_secs(1)),
             Some(SimTime::from_secs(1))

@@ -22,7 +22,11 @@ pub struct TraceEntry {
 
 impl fmt::Display for TraceEntry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{:>12}] {:<10} {}", self.at, self.category, self.message)
+        write!(
+            f,
+            "[{:>12}] {:<10} {}",
+            self.at, self.category, self.message
+        )
     }
 }
 

@@ -89,5 +89,8 @@ fn main() {
         "\nunsafe retool (+40% util) refused: {}",
         err.expect_err("must be refused")
     );
-    println!("running mode untouched: util {:.2}", stations[0].utilization());
+    println!(
+        "running mode untouched: util {:.2}",
+        stations[0].utilization()
+    );
 }

@@ -39,7 +39,11 @@ fn main() {
             halt
     ";
     let program = assemble(source).expect("valid assembly");
-    println!("assembled {} instructions:\n{}", program.len(), disassemble(&program));
+    println!(
+        "assembled {} instructions:\n{}",
+        program.len(),
+        disassemble(&program)
+    );
 
     // Package and attest it like any mobile code.
     let capsule = Capsule::new(

@@ -41,5 +41,8 @@ fn main() {
         "\nend-to-end latency p99 = {} (deadline: 1/3 of the 250 ms cycle)",
         result.e2e_quantile(0.99).expect("latencies recorded")
     );
-    println!("deadline hit ratio     = {:.4}", result.deadline_hit_ratio());
+    println!(
+        "deadline hit ratio     = {:.4}",
+        result.deadline_hit_ratio()
+    );
 }

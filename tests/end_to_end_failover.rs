@@ -13,8 +13,12 @@ fn fig6b_reproduces_paper_timeline_and_shape() {
 
     // Timeline: T1 = 300, T2 = 600 (+ one control-plane slot), T3 = 800.
     let t1 = result.event_time("inject").expect("fault injected");
-    let t2 = result.event_time("Ctrl-B -> Active").expect("backup activated");
-    let t3 = result.event_time("Ctrl-A -> Dormant").expect("primary dormant");
+    let t2 = result
+        .event_time("Ctrl-B -> Active")
+        .expect("backup activated");
+    let t3 = result
+        .event_time("Ctrl-A -> Dormant")
+        .expect("primary dormant");
     assert_eq!(t1, SimTime::from_secs(300));
     assert!(t2 >= SimTime::from_secs(600) && t2 < SimTime::from_secs(601));
     assert!(t3 >= SimTime::from_secs(800) && t3 < SimTime::from_secs(801));
@@ -85,8 +89,7 @@ fn runs_are_deterministic_per_seed_and_differ_across_seeds() {
     let c2 = lossy(2);
     assert_eq!(c1.trace.render(), c1_again.trace.render());
     assert!(
-        c1.e2e_latencies.len() != c2.e2e_latencies.len()
-            || c1.trace.render() != c2.trace.render(),
+        c1.e2e_latencies.len() != c2.e2e_latencies.len() || c1.trace.render() != c2.trace.render(),
         "different seeds must diverge under loss"
     );
 }

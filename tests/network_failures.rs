@@ -39,8 +39,12 @@ fn lossy_links_delay_but_do_not_fake_detection() {
     };
     let clean = run(0.0);
     let lossy = run(0.3);
-    let t_clean = clean.event_time("confirmed deviation").expect("clean detects");
-    let t_lossy = lossy.event_time("confirmed deviation").expect("lossy detects");
+    let t_clean = clean
+        .event_time("confirmed deviation")
+        .expect("clean detects");
+    let t_lossy = lossy
+        .event_time("confirmed deviation")
+        .expect("lossy detects");
     assert!(t_clean >= SimTime::from_secs(100), "no false positive");
     assert!(t_lossy >= t_clean, "loss can only delay detection");
     assert!(

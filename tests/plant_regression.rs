@@ -3,8 +3,8 @@
 //! Pins the calibrated operating point of the gas plant so that model
 //! changes that would silently alter the Fig. 6b preconditions fail CI.
 
-use evm::plant::{standard_loops, Component, Composition, GasPlant, LocalController, Plant};
 use evm::plant::thermo::flash;
+use evm::plant::{standard_loops, Component, Composition, GasPlant, LocalController, Plant};
 
 #[test]
 fn operating_point_is_pinned() {
@@ -24,8 +24,10 @@ fn operating_point_is_pinned() {
 #[test]
 fn closed_loop_half_hour_is_stable_everywhere() {
     let mut plant = GasPlant::default();
-    let mut loops: Vec<LocalController> =
-        standard_loops().into_iter().map(LocalController::new).collect();
+    let mut loops: Vec<LocalController> = standard_loops()
+        .into_iter()
+        .map(LocalController::new)
+        .collect();
     let dt = 0.25;
     let mut t = 0.0;
     for _ in 0..(1800.0 / dt) as usize {
@@ -53,10 +55,8 @@ fn thermo_matches_paper_narrative() {
     let warm = flash(&feed, 303.15, 6200.0);
     let cold = flash(&feed, 253.15, 6000.0);
     assert!(cold.vapor_fraction < warm.vapor_fraction);
-    let c3_enrichment =
-        cold.liquid.fraction(Component::C3) / feed.fraction(Component::C3);
-    let c1_enrichment =
-        cold.liquid.fraction(Component::C1) / feed.fraction(Component::C1);
+    let c3_enrichment = cold.liquid.fraction(Component::C3) / feed.fraction(Component::C3);
+    let c1_enrichment = cold.liquid.fraction(Component::C1) / feed.fraction(Component::C1);
     assert!(
         c3_enrichment > 2.0 * c1_enrichment,
         "the liquid must be an NGL cut, not just compressed feed"
@@ -72,5 +72,9 @@ fn fault_precondition_for_fig6b_holds() {
     for _ in 0..3000 {
         plant.step(0.1); // 300 s
     }
-    assert!(plant.lts_level_pct() < 10.0, "level {}", plant.lts_level_pct());
+    assert!(
+        plant.lts_level_pct() < 10.0,
+        "level {}",
+        plant.lts_level_pct()
+    );
 }

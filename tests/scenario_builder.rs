@@ -1,0 +1,133 @@
+//! Cross-crate integration: the `ScenarioBuilder` topology DSL.
+//!
+//! The refactored runtime's core claim: the same engine runs topologies
+//! the paper's testbed never had — here a wide star with an extra
+//! controller replica converges through *two* failovers, the degenerate
+//! three-node loop still regulates, and `Scenario::fig5()` stays
+//! deterministic under the new engine.
+
+use evm::core::runtime::{Engine, Scenario, ScenarioBuilder};
+use evm::plant::ActuatorFault;
+use evm::prelude::*;
+
+/// A 2-sensor / 3-controller / 1-head star: after the primary faults, the
+/// head promotes Ctrl-B; after Ctrl-B faults too, the third replica takes
+/// over instead of falling back to fail-safe — capacity the Fig. 5
+/// testbed does not have.
+#[test]
+fn wide_star_survives_two_controller_faults() {
+    let scenario = ScenarioBuilder::star()
+        .sensors(2)
+        .controllers(3)
+        .head(true)
+        .fault_at(SimTime::from_secs(100), ActuatorFault::paper_fault())
+        .backup_fault_at(SimTime::from_secs(250), ActuatorFault::StuckOutput(90.0))
+        .reconfig_epoch(SimDuration::ZERO)
+        .duration(SimDuration::from_secs(500))
+        .build();
+    let result = Engine::new(scenario).run();
+
+    let first = result
+        .event_time("Ctrl-B -> Active")
+        .expect("first failover");
+    assert!(first < SimTime::from_secs(105), "first failover at {first}");
+    let second = result
+        .event_time("Ctrl-C -> Active")
+        .expect("second failover");
+    assert!(
+        second > SimTime::from_secs(250) && second < SimTime::from_secs(260),
+        "second failover at {second}"
+    );
+    // Three replicas means no fail-safe was needed.
+    assert!(result.event_time("fail-safe").is_none());
+    // And the loop converges back to the setpoint under Ctrl-C.
+    let level = result.series("LTS.LiquidPct");
+    let late = level.window(SimTime::from_secs(400), SimTime::from_secs(500));
+    let mean = late.stats().unwrap().mean;
+    assert!((mean - 50.0).abs() < 15.0, "level recovering, mean {mean}");
+
+    // All three controller mode series exist and show the handoffs.
+    assert_eq!(
+        result
+            .series("Mode.Ctrl-A")
+            .value_at(SimTime::from_secs(400)),
+        Some(2.0),
+        "A dormant" // demoted 200 s after the first failover
+    );
+    assert_eq!(
+        result
+            .series("Mode.Ctrl-C")
+            .value_at(SimTime::from_secs(400)),
+        Some(0.0),
+        "C active"
+    );
+}
+
+/// The degenerate three-node Virtual Component (gateway + sensor +
+/// controller, actuation through the gateway, no head) still closes the
+/// loop and holds the level.
+#[test]
+fn minimal_three_node_loop_regulates() {
+    let scenario = ScenarioBuilder::minimal()
+        .duration(SimDuration::from_secs(300))
+        .build();
+    assert_eq!(scenario.topology.nodes.len(), 3);
+    let result = Engine::new(scenario).run();
+    assert!(result.actuations > 500, "actuations {}", result.actuations);
+    assert!(result.deadline_hit_ratio() > 0.99);
+    let level = result.series("LTS.LiquidPct");
+    let last = level.last_value().unwrap();
+    assert!((last - 50.0).abs() < 5.0, "level {last}");
+    // No failover machinery exists — and none fired.
+    assert!(result.event_time("head").is_none());
+}
+
+/// `Scenario::fig5()` under the new engine: the same seed produces the
+/// same `RunResult`, and a different seed diverges under loss.
+#[test]
+fn fig5_is_deterministic_per_seed() {
+    let run = |seed: u64| {
+        let mut s = Scenario::fig5();
+        s.seed = seed;
+        s.extra_loss = 0.2;
+        s.fault = Some((SimTime::from_secs(100), ActuatorFault::paper_fault()));
+        s.reconfig_epoch = SimDuration::ZERO;
+        s.duration = SimDuration::from_secs(250);
+        Engine::new(s).run()
+    };
+    let a = run(9);
+    let b = run(9);
+    assert_eq!(a.trace.render(), b.trace.render());
+    assert_eq!(a.e2e_latencies, b.e2e_latencies);
+    assert_eq!(a.deadline_misses, b.deadline_misses);
+    assert_eq!(a.actuations, b.actuations);
+    assert_eq!(
+        a.series("LTS.LiquidPct").samples(),
+        b.series("LTS.LiquidPct").samples()
+    );
+    for (label, energy) in &a.node_energy {
+        assert_eq!(energy, &b.node_energy[label], "{label} energy differs");
+    }
+    let c = run(10);
+    assert!(
+        a.trace.render() != c.trace.render() || a.e2e_latencies != c.e2e_latencies,
+        "different seeds must diverge under loss"
+    );
+}
+
+/// The DSL's extra sensors appear as monitoring flows without disturbing
+/// the control pipeline.
+#[test]
+fn extra_sensors_schedule_and_run() {
+    let scenario = ScenarioBuilder::star()
+        .sensors(4)
+        .controllers(2)
+        .head(true)
+        .duration(SimDuration::from_secs(120))
+        .build();
+    assert_eq!(scenario.topology.nodes.len(), 9);
+    let result = Engine::new(scenario).run();
+    assert!(result.deadline_hit_ratio() > 0.99);
+    let level = result.series("LTS.LiquidPct");
+    assert!((level.last_value().unwrap() - 50.0).abs() < 5.0);
+}
