@@ -2,73 +2,96 @@
 //!
 //! Sweeps an extra per-link loss probability across full failover runs
 //! (fault at 100 s, immediate-epoch head) and reports detection time,
-//! switchover time, deadline hit ratio and control cost. The point of the
-//! consecutive-anomaly detector is visible here: loss delays detection
-//! (observations are missed) but does not cause spurious failovers.
+//! switchover latency, deadline hit ratio and control cost. The point of
+//! the consecutive-anomaly detector is visible here: loss delays
+//! detection (observations are missed) but does not cause spurious
+//! failovers.
+//!
+//! Ported onto the batch sweep runner: instead of one trajectory per loss
+//! point, the grid pools seed replicates per point and fans the cells
+//! across cores; the aggregated rows carry the same columns the single
+//! runs used to print, now as statistics.
 
 use evm_bench::{banner, f, row, write_result};
-use evm_core::runtime::{Engine, Scenario};
+use evm_core::runtime::Scenario;
 use evm_plant::ActuatorFault;
 use evm_sim::{SimDuration, SimTime};
+use evm_sweep::{available_threads, run_cells, SweepGrid, SweepReport};
 
 fn main() {
-    banner("E14", "failover under link loss (fault @100 s, fast epoch)");
+    banner(
+        "E14",
+        "failover under link loss (fault @100 s, fast epoch, 4 seeds/point)",
+    );
+    let template = Scenario::builder()
+        .seed(14)
+        .duration(SimDuration::from_secs(600))
+        .fault_at(SimTime::from_secs(100), ActuatorFault::paper_fault())
+        .reconfig_epoch(SimDuration::ZERO)
+        .build();
+    let cells = SweepGrid::new(template)
+        .over_loss(&[0.0, 0.1, 0.2, 0.4])
+        .seeds_per_cell(4)
+        .expand();
+    let threads = available_threads();
+    let results = run_cells(&cells, threads);
+    let report = SweepReport::build(&cells, &results);
+
     println!(
         "{}",
         row(&[
             "loss".into(),
             "detect [s]".into(),
-            "switch [s]".into(),
+            "failover [s]".into(),
             "hit ratio".into(),
             "ISE(level)".into(),
         ])
     );
-    let mut csv = String::from("loss,detect_s,switch_s,hit_ratio,ise\n");
-    let mut prev_detect = 0.0;
-    for loss in [0.0, 0.1, 0.2, 0.4] {
-        let scenario = Scenario::builder()
-            .seed(14)
-            .duration(SimDuration::from_secs(600))
-            .fault_at(SimTime::from_secs(100), ActuatorFault::paper_fault())
-            .reconfig_epoch(SimDuration::ZERO)
-            .extra_loss(loss)
-            .build();
-        let r = Engine::new(scenario).run();
-        let detect = r
-            .event_time("confirmed deviation")
-            .map_or(f64::NAN, |t| t.as_secs_f64());
-        let switch = r
-            .event_time("Ctrl-B -> Active")
-            .map_or(f64::NAN, |t| t.as_secs_f64());
-        let ise = r.control_cost(
-            "LTS.LiquidPct",
-            50.0,
-            SimTime::from_secs(100),
-            SimTime::from_secs(600),
+    // Per-trajectory invariants, every replicate: no spurious detection
+    // before the fault, and the commit never precedes its detection.
+    for (config, stats) in &report.cells {
+        let detect = stats.detect_s.expect("every replicate detects");
+        assert!(
+            detect >= 100.0,
+            "loss {}: false positive at {detect:.3} s (seed {})",
+            config.loss,
+            config.seed
         );
+        let failover = stats.failover_s.expect("every replicate commits");
+        assert!(
+            failover >= 0.0,
+            "loss {}: commit precedes detection by {failover:.3} s (seed {})",
+            config.loss,
+            config.seed
+        );
+        assert!(!stats.fail_safe, "a backup always survives");
+    }
+    let mut prev_detect = 0.0;
+    for r in &report.rows {
         println!(
             "{}",
             row(&[
-                format!("{loss:.1}"),
-                f(detect),
-                f(switch),
-                f(r.deadline_hit_ratio()),
-                f(ise),
+                format!("{:.1}", r.config.loss),
+                f(r.detect_mean_s),
+                f(r.failover_mean_s),
+                f(r.hit_ratio),
+                f(r.ise_mean),
             ])
         );
-        csv.push_str(&format!(
-            "{loss},{detect:.3},{switch:.3},{:.4},{ise:.1}\n",
-            r.deadline_hit_ratio()
-        ));
-        // No spurious failover before the fault; detection only delayed.
-        assert!(detect >= 100.0, "no false positives before the fault");
-        assert!(switch >= detect, "switch follows detection");
+        // Every replicate detected the fault; none fell back to fail-safe.
+        assert_eq!(r.detected_runs, r.runs, "loss must not defeat detection");
+        assert_eq!(r.fail_safe_runs, 0, "a backup always survives");
         assert!(
-            detect >= prev_detect - 2.0,
+            r.detect_mean_s >= prev_detect - 2.0,
             "loss should not speed detection up"
         );
-        prev_detect = detect;
+        prev_detect = r.detect_mean_s;
     }
-    write_result("loss_sweep.csv", &csv);
-    println!("\nOK: failover survives 40% loss; detection degrades gracefully, never falsely");
+    write_result("loss_sweep.csv", &report.to_csv());
+    println!(
+        "\nOK: failover survives 40% loss across {} runs on {} threads; \
+         detection degrades gracefully, never falsely",
+        cells.len(),
+        threads
+    );
 }

@@ -1,35 +1,50 @@
 //! Scenario diversity — end-to-end engine throughput across builder-made
 //! topologies of increasing node count.
 //!
-//! Times a fixed 120 s simulated horizon on three deployments the
-//! `ScenarioBuilder` DSL can express (the degenerate 3-node loop, the
-//! paper's 7-node Fig. 5 star, and a wide 11-node star) and reports
-//! wall-clock per run plus the achieved simulated-seconds-per-second —
-//! the capacity headroom for batch sweeps.
+//! Times a fixed 120 s simulated horizon on three deployments expressed
+//! as one sweep-grid star axis (the degenerate 3-node loop, the paper's
+//! 7-node Fig. 5 star, and a wide 11-node star) and reports wall-clock
+//! per run plus the achieved simulated-seconds-per-second — the capacity
+//! headroom for batch sweeps. A final section runs the whole grid through
+//! the work-stealing executor to show the batch path end to end.
 
 use std::time::Instant;
 
 use evm_bench::{banner, f, row, write_result};
-use evm_core::runtime::{Engine, ScenarioBuilder};
+use evm_core::runtime::{Engine, Scenario};
 use evm_sim::SimDuration;
+use evm_sweep::{available_threads, run_cells, StarShape, SweepGrid, SweepReport};
 
 const HORIZON_S: u64 = 120;
 
 fn main() {
     banner("E15", "engine throughput across topology sizes");
 
-    let cases: Vec<(&str, ScenarioBuilder)> = vec![
-        ("minimal-3", ScenarioBuilder::minimal()),
-        ("fig5-7", ScenarioBuilder::star()),
+    let mut template = Scenario::baseline();
+    template.duration = SimDuration::from_secs(HORIZON_S);
+    let shapes = [
+        (
+            "minimal-3",
+            StarShape {
+                sensors: 1,
+                controllers: 1,
+                actuators: 0,
+                head: false,
+            },
+        ),
+        ("fig5-7", StarShape::fig5()),
         (
             "wide-11",
-            ScenarioBuilder::star()
-                .sensors(4)
-                .controllers(4)
-                .actuators(1)
-                .head(true),
+            StarShape {
+                sensors: 4,
+                controllers: 4,
+                actuators: 1,
+                head: true,
+            },
         ),
     ];
+    let grid = SweepGrid::new(template).over_stars(&shapes.map(|(_, s)| s));
+    let cells = grid.expand();
 
     println!(
         "  {}",
@@ -42,13 +57,12 @@ fn main() {
         ])
     );
     let mut csv = String::from("topology,nodes,wall_ms,sim_speedup,actuations\n");
-    for (name, builder) in cases {
-        let scenario = builder.duration(SimDuration::from_secs(HORIZON_S)).build();
-        let nodes = scenario.topology.nodes.len();
+    for ((name, _), cell) in shapes.iter().zip(&cells) {
+        let nodes = cell.scenario.topology.nodes.len();
         // Warmup run (page-in, allocator), then the timed run.
-        let _ = Engine::new(scenario.clone()).run();
+        let _ = Engine::new(cell.scenario.clone()).run();
         let start = Instant::now();
-        let result = Engine::new(scenario).run();
+        let result = Engine::new(cell.scenario.clone()).run();
         let wall = start.elapsed();
         let wall_ms = wall.as_secs_f64() * 1e3;
         let speedup = HORIZON_S as f64 / wall.as_secs_f64();
@@ -60,7 +74,7 @@ fn main() {
         println!(
             "  {}",
             row(&[
-                name.into(),
+                (*name).into(),
                 nodes.to_string(),
                 f(wall_ms),
                 f(speedup),
@@ -73,4 +87,18 @@ fn main() {
         ));
     }
     write_result("scenario_diversity.csv", &csv);
+
+    // The batch path: the same grid through the executor + aggregator.
+    let threads = available_threads();
+    let start = Instant::now();
+    let results = run_cells(&cells, threads);
+    let batch_ms = start.elapsed().as_secs_f64() * 1e3;
+    let report = SweepReport::build(&cells, &results);
+    assert_eq!(report.rows.len(), shapes.len());
+    println!(
+        "  batch: {} cells on {threads} thread(s) in {batch_ms:.1} ms \
+         ({:.1} simulated seconds per wall second)",
+        cells.len(),
+        cells.len() as f64 * HORIZON_S as f64 / (batch_ms / 1e3)
+    );
 }

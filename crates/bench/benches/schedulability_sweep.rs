@@ -5,12 +5,18 @@
 //! sets: acceptance ratio as a function of total utilization, and the
 //! analysis cost. RTA is exact; the bounds are safe but pessimistic —
 //! the plot shows how much capacity each test leaves on the table.
+//!
+//! Ported onto the sweep executor: each utilization point is one job with
+//! its own RNG derived purely from the base seed and the point index
+//! ([`derive_seed`]), so the acceptance ratios are identical no matter
+//! how many workers run the sweep or in which order points finish.
 
 use std::time::Instant;
 
 use evm_bench::{banner, f, row, write_result};
 use evm_rtos::{assign_rate_monotonic, hyperbolic_test, response_time_analysis, TaskSet, TaskSpec};
-use evm_sim::{SimDuration, SimRng};
+use evm_sim::{derive_seed, SimDuration, SimRng};
+use evm_sweep::{available_threads, run_indexed};
 
 /// Random task set with n tasks scaled to total utilization u (UUniFast).
 fn random_set(rng: &mut SimRng, n: usize, u: f64) -> TaskSet {
@@ -37,13 +43,50 @@ fn random_set(rng: &mut SimRng, n: usize, u: f64) -> TaskSet {
     set
 }
 
+/// One sweep point: acceptance counts and analysis cost at utilization u.
+struct PointResult {
+    u: f64,
+    acc: [usize; 3],
+    ll_time: f64,
+    rta_time: f64,
+}
+
+const BASE_SEED: u64 = 9;
+const TRIALS: usize = 500;
+
 fn main() {
     banner(
         "E9",
         "admission tests: acceptance vs utilization (n=6, 500 sets/point)",
     );
-    let mut rng = SimRng::seed_from(9);
-    let trials = 500;
+    let points: Vec<f64> = (5..=10).map(|u10| u10 as f64 / 10.0).collect();
+    let threads = available_threads();
+    let results: Vec<PointResult> = run_indexed(&points, threads, |idx, &u| {
+        // Point-local RNG: stable whatever thread picks this point up.
+        let mut rng = SimRng::seed_from(derive_seed(BASE_SEED, idx as u64));
+        let mut acc = [0usize; 3];
+        let mut ll_time = 0.0f64;
+        let mut rta_time = 0.0f64;
+        for _ in 0..TRIALS {
+            let set = random_set(&mut rng, 6, u);
+            let t0 = Instant::now();
+            let ll = evm_rtos::liu_layland_bound(set.len()) >= set.total_utilization();
+            ll_time += t0.elapsed().as_secs_f64();
+            let hyp = hyperbolic_test(&set).schedulable;
+            let t1 = Instant::now();
+            let rta = response_time_analysis(&set).schedulable;
+            rta_time += t1.elapsed().as_secs_f64();
+            acc[0] += usize::from(ll);
+            acc[1] += usize::from(hyp);
+            acc[2] += usize::from(rta);
+        }
+        PointResult {
+            u,
+            acc,
+            ll_time,
+            rta_time,
+        }
+    });
 
     println!(
         "{}",
@@ -57,34 +100,24 @@ fn main() {
     let mut csv = String::from("utilization,ll_accept,hyp_accept,rta_accept\n");
     let mut ll_time = 0.0f64;
     let mut rta_time = 0.0f64;
-    for u10 in 5..=10 {
-        let u = u10 as f64 / 10.0;
-        let mut acc = [0usize; 3];
-        for _ in 0..trials {
-            let set = random_set(&mut rng, 6, u);
-            let t0 = Instant::now();
-            let ll = evm_rtos::liu_layland_bound(set.len()) >= set.total_utilization();
-            ll_time += t0.elapsed().as_secs_f64();
-            let hyp = hyperbolic_test(&set).schedulable;
-            let t1 = Instant::now();
-            let rta = response_time_analysis(&set).schedulable;
-            rta_time += t1.elapsed().as_secs_f64();
-            acc[0] += usize::from(ll);
-            acc[1] += usize::from(hyp);
-            acc[2] += usize::from(rta);
-        }
-        let r = |k: usize| acc[k] as f64 / trials as f64;
-        println!("{}", row(&[f(u), f(r(0)), f(r(1)), f(r(2))]));
-        csv.push_str(&format!("{u},{},{},{}\n", r(0), r(1), r(2)));
+    for p in &results {
+        let r = |k: usize| p.acc[k] as f64 / TRIALS as f64;
+        println!("{}", row(&[f(p.u), f(r(0)), f(r(1)), f(r(2))]));
+        csv.push_str(&format!("{},{},{},{}\n", p.u, r(0), r(1), r(2)));
         // Soundness: the sufficient bounds never accept what RTA rejects.
-        assert!(acc[0] <= acc[2] && acc[1] <= acc[2], "bounds must be safe");
-        assert!(acc[0] <= acc[1], "hyperbolic dominates LL");
+        assert!(
+            p.acc[0] <= p.acc[2] && p.acc[1] <= p.acc[2],
+            "bounds must be safe"
+        );
+        assert!(p.acc[0] <= p.acc[1], "hyperbolic dominates LL");
+        ll_time += p.ll_time;
+        rta_time += p.rta_time;
     }
     write_result("schedulability_sweep.csv", &csv);
     println!(
-        "\n  analysis cost over the sweep: LL {:.1} us/set, RTA {:.1} us/set",
-        ll_time / (6.0 * trials as f64) * 1e6,
-        rta_time / (6.0 * trials as f64) * 1e6
+        "\n  analysis cost over the sweep: LL {:.1} us/set, RTA {:.1} us/set ({threads} threads)",
+        ll_time / (6.0 * TRIALS as f64) * 1e6,
+        rta_time / (6.0 * TRIALS as f64) * 1e6
     );
     println!("\nOK: RTA ⊇ hyperbolic ⊇ Liu–Layland at every utilization (safe, ordered tests)");
 }

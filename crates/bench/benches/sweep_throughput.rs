@@ -1,0 +1,105 @@
+//! Sweep throughput — core scaling of the batch runner.
+//!
+//! Runs the same failover-bearing grid serially and on all cores, checks
+//! the two reports render byte-identically (the executor's determinism
+//! contract), and reports the speedup. Cells are independent engines with
+//! no shared state, so scaling should be near-linear in cores; on 4+
+//! cores the bench asserts at least 3×.
+
+use std::time::Instant;
+
+use evm_bench::{banner, f, row, write_result};
+use evm_core::runtime::Scenario;
+use evm_plant::ActuatorFault;
+use evm_sim::{SimDuration, SimTime};
+use evm_sweep::{available_threads, run_cells, SweepGrid, SweepReport};
+
+const HORIZON_S: u64 = 120;
+
+fn main() {
+    banner(
+        "E16",
+        "batch sweep runner: core scaling vs the serial baseline",
+    );
+    let threads = available_threads();
+
+    let template = Scenario::builder()
+        .seed(16)
+        .duration(SimDuration::from_secs(HORIZON_S))
+        .fault_at(SimTime::from_secs(60), ActuatorFault::paper_fault())
+        .reconfig_epoch(SimDuration::ZERO)
+        .build();
+    // Enough cells that the pool stays saturated on wide machines.
+    let seeds = 16.max(4 * threads as u32);
+    let cells = SweepGrid::new(template)
+        .over_loss(&[0.0, 0.15])
+        .seeds_per_cell(seeds)
+        .expand();
+
+    // Warmup (page-in, allocator) on a slice of the grid.
+    let _ = run_cells(&cells[..threads.min(cells.len())], threads);
+
+    let t0 = Instant::now();
+    let serial = run_cells(&cells, 1);
+    let serial_s = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    let parallel = run_cells(&cells, threads);
+    let parallel_s = t1.elapsed().as_secs_f64();
+
+    // Determinism across thread counts: every cell result equal, reports
+    // byte-identical.
+    assert_eq!(serial, parallel, "thread count must not change results");
+    let report_1 = SweepReport::build(&cells, &serial);
+    let report_n = SweepReport::build(&cells, &parallel);
+    assert_eq!(report_1.to_csv(), report_n.to_csv());
+    assert_eq!(report_1.cells_csv(), report_n.cells_csv());
+    assert_eq!(report_1.to_markdown(), report_n.to_markdown());
+
+    let speedup = serial_s / parallel_s;
+    let sim_rate = cells.len() as f64 * HORIZON_S as f64 / parallel_s;
+    println!(
+        "  {}",
+        row(&[
+            "cells".into(),
+            "threads".into(),
+            "serial [s]".into(),
+            "parallel [s]".into(),
+            "speedup".into(),
+            "sim-s/s".into(),
+        ])
+    );
+    println!(
+        "  {}",
+        row(&[
+            cells.len().to_string(),
+            threads.to_string(),
+            f(serial_s),
+            f(parallel_s),
+            f(speedup),
+            f(sim_rate),
+        ])
+    );
+    let csv = format!(
+        "cells,threads,serial_s,parallel_s,speedup,sim_s_per_s\n{},{},{:.4},{:.4},{:.3},{:.1}\n",
+        cells.len(),
+        threads,
+        serial_s,
+        parallel_s,
+        speedup,
+        sim_rate
+    );
+    write_result("sweep_throughput.csv", &csv);
+
+    if threads >= 4 {
+        assert!(
+            speedup >= 3.0,
+            "expected ≥3x on {threads} cores, measured {speedup:.2}x"
+        );
+        println!("\nOK: {speedup:.2}x on {threads} cores; reports byte-identical at 1 and {threads} threads");
+    } else {
+        println!(
+            "\nOK: reports byte-identical at 1 and {threads} thread(s); \
+             {threads} core(s) is too few to claim a scaling ratio"
+        );
+    }
+}

@@ -55,7 +55,7 @@ pub use bytecode::{Capsule, ControlLawSpec, Op, Program, Vm, VmEnv, VmError};
 pub use component::{MemberInfo, VirtualComponent};
 pub use error::EvmError;
 pub use health::{DeviationDetector, FaultEvidence, HeartbeatMonitor};
-pub use metrics::RunResult;
+pub use metrics::{NodeEnergy, RunAggregate, RunMeta, RunResult};
 pub use migration::{MigrationOutcome, MigrationPlan};
 pub use roles::ControllerMode;
 pub use runtime::{Engine, Scenario, ScenarioBuilder, TopologySpec};

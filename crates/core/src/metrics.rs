@@ -15,10 +15,75 @@ pub struct NodeEnergy {
     pub lifetime_years: f64,
 }
 
+/// Identifying metadata of the run that produced a [`RunResult`] — the
+/// cell bookkeeping a batch sweep needs to label, compare and merge
+/// results without holding onto the full [`crate::runtime::Scenario`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunMeta {
+    /// The scenario's RNG seed.
+    pub seed: u64,
+    /// Simulated horizon.
+    pub duration: SimDuration,
+    /// Number of nodes in the deployment.
+    pub nodes: usize,
+    /// Number of controller replicas (1 + backups).
+    pub controllers: usize,
+}
+
+impl RunMeta {
+    /// A placeholder for hand-built results (tests, fixtures).
+    #[must_use]
+    pub fn unspecified() -> Self {
+        RunMeta {
+            seed: 0,
+            duration: SimDuration::ZERO,
+            nodes: 0,
+            controllers: 0,
+        }
+    }
+}
+
+/// Nearest-rank quantile of an ascending-sorted sample — the one
+/// convention every latency quantile in this crate (and the sweep
+/// reports built on it) uses.
+fn quantile_sorted(v: &[SimDuration], q: f64) -> Option<SimDuration> {
+    if v.is_empty() {
+        return None;
+    }
+    let idx = ((v.len() - 1) as f64 * q).round() as usize;
+    Some(v[idx])
+}
+
+/// Linear merge of `src` (ascending) into `dst` (ascending) — O(n + m),
+/// versus re-sorting the concatenation.
+fn merge_sorted(dst: &mut Vec<SimDuration>, src: &[SimDuration]) {
+    debug_assert!(dst.is_sorted() && src.is_sorted());
+    let mut out = Vec::with_capacity(dst.len() + src.len());
+    let (mut i, mut j) = (0, 0);
+    while i < dst.len() && j < src.len() {
+        if dst[i] <= src[j] {
+            out.push(dst[i]);
+            i += 1;
+        } else {
+            out.push(src[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&dst[i..]);
+    out.extend_from_slice(&src[j..]);
+    *dst = out;
+}
+
 /// Everything a co-simulation run produces: time series for the plotted
 /// tags, the event trace, and derived QoS metrics.
-#[derive(Debug, Clone)]
+///
+/// Two results compare equal ([`PartialEq`]) exactly when every sampled
+/// series, every trace entry and every derived metric agree — the
+/// property the cross-thread reproducibility suite pins down.
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunResult {
+    /// Which run produced this result (cell metadata for sweeps).
+    pub meta: RunMeta,
     /// Sampled plant tags by name (the Fig. 6b series among them).
     pub series: HashMap<String, TimeSeries>,
     /// The structured event log.
@@ -52,16 +117,12 @@ impl RunResult {
         self.trace.time_of(needle)
     }
 
-    /// Quantile of the end-to-end latency distribution.
+    /// Nearest-rank quantile of the end-to-end latency distribution.
     #[must_use]
     pub fn e2e_quantile(&self, q: f64) -> Option<SimDuration> {
-        if self.e2e_latencies.is_empty() {
-            return None;
-        }
         let mut v = self.e2e_latencies.clone();
         v.sort_unstable();
-        let idx = ((v.len() - 1) as f64 * q).round() as usize;
-        Some(v[idx])
+        quantile_sorted(&v, q)
     }
 
     /// Fraction of actuations that met the cycle deadline.
@@ -81,6 +142,117 @@ impl RunResult {
             .window(from, to)
             .integral_squared_error(reference)
     }
+
+    /// Mean radio current across nodes in label order (deterministic
+    /// regardless of the map's iteration order), mA. `None` for results
+    /// without energy accounting.
+    #[must_use]
+    pub fn mean_node_current_ma(&self) -> Option<f64> {
+        if self.node_energy.is_empty() {
+            return None;
+        }
+        let mut labels: Vec<&String> = self.node_energy.keys().collect();
+        labels.sort();
+        let sum: f64 = labels
+            .iter()
+            .map(|l| self.node_energy[*l].avg_current_ma)
+            .sum();
+        Some(sum / labels.len() as f64)
+    }
+
+    /// Header matching [`RunResult::csv_row`] (serde-free CSV dumps for
+    /// tests and sweep reports).
+    #[must_use]
+    pub fn csv_header() -> &'static str {
+        "seed,nodes,controllers,actuations,deadline_misses,hit_ratio,e2e_p50_ms,e2e_p99_ms,mean_current_ma"
+    }
+
+    /// One fixed-precision CSV row of the derived metrics. Deterministic:
+    /// the same result always renders the same bytes.
+    #[must_use]
+    pub fn csv_row(&self) -> String {
+        let q = |p: f64| {
+            self.e2e_quantile(p).map_or_else(
+                || "nan".to_string(),
+                |d| format!("{:.3}", d.as_secs_f64() * 1e3),
+            )
+        };
+        format!(
+            "{},{},{},{},{},{:.6},{},{},{}",
+            self.meta.seed,
+            self.meta.nodes,
+            self.meta.controllers,
+            self.actuations,
+            self.deadline_misses,
+            self.deadline_hit_ratio(),
+            q(0.5),
+            q(0.99),
+            self.mean_node_current_ma()
+                .map_or_else(|| "nan".to_string(), |c| format!("{c:.4}")),
+        )
+    }
+}
+
+/// An order-independent, mergeable aggregate over many [`RunResult`]s.
+///
+/// Counts add; pooled latencies are kept as a multiset and sorted before
+/// every quantile query — so `merge(a, b) == merge(b, a)` and absorbing
+/// results in any order produces the same aggregate. This is what lets a
+/// multi-threaded sweep reduce per-cell results without caring which
+/// worker finished first.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunAggregate {
+    /// Number of runs absorbed.
+    pub runs: usize,
+    /// Total actuations across runs.
+    pub actuations: usize,
+    /// Total deadline misses across runs.
+    pub deadline_misses: usize,
+    /// Pooled end-to-end latencies (kept sorted).
+    pub e2e_pooled: Vec<SimDuration>,
+}
+
+impl RunAggregate {
+    /// An empty aggregate.
+    #[must_use]
+    pub fn new() -> Self {
+        RunAggregate::default()
+    }
+
+    /// Folds one run into the aggregate.
+    pub fn absorb(&mut self, r: &RunResult) {
+        self.runs += 1;
+        self.actuations += r.actuations;
+        self.deadline_misses += r.deadline_misses;
+        let mut incoming = r.e2e_latencies.clone();
+        incoming.sort_unstable();
+        merge_sorted(&mut self.e2e_pooled, &incoming);
+    }
+
+    /// Merges two aggregates; commutative and associative.
+    #[must_use]
+    pub fn merge(mut self, other: RunAggregate) -> RunAggregate {
+        self.runs += other.runs;
+        self.actuations += other.actuations;
+        self.deadline_misses += other.deadline_misses;
+        merge_sorted(&mut self.e2e_pooled, &other.e2e_pooled);
+        self
+    }
+
+    /// Pooled deadline hit ratio.
+    #[must_use]
+    pub fn deadline_hit_ratio(&self) -> f64 {
+        if self.actuations == 0 {
+            return 1.0;
+        }
+        1.0 - self.deadline_misses as f64 / self.actuations as f64
+    }
+
+    /// Nearest-rank quantile of the pooled end-to-end latencies.
+    #[must_use]
+    pub fn e2e_quantile(&self, q: f64) -> Option<SimDuration> {
+        quantile_sorted(&self.e2e_pooled, q)
+    }
 }
 
 #[cfg(test)]
@@ -98,6 +270,12 @@ mod tests {
         trace.log(SimTime::from_secs(300), "fault", "inject stuck-75");
         trace.log(SimTime::from_secs(600), "vc", "promote n3");
         RunResult {
+            meta: RunMeta {
+                seed: 9,
+                duration: SimDuration::from_secs(10),
+                nodes: 7,
+                controllers: 2,
+            },
             series,
             trace,
             e2e_latencies: vec![
@@ -144,5 +322,76 @@ mod tests {
     #[should_panic(expected = "was not sampled")]
     fn missing_tag_panics() {
         let _ = result().series("nope");
+    }
+
+    #[test]
+    fn results_compare_equal_only_when_identical() {
+        let a = result();
+        let b = result();
+        assert_eq!(a, b);
+        let mut c = result();
+        c.actuations += 1;
+        assert_ne!(a, c);
+        let mut d = result();
+        d.trace.log(SimTime::from_secs(700), "vc", "extra entry");
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn csv_row_is_deterministic_and_matches_header() {
+        let r = result();
+        let row = r.csv_row();
+        assert_eq!(row, r.clone().csv_row());
+        assert_eq!(
+            row.split(',').count(),
+            RunResult::csv_header().split(',').count()
+        );
+        assert!(row.starts_with("9,7,2,4,1,0.750000,"));
+    }
+
+    #[test]
+    fn aggregate_merge_is_order_independent() {
+        let r1 = result();
+        let mut r2 = result();
+        r2.e2e_latencies = vec![SimDuration::from_millis(10), SimDuration::from_millis(200)];
+        r2.actuations = 2;
+        r2.deadline_misses = 0;
+
+        let mut ab = RunAggregate::new();
+        ab.absorb(&r1);
+        ab.absorb(&r2);
+        let mut ba = RunAggregate::new();
+        ba.absorb(&r2);
+        ba.absorb(&r1);
+        assert_eq!(ab, ba);
+
+        let mut a = RunAggregate::new();
+        a.absorb(&r1);
+        let mut b = RunAggregate::new();
+        b.absorb(&r2);
+        assert_eq!(a.clone().merge(b.clone()), b.merge(a));
+
+        assert_eq!(ab.runs, 2);
+        assert_eq!(ab.actuations, 6);
+        assert_eq!(ab.e2e_quantile(0.0), Some(SimDuration::from_millis(10)));
+        assert_eq!(ab.e2e_quantile(1.0), Some(SimDuration::from_millis(200)));
+        assert!((ab.deadline_hit_ratio() - 5.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_current_uses_label_order() {
+        let mut r = result();
+        assert_eq!(r.mean_node_current_ma(), None);
+        for (label, ma) in [("b", 2.0), ("a", 1.0), ("c", 6.0)] {
+            r.node_energy.insert(
+                label.to_string(),
+                NodeEnergy {
+                    avg_current_ma: ma,
+                    radio_duty: 0.1,
+                    lifetime_years: 1.0,
+                },
+            );
+        }
+        assert!((r.mean_node_current_ma().unwrap() - 3.0).abs() < 1e-12);
     }
 }

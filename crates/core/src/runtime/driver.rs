@@ -17,7 +17,7 @@ use evm_plant::{GasPlant, LocalController, Plant, RegisterMap};
 use evm_sim::{EventQueue, SimDuration, SimRng, SimTime, TimeSeries, Trace};
 
 use crate::component::VirtualComponent;
-use crate::metrics::{NodeEnergy, RunResult};
+use crate::metrics::{NodeEnergy, RunMeta, RunResult};
 use crate::runtime::behavior::{Effect, NodeBehavior, NodeCtx, Timer};
 use crate::runtime::registry::NodeRegistry;
 use crate::runtime::topo::{FlowKind, RoleMap};
@@ -144,6 +144,12 @@ impl Engine {
             })
             .collect();
         RunResult {
+            meta: RunMeta {
+                seed: self.scenario.seed,
+                duration: self.scenario.duration,
+                nodes: self.topology.nodes().len(),
+                controllers: self.roles.controllers.len(),
+            },
             series: self
                 .series
                 .into_iter()

@@ -449,6 +449,45 @@ mod tests {
         }
     }
 
+    /// Golden trace for the 2-sensor / 3-controller / 1-actuator star:
+    /// every flow's (src, dst, listeners) tuple and semantic, not just the
+    /// Fig. 5 role set. Node ids follow the star ring convention: GW=0,
+    /// S1=1, Ctrl-A=2, Ctrl-B=3, Ctrl-C=4, A1=5, S2=6, Head=7.
+    #[test]
+    fn golden_flows_for_two_sensor_three_controller_star() {
+        let roles = RoleMap::from_spec(&TopologySpec::star(2, 3, 1, true, 15.0));
+        let flows = synth_flows(&roles);
+        let got: Vec<(u16, u16, Vec<u16>, FlowKind)> = flows
+            .iter()
+            .map(|(f, k)| {
+                (
+                    f.src.raw(),
+                    f.dst.raw(),
+                    f.extra_listeners.iter().map(|n| n.raw()).collect(),
+                    *k,
+                )
+            })
+            .collect();
+        let expected: Vec<(u16, u16, Vec<u16>, FlowKind)> = vec![
+            (0, 1, vec![], FlowKind::HilDownlink { tag: 0 }),
+            (1, 2, vec![3, 4, 7], FlowKind::SensorPublish { tag: 0 }),
+            (2, 5, vec![3, 4, 7], FlowKind::ControlPublish),
+            (3, 5, vec![4, 7], FlowKind::ControlPublish),
+            (4, 5, vec![7], FlowKind::ControlPublish),
+            (5, 0, vec![], FlowKind::ActuateForward),
+            (7, 2, vec![3, 4, 5, 0], FlowKind::ControlPlane),
+            (0, 6, vec![], FlowKind::HilDownlink { tag: 1 }),
+            (6, 7, vec![0], FlowKind::SensorPublish { tag: 1 }),
+        ];
+        assert_eq!(got, expected);
+        // The pipeline stays fully chained (one control cycle per RT-Link
+        // cycle) no matter how many replicas are inserted in the middle.
+        assert!(flows[0].0.after.is_none());
+        for (i, (f, _)) in flows.iter().enumerate().skip(1) {
+            assert_eq!(f.after, Some(i - 1));
+        }
+    }
+
     #[test]
     fn minimal_topology_routes_actuation_through_gateway() {
         let roles = RoleMap::from_spec(&TopologySpec::minimal(10.0));

@@ -40,7 +40,7 @@ mod time;
 mod trace;
 
 pub use queue::EventQueue;
-pub use rng::SimRng;
+pub use rng::{derive_seed, SimRng};
 pub use series::{merged_csv, SeriesStats, TimeSeries};
 pub use time::{SimDuration, SimTime};
 pub use trace::{Trace, TraceEntry};

@@ -40,7 +40,7 @@ impl fmt::Display for TraceEntry {
 /// trace.log(SimTime::from_secs(300), "fault", "Ctrl-A stuck at 75%");
 /// assert_eq!(trace.of_category("fault").count(), 1);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Trace {
     entries: Vec<TraceEntry>,
 }

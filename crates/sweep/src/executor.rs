@@ -1,0 +1,136 @@
+//! The work-stealing sweep executor.
+//!
+//! Std-only (threads + channels + one atomic): workers pull the next
+//! unclaimed job index from a shared counter — a self-balancing queue
+//! over a static work-list, which is all the stealing a sweep needs since
+//! cells are independent and the list is fixed up front. Results are
+//! reassembled **by job index**, so the output order (and therefore
+//! everything aggregated from it) is independent of scheduling, core
+//! count and completion order.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::thread;
+
+use evm_core::runtime::Engine;
+use evm_core::RunResult;
+
+use crate::grid::SweepCell;
+
+/// The machine's available parallelism (≥ 1).
+#[must_use]
+pub fn available_threads() -> usize {
+    thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Runs `f(index, &job)` for every job on a pool of `threads` workers and
+/// returns the results **in job order**, regardless of which worker ran
+/// what when. `threads` is clamped to `[1, jobs.len()]`; with one thread
+/// the jobs run inline on the caller in index order.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` after the scope joins its workers.
+pub fn run_indexed<J, R, F>(jobs: &[J], threads: usize, f: F) -> Vec<R>
+where
+    J: Sync,
+    R: Send,
+    F: Fn(usize, &J) -> R + Sync,
+{
+    let threads = threads.max(1).min(jobs.len().max(1));
+    if threads <= 1 {
+        return jobs.iter().enumerate().map(|(i, j)| f(i, j)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    let mut out: Vec<Option<R>> = Vec::with_capacity(jobs.len());
+    out.resize_with(jobs.len(), || None);
+    thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs.len() {
+                    break;
+                }
+                // A closed channel means the collector is gone (a sibling
+                // panicked); stop pulling work.
+                if tx.send((i, f(i, &jobs[i]))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        for (i, r) in rx {
+            out[i] = Some(r);
+        }
+    });
+    out.into_iter()
+        .map(|r| r.expect("every claimed job reports a result"))
+        .collect()
+}
+
+/// Runs every cell's engine on the pool; results come back in cell order.
+///
+/// This is the sweep fast path: one `Engine` per cell, no shared state
+/// between cells, per-cell seeds fixed at expansion time — so the result
+/// vector is byte-identical across thread counts.
+#[must_use]
+pub fn run_cells(cells: &[SweepCell], threads: usize) -> Vec<RunResult> {
+    run_indexed(cells, threads, |_, cell| {
+        Engine::new(cell.scenario.clone()).run()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+    use std::time::Duration;
+
+    #[test]
+    fn results_come_back_in_job_order() {
+        // Stagger job durations so late jobs finish first under
+        // parallelism; order must still be positional.
+        let jobs: Vec<u64> = (0..16).rev().collect();
+        let out = run_indexed(&jobs, 4, |i, &ms| {
+            thread::sleep(Duration::from_millis(ms));
+            i * 10
+        });
+        assert_eq!(out, (0..16).map(|i| i * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn one_thread_and_many_threads_agree() {
+        let jobs: Vec<u64> = (0..64).collect();
+        let serial = run_indexed(&jobs, 1, |i, &x| (i as u64) * 1000 + x * x);
+        let parallel = run_indexed(&jobs, 8, |i, &x| (i as u64) * 1000 + x * x);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let ran = Mutex::new(vec![0usize; 100]);
+        let jobs: Vec<usize> = (0..100).collect();
+        let _ = run_indexed(&jobs, 7, |i, _| {
+            ran.lock().unwrap()[i] += 1;
+        });
+        assert!(ran.into_inner().unwrap().iter().all(|&n| n == 1));
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(run_indexed(&empty, 4, |_, &x| x).is_empty());
+        // More threads than jobs is fine; so is zero requested threads.
+        assert_eq!(run_indexed(&[5u32], 64, |_, &x| x + 1), vec![6]);
+        assert_eq!(run_indexed(&[5u32, 6], 0, |_, &x| x + 1), vec![6, 7]);
+    }
+
+    #[test]
+    fn available_threads_is_positive() {
+        assert!(available_threads() >= 1);
+    }
+}

@@ -1,0 +1,498 @@
+//! The sweep-grid DSL: axes over scenario knobs, expanded to a work-list.
+//!
+//! A [`SweepGrid`] starts from a template [`Scenario`] (everything the
+//! axes do not touch — duration, scripted faults, epoch, warm/cold
+//! backups — comes from the template) and takes the cartesian product of
+//! up to five axes: star shape, extra link loss, burst process, detection
+//! parameters and seed replicates. [`SweepGrid::expand`] materializes one
+//! [`SweepCell`] per point, each with a seed derived purely from the base
+//! seed and the cell index ([`derive_seed`]) — never from shared mutable
+//! state — so the work-list is identical no matter who expands it, and
+//! results are reproducible no matter which thread runs which cell.
+
+use evm_core::runtime::{Role, Scenario, TopologySpec};
+use evm_netsim::GilbertElliott;
+use evm_sim::derive_seed;
+
+/// Star-topology role counts for one grid axis value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StarShape {
+    /// Sensor nodes (≥ 1; sensor 0 carries the focus PV).
+    pub sensors: usize,
+    /// Controller replicas (≥ 1; the first is the initial primary).
+    pub controllers: usize,
+    /// Actuator nodes (0 routes actuation through the gateway).
+    pub actuators: usize,
+    /// Whether the Virtual Component head is deployed.
+    pub head: bool,
+}
+
+impl StarShape {
+    /// The paper's Fig. 5 testbed shape (2 sensors, 2 controllers,
+    /// 1 actuator, head).
+    #[must_use]
+    pub fn fig5() -> Self {
+        StarShape {
+            sensors: 2,
+            controllers: 2,
+            actuators: 1,
+            head: true,
+        }
+    }
+
+    /// A shape with `n` controller replicas, otherwise Fig. 5.
+    #[must_use]
+    pub fn with_controllers(n: usize) -> Self {
+        StarShape {
+            controllers: n,
+            ..StarShape::fig5()
+        }
+    }
+
+    /// Reads the shape off an existing topology spec (for grids that keep
+    /// the template's topology).
+    #[must_use]
+    pub fn of_spec(spec: &TopologySpec) -> Self {
+        let count = |pred: fn(&Role) -> bool| spec.nodes.iter().filter(|n| pred(&n.role)).count();
+        StarShape {
+            sensors: count(|r| matches!(r, Role::Sensor(_))),
+            controllers: count(|r| matches!(r, Role::Controller(_))),
+            actuators: count(|r| matches!(r, Role::Actuator(_))),
+            head: spec.nodes.iter().any(|n| n.role == Role::Head),
+        }
+    }
+
+    /// Stable label, e.g. `s2c3a1h` (trailing `h` iff the head is present).
+    #[must_use]
+    pub fn label(&self) -> String {
+        format!(
+            "s{}c{}a{}{}",
+            self.sensors,
+            self.controllers,
+            self.actuators,
+            if self.head { "h" } else { "" }
+        )
+    }
+}
+
+/// Gilbert–Elliott burst-process parameters for one grid axis value.
+///
+/// A plain-data mirror of [`GilbertElliott`] so axis values can be
+/// compared, labeled and stored in cell metadata.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurstSpec {
+    /// P(Good → Bad) per packet.
+    pub p_gb: f64,
+    /// P(Bad → Good) per packet.
+    pub p_bg: f64,
+    /// Loss probability while Good.
+    pub loss_good: f64,
+    /// Loss probability while Bad.
+    pub loss_bad: f64,
+}
+
+impl BurstSpec {
+    /// A loss-free link process.
+    #[must_use]
+    pub fn ideal() -> Self {
+        BurstSpec {
+            p_gb: 0.0,
+            p_bg: 1.0,
+            loss_good: 0.0,
+            loss_bad: 0.0,
+        }
+    }
+
+    /// The industrial-floor process used by the lossy channel preset.
+    #[must_use]
+    pub fn industrial() -> Self {
+        BurstSpec {
+            p_gb: 0.01,
+            p_bg: 0.2,
+            loss_good: 0.0,
+            loss_bad: 0.6,
+        }
+    }
+
+    /// Materializes the process for a scenario's channel config.
+    #[must_use]
+    pub fn to_process(self) -> GilbertElliott {
+        GilbertElliott::new(self.p_gb, self.p_bg, self.loss_good, self.loss_bad)
+    }
+
+    /// Stable label, e.g. `ideal` or `gb0.01-bg0.2-lg0-lb0.6`. All four
+    /// parameters render with `f64`'s round-trip `Display`, so distinct
+    /// processes never share a label.
+    #[must_use]
+    pub fn label(&self) -> String {
+        if *self == BurstSpec::ideal() {
+            "ideal".to_string()
+        } else {
+            format!(
+                "gb{}-bg{}-lg{}-lb{}",
+                self.p_gb, self.p_bg, self.loss_good, self.loss_bad
+            )
+        }
+    }
+}
+
+/// Cell metadata: the axis values (and derived seed) behind one scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellConfig {
+    /// Star role counts of the cell's topology.
+    pub star: StarShape,
+    /// Extra per-link Bernoulli loss.
+    pub loss: f64,
+    /// Burst-process override; `None` keeps the template's channel.
+    pub burst: Option<BurstSpec>,
+    /// Deviation-detector threshold.
+    pub detect_threshold: f64,
+    /// Consecutive anomalies to confirm a fault.
+    pub detect_consecutive: u32,
+    /// Seed-replicate index within the config point.
+    pub rep: u32,
+    /// The derived per-cell RNG seed.
+    pub seed: u64,
+}
+
+impl CellConfig {
+    /// The config-point key: every axis except the seed replicate. Cells
+    /// sharing a key are pooled into one report row. Float axes render
+    /// with `f64`'s round-trip `Display` (never truncated), so distinct
+    /// config points can never collide into one row.
+    #[must_use]
+    pub fn key(&self) -> String {
+        format!(
+            "{}|loss{}|{}|det{}x{}",
+            self.star.label(),
+            self.loss,
+            self.burst.map_or_else(|| "chan".to_string(), |b| b.label()),
+            self.detect_threshold,
+            self.detect_consecutive,
+        )
+    }
+}
+
+/// One unit of sweep work: a fully-built scenario plus its metadata.
+#[derive(Debug, Clone)]
+pub struct SweepCell {
+    /// Position in the expanded work-list (also the seed stream).
+    pub id: usize,
+    /// The axis values behind the scenario.
+    pub config: CellConfig,
+    /// The ready-to-run scenario.
+    pub scenario: Scenario,
+}
+
+/// A cartesian grid of scenarios over `ScenarioBuilder` knobs.
+///
+/// Axes left unset collapse to the template's own value, so the smallest
+/// grid is the template itself repeated over seed replicates.
+#[derive(Debug, Clone)]
+pub struct SweepGrid {
+    template: Scenario,
+    stars: Option<Vec<StarShape>>,
+    loss: Option<Vec<f64>>,
+    burst: Option<Vec<BurstSpec>>,
+    detection: Option<Vec<(f64, u32)>>,
+    seeds_per_cell: u32,
+    base_seed: u64,
+    radius_m: f64,
+}
+
+impl SweepGrid {
+    /// Starts a grid from a template scenario. The template's seed becomes
+    /// the default base seed.
+    #[must_use]
+    pub fn new(template: Scenario) -> Self {
+        let base_seed = template.seed;
+        SweepGrid {
+            template,
+            stars: None,
+            loss: None,
+            burst: None,
+            detection: None,
+            seeds_per_cell: 1,
+            base_seed,
+            radius_m: 15.0,
+        }
+    }
+
+    /// Sweeps star topologies (role counts). Cells rebuild the topology at
+    /// the grid's ring radius; without this axis the template topology is
+    /// used unchanged.
+    #[must_use]
+    pub fn over_stars(mut self, shapes: &[StarShape]) -> Self {
+        assert!(!shapes.is_empty(), "empty axis");
+        self.stars = Some(shapes.to_vec());
+        self
+    }
+
+    /// Sweeps the extra per-link Bernoulli loss probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any probability is outside `[0, 1]`.
+    #[must_use]
+    pub fn over_loss(mut self, losses: &[f64]) -> Self {
+        assert!(!losses.is_empty(), "empty axis");
+        for &p in losses {
+            assert!((0.0..=1.0).contains(&p), "loss out of [0,1]: {p}");
+        }
+        self.loss = Some(losses.to_vec());
+        self
+    }
+
+    /// Sweeps the Gilbert–Elliott burst process applied to every link.
+    #[must_use]
+    pub fn over_burst(mut self, bursts: &[BurstSpec]) -> Self {
+        assert!(!bursts.is_empty(), "empty axis");
+        self.burst = Some(bursts.to_vec());
+        self
+    }
+
+    /// Sweeps the deviation detector's `(threshold, consecutive)` pair.
+    #[must_use]
+    pub fn over_detection(mut self, detection: &[(f64, u32)]) -> Self {
+        assert!(!detection.is_empty(), "empty axis");
+        self.detection = Some(detection.to_vec());
+        self
+    }
+
+    /// Number of seed replicates per config point (≥ 1).
+    #[must_use]
+    pub fn seeds_per_cell(mut self, n: u32) -> Self {
+        assert!(n >= 1, "at least one seed per cell");
+        self.seeds_per_cell = n;
+        self
+    }
+
+    /// The base seed all cell seeds are derived from.
+    #[must_use]
+    pub fn base_seed(mut self, seed: u64) -> Self {
+        self.base_seed = seed;
+        self
+    }
+
+    /// Ring radius used when the star axis rebuilds topologies.
+    #[must_use]
+    pub fn radius_m(mut self, radius: f64) -> Self {
+        self.radius_m = radius;
+        self
+    }
+
+    /// Number of cells the grid expands to.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        let ax = |n: Option<usize>| n.unwrap_or(1);
+        ax(self.stars.as_ref().map(Vec::len))
+            * ax(self.loss.as_ref().map(Vec::len))
+            * ax(self.burst.as_ref().map(Vec::len))
+            * ax(self.detection.as_ref().map(Vec::len))
+            * self.seeds_per_cell as usize
+    }
+
+    /// `true` for a degenerate grid (never: axes reject empty inputs).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Expands the cartesian product into the work-list, in a fixed axis
+    /// order (stars → loss → burst → detection → replicate). Cell ids and
+    /// seeds depend only on the grid definition.
+    #[must_use]
+    pub fn expand(&self) -> Vec<SweepCell> {
+        let stars: Vec<Option<StarShape>> = match &self.stars {
+            Some(v) => v.iter().copied().map(Some).collect(),
+            None => vec![None],
+        };
+        let losses = self
+            .loss
+            .clone()
+            .unwrap_or_else(|| vec![self.template.extra_loss]);
+        let bursts: Vec<Option<BurstSpec>> = match &self.burst {
+            Some(v) => v.iter().copied().map(Some).collect(),
+            None => vec![None],
+        };
+        let detection = self.detection.clone().unwrap_or_else(|| {
+            vec![(
+                self.template.detect_threshold,
+                self.template.detect_consecutive,
+            )]
+        });
+
+        let template_shape = StarShape::of_spec(&self.template.topology);
+        let mut cells = Vec::with_capacity(self.len());
+        for star in &stars {
+            for &loss in &losses {
+                for burst in &bursts {
+                    for &(threshold, consecutive) in &detection {
+                        for rep in 0..self.seeds_per_cell {
+                            let id = cells.len();
+                            let seed = derive_seed(self.base_seed, id as u64);
+                            let mut scenario = self.template.clone();
+                            if let Some(s) = star {
+                                scenario.topology = TopologySpec::star(
+                                    s.sensors,
+                                    s.controllers,
+                                    s.actuators,
+                                    s.head,
+                                    self.radius_m,
+                                );
+                            }
+                            scenario.extra_loss = loss;
+                            if let Some(b) = burst {
+                                scenario.channel.burst = b.to_process();
+                            }
+                            scenario.detect_threshold = threshold;
+                            scenario.detect_consecutive = consecutive;
+                            scenario.seed = seed;
+                            cells.push(SweepCell {
+                                id,
+                                config: CellConfig {
+                                    star: star.unwrap_or(template_shape),
+                                    loss,
+                                    burst: *burst,
+                                    detect_threshold: threshold,
+                                    detect_consecutive: consecutive,
+                                    rep,
+                                    seed,
+                                },
+                                scenario,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        cells
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evm_sim::SimDuration;
+
+    fn short_template() -> Scenario {
+        let mut t = Scenario::baseline();
+        t.duration = SimDuration::from_secs(5);
+        t
+    }
+
+    #[test]
+    fn expansion_is_the_cartesian_product_in_fixed_order() {
+        let grid = SweepGrid::new(short_template())
+            .over_stars(&[StarShape::fig5(), StarShape::with_controllers(3)])
+            .over_loss(&[0.0, 0.1, 0.2])
+            .over_detection(&[(5.0, 3), (2.0, 5)])
+            .seeds_per_cell(4);
+        assert_eq!(grid.len(), 2 * 3 * 2 * 4);
+        let cells = grid.expand();
+        assert_eq!(cells.len(), grid.len());
+        // Innermost axis is the replicate; next is detection.
+        assert_eq!(cells[0].config.rep, 0);
+        assert_eq!(cells[1].config.rep, 1);
+        assert_eq!(cells[4].config.detect_consecutive, 5);
+        // Outermost axis is the star shape.
+        assert_eq!(cells[0].config.star.controllers, 2);
+        assert_eq!(cells[24].config.star.controllers, 3);
+        // Ids are positional.
+        for (i, c) in cells.iter().enumerate() {
+            assert_eq!(c.id, i);
+        }
+    }
+
+    #[test]
+    fn seeds_are_stable_and_distinct_across_cells() {
+        let grid = SweepGrid::new(short_template())
+            .over_loss(&[0.0, 0.3])
+            .seeds_per_cell(8)
+            .base_seed(1234);
+        let a = grid.expand();
+        let b = grid.expand();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.config, y.config);
+            assert_eq!(x.scenario.seed, y.scenario.seed);
+        }
+        let mut seeds: Vec<u64> = a.iter().map(|c| c.scenario.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), a.len(), "cell seeds must be distinct");
+    }
+
+    #[test]
+    fn axes_rewrite_the_scenario_knobs() {
+        let cells = SweepGrid::new(short_template())
+            .over_stars(&[StarShape {
+                sensors: 2,
+                controllers: 3,
+                actuators: 1,
+                head: true,
+            }])
+            .over_loss(&[0.25])
+            .over_burst(&[BurstSpec::industrial()])
+            .over_detection(&[(3.5, 4)])
+            .expand();
+        assert_eq!(cells.len(), 1);
+        let s = &cells[0].scenario;
+        assert_eq!(s.topology.nodes.len(), 8); // GW + 2 + 3 + 1 + head
+        assert_eq!(s.extra_loss, 0.25);
+        assert_eq!(s.detect_threshold, 3.5);
+        assert_eq!(s.detect_consecutive, 4);
+    }
+
+    #[test]
+    fn unset_axes_keep_the_template() {
+        let template = short_template();
+        let cells = SweepGrid::new(template.clone()).expand();
+        assert_eq!(cells.len(), 1);
+        assert_eq!(cells[0].scenario.topology, template.topology);
+        assert_eq!(cells[0].scenario.extra_loss, template.extra_loss);
+        assert_eq!(cells[0].config.star, StarShape::fig5());
+        assert_eq!(cells[0].config.burst, None);
+    }
+
+    #[test]
+    fn config_keys_pool_replicates_only() {
+        let cells = SweepGrid::new(short_template())
+            .over_loss(&[0.0, 0.1])
+            .seeds_per_cell(3)
+            .expand();
+        let keys: Vec<String> = cells.iter().map(|c| c.config.key()).collect();
+        assert_eq!(keys[0], keys[1]);
+        assert_eq!(keys[1], keys[2]);
+        assert_ne!(keys[2], keys[3]);
+    }
+
+    #[test]
+    fn nearby_float_axes_never_share_a_key() {
+        // Keys carry full round-trip floats, not truncated decimals:
+        // config points closer than any fixed precision stay distinct.
+        let cells = SweepGrid::new(short_template())
+            .over_detection(&[(0.124, 3), (0.1239, 3)])
+            .expand();
+        assert_ne!(cells[0].config.key(), cells[1].config.key());
+        let cells = SweepGrid::new(short_template())
+            .over_loss(&[0.1, 0.1001])
+            .expand();
+        assert_ne!(cells[0].config.key(), cells[1].config.key());
+        // Burst processes differing in any parameter stay distinct too.
+        let a = BurstSpec::industrial();
+        let b = BurstSpec {
+            loss_good: 0.3,
+            ..BurstSpec::industrial()
+        };
+        let cells = SweepGrid::new(short_template())
+            .over_burst(&[a, b])
+            .expand();
+        assert_ne!(cells[0].config.key(), cells[1].config.key());
+    }
+
+    #[test]
+    #[should_panic(expected = "loss out of [0,1]")]
+    fn bad_loss_axis_rejected() {
+        let _ = SweepGrid::new(short_template()).over_loss(&[1.5]);
+    }
+}

@@ -1,0 +1,99 @@
+//! Batch sweep over the failover scenario grid.
+//!
+//! Expands a (loss × detection × topology × seeds) grid, fans it across
+//! all cores with the work-stealing executor, and writes the aggregated
+//! report (CSV + markdown) under `target/paper_results/`. The report is
+//! byte-identical at any thread count.
+//!
+//! ```text
+//! cargo run --release --example sweep            # the full grid
+//! cargo run --release --example sweep -- --smoke # tiny CI-sized grid
+//! cargo run --release --example sweep -- --threads 2
+//! ```
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use evm::core::runtime::Scenario;
+use evm::plant::ActuatorFault;
+use evm::prelude::*;
+use evm::sweep::{available_threads, run_cells, StarShape, SweepGrid, SweepReport};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let threads = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .map_or_else(available_threads, |v| {
+            v.parse().expect("--threads takes a number")
+        });
+
+    let (grid, stem) = if smoke {
+        // CI-sized: 2 loss × 2 seeds = 4 cells, 60 s horizon.
+        let template = Scenario::builder()
+            .duration(SimDuration::from_secs(60))
+            .fault_at(SimTime::from_secs(15), ActuatorFault::paper_fault())
+            .reconfig_epoch(SimDuration::ZERO)
+            .build();
+        (
+            SweepGrid::new(template)
+                .over_loss(&[0.0, 0.2])
+                .seeds_per_cell(2),
+            "sweep_smoke",
+        )
+    } else {
+        // The statistics grid: 2 topologies × 3 loss × 2 detection × 8
+        // seeds = 96 failover runs over a 300 s horizon.
+        let template = Scenario::builder()
+            .duration(SimDuration::from_secs(300))
+            .fault_at(SimTime::from_secs(60), ActuatorFault::paper_fault())
+            .reconfig_epoch(SimDuration::ZERO)
+            .build();
+        (
+            SweepGrid::new(template)
+                .over_stars(&[StarShape::fig5(), StarShape::with_controllers(3)])
+                .over_loss(&[0.0, 0.1, 0.2])
+                .over_detection(&[(5.0, 3), (3.0, 4)])
+                .seeds_per_cell(8),
+            "sweep",
+        )
+    };
+
+    let cells = grid.expand();
+    println!(
+        "sweep: {} cells on {threads} thread(s){}",
+        cells.len(),
+        if smoke { " [smoke]" } else { "" }
+    );
+    let start = Instant::now();
+    let results = run_cells(&cells, threads);
+    let wall = start.elapsed().as_secs_f64();
+    let report = SweepReport::build(&cells, &results);
+
+    println!(
+        "{:<28} {:>5} {:>9} {:>13} {:>10} {:>10}",
+        "config", "runs", "failsafe", "failover p99", "hit ratio", "ISE"
+    );
+    for r in &report.rows {
+        println!(
+            "{:<28} {:>5} {:>9} {:>13.3} {:>10.4} {:>10.1}",
+            r.key, r.runs, r.fail_safe_runs, r.failover_p99_s, r.hit_ratio, r.ise_mean
+        );
+    }
+
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("target/paper_results");
+    for path in report.write(&dir, stem) {
+        println!("-> wrote {}", path.display());
+    }
+    println!(
+        "done: {} runs in {wall:.2} s ({:.0} simulated seconds per wall second)",
+        cells.len(),
+        cells
+            .iter()
+            .map(|c| c.scenario.duration.as_secs_f64())
+            .sum::<f64>()
+            / wall
+    );
+}

@@ -19,6 +19,7 @@ pub use evm_netsim as netsim;
 pub use evm_plant as plant;
 pub use evm_rtos as rtos;
 pub use evm_sim as sim;
+pub use evm_sweep as sweep;
 
 /// Commonly used items, for `use evm::prelude::*`.
 pub mod prelude {

@@ -1,0 +1,98 @@
+//! Seeded regression grid for the failover path.
+//!
+//! The paper's claim (Fig. 6b, §3.1.2): once the deviation detector
+//! confirms a fault, the head arbitrates and commits the reconfiguration
+//! within two RT-Link cycles — and as long as one viable backup survives,
+//! the response is `Reconfig` (promotion), never the `FailSafe` fallback.
+//! The single-trajectory tests pin this for one seed; this grid pins it
+//! for 16 seeds per cell across topology × loss cells.
+
+use evm::core::runtime::Scenario;
+use evm::plant::ActuatorFault;
+use evm::prelude::*;
+use evm::sweep::{available_threads, run_cells, CellStats, StarShape, SweepGrid, SweepReport};
+
+#[test]
+fn every_cell_with_a_surviving_backup_reconfigs_within_two_cycles() {
+    let template = Scenario::builder()
+        .duration(SimDuration::from_secs(60))
+        .fault_at(SimTime::from_secs(15), ActuatorFault::paper_fault())
+        .reconfig_epoch(SimDuration::ZERO)
+        .build();
+    let two_cycles = template.rtlink.cycle_duration().as_secs_f64() * 2.0;
+    let cells = SweepGrid::new(template)
+        // Every shape keeps ≥ 1 backup after the primary faults.
+        .over_stars(&[StarShape::fig5(), StarShape::with_controllers(3)])
+        .over_loss(&[0.0, 0.1, 0.2])
+        .seeds_per_cell(16)
+        .base_seed(2024)
+        .expand();
+    assert_eq!(cells.len(), 96);
+    let results = run_cells(&cells, available_threads());
+
+    for (cell, result) in cells.iter().zip(&results) {
+        let ctx = format!(
+            "cell {} ({}, seed {})",
+            cell.id,
+            cell.config.key(),
+            cell.config.seed
+        );
+        let stats = CellStats::from_run(cell, result);
+        // Reconfig, never FailSafe: a backup survived in every cell.
+        assert!(!stats.fail_safe, "{ctx}: fell back to fail-safe");
+        assert!(
+            result.event_time("head commits failover").is_some(),
+            "{ctx}: no reconfig committed"
+        );
+        // The promoted replica actually went Active (the commit was
+        // delivered over the lossy control plane).
+        assert!(
+            result.event_time("-> Active").is_some(),
+            "{ctx}: promotion never applied"
+        );
+        let detect = stats.detect_s.expect("fault confirmed");
+        assert!(detect >= 15.0, "{ctx}: detected before the fault");
+        let failover = stats.failover_s.expect("commit follows detection");
+        assert!(
+            (0.0..=two_cycles).contains(&failover),
+            "{ctx}: detect->commit took {failover:.3} s (bound {two_cycles} s)"
+        );
+    }
+
+    // The aggregate view agrees: all replicates detected, none fail-safe.
+    let report = SweepReport::build(&cells, &results);
+    for row in &report.rows {
+        assert_eq!(row.detected_runs, row.runs, "row {}", row.key);
+        assert_eq!(row.fail_safe_runs, 0, "row {}", row.key);
+        assert!(
+            row.failover_p99_s <= two_cycles,
+            "row {}: p99 {:.3}",
+            row.key,
+            row.failover_p99_s
+        );
+    }
+}
+
+/// The complementary claim: with *no* surviving backup (single controller,
+/// head present), arbitration finds no candidate and the head engages the
+/// fail-safe response instead of promoting.
+#[test]
+fn no_backup_means_failsafe_not_reconfig() {
+    let template = Scenario::builder()
+        .controllers(1)
+        .duration(SimDuration::from_secs(60))
+        .fault_at(SimTime::from_secs(15), ActuatorFault::paper_fault())
+        .reconfig_epoch(SimDuration::ZERO)
+        .build();
+    let cells = SweepGrid::new(template).seeds_per_cell(4).expand();
+    let results = run_cells(&cells, available_threads());
+    for (cell, result) in cells.iter().zip(&results) {
+        let stats = CellStats::from_run(cell, result);
+        assert!(stats.fail_safe, "cell {}: no fail-safe", cell.id);
+        assert!(
+            result.event_time("head commits failover").is_none(),
+            "cell {}: promoted a nonexistent backup",
+            cell.id
+        );
+    }
+}
