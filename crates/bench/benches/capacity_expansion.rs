@@ -11,14 +11,14 @@
 use evm_bench::{banner, f, row, write_result};
 use evm_core::synthesis::{NodeRes, SynthesisProblem, TaskReq};
 use evm_netsim::NodeId;
-use evm_sim::SimRng;
+use evm_sim::{derive_seed, SimRng};
+use evm_sweep::{available_threads, run_indexed};
 
 fn main() {
     banner(
         "E12a",
         "capacity expansion: max node utilization vs pool size",
     );
-    let mut rng = SimRng::seed_from(12);
     let tasks: Vec<TaskReq> = (0..8)
         .map(|i| TaskReq {
             name: format!("loop{i}"),
@@ -34,8 +34,12 @@ fn main() {
         row(&["controllers".into(), "max util".into(), "feasible".into()])
     );
     let mut csv = String::from("controllers,max_util,feasible\n");
-    let mut prev_max = f64::INFINITY;
-    for n_nodes in 2..=6 {
+    // One anneal per pool size, fanned across cores on the sweep
+    // executor; each point draws from its own derived RNG stream, so the
+    // batch result is independent of worker scheduling.
+    let pool_sizes: Vec<usize> = (2..=6).collect();
+    let points = run_indexed(&pool_sizes, available_threads(), |i, &n_nodes| {
+        let mut rng = SimRng::seed_from(derive_seed(12, i as u64));
         let p = SynthesisProblem {
             tasks: tasks.clone(),
             nodes: (0..n_nodes)
@@ -54,8 +58,11 @@ fn main() {
         for (t, &n) in a.task_to_node.iter().enumerate() {
             per_node[n] += p.tasks[t].cpu_util;
         }
-        let max_util = per_node.iter().cloned().fold(0.0, f64::max);
-        let feasible = p.is_feasible(&a);
+        let max_util = per_node.iter().copied().fold(0.0, f64::max);
+        (n_nodes, max_util, p.is_feasible(&a))
+    });
+    let mut prev_max = f64::INFINITY;
+    for (n_nodes, max_util, feasible) in points {
         println!(
             "{}",
             row(&[
@@ -87,14 +94,19 @@ fn main() {
         ])
     );
     csv.push_str("replicas,avail_p05,avail_p10,avail_p20,sampled_p10\n");
-    for k in 1..=4u32 {
-        let analytic = |p: f64| 1.0 - p.powi(k as i32);
-        // Sampled: loop is up if any of k replicas survives.
+    // One replication degree per worker, each with its own derived
+    // stream (the Monte Carlo estimates do not share an RNG).
+    let degrees: Vec<u32> = (1..=4).collect();
+    let sampled_points = run_indexed(&degrees, available_threads(), |i, &k| {
+        let mut rng = SimRng::seed_from(derive_seed(13, i as u64));
         let trials = 100_000;
         let up = (0..trials)
             .filter(|_| (0..k).any(|_| !rng.chance(0.10)))
             .count();
-        let sampled = up as f64 / f64::from(trials);
+        up as f64 / f64::from(trials)
+    });
+    for (&k, &sampled) in degrees.iter().zip(&sampled_points) {
+        let analytic = |p: f64| 1.0 - p.powi(k as i32);
         println!(
             "{}",
             row(&[

@@ -11,10 +11,24 @@
 use evm_bench::{banner, f, row, write_result};
 use evm_core::runtime::{Engine, Scenario};
 use evm_sim::{merged_csv, SimTime};
+use evm_sweep::{available_threads, run_indexed};
 
 fn main() {
     banner("E2 / Fig.6b", "failover scenario time series");
-    let result = Engine::new(Scenario::fig6b()).run();
+    // Both epoch variants run concurrently on the sweep executor; the
+    // figure reads the paper-scripted one, E3's ablation bench covers the
+    // fast-epoch contrast in depth.
+    let scenarios = [Scenario::fig6b(), Scenario::fig6b_fast()];
+    let mut results = run_indexed(&scenarios, available_threads(), |_, s| {
+        Engine::new(s.clone()).run()
+    });
+    let fast = results.pop().expect("fast variant ran");
+    let result = results.pop().expect("paper variant ran");
+    assert!(
+        fast.event_time("Ctrl-B -> Active").expect("fast failover")
+            < result.event_time("Ctrl-B -> Active").expect("failover"),
+        "immediate epoch must switch earlier than the 300 s epoch"
+    );
 
     // The four series of the figure, decimated to every 10 s for print.
     let tags = [

@@ -26,8 +26,10 @@ pub struct RunMeta {
     pub duration: SimDuration,
     /// Number of nodes in the deployment.
     pub nodes: usize,
-    /// Number of controller replicas (1 + backups).
+    /// Number of controller replicas across all VCs (1 + backups each).
     pub controllers: usize,
+    /// Number of Virtual Components hosted on the shared cycle.
+    pub vcs: usize,
 }
 
 impl RunMeta {
@@ -39,7 +41,40 @@ impl RunMeta {
             duration: SimDuration::ZERO,
             nodes: 0,
             controllers: 0,
+            vcs: 0,
         }
+    }
+}
+
+/// Per-Virtual-Component QoS tallies of one run (index = `VcId`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct VcRunStats {
+    /// The hosted loop's name (e.g. `"LC-LTS"`).
+    pub loop_name: String,
+    /// Actuations this VC delivered to the plant.
+    pub actuations: usize,
+    /// This VC's control-cycle deadline misses.
+    pub deadline_misses: usize,
+    /// This VC's end-to-end sensor→actuator latencies.
+    pub e2e_latencies: Vec<SimDuration>,
+}
+
+impl VcRunStats {
+    /// Fraction of this VC's actuations that met the cycle deadline.
+    #[must_use]
+    pub fn deadline_hit_ratio(&self) -> f64 {
+        if self.actuations == 0 {
+            return 1.0;
+        }
+        1.0 - self.deadline_misses as f64 / self.actuations as f64
+    }
+
+    /// Nearest-rank quantile of this VC's end-to-end latencies.
+    #[must_use]
+    pub fn e2e_quantile(&self, q: f64) -> Option<SimDuration> {
+        let mut v = self.e2e_latencies.clone();
+        v.sort_unstable();
+        quantile_sorted(&v, q)
     }
 }
 
@@ -96,6 +131,9 @@ pub struct RunResult {
     pub actuations: usize,
     /// Radio energy accounting per node label (e.g. `"Ctrl-A"`).
     pub node_energy: HashMap<String, NodeEnergy>,
+    /// Per-VC QoS tallies, indexed by `VcId` (one entry per hosted VC;
+    /// the global counters above are their sums).
+    pub vc_stats: Vec<VcRunStats>,
 }
 
 impl RunResult {
@@ -164,7 +202,7 @@ impl RunResult {
     /// tests and sweep reports).
     #[must_use]
     pub fn csv_header() -> &'static str {
-        "seed,nodes,controllers,actuations,deadline_misses,hit_ratio,e2e_p50_ms,e2e_p99_ms,mean_current_ma"
+        "seed,nodes,controllers,vcs,actuations,deadline_misses,hit_ratio,e2e_p50_ms,e2e_p99_ms,mean_current_ma"
     }
 
     /// One fixed-precision CSV row of the derived metrics. Deterministic:
@@ -178,10 +216,11 @@ impl RunResult {
             )
         };
         format!(
-            "{},{},{},{},{},{:.6},{},{},{}",
+            "{},{},{},{},{},{},{:.6},{},{},{}",
             self.meta.seed,
             self.meta.nodes,
             self.meta.controllers,
+            self.meta.vcs,
             self.actuations,
             self.deadline_misses,
             self.deadline_hit_ratio(),
@@ -275,6 +314,7 @@ mod tests {
                 duration: SimDuration::from_secs(10),
                 nodes: 7,
                 controllers: 2,
+                vcs: 1,
             },
             series,
             trace,
@@ -287,6 +327,17 @@ mod tests {
             deadline_misses: 1,
             actuations: 4,
             node_energy: HashMap::new(),
+            vc_stats: vec![VcRunStats {
+                loop_name: "LC-LTS".into(),
+                actuations: 4,
+                deadline_misses: 1,
+                e2e_latencies: vec![
+                    SimDuration::from_millis(60),
+                    SimDuration::from_millis(70),
+                    SimDuration::from_millis(65),
+                    SimDuration::from_millis(90),
+                ],
+            }],
         }
     }
 
@@ -346,7 +397,7 @@ mod tests {
             row.split(',').count(),
             RunResult::csv_header().split(',').count()
         );
-        assert!(row.starts_with("9,7,2,4,1,0.750000,"));
+        assert!(row.starts_with("9,7,2,1,4,1,0.750000,"));
     }
 
     #[test]

@@ -13,7 +13,7 @@ use evm_plant::{GasPlant, RegisterMap};
 use evm_sim::{SimRng, SimTime, Trace};
 
 use crate::runtime::behaviors::{ControllerCore, HeadPlane};
-use crate::runtime::topo::{FlowKind, RoleMap};
+use crate::runtime::topo::{FlowKind, VcId, VcMap};
 use crate::runtime::Message;
 
 /// A deferred, node-local event (delivered back to the same node).
@@ -37,6 +37,8 @@ pub enum Effect {
     },
     /// An actuation reached the plant (drives latency/QoS accounting).
     Actuated {
+        /// The actuating Virtual Component.
+        vc: VcId,
         /// Timestamp of the PV this actuation responds to.
         pv_sampled_at: SimTime,
     },
@@ -50,8 +52,8 @@ pub struct NodeCtx<'a> {
     pub id: NodeId,
     /// The node's display label (trace messages, series names).
     pub label: &'a str,
-    /// Role-resolved addressing for the deployment.
-    pub roles: &'a RoleMap,
+    /// Role-resolved addressing for every hosted Virtual Component.
+    pub vcs: &'a VcMap,
     /// The scenario RNG (single stream — call order is deterministic).
     pub rng: &'a mut SimRng,
     /// The structured event log.

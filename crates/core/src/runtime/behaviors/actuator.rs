@@ -4,12 +4,12 @@ use evm_netsim::NodeId;
 use evm_sim::SimTime;
 
 use crate::runtime::behavior::{NodeBehavior, NodeCtx};
-use crate::runtime::topo::FlowKind;
+use crate::runtime::topo::{FlowKind, VcId};
 use crate::runtime::Message;
 
 /// Master-acceptance state of an actuation endpoint: which controller's
 /// outputs are honored, and the fail-safe lock. Shared by [`ActuatorNode`]
-/// and by the gateway when a topology has no actuator node.
+/// and by the gateway for VCs without an actuator node.
 #[derive(Debug, Clone)]
 pub struct ActuationGate {
     active_ctrl: NodeId,
@@ -53,19 +53,21 @@ impl ActuationGate {
     }
 }
 
-/// An actuator node: gates controller outputs and forwards accepted
-/// commands to the gateway in its own slot.
+/// An actuator node: gates its VC's controller outputs and forwards
+/// accepted commands to the gateway in its own slot.
 pub struct ActuatorNode {
+    vc: VcId,
     gate: ActuationGate,
     /// Accepted command awaiting this node's TX slot.
     pending: Option<(f64, SimTime)>,
 }
 
 impl ActuatorNode {
-    /// An actuator initially mastered by `primary`.
+    /// VC `vc`'s actuator, initially mastered by `primary`.
     #[must_use]
-    pub fn new(primary: NodeId) -> Self {
+    pub fn new(vc: VcId, primary: NodeId) -> Self {
         ActuatorNode {
+            vc,
             gate: ActuationGate::new(primary),
             pending: None,
         }
@@ -75,9 +77,10 @@ impl ActuatorNode {
 impl NodeBehavior for ActuatorNode {
     fn take_outgoing(&mut self, kind: FlowKind, _ctx: &mut NodeCtx<'_>) -> Option<Message> {
         match kind {
-            FlowKind::ActuateForward => {
+            FlowKind::ActuateForward { vc } if vc == self.vc => {
                 let (value, pv_ts) = self.pending.take()?;
                 Some(Message::ActuateFwd {
+                    vc,
                     value,
                     pv_sampled_at: pv_ts,
                 })
@@ -89,20 +92,23 @@ impl NodeBehavior for ActuatorNode {
     fn on_deliver(&mut self, msg: &Message, ctx: &mut NodeCtx<'_>) {
         match *msg {
             Message::ControlOutput {
+                vc,
                 from,
                 value,
                 pv_sampled_at,
-            } => {
+            } if vc == self.vc => {
                 if let Some(v) = self.gate.accept(from, value) {
                     self.pending = Some((v, pv_sampled_at));
                 }
             }
-            Message::FailSafe { value } if self.gate.engage_failsafe() => {
+            Message::FailSafe { vc, value } if vc == self.vc && self.gate.engage_failsafe() => {
                 self.pending = Some((value, ctx.now));
                 ctx.trace
                     .log(ctx.now, "vc", format!("actuator fail-safe at {value}%"));
             }
-            Message::Reconfig { promote, .. } => self.gate.on_reconfig(promote),
+            Message::Reconfig { vc, promote, .. } if vc == self.vc => {
+                self.gate.on_reconfig(promote);
+            }
             _ => {}
         }
     }

@@ -8,7 +8,7 @@ use crate::bytecode::{Program, Vm, VmEnv, VmError};
 use crate::health::{DeviationDetector, HeartbeatMonitor};
 use crate::roles::ControllerMode;
 use crate::runtime::behavior::{NodeBehavior, NodeCtx, Timer};
-use crate::runtime::topo::FlowKind;
+use crate::runtime::topo::{FlowKind, VcId};
 use crate::runtime::Message;
 
 /// Detection and task parameters shared by every replica of the focus
@@ -23,6 +23,8 @@ pub struct ReplicaParams {
     pub hb_timeout: SimDuration,
     /// Focus-task period.
     pub period: SimDuration,
+    /// The VC's initial primary (who every replica watches at start).
+    pub primary: NodeId,
 }
 
 /// The state of one replica of the focus control capsule: VM, kernel,
@@ -32,6 +34,8 @@ pub struct ReplicaParams {
 pub struct ControllerCore {
     /// The hosting node.
     pub id: NodeId,
+    /// The Virtual Component this replica serves.
+    pub vc: VcId,
     /// Current controller mode.
     pub mode: ControllerMode,
     vm: Vm,
@@ -70,13 +74,14 @@ impl ControllerCore {
     #[must_use]
     pub fn new(
         id: NodeId,
+        vc: VcId,
         mode: ControllerMode,
         hosts_task: bool,
         program: &Program,
         gas: u64,
-        primary: NodeId,
         params: &ReplicaParams,
     ) -> Self {
+        let primary = params.primary;
         let mut kernel = Kernel::new(format!("{id}"));
         let mut has_task = false;
         if hosts_task {
@@ -91,6 +96,7 @@ impl ControllerCore {
         }
         ControllerCore {
             id,
+            vc,
             mode,
             vm: Vm::new(gas),
             program: program.clone(),
@@ -237,6 +243,7 @@ impl ControllerCore {
         }
         if let Some((value, pv_ts)) = self.pending_output.take() {
             return Some(Message::ControlOutput {
+                vc: self.vc,
                 from: self.id,
                 value,
                 pv_sampled_at: pv_ts,
@@ -361,7 +368,7 @@ impl NodeBehavior for ControllerNode {
 
     fn take_outgoing(&mut self, kind: FlowKind, _ctx: &mut NodeCtx<'_>) -> Option<Message> {
         match kind {
-            FlowKind::ControlPublish => self.core.take_publish(),
+            FlowKind::ControlPublish { vc } if vc == self.core.vc => self.core.take_publish(),
             _ => None,
         }
     }
@@ -369,12 +376,13 @@ impl NodeBehavior for ControllerNode {
     fn on_deliver(&mut self, msg: &Message, ctx: &mut NodeCtx<'_>) {
         match *msg {
             Message::SensorValue {
+                vc,
                 tag,
                 value,
                 sampled_at,
             } => {
-                // Controllers only act on the focus PV.
-                if tag != 0 {
+                // Controllers only act on their own VC's focus PV.
+                if vc != self.core.vc || tag != 0 {
                     return;
                 }
                 if let Some(wcet) = self.core.on_pv(value, sampled_at) {
@@ -382,7 +390,12 @@ impl NodeBehavior for ControllerNode {
                 }
             }
             Message::Heartbeat { from } => self.core.heard_from(from, ctx.now),
-            Message::ControlOutput { from, value, .. } => {
+            Message::ControlOutput {
+                vc, from, value, ..
+            } => {
+                if vc != self.core.vc {
+                    return;
+                }
                 self.core.heard_from(from, ctx.now);
                 if let Some(mean_dev) = self.core.observe_peer_output(from, value, ctx.now) {
                     if self.core.pending_alert.is_none() {
@@ -398,9 +411,15 @@ impl NodeBehavior for ControllerNode {
                     }
                 }
             }
-            Message::Reconfig { promote, demote } => {
-                self.core
-                    .apply_reconfig(promote, demote, ctx.now, ctx.label, ctx.trace);
+            Message::Reconfig {
+                vc,
+                promote,
+                demote,
+            } => {
+                if vc == self.core.vc {
+                    self.core
+                        .apply_reconfig(promote, demote, ctx.now, ctx.label, ctx.trace);
+                }
             }
             Message::FaultAlert { .. } | Message::FailSafe { .. } | Message::ActuateFwd { .. } => {}
         }

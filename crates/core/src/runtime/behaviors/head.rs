@@ -74,7 +74,7 @@ impl NodeBehavior for HeadNode {
 
     fn take_outgoing(&mut self, kind: FlowKind, _ctx: &mut NodeCtx<'_>) -> Option<Message> {
         match kind {
-            FlowKind::ControlPlane => {
+            FlowKind::ControlPlane { vc } if vc == self.monitor.vc => {
                 let (msg, remaining) = self.plane.pending_cmds.first_mut()?;
                 let out = msg.clone();
                 *remaining -= 1;
@@ -90,12 +90,13 @@ impl NodeBehavior for HeadNode {
     fn on_deliver(&mut self, msg: &Message, ctx: &mut NodeCtx<'_>) {
         match *msg {
             Message::SensorValue {
+                vc,
                 tag,
                 value,
                 sampled_at,
             } => {
-                // The monitor computes on the focus PV only.
-                if tag != 0 {
+                // The monitor computes on its own VC's focus PV only.
+                if vc != self.monitor.vc || tag != 0 {
                     return;
                 }
                 if let Some(wcet) = self.monitor.on_pv(value, sampled_at) {
@@ -103,7 +104,12 @@ impl NodeBehavior for HeadNode {
                 }
             }
             Message::Heartbeat { from } => self.monitor.heard_from(from, ctx.now),
-            Message::ControlOutput { from, value, .. } => {
+            Message::ControlOutput {
+                vc, from, value, ..
+            } => {
+                if vc != self.monitor.vc {
+                    return;
+                }
                 self.monitor.heard_from(from, ctx.now);
                 if let Some(mean_dev) = self.monitor.observe_peer_output(from, value, ctx.now) {
                     ctx.trace.log(

@@ -1,30 +1,36 @@
 //! Sensor nodes: receive HIL downlinks, publish timestamped PVs.
 
 use crate::runtime::behavior::{NodeBehavior, NodeCtx};
-use crate::runtime::topo::FlowKind;
+use crate::runtime::topo::{FlowKind, VcId};
 use crate::runtime::Message;
 
-/// A sensor node publishing one plant signal.
+/// A sensor node publishing one plant signal of one Virtual Component.
 pub struct SensorNode {
+    vc: VcId,
     tag: u8,
     latest: Option<f64>,
 }
 
 impl SensorNode {
-    /// A sensor for signal `tag` (0 is the focus PV).
+    /// A sensor for signal `tag` of VC `vc` (tag 0 is the VC's focus PV).
     #[must_use]
-    pub fn new(tag: u8) -> Self {
-        SensorNode { tag, latest: None }
+    pub fn new(vc: VcId, tag: u8) -> Self {
+        SensorNode {
+            vc,
+            tag,
+            latest: None,
+        }
     }
 }
 
 impl NodeBehavior for SensorNode {
     fn take_outgoing(&mut self, kind: FlowKind, ctx: &mut NodeCtx<'_>) -> Option<Message> {
         match kind {
-            FlowKind::SensorPublish { tag } if tag == self.tag => {
+            FlowKind::SensorPublish { vc, tag } if vc == self.vc && tag == self.tag => {
                 // Freshness stamp: the sensor publishes "now" (on hardware
                 // it samples right before its slot).
                 Some(Message::SensorValue {
+                    vc,
                     tag,
                     value: self.latest?,
                     sampled_at: ctx.now,
@@ -35,8 +41,8 @@ impl NodeBehavior for SensorNode {
     }
 
     fn on_deliver(&mut self, msg: &Message, _ctx: &mut NodeCtx<'_>) {
-        if let Message::SensorValue { tag, value, .. } = *msg {
-            if tag == self.tag {
+        if let Message::SensorValue { vc, tag, value, .. } = *msg {
+            if vc == self.vc && tag == self.tag {
                 self.latest = Some(value);
             }
         }

@@ -1,12 +1,15 @@
 //! The co-simulation driver: the deterministic slot-pipeline engine.
 //!
 //! A thin event loop that owns the shared world — plant, channel,
-//! schedule, energy meters, event queue, the Virtual Component record —
+//! schedule, energy meters, event queue, the Virtual Component records —
 //! and drives per-role [`NodeBehavior`]s through it. All role dispatch is
-//! resolved from the scenario's [`RoleMap`]; no node id is hard-coded
-//! anywhere in the runtime.
+//! resolved from the scenario's [`VcMap`]; no node id is hard-coded
+//! anywhere in the runtime. Every piece of per-loop state (component
+//! records, QoS tallies, error traces, fault detectors) is keyed by
+//! [`VcId`], so several Virtual Components share one RT-Link cycle
+//! without observing each other.
 //!
-//! Construction lives in [`super::setup`]; the head's fault plane
+//! Construction lives in [`super::setup`]; the heads' fault plane
 //! (arbitration, migration, failover commits) in [`super::failover`].
 
 use std::collections::HashMap;
@@ -14,13 +17,13 @@ use std::collections::HashMap;
 use evm_mac::rtlink::{RtLink, SlotSchedule};
 use evm_netsim::{Battery, Channel, EnergyMeter, Frame, FrameKind, NodeId, RadioState, Topology};
 use evm_plant::{GasPlant, LocalController, Plant, RegisterMap};
-use evm_sim::{EventQueue, SimDuration, SimRng, SimTime, TimeSeries, Trace};
+use evm_sim::{EventQueue, SimRng, SimTime, TimeSeries, Trace};
 
 use crate::component::VirtualComponent;
-use crate::metrics::{NodeEnergy, RunMeta, RunResult};
+use crate::metrics::{NodeEnergy, RunMeta, RunResult, VcRunStats};
 use crate::runtime::behavior::{Effect, NodeBehavior, NodeCtx, Timer};
 use crate::runtime::registry::NodeRegistry;
-use crate::runtime::topo::{FlowKind, RoleMap};
+use crate::runtime::topo::{FlowKind, RoleMap, VcId, VcMap};
 use crate::runtime::{Message, Scenario};
 
 /// Driver events. The fault plane (`super::failover`) schedules the
@@ -34,7 +37,7 @@ pub(super) enum Ev {
     NodeTimer { node: NodeId, timer: Timer },
     InjectFault,
     InjectBackupFault,
-    CrashPrimary,
+    CrashPrimary { vc: VcId },
     HeadDecision { suspect: NodeId },
     MigrationDone { target: NodeId, suspect: NodeId },
     DormantDemote { target: NodeId },
@@ -49,12 +52,13 @@ pub struct Engine {
     pub(super) local_loops: Vec<LocalController>,
     pub(super) channel: Channel,
     pub(super) topology: Topology,
-    pub(super) roles: RoleMap,
+    pub(super) vcs: VcMap,
     pub(super) rtlink: RtLink,
     pub(super) schedule: SlotSchedule,
     /// `(slot, owner) → flow semantic` for every scheduled flow.
     pub(super) flow_kinds: HashMap<(usize, NodeId), FlowKind>,
-    pub(super) vc: VirtualComponent,
+    /// One Virtual Component record per hosted loop, indexed by `VcId`.
+    pub(super) components: Vec<VirtualComponent>,
     pub(super) rng: SimRng,
     pub(super) trace: Trace,
     pub(super) queue: EventQueue<Ev>,
@@ -63,11 +67,15 @@ pub struct Engine {
 
     pub(super) series: HashMap<String, TimeSeries>,
     pub(super) mode_series: Vec<(NodeId, TimeSeries)>,
+    /// Per-VC per-cycle regulation-error traces (`Err.<loop>` series):
+    /// `(pv tag, setpoint, series)`, indexed by `VcId`.
+    pub(super) err_series: Vec<(String, f64, TimeSeries)>,
     /// Radio energy meters per node.
     pub(super) meters: HashMap<NodeId, EnergyMeter>,
-    pub(super) e2e: Vec<SimDuration>,
-    pub(super) deadline_misses: usize,
-    pub(super) actuations: usize,
+    /// Per-VC QoS tallies, indexed by `VcId` — the single source of
+    /// truth; the global `RunResult` counters are derived from these at
+    /// the end of the run.
+    pub(super) vc_stats: Vec<VcRunStats>,
 }
 
 impl Engine {
@@ -77,16 +85,30 @@ impl Engine {
         &self.schedule
     }
 
-    /// The virtual component (for inspection/tests).
+    /// VC 0's component record (for inspection/tests; see
+    /// [`Engine::components`] for the whole pool).
     #[must_use]
     pub fn component(&self) -> &VirtualComponent {
-        &self.vc
+        &self.components[0]
     }
 
-    /// The role-resolved addressing (for inspection/tests).
+    /// Every hosted Virtual Component's record, indexed by `VcId`.
+    #[must_use]
+    pub fn components(&self) -> &[VirtualComponent] {
+        &self.components
+    }
+
+    /// VC 0's role-resolved addressing (for inspection/tests; see
+    /// [`Engine::vc_map`] for all VCs).
     #[must_use]
     pub fn roles(&self) -> &RoleMap {
-        &self.roles
+        self.vcs.vc(0)
+    }
+
+    /// Role-resolved addressing for every hosted VC.
+    #[must_use]
+    pub fn vc_map(&self) -> &VcMap {
+        &self.vcs
     }
 
     /// The physical topology (for inspection/tests).
@@ -115,7 +137,9 @@ impl Engine {
             self.now = t;
             self.handle(ev);
             debug_assert!(
-                self.vc.invariant_single_active(),
+                self.components
+                    .iter()
+                    .all(VirtualComponent::invariant_single_active),
                 "single-active invariant violated at {t}"
             );
         }
@@ -148,7 +172,8 @@ impl Engine {
                 seed: self.scenario.seed,
                 duration: self.scenario.duration,
                 nodes: self.topology.nodes().len(),
-                controllers: self.roles.controllers.len(),
+                controllers: self.vcs.vcs.iter().map(|r| r.controllers.len()).sum(),
+                vcs: self.vcs.n_vcs(),
             },
             series: self
                 .series
@@ -158,12 +183,22 @@ impl Engine {
                         .into_iter()
                         .map(|(_, s)| (s.name().to_string(), s)),
                 )
+                .chain(
+                    self.err_series
+                        .into_iter()
+                        .map(|(_, _, s)| (s.name().to_string(), s)),
+                )
                 .collect(),
             trace: self.trace,
-            e2e_latencies: self.e2e,
-            deadline_misses: self.deadline_misses,
-            actuations: self.actuations,
+            e2e_latencies: self
+                .vc_stats
+                .iter()
+                .flat_map(|s| s.e2e_latencies.iter().copied())
+                .collect(),
+            deadline_misses: self.vc_stats.iter().map(|s| s.deadline_misses).sum(),
+            actuations: self.vc_stats.iter().map(|s| s.actuations).sum(),
             node_energy,
+            vc_stats: self.vc_stats,
         }
     }
 
@@ -193,7 +228,7 @@ impl Engine {
                 now: self.now,
                 id,
                 label: &label,
-                roles: &self.roles,
+                vcs: &self.vcs,
                 rng: &mut self.rng,
                 trace: &mut self.trace,
                 plant: &mut self.plant,
@@ -215,14 +250,15 @@ impl Engine {
     fn apply_effect(&mut self, effect: Effect) {
         match effect {
             Effect::Alert { suspect, observer } => self.head_on_alert(suspect, observer),
-            Effect::Actuated { pv_sampled_at } => {
+            Effect::Actuated { vc, pv_sampled_at } => {
                 let e2e = self.now.saturating_since(pv_sampled_at);
                 let deadline = self.rtlink.config().cycle_duration() / 3;
+                let stats = &mut self.vc_stats[vc as usize];
                 if e2e > deadline {
-                    self.deadline_misses += 1;
+                    stats.deadline_misses += 1;
                 }
-                self.e2e.push(e2e);
-                self.actuations += 1;
+                stats.e2e_latencies.push(e2e);
+                stats.actuations += 1;
             }
         }
     }
@@ -240,7 +276,7 @@ impl Engine {
             }
             Ev::InjectFault => self.on_inject_fault(),
             Ev::InjectBackupFault => self.on_inject_backup_fault(),
-            Ev::CrashPrimary => self.on_crash_primary(),
+            Ev::CrashPrimary { vc } => self.on_crash_primary(vc),
             Ev::HeadDecision { suspect } => self.on_head_decision(suspect),
             Ev::MigrationDone { target, suspect } => self.on_migration_done(target, suspect),
             Ev::DormantDemote { target } => self.on_dormant_demote(target),
@@ -348,8 +384,9 @@ impl Engine {
             .push(self.now + self.scenario.rtlink.slot_duration, Ev::Slot);
     }
 
-    /// Cycle-boundary housekeeping: sync reception energy and per-node
-    /// cycle hooks (heartbeat silence checks).
+    /// Cycle-boundary housekeeping: sync reception energy, per-node cycle
+    /// hooks (heartbeat silence checks), and the per-VC per-cycle
+    /// regulation-error samples.
     fn on_cycle_start(&mut self) {
         let sync = self.scenario.rtlink.sync_listen;
         let ids: Vec<NodeId> = self.registry.ids().to_vec();
@@ -363,6 +400,15 @@ impl Engine {
         for id in ids {
             if self.alive(id) {
                 self.dispatch(id, |n, ctx| n.on_cycle_start(ctx));
+            }
+        }
+        // One regulation-error sample per VC per RT-Link cycle — the
+        // per-cycle error trace the multi-VC isolation contract is pinned
+        // on (a fault in one VC must leave every other VC's trace
+        // byte-identical).
+        for (pv_tag, setpoint, series) in &mut self.err_series {
+            if let Some(pv) = self.plant.read_tag(pv_tag) {
+                series.push(self.now, pv - *setpoint);
             }
         }
     }

@@ -1,12 +1,14 @@
 //! The fault plane: injections, head-side arbitration, migration and
-//! failover commits.
+//! failover commits — all keyed by Virtual Component.
 //!
 //! Backups compute the same capsule on the same PV stream and feed
 //! deviation detectors with (active output, own output) pairs; a confirmed
-//! run of anomalies raises an alert to the head, which arbitrates over the
-//! surviving replicas — with a global view standing in for the members'
-//! health publications — and commits the reconfiguration at its epoch
-//! boundary: the paper's Fig. 6(b) machinery, over arbitrary topologies.
+//! run of anomalies raises an alert to the VC's head, which arbitrates
+//! over that VC's surviving replicas — with a global view standing in for
+//! the members' health publications — and commits the reconfiguration at
+//! its epoch boundary: the paper's Fig. 6(b) machinery, over arbitrary
+//! topologies and any number of concurrent VCs. A failover in one VC
+//! never touches another VC's records, detectors or actuation gates.
 
 use evm_netsim::{Battery, EnergyMeter, NodeId};
 
@@ -14,12 +16,13 @@ use crate::arbitration::{select_master, Candidate};
 use crate::migration::{execute_migration, MigrationPlan};
 use crate::roles::ControllerMode;
 use crate::runtime::driver::{Engine, Ev};
+use crate::runtime::topo::VcId;
 use crate::runtime::Message;
 
 impl Engine {
     pub(super) fn on_inject_fault(&mut self) {
         if let Some((_, fault)) = self.scenario.fault {
-            let primary = self.roles.primary();
+            let primary = self.vcs.vc(0).primary();
             if let Some(c) = self.registry.controller_mut(primary) {
                 c.fault = Some((self.now, fault));
             }
@@ -30,7 +33,7 @@ impl Engine {
     }
 
     pub(super) fn on_inject_backup_fault(&mut self) {
-        let Some(&backup) = self.roles.controllers.get(1) else {
+        let Some(&backup) = self.vcs.vc(0).controllers.get(1) else {
             return;
         };
         if let Some((_, fault)) = self.scenario.backup_fault {
@@ -43,8 +46,8 @@ impl Engine {
         }
     }
 
-    pub(super) fn on_crash_primary(&mut self) {
-        let primary = self.roles.primary();
+    pub(super) fn on_crash_primary(&mut self, vc: VcId) {
+        let primary = self.vcs.vc(vc).primary();
         self.scenario
             .fault_plan
             .add_crash(evm_netsim::NodeCrash::permanent(primary, self.now));
@@ -53,10 +56,13 @@ impl Engine {
             .log(self.now, "fault", format!("{label} crashed"));
     }
 
-    /// Head-side alert handling: schedule the reconfiguration decision at
-    /// the next epoch boundary.
+    /// Head-side alert handling for the suspect's VC: schedule the
+    /// reconfiguration decision at the next epoch boundary.
     pub(super) fn head_on_alert(&mut self, suspect: NodeId, observer: NodeId) {
-        let Some(head) = self.roles.head else {
+        let Some(vc) = self.vcs.vc_of_controller(suspect) else {
+            return;
+        };
+        let Some(head) = self.vcs.vc(vc).head else {
             return;
         };
         let Some(plane) = self.registry.head_plane_mut(head) else {
@@ -65,10 +71,10 @@ impl Engine {
         if plane.decision_pending {
             return;
         }
-        // Only the controller the component believes is Active can be the
+        // Only the controller its component believes is Active can be the
         // subject of a failover (stale alerts from the switchover window
         // are dropped here).
-        if self.vc.active_controller() != Some(suspect) {
+        if self.components[vc as usize].active_controller() != Some(suspect) {
             return;
         }
         if let Some(plane) = self.registry.head_plane_mut(head) {
@@ -89,7 +95,10 @@ impl Engine {
     }
 
     pub(super) fn on_head_decision(&mut self, suspect: NodeId) {
-        let Some(head) = self.roles.head else {
+        let Some(vc) = self.vcs.vc_of_controller(suspect) else {
+            return;
+        };
+        let Some(head) = self.vcs.vc(vc).head else {
             return;
         };
         let suspected = {
@@ -101,10 +110,11 @@ impl Engine {
             }
             plane.suspected.clone()
         };
-        // Arbitration over the surviving, unsuspected controller replicas
-        // (deterministic order: the role map's controller precedence).
+        // Arbitration over the VC's surviving, unsuspected controller
+        // replicas (deterministic order: the role map's precedence).
         let candidates: Vec<Candidate> = self
-            .roles
+            .vcs
+            .vc(vc)
             .controllers
             .iter()
             .filter(|&&id| id != suspect && !suspected.contains(&id))
@@ -125,17 +135,21 @@ impl Engine {
             .collect();
         let Some(target) = select_master(&candidates) else {
             // §3.1.2 health-assessment response: LocalFailSafe. Demote the
-            // suspect and drive the actuator to its safe position.
+            // suspect and drive the VC's actuator to its safe position.
             self.trace
                 .log(self.now, "vc", "no viable master; engaging fail-safe");
-            let _ = self.vc.set_mode(suspect, ControllerMode::Indicator);
+            let _ = self.components[vc as usize].set_mode(suspect, ControllerMode::Indicator);
             let fail_safe = self.scenario.fail_safe_value;
             if let Some(plane) = self.registry.head_plane_mut(head) {
                 plane.push_cmd(Message::Reconfig {
+                    vc,
                     promote: None,
                     demote: Some((suspect, ControllerMode::Indicator)),
                 });
-                plane.push_cmd(Message::FailSafe { value: fail_safe });
+                plane.push_cmd(Message::FailSafe {
+                    vc,
+                    value: fail_safe,
+                });
                 plane.decision_pending = false;
             }
             return;
@@ -191,7 +205,11 @@ impl Engine {
         if !admitted {
             self.trace
                 .log(self.now, "migration", format!("{target} refused admission"));
-            if let Some(head) = self.roles.head {
+            let head = self
+                .vcs
+                .vc_of_controller(target)
+                .and_then(|vc| self.vcs.vc(vc).head);
+            if let Some(head) = head {
                 if let Some(plane) = self.registry.head_plane_mut(head) {
                     plane.decision_pending = false;
                 }
@@ -213,14 +231,19 @@ impl Engine {
     }
 
     pub(super) fn commit_failover(&mut self, target: NodeId, suspect: NodeId) {
-        // Head's authoritative VC view: demote first, then promote.
-        let _ = self.vc.set_mode(suspect, ControllerMode::Backup);
-        let _ = self.vc.set_mode(target, ControllerMode::Active);
-        let Some(head) = self.roles.head else {
+        let Some(vc) = self.vcs.vc_of_controller(target) else {
+            return;
+        };
+        // The VC head's authoritative view: demote first, then promote.
+        let record = &mut self.components[vc as usize];
+        let _ = record.set_mode(suspect, ControllerMode::Backup);
+        let _ = record.set_mode(target, ControllerMode::Active);
+        let Some(head) = self.vcs.vc(vc).head else {
             return;
         };
         if let Some(plane) = self.registry.head_plane_mut(head) {
             plane.push_cmd(Message::Reconfig {
+                vc,
                 promote: Some(target),
                 demote: Some((suspect, ControllerMode::Backup)),
             });
@@ -229,12 +252,13 @@ impl Engine {
         // The head applies its own commit immediately (it never hears its
         // own broadcast): the monitor re-aims at the new Active.
         let now = self.now;
+        let head_label = self.label_of(head);
         if let Some(monitor) = self.registry.controller_mut(head) {
             monitor.apply_reconfig(
                 Some(target),
                 Some((suspect, ControllerMode::Backup)),
                 now,
-                "Head",
+                &head_label,
                 &mut self.trace,
             );
         }
@@ -250,10 +274,14 @@ impl Engine {
     }
 
     pub(super) fn on_dormant_demote(&mut self, target: NodeId) {
-        let _ = self.vc.set_mode(target, ControllerMode::Dormant);
-        if let Some(head) = self.roles.head {
+        let Some(vc) = self.vcs.vc_of_controller(target) else {
+            return;
+        };
+        let _ = self.components[vc as usize].set_mode(target, ControllerMode::Dormant);
+        if let Some(head) = self.vcs.vc(vc).head {
             if let Some(plane) = self.registry.head_plane_mut(head) {
                 plane.push_cmd(Message::Reconfig {
+                    vc,
                     promote: None,
                     demote: Some((target, ControllerMode::Dormant)),
                 });

@@ -4,14 +4,20 @@ use evm_netsim::NodeId;
 use evm_sim::SimTime;
 
 use crate::roles::ControllerMode;
+use crate::runtime::topo::VcId;
 
-/// Frames exchanged between nodes.
+/// Frames exchanged between nodes. Every frame names the Virtual
+/// Component it belongs to where the receiver could not otherwise tell —
+/// the shared gateway (and any cross-subscribed listener) demultiplexes
+/// on it, so several VCs share one RT-Link cycle without cross-talk.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Message {
     /// A plant value for a sensor node (HIL downlink) or a published PV.
     SensorValue {
-        /// Which signal this is: 0 = the focus PV (e.g. the LTS level),
-        /// 1.. = monitoring flows published by additional sensors.
+        /// The Virtual Component the signal belongs to.
+        vc: VcId,
+        /// Which signal this is: 0 = the VC's focus PV (e.g. the LTS
+        /// level), 1.. = monitoring flows published by additional sensors.
         tag: u8,
         /// Engineering value.
         value: f64,
@@ -20,6 +26,8 @@ pub enum Message {
     },
     /// A controller's computed output (also its health publication).
     ControlOutput {
+        /// The computing controller's Virtual Component.
+        vc: VcId,
         /// The computing controller.
         from: NodeId,
         /// The output value (post-fault for a faulty controller).
@@ -27,15 +35,17 @@ pub enum Message {
         /// Timestamp of the PV this output responds to.
         pv_sampled_at: SimTime,
     },
-    /// Backup's confirmed-fault report to the head.
+    /// Backup's confirmed-fault report to its VC's head.
     FaultAlert {
         /// The suspected node.
         suspect: NodeId,
         /// The reporting observer.
         observer: NodeId,
     },
-    /// Head's atomic reconfiguration command.
+    /// Head's atomic reconfiguration command for its VC.
     Reconfig {
+        /// The reconfigured Virtual Component.
+        vc: VcId,
         /// Controller to promote to Active, if any.
         promote: Option<NodeId>,
         /// Controller to demote and its new mode, if any.
@@ -48,14 +58,18 @@ pub enum Message {
         /// The sending controller.
         from: NodeId,
     },
-    /// Head's order to drive the actuator to its fail-safe position
+    /// Head's order to drive its VC's actuator to the fail-safe position
     /// (no viable master remains).
     FailSafe {
+        /// The failing Virtual Component.
+        vc: VcId,
         /// The safe actuator value.
         value: f64,
     },
     /// Actuator's forward of an accepted command to the gateway.
     ActuateFwd {
+        /// The actuating Virtual Component (selects the plant register).
+        vc: VcId,
         /// The actuator value.
         value: f64,
         /// PV timestamp carried through for latency accounting.
@@ -64,7 +78,9 @@ pub enum Message {
 }
 
 impl Message {
-    /// Approximate MAC payload size, bytes (drives airtime).
+    /// Approximate MAC payload size, bytes (drives airtime). The VC tag
+    /// rides in header bits that were already budgeted, so sizes match
+    /// the single-VC frames exactly.
     pub(crate) fn payload_bytes(&self) -> usize {
         match self {
             Message::SensorValue { .. } => 12,

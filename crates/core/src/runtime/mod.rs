@@ -35,7 +35,10 @@ pub use behavior::{Effect, NodeBehavior, NodeCtx, Timer};
 pub use driver::Engine;
 pub use messages::Message;
 pub use scenario::{Scenario, ScenarioBuilder};
-pub use topo::{synth_flows, FlowKind, NodeSpec, Role, RoleMap, TopologySpec};
+pub use topo::{
+    monitor_register, synth_flows, FlowKind, NodeSpec, Role, RoleMap, TopologyError, TopologySpec,
+    VcId, VcMap, MAX_VCS,
+};
 
 /// Well-known node ids of the paper's Fig. 5 testbed.
 ///

@@ -5,7 +5,7 @@ use evm_netsim::{ChannelConfig, FaultPlan};
 use evm_plant::{ActuatorFault, ControlLoopSpec};
 use evm_sim::{SimDuration, SimTime};
 
-use crate::runtime::topo::TopologySpec;
+use crate::runtime::topo::{TopologySpec, VcId, MAX_VCS};
 
 /// A fully specified co-simulation run.
 #[derive(Debug, Clone)]
@@ -24,8 +24,12 @@ pub struct Scenario {
     pub rtlink: RtLinkConfig,
     /// Radio channel parameters.
     pub channel: ChannelConfig,
-    /// The focus control loop hosted on the EVM nodes.
+    /// The focus control loop hosted on VC 0's EVM nodes.
     pub focus_loop: ControlLoopSpec,
+    /// Loops hosted by VCs `1..` (empty for a single-VC deployment). The
+    /// count must match the topology's VC count; `[focus_loop] +
+    /// extra_vc_loops` is the full hosting manifest, indexed by `VcId`.
+    pub extra_vc_loops: Vec<ControlLoopSpec>,
     /// Deviation-detector threshold (output units).
     pub detect_threshold: f64,
     /// Consecutive anomalies to confirm a fault.
@@ -42,15 +46,17 @@ pub struct Scenario {
     /// that a burst of frame losses is not mistaken for a crash: at loss
     /// rate p the false-alarm rate per cycle is p^n.
     pub heartbeat_cycles: u64,
-    /// Scripted controller fault on the primary.
+    /// Scripted controller fault on VC 0's primary.
     pub fault: Option<(SimTime, ActuatorFault)>,
-    /// Scripted controller fault on the *first backup* (double-fault runs).
+    /// Scripted controller fault on VC 0's *first backup* (double-fault
+    /// runs).
     pub backup_fault: Option<(SimTime, ActuatorFault)>,
     /// Actuator value driven when no viable master remains (the
     /// `LocalFailSafe` response; fail-closed for the LTS valve).
     pub fail_safe_value: f64,
-    /// Scripted crash of the primary node (alternative failure mode).
-    pub primary_crash: Option<SimTime>,
+    /// Scripted primary-node crashes, per targeted VC (alternative
+    /// failure mode).
+    pub primary_crashes: Vec<(VcId, SimTime)>,
     /// Extra Bernoulli loss applied to every link (E14 sweeps this).
     pub extra_loss: f64,
     /// Gaussian measurement noise added at the gateway's sensor reads
@@ -86,6 +92,7 @@ impl Scenario {
             rtlink: RtLinkConfig::default(),
             channel: ChannelConfig::default(),
             focus_loop: evm_plant::lts_level_loop(),
+            extra_vc_loops: Vec::new(),
             detect_threshold: 5.0,
             detect_consecutive: 3,
             reconfig_epoch: SimDuration::from_secs(300),
@@ -95,7 +102,7 @@ impl Scenario {
             fault: None,
             backup_fault: None,
             fail_safe_value: 0.0,
-            primary_crash: None,
+            primary_crashes: Vec::new(),
             extra_loss: 0.0,
             sensor_noise_std: 0.0,
             fault_plan: FaultPlan::none(),
@@ -114,6 +121,67 @@ impl Scenario {
     #[must_use]
     pub fn fig5() -> Self {
         Scenario::baseline()
+    }
+
+    /// Number of Virtual Components this scenario hosts.
+    #[must_use]
+    pub fn n_vcs(&self) -> usize {
+        1 + self.extra_vc_loops.len()
+    }
+
+    /// The loop hosted by VC `vc` (0 = the focus loop).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vc` is out of range.
+    #[must_use]
+    pub fn vc_loop(&self, vc: VcId) -> &ControlLoopSpec {
+        if vc == 0 {
+            &self.focus_loop
+        } else {
+            &self.extra_vc_loops[vc as usize - 1]
+        }
+    }
+
+    /// Re-derives the hosting manifest for an `n`-VC deployment: VC 0
+    /// keeps [`Scenario::focus_loop`]; VCs `1..n` take the next loops of
+    /// the canonical [`evm_plant::vc_host_loops`] order (skipping the
+    /// focus loop), and every hosted PV tag is added to
+    /// [`Scenario::sampled_tags`]. Re-hosting owns the extra loops' PV
+    /// tags: tags the outgoing manifest added are dropped first, so
+    /// shrinking the pool leaves no phantom series behind — and scripted
+    /// primary crashes targeting VCs the new pool no longer hosts are
+    /// dropped with them (a fault can only apply where its VC exists, so
+    /// a `vcs` sweep axis never builds a cell that would abort
+    /// mid-batch). Does **not** touch the topology — the builder and the
+    /// sweep grid pair this with [`TopologySpec::multi_star`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is outside `1..=MAX_VCS`.
+    pub fn host_vcs(&mut self, n: usize) {
+        assert!(
+            (1..=MAX_VCS).contains(&n),
+            "vc count out of 1..={MAX_VCS}: {n}"
+        );
+        let outgoing: Vec<String> = self
+            .extra_vc_loops
+            .iter()
+            .map(|l| l.pv_tag.clone())
+            .collect();
+        self.sampled_tags.retain(|t| !outgoing.contains(t));
+        self.extra_vc_loops = evm_plant::vc_host_loops()
+            .into_iter()
+            .filter(|l| l.name != self.focus_loop.name)
+            .take(n - 1)
+            .collect();
+        for vc in 0..n {
+            let tag = self.vc_loop(vc as VcId).pv_tag.clone();
+            if !self.sampled_tags.contains(&tag) {
+                self.sampled_tags.push(tag);
+            }
+        }
+        self.primary_crashes.retain(|&(vc, _)| (vc as usize) < n);
     }
 
     /// The paper's Fig. 6b scenario: the primary sticks at 75 % at
@@ -140,6 +208,7 @@ impl Scenario {
 /// Star-topology knobs accumulated by the builder DSL.
 #[derive(Debug, Clone)]
 struct StarParams {
+    vcs: usize,
     sensors: usize,
     controllers: usize,
     actuators: usize,
@@ -151,6 +220,7 @@ impl StarParams {
     /// The Fig. 5 parameter set.
     fn fig5() -> Self {
         StarParams {
+            vcs: 1,
             sensors: 2,
             controllers: 2,
             actuators: 1,
@@ -197,8 +267,27 @@ impl ScenarioBuilder {
             .head(false)
     }
 
-    /// Sets the number of sensor nodes (≥ 1; sensor 1 carries the focus
-    /// PV, the rest publish monitoring flows).
+    /// Sets the number of Virtual Components hosted on the shared cycle
+    /// (1..=8). Each VC gets the full star role set (`sensors`,
+    /// `controllers`, …); VC 0 hosts the focus loop and VCs `1..` host
+    /// the next loops of the canonical [`evm_plant::vc_host_loops`]
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is outside `1..=MAX_VCS`.
+    #[must_use]
+    pub fn vcs(mut self, n: usize) -> Self {
+        assert!(
+            (1..=MAX_VCS).contains(&n),
+            "vc count out of 1..={MAX_VCS}: {n}"
+        );
+        self.star.vcs = n;
+        self
+    }
+
+    /// Sets the number of sensor nodes per VC (≥ 1; sensor 1 carries the
+    /// focus PV, the rest publish monitoring flows).
     #[must_use]
     pub fn sensors(mut self, n: usize) -> Self {
         self.star.sensors = n;
@@ -270,10 +359,16 @@ impl ScenarioBuilder {
         self
     }
 
-    /// Crashes the primary node at `at`.
+    /// Crashes VC 0's primary node at `at`.
     #[must_use]
-    pub fn crash_primary_at(mut self, at: SimTime) -> Self {
-        self.inner.primary_crash = Some(at);
+    pub fn crash_primary_at(self, at: SimTime) -> Self {
+        self.crash_vc_primary_at(0, at)
+    }
+
+    /// Crashes VC `vc`'s primary node at `at` (per-VC fault injection).
+    #[must_use]
+    pub fn crash_vc_primary_at(mut self, vc: u8, at: SimTime) -> Self {
+        self.inner.primary_crashes.push((vc, at));
         self
     }
 
@@ -342,22 +437,35 @@ impl ScenarioBuilder {
     }
 
     /// Finishes the scenario, materializing the star topology unless an
-    /// explicit one was set.
+    /// explicit one was set. `.vcs(n)` with `n > 1` also derives the
+    /// hosting manifest ([`Scenario::host_vcs`]).
     ///
     /// # Panics
     ///
     /// Panics if the star parameters are degenerate (no sensor or no
-    /// controller).
+    /// controller), or a scripted crash targets a VC the star does not
+    /// host.
     #[must_use]
     pub fn build(mut self) -> Scenario {
         if !self.explicit_topology {
-            self.inner.topology = TopologySpec::star(
+            for &(vc, at) in &self.inner.primary_crashes {
+                assert!(
+                    (vc as usize) < self.star.vcs,
+                    "crash at {at} targets VC {vc}, but the star hosts only {} VC(s)",
+                    self.star.vcs,
+                );
+            }
+            self.inner.topology = TopologySpec::multi_star(
+                self.star.vcs,
                 self.star.sensors,
                 self.star.controllers,
                 self.star.actuators,
                 self.star.head,
                 self.star.radius_m,
             );
+            if self.star.vcs != self.inner.n_vcs() {
+                self.inner.host_vcs(self.star.vcs);
+            }
         }
         self.inner
     }
@@ -430,6 +538,81 @@ mod tests {
         let s = ScenarioBuilder::minimal().build();
         assert_eq!(s.topology.nodes.len(), 3);
         assert!(s.topology.nodes.iter().all(|n| n.role != Role::Head));
+    }
+
+    #[test]
+    fn vcs_builder_hosts_canonical_loops() {
+        let s = ScenarioBuilder::star().vcs(3).build();
+        assert_eq!(s.n_vcs(), 3);
+        assert_eq!(s.vc_loop(0).name, "LC-LTS");
+        assert_eq!(s.vc_loop(1).name, "LC-InletSep");
+        assert_eq!(s.vc_loop(2).name, "TC-Chiller");
+        assert_eq!(s.topology.n_vcs(), 3);
+        assert!(s.sampled_tags.contains(&"Chiller.OutletTempK".to_string()));
+        // Single-VC builds stay manifest-free.
+        let solo = ScenarioBuilder::star().build();
+        assert_eq!(solo.n_vcs(), 1);
+        assert!(solo.extra_vc_loops.is_empty());
+    }
+
+    /// The topo-layer focus-register table agrees with the ModBus map for
+    /// every loop of the canonical hosting order (the cross-check engine
+    /// construction enforces per deployment).
+    #[test]
+    fn vc_focus_registers_match_the_canonical_loops() {
+        use crate::runtime::topo::VC_FOCUS_REGISTERS;
+        let regmap = evm_plant::RegisterMap::gas_plant_standard();
+        for (k, l) in evm_plant::vc_host_loops().iter().enumerate() {
+            assert_eq!(
+                regmap.input_register_of(&l.pv_tag),
+                Some(VC_FOCUS_REGISTERS[k]),
+                "{}",
+                l.name
+            );
+            assert!(
+                regmap.holding_register_of(&l.op_tag).is_some(),
+                "{}",
+                l.name
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "vc count out of")]
+    fn bad_vc_count_rejected() {
+        let _ = Scenario::builder().vcs(9);
+    }
+
+    /// Re-hosting a smaller pool drops the outgoing loops' PV tags, so a
+    /// `vcs` sweep axis over a multi-VC template records no phantom
+    /// series and cells stay comparable across template shapes.
+    #[test]
+    fn rehosting_smaller_pool_drops_phantom_tags() {
+        let mut s = ScenarioBuilder::star().vcs(4).build();
+        assert!(s.sampled_tags.contains(&"SalesGas.MolarFlow".to_string()));
+        s.host_vcs(2);
+        assert_eq!(s.n_vcs(), 2);
+        assert!(s.sampled_tags.contains(&"InletSep.LevelPct".to_string()));
+        assert!(!s.sampled_tags.contains(&"SalesGas.MolarFlow".to_string()));
+        assert!(!s.sampled_tags.contains(&"Chiller.OutletTempK".to_string()));
+        // The baseline tags survive untouched.
+        assert!(s.sampled_tags.contains(&"LTS.LiquidPct".to_string()));
+        assert!(s.sampled_tags.contains(&"TowerFeed.MolarFlow".to_string()));
+    }
+
+    /// Scripted crashes follow the pool: shrinking below a crash's
+    /// target VC drops the crash, so a `vcs` sweep axis over a faulted
+    /// multi-VC template never builds a cell that would abort mid-run.
+    #[test]
+    fn rehosting_drops_crashes_on_unhosted_vcs() {
+        let mut s = Scenario::builder()
+            .vcs(2)
+            .crash_vc_primary_at(1, SimTime::from_secs(50))
+            .crash_vc_primary_at(0, SimTime::from_secs(60))
+            .build();
+        assert_eq!(s.primary_crashes.len(), 2);
+        s.host_vcs(1);
+        assert_eq!(s.primary_crashes, vec![(0, SimTime::from_secs(60))]);
     }
 
     #[test]

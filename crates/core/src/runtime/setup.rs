@@ -1,5 +1,6 @@
-//! Engine construction: resolve the topology, synthesize the schedule,
-//! and instantiate one behavior per role.
+//! Engine construction: resolve the topology, synthesize the shared
+//! schedule, and instantiate one behavior per role — per Virtual
+//! Component.
 
 use std::collections::HashMap;
 
@@ -8,8 +9,9 @@ use evm_netsim::{Channel, EnergyMeter, RadioPowerModel};
 use evm_plant::{GasPlant, LocalController, RegisterMap};
 use evm_sim::{EventQueue, SimDuration, SimRng, SimTime, TimeSeries, Trace};
 
-use crate::bytecode::{compile_control_law, control_law_gas_budget, ControlLawSpec};
+use crate::bytecode::{compile_control_law, control_law_gas_budget, ControlLawSpec, Program};
 use crate::component::{MemberInfo, VirtualComponent};
+use crate::metrics::VcRunStats;
 use crate::roles::ControllerMode;
 use crate::runtime::behavior::NodeBehavior;
 use crate::runtime::behaviors::{
@@ -18,29 +20,76 @@ use crate::runtime::behaviors::{
 };
 use crate::runtime::driver::{Engine, Ev};
 use crate::runtime::registry::NodeRegistry;
-use crate::runtime::topo::{synth_flows, FlowKind};
+use crate::runtime::topo::{synth_flows, FlowKind, VcId};
 use crate::runtime::Scenario;
 
-/// The focus loop's actuation holding register (the LTS liquid valve
-/// command in the standard gas-plant map).
-const FOCUS_ACT_REGISTER: u16 = 40002;
+/// Everything VC-specific the node loop below needs, prepared once per VC.
+struct VcPlan {
+    program: Program,
+    gas: u64,
+    params: ReplicaParams,
+    primary: evm_netsim::NodeId,
+    act_register: u16,
+    pv_tag: String,
+    setpoint: f64,
+    loop_name: String,
+}
 
 impl Engine {
     /// Builds the deployment described by the scenario's topology.
     ///
     /// # Panics
     ///
-    /// Panics if the topology is malformed or its flow pipeline cannot be
-    /// scheduled within one RT-Link cycle — configuration errors, not
-    /// runtime conditions.
+    /// Panics if the topology is malformed, its hosting manifest does not
+    /// match the topology's VC count, a scripted fault targets a VC the
+    /// deployment does not host, or its flow pipeline cannot be scheduled
+    /// within one RT-Link cycle — configuration errors, not runtime
+    /// conditions.
     #[must_use]
     pub fn new(scenario: Scenario) -> Self {
+        match Engine::try_new(scenario) {
+            Ok(engine) => engine,
+            Err(e) => panic!("malformed topology spec: {e}"),
+        }
+    }
+
+    /// Like [`Engine::new`], but reports a malformed topology spec as a
+    /// typed [`crate::runtime::TopologyError`] instead of panicking —
+    /// the path batch runners use so one bad cell fails alone instead of
+    /// aborting the whole sweep.
+    ///
+    /// # Errors
+    ///
+    /// Any [`crate::runtime::TopologyError`] from resolving the spec.
+    ///
+    /// # Panics
+    ///
+    /// Scenario-level configuration errors (manifest/VC-count mismatch,
+    /// fault targeting an unhosted VC, unschedulable flow pipeline) still
+    /// panic.
+    pub fn try_new(scenario: Scenario) -> Result<Self, crate::runtime::TopologyError> {
         let mut rng = SimRng::seed_from(scenario.seed);
         let mut channel = Channel::new(scenario.channel.clone(), rng.fork(1));
-        let (topology, roles) = scenario.topology.resolve(&mut channel);
+        let (topology, vcs) = scenario.topology.try_resolve(&mut channel)?;
+        assert_eq!(
+            vcs.n_vcs(),
+            scenario.n_vcs(),
+            "topology hosts {} VC(s) but the scenario's manifest names {} \
+             loop(s); pair `.vcs(n)` / `multi_star` with `Scenario::host_vcs`",
+            vcs.n_vcs(),
+            scenario.n_vcs(),
+        );
+        for &(vc, at) in &scenario.primary_crashes {
+            assert!(
+                (vc as usize) < vcs.n_vcs(),
+                "crash at {at} targets VC {vc}, but the deployment hosts \
+                 only {} VC(s)",
+                vcs.n_vcs(),
+            );
+        }
 
         // --- Schedule synthesis from the role-derived flow pipeline ----
-        let flow_specs = synth_flows(&roles);
+        let flow_specs = synth_flows(&vcs);
         let flows: Vec<_> = flow_specs.iter().map(|(f, _)| f.clone()).collect();
         let (schedule, placed) = SlotSchedule::place_flows(&scenario.rtlink, &topology, &flows)
             .expect("topology flows must schedule");
@@ -50,108 +99,186 @@ impl Engine {
             .map(|((flow, kind), &slot)| ((slot, flow.src), *kind))
             .collect();
 
-        // --- Plant + local (wired) loops for the non-focus loops -------
+        let regmap = RegisterMap::gas_plant_standard();
+
+        // --- Per-VC plans: compiled law, task params, registers --------
+        let plans: Vec<VcPlan> = (0..vcs.n_vcs())
+            .map(|k| {
+                let vc = k as VcId;
+                let spec = scenario.vc_loop(vc);
+                let law = ControlLawSpec::from_loop(spec);
+                let program = compile_control_law(&law);
+                let gas = control_law_gas_budget(&program);
+                // The focus sensor's downlink register must agree with the
+                // loop the VC hosts — a misconfigured manifest is caught
+                // here rather than silently regulating the wrong PV.
+                let pv_register = regmap
+                    .input_register_of(&spec.pv_tag)
+                    .unwrap_or_else(|| panic!("no input register for {}", spec.pv_tag));
+                assert_eq!(
+                    vcs.vc(vc).sensor_registers[0],
+                    pv_register,
+                    "VC {vc}'s focus sensor register does not match the {} loop",
+                    spec.name
+                );
+                let act_register = regmap
+                    .holding_register_of(&spec.op_tag)
+                    .unwrap_or_else(|| panic!("no holding register for {}", spec.op_tag));
+                VcPlan {
+                    program,
+                    gas,
+                    params: ReplicaParams {
+                        detect_threshold: scenario.detect_threshold,
+                        detect_consecutive: scenario.detect_consecutive,
+                        hb_timeout: scenario.rtlink.cycle_duration() * scenario.heartbeat_cycles,
+                        period: SimDuration::from_secs_f64(spec.period_s),
+                        primary: vcs.vc(vc).primary(),
+                    },
+                    primary: vcs.vc(vc).primary(),
+                    act_register,
+                    pv_tag: spec.pv_tag.clone(),
+                    setpoint: spec.setpoint,
+                    loop_name: spec.name.clone(),
+                }
+            })
+            .collect();
+
+        // --- Plant + local (wired) loops for the unhosted loops --------
         let plant = GasPlant::default();
-        let focus_name = scenario.focus_loop.name.clone();
+        let hosted: Vec<String> = plans.iter().map(|p| p.loop_name.clone()).collect();
         let local_loops: Vec<LocalController> = evm_plant::standard_loops()
             .into_iter()
-            .filter(|l| l.name != focus_name)
+            .filter(|l| !hosted.contains(&l.name))
             .map(LocalController::new)
             .collect();
 
         // --- Node behaviors --------------------------------------------
-        let law = ControlLawSpec::from_loop(&scenario.focus_loop);
-        let program = compile_control_law(&law);
-        let gas = control_law_gas_budget(&program);
-        let params = ReplicaParams {
-            detect_threshold: scenario.detect_threshold,
-            detect_consecutive: scenario.detect_consecutive,
-            hb_timeout: scenario.rtlink.cycle_duration() * scenario.heartbeat_cycles,
-            period: SimDuration::from_secs_f64(scenario.focus_loop.period_s),
-        };
-        let primary = roles.primary();
         let b_mode = if scenario.warm_backup {
             ControllerMode::Backup
         } else {
             ControllerMode::Dormant
         };
-
         let mut registry = NodeRegistry::new();
         for info in topology.nodes() {
             let id = info.id;
-            let behavior: Box<dyn NodeBehavior> = if id == roles.gateway {
-                let gate = roles
-                    .actuators
-                    .is_empty()
-                    .then(|| ActuationGate::new(primary));
+            let behavior: Box<dyn NodeBehavior> = if id == vcs.gateway {
+                // One gate per VC without an actuator node: the gateway is
+                // then that VC's actuation endpoint.
+                let gates = vcs
+                    .vcs
+                    .iter()
+                    .map(|r| {
+                        r.actuators
+                            .is_empty()
+                            .then(|| ActuationGate::new(r.primary()))
+                    })
+                    .collect();
+                let act_registers = plans.iter().map(|p| p.act_register).collect();
                 Box::new(GatewayNode::new(
                     scenario.sensor_noise_std,
-                    FOCUS_ACT_REGISTER,
-                    gate,
+                    act_registers,
+                    gates,
                 ))
-            } else if Some(id) == roles.head {
-                // The head always runs a monitor replica of the law: it
+            } else if let Some(vc) = vcs.vc_of_head(id) {
+                // A head always runs a monitor replica of its VC's law: it
                 // observes the data plane and can detect output deviations
                 // itself, which is what makes cold-standby deployments
                 // (no warm backup computing) still fail over.
+                let p = &plans[vc as usize];
                 Box::new(HeadNode::new(ControllerCore::new(
                     id,
+                    vc,
                     ControllerMode::Backup,
                     true,
-                    &program,
-                    gas,
-                    primary,
-                    &params,
+                    &p.program,
+                    p.gas,
+                    &p.params,
                 )))
-            } else if let Some(tag) = roles.sensor_tag(id) {
-                Box::new(SensorNode::new(tag))
-            } else if roles.is_controller(id) {
-                let (mode, hosts_task) = if id == primary {
+            } else if let Some((vc, tag)) = vcs.sensor_of(id) {
+                Box::new(SensorNode::new(vc, tag))
+            } else if let Some(vc) = vcs.vc_of_controller(id) {
+                let p = &plans[vc as usize];
+                let (mode, hosts_task) = if id == p.primary {
                     (ControllerMode::Active, true)
                 } else {
                     (b_mode, scenario.warm_backup)
                 };
                 Box::new(ControllerNode::new(ControllerCore::new(
-                    id, mode, hosts_task, &program, gas, primary, &params,
+                    id, vc, mode, hosts_task, &p.program, p.gas, &p.params,
                 )))
             } else {
-                Box::new(ActuatorNode::new(primary))
+                let vc = vcs
+                    .vc_of_actuator(id)
+                    .expect("node must hold a role in some VC");
+                Box::new(ActuatorNode::new(vc, plans[vc as usize].primary))
             };
             registry.insert(id, behavior);
         }
 
-        // --- Virtual component -----------------------------------------
-        let mut vc = VirtualComponent::new("lts-loop");
-        for n in topology.nodes() {
-            let mode = if n.id == primary {
-                Some(ControllerMode::Active)
-            } else if roles.is_controller(n.id) {
-                Some(b_mode)
-            } else {
-                None
-            };
-            vc.add_member(MemberInfo {
-                node: n.id,
-                kind: n.kind,
-                mode,
-                capsules: vec![],
-            });
-        }
-        if let Some(head) = roles.head {
-            vc.set_head(head);
-        }
+        // --- Virtual components (one record per hosted loop) -----------
+        let components: Vec<VirtualComponent> = vcs
+            .vcs
+            .iter()
+            .map(|roles| {
+                let vc = roles.vc;
+                let mut record = VirtualComponent::new(plans[vc as usize].loop_name.clone());
+                for n in topology.nodes() {
+                    let in_vc = n.id == vcs.gateway
+                        || roles.head == Some(n.id)
+                        || roles.sensors.contains(&n.id)
+                        || roles.controllers.contains(&n.id)
+                        || roles.actuators.contains(&n.id);
+                    if !in_vc {
+                        continue;
+                    }
+                    let mode = if n.id == roles.primary() {
+                        Some(ControllerMode::Active)
+                    } else if roles.is_controller(n.id) {
+                        Some(b_mode)
+                    } else {
+                        None
+                    };
+                    record.add_member(MemberInfo {
+                        node: n.id,
+                        kind: n.kind,
+                        mode,
+                        capsules: vec![],
+                    });
+                }
+                if let Some(head) = roles.head {
+                    record.set_head(head);
+                }
+                record
+            })
+            .collect();
 
         let series = scenario
             .sampled_tags
             .iter()
             .map(|t| (t.clone(), TimeSeries::new(t.clone())))
             .collect();
-        let mode_series = roles
-            .controllers
-            .iter()
-            .map(|&n| {
+        let mode_series = vcs
+            .all_controllers()
+            .map(|(_, n)| {
                 let label = topology.node(n).expect("member").label.clone();
                 (n, TimeSeries::new(format!("Mode.{label}")))
+            })
+            .collect();
+        let err_series = plans
+            .iter()
+            .map(|p| {
+                (
+                    p.pv_tag.clone(),
+                    p.setpoint,
+                    TimeSeries::new(format!("Err.{}", p.loop_name)),
+                )
+            })
+            .collect();
+        let vc_stats = plans
+            .iter()
+            .map(|p| VcRunStats {
+                loop_name: p.loop_name.clone(),
+                ..VcRunStats::default()
             })
             .collect();
         let meters = topology
@@ -162,15 +289,15 @@ impl Engine {
 
         let mut engine = Engine {
             plant,
-            regmap: RegisterMap::gas_plant_standard(),
+            regmap,
             local_loops,
             channel,
             topology,
-            roles,
+            vcs,
             rtlink: RtLink::new(scenario.rtlink.clone()),
             schedule,
             flow_kinds,
-            vc,
+            components,
             rng,
             trace: Trace::new(),
             queue: EventQueue::new(),
@@ -178,12 +305,28 @@ impl Engine {
             registry,
             series,
             mode_series,
+            err_series,
             meters,
-            e2e: Vec::new(),
-            deadline_misses: 0,
-            actuations: 0,
+            vc_stats,
             scenario,
         };
+
+        // Surface monitoring sensors whose register the plant map does
+        // not back (possible past the 11-entry monitor table, where
+        // registers are synthetic-but-unique): their downlinks will stay
+        // empty, which should be visible in the trace, not silent.
+        for roles in &engine.vcs.vcs {
+            for (tag, &reg) in roles.sensor_registers.iter().enumerate().skip(1) {
+                if engine.regmap.tag_of(reg).is_none() {
+                    let label = engine.label_of(roles.sensors[tag]);
+                    engine.trace.log(
+                        SimTime::ZERO,
+                        "config",
+                        format!("monitor {label} reads unmapped register {reg}; flow stays empty"),
+                    );
+                }
+            }
+        }
 
         // Seed events.
         engine.queue.push(SimTime::ZERO, Ev::PlantStep);
@@ -198,9 +341,9 @@ impl Engine {
         if let Some((at, _)) = engine.scenario.backup_fault {
             engine.queue.push(at, Ev::InjectBackupFault);
         }
-        if let Some(at) = engine.scenario.primary_crash {
-            engine.queue.push(at, Ev::CrashPrimary);
+        for &(vc, at) in &engine.scenario.primary_crashes {
+            engine.queue.push(at, Ev::CrashPrimary { vc });
         }
-        engine
+        Ok(engine)
     }
 }

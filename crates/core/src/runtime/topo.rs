@@ -2,32 +2,54 @@
 //!
 //! A [`TopologySpec`] describes the node set of a deployment by *role*
 //! (gateway / sensor / controller / actuator / head) instead of by
-//! well-known node id. The runtime resolves roles into a [`RoleMap`] and
-//! synthesizes the RT-Link flow pipeline from it, so the same engine runs
-//! the paper's seven-node Fig. 5 testbed, a wide star with extra sensors
-//! and controllers, or a degenerate three-node loop without code changes.
+//! well-known node id. The runtime resolves roles into a [`VcMap`] — one
+//! [`RoleMap`] per hosted Virtual Component — and synthesizes the RT-Link
+//! flow pipeline from it, so the same engine runs the paper's seven-node
+//! Fig. 5 testbed, a wide star with extra sensors and controllers, a
+//! degenerate three-node loop, or several concurrent control loops sharing
+//! one gateway and one RT-Link cycle, without code changes.
+//!
+//! # `VcId` addressing convention
+//!
+//! Every non-gateway node belongs to exactly one Virtual Component,
+//! identified by a dense [`VcId`] (`0..n_vcs`). VC `0` is the paper's
+//! focus loop (LC-LTS by default); higher ids host additional plant loops
+//! in the canonical order of [`evm_plant::vc_host_loops`]. Role indices
+//! (sensor tags, controller precedence, actuator index) are *per VC*:
+//! `(vc, Sensor(0))` is VC `vc`'s focus PV sensor. The gateway is shared
+//! by every VC and carries no meaningful VC tag of its own. Frames and
+//! flow semantics carry the `VcId` explicitly, so one shared TDMA cycle
+//! closes every hosted loop without cross-talk.
 
 use evm_mac::rtlink::Flow;
 use evm_netsim::{Channel, NodeId, NodeInfo, NodeKind, Position, Topology};
 
-/// The role a node plays in the control loop.
+/// Identifies one Virtual Component hosted by the deployment (dense,
+/// starting at 0; VC 0 is the focus loop).
+pub type VcId = u8;
+
+/// The largest VC pool one deployment can host — bounded by the eight
+/// plant loops of §4.2 ([`evm_plant::vc_host_loops`]).
+pub const MAX_VCS: usize = 8;
+
+/// The role a node plays in its Virtual Component's control loop.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Role {
     /// ModBus bridge to the plant; origin of HIL downlinks, sink of
-    /// actuation forwards (and the actuation endpoint when the topology
-    /// has no actuator node).
+    /// actuation forwards (and the actuation endpoint for every VC whose
+    /// topology has no actuator node). Shared by all VCs.
     Gateway,
-    /// Publishes one plant signal. Sensor `0` carries the focus PV; higher
-    /// indices are monitoring flows.
+    /// Publishes one plant signal. Sensor `0` carries its VC's focus PV;
+    /// higher indices are monitoring flows.
     Sensor(u8),
-    /// Hosts a replica of the focus control capsule. Controller `0` starts
+    /// Hosts a replica of its VC's control capsule. Controller `0` starts
     /// as the Active primary; higher indices are backups.
     Controller(u8),
-    /// Drives the focus valve from accepted controller outputs. At most
-    /// one per Virtual Component for now — controller outputs address a
-    /// single actuation endpoint.
+    /// Drives its VC's valve from accepted controller outputs. At most
+    /// one per Virtual Component — controller outputs address a single
+    /// actuation endpoint.
     Actuator(u8),
-    /// The Virtual Component's head: arbitration and the control plane.
+    /// A Virtual Component's head: arbitration and the control plane.
     Head,
 }
 
@@ -49,7 +71,10 @@ impl Role {
 pub struct NodeSpec {
     /// Node identity.
     pub id: NodeId,
-    /// Role in the control loop.
+    /// The Virtual Component this node belongs to (ignored for the
+    /// gateway, which serves every VC).
+    pub vc: VcId,
+    /// Role in its VC's control loop.
     pub role: Role,
     /// Human-readable label (used in traces, series names and results).
     pub label: String,
@@ -65,8 +90,37 @@ const MONITOR_REGISTERS: [u16; 11] = [
     30007, 30002, 30003, 30005, 30006, 30004, 30008, 30009, 30010, 30011, 30012,
 ];
 
-/// The focus PV input register (sensor 0).
-const FOCUS_REGISTER: u16 = 30001;
+/// First synthetic input register handed out once [`MONITOR_REGISTERS`]
+/// is exhausted, so monitoring sensors past the table never alias.
+const MONITOR_OVERFLOW_BASE: u16 = 30013;
+
+/// The input register assigned to the `idx`-th monitoring sensor
+/// (0-based; sensor tag `idx + 1`). The first eleven come from the
+/// Fig. 5-calibrated table; beyond it, registers are derived uniquely as
+/// `30013 + k` instead of wrapping around and silently aliasing earlier
+/// monitors.
+#[must_use]
+pub fn monitor_register(idx: usize) -> u16 {
+    match MONITOR_REGISTERS.get(idx) {
+        Some(&r) => r,
+        None => MONITOR_OVERFLOW_BASE + (idx - MONITOR_REGISTERS.len()) as u16,
+    }
+}
+
+/// The focus PV input register of each VC, in canonical VC order. Mirrors
+/// `RegisterMap::gas_plant_standard` for the pv tags of
+/// [`evm_plant::vc_host_loops`] (engine construction cross-checks the
+/// two; see `setup.rs`).
+pub const VC_FOCUS_REGISTERS: [u16; MAX_VCS] = [
+    30001, // LC-LTS: LTS.LiquidPct
+    30002, // LC-InletSep: InletSep.LevelPct
+    30003, // TC-Chiller: Chiller.OutletTempK
+    30004, // FC-SalesGas: SalesGas.MolarFlow
+    30008, // PC-Column: Column.PressureKPa
+    30009, // LC-Sump: Column.SumpLevelPct
+    30010, // LC-RefluxDrum: Column.DrumLevelPct
+    30011, // TC-Tray: Column.TrayTempK
+];
 
 /// A deployment described by roles.
 #[derive(Debug, Clone, PartialEq)]
@@ -83,10 +137,11 @@ impl TopologySpec {
         TopologySpec::star(2, 2, 1, true, 15.0)
     }
 
-    /// A star deployment: the gateway at the origin, all other nodes on a
-    /// ring of `radius_m`. Ring order (and id order) follows the Fig. 5
-    /// convention: focus sensor, controllers, actuators, monitoring
-    /// sensors, head — so `star(2, 2, 1, true, 15.0)` *is* the testbed.
+    /// A single-VC star deployment: the gateway at the origin, all other
+    /// nodes on a ring of `radius_m`. Ring order (and id order) follows
+    /// the Fig. 5 convention: focus sensor, controllers, actuators,
+    /// monitoring sensors, head — so `star(2, 2, 1, true, 15.0)` *is* the
+    /// testbed.
     ///
     /// # Panics
     ///
@@ -99,48 +154,87 @@ impl TopologySpec {
         head: bool,
         radius_m: f64,
     ) -> Self {
+        TopologySpec::multi_star(1, sensors, controllers, actuators, head, radius_m)
+    }
+
+    /// A multi-VC star deployment: one shared gateway at the origin and
+    /// `vcs` Virtual Components, each a full role set (`sensors`,
+    /// `controllers`, `actuators`, `head`) on one shared ring of
+    /// `radius_m`. VC `k`'s nodes occupy a contiguous arc; ids are
+    /// sequential across VCs; VC 0 keeps the legacy labels (`S1`,
+    /// `Ctrl-A`, …) while VC `k > 0` prefixes them with `Vk.`.
+    /// `multi_star(1, ...)` is exactly [`TopologySpec::star`].
+    ///
+    /// Each VC's focus sensor reads that VC's loop PV register
+    /// ([`VC_FOCUS_REGISTERS`]); monitoring sensors draw from the shared
+    /// monitor table ([`monitor_register`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= vcs <= MAX_VCS` and each VC has at least one
+    /// sensor and one controller.
+    #[must_use]
+    pub fn multi_star(
+        vcs: usize,
+        sensors: usize,
+        controllers: usize,
+        actuators: usize,
+        head: bool,
+        radius_m: f64,
+    ) -> Self {
+        assert!(
+            (1..=MAX_VCS).contains(&vcs),
+            "vc count out of 1..={MAX_VCS}: {vcs}"
+        );
         assert!(sensors >= 1, "a control loop needs its focus sensor");
         assert!(controllers >= 1, "a control loop needs a controller");
-        let mut roles: Vec<(Role, String)> = Vec::new();
-        roles.push((Role::Sensor(0), "S1".to_string()));
-        for i in 0..controllers {
-            // Ctrl-A, Ctrl-B, ... (wraps to Ctrl-27 past the alphabet).
-            let label = if i < 26 {
-                format!("Ctrl-{}", char::from(b'A' + i as u8))
+        let mut roles: Vec<(VcId, Role, String)> = Vec::new();
+        for vc in 0..vcs as u8 {
+            let prefix = if vc == 0 {
+                String::new()
             } else {
-                format!("Ctrl-{i}")
+                format!("V{vc}.")
             };
-            roles.push((Role::Controller(i as u8), label));
-        }
-        for i in 0..actuators {
-            roles.push((Role::Actuator(i as u8), format!("A{}", i + 1)));
-        }
-        for i in 1..sensors {
-            roles.push((Role::Sensor(i as u8), format!("S{}", i + 1)));
-        }
-        if head {
-            roles.push((Role::Head, "Head".to_string()));
+            roles.push((vc, Role::Sensor(0), format!("{prefix}S1")));
+            for i in 0..controllers {
+                // Ctrl-A, Ctrl-B, ... (wraps to Ctrl-27 past the alphabet).
+                let label = if i < 26 {
+                    format!("{prefix}Ctrl-{}", char::from(b'A' + i as u8))
+                } else {
+                    format!("{prefix}Ctrl-{i}")
+                };
+                roles.push((vc, Role::Controller(i as u8), label));
+            }
+            for i in 0..actuators {
+                roles.push((vc, Role::Actuator(i as u8), format!("{prefix}A{}", i + 1)));
+            }
+            for i in 1..sensors {
+                roles.push((vc, Role::Sensor(i as u8), format!("{prefix}S{}", i + 1)));
+            }
+            if head {
+                roles.push((vc, Role::Head, format!("{prefix}Head")));
+            }
         }
 
         let ring = roles.len();
         let mut nodes = vec![NodeSpec {
             id: NodeId(0),
+            vc: 0,
             role: Role::Gateway,
             label: "GW".to_string(),
             position: Position::new(0.0, 0.0),
             register: None,
         }];
-        for (i, (role, label)) in roles.into_iter().enumerate() {
+        for (i, (vc, role, label)) in roles.into_iter().enumerate() {
             let angle = 2.0 * std::f64::consts::PI * i as f64 / ring as f64;
             let register = match role {
-                Role::Sensor(0) => Some(FOCUS_REGISTER),
-                Role::Sensor(tag) => {
-                    Some(MONITOR_REGISTERS[(tag as usize - 1) % MONITOR_REGISTERS.len()])
-                }
+                Role::Sensor(0) => Some(VC_FOCUS_REGISTERS[vc as usize]),
+                Role::Sensor(tag) => Some(monitor_register(tag as usize - 1)),
                 _ => None,
             };
             nodes.push(NodeSpec {
                 id: NodeId((i + 1) as u16),
+                vc,
                 role,
                 label,
                 position: Position::new(radius_m * angle.cos(), radius_m * angle.sin()),
@@ -159,46 +253,119 @@ impl TopologySpec {
         TopologySpec::star(1, 1, 0, false, radius_m)
     }
 
-    /// Resolves the spec into the physical [`Topology`] plus the
-    /// [`RoleMap`] used for dispatch.
-    ///
-    /// # Panics
-    ///
-    /// Panics on a malformed spec: no gateway, duplicate ids, duplicate
-    /// role indices, no sensor 0, or no controller 0.
+    /// Number of Virtual Components the spec hosts (1 + highest VC tag).
     #[must_use]
-    pub fn resolve(&self, channel: &mut Channel) -> (Topology, RoleMap) {
+    pub fn n_vcs(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| n.role != Role::Gateway)
+            .map(|n| n.vc as usize + 1)
+            .max()
+            .unwrap_or(1)
+    }
+
+    /// Resolves the spec into the physical [`Topology`] plus the
+    /// [`VcMap`] used for dispatch.
+    ///
+    /// # Errors
+    ///
+    /// [`TopologyError`] on a malformed spec: no gateway, duplicate ids,
+    /// non-contiguous VC or role indices, a missing focus sensor or
+    /// controller, or more than one actuator/head per VC.
+    pub fn try_resolve(&self, channel: &mut Channel) -> Result<(Topology, VcMap), TopologyError> {
+        let map = VcMap::try_from_spec(self)?;
         let infos: Vec<NodeInfo> = self
             .nodes
             .iter()
             .map(|n| NodeInfo::new(n.id, n.role.kind(), n.position, n.label.clone()))
             .collect();
-        {
-            let mut ids: Vec<NodeId> = infos.iter().map(|n| n.id).collect();
-            ids.sort_unstable();
-            ids.dedup();
-            assert_eq!(
-                ids.len(),
-                infos.len(),
-                "duplicate node ids in topology spec"
-            );
-        }
         let topology = Topology::derive(infos, channel);
-        let roles = RoleMap::from_spec(self);
-        (topology, roles)
+        Ok((topology, map))
+    }
+
+    /// Panicking wrapper over [`TopologySpec::try_resolve`] for the
+    /// builder path, where a malformed spec is a configuration error.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any [`TopologyError`].
+    #[must_use]
+    pub fn resolve(&self, channel: &mut Channel) -> (Topology, VcMap) {
+        match self.try_resolve(channel) {
+            Ok(out) => out,
+            Err(e) => panic!("malformed topology spec: {e}"),
+        }
     }
 }
 
-/// Role-resolved addressing: who plays which part, in deterministic order.
-/// This replaces the old engine's hard-coded `nodes::*` constants in every
-/// dispatch decision.
+/// A malformed [`TopologySpec`], reported per cell instead of aborting a
+/// whole sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// No gateway node in the spec.
+    MissingGateway,
+    /// More than one gateway node.
+    DuplicateGateway,
+    /// Two nodes share an id.
+    DuplicateNodeId(NodeId),
+    /// A sensor node has no input register.
+    MissingSensorRegister(NodeId),
+    /// A VC has two head nodes.
+    DuplicateHead(VcId),
+    /// A VC has no sensor 0 (or its sensor tags are not dense `0..n`).
+    NonContiguousSensors(VcId),
+    /// A VC has no controller 0 (or its indices are not dense `0..n`).
+    NonContiguousControllers(VcId),
+    /// A VC has no sensor at all.
+    MissingFocusSensor(VcId),
+    /// A VC has no controller at all.
+    MissingController(VcId),
+    /// A VC has more than one actuator node.
+    MultipleActuators(VcId),
+}
+
+impl std::fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TopologyError::MissingGateway => write!(f, "topology needs a gateway"),
+            TopologyError::DuplicateGateway => write!(f, "two gateways in topology spec"),
+            TopologyError::DuplicateNodeId(n) => write!(f, "duplicate node id {n}"),
+            TopologyError::MissingSensorRegister(n) => {
+                write!(f, "sensor {n} needs an input register")
+            }
+            TopologyError::DuplicateHead(vc) => write!(f, "two heads in VC {vc}"),
+            TopologyError::NonContiguousSensors(vc) => {
+                write!(f, "VC {vc} sensor tags must be 0..n contiguous")
+            }
+            TopologyError::NonContiguousControllers(vc) => {
+                write!(f, "VC {vc} controller indices must be 0..n contiguous")
+            }
+            TopologyError::MissingFocusSensor(vc) => {
+                write!(f, "VC {vc} needs its focus sensor")
+            }
+            TopologyError::MissingController(vc) => write!(f, "VC {vc} needs a controller"),
+            TopologyError::MultipleActuators(vc) => write!(
+                f,
+                "VC {vc} has multiple actuators: controller outputs address a \
+                 single actuation endpoint"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// Role-resolved addressing for **one** Virtual Component: who plays
+/// which part, in deterministic order.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RoleMap {
-    /// The gateway node.
+    /// The Virtual Component this role set belongs to.
+    pub vc: VcId,
+    /// The (shared) gateway node.
     pub gateway: NodeId,
-    /// The head, if the deployment has one.
+    /// The VC's head, if deployed.
     pub head: Option<NodeId>,
-    /// Sensors by tag (index 0 is the focus PV sensor).
+    /// Sensors by tag (index 0 is the VC's focus PV sensor).
     pub sensors: Vec<NodeId>,
     /// Controllers in precedence order (index 0 is the initial primary).
     pub controllers: Vec<NodeId>,
@@ -210,61 +377,6 @@ pub struct RoleMap {
 }
 
 impl RoleMap {
-    fn from_spec(spec: &TopologySpec) -> Self {
-        let mut gateway = None;
-        let mut head = None;
-        let mut sensors: Vec<(u8, NodeId, u16)> = Vec::new();
-        let mut controllers: Vec<(u8, NodeId)> = Vec::new();
-        let mut actuators: Vec<(u8, NodeId)> = Vec::new();
-        for n in &spec.nodes {
-            match n.role {
-                Role::Gateway => {
-                    assert!(gateway.is_none(), "two gateways in topology spec");
-                    gateway = Some(n.id);
-                }
-                Role::Head => {
-                    assert!(head.is_none(), "two heads in topology spec");
-                    head = Some(n.id);
-                }
-                Role::Sensor(tag) => {
-                    let reg = n.register.expect("sensor needs a register");
-                    sensors.push((tag, n.id, reg));
-                }
-                Role::Controller(i) => controllers.push((i, n.id)),
-                Role::Actuator(i) => actuators.push((i, n.id)),
-            }
-        }
-        sensors.sort_by_key(|&(tag, _, _)| tag);
-        controllers.sort_by_key(|&(i, _)| i);
-        actuators.sort_by_key(|&(i, _)| i);
-        for (expect, &(tag, _, _)) in sensors.iter().enumerate() {
-            assert_eq!(tag as usize, expect, "sensor tags must be 0..n contiguous");
-        }
-        for (expect, &(i, _)) in controllers.iter().enumerate() {
-            assert_eq!(
-                i as usize, expect,
-                "controller indices must be 0..n contiguous"
-            );
-        }
-        assert!(!sensors.is_empty(), "topology needs the focus sensor");
-        assert!(!controllers.is_empty(), "topology needs a controller");
-        assert!(
-            actuators.len() <= 1,
-            "multiple actuators per focus loop are not supported yet: \
-             controller outputs address a single actuation endpoint, so \
-             extra actuators would hold dead slots (see ROADMAP multi-VC \
-             scaling)"
-        );
-        RoleMap {
-            gateway: gateway.expect("topology needs a gateway"),
-            head,
-            sensor_registers: sensors.iter().map(|&(_, _, r)| r).collect(),
-            sensors: sensors.into_iter().map(|(_, id, _)| id).collect(),
-            controllers: controllers.into_iter().map(|(_, id)| id).collect(),
-            actuators: actuators.into_iter().map(|(_, id)| id).collect(),
-        }
-    }
-
     /// The initial primary controller.
     #[must_use]
     pub fn primary(&self) -> NodeId {
@@ -272,139 +384,332 @@ impl RoleMap {
     }
 
     /// The node controller outputs are addressed to: the first actuator,
-    /// or the gateway when the deployment has none.
+    /// or the gateway when the VC has none.
     #[must_use]
     pub fn actuation_endpoint(&self) -> NodeId {
         self.actuators.first().copied().unwrap_or(self.gateway)
     }
 
-    /// `true` if `id` is a controller (the head's monitor replica does not
-    /// count).
+    /// `true` if `id` is one of this VC's controllers (the head's monitor
+    /// replica does not count).
     #[must_use]
     pub fn is_controller(&self, id: NodeId) -> bool {
         self.controllers.contains(&id)
     }
 
-    /// The sensor tag of `id`, if it is a sensor.
+    /// The sensor tag of `id` within this VC, if it is a sensor.
     #[must_use]
     pub fn sensor_tag(&self, id: NodeId) -> Option<u8> {
         self.sensors.iter().position(|&s| s == id).map(|i| i as u8)
     }
 }
 
+/// Role-resolved addressing for the whole deployment: one [`RoleMap`] per
+/// hosted Virtual Component plus the shared gateway. This replaces the
+/// old engine's single-VC `RoleMap` in every dispatch decision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VcMap {
+    /// The shared gateway node.
+    pub gateway: NodeId,
+    /// Per-VC role maps, indexed by [`VcId`].
+    pub vcs: Vec<RoleMap>,
+}
+
+impl VcMap {
+    /// Builds the map from a spec, validating it.
+    ///
+    /// # Errors
+    ///
+    /// See [`TopologyError`].
+    pub fn try_from_spec(spec: &TopologySpec) -> Result<Self, TopologyError> {
+        {
+            let mut ids: Vec<NodeId> = spec.nodes.iter().map(|n| n.id).collect();
+            ids.sort_unstable();
+            for w in ids.windows(2) {
+                if w[0] == w[1] {
+                    return Err(TopologyError::DuplicateNodeId(w[0]));
+                }
+            }
+        }
+        let mut gateway = None;
+        for n in &spec.nodes {
+            if n.role == Role::Gateway {
+                if gateway.is_some() {
+                    return Err(TopologyError::DuplicateGateway);
+                }
+                gateway = Some(n.id);
+            }
+        }
+        let gateway = gateway.ok_or(TopologyError::MissingGateway)?;
+
+        let n_vcs = spec.n_vcs();
+        let mut vcs = Vec::with_capacity(n_vcs);
+        for vc in 0..n_vcs as u8 {
+            let mut head = None;
+            let mut sensors: Vec<(u8, NodeId, u16)> = Vec::new();
+            let mut controllers: Vec<(u8, NodeId)> = Vec::new();
+            let mut actuators: Vec<(u8, NodeId)> = Vec::new();
+            for n in spec.nodes.iter().filter(|n| n.vc == vc) {
+                match n.role {
+                    Role::Gateway => continue,
+                    Role::Head => {
+                        if head.is_some() {
+                            return Err(TopologyError::DuplicateHead(vc));
+                        }
+                        head = Some(n.id);
+                    }
+                    Role::Sensor(tag) => {
+                        let reg = n
+                            .register
+                            .ok_or(TopologyError::MissingSensorRegister(n.id))?;
+                        sensors.push((tag, n.id, reg));
+                    }
+                    Role::Controller(i) => controllers.push((i, n.id)),
+                    Role::Actuator(i) => actuators.push((i, n.id)),
+                }
+            }
+            sensors.sort_by_key(|&(tag, _, _)| tag);
+            controllers.sort_by_key(|&(i, _)| i);
+            actuators.sort_by_key(|&(i, _)| i);
+            if sensors.is_empty() {
+                return Err(TopologyError::MissingFocusSensor(vc));
+            }
+            if controllers.is_empty() {
+                return Err(TopologyError::MissingController(vc));
+            }
+            if sensors
+                .iter()
+                .enumerate()
+                .any(|(expect, &(tag, _, _))| tag as usize != expect)
+            {
+                return Err(TopologyError::NonContiguousSensors(vc));
+            }
+            if controllers
+                .iter()
+                .enumerate()
+                .any(|(expect, &(i, _))| i as usize != expect)
+            {
+                return Err(TopologyError::NonContiguousControllers(vc));
+            }
+            if actuators.len() > 1 {
+                return Err(TopologyError::MultipleActuators(vc));
+            }
+            vcs.push(RoleMap {
+                vc,
+                gateway,
+                head,
+                sensor_registers: sensors.iter().map(|&(_, _, r)| r).collect(),
+                sensors: sensors.into_iter().map(|(_, id, _)| id).collect(),
+                controllers: controllers.into_iter().map(|(_, id)| id).collect(),
+                actuators: actuators.into_iter().map(|(_, id)| id).collect(),
+            });
+        }
+        Ok(VcMap { gateway, vcs })
+    }
+
+    /// Panicking wrapper over [`VcMap::try_from_spec`] (builder path).
+    ///
+    /// # Panics
+    ///
+    /// Panics on any [`TopologyError`].
+    #[must_use]
+    pub fn from_spec(spec: &TopologySpec) -> Self {
+        match VcMap::try_from_spec(spec) {
+            Ok(map) => map,
+            Err(e) => panic!("malformed topology spec: {e}"),
+        }
+    }
+
+    /// Number of hosted Virtual Components.
+    #[must_use]
+    pub fn n_vcs(&self) -> usize {
+        self.vcs.len()
+    }
+
+    /// The role map of one VC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vc` is out of range.
+    #[must_use]
+    pub fn vc(&self, vc: VcId) -> &RoleMap {
+        &self.vcs[vc as usize]
+    }
+
+    /// The VC whose controller set contains `id`.
+    #[must_use]
+    pub fn vc_of_controller(&self, id: NodeId) -> Option<VcId> {
+        self.vcs.iter().find(|r| r.is_controller(id)).map(|r| r.vc)
+    }
+
+    /// The `(vc, tag)` of a sensor node.
+    #[must_use]
+    pub fn sensor_of(&self, id: NodeId) -> Option<(VcId, u8)> {
+        self.vcs
+            .iter()
+            .find_map(|r| r.sensor_tag(id).map(|t| (r.vc, t)))
+    }
+
+    /// The VC whose actuator set contains `id`.
+    #[must_use]
+    pub fn vc_of_actuator(&self, id: NodeId) -> Option<VcId> {
+        self.vcs
+            .iter()
+            .find(|r| r.actuators.contains(&id))
+            .map(|r| r.vc)
+    }
+
+    /// The VC headed by `id`.
+    #[must_use]
+    pub fn vc_of_head(&self, id: NodeId) -> Option<VcId> {
+        self.vcs.iter().find(|r| r.head == Some(id)).map(|r| r.vc)
+    }
+
+    /// All controllers across VCs, in `(vc, precedence)` order.
+    pub fn all_controllers(&self) -> impl Iterator<Item = (VcId, NodeId)> + '_ {
+        self.vcs
+            .iter()
+            .flat_map(|r| r.controllers.iter().map(move |&c| (r.vc, c)))
+    }
+}
+
 /// What a slot owner is expected to transmit — the semantic attached to a
 /// scheduled flow. The driver hands this to the owner's behavior, which
-/// decides the concrete [`crate::runtime::Message`].
+/// decides the concrete [`crate::runtime::Message`]. Every variant names
+/// the Virtual Component it serves, because the shared gateway (and the
+/// schedule itself) multiplexes all VCs onto one cycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FlowKind {
-    /// Gateway → sensor: deliver the plant value backing `tag` (the
+    /// Gateway → sensor: deliver the plant value backing `(vc, tag)` (the
     /// hardware-in-the-loop downlink).
     HilDownlink {
+        /// The served Virtual Component.
+        vc: VcId,
         /// The sensor tag served.
         tag: u8,
     },
-    /// Sensor → subscribers: publish the latest value of `tag`.
+    /// Sensor → subscribers: publish the latest value of `(vc, tag)`.
     SensorPublish {
+        /// The publishing Virtual Component.
+        vc: VcId,
         /// The published tag.
         tag: u8,
     },
     /// Controller → actuation endpoint (+observers): output, alert or
     /// keepalive.
-    ControlPublish,
+    ControlPublish {
+        /// The computing Virtual Component.
+        vc: VcId,
+    },
     /// Actuator → gateway: forward the accepted command.
-    ActuateForward,
+    ActuateForward {
+        /// The forwarding Virtual Component.
+        vc: VcId,
+    },
     /// Head → members: the control plane (reconfig / fail-safe commands).
-    ControlPlane,
+    ControlPlane {
+        /// The commanding Virtual Component.
+        vc: VcId,
+    },
 }
 
-/// Synthesizes the pipeline-ordered flow list for a deployment. Each flow
-/// is chained `after` its predecessor, so one control cycle completes
-/// within one RT-Link cycle (objective 5). For the Fig. 5 role set this
-/// reproduces the testbed's eight flows exactly:
+/// Synthesizes the pipeline-ordered flow list for a deployment. Within
+/// each VC every flow is chained `after` its predecessor, so each control
+/// cycle completes within one RT-Link cycle (objective 5); *across* VCs
+/// the chains are independent, which lets `SlotSchedule::place_flows`
+/// interleave them and reuse slots spatially where the topology allows.
+/// For the Fig. 5 role set this reproduces the testbed's eight flows
+/// exactly:
 ///
 /// 1. `GW→S1` downlink, 2. `S1→Ctrl-A` publish (B, head listen), 3./4.
 ///    controller outputs (later controllers and head listen), 5. `A1→GW`
 ///    forward, 6. head control plane, then per monitoring sensor its
 ///    downlink and publish.
 #[must_use]
-pub fn synth_flows(roles: &RoleMap) -> Vec<(Flow, FlowKind)> {
+pub fn synth_flows(map: &VcMap) -> Vec<(Flow, FlowKind)> {
     let mut flows: Vec<(Flow, FlowKind)> = Vec::new();
-    let chain = |flows: &mut Vec<(Flow, FlowKind)>, flow: Flow, kind: FlowKind| {
-        let after = flows.len().checked_sub(1);
-        let flow = match after {
-            Some(i) => flow.after(i),
-            None => flow,
+    for roles in &map.vcs {
+        let vc = roles.vc;
+        // Per-VC chain head: each VC's pipeline is after-chained
+        // independently of every other VC's.
+        let mut last: Option<usize> = None;
+        let mut chain = |flows: &mut Vec<(Flow, FlowKind)>, flow: Flow, kind: FlowKind| {
+            let flow = match last {
+                Some(i) => flow.after(i),
+                None => flow,
+            };
+            last = Some(flows.len());
+            flows.push((flow, kind));
         };
-        flows.push((flow, kind));
-    };
 
-    // Focus PV: downlink then publish to every controller replica.
-    chain(
-        &mut flows,
-        Flow::new(roles.gateway, roles.sensors[0]),
-        FlowKind::HilDownlink { tag: 0 },
-    );
-    let mut pv_listeners: Vec<NodeId> = roles.controllers[1..].to_vec();
-    pv_listeners.extend(roles.head);
-    chain(
-        &mut flows,
-        Flow::new(roles.sensors[0], roles.primary()).with_listeners(pv_listeners),
-        FlowKind::SensorPublish { tag: 0 },
-    );
-
-    // Controller outputs, in precedence order. Later-scheduled replicas
-    // (and the head) observe each output within the same cycle; this is
-    // what feeds the deviation detectors.
-    let endpoint = roles.actuation_endpoint();
-    for (i, &c) in roles.controllers.iter().enumerate() {
-        let mut listeners: Vec<NodeId> = roles.controllers[i + 1..].to_vec();
-        listeners.extend(roles.head);
+        // Focus PV: downlink then publish to every controller replica.
         chain(
             &mut flows,
-            Flow::new(c, endpoint).with_listeners(listeners),
-            FlowKind::ControlPublish,
+            Flow::new(roles.gateway, roles.sensors[0]),
+            FlowKind::HilDownlink { vc, tag: 0 },
         );
-    }
+        let mut pv_listeners: Vec<NodeId> = roles.controllers[1..].to_vec();
+        pv_listeners.extend(roles.head);
+        chain(
+            &mut flows,
+            Flow::new(roles.sensors[0], roles.primary()).with_listeners(pv_listeners),
+            FlowKind::SensorPublish { vc, tag: 0 },
+        );
 
-    // Actuation forwards back to the plant bridge.
-    for &a in &roles.actuators {
-        chain(
-            &mut flows,
-            Flow::new(a, roles.gateway),
-            FlowKind::ActuateForward,
-        );
-    }
+        // Controller outputs, in precedence order. Later-scheduled
+        // replicas (and the head) observe each output within the same
+        // cycle; this is what feeds the deviation detectors.
+        let endpoint = roles.actuation_endpoint();
+        for (i, &c) in roles.controllers.iter().enumerate() {
+            let mut listeners: Vec<NodeId> = roles.controllers[i + 1..].to_vec();
+            listeners.extend(roles.head);
+            chain(
+                &mut flows,
+                Flow::new(c, endpoint).with_listeners(listeners),
+                FlowKind::ControlPublish { vc },
+            );
+        }
 
-    // Control plane: head → first controller, everyone else listens.
-    if let Some(head) = roles.head {
-        let mut listeners: Vec<NodeId> = roles.controllers[1..].to_vec();
-        listeners.extend(roles.actuators.iter().copied());
-        listeners.push(roles.gateway);
-        chain(
-            &mut flows,
-            Flow::new(head, roles.primary()).with_listeners(listeners),
-            FlowKind::ControlPlane,
-        );
-    }
+        // Actuation forwards back to the plant bridge.
+        for &a in &roles.actuators {
+            chain(
+                &mut flows,
+                Flow::new(a, roles.gateway),
+                FlowKind::ActuateForward { vc },
+            );
+        }
 
-    // Monitoring sensors: downlink + publish toward the head (or the
-    // gateway's log when there is no head).
-    for (tag, &s) in roles.sensors.iter().enumerate().skip(1) {
-        let tag = tag as u8;
-        chain(
-            &mut flows,
-            Flow::new(roles.gateway, s),
-            FlowKind::HilDownlink { tag },
-        );
-        let (dst, listeners) = match roles.head {
-            Some(head) => (head, vec![roles.gateway]),
-            None => (roles.gateway, Vec::new()),
-        };
-        chain(
-            &mut flows,
-            Flow::new(s, dst).with_listeners(listeners),
-            FlowKind::SensorPublish { tag },
-        );
+        // Control plane: head → first controller, everyone else listens.
+        if let Some(head) = roles.head {
+            let mut listeners: Vec<NodeId> = roles.controllers[1..].to_vec();
+            listeners.extend(roles.actuators.iter().copied());
+            listeners.push(roles.gateway);
+            chain(
+                &mut flows,
+                Flow::new(head, roles.primary()).with_listeners(listeners),
+                FlowKind::ControlPlane { vc },
+            );
+        }
+
+        // Monitoring sensors: downlink + publish toward the head (or the
+        // gateway's log when there is no head).
+        for (tag, &s) in roles.sensors.iter().enumerate().skip(1) {
+            let tag = tag as u8;
+            chain(
+                &mut flows,
+                Flow::new(roles.gateway, s),
+                FlowKind::HilDownlink { vc, tag },
+            );
+            let (dst, listeners) = match roles.head {
+                Some(head) => (head, vec![roles.gateway]),
+                None => (roles.gateway, Vec::new()),
+            };
+            chain(
+                &mut flows,
+                Flow::new(s, dst).with_listeners(listeners),
+                FlowKind::SensorPublish { vc, tag },
+            );
+        }
     }
     flows
 }
@@ -423,12 +728,14 @@ mod tests {
         assert_eq!(ids, [0, 1, 2, 3, 4, 5, 6]);
         assert_eq!(spec.nodes[1].register, Some(30001));
         assert_eq!(spec.nodes[5].register, Some(30007));
+        assert!(spec.nodes.iter().all(|n| n.vc == 0));
+        assert_eq!(spec.n_vcs(), 1);
     }
 
     #[test]
     fn fig5_flow_synthesis_reproduces_the_eight_testbed_flows() {
-        let roles = RoleMap::from_spec(&TopologySpec::fig5());
-        let flows = synth_flows(&roles);
+        let map = VcMap::from_spec(&TopologySpec::fig5());
+        let flows = synth_flows(&map);
         let as_tuple = |f: &Flow| (f.src.raw(), f.dst.raw(), f.extra_listeners.clone());
         assert_eq!(flows.len(), 8);
         assert_eq!(as_tuple(&flows[0].0), (0, 1, vec![]));
@@ -449,14 +756,16 @@ mod tests {
         }
     }
 
-    /// Golden trace for the 2-sensor / 3-controller / 1-actuator star:
-    /// every flow's (src, dst, listeners) tuple and semantic, not just the
-    /// Fig. 5 role set. Node ids follow the star ring convention: GW=0,
-    /// S1=1, Ctrl-A=2, Ctrl-B=3, Ctrl-C=4, A1=5, S2=6, Head=7.
+    /// The PR 2 golden trace for the 2-sensor / 3-controller / 1-actuator
+    /// star: every flow's (src, dst, listeners) tuple and semantic, not
+    /// just the Fig. 5 role set — byte-identical under the multi-VC
+    /// refactor (all kinds carry `vc: 0`). Node ids follow the star ring
+    /// convention: GW=0, S1=1, Ctrl-A=2, Ctrl-B=3, Ctrl-C=4, A1=5, S2=6,
+    /// Head=7.
     #[test]
     fn golden_flows_for_two_sensor_three_controller_star() {
-        let roles = RoleMap::from_spec(&TopologySpec::star(2, 3, 1, true, 15.0));
-        let flows = synth_flows(&roles);
+        let map = VcMap::from_spec(&TopologySpec::star(2, 3, 1, true, 15.0));
+        let flows = synth_flows(&map);
         let got: Vec<(u16, u16, Vec<u16>, FlowKind)> = flows
             .iter()
             .map(|(f, k)| {
@@ -469,15 +778,20 @@ mod tests {
             })
             .collect();
         let expected: Vec<(u16, u16, Vec<u16>, FlowKind)> = vec![
-            (0, 1, vec![], FlowKind::HilDownlink { tag: 0 }),
-            (1, 2, vec![3, 4, 7], FlowKind::SensorPublish { tag: 0 }),
-            (2, 5, vec![3, 4, 7], FlowKind::ControlPublish),
-            (3, 5, vec![4, 7], FlowKind::ControlPublish),
-            (4, 5, vec![7], FlowKind::ControlPublish),
-            (5, 0, vec![], FlowKind::ActuateForward),
-            (7, 2, vec![3, 4, 5, 0], FlowKind::ControlPlane),
-            (0, 6, vec![], FlowKind::HilDownlink { tag: 1 }),
-            (6, 7, vec![0], FlowKind::SensorPublish { tag: 1 }),
+            (0, 1, vec![], FlowKind::HilDownlink { vc: 0, tag: 0 }),
+            (
+                1,
+                2,
+                vec![3, 4, 7],
+                FlowKind::SensorPublish { vc: 0, tag: 0 },
+            ),
+            (2, 5, vec![3, 4, 7], FlowKind::ControlPublish { vc: 0 }),
+            (3, 5, vec![4, 7], FlowKind::ControlPublish { vc: 0 }),
+            (4, 5, vec![7], FlowKind::ControlPublish { vc: 0 }),
+            (5, 0, vec![], FlowKind::ActuateForward { vc: 0 }),
+            (7, 2, vec![3, 4, 5, 0], FlowKind::ControlPlane { vc: 0 }),
+            (0, 6, vec![], FlowKind::HilDownlink { vc: 0, tag: 1 }),
+            (6, 7, vec![0], FlowKind::SensorPublish { vc: 0, tag: 1 }),
         ];
         assert_eq!(got, expected);
         // The pipeline stays fully chained (one control cycle per RT-Link
@@ -488,31 +802,265 @@ mod tests {
         }
     }
 
+    /// Golden trace for the 2-VC × (1 sensor, 2 controllers, 1 actuator,
+    /// head) star: every `(src, dst, listeners, kind, after)` tuple. Ring
+    /// id order: GW=0, then VC0 {S1=1, Ctrl-A=2, Ctrl-B=3, A1=4, Head=5},
+    /// then VC1 {V1.S1=6, V1.Ctrl-A=7, V1.Ctrl-B=8, V1.A1=9, V1.Head=10}.
+    /// Each VC's chain is after-linked independently: VC1's first flow has
+    /// no predecessor even though it is emitted seventh.
+    type FlowTuple = (u16, u16, Vec<u16>, FlowKind, Option<usize>);
+
+    #[test]
+    fn golden_flows_for_two_vc_star() {
+        let spec = TopologySpec::multi_star(2, 1, 2, 1, true, 15.0);
+        let map = VcMap::from_spec(&spec);
+        assert_eq!(map.n_vcs(), 2);
+        let flows = synth_flows(&map);
+        let got: Vec<FlowTuple> = flows
+            .iter()
+            .map(|(f, k)| {
+                (
+                    f.src.raw(),
+                    f.dst.raw(),
+                    f.extra_listeners.iter().map(|n| n.raw()).collect(),
+                    *k,
+                    f.after,
+                )
+            })
+            .collect();
+        let expected: Vec<FlowTuple> = vec![
+            // --- VC 0 chain -------------------------------------------
+            (0, 1, vec![], FlowKind::HilDownlink { vc: 0, tag: 0 }, None),
+            (
+                1,
+                2,
+                vec![3, 5],
+                FlowKind::SensorPublish { vc: 0, tag: 0 },
+                Some(0),
+            ),
+            (
+                2,
+                4,
+                vec![3, 5],
+                FlowKind::ControlPublish { vc: 0 },
+                Some(1),
+            ),
+            (3, 4, vec![5], FlowKind::ControlPublish { vc: 0 }, Some(2)),
+            (4, 0, vec![], FlowKind::ActuateForward { vc: 0 }, Some(3)),
+            (
+                5,
+                2,
+                vec![3, 4, 0],
+                FlowKind::ControlPlane { vc: 0 },
+                Some(4),
+            ),
+            // --- VC 1 chain (independent of VC 0's) -------------------
+            (0, 6, vec![], FlowKind::HilDownlink { vc: 1, tag: 0 }, None),
+            (
+                6,
+                7,
+                vec![8, 10],
+                FlowKind::SensorPublish { vc: 1, tag: 0 },
+                Some(6),
+            ),
+            (
+                7,
+                9,
+                vec![8, 10],
+                FlowKind::ControlPublish { vc: 1 },
+                Some(7),
+            ),
+            (8, 9, vec![10], FlowKind::ControlPublish { vc: 1 }, Some(8)),
+            (9, 0, vec![], FlowKind::ActuateForward { vc: 1 }, Some(9)),
+            (
+                10,
+                7,
+                vec![8, 9, 0],
+                FlowKind::ControlPlane { vc: 1 },
+                Some(10),
+            ),
+        ];
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn multi_star_vc_focus_registers_and_labels() {
+        let spec = TopologySpec::multi_star(3, 2, 2, 1, true, 15.0);
+        assert_eq!(spec.n_vcs(), 3);
+        let map = VcMap::from_spec(&spec);
+        assert_eq!(map.vc(0).sensor_registers[0], 30001);
+        assert_eq!(map.vc(1).sensor_registers[0], 30002);
+        assert_eq!(map.vc(2).sensor_registers[0], 30003);
+        // VC 1's labels carry the V1. prefix; VC 0 keeps the legacy names.
+        let label_of = |id: NodeId| {
+            spec.nodes
+                .iter()
+                .find(|n| n.id == id)
+                .unwrap()
+                .label
+                .clone()
+        };
+        assert_eq!(label_of(map.vc(0).primary()), "Ctrl-A");
+        assert_eq!(label_of(map.vc(1).primary()), "V1.Ctrl-A");
+        assert_eq!(label_of(map.vc(2).head.unwrap()), "V2.Head");
+        // Reverse lookups agree.
+        assert_eq!(map.vc_of_controller(map.vc(1).controllers[1]), Some(1));
+        assert_eq!(map.sensor_of(map.vc(2).sensors[1]), Some((2, 1)));
+        assert_eq!(map.vc_of_head(map.vc(1).head.unwrap()), Some(1));
+        assert_eq!(map.vc_of_actuator(map.vc(0).actuators[0]), Some(0));
+    }
+
+    #[test]
+    fn single_vc_star_is_multi_star_of_one() {
+        assert_eq!(
+            TopologySpec::star(2, 3, 1, true, 15.0),
+            TopologySpec::multi_star(1, 2, 3, 1, true, 15.0)
+        );
+    }
+
     #[test]
     fn minimal_topology_routes_actuation_through_gateway() {
-        let roles = RoleMap::from_spec(&TopologySpec::minimal(10.0));
+        let map = VcMap::from_spec(&TopologySpec::minimal(10.0));
+        let roles = map.vc(0);
         assert_eq!(roles.actuation_endpoint(), roles.gateway);
         assert!(roles.head.is_none());
-        let flows = synth_flows(&roles);
+        let flows = synth_flows(&map);
         // Downlink, publish, controller output — three flows, no control
         // plane, no forwards.
         assert_eq!(flows.len(), 3);
-        assert_eq!(flows[2].1, FlowKind::ControlPublish);
+        assert_eq!(flows[2].1, FlowKind::ControlPublish { vc: 0 });
         assert_eq!(flows[2].0.dst, roles.gateway);
     }
 
     #[test]
     fn wide_star_flows_scale_with_roles() {
-        let roles = RoleMap::from_spec(&TopologySpec::star(3, 3, 1, true, 15.0));
-        let flows = synth_flows(&roles);
+        let map = VcMap::from_spec(&TopologySpec::star(3, 3, 1, true, 15.0));
+        let flows = synth_flows(&map);
         // 1 downlink + 1 publish + 3 outputs + 1 forward + 1 plane
         // + 2 * (downlink + publish) = 11.
         assert_eq!(flows.len(), 11);
         // The primary's output is observed by both backups and the head.
         let primary_out = flows
             .iter()
-            .find(|(f, k)| *k == FlowKind::ControlPublish && f.src == roles.primary())
+            .find(|(f, k)| {
+                matches!(k, FlowKind::ControlPublish { vc: 0 }) && f.src == map.vc(0).primary()
+            })
             .unwrap();
         assert_eq!(primary_out.0.extra_listeners.len(), 3);
+    }
+
+    /// The wraparound fix: monitoring sensors past the 11-entry table get
+    /// unique synthetic registers instead of silently aliasing earlier
+    /// monitors.
+    #[test]
+    fn monitor_registers_never_alias_past_the_table() {
+        assert_eq!(monitor_register(0), 30007);
+        assert_eq!(monitor_register(10), 30012);
+        assert_eq!(monitor_register(11), 30013);
+        assert_eq!(monitor_register(12), 30014);
+        // A 20-sensor star: one focus + 19 monitors, all registers unique.
+        let spec = TopologySpec::star(20, 1, 0, false, 15.0);
+        let mut regs: Vec<u16> = spec.nodes.iter().filter_map(|n| n.register).collect();
+        assert_eq!(regs.len(), 20);
+        regs.sort_unstable();
+        regs.dedup();
+        assert_eq!(regs.len(), 20, "monitor registers must not alias");
+    }
+
+    #[test]
+    fn malformed_specs_return_typed_errors() {
+        let good = TopologySpec::fig5();
+
+        let mut no_gw = good.clone();
+        no_gw.nodes.retain(|n| n.role != Role::Gateway);
+        assert_eq!(
+            VcMap::try_from_spec(&no_gw),
+            Err(TopologyError::MissingGateway)
+        );
+
+        let mut two_gw = good.clone();
+        let mut extra = two_gw.nodes[0].clone();
+        extra.id = NodeId(99);
+        two_gw.nodes.push(extra);
+        assert_eq!(
+            VcMap::try_from_spec(&two_gw),
+            Err(TopologyError::DuplicateGateway)
+        );
+
+        let mut dup_id = good.clone();
+        dup_id.nodes[2].id = dup_id.nodes[1].id;
+        assert_eq!(
+            VcMap::try_from_spec(&dup_id),
+            Err(TopologyError::DuplicateNodeId(dup_id.nodes[1].id))
+        );
+
+        let mut no_sensor = good.clone();
+        no_sensor
+            .nodes
+            .retain(|n| !matches!(n.role, Role::Sensor(_)));
+        assert_eq!(
+            VcMap::try_from_spec(&no_sensor),
+            Err(TopologyError::MissingFocusSensor(0))
+        );
+
+        let mut no_ctrl = good.clone();
+        no_ctrl
+            .nodes
+            .retain(|n| !matches!(n.role, Role::Controller(_)));
+        assert_eq!(
+            VcMap::try_from_spec(&no_ctrl),
+            Err(TopologyError::MissingController(0))
+        );
+
+        let mut gap = good.clone();
+        for n in &mut gap.nodes {
+            if n.role == Role::Controller(1) {
+                n.role = Role::Controller(2);
+            }
+        }
+        assert_eq!(
+            VcMap::try_from_spec(&gap),
+            Err(TopologyError::NonContiguousControllers(0))
+        );
+
+        let mut two_act = good.clone();
+        two_act.nodes.push(NodeSpec {
+            id: NodeId(42),
+            vc: 0,
+            role: Role::Actuator(1),
+            label: "A2".into(),
+            position: Position::new(1.0, 1.0),
+            register: None,
+        });
+        assert_eq!(
+            VcMap::try_from_spec(&two_act),
+            Err(TopologyError::MultipleActuators(0))
+        );
+
+        let mut no_reg = good.clone();
+        no_reg.nodes[1].register = None;
+        assert_eq!(
+            VcMap::try_from_spec(&no_reg),
+            Err(TopologyError::MissingSensorRegister(no_reg.nodes[1].id))
+        );
+
+        let mut sparse_vc = good;
+        for n in &mut sparse_vc.nodes {
+            if n.role != Role::Gateway {
+                n.vc = 2; // VCs 0 and 1 left unpopulated.
+            }
+        }
+        assert!(matches!(
+            VcMap::try_from_spec(&sparse_vc),
+            Err(TopologyError::MissingFocusSensor(0))
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "malformed topology spec")]
+    fn panicking_wrapper_kept_for_builder_path() {
+        let mut spec = TopologySpec::fig5();
+        spec.nodes.retain(|n| n.role != Role::Gateway);
+        let _ = VcMap::from_spec(&spec);
     }
 }

@@ -35,12 +35,12 @@ fn schedule_is_pipeline_ordered() {
     let e = Engine::new(Scenario::baseline());
     let roles = e.roles().clone();
     let slot = |owner, kind| e.slot_serving(owner, kind).expect("flow scheduled");
-    let gw_s1 = slot(roles.gateway, FlowKind::HilDownlink { tag: 0 });
-    let s1_bcast = slot(roles.sensors[0], FlowKind::SensorPublish { tag: 0 });
-    let a_out = slot(roles.controllers[0], FlowKind::ControlPublish);
-    let b_out = slot(roles.controllers[1], FlowKind::ControlPublish);
-    let act_fwd = slot(roles.actuators[0], FlowKind::ActuateForward);
-    let head_bcast = slot(roles.head.unwrap(), FlowKind::ControlPlane);
+    let gw_s1 = slot(roles.gateway, FlowKind::HilDownlink { vc: 0, tag: 0 });
+    let s1_bcast = slot(roles.sensors[0], FlowKind::SensorPublish { vc: 0, tag: 0 });
+    let a_out = slot(roles.controllers[0], FlowKind::ControlPublish { vc: 0 });
+    let b_out = slot(roles.controllers[1], FlowKind::ControlPublish { vc: 0 });
+    let act_fwd = slot(roles.actuators[0], FlowKind::ActuateForward { vc: 0 });
+    let head_bcast = slot(roles.head.unwrap(), FlowKind::ControlPlane { vc: 0 });
     assert!(gw_s1 < s1_bcast);
     assert!(s1_bcast < a_out);
     assert!(a_out < b_out);

@@ -202,6 +202,15 @@ impl SlotSchedule {
         self.slots.get(&slot).map(Vec::as_slice).unwrap_or(&[])
     }
 
+    /// The highest slot index carrying an assignment — i.e. how much of
+    /// the cycle the schedule actually needs. `None` for an empty
+    /// schedule. Capacity benches report this as the effective cycle
+    /// length when more Virtual Components share one cycle.
+    #[must_use]
+    pub fn max_slot(&self) -> Option<usize> {
+        self.slots.keys().copied().max()
+    }
+
     /// The slots in which `node` transmits.
     #[must_use]
     pub fn owned_slots(&self, node: NodeId) -> Vec<usize> {

@@ -195,6 +195,22 @@ pub fn standard_loops() -> Vec<ControlLoopSpec> {
     ]
 }
 
+/// The canonical order in which Virtual Components host plant loops as
+/// the pool expands on-line (§4.2 capacity expansion): the paper's focus
+/// loop first, then the remaining top-level loops, then the depropanizer
+/// loops. VC `k` of a multi-VC deployment hosts `vc_host_loops()[k]`.
+#[must_use]
+pub fn vc_host_loops() -> Vec<ControlLoopSpec> {
+    let mut loops = standard_loops();
+    let focus = loops
+        .iter()
+        .position(|l| l.name == "LC-LTS")
+        .expect("LC-LTS is a standard loop");
+    let focus = loops.remove(focus);
+    loops.insert(0, focus);
+    loops
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

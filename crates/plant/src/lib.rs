@@ -37,7 +37,9 @@ pub mod pid;
 pub mod stream;
 pub mod thermo;
 
-pub use control::{lts_level_loop, standard_loops, ControlLoopSpec, LocalController};
+pub use control::{
+    lts_level_loop, standard_loops, vc_host_loops, ControlLoopSpec, LocalController,
+};
 pub use faults::ActuatorFault;
 pub use gasplant::{GasPlant, PlantConfig};
 pub use modbus::{ModbusError, RegisterMap};

@@ -100,6 +100,26 @@ impl RegisterMap {
         self.regs.get(&addr).map(|e| e.tag.as_str())
     }
 
+    /// The input (read-only) register publishing `tag`, if mapped —
+    /// lowest address wins when a tag is mapped twice.
+    #[must_use]
+    pub fn input_register_of(&self, tag: &str) -> Option<u16> {
+        self.regs
+            .iter()
+            .find(|(_, e)| !e.writable && e.tag == tag)
+            .map(|(&addr, _)| addr)
+    }
+
+    /// The holding (writable) register commanding `tag`, if mapped —
+    /// lowest address wins when a tag is mapped twice.
+    #[must_use]
+    pub fn holding_register_of(&self, tag: &str) -> Option<u16> {
+        self.regs
+            .iter()
+            .find(|(_, e)| e.writable && e.tag == tag)
+            .map(|(&addr, _)| addr)
+    }
+
     /// Reads a register: fetches the tag, applies scaling, clamps into the
     /// u16 range.
     ///

@@ -12,7 +12,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::thread;
 
-use evm_core::runtime::Engine;
+use evm_core::runtime::{Engine, TopologyError};
 use evm_core::RunResult;
 
 use crate::grid::SweepCell;
@@ -84,6 +84,22 @@ pub fn run_cells(cells: &[SweepCell], threads: usize) -> Vec<RunResult> {
     })
 }
 
+/// Like [`run_cells`], but a cell with a malformed topology reports its
+/// [`TopologyError`] in place instead of panicking the worker — one bad
+/// cell (e.g. a hand-built spec in the template) fails alone and the
+/// rest of the batch completes. `SweepGrid::expand` already rejects
+/// malformed specs up front, so this is the belt for cells built or
+/// mutated outside the grid DSL.
+#[must_use]
+pub fn run_cells_checked(
+    cells: &[SweepCell],
+    threads: usize,
+) -> Vec<Result<RunResult, TopologyError>> {
+    run_indexed(cells, threads, |_, cell| {
+        Engine::try_new(cell.scenario.clone()).map(Engine::run)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -132,5 +148,30 @@ mod tests {
     #[test]
     fn available_threads_is_positive() {
         assert!(available_threads() >= 1);
+    }
+
+    /// One malformed cell reports its typed error in place; the rest of
+    /// the batch still runs (the failure mode `run_cells` would escalate
+    /// into a worker panic).
+    #[test]
+    fn checked_run_reports_bad_cells_in_place() {
+        use evm_core::runtime::{Role, ScenarioBuilder};
+        let template = ScenarioBuilder::minimal()
+            .duration(evm_sim::SimDuration::from_secs(2))
+            .build();
+        let mut cells = crate::grid::SweepGrid::new(template)
+            .over_loss(&[0.0, 0.1])
+            .expand();
+        cells[1]
+            .scenario
+            .topology
+            .nodes
+            .retain(|n| !matches!(n.role, Role::Controller(_)));
+        let out = run_cells_checked(&cells, 2);
+        assert!(out[0].is_ok());
+        assert_eq!(
+            out[1].as_ref().unwrap_err(),
+            &TopologyError::MissingController(0)
+        );
     }
 }

@@ -10,7 +10,7 @@
 //! state — so the work-list is identical no matter who expands it, and
 //! results are reproducible no matter which thread runs which cell.
 
-use evm_core::runtime::{Role, Scenario, TopologySpec};
+use evm_core::runtime::{Role, Scenario, TopologySpec, VcMap};
 use evm_netsim::GilbertElliott;
 use evm_sim::derive_seed;
 
@@ -49,16 +49,22 @@ impl StarShape {
         }
     }
 
-    /// Reads the shape off an existing topology spec (for grids that keep
-    /// the template's topology).
+    /// Reads the per-VC shape off an existing topology spec (for grids
+    /// that keep the template's topology): VC 0's role counts, which for
+    /// the symmetric multi-VC stars is every VC's shape.
     #[must_use]
     pub fn of_spec(spec: &TopologySpec) -> Self {
-        let count = |pred: fn(&Role) -> bool| spec.nodes.iter().filter(|n| pred(&n.role)).count();
+        let count = |pred: fn(&Role) -> bool| {
+            spec.nodes
+                .iter()
+                .filter(|n| n.vc == 0 && pred(&n.role))
+                .count()
+        };
         StarShape {
             sensors: count(|r| matches!(r, Role::Sensor(_))),
             controllers: count(|r| matches!(r, Role::Controller(_))),
             actuators: count(|r| matches!(r, Role::Actuator(_))),
-            head: spec.nodes.iter().any(|n| n.role == Role::Head),
+            head: spec.nodes.iter().any(|n| n.vc == 0 && n.role == Role::Head),
         }
     }
 
@@ -139,7 +145,9 @@ impl BurstSpec {
 /// Cell metadata: the axis values (and derived seed) behind one scenario.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CellConfig {
-    /// Star role counts of the cell's topology.
+    /// Number of Virtual Components hosted on the shared cycle.
+    pub vcs: usize,
+    /// Star role counts of the cell's topology (per VC).
     pub star: StarShape,
     /// Extra per-link Bernoulli loss.
     pub loss: f64,
@@ -163,8 +171,9 @@ impl CellConfig {
     #[must_use]
     pub fn key(&self) -> String {
         format!(
-            "{}|loss{}|{}|det{}x{}",
+            "{}v{}|loss{}|{}|det{}x{}",
             self.star.label(),
+            self.vcs,
             self.loss,
             self.burst.map_or_else(|| "chan".to_string(), |b| b.label()),
             self.detect_threshold,
@@ -191,6 +200,7 @@ pub struct SweepCell {
 #[derive(Debug, Clone)]
 pub struct SweepGrid {
     template: Scenario,
+    vcs: Option<Vec<usize>>,
     stars: Option<Vec<StarShape>>,
     loss: Option<Vec<f64>>,
     burst: Option<Vec<BurstSpec>>,
@@ -208,6 +218,7 @@ impl SweepGrid {
         let base_seed = template.seed;
         SweepGrid {
             template,
+            vcs: None,
             stars: None,
             loss: None,
             burst: None,
@@ -216,6 +227,26 @@ impl SweepGrid {
             base_seed,
             radius_m: 15.0,
         }
+    }
+
+    /// Sweeps the number of Virtual Components hosted on the shared cycle
+    /// (each cell rebuilds the topology as a multi-VC star and re-derives
+    /// the hosting manifest via `Scenario::host_vcs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any count is outside `1..=MAX_VCS`.
+    #[must_use]
+    pub fn over_vcs(mut self, vcs: &[usize]) -> Self {
+        assert!(!vcs.is_empty(), "empty axis");
+        for &n in vcs {
+            assert!(
+                (1..=evm_core::runtime::MAX_VCS).contains(&n),
+                "vc count out of range: {n}"
+            );
+        }
+        self.vcs = Some(vcs.to_vec());
+        self
     }
 
     /// Sweeps star topologies (role counts). Cells rebuild the topology at
@@ -285,7 +316,8 @@ impl SweepGrid {
     #[must_use]
     pub fn len(&self) -> usize {
         let ax = |n: Option<usize>| n.unwrap_or(1);
-        ax(self.stars.as_ref().map(Vec::len))
+        ax(self.vcs.as_ref().map(Vec::len))
+            * ax(self.stars.as_ref().map(Vec::len))
             * ax(self.loss.as_ref().map(Vec::len))
             * ax(self.burst.as_ref().map(Vec::len))
             * ax(self.detection.as_ref().map(Vec::len))
@@ -299,10 +331,23 @@ impl SweepGrid {
     }
 
     /// Expands the cartesian product into the work-list, in a fixed axis
-    /// order (stars → loss → burst → detection → replicate). Cell ids and
-    /// seeds depend only on the grid definition.
+    /// order (vcs → stars → loss → burst → detection → replicate). Cell
+    /// ids and seeds depend only on the grid definition.
+    ///
+    /// Every cell's topology is validated here, so a malformed template
+    /// fails fast at grid definition (with the cell id and the typed
+    /// `TopologyError`) instead of panicking a worker hours into the
+    /// batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any cell's topology spec is malformed.
     #[must_use]
     pub fn expand(&self) -> Vec<SweepCell> {
+        let vcs_axis: Vec<Option<usize>> = match &self.vcs {
+            Some(v) => v.iter().copied().map(Some).collect(),
+            None => vec![None],
+        };
         let stars: Vec<Option<StarShape>> = match &self.stars {
             Some(v) => v.iter().copied().map(Some).collect(),
             None => vec![None],
@@ -323,44 +368,58 @@ impl SweepGrid {
         });
 
         let template_shape = StarShape::of_spec(&self.template.topology);
+        let template_vcs = self.template.n_vcs();
         let mut cells = Vec::with_capacity(self.len());
-        for star in &stars {
-            for &loss in &losses {
-                for burst in &bursts {
-                    for &(threshold, consecutive) in &detection {
-                        for rep in 0..self.seeds_per_cell {
-                            let id = cells.len();
-                            let seed = derive_seed(self.base_seed, id as u64);
-                            let mut scenario = self.template.clone();
-                            if let Some(s) = star {
-                                scenario.topology = TopologySpec::star(
-                                    s.sensors,
-                                    s.controllers,
-                                    s.actuators,
-                                    s.head,
-                                    self.radius_m,
-                                );
+        for &vcs in &vcs_axis {
+            for star in &stars {
+                for &loss in &losses {
+                    for burst in &bursts {
+                        for &(threshold, consecutive) in &detection {
+                            for rep in 0..self.seeds_per_cell {
+                                let id = cells.len();
+                                let seed = derive_seed(self.base_seed, id as u64);
+                                let mut scenario = self.template.clone();
+                                // Either varied axis rebuilds the topology
+                                // (a vcs value also re-derives the hosting
+                                // manifest).
+                                if vcs.is_some() || star.is_some() {
+                                    let s = star.unwrap_or(template_shape);
+                                    let n = vcs.unwrap_or(template_vcs);
+                                    scenario.topology = TopologySpec::multi_star(
+                                        n,
+                                        s.sensors,
+                                        s.controllers,
+                                        s.actuators,
+                                        s.head,
+                                        self.radius_m,
+                                    );
+                                    scenario.host_vcs(n);
+                                }
+                                scenario.extra_loss = loss;
+                                if let Some(b) = burst {
+                                    scenario.channel.burst = b.to_process();
+                                }
+                                scenario.detect_threshold = threshold;
+                                scenario.detect_consecutive = consecutive;
+                                scenario.seed = seed;
+                                if let Err(e) = VcMap::try_from_spec(&scenario.topology) {
+                                    panic!("sweep cell {id} has a malformed topology: {e}");
+                                }
+                                cells.push(SweepCell {
+                                    id,
+                                    config: CellConfig {
+                                        vcs: vcs.unwrap_or(template_vcs),
+                                        star: star.unwrap_or(template_shape),
+                                        loss,
+                                        burst: *burst,
+                                        detect_threshold: threshold,
+                                        detect_consecutive: consecutive,
+                                        rep,
+                                        seed,
+                                    },
+                                    scenario,
+                                });
                             }
-                            scenario.extra_loss = loss;
-                            if let Some(b) = burst {
-                                scenario.channel.burst = b.to_process();
-                            }
-                            scenario.detect_threshold = threshold;
-                            scenario.detect_consecutive = consecutive;
-                            scenario.seed = seed;
-                            cells.push(SweepCell {
-                                id,
-                                config: CellConfig {
-                                    star: star.unwrap_or(template_shape),
-                                    loss,
-                                    burst: *burst,
-                                    detect_threshold: threshold,
-                                    detect_consecutive: consecutive,
-                                    rep,
-                                    seed,
-                                },
-                                scenario,
-                            });
                         }
                     }
                 }
@@ -494,5 +553,43 @@ mod tests {
     #[should_panic(expected = "loss out of [0,1]")]
     fn bad_loss_axis_rejected() {
         let _ = SweepGrid::new(short_template()).over_loss(&[1.5]);
+    }
+
+    #[test]
+    fn vcs_axis_rebuilds_topology_and_hosting_manifest() {
+        let cells = SweepGrid::new(short_template()).over_vcs(&[1, 2]).expand();
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells[0].config.vcs, 1);
+        assert_eq!(cells[0].scenario.n_vcs(), 1);
+        assert_eq!(cells[1].config.vcs, 2);
+        assert_eq!(cells[1].scenario.n_vcs(), 2);
+        // Fig. 5 shape per VC: GW + 2 × (2 sensors + 2 controllers +
+        // 1 actuator + head).
+        assert_eq!(cells[1].scenario.topology.nodes.len(), 13);
+        // VC 1 hosts the next canonical loop, and its PV is sampled.
+        assert_eq!(cells[1].scenario.vc_loop(1).name, "LC-InletSep");
+        assert!(cells[1]
+            .scenario
+            .sampled_tags
+            .contains(&"InletSep.LevelPct".to_string()));
+        // The vcs value lands in the config key.
+        assert!(cells[1].config.key().starts_with("s2c2a1hv2|"));
+        assert!(cells[0].config.key().starts_with("s2c2a1hv1|"));
+    }
+
+    #[test]
+    #[should_panic(expected = "vc count out of range")]
+    fn bad_vcs_axis_rejected() {
+        let _ = SweepGrid::new(short_template()).over_vcs(&[0]);
+    }
+
+    /// A malformed template fails at grid definition with the cell id,
+    /// not hours later inside a worker thread.
+    #[test]
+    #[should_panic(expected = "sweep cell 0 has a malformed topology")]
+    fn expand_rejects_malformed_template() {
+        let mut template = short_template();
+        template.topology.nodes.retain(|n| n.role != Role::Gateway);
+        let _ = SweepGrid::new(template).expand();
     }
 }

@@ -48,6 +48,6 @@ pub mod executor;
 pub mod grid;
 pub mod report;
 
-pub use executor::{available_threads, run_cells, run_indexed};
+pub use executor::{available_threads, run_cells, run_cells_checked, run_indexed};
 pub use grid::{BurstSpec, CellConfig, StarShape, SweepCell, SweepGrid};
-pub use report::{CellStats, SweepReport, SweepRow};
+pub use report::{CellStats, SweepReport, SweepRow, VcCellStats, VcRow};

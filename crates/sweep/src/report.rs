@@ -44,6 +44,23 @@ pub struct CellStats {
     pub ise: f64,
     /// Mean radio current across nodes, mA.
     pub mean_current_ma: f64,
+    /// Per-VC stats, indexed by `VcId`: `(loop name, actuations,
+    /// deadline hit ratio, regulation cost)`.
+    pub per_vc: Vec<VcCellStats>,
+}
+
+/// One Virtual Component's share of a cell's run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VcCellStats {
+    /// The loop the VC hosts (e.g. `"LC-LTS"`).
+    pub loop_name: String,
+    /// Actuations this VC delivered.
+    pub actuations: usize,
+    /// This VC's deadline hit ratio.
+    pub hit_ratio: f64,
+    /// Integral squared error of this VC's PV vs its setpoint over the
+    /// cell's scoring window.
+    pub ise: f64,
 }
 
 impl CellStats {
@@ -75,6 +92,24 @@ impl CellStats {
             r.e2e_quantile(p)
                 .map_or(f64::NAN, |d| d.as_secs_f64() * 1e3)
         };
+        let per_vc = r
+            .vc_stats
+            .iter()
+            .enumerate()
+            .map(|(k, vs)| {
+                let spec = s.vc_loop(k as u8);
+                let vc_ise = r.series.get(&spec.pv_tag).map_or(f64::NAN, |ts| {
+                    ts.window(from, SimTime::ZERO + s.duration)
+                        .integral_squared_error(spec.setpoint)
+                });
+                VcCellStats {
+                    loop_name: vs.loop_name.clone(),
+                    actuations: vs.actuations,
+                    hit_ratio: vs.deadline_hit_ratio(),
+                    ise: vc_ise,
+                }
+            })
+            .collect();
         CellStats {
             detect_s: detect,
             commit_s: commit,
@@ -87,6 +122,7 @@ impl CellStats {
             e2e_p99_ms: q(0.99),
             ise,
             mean_current_ma: r.mean_node_current_ma().unwrap_or(f64::NAN),
+            per_vc,
         }
     }
 }
@@ -124,6 +160,27 @@ pub struct SweepRow {
     pub mean_current_ma: f64,
 }
 
+/// One (config point, Virtual Component) row: a config point's seed
+/// replicates pooled per hosted VC — the loops-hosted-vs-QoS view the
+/// multi-VC scaling story reads off.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VcRow {
+    /// The config-point key ([`CellConfig::key`]).
+    pub key: String,
+    /// The Virtual Component within the config point.
+    pub vc: u8,
+    /// The loop this VC hosts.
+    pub loop_name: String,
+    /// Replicates pooled into this row.
+    pub runs: usize,
+    /// Mean actuations this VC delivered per run.
+    pub actuations_mean: f64,
+    /// Pooled deadline hit ratio of this VC.
+    pub hit_ratio: f64,
+    /// Mean regulation cost of this VC's loop.
+    pub ise_mean: f64,
+}
+
 /// The aggregated outcome of one grid run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepReport {
@@ -131,6 +188,8 @@ pub struct SweepReport {
     pub cells: Vec<(CellConfig, CellStats)>,
     /// Per-config rows, in first-appearance (grid) order.
     pub rows: Vec<SweepRow>,
+    /// Per-(config, VC) rows, in grid order then `VcId` order.
+    pub vc_rows: Vec<VcRow>,
 }
 
 /// Mean of a slice (NaN when empty); summation in slice order.
@@ -201,6 +260,50 @@ impl SweepReport {
             }
         }
 
+        // Per-(config, VC) rows: pool each VC's share of the replicates.
+        let mut vc_rows: Vec<VcRow> = Vec::new();
+        for (key, members) in order.iter().zip(&groups) {
+            let n_vcs = members
+                .iter()
+                .map(|&i| cell_stats[i].1.per_vc.len())
+                .max()
+                .unwrap_or(0);
+            for vc in 0..n_vcs {
+                let shares: Vec<&VcCellStats> = members
+                    .iter()
+                    .filter_map(|&i| cell_stats[i].1.per_vc.get(vc))
+                    .collect();
+                // Pool this VC's counters through a VcRunStats, so the
+                // empty-sample convention lives in one place (metrics.rs).
+                let pooled = members
+                    .iter()
+                    .filter_map(|&i| results[i].vc_stats.get(vc))
+                    .fold(evm_core::VcRunStats::default(), |mut acc, s| {
+                        acc.actuations += s.actuations;
+                        acc.deadline_misses += s.deadline_misses;
+                        acc
+                    });
+                let hit_ratio = pooled.deadline_hit_ratio();
+                let ises: Vec<f64> = shares.iter().map(|s| s.ise).collect();
+                vc_rows.push(VcRow {
+                    key: key.clone(),
+                    vc: vc as u8,
+                    loop_name: shares
+                        .first()
+                        .map_or_else(String::new, |s| s.loop_name.clone()),
+                    runs: shares.len(),
+                    actuations_mean: mean(
+                        &shares
+                            .iter()
+                            .map(|s| s.actuations as f64)
+                            .collect::<Vec<_>>(),
+                    ),
+                    hit_ratio,
+                    ise_mean: mean(&ises),
+                });
+            }
+        }
+
         let rows = order
             .into_iter()
             .zip(groups)
@@ -241,6 +344,7 @@ impl SweepReport {
         SweepReport {
             cells: cell_stats,
             rows,
+            vc_rows,
         }
     }
 
@@ -319,6 +423,27 @@ impl SweepReport {
         out
     }
 
+    /// The per-(config, VC) CSV: one row per hosted Virtual Component per
+    /// config point — loops hosted vs per-loop QoS.
+    #[must_use]
+    pub fn vcs_csv(&self) -> String {
+        let mut out = String::from("key,vc,loop,runs,actuations_mean,hit_ratio,ise_mean\n");
+        for r in &self.vc_rows {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{:.6},{}",
+                r.key,
+                r.vc,
+                r.loop_name,
+                r.runs,
+                f3(r.actuations_mean),
+                r.hit_ratio,
+                f3(r.ise_mean),
+            );
+        }
+        out
+    }
+
     /// A human-readable markdown summary with the per-config table.
     #[must_use]
     pub fn to_markdown(&self) -> String {
@@ -351,6 +476,27 @@ impl SweepReport {
                 f3(r.mean_current_ma),
             );
         }
+        // Per-VC table, only when some config hosts more than one VC.
+        if self.vc_rows.iter().any(|r| r.vc > 0) {
+            out.push_str(
+                "\n## Per-VC rows\n\n\
+                 | config | vc | loop | runs | actuations | hit ratio | ISE |\n\
+                 |---|---|---|---|---|---|---|\n",
+            );
+            for r in &self.vc_rows {
+                let _ = writeln!(
+                    out,
+                    "| {} | {} | {} | {} | {} | {:.4} | {} |",
+                    r.key,
+                    r.vc,
+                    r.loop_name,
+                    r.runs,
+                    f3(r.actuations_mean),
+                    r.hit_ratio,
+                    f3(r.ise_mean),
+                );
+            }
+        }
         out.push_str(
             "\nAggregation is deterministic: the same grid renders these bytes \
              at any thread count.\n",
@@ -369,6 +515,7 @@ impl SweepReport {
         let targets = [
             (format!("{stem}.csv"), self.to_csv()),
             (format!("{stem}_cells.csv"), self.cells_csv()),
+            (format!("{stem}_vcs.csv"), self.vcs_csv()),
             (format!("{stem}.md"), self.to_markdown()),
         ];
         targets

@@ -31,7 +31,9 @@ fn main() {
         });
 
     let (grid, stem) = if smoke {
-        // CI-sized: 2 loss × 2 seeds = 4 cells, 60 s horizon.
+        // CI-sized: 2 vcs × 2 loss × 2 seeds = 8 cells, 60 s horizon. The
+        // 2-VC cells exercise the multi-VC scheduler + per-VC report rows
+        // on every push.
         let template = Scenario::builder()
             .duration(SimDuration::from_secs(60))
             .fault_at(SimTime::from_secs(15), ActuatorFault::paper_fault())
@@ -39,6 +41,7 @@ fn main() {
             .build();
         (
             SweepGrid::new(template)
+                .over_vcs(&[1, 2])
                 .over_loss(&[0.0, 0.2])
                 .seeds_per_cell(2),
             "sweep_smoke",

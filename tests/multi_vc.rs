@@ -1,0 +1,214 @@
+//! Cross-crate integration: several Virtual Components on one shared
+//! RT-Link cycle.
+//!
+//! The multi-VC runtime's core claims: (1) an n-VC star closes every
+//! hosted loop within the shared cycle, (2) a primary crash in one VC
+//! fails over without perturbing any other VC's regulation — pinned down
+//! as *byte identity* of the unaffected VC's per-cycle error trace — and
+//! (3) the whole sweep pipeline stays thread-count-independent when a
+//! grid carries a `vcs` axis.
+
+use evm::core::runtime::{Engine, Scenario, ScenarioBuilder};
+use evm::prelude::*;
+use evm::sweep::{available_threads, run_cells, SweepGrid, SweepReport};
+
+/// A 2-VC star (1 sensor, 2 controllers, 1 actuator, head per VC) with an
+/// optional VC-0 primary crash.
+fn two_vc_scenario(crash_vc0_at: Option<SimTime>) -> Scenario {
+    let mut b = ScenarioBuilder::star()
+        .vcs(2)
+        .sensors(1)
+        .controllers(2)
+        .actuators(1)
+        .head(true)
+        .reconfig_epoch(SimDuration::ZERO)
+        .duration(SimDuration::from_secs(300));
+    if let Some(at) = crash_vc0_at {
+        b = b.crash_vc_primary_at(0, at);
+    }
+    b.build()
+}
+
+#[test]
+fn two_vc_star_regulates_both_loops_in_one_cycle() {
+    let scenario = two_vc_scenario(None);
+    assert_eq!(scenario.n_vcs(), 2);
+    // Shared gateway + 2 × (S1, Ctrl-A, Ctrl-B, A1, Head).
+    assert_eq!(scenario.topology.nodes.len(), 11);
+    let engine = Engine::new(scenario);
+    // Both pipelines fit inside the default 25-slot cycle.
+    assert!(engine.schedule().max_slot().unwrap() < 25);
+    assert!(engine.schedule().is_interference_free(engine.topology()));
+    assert_eq!(engine.components().len(), 2);
+    assert_eq!(engine.components()[0].name(), "LC-LTS");
+    assert_eq!(engine.components()[1].name(), "LC-InletSep");
+
+    let r = engine.run();
+    assert_eq!(r.meta.vcs, 2);
+    assert_eq!(r.vc_stats.len(), 2);
+    for (vc, stats) in r.vc_stats.iter().enumerate() {
+        assert!(
+            stats.actuations > 500,
+            "VC {vc} actuations {}",
+            stats.actuations
+        );
+        assert!(
+            stats.deadline_hit_ratio() > 0.99,
+            "VC {vc} hit ratio {}",
+            stats.deadline_hit_ratio()
+        );
+    }
+    // Both loops hold their setpoints.
+    let lts = r.series("LTS.LiquidPct").last_value().unwrap();
+    assert!((lts - 50.0).abs() < 5.0, "LTS level {lts}");
+    let sep = r.series("InletSep.LevelPct").last_value().unwrap();
+    assert!((sep - 50.0).abs() < 5.0, "InletSep level {sep}");
+    // The global tallies are the per-VC sums.
+    assert_eq!(
+        r.actuations,
+        r.vc_stats.iter().map(|s| s.actuations).sum::<usize>()
+    );
+}
+
+/// The isolation contract: a VC-0 primary crash fails over via VC 0's
+/// heartbeat machinery while VC 1's per-cycle error trace (and PV series)
+/// stays *byte-identical* to the same scenario without the crash.
+#[test]
+fn vc0_primary_crash_does_not_perturb_vc1() {
+    let crashed = Engine::new(two_vc_scenario(Some(SimTime::from_secs(100)))).run();
+    let baseline = Engine::new(two_vc_scenario(None)).run();
+
+    // VC 0 failed over: heartbeat timeout, then Ctrl-B promoted shortly
+    // after the crash (16-cycle silence window at 250 ms/cycle = 4 s).
+    let promoted = crashed.event_time("Ctrl-B -> Active").expect("failover");
+    assert!(
+        promoted > SimTime::from_secs(100) && promoted < SimTime::from_secs(110),
+        "failover at {promoted}"
+    );
+    assert!(crashed.event_time("heartbeat timeout").is_some());
+    assert!(baseline.event_time("Ctrl-B -> Active").is_none());
+    // VC 1's machinery never fired.
+    assert!(crashed.event_time("V1.Ctrl-B -> Active").is_none());
+
+    // VC 1's per-cycle error trace and sampled PV are byte-identical.
+    assert_eq!(
+        crashed.series("Err.LC-InletSep").samples(),
+        baseline.series("Err.LC-InletSep").samples(),
+        "VC 1's per-cycle error trace must not see VC 0's crash"
+    );
+    assert_eq!(
+        crashed.series("InletSep.LevelPct").samples(),
+        baseline.series("InletSep.LevelPct").samples()
+    );
+    // And VC 1 kept regulating through VC 0's outage.
+    let sep = crashed.series("InletSep.LevelPct").last_value().unwrap();
+    assert!((sep - 50.0).abs() < 5.0, "InletSep level {sep}");
+}
+
+/// Crashing VC 1's primary (per-VC fault targeting) fails over with VC
+/// 1's labels, leaving VC 0 untouched.
+#[test]
+fn crash_targets_the_named_vc() {
+    let mut b = ScenarioBuilder::star()
+        .vcs(2)
+        .sensors(1)
+        .controllers(2)
+        .actuators(1)
+        .head(true)
+        .reconfig_epoch(SimDuration::ZERO)
+        .duration(SimDuration::from_secs(200));
+    b = b.crash_vc_primary_at(1, SimTime::from_secs(60));
+    let r = Engine::new(b.build()).run();
+    let promoted = r.event_time("V1.Ctrl-B -> Active").expect("VC 1 failover");
+    assert!(promoted > SimTime::from_secs(60) && promoted < SimTime::from_secs(70));
+    // VC 0's backup never promoted (its trace entry would lack the V1.
+    // prefix and the head commit names VC 0's controller ids).
+    let vc0_promotes = r
+        .trace
+        .render()
+        .lines()
+        .filter(|l| l.contains("Ctrl-B -> Active") && !l.contains("V1."))
+        .count();
+    assert_eq!(vc0_promotes, 0, "VC 0 must not fail over");
+}
+
+/// A scripted crash naming a VC the deployment does not host is a
+/// configuration error caught up front — at `build()` for the builder
+/// path and at engine construction for hand-assembled scenarios — not a
+/// mid-run index panic that would abort a whole sweep.
+#[test]
+#[should_panic(expected = "targets VC 7")]
+fn crash_on_unhosted_vc_is_rejected_by_the_builder() {
+    let _ = ScenarioBuilder::star()
+        .vcs(2)
+        .crash_vc_primary_at(7, SimTime::from_secs(10))
+        .build();
+}
+
+#[test]
+#[should_panic(expected = "targets VC 3")]
+fn crash_on_unhosted_vc_is_rejected_at_engine_construction() {
+    let mut s = ScenarioBuilder::star().vcs(2).build();
+    s.primary_crashes.push((3, SimTime::from_secs(10)));
+    let _ = Engine::new(s);
+}
+
+/// Monitoring sensors past the 11-entry register table get unique but
+/// plant-unmapped registers; the engine surfaces them in the trace
+/// instead of letting the flows go silently dark.
+#[test]
+fn unmapped_monitor_registers_are_traced() {
+    let mut s = ScenarioBuilder::star()
+        .sensors(13) // monitors 1..=12; the 12th reads synthetic 30013
+        .duration(SimDuration::from_secs(1))
+        .build();
+    // 30 flows need a longer cycle than the default 25 slots.
+    s.rtlink.slots_per_cycle = 40;
+    let r = Engine::new(s).run();
+    assert!(r.event_time("reads unmapped register 30013").is_some());
+}
+
+/// `tests/sweep_determinism.rs`-style cross-thread byte identity on a
+/// grid with a `vcs` axis: expansion, execution, aggregation and
+/// rendering (including the per-VC rows) are identical at 1 and N
+/// threads.
+#[test]
+fn vcs_axis_sweep_is_byte_identical_across_thread_counts() {
+    let template = ScenarioBuilder::star()
+        .sensors(1)
+        .controllers(2)
+        .actuators(1)
+        .head(true)
+        .crash_vc_primary_at(0, SimTime::from_secs(10))
+        .reconfig_epoch(SimDuration::ZERO)
+        .duration(SimDuration::from_secs(40))
+        .build();
+    let grid = SweepGrid::new(template)
+        .over_vcs(&[1, 2, 3])
+        .over_loss(&[0.0, 0.1])
+        .seeds_per_cell(2)
+        .base_seed(91);
+    let cells = grid.expand();
+    assert_eq!(cells.len(), 12);
+    // The vcs axis materializes the hosting manifest per cell.
+    assert_eq!(cells[0].scenario.n_vcs(), 1);
+    assert_eq!(cells[4].config.vcs, 2);
+    assert_eq!(cells[4].scenario.n_vcs(), 2);
+
+    let n = available_threads().max(4);
+    let serial = run_cells(&cells, 1);
+    let parallel = run_cells(&cells, n);
+    for (i, (a, b)) in serial.iter().zip(&parallel).enumerate() {
+        assert_eq!(a, b, "cell {i} differs between 1 and {n} threads");
+    }
+    let report_1 = SweepReport::build(&cells, &serial);
+    let report_n = SweepReport::build(&cells, &parallel);
+    assert_eq!(report_1.to_csv(), report_n.to_csv());
+    assert_eq!(report_1.cells_csv(), report_n.cells_csv());
+    assert_eq!(report_1.vcs_csv(), report_n.vcs_csv());
+    assert_eq!(report_1.to_markdown(), report_n.to_markdown());
+    // Per-VC rows: one row per (config point, VC).
+    let rows_per_key: usize = report_1.vc_rows.iter().filter(|r| r.vc == 0).count();
+    assert_eq!(rows_per_key, report_1.rows.len());
+    assert!(report_1.vc_rows.iter().any(|r| r.vc == 2));
+}

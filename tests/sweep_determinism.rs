@@ -50,6 +50,7 @@ fn one_thread_and_n_threads_produce_byte_identical_sweeps() {
     let report_n = SweepReport::build(&cells, &parallel);
     assert_eq!(report_1.to_csv(), report_n.to_csv());
     assert_eq!(report_1.cells_csv(), report_n.cells_csv());
+    assert_eq!(report_1.vcs_csv(), report_n.vcs_csv());
     assert_eq!(report_1.to_markdown(), report_n.to_markdown());
 }
 
