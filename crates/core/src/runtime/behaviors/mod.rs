@@ -9,10 +9,12 @@ mod actuator;
 mod controller;
 mod gateway;
 mod head;
+mod relay;
 mod sensor;
 
 pub use actuator::{ActuationGate, ActuatorNode};
 pub use controller::{ControllerCore, ControllerNode, ReplicaParams};
 pub use gateway::GatewayNode;
 pub use head::{HeadNode, HeadPlane, CONTROL_PLANE_REPEATS};
+pub use relay::{RelayCore, RelayNode};
 pub use sensor::SensorNode;

@@ -22,6 +22,7 @@ use evm_sim::{EventQueue, SimRng, SimTime, TimeSeries, Trace};
 use crate::component::VirtualComponent;
 use crate::metrics::{NodeEnergy, RunMeta, RunResult, VcRunStats};
 use crate::runtime::behavior::{Effect, NodeBehavior, NodeCtx, Timer};
+use crate::runtime::behaviors::RelayCore;
 use crate::runtime::registry::NodeRegistry;
 use crate::runtime::topo::{FlowKind, RoleMap, VcId, VcMap};
 use crate::runtime::{Message, Scenario};
@@ -33,14 +34,30 @@ pub(super) enum Ev {
     Slot,
     PlantStep,
     Sample,
-    Deliver { to: NodeId, msg: Message },
-    NodeTimer { node: NodeId, timer: Timer },
+    Deliver {
+        to: NodeId,
+        from: NodeId,
+        msg: Message,
+    },
+    NodeTimer {
+        node: NodeId,
+        timer: Timer,
+    },
     InjectFault,
     InjectBackupFault,
-    CrashPrimary { vc: VcId },
-    HeadDecision { suspect: NodeId },
-    MigrationDone { target: NodeId, suspect: NodeId },
-    DormantDemote { target: NodeId },
+    CrashPrimary {
+        vc: VcId,
+    },
+    HeadDecision {
+        suspect: NodeId,
+    },
+    MigrationDone {
+        target: NodeId,
+        suspect: NodeId,
+    },
+    DormantDemote {
+        target: NodeId,
+    },
 }
 
 /// The co-simulation engine. Build with [`Engine::new`], run with
@@ -57,6 +74,9 @@ pub struct Engine {
     pub(super) schedule: SlotSchedule,
     /// `(slot, owner) → flow semantic` for every scheduled flow.
     pub(super) flow_kinds: HashMap<(usize, NodeId), FlowKind>,
+    /// Store-and-forward state per forwarding node ([`FlowKind::Relay`]
+    /// slots transmit from here, not from the node's behavior).
+    pub(super) relay_cores: HashMap<NodeId, RelayCore>,
     /// One Virtual Component record per hosted loop, indexed by `VcId`.
     pub(super) components: Vec<VirtualComponent>,
     pub(super) rng: SimRng,
@@ -268,7 +288,15 @@ impl Engine {
             Ev::PlantStep => self.on_plant_step(),
             Ev::Slot => self.on_slot(),
             Ev::Sample => self.on_sample(),
-            Ev::Deliver { to, msg } => {
+            Ev::Deliver { to, from, msg } => {
+                // The forwarding capability sits beside the behavior:
+                // any node with routed relay jobs captures matching
+                // frames for its scheduled forwarding slots, *and* still
+                // consumes the frame itself (a controller lending a hop
+                // also hears the PV it forwards).
+                if let Some(core) = self.relay_cores.get_mut(&to) {
+                    core.offer(from, &msg);
+                }
                 self.dispatch(to, |n, ctx| n.on_deliver(&msg, ctx));
             }
             Ev::NodeTimer { node, timer } => {
@@ -333,9 +361,18 @@ impl Engine {
                 continue;
             }
             let kind = self.flow_kinds.get(&(slot, owner)).copied();
-            let msg = kind
-                .and_then(|k| self.dispatch(owner, |n, ctx| n.take_outgoing(k, ctx)))
-                .flatten();
+            let msg = match kind {
+                // Forwarding slots transmit the captured frame from the
+                // owner's relay core; everything else asks the behavior.
+                Some(FlowKind::Relay { job, .. }) => self
+                    .relay_cores
+                    .get_mut(&owner)
+                    .and_then(|c| c.take(job as usize)),
+                Some(k) => self
+                    .dispatch(owner, |n, ctx| n.take_outgoing(k, ctx))
+                    .flatten(),
+                None => None,
+            };
             let Some(msg) = msg else {
                 // Empty slot: listeners still pay the detect window.
                 for l in listeners {
@@ -375,6 +412,7 @@ impl Engine {
                     self.now + guard + airtime,
                     Ev::Deliver {
                         to,
+                        from: owner,
                         msg: msg.clone(),
                     },
                 );

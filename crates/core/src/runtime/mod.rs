@@ -34,10 +34,12 @@ pub mod topo;
 pub use behavior::{Effect, NodeBehavior, NodeCtx, Timer};
 pub use driver::Engine;
 pub use messages::Message;
+pub use scenario::Layout;
 pub use scenario::{Scenario, ScenarioBuilder};
 pub use topo::{
-    monitor_register, synth_flows, FlowKind, NodeSpec, Role, RoleMap, TopologyError, TopologySpec,
-    VcId, VcMap, MAX_VCS,
+    monitor_register, route_flows, synth_flows, FlowKind, NodeSpec, RelayJob, Role, RoleMap,
+    RouteError, RoutedFlows, TopologyError, TopologySpec, VcId, VcMap, CLUSTER_HOP_M,
+    CLUSTER_RING_M, GRID_SPACING_M, LINE_SPACING_M, MAX_VCS,
 };
 
 /// Well-known node ids of the paper's Fig. 5 testbed.

@@ -5,7 +5,50 @@ use evm_netsim::{ChannelConfig, FaultPlan};
 use evm_plant::{ActuatorFault, ControlLoopSpec};
 use evm_sim::{SimDuration, SimTime};
 
-use crate::runtime::topo::{TopologySpec, VcId, MAX_VCS};
+use crate::runtime::topo::{
+    TopologySpec, VcId, CLUSTER_HOP_M, CLUSTER_RING_M, GRID_SPACING_M, LINE_SPACING_M, MAX_VCS,
+};
+
+/// The physical layout family the builder materializes (and the
+/// `over_topology` sweep axis in `evm-sweep`). Star is the Fig. 5
+/// single-hop family; the other three exercise the multi-hop relay
+/// pipeline end to end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Layout {
+    /// Single-hop ring around the gateway ([`TopologySpec::multi_star`]).
+    Star,
+    /// Sensor `hops` hops left of the gateway behind relays, control pod
+    /// on the right ([`TopologySpec::line`]). Single-VC.
+    Line {
+        /// Radio hops from the focus sensor to the gateway (≥ 1).
+        hops: usize,
+    },
+    /// `w × h` lattice, gateway and sensor in opposite corners
+    /// ([`TopologySpec::grid`]). Single-VC.
+    Grid {
+        /// Lattice width (cells).
+        w: usize,
+        /// Lattice height (cells).
+        h: usize,
+    },
+    /// One tight cluster per VC, each behind a two-relay chain from the
+    /// shared gateway ([`TopologySpec::clustered`]).
+    Clustered,
+}
+
+impl Layout {
+    /// Stable label for report keys and CSV cells, e.g. `star`, `line2`,
+    /// `grid2x3`, `clustered`.
+    #[must_use]
+    pub fn label(self) -> String {
+        match self {
+            Layout::Star => "star".to_string(),
+            Layout::Line { hops } => format!("line{hops}"),
+            Layout::Grid { w, h } => format!("grid{w}x{h}"),
+            Layout::Clustered => "clustered".to_string(),
+        }
+    }
+}
 
 /// A fully specified co-simulation run.
 #[derive(Debug, Clone)]
@@ -57,6 +100,11 @@ pub struct Scenario {
     /// Scripted primary-node crashes, per targeted VC (alternative
     /// failure mode).
     pub primary_crashes: Vec<(VcId, SimTime)>,
+    /// Disable spatial slot reuse: every flow gets its own slot
+    /// (`SlotSchedule::place_flows_serial`). The serialized baseline a
+    /// reused schedule's cycle length — and byte-identical plant traces —
+    /// are pinned against.
+    pub serial_schedule: bool,
     /// Extra Bernoulli loss applied to every link (E14 sweeps this).
     pub extra_loss: f64,
     /// Gaussian measurement noise added at the gateway's sensor reads
@@ -103,6 +151,7 @@ impl Scenario {
             backup_fault: None,
             fail_safe_value: 0.0,
             primary_crashes: Vec::new(),
+            serial_schedule: false,
             extra_loss: 0.0,
             sensor_noise_std: 0.0,
             fault_plan: FaultPlan::none(),
@@ -205,9 +254,11 @@ impl Scenario {
     }
 }
 
-/// Star-topology knobs accumulated by the builder DSL.
+/// Topology knobs accumulated by the builder DSL: a layout family plus
+/// the per-VC role counts every family shares.
 #[derive(Debug, Clone)]
 struct StarParams {
+    layout: Layout,
     vcs: usize,
     sensors: usize,
     controllers: usize,
@@ -220,6 +271,7 @@ impl StarParams {
     /// The Fig. 5 parameter set.
     fn fig5() -> Self {
         StarParams {
+            layout: Layout::Star,
             vcs: 1,
             sensors: 2,
             controllers: 2,
@@ -324,6 +376,82 @@ impl ScenarioBuilder {
     #[must_use]
     pub fn radius_m(mut self, radius: f64) -> Self {
         self.star.radius_m = radius;
+        self
+    }
+
+    /// Switches to the multi-hop line layout: the focus sensor `hops`
+    /// radio hops left of the gateway behind `hops - 1` relays, the
+    /// control pod one hop right and the actuator beyond it
+    /// ([`TopologySpec::line`]). Role-count knobs (`sensors`,
+    /// `controllers`, `actuators`, `head`) apply as usual; `line(2)` with
+    /// one sensor/controller/actuator is the paper-style
+    /// `sensor—relay—gateway—controller—actuator` chain. Single-VC:
+    /// `vcs(n > 1)` is rejected at build time.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `hops >= 1`.
+    #[must_use]
+    pub fn line(mut self, hops: usize) -> Self {
+        assert!(hops >= 1, "a line needs at least one hop");
+        self.star.layout = Layout::Line { hops };
+        self
+    }
+
+    /// Switches to the `w × h` lattice layout: gateway and focus sensor
+    /// in opposite corners, roles filling cells row-major, leftover cells
+    /// becoming relays ([`TopologySpec::grid`]). Single-VC: `vcs(n > 1)`
+    /// is rejected at build time.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the lattice is non-degenerate.
+    #[must_use]
+    pub fn grid(mut self, w: usize, h: usize) -> Self {
+        assert!(w >= 1 && h >= 1, "degenerate lattice");
+        self.star.layout = Layout::Grid { w, h };
+        self
+    }
+
+    /// Switches to the clustered layout *and* hosts `k` Virtual
+    /// Components, one tight cluster per VC behind a two-relay chain from
+    /// the shared gateway ([`TopologySpec::clustered`]) — the layout
+    /// whose intra-cluster slots the scheduler reuses across clusters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is outside `1..=MAX_VCS`.
+    #[must_use]
+    pub fn clustered(mut self, k: usize) -> Self {
+        assert!(
+            (1..=MAX_VCS).contains(&k),
+            "vc count out of 1..={MAX_VCS}: {k}"
+        );
+        self.star.layout = Layout::Clustered;
+        self.star.vcs = k;
+        self
+    }
+
+    /// Disables spatial slot reuse: the engine places every flow in its
+    /// own slot ([`Scenario::serial_schedule`]). Pinning knob for the
+    /// reuse-vs-serialized comparisons.
+    #[must_use]
+    pub fn serial_schedule(mut self, serial: bool) -> Self {
+        self.inner.serial_schedule = serial;
+        self
+    }
+
+    /// Sets the RT-Link cycle length in slots (slot 0 is the sync slot).
+    /// Multi-hop layouts expand flows into per-hop slots, so relay-heavy
+    /// deployments need a longer cycle than the default 25.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n >= 2`.
+    #[must_use]
+    pub fn slots_per_cycle(mut self, n: usize) -> Self {
+        assert!(n >= 2, "a cycle needs the sync slot plus a data slot");
+        self.inner.rtlink.slots_per_cycle = n;
         self
     }
 
@@ -436,33 +564,70 @@ impl ScenarioBuilder {
         self
     }
 
-    /// Finishes the scenario, materializing the star topology unless an
-    /// explicit one was set. `.vcs(n)` with `n > 1` also derives the
-    /// hosting manifest ([`Scenario::host_vcs`]).
+    /// Finishes the scenario, materializing the layout (star unless a
+    /// `line`/`grid`/`clustered` knob switched it) unless an explicit
+    /// topology was set. `.vcs(n)` / `.clustered(n)` with `n > 1` also
+    /// derives the hosting manifest ([`Scenario::host_vcs`]).
     ///
     /// # Panics
     ///
-    /// Panics if the star parameters are degenerate (no sensor or no
-    /// controller), or a scripted crash targets a VC the star does not
-    /// host.
+    /// Panics if the role parameters are degenerate (no sensor or no
+    /// controller), a scripted crash targets a VC the layout does not
+    /// host, or a single-VC layout (line, grid) was combined with
+    /// `.vcs(n > 1)`.
     #[must_use]
     pub fn build(mut self) -> Scenario {
         if !self.explicit_topology {
+            let p = &self.star;
             for &(vc, at) in &self.inner.primary_crashes {
                 assert!(
-                    (vc as usize) < self.star.vcs,
-                    "crash at {at} targets VC {vc}, but the star hosts only {} VC(s)",
-                    self.star.vcs,
+                    (vc as usize) < p.vcs,
+                    "crash at {at} targets VC {vc}, but the layout hosts only {} VC(s)",
+                    p.vcs,
                 );
             }
-            self.inner.topology = TopologySpec::multi_star(
-                self.star.vcs,
-                self.star.sensors,
-                self.star.controllers,
-                self.star.actuators,
-                self.star.head,
-                self.star.radius_m,
-            );
+            self.inner.topology = match p.layout {
+                Layout::Star => TopologySpec::multi_star(
+                    p.vcs,
+                    p.sensors,
+                    p.controllers,
+                    p.actuators,
+                    p.head,
+                    p.radius_m,
+                ),
+                Layout::Line { hops } => {
+                    assert!(p.vcs == 1, "line layouts host a single VC");
+                    TopologySpec::line(
+                        hops,
+                        p.sensors,
+                        p.controllers,
+                        p.actuators,
+                        p.head,
+                        LINE_SPACING_M,
+                    )
+                }
+                Layout::Grid { w, h } => {
+                    assert!(p.vcs == 1, "grid layouts host a single VC");
+                    TopologySpec::grid(
+                        w,
+                        h,
+                        p.sensors,
+                        p.controllers,
+                        p.actuators,
+                        p.head,
+                        GRID_SPACING_M,
+                    )
+                }
+                Layout::Clustered => TopologySpec::clustered(
+                    p.vcs,
+                    p.sensors,
+                    p.controllers,
+                    p.actuators,
+                    p.head,
+                    CLUSTER_HOP_M,
+                    CLUSTER_RING_M,
+                ),
+            };
             if self.star.vcs != self.inner.n_vcs() {
                 self.inner.host_vcs(self.star.vcs);
             }

@@ -15,12 +15,12 @@ use crate::metrics::VcRunStats;
 use crate::roles::ControllerMode;
 use crate::runtime::behavior::NodeBehavior;
 use crate::runtime::behaviors::{
-    ActuationGate, ActuatorNode, ControllerCore, ControllerNode, GatewayNode, HeadNode,
-    ReplicaParams, SensorNode,
+    ActuationGate, ActuatorNode, ControllerCore, ControllerNode, GatewayNode, HeadNode, RelayCore,
+    RelayNode, ReplicaParams, SensorNode,
 };
 use crate::runtime::driver::{Engine, Ev};
 use crate::runtime::registry::NodeRegistry;
-use crate::runtime::topo::{synth_flows, FlowKind, VcId};
+use crate::runtime::topo::{route_flows, synth_flows, FlowKind, VcId};
 use crate::runtime::Scenario;
 
 /// Everything VC-specific the node loop below needs, prepared once per VC.
@@ -89,14 +89,30 @@ impl Engine {
         }
 
         // --- Schedule synthesis from the role-derived flow pipeline ----
-        let flow_specs = synth_flows(&vcs);
-        let flows: Vec<_> = flow_specs.iter().map(|(f, _)| f.clone()).collect();
-        let (schedule, placed) = SlotSchedule::place_flows(&scenario.rtlink, &topology, &flows)
-            .expect("topology flows must schedule");
-        let flow_kinds: HashMap<(usize, evm_netsim::NodeId), FlowKind> = flow_specs
+        // Logical single-hop flows, then the multi-hop routing pass: on a
+        // fully-connected star the routed list is byte-identical to the
+        // logical one; elsewhere flows expand into relay hop chains.
+        let logical = synth_flows(&vcs);
+        let routed = route_flows(&topology, &logical)
+            .unwrap_or_else(|e| panic!("topology flows must route: {e}"));
+        let flows: Vec<_> = routed.flows.iter().map(|(f, _)| f.clone()).collect();
+        let (schedule, placed) = if scenario.serial_schedule {
+            SlotSchedule::place_flows_serial(&scenario.rtlink, &flows)
+                .expect("topology flows must schedule")
+        } else {
+            SlotSchedule::place_flows(&scenario.rtlink, &topology, &flows)
+                .expect("topology flows must schedule")
+        };
+        let flow_kinds: HashMap<(usize, evm_netsim::NodeId), FlowKind> = routed
+            .flows
             .iter()
             .zip(&placed)
             .map(|((flow, kind), &slot)| ((slot, flow.src), *kind))
+            .collect();
+        let relay_cores: HashMap<evm_netsim::NodeId, RelayCore> = routed
+            .jobs
+            .into_iter()
+            .map(|(id, jobs)| (id, RelayCore::new(jobs)))
             .collect();
 
         let regmap = RegisterMap::gas_plant_standard();
@@ -196,6 +212,10 @@ impl Engine {
                 )))
             } else if let Some((vc, tag)) = vcs.sensor_of(id) {
                 Box::new(SensorNode::new(vc, tag))
+            } else if vcs.vc_of_relay(id).is_some() {
+                // Dedicated forwarders: their duties live in the routed
+                // relay cores, not the behavior.
+                Box::new(RelayNode)
             } else if let Some(vc) = vcs.vc_of_controller(id) {
                 let p = &plans[vc as usize];
                 let (mode, hosts_task) = if id == p.primary {
@@ -227,7 +247,8 @@ impl Engine {
                         || roles.head == Some(n.id)
                         || roles.sensors.contains(&n.id)
                         || roles.controllers.contains(&n.id)
-                        || roles.actuators.contains(&n.id);
+                        || roles.actuators.contains(&n.id)
+                        || roles.relays.contains(&n.id);
                     if !in_vc {
                         continue;
                     }
@@ -297,6 +318,7 @@ impl Engine {
             rtlink: RtLink::new(scenario.rtlink.clone()),
             schedule,
             flow_kinds,
+            relay_cores,
             components,
             rng,
             trace: Trace::new(),

@@ -21,6 +21,8 @@
 //! flow semantics carry the `VcId` explicitly, so one shared TDMA cycle
 //! closes every hosted loop without cross-talk.
 
+use std::collections::BTreeMap;
+
 use evm_mac::rtlink::Flow;
 use evm_netsim::{Channel, NodeId, NodeInfo, NodeKind, Position, Topology};
 
@@ -51,6 +53,11 @@ pub enum Role {
     Actuator(u8),
     /// A Virtual Component's head: arbitration and the control plane.
     Head,
+    /// A dedicated store-and-forward node extending its VC's reach beyond
+    /// one radio hop. Relays own no control state: the routing pass
+    /// ([`route_flows`]) assigns them forwarding jobs, and any node can
+    /// forward — a `Relay` node just does nothing else.
+    Relay(u8),
 }
 
 impl Role {
@@ -62,6 +69,7 @@ impl Role {
             Role::Sensor(_) => NodeKind::Sensor,
             Role::Controller(_) | Role::Head => NodeKind::Controller,
             Role::Actuator(_) => NodeKind::Actuator,
+            Role::Relay(_) => NodeKind::Relay,
         }
     }
 }
@@ -121,6 +129,29 @@ pub const VC_FOCUS_REGISTERS: [u16; MAX_VCS] = [
     30010, // LC-RefluxDrum: Column.DrumLevelPct
     30011, // TC-Tray: Column.TrayTempK
 ];
+
+/// Default adjacent-link spacing of [`TopologySpec::line`], calibrated
+/// against the default channel model: 40 m links are loss-free (packet
+/// error rate exactly zero) while 80 m skip links are out of range, so a
+/// line closes its loop only through the relays.
+pub const LINE_SPACING_M: f64 = 40.0;
+/// Default lattice spacing of [`TopologySpec::grid`]: 52 m orthogonal
+/// links connect, 73.5 m diagonals do not — clean 4-connectivity.
+pub const GRID_SPACING_M: f64 = 52.0;
+/// Default relay-chain hop of [`TopologySpec::clustered`] (loss-free).
+pub const CLUSTER_HOP_M: f64 = 40.0;
+/// Default cluster disc radius of [`TopologySpec::clustered`]:
+/// intra-cluster links stay within a few meters, far below any loss.
+pub const CLUSTER_RING_M: f64 = 2.0;
+
+/// `Ctrl-A`, `Ctrl-B`, … (wraps to `Ctrl-27` past the alphabet).
+fn controller_label(prefix: &str, i: usize) -> String {
+    if i < 26 {
+        format!("{prefix}Ctrl-{}", char::from(b'A' + i as u8))
+    } else {
+        format!("{prefix}Ctrl-{i}")
+    }
+}
 
 /// A deployment described by roles.
 #[derive(Debug, Clone, PartialEq)]
@@ -197,13 +228,7 @@ impl TopologySpec {
             };
             roles.push((vc, Role::Sensor(0), format!("{prefix}S1")));
             for i in 0..controllers {
-                // Ctrl-A, Ctrl-B, ... (wraps to Ctrl-27 past the alphabet).
-                let label = if i < 26 {
-                    format!("{prefix}Ctrl-{}", char::from(b'A' + i as u8))
-                } else {
-                    format!("{prefix}Ctrl-{i}")
-                };
-                roles.push((vc, Role::Controller(i as u8), label));
+                roles.push((vc, Role::Controller(i as u8), controller_label(&prefix, i)));
             }
             for i in 0..actuators {
                 roles.push((vc, Role::Actuator(i as u8), format!("{prefix}A{}", i + 1)));
@@ -251,6 +276,283 @@ impl TopologySpec {
     #[must_use]
     pub fn minimal(radius_m: f64) -> Self {
         TopologySpec::star(1, 1, 0, false, radius_m)
+    }
+
+    /// A multi-hop line: the focus sensor sits `hops` radio hops left of
+    /// the gateway behind `hops - 1` relays, and the control pod
+    /// (controllers, head) one hop right of it with the actuator one hop
+    /// further — the `sensor—relay—gateway—controller—actuator` chain of
+    /// the paper's multi-hop deployments. At the default 40 m spacing
+    /// every adjacent link is loss-free while skip links are out of
+    /// range, so closing the loop *requires* the relay flows.
+    ///
+    /// Geometry (spacing `d`): sensor at `(-hops·d, 0)` (monitors stacked
+    /// at `0.3·d` y-offsets beside it), relays at `(-k·d, 0)`, gateway at
+    /// the origin, controller `i` at `(d, 0.25·d·i)`, the head at
+    /// `(d, -0.25·d)` and actuators at `(2d, 0.25·d·j)`. Node ids follow
+    /// the star convention (gateway, focus sensor, controllers,
+    /// actuators, monitors, head) with relays appended last, `R1` nearest
+    /// the gateway.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `hops >= 1` and there is at least one sensor and one
+    /// controller.
+    #[must_use]
+    pub fn line(
+        hops: usize,
+        sensors: usize,
+        controllers: usize,
+        actuators: usize,
+        head: bool,
+        spacing_m: f64,
+    ) -> Self {
+        assert!(hops >= 1, "a line needs at least one hop to the sensor");
+        assert!(sensors >= 1, "a control loop needs its focus sensor");
+        assert!(controllers >= 1, "a control loop needs a controller");
+        let d = spacing_m;
+        let far = -(hops as f64) * d;
+        let mut roles: Vec<(Role, String, Position)> = Vec::new();
+        roles.push((Role::Sensor(0), "S1".into(), Position::new(far, 0.0)));
+        for i in 0..controllers {
+            roles.push((
+                Role::Controller(i as u8),
+                controller_label("", i),
+                Position::new(d, 0.25 * d * i as f64),
+            ));
+        }
+        for j in 0..actuators {
+            roles.push((
+                Role::Actuator(j as u8),
+                format!("A{}", j + 1),
+                Position::new(2.0 * d, 0.25 * d * j as f64),
+            ));
+        }
+        for k in 1..sensors {
+            roles.push((
+                Role::Sensor(k as u8),
+                format!("S{}", k + 1),
+                Position::new(far, 0.3 * d * k as f64),
+            ));
+        }
+        if head {
+            roles.push((Role::Head, "Head".into(), Position::new(d, -0.25 * d)));
+        }
+        for k in 1..hops {
+            roles.push((
+                Role::Relay(k as u8 - 1),
+                format!("R{k}"),
+                Position::new(-(k as f64) * d, 0.0),
+            ));
+        }
+        TopologySpec::assemble_single_vc(roles)
+    }
+
+    /// A `w × h` lattice with `spacing_m` between orthogonal neighbors
+    /// (the default 52 m keeps diagonals out of range: clean
+    /// 4-connectivity). The gateway takes the first cell and the focus
+    /// sensor the opposite corner, so every sensor flow crosses the grid
+    /// over relay hops; the remaining roles (controllers, actuators,
+    /// monitors, head) fill cells in row-major order and every leftover
+    /// cell becomes a relay.
+    ///
+    /// Node ids follow the star convention (gateway, focus sensor,
+    /// controllers, actuators, monitors, head, relays); positions come
+    /// from the assigned cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the lattice has a cell per role (`w·h >=` role
+    /// count) and there is at least one sensor and one controller.
+    #[must_use]
+    pub fn grid(
+        w: usize,
+        h: usize,
+        sensors: usize,
+        controllers: usize,
+        actuators: usize,
+        head: bool,
+        spacing_m: f64,
+    ) -> Self {
+        assert!(sensors >= 1, "a control loop needs its focus sensor");
+        assert!(controllers >= 1, "a control loop needs a controller");
+        let roles_total = 1 + sensors + controllers + actuators + usize::from(head);
+        assert!(
+            w >= 1 && h >= 1 && w * h >= roles_total,
+            "a {w}x{h} grid cannot seat {roles_total} roles"
+        );
+        let cell =
+            |idx: usize| Position::new((idx % w) as f64 * spacing_m, (idx / w) as f64 * spacing_m);
+        let mut roles: Vec<(Role, String, Position)> = Vec::new();
+        let mut next_cell = 1usize; // cell 0 is the gateway's
+        roles.push((Role::Sensor(0), "S1".into(), cell(w * h - 1)));
+        let seat = |role: Role, label: String, next_cell: &mut usize| {
+            let c = *next_cell;
+            *next_cell += 1;
+            (role, label, cell(c))
+        };
+        for i in 0..controllers {
+            let r = seat(
+                Role::Controller(i as u8),
+                controller_label("", i),
+                &mut next_cell,
+            );
+            roles.push(r);
+        }
+        for j in 0..actuators {
+            let r = seat(
+                Role::Actuator(j as u8),
+                format!("A{}", j + 1),
+                &mut next_cell,
+            );
+            roles.push(r);
+        }
+        for k in 1..sensors {
+            let r = seat(Role::Sensor(k as u8), format!("S{}", k + 1), &mut next_cell);
+            roles.push(r);
+        }
+        if head {
+            let r = seat(Role::Head, "Head".into(), &mut next_cell);
+            roles.push(r);
+        }
+        let mut relay = 0u8;
+        while next_cell < w * h - 1 {
+            relay += 1;
+            let r = seat(Role::Relay(relay - 1), format!("R{relay}"), &mut next_cell);
+            roles.push(r);
+        }
+        TopologySpec::assemble_single_vc(roles)
+    }
+
+    /// `clusters` Virtual Components, each a full role set packed into a
+    /// tight disc three hops from the shared gateway behind a two-relay
+    /// chain. Intra-cluster links are a few meters, relay hops `hop_m`
+    /// (default 40 m, loss-free), and distinct clusters are far out of
+    /// each other's 2-hop interference sets — the layout that lets the
+    /// slot scheduler reuse intra-cluster slots across clusters.
+    ///
+    /// Cluster `k` sits at angle `2πk/clusters`: relays `R1`/`R2` at
+    /// `hop_m` and `2·hop_m` along the ray, the cluster's members on a
+    /// ring of `ring_m` around `3·hop_m`. Ids are sequential per VC in
+    /// star convention with the VC's relays appended; VC `k > 0` labels
+    /// carry the `Vk.` prefix.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= clusters <= MAX_VCS` and each cluster has at
+    /// least one sensor and one controller.
+    #[must_use]
+    pub fn clustered(
+        clusters: usize,
+        sensors: usize,
+        controllers: usize,
+        actuators: usize,
+        head: bool,
+        hop_m: f64,
+        ring_m: f64,
+    ) -> Self {
+        assert!(
+            (1..=MAX_VCS).contains(&clusters),
+            "cluster count out of 1..={MAX_VCS}: {clusters}"
+        );
+        assert!(sensors >= 1, "a control loop needs its focus sensor");
+        assert!(controllers >= 1, "a control loop needs a controller");
+        let mut nodes = vec![NodeSpec {
+            id: NodeId(0),
+            vc: 0,
+            role: Role::Gateway,
+            label: "GW".to_string(),
+            position: Position::new(0.0, 0.0),
+            register: None,
+        }];
+        let members = sensors + controllers + actuators + usize::from(head);
+        let mut next_id = 1u16;
+        for vc in 0..clusters as u8 {
+            let prefix = if vc == 0 {
+                String::new()
+            } else {
+                format!("V{vc}.")
+            };
+            let angle = 2.0 * std::f64::consts::PI * f64::from(vc) / clusters as f64;
+            let (dx, dy) = (angle.cos(), angle.sin());
+            let center = Position::new(3.0 * hop_m * dx, 3.0 * hop_m * dy);
+            let mut roles: Vec<(Role, String)> = vec![(Role::Sensor(0), format!("{prefix}S1"))];
+            for i in 0..controllers {
+                roles.push((Role::Controller(i as u8), controller_label(&prefix, i)));
+            }
+            for j in 0..actuators {
+                roles.push((Role::Actuator(j as u8), format!("{prefix}A{}", j + 1)));
+            }
+            for k in 1..sensors {
+                roles.push((Role::Sensor(k as u8), format!("{prefix}S{}", k + 1)));
+            }
+            if head {
+                roles.push((Role::Head, format!("{prefix}Head")));
+            }
+            debug_assert_eq!(roles.len(), members);
+            for (i, (role, label)) in roles.into_iter().enumerate() {
+                let theta = 2.0 * std::f64::consts::PI * i as f64 / members as f64;
+                let register = match role {
+                    Role::Sensor(0) => Some(VC_FOCUS_REGISTERS[vc as usize]),
+                    Role::Sensor(tag) => Some(monitor_register(tag as usize - 1)),
+                    _ => None,
+                };
+                nodes.push(NodeSpec {
+                    id: NodeId(next_id),
+                    vc,
+                    role,
+                    label,
+                    position: Position::new(
+                        center.x + ring_m * theta.cos(),
+                        center.y + ring_m * theta.sin(),
+                    ),
+                    register,
+                });
+                next_id += 1;
+            }
+            for (r, dist) in [(0u8, hop_m), (1u8, 2.0 * hop_m)] {
+                nodes.push(NodeSpec {
+                    id: NodeId(next_id),
+                    vc,
+                    role: Role::Relay(r),
+                    label: format!("{prefix}R{}", r + 1),
+                    position: Position::new(dist * dx, dist * dy),
+                    register: None,
+                });
+                next_id += 1;
+            }
+        }
+        TopologySpec { nodes }
+    }
+
+    /// Shared assembly for the single-VC multi-hop generators: prepends
+    /// the gateway at the origin, assigns sequential ids in role order and
+    /// fills sensor registers by tag.
+    fn assemble_single_vc(roles: Vec<(Role, String, Position)>) -> Self {
+        let mut nodes = vec![NodeSpec {
+            id: NodeId(0),
+            vc: 0,
+            role: Role::Gateway,
+            label: "GW".to_string(),
+            position: Position::new(0.0, 0.0),
+            register: None,
+        }];
+        for (i, (role, label, position)) in roles.into_iter().enumerate() {
+            let register = match role {
+                Role::Sensor(0) => Some(VC_FOCUS_REGISTERS[0]),
+                Role::Sensor(tag) => Some(monitor_register(tag as usize - 1)),
+                _ => None,
+            };
+            nodes.push(NodeSpec {
+                id: NodeId((i + 1) as u16),
+                vc: 0,
+                role,
+                label,
+                position,
+                register,
+            });
+        }
+        TopologySpec { nodes }
     }
 
     /// Number of Virtual Components the spec hosts (1 + highest VC tag).
@@ -372,6 +674,9 @@ pub struct RoleMap {
     /// Actuators in index order (may be empty: the gateway then accepts
     /// controller outputs directly).
     pub actuators: Vec<NodeId>,
+    /// Dedicated relay nodes in index order (may be empty: single-hop
+    /// deployments, or multi-hop routes carried by role nodes).
+    pub relays: Vec<NodeId>,
     /// ModBus input register backing each sensor tag.
     pub sensor_registers: Vec<u16>,
 }
@@ -449,6 +754,7 @@ impl VcMap {
             let mut sensors: Vec<(u8, NodeId, u16)> = Vec::new();
             let mut controllers: Vec<(u8, NodeId)> = Vec::new();
             let mut actuators: Vec<(u8, NodeId)> = Vec::new();
+            let mut relays: Vec<(u8, NodeId)> = Vec::new();
             for n in spec.nodes.iter().filter(|n| n.vc == vc) {
                 match n.role {
                     Role::Gateway => continue,
@@ -466,11 +772,13 @@ impl VcMap {
                     }
                     Role::Controller(i) => controllers.push((i, n.id)),
                     Role::Actuator(i) => actuators.push((i, n.id)),
+                    Role::Relay(i) => relays.push((i, n.id)),
                 }
             }
             sensors.sort_by_key(|&(tag, _, _)| tag);
             controllers.sort_by_key(|&(i, _)| i);
             actuators.sort_by_key(|&(i, _)| i);
+            relays.sort_by_key(|&(i, _)| i);
             if sensors.is_empty() {
                 return Err(TopologyError::MissingFocusSensor(vc));
             }
@@ -502,6 +810,7 @@ impl VcMap {
                 sensors: sensors.into_iter().map(|(_, id, _)| id).collect(),
                 controllers: controllers.into_iter().map(|(_, id)| id).collect(),
                 actuators: actuators.into_iter().map(|(_, id)| id).collect(),
+                relays: relays.into_iter().map(|(_, id)| id).collect(),
             });
         }
         Ok(VcMap { gateway, vcs })
@@ -565,6 +874,15 @@ impl VcMap {
         self.vcs.iter().find(|r| r.head == Some(id)).map(|r| r.vc)
     }
 
+    /// The VC whose dedicated relay set contains `id`.
+    #[must_use]
+    pub fn vc_of_relay(&self, id: NodeId) -> Option<VcId> {
+        self.vcs
+            .iter()
+            .find(|r| r.relays.contains(&id))
+            .map(|r| r.vc)
+    }
+
     /// All controllers across VCs, in `(vc, precedence)` order.
     pub fn all_controllers(&self) -> impl Iterator<Item = (VcId, NodeId)> + '_ {
         self.vcs
@@ -611,6 +929,31 @@ pub enum FlowKind {
         /// The commanding Virtual Component.
         vc: VcId,
     },
+    /// Store-and-forward hop of a multi-hop route: the owner retransmits
+    /// the frame it captured for forwarding job `job` (an index into the
+    /// owner's [`RelayJob`] list built by [`route_flows`]). Only the
+    /// routing pass emits this kind; `synth_flows` stays single-hop.
+    Relay {
+        /// The Virtual Component whose flow is being forwarded.
+        vc: VcId,
+        /// Index into the owner's forwarding-job list.
+        job: u8,
+    },
+}
+
+impl FlowKind {
+    /// The Virtual Component this flow serves.
+    #[must_use]
+    pub fn vc(self) -> VcId {
+        match self {
+            FlowKind::HilDownlink { vc, .. }
+            | FlowKind::SensorPublish { vc, .. }
+            | FlowKind::ControlPublish { vc }
+            | FlowKind::ActuateForward { vc }
+            | FlowKind::ControlPlane { vc }
+            | FlowKind::Relay { vc, .. } => vc,
+        }
+    }
 }
 
 /// Synthesizes the pipeline-ordered flow list for a deployment. Within
@@ -712,6 +1055,191 @@ pub fn synth_flows(map: &VcMap) -> Vec<(Flow, FlowKind)> {
         }
     }
     flows
+}
+
+/// One forwarding duty of a node, produced by [`route_flows`]: capture
+/// the frame that arrives from `upstream` matching the relayed flow's
+/// semantic, hold the latest copy, and retransmit it in the slot
+/// scheduled for the corresponding [`FlowKind::Relay`] job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RelayJob {
+    /// The previous-hop transmitter whose frames this job captures.
+    pub upstream: NodeId,
+    /// The logical flow's original source (disambiguates flows that
+    /// share a semantic, e.g. several controllers' `ControlPublish`).
+    pub origin: NodeId,
+    /// The logical semantic being forwarded.
+    pub kind: FlowKind,
+}
+
+/// The output of [`route_flows`]: the hop-expanded physical flow list
+/// plus every node's forwarding jobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutedFlows {
+    /// Physical flows in schedule order (same shape `place_flows` takes).
+    /// Single-hop logical flows pass through byte-identically.
+    pub flows: Vec<(Flow, FlowKind)>,
+    /// Forwarding jobs per node, in emission order; `FlowKind::Relay`'s
+    /// `job` indexes into the owner's list.
+    pub jobs: BTreeMap<NodeId, Vec<RelayJob>>,
+    /// For each logical flow, the `(first, last)` physical indices of its
+    /// hop chain (`first == last` for single-hop flows).
+    pub spans: Vec<(usize, usize)>,
+}
+
+/// A logical flow that cannot be carried by the physical topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteError {
+    /// Index of the unroutable logical flow.
+    pub flow: usize,
+    /// The chain node the route got stuck at.
+    pub from: NodeId,
+    /// The target (primary receiver or listener) it could not reach.
+    pub to: NodeId,
+}
+
+impl std::fmt::Display for RouteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "flow {} is unroutable: no path {} -> {}",
+            self.flow, self.from, self.to
+        )
+    }
+}
+
+impl std::error::Error for RouteError {}
+
+/// Expands logical flows into per-hop physical flows over the real
+/// connectivity graph — the multi-hop relay pass.
+///
+/// Per logical flow the pass visits the primary receiver first, then each
+/// extra listener in declared order, building one *multicast chain*:
+///
+/// * a target adjacent to an already-emitted hop's transmitter is
+///   **attached** as that hop's listener (earliest such hop wins — the
+///   star case degenerates to the original single flow, byte-identically),
+/// * otherwise the chain is **extended** with the shortest path
+///   ([`Topology::shortest_path`], deterministic tie-breaks) from the
+///   last visited target, every new hop a store-and-forward
+///   [`FlowKind::Relay`] slot with a [`RelayJob`] registered on its
+///   transmitter.
+///
+/// Hops chain `after` one another and the first hop inherits the logical
+/// flow's own `after` edge (remapped to its dependency's last hop), so a
+/// pipelined control cycle stays pipelined across any number of hops.
+/// Forwarding is a node *capability*: routes run through whatever node is
+/// closest, dedicated [`Role::Relay`] nodes being merely nodes with no
+/// other duties.
+///
+/// # Errors
+///
+/// [`RouteError`] when a target is unreachable from the chain.
+pub fn route_flows(
+    topology: &Topology,
+    logical: &[(Flow, FlowKind)],
+) -> Result<RoutedFlows, RouteError> {
+    struct Hop {
+        owner: NodeId,
+        dst: NodeId,
+        listeners: Vec<NodeId>,
+    }
+
+    let mut out: Vec<(Flow, FlowKind)> = Vec::new();
+    let mut jobs: BTreeMap<NodeId, Vec<RelayJob>> = BTreeMap::new();
+    let mut spans: Vec<(usize, usize)> = Vec::new();
+
+    for (li, (flow, kind)) in logical.iter().enumerate() {
+        assert!(
+            flow.after.is_none_or(|dep| dep < li),
+            "flow {li} has a forward or dangling precedence edge"
+        );
+        let after = flow.after.map(|dep| spans[dep].1);
+
+        // Fast path: everything within one hop of the source — the flow
+        // passes through untouched (this is every star flow).
+        if topology.are_neighbors(flow.src, flow.dst)
+            && flow
+                .extra_listeners
+                .iter()
+                .all(|&l| topology.are_neighbors(flow.src, l))
+        {
+            let mut f = Flow::new(flow.src, flow.dst).with_listeners(flow.extra_listeners.clone());
+            if let Some(a) = after {
+                f = f.after(a);
+            }
+            let idx = out.len();
+            out.push((f, *kind));
+            spans.push((idx, idx));
+            continue;
+        }
+
+        // Multicast chain over the connectivity graph.
+        let mut hops: Vec<Hop> = Vec::new();
+        let mut on_chain: Vec<NodeId> = vec![flow.src];
+        let mut cur = flow.src;
+        for (ti, &target) in std::iter::once(&flow.dst)
+            .chain(flow.extra_listeners.iter())
+            .enumerate()
+        {
+            if on_chain.contains(&target) {
+                continue; // already receives as a hop endpoint
+            }
+            if ti > 0 {
+                if let Some(h) = hops
+                    .iter_mut()
+                    .find(|h| topology.are_neighbors(h.owner, target))
+                {
+                    h.listeners.push(target);
+                    continue;
+                }
+            }
+            let path = topology.shortest_path(cur, target).ok_or(RouteError {
+                flow: li,
+                from: cur,
+                to: target,
+            })?;
+            for w in path.windows(2) {
+                hops.push(Hop {
+                    owner: w[0],
+                    dst: w[1],
+                    listeners: Vec::new(),
+                });
+                on_chain.push(w[1]);
+            }
+            cur = target;
+        }
+
+        let first = out.len();
+        for (hi, hop) in hops.iter().enumerate() {
+            let hop_kind = if hi == 0 {
+                *kind
+            } else {
+                let node_jobs = jobs.entry(hop.owner).or_default();
+                let job = u8::try_from(node_jobs.len())
+                    .expect("more than 255 forwarding jobs on one node");
+                node_jobs.push(RelayJob {
+                    upstream: hops[hi - 1].owner,
+                    origin: flow.src,
+                    kind: *kind,
+                });
+                FlowKind::Relay { vc: kind.vc(), job }
+            };
+            let mut f = Flow::new(hop.owner, hop.dst).with_listeners(hop.listeners.clone());
+            f = match if hi == 0 { after } else { Some(out.len() - 1) } {
+                Some(a) => f.after(a),
+                None => f,
+            };
+            out.push((f, hop_kind));
+        }
+        spans.push((first, out.len() - 1));
+    }
+
+    Ok(RoutedFlows {
+        flows: out,
+        jobs,
+        spans,
+    })
 }
 
 #[cfg(test)]
@@ -1062,5 +1590,234 @@ mod tests {
         let mut spec = TopologySpec::fig5();
         spec.nodes.retain(|n| n.role != Role::Gateway);
         let _ = VcMap::from_spec(&spec);
+    }
+
+    // ---- multi-hop layouts and the routing pass ----------------------
+
+    use evm_netsim::ChannelConfig;
+    use evm_sim::SimRng;
+
+    fn resolve(spec: &TopologySpec) -> (Topology, VcMap) {
+        let mut ch = Channel::new(ChannelConfig::default(), SimRng::seed_from(1));
+        spec.resolve(&mut ch)
+    }
+
+    #[test]
+    fn line_spec_layout_and_relay_roles() {
+        let spec = TopologySpec::line(2, 1, 2, 1, true, LINE_SPACING_M);
+        let labels: Vec<&str> = spec.nodes.iter().map(|n| n.label.as_str()).collect();
+        assert_eq!(labels, ["GW", "S1", "Ctrl-A", "Ctrl-B", "A1", "Head", "R1"]);
+        assert_eq!(spec.nodes[1].position, Position::new(-80.0, 0.0));
+        assert_eq!(spec.nodes[6].position, Position::new(-40.0, 0.0));
+        assert_eq!(spec.nodes[4].position, Position::new(80.0, 0.0));
+        let map = VcMap::from_spec(&spec);
+        assert_eq!(map.vc(0).relays, vec![NodeId(6)]);
+        assert_eq!(map.vc_of_relay(NodeId(6)), Some(0));
+
+        // The physical graph forces the relay: sensor and gateway are out
+        // of range of each other, each in range of R1.
+        let (topo, _) = resolve(&spec);
+        assert!(!topo.are_neighbors(NodeId(0), NodeId(1)));
+        assert!(topo.are_neighbors(NodeId(0), NodeId(6)));
+        assert!(topo.are_neighbors(NodeId(6), NodeId(1)));
+        assert_eq!(topo.hops(NodeId(0), NodeId(1)), Some(2));
+        // Actuator is two hops out on the other side, via the pod.
+        assert!(!topo.are_neighbors(NodeId(0), NodeId(4)));
+        assert!(topo.is_fully_connected());
+    }
+
+    #[test]
+    fn grid_spec_fills_cells_row_major() {
+        let spec = TopologySpec::grid(2, 3, 1, 2, 1, false, GRID_SPACING_M);
+        let labels: Vec<&str> = spec.nodes.iter().map(|n| n.label.as_str()).collect();
+        assert_eq!(labels, ["GW", "S1", "Ctrl-A", "Ctrl-B", "A1", "R1"]);
+        // GW cell 0, sensor the far corner, relay the last leftover cell.
+        assert_eq!(spec.nodes[0].position, Position::new(0.0, 0.0));
+        assert_eq!(spec.nodes[1].position, Position::new(52.0, 104.0));
+        assert_eq!(spec.nodes[2].position, Position::new(52.0, 0.0));
+        assert_eq!(spec.nodes[5].position, Position::new(0.0, 104.0));
+        let (topo, _) = resolve(&spec);
+        // 4-connectivity: orthogonal neighbors only.
+        assert!(topo.are_neighbors(NodeId(0), NodeId(2)));
+        assert!(
+            !topo.are_neighbors(NodeId(2), NodeId(3)),
+            "diagonal must be out of range"
+        );
+        assert_eq!(topo.hops(NodeId(0), NodeId(1)), Some(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot seat")]
+    fn grid_rejects_too_small_lattices() {
+        let _ = TopologySpec::grid(2, 2, 2, 2, 1, true, GRID_SPACING_M);
+    }
+
+    #[test]
+    fn clustered_spec_arcs_relays_per_vc() {
+        let spec = TopologySpec::clustered(2, 1, 2, 1, true, CLUSTER_HOP_M, CLUSTER_RING_M);
+        assert_eq!(spec.n_vcs(), 2);
+        let labels: Vec<&str> = spec.nodes.iter().map(|n| n.label.as_str()).collect();
+        assert_eq!(
+            labels,
+            [
+                "GW",
+                "S1",
+                "Ctrl-A",
+                "Ctrl-B",
+                "A1",
+                "Head",
+                "R1",
+                "R2",
+                "V1.S1",
+                "V1.Ctrl-A",
+                "V1.Ctrl-B",
+                "V1.A1",
+                "V1.Head",
+                "V1.R1",
+                "V1.R2",
+            ]
+        );
+        let map = VcMap::from_spec(&spec);
+        assert_eq!(map.vc(0).relays.len(), 2);
+        assert_eq!(map.vc(1).relays.len(), 2);
+        assert_eq!(map.vc(0).sensor_registers[0], 30001);
+        assert_eq!(map.vc(1).sensor_registers[0], 30002);
+        let (topo, _) = resolve(&spec);
+        // Three hops from the gateway to each cluster's sensor, and the
+        // two clusters are mutually unreachable except through the GW.
+        assert_eq!(topo.hops(NodeId(0), NodeId(1)), Some(3));
+        assert_eq!(topo.hops(NodeId(0), NodeId(8)), Some(3));
+        assert!(!topo.are_neighbors(NodeId(6), NodeId(13)));
+        assert!(topo.is_fully_connected());
+    }
+
+    /// The routing pass is the identity on fully-connected stars: every
+    /// logical flow is already one hop, so the physical flow list (and
+    /// the PR 2 / PR 3 goldens pinned on it) is byte-identical and no
+    /// forwarding jobs exist.
+    #[test]
+    fn star_flows_route_byte_identically() {
+        for spec in [
+            TopologySpec::fig5(),
+            TopologySpec::star(2, 3, 1, true, 15.0),
+            TopologySpec::multi_star(2, 1, 2, 1, true, 15.0),
+        ] {
+            let (topo, map) = resolve(&spec);
+            let logical = synth_flows(&map);
+            let routed = route_flows(&topo, &logical).expect("routable");
+            let as_tuples = |flows: &[(Flow, FlowKind)]| -> Vec<FlowTuple> {
+                flows
+                    .iter()
+                    .map(|(f, k)| {
+                        (
+                            f.src.raw(),
+                            f.dst.raw(),
+                            f.extra_listeners.iter().map(|n| n.raw()).collect(),
+                            *k,
+                            f.after,
+                        )
+                    })
+                    .collect()
+            };
+            assert_eq!(as_tuples(&routed.flows), as_tuples(&logical));
+            assert!(routed.jobs.is_empty());
+            assert!(routed.spans.iter().all(|&(a, b)| a == b));
+        }
+    }
+
+    /// 2-hop line routing: the downlink grows a forwarding hop on R1, the
+    /// publish comes back over R1 and the gateway, and the precedence
+    /// chain stays intact across the expansion.
+    #[test]
+    fn line_routing_inserts_relay_hops() {
+        let spec = TopologySpec::line(2, 1, 1, 1, false, LINE_SPACING_M);
+        // GW=0, S1=1, Ctrl-A=2, A1=3, R1=4.
+        let (topo, map) = resolve(&spec);
+        let logical = synth_flows(&map);
+        let routed = route_flows(&topo, &logical).expect("routable");
+
+        // Downlink GW -> S1 becomes GW -> R1 -> S1.
+        let (f0, k0) = &routed.flows[0];
+        assert_eq!((f0.src, f0.dst), (NodeId(0), NodeId(4)));
+        assert_eq!(*k0, FlowKind::HilDownlink { vc: 0, tag: 0 });
+        let (f1, k1) = &routed.flows[1];
+        assert_eq!((f1.src, f1.dst), (NodeId(4), NodeId(1)));
+        assert!(matches!(k1, FlowKind::Relay { vc: 0, .. }));
+        assert_eq!(f1.after, Some(0));
+
+        // R1 carries one job per direction it forwards.
+        let r1_jobs = &routed.jobs[&NodeId(4)];
+        assert!(r1_jobs.contains(&RelayJob {
+            upstream: NodeId(0),
+            origin: NodeId(0),
+            kind: FlowKind::HilDownlink { vc: 0, tag: 0 },
+        }));
+        assert!(r1_jobs.contains(&RelayJob {
+            upstream: NodeId(1),
+            origin: NodeId(1),
+            kind: FlowKind::SensorPublish { vc: 0, tag: 0 },
+        }));
+
+        // Every hop chain is strictly pipelined: each physical flow after
+        // its predecessor within the logical chain.
+        for (li, &(first, last)) in routed.spans.iter().enumerate() {
+            for idx in first + 1..=last {
+                assert_eq!(routed.flows[idx].0.after, Some(idx - 1), "flow {li}");
+            }
+        }
+        // And the schedule respects it end to end.
+        let flows: Vec<Flow> = routed.flows.iter().map(|(f, _)| f.clone()).collect();
+        let cfg = evm_mac::RtLinkConfig::default();
+        let (sched, placed) =
+            evm_mac::rtlink::SlotSchedule::place_flows(&cfg, &topo, &flows).expect("schedulable");
+        assert!(sched.is_interference_free(&topo));
+        for (i, f) in flows.iter().enumerate() {
+            if let Some(dep) = f.after {
+                assert!(placed[dep] < placed[i]);
+            }
+        }
+    }
+
+    /// A listener no hop transmitter can reach extends the multicast
+    /// chain instead of silently starving: the grid's backup controller
+    /// gets the primary's output over a forwarding hop.
+    #[test]
+    fn unreachable_listener_extends_the_chain() {
+        let spec = TopologySpec::grid(2, 3, 1, 2, 1, false, GRID_SPACING_M);
+        // GW=0, S1=1, Ctrl-A=2, Ctrl-B=3, A1=4, R1=5.
+        let (topo, map) = resolve(&spec);
+        assert!(!topo.are_neighbors(NodeId(2), NodeId(3)), "diagonal ctrls");
+        let logical = synth_flows(&map);
+        let routed = route_flows(&topo, &logical).expect("routable");
+        // Ctrl-A's output flow: direct hop to A1, then a forwarding hop
+        // carrying it on to Ctrl-B.
+        let out_idx = logical
+            .iter()
+            .position(|(f, k)| {
+                matches!(k, FlowKind::ControlPublish { vc: 0 }) && f.src == NodeId(2)
+            })
+            .expect("primary output flow");
+        let (first, last) = routed.spans[out_idx];
+        assert!(last > first, "listener must extend the chain");
+        let hop = &routed.flows[last].0;
+        assert_eq!(hop.dst, NodeId(3));
+        assert!(
+            routed.jobs[&hop.src]
+                .iter()
+                .any(|j| j.origin == NodeId(2)
+                    && matches!(j.kind, FlowKind::ControlPublish { vc: 0 }))
+        );
+    }
+
+    #[test]
+    fn unroutable_flows_are_reported() {
+        let mut spec = TopologySpec::minimal(10.0);
+        // Strand the sensor 500 m out: nothing can reach it.
+        spec.nodes[1].position = Position::new(500.0, 0.0);
+        let (topo, map) = resolve(&spec);
+        let logical = synth_flows(&map);
+        let err = route_flows(&topo, &logical).expect_err("unroutable");
+        assert_eq!(err.flow, 0);
+        assert_eq!(err.to, NodeId(1));
     }
 }

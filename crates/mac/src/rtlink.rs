@@ -76,7 +76,7 @@ pub struct SlotAssignment {
 /// optionally names an earlier flow (by index into the flow slice) whose
 /// slot must strictly precede this one — that is how precedence chains are
 /// pipelined within a cycle.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Flow {
     /// Transmitting node.
     pub src: NodeId,
@@ -316,6 +316,44 @@ impl SlotSchedule {
                 slot,
                 owner: flow.src,
                 listeners,
+            });
+            placed_slot.push(slot);
+        }
+        Ok((schedule, placed_slot))
+    }
+
+    /// Like [`SlotSchedule::place_flows`], but with spatial reuse
+    /// disabled: every flow gets its own slot, in flow order. This is the
+    /// serialized upper bound a reused schedule is compared against — a
+    /// clustered deployment's spatially-reused cycle must be strictly
+    /// shorter than this while producing identical plant behavior.
+    ///
+    /// # Errors
+    ///
+    /// [`ScheduleError::OutOfSlots`] if the cycle is too short for one
+    /// slot per flow, [`ScheduleError::BadPrecedence`] on a
+    /// forward/dangling dependency.
+    pub fn place_flows_serial(
+        config: &RtLinkConfig,
+        flows: &[Flow],
+    ) -> Result<(SlotSchedule, Vec<usize>), ScheduleError> {
+        let mut schedule = SlotSchedule::new(config.slots_per_cycle);
+        let mut placed_slot: Vec<usize> = Vec::with_capacity(flows.len());
+        for (i, flow) in flows.iter().enumerate() {
+            match flow.after {
+                Some(dep) if dep >= i => return Err(ScheduleError::BadPrecedence { flow: i }),
+                _ => {}
+            }
+            // One slot per flow keeps every `after` edge satisfied for
+            // free: dependencies always occupy an earlier slot.
+            let slot = i + 1;
+            if slot >= config.slots_per_cycle {
+                return Err(ScheduleError::OutOfSlots { flow: i });
+            }
+            schedule.assign(SlotAssignment {
+                slot,
+                owner: flow.src,
+                listeners: flow.all_listeners(),
             });
             placed_slot.push(slot);
         }
@@ -629,6 +667,41 @@ mod tests {
             "distant clusters should share slot 1"
         );
         assert!(sched.is_interference_free(&topo));
+    }
+
+    #[test]
+    fn serial_placement_disables_spatial_reuse() {
+        let topo = two_clusters();
+        let cfg = RtLinkConfig::default();
+        let flows = vec![
+            Flow::new(NodeId(0), NodeId(1)),
+            Flow::new(NodeId(10), NodeId(11)),
+            Flow::new(NodeId(1), NodeId(2)).after(0),
+        ];
+        let (reused, _) = SlotSchedule::place_flows(&cfg, &topo, &flows).unwrap();
+        let (serial, placed) = SlotSchedule::place_flows_serial(&cfg, &flows).unwrap();
+        // Serialized: one slot per flow in flow order.
+        assert_eq!(placed, vec![1, 2, 3]);
+        assert!(serial.is_interference_free(&topo));
+        // The distant clusters reuse slot 1 under the spatial placer, so
+        // the reused cycle is strictly shorter.
+        assert!(reused.max_slot().unwrap() < serial.max_slot().unwrap());
+    }
+
+    #[test]
+    fn serial_placement_reports_out_of_slots() {
+        let cfg = RtLinkConfig {
+            slots_per_cycle: 3,
+            ..RtLinkConfig::default()
+        };
+        let flows: Vec<Flow> = (1..=3)
+            .map(|i| Flow::new(NodeId(i as u16), NodeId::GATEWAY))
+            .collect();
+        let err = SlotSchedule::place_flows_serial(&cfg, &flows).unwrap_err();
+        assert_eq!(err, ScheduleError::OutOfSlots { flow: 2 });
+        let bad = vec![Flow::new(NodeId(1), NodeId(2)).after(0)];
+        let err = SlotSchedule::place_flows_serial(&cfg, &bad).unwrap_err();
+        assert_eq!(err, ScheduleError::BadPrecedence { flow: 0 });
     }
 
     #[test]

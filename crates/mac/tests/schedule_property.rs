@@ -1,0 +1,189 @@
+//! Property suite for the RT-Link slot scheduler over randomized
+//! multi-hop topologies.
+//!
+//! 200 SimRng-driven line / grid / clustered layouts (the shapes the
+//! runtime's `TopologySpec` generators produce, with jittered spacing and
+//! node counts) each get a randomized pipeline-chained flow set. For every
+//! case the greedy spatial placer must
+//!
+//! 1. satisfy [`SlotSchedule::is_interference_free`] under the 2-hop rule,
+//! 2. respect every `after` precedence edge, and
+//! 3. never need more slots than the serialized upper bound
+//!    ([`SlotSchedule::place_flows_serial`]) — spatial reuse only ever
+//!    shortens the cycle.
+//!
+//! No external property-testing dependency: the loop is a plain
+//! deterministic `SimRng` sweep, like the rest of the workspace.
+
+use evm_mac::rtlink::{Flow, RtLinkConfig, SlotSchedule};
+use evm_netsim::{Channel, ChannelConfig, NodeId, NodeInfo, NodeKind, Position, Topology};
+use evm_sim::SimRng;
+
+fn channel(seed: u64) -> Channel {
+    Channel::new(ChannelConfig::default(), SimRng::seed_from(seed))
+}
+
+fn derive(positions: Vec<Position>, seed: u64) -> Topology {
+    let infos = positions
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| NodeInfo::new(NodeId(i as u16), NodeKind::Relay, p, format!("n{i}")))
+        .collect();
+    Topology::derive(infos, &mut channel(seed))
+}
+
+/// A chain of nodes with jittered spacing: adjacency only between close
+/// neighbors, so 2-hop interference sets are small and slots can be
+/// reused along the line.
+fn random_line(rng: &mut SimRng) -> Topology {
+    let n = 4 + rng.index(9); // 4..=12 nodes
+    let spacing = rng.range(35.0, 45.0);
+    let positions = (0..n)
+        .map(|i| Position::new(i as f64 * spacing, rng.range(-2.0, 2.0)))
+        .collect();
+    derive(positions, 100 + n as u64)
+}
+
+/// A w x h lattice with jittered spacing (sometimes 8-connected when the
+/// diagonal is in range, sometimes 4-connected).
+fn random_grid(rng: &mut SimRng) -> Topology {
+    let w = 2 + rng.index(3); // 2..=4
+    let h = 2 + rng.index(3);
+    let spacing = rng.range(38.0, 55.0);
+    let positions = (0..w * h)
+        .map(|i| Position::new((i % w) as f64 * spacing, (i / w) as f64 * spacing))
+        .collect();
+    derive(positions, 200 + (w * 10 + h) as u64)
+}
+
+/// k distant clusters around a central node, each behind a 2-relay chain:
+/// intra-cluster traffic in different clusters can share slots.
+fn random_clustered(rng: &mut SimRng) -> Topology {
+    let k = 2 + rng.index(3); // 2..=4 clusters
+    let members = 2 + rng.index(3); // 2..=4 nodes per cluster
+    let hop = rng.range(36.0, 42.0);
+    let mut positions = vec![Position::new(0.0, 0.0)];
+    for c in 0..k {
+        let angle = 2.0 * std::f64::consts::PI * c as f64 / k as f64;
+        let (dx, dy) = (angle.cos(), angle.sin());
+        positions.push(Position::new(hop * dx, hop * dy));
+        positions.push(Position::new(2.0 * hop * dx, 2.0 * hop * dy));
+        for m in 0..members {
+            let theta = 2.0 * std::f64::consts::PI * m as f64 / members as f64;
+            positions.push(Position::new(
+                3.0 * hop * dx + 2.0 * theta.cos(),
+                3.0 * hop * dy + 2.0 * theta.sin(),
+            ));
+        }
+    }
+    derive(positions, 300 + (k * 10 + members) as u64)
+}
+
+/// A randomized flow set: random (src, dst) pairs, random listener
+/// subsets, and a sprinkling of backward `after` edges (always valid:
+/// they reference earlier flows only).
+fn random_flows(rng: &mut SimRng, topology: &Topology) -> Vec<Flow> {
+    let ids: Vec<NodeId> = topology.nodes().iter().map(|n| n.id).collect();
+    let n_flows = 2 + rng.index(ids.len().min(10));
+    (0..n_flows)
+        .map(|i| {
+            let src = ids[rng.index(ids.len())];
+            let dst = loop {
+                let d = ids[rng.index(ids.len())];
+                if d != src {
+                    break d;
+                }
+            };
+            let mut listeners = Vec::new();
+            for &l in &ids {
+                if l != src && l != dst && rng.chance(0.2) {
+                    listeners.push(l);
+                }
+            }
+            let mut flow = Flow::new(src, dst).with_listeners(listeners);
+            if i > 0 && rng.chance(0.5) {
+                flow = flow.after(rng.index(i));
+            }
+            flow
+        })
+        .collect()
+}
+
+#[test]
+fn randomized_multi_hop_schedules_hold_the_invariants() {
+    let mut rng = SimRng::seed_from(0x70B0);
+    let mut reused_strictly_shorter = 0usize;
+    for case in 0..200 {
+        let topology = match case % 3 {
+            0 => random_line(&mut rng),
+            1 => random_grid(&mut rng),
+            _ => random_clustered(&mut rng),
+        };
+        let flows = random_flows(&mut rng, &topology);
+        // A cycle long enough that the serialized bound always fits:
+        // failures below are scheduler bugs, not capacity limits.
+        let cfg = RtLinkConfig {
+            slots_per_cycle: flows.len() + 2,
+            ..RtLinkConfig::default()
+        };
+
+        let (schedule, placed) = SlotSchedule::place_flows(&cfg, &topology, &flows)
+            .unwrap_or_else(|e| panic!("case {case}: spatial placement failed: {e}"));
+        assert!(
+            schedule.is_interference_free(&topology),
+            "case {case}: 2-hop interference violated"
+        );
+        for (i, flow) in flows.iter().enumerate() {
+            if let Some(dep) = flow.after {
+                assert!(
+                    placed[dep] < placed[i],
+                    "case {case}: flow {i} not after its dependency"
+                );
+            }
+        }
+
+        let (serial, serial_placed) = SlotSchedule::place_flows_serial(&cfg, &flows)
+            .unwrap_or_else(|e| panic!("case {case}: serial placement failed: {e}"));
+        assert!(serial.is_interference_free(&topology));
+        assert_eq!(serial.max_slot(), Some(flows.len()));
+        assert_eq!(serial_placed.len(), placed.len());
+        let reused_len = schedule.max_slot().expect("non-empty");
+        assert!(
+            reused_len <= serial.max_slot().unwrap(),
+            "case {case}: reuse needed {reused_len} slots, serialized bound {}",
+            serial.max_slot().unwrap()
+        );
+        if reused_len < serial.max_slot().unwrap() {
+            reused_strictly_shorter += 1;
+        }
+    }
+    // The suite must actually exercise spatial reuse, not just degenerate
+    // single-slot cases.
+    assert!(
+        reused_strictly_shorter > 40,
+        "only {reused_strictly_shorter}/200 cases reused slots"
+    );
+}
+
+/// The invariant checker itself is exercised against schedules that pack
+/// unrelated transmitters into one slot: hand-building a colliding slot
+/// must be caught.
+#[test]
+fn is_interference_free_rejects_hand_built_collisions() {
+    let mut rng = SimRng::seed_from(0xBAD);
+    let topology = random_line(&mut rng);
+    let flows = vec![
+        Flow::new(NodeId(0), NodeId(1)),
+        Flow::new(NodeId(1), NodeId(2)),
+    ];
+    let cfg = RtLinkConfig::default();
+    let (mut schedule, _) = SlotSchedule::place_flows(&cfg, &topology, &flows).unwrap();
+    // Force the second flow into the first flow's slot: owners 0 and 1
+    // are neighbors, a guaranteed 2-hop conflict.
+    schedule.assign(evm_mac::rtlink::SlotAssignment {
+        slot: 1,
+        owner: NodeId(1),
+        listeners: vec![NodeId(2)],
+    });
+    assert!(!schedule.is_interference_free(&topology));
+}

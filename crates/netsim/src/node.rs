@@ -50,6 +50,9 @@ pub enum NodeKind {
     /// Bridges the wireless network to the plant interface (ModBus in
     /// Fig. 5).
     Gateway,
+    /// Pure store-and-forward node: extends a Virtual Component's reach
+    /// beyond one radio hop (multi-hop line / grid / clustered layouts).
+    Relay,
 }
 
 impl fmt::Display for NodeKind {
@@ -59,6 +62,7 @@ impl fmt::Display for NodeKind {
             NodeKind::Actuator => "actuator",
             NodeKind::Controller => "controller",
             NodeKind::Gateway => "gateway",
+            NodeKind::Relay => "relay",
         };
         f.write_str(s)
     }

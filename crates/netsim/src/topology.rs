@@ -49,6 +49,9 @@ impl Topology {
         }
         for v in neighbors.values_mut() {
             v.sort_unstable();
+            // Defensive: a duplicate edge would double-count a neighbor in
+            // BFS expansions and interference sets.
+            v.dedup();
         }
         Topology {
             nodes,
@@ -130,25 +133,53 @@ impl Topology {
     }
 
     /// Hop count of the shortest path from `from` to `to` (BFS), or `None`
-    /// if unreachable.
+    /// if unreachable or either endpoint is not deployed.
     #[must_use]
     pub fn hops(&self, from: NodeId, to: NodeId) -> Option<usize> {
-        if from == to {
-            return Some(0);
+        self.shortest_path(from, to).map(|p| p.len() - 1)
+    }
+
+    /// The shortest path from `from` to `to` as a node sequence (both
+    /// endpoints included; `[from]` when they coincide), or `None` if
+    /// unreachable or either endpoint is not deployed.
+    ///
+    /// Deterministic: BFS expands the sorted neighbor lists in order and a
+    /// node's parent is its first discoverer, so equal-length ties always
+    /// resolve the same way — multi-hop flow routing (and its golden
+    /// traces) depend on this.
+    #[must_use]
+    pub fn shortest_path(&self, from: NodeId, to: NodeId) -> Option<Vec<NodeId>> {
+        if self.node(from).is_none() || self.node(to).is_none() {
+            return None;
         }
+        if from == to {
+            return Some(vec![from]);
+        }
+        let mut parent: HashMap<NodeId, NodeId> = HashMap::new();
         let mut seen: HashSet<NodeId> = HashSet::from([from]);
-        let mut queue = VecDeque::from([(from, 0usize)]);
-        while let Some((cur, d)) = queue.pop_front() {
+        let mut queue = VecDeque::from([from]);
+        'bfs: while let Some(cur) = queue.pop_front() {
             for &nb in self.neighbors(cur) {
-                if nb == to {
-                    return Some(d + 1);
-                }
                 if seen.insert(nb) {
-                    queue.push_back((nb, d + 1));
+                    parent.insert(nb, cur);
+                    if nb == to {
+                        break 'bfs;
+                    }
+                    queue.push_back(nb);
                 }
             }
         }
-        None
+        if !parent.contains_key(&to) {
+            return None;
+        }
+        let mut path = vec![to];
+        let mut cur = to;
+        while let Some(&p) = parent.get(&cur) {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        Some(path)
     }
 
     /// `true` if every node can reach every other node.
@@ -288,5 +319,102 @@ mod tests {
     fn distance_lookup() {
         let topo = line(3, 10.0);
         assert!((topo.distance(NodeId(0), NodeId(2)) - 20.0).abs() < 1e-12);
+    }
+
+    /// Edge cases surfaced by the schedule property loop: an isolated
+    /// node has an empty interference set (it can share any slot), and
+    /// an undeployed id never aliases a deployed one.
+    #[test]
+    fn two_hop_set_of_isolated_and_unknown_nodes_is_empty() {
+        let mut ch = channel();
+        let infos = vec![
+            NodeInfo::new(NodeId(0), NodeKind::Sensor, Position::new(0.0, 0.0), "a"),
+            NodeInfo::new(NodeId(1), NodeKind::Sensor, Position::new(10.0, 0.0), "b"),
+            NodeInfo::new(
+                NodeId(9),
+                NodeKind::Relay,
+                Position::new(5000.0, 0.0),
+                "lone",
+            ),
+        ];
+        let topo = Topology::derive(infos, &mut ch);
+        assert!(topo.two_hop_set(NodeId(9)).is_empty());
+        assert!(topo.two_hop_set(NodeId(77)).is_empty());
+        assert_eq!(topo.neighbors(NodeId(9)), &[]);
+    }
+
+    /// `hops`/`shortest_path` report `None` for undeployed endpoints —
+    /// including the `from == to` case, which used to claim distance 0
+    /// for ids the topology has never seen.
+    #[test]
+    fn hops_of_unknown_endpoints_is_none() {
+        let topo = line(3, 10.0);
+        assert_eq!(topo.hops(NodeId(42), NodeId(42)), None);
+        assert_eq!(topo.hops(NodeId(0), NodeId(42)), None);
+        assert_eq!(topo.hops(NodeId(42), NodeId(0)), None);
+        assert_eq!(topo.shortest_path(NodeId(42), NodeId(0)), None);
+        assert_eq!(topo.hops(NodeId(1), NodeId(1)), Some(0));
+        assert_eq!(
+            topo.shortest_path(NodeId(1), NodeId(1)),
+            Some(vec![NodeId(1)])
+        );
+    }
+
+    /// Two nodes at the same position (duplicate coordinates, distinct
+    /// ids) form an ordinary 1 m-floored link, not a degenerate edge.
+    #[test]
+    fn co_located_nodes_link_once() {
+        let mut ch = channel();
+        let infos = vec![
+            NodeInfo::new(NodeId(0), NodeKind::Sensor, Position::new(3.0, 4.0), "a"),
+            NodeInfo::new(NodeId(1), NodeKind::Sensor, Position::new(3.0, 4.0), "b"),
+        ];
+        let topo = Topology::derive(infos, &mut ch);
+        assert_eq!(topo.neighbors(NodeId(0)), &[NodeId(1)]);
+        assert_eq!(topo.neighbors(NodeId(1)), &[NodeId(0)]);
+        assert_eq!(topo.two_hop_set(NodeId(0)), HashSet::from([NodeId(1)]));
+    }
+
+    #[test]
+    fn shortest_path_is_deterministic_and_minimal() {
+        // A 3x3 grid with 10 m spacing is densely connected; the path
+        // must be minimal and identical across calls.
+        let mut ch = channel();
+        let infos = (0..9u16)
+            .map(|i| {
+                NodeInfo::new(
+                    NodeId(i),
+                    NodeKind::Relay,
+                    Position::new(f64::from(i % 3) * 40.0, f64::from(i / 3) * 40.0),
+                    format!("r{i}"),
+                )
+            })
+            .collect();
+        let topo = Topology::derive(infos, &mut ch);
+        let p1 = topo.shortest_path(NodeId(0), NodeId(8)).expect("reachable");
+        let p2 = topo.shortest_path(NodeId(0), NodeId(8)).expect("reachable");
+        assert_eq!(p1, p2, "tie-breaks must be stable");
+        assert_eq!(p1.len() - 1, topo.hops(NodeId(0), NodeId(8)).unwrap());
+        assert_eq!(p1.first(), Some(&NodeId(0)));
+        assert_eq!(p1.last(), Some(&NodeId(8)));
+        for w in p1.windows(2) {
+            assert!(topo.are_neighbors(w[0], w[1]), "{:?} not a link", w);
+        }
+    }
+
+    #[test]
+    fn relay_kind_is_first_class() {
+        let mut ch = channel();
+        let topo = Topology::derive(
+            vec![NodeInfo::new(
+                NodeId(4),
+                NodeKind::Relay,
+                Position::new(0.0, 0.0),
+                "R1",
+            )],
+            &mut ch,
+        );
+        assert_eq!(topo.of_kind(NodeKind::Relay), vec![NodeId(4)]);
+        assert_eq!(NodeKind::Relay.to_string(), "relay");
     }
 }

@@ -10,7 +10,10 @@
 //! state — so the work-list is identical no matter who expands it, and
 //! results are reproducible no matter which thread runs which cell.
 
-use evm_core::runtime::{Role, Scenario, TopologySpec, VcMap};
+use evm_core::runtime::{
+    Layout, Role, Scenario, TopologySpec, CLUSTER_HOP_M, CLUSTER_RING_M, GRID_SPACING_M,
+    LINE_SPACING_M,
+};
 use evm_netsim::GilbertElliott;
 use evm_sim::derive_seed;
 
@@ -145,6 +148,9 @@ impl BurstSpec {
 /// Cell metadata: the axis values (and derived seed) behind one scenario.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CellConfig {
+    /// The layout family of the cell's topology (star unless the grid
+    /// carries an `over_topology` axis).
+    pub topo: Layout,
     /// Number of Virtual Components hosted on the shared cycle.
     pub vcs: usize,
     /// Star role counts of the cell's topology (per VC).
@@ -170,8 +176,15 @@ impl CellConfig {
     /// config points can never collide into one row.
     #[must_use]
     pub fn key(&self) -> String {
+        // Star keys keep their pre-topology-axis format, so star-only
+        // grids (and their pinned goldens) render unchanged.
+        let topo = if self.topo == Layout::Star {
+            String::new()
+        } else {
+            format!("|{}", self.topo.label())
+        };
         format!(
-            "{}v{}|loss{}|{}|det{}x{}",
+            "{}v{}|loss{}|{}|det{}x{}{topo}",
             self.star.label(),
             self.vcs,
             self.loss,
@@ -200,6 +213,7 @@ pub struct SweepCell {
 #[derive(Debug, Clone)]
 pub struct SweepGrid {
     template: Scenario,
+    topo: Option<Vec<Layout>>,
     vcs: Option<Vec<usize>>,
     stars: Option<Vec<StarShape>>,
     loss: Option<Vec<f64>>,
@@ -218,6 +232,7 @@ impl SweepGrid {
         let base_seed = template.seed;
         SweepGrid {
             template,
+            topo: None,
             vcs: None,
             stars: None,
             loss: None,
@@ -246,6 +261,18 @@ impl SweepGrid {
             );
         }
         self.vcs = Some(vcs.to_vec());
+        self
+    }
+
+    /// Sweeps the layout family (star / line / grid / clustered) at the
+    /// grid's role counts — the multi-hop `over_topology` axis. Cells
+    /// rebuild the topology with the layouts' calibrated default
+    /// spacings; line and grid host a single VC, so combining them with a
+    /// `vcs` value above 1 is rejected at expansion.
+    #[must_use]
+    pub fn over_topology(mut self, layouts: &[Layout]) -> Self {
+        assert!(!layouts.is_empty(), "empty axis");
+        self.topo = Some(layouts.to_vec());
         self
     }
 
@@ -316,7 +343,8 @@ impl SweepGrid {
     #[must_use]
     pub fn len(&self) -> usize {
         let ax = |n: Option<usize>| n.unwrap_or(1);
-        ax(self.vcs.as_ref().map(Vec::len))
+        ax(self.topo.as_ref().map(Vec::len))
+            * ax(self.vcs.as_ref().map(Vec::len))
             * ax(self.stars.as_ref().map(Vec::len))
             * ax(self.loss.as_ref().map(Vec::len))
             * ax(self.burst.as_ref().map(Vec::len))
@@ -331,8 +359,8 @@ impl SweepGrid {
     }
 
     /// Expands the cartesian product into the work-list, in a fixed axis
-    /// order (vcs → stars → loss → burst → detection → replicate). Cell
-    /// ids and seeds depend only on the grid definition.
+    /// order (topology → vcs → stars → loss → burst → detection →
+    /// replicate). Cell ids and seeds depend only on the grid definition.
     ///
     /// Every cell's topology is validated here, so a malformed template
     /// fails fast at grid definition (with the cell id and the typed
@@ -344,6 +372,10 @@ impl SweepGrid {
     /// Panics if any cell's topology spec is malformed.
     #[must_use]
     pub fn expand(&self) -> Vec<SweepCell> {
+        let topo_axis: Vec<Option<Layout>> = match &self.topo {
+            Some(v) => v.iter().copied().map(Some).collect(),
+            None => vec![None],
+        };
         let vcs_axis: Vec<Option<usize>> = match &self.vcs {
             Some(v) => v.iter().copied().map(Some).collect(),
             None => vec![None],
@@ -370,55 +402,55 @@ impl SweepGrid {
         let template_shape = StarShape::of_spec(&self.template.topology);
         let template_vcs = self.template.n_vcs();
         let mut cells = Vec::with_capacity(self.len());
-        for &vcs in &vcs_axis {
-            for star in &stars {
-                for &loss in &losses {
-                    for burst in &bursts {
-                        for &(threshold, consecutive) in &detection {
-                            for rep in 0..self.seeds_per_cell {
-                                let id = cells.len();
-                                let seed = derive_seed(self.base_seed, id as u64);
-                                let mut scenario = self.template.clone();
-                                // Either varied axis rebuilds the topology
-                                // (a vcs value also re-derives the hosting
-                                // manifest).
-                                if vcs.is_some() || star.is_some() {
-                                    let s = star.unwrap_or(template_shape);
-                                    let n = vcs.unwrap_or(template_vcs);
-                                    scenario.topology = TopologySpec::multi_star(
-                                        n,
-                                        s.sensors,
-                                        s.controllers,
-                                        s.actuators,
-                                        s.head,
-                                        self.radius_m,
-                                    );
-                                    scenario.host_vcs(n);
+        for &topo in &topo_axis {
+            for &vcs in &vcs_axis {
+                for star in &stars {
+                    for &loss in &losses {
+                        for burst in &bursts {
+                            for &(threshold, consecutive) in &detection {
+                                for rep in 0..self.seeds_per_cell {
+                                    let id = cells.len();
+                                    let seed = derive_seed(self.base_seed, id as u64);
+                                    let mut scenario = self.template.clone();
+                                    // Any varied topology axis rebuilds the
+                                    // topology (a vcs value also re-derives
+                                    // the hosting manifest).
+                                    if topo.is_some() || vcs.is_some() || star.is_some() {
+                                        let s = star.unwrap_or(template_shape);
+                                        let n = vcs.unwrap_or(template_vcs);
+                                        scenario.topology = build_topology(
+                                            id,
+                                            topo.unwrap_or(Layout::Star),
+                                            n,
+                                            s,
+                                            self.radius_m,
+                                        );
+                                        scenario.host_vcs(n);
+                                    }
+                                    scenario.extra_loss = loss;
+                                    if let Some(b) = burst {
+                                        scenario.channel.burst = b.to_process();
+                                    }
+                                    scenario.detect_threshold = threshold;
+                                    scenario.detect_consecutive = consecutive;
+                                    scenario.seed = seed;
+                                    validate_cell(id, &scenario);
+                                    cells.push(SweepCell {
+                                        id,
+                                        config: CellConfig {
+                                            topo: topo.unwrap_or(Layout::Star),
+                                            vcs: vcs.unwrap_or(template_vcs),
+                                            star: star.unwrap_or(template_shape),
+                                            loss,
+                                            burst: *burst,
+                                            detect_threshold: threshold,
+                                            detect_consecutive: consecutive,
+                                            rep,
+                                            seed,
+                                        },
+                                        scenario,
+                                    });
                                 }
-                                scenario.extra_loss = loss;
-                                if let Some(b) = burst {
-                                    scenario.channel.burst = b.to_process();
-                                }
-                                scenario.detect_threshold = threshold;
-                                scenario.detect_consecutive = consecutive;
-                                scenario.seed = seed;
-                                if let Err(e) = VcMap::try_from_spec(&scenario.topology) {
-                                    panic!("sweep cell {id} has a malformed topology: {e}");
-                                }
-                                cells.push(SweepCell {
-                                    id,
-                                    config: CellConfig {
-                                        vcs: vcs.unwrap_or(template_vcs),
-                                        star: star.unwrap_or(template_shape),
-                                        loss,
-                                        burst: *burst,
-                                        detect_threshold: threshold,
-                                        detect_consecutive: consecutive,
-                                        rep,
-                                        seed,
-                                    },
-                                    scenario,
-                                });
                             }
                         }
                     }
@@ -426,6 +458,90 @@ impl SweepGrid {
             }
         }
         cells
+    }
+}
+
+/// Expansion-time validation of one cell: the topology must resolve
+/// (roles), route (every flow's receivers reachable over the physical
+/// connectivity — the multi-hop layouts make this a real failure mode)
+/// and schedule (the pipeline fits the RT-Link cycle). Mirrors engine
+/// construction exactly — same channel stream — so a cell that passes
+/// here cannot panic a worker hours into the batch.
+fn validate_cell(id: usize, scenario: &Scenario) {
+    let mut rng = evm_sim::SimRng::seed_from(scenario.seed);
+    let mut channel = evm_netsim::Channel::new(scenario.channel.clone(), rng.fork(1));
+    let (topology, map) = match scenario.topology.try_resolve(&mut channel) {
+        Ok(out) => out,
+        Err(e) => panic!("sweep cell {id} has a malformed topology: {e}"),
+    };
+    let routed =
+        match evm_core::runtime::route_flows(&topology, &evm_core::runtime::synth_flows(&map)) {
+            Ok(routed) => routed,
+            Err(e) => panic!("sweep cell {id} has an unroutable topology: {e}"),
+        };
+    let flows: Vec<_> = routed.flows.into_iter().map(|(f, _)| f).collect();
+    let placed = if scenario.serial_schedule {
+        evm_mac::rtlink::SlotSchedule::place_flows_serial(&scenario.rtlink, &flows).map(|_| ())
+    } else {
+        evm_mac::rtlink::SlotSchedule::place_flows(&scenario.rtlink, &topology, &flows).map(|_| ())
+    };
+    if let Err(e) = placed {
+        panic!("sweep cell {id} cannot schedule its flows: {e}");
+    }
+}
+
+/// Materializes one cell's topology for the given layout family. Line
+/// and grid layouts host a single VC; pairing them with a multi-VC axis
+/// value is a grid-definition error surfaced with the cell id.
+fn build_topology(
+    id: usize,
+    layout: Layout,
+    vcs: usize,
+    s: StarShape,
+    radius_m: f64,
+) -> TopologySpec {
+    match layout {
+        Layout::Star => {
+            TopologySpec::multi_star(vcs, s.sensors, s.controllers, s.actuators, s.head, radius_m)
+        }
+        Layout::Line { hops } => {
+            assert!(
+                vcs == 1,
+                "sweep cell {id}: line layouts host a single VC, got {vcs}"
+            );
+            TopologySpec::line(
+                hops,
+                s.sensors,
+                s.controllers,
+                s.actuators,
+                s.head,
+                LINE_SPACING_M,
+            )
+        }
+        Layout::Grid { w, h } => {
+            assert!(
+                vcs == 1,
+                "sweep cell {id}: grid layouts host a single VC, got {vcs}"
+            );
+            TopologySpec::grid(
+                w,
+                h,
+                s.sensors,
+                s.controllers,
+                s.actuators,
+                s.head,
+                GRID_SPACING_M,
+            )
+        }
+        Layout::Clustered => TopologySpec::clustered(
+            vcs,
+            s.sensors,
+            s.controllers,
+            s.actuators,
+            s.head,
+            CLUSTER_HOP_M,
+            CLUSTER_RING_M,
+        ),
     }
 }
 
@@ -583,6 +699,78 @@ mod tests {
         let _ = SweepGrid::new(short_template()).over_vcs(&[0]);
     }
 
+    /// The `over_topology` axis rebuilds each cell's topology per layout
+    /// family; keys grow a layout suffix only off the star family, so
+    /// star-only grids keep their historical keys.
+    #[test]
+    fn topology_axis_rebuilds_layouts() {
+        let shapes = [
+            Layout::Star,
+            Layout::Line { hops: 2 },
+            Layout::Grid { w: 2, h: 3 },
+            Layout::Clustered,
+        ];
+        let cells = SweepGrid::new(short_template())
+            .over_topology(&shapes)
+            .over_stars(&[StarShape {
+                sensors: 1,
+                controllers: 2,
+                actuators: 1,
+                head: false,
+            }])
+            .expand();
+        assert_eq!(cells.len(), 4);
+        // Star: GW + 4 role nodes. Line(2): + relay = 6. Grid 2x3: fills
+        // the 6-cell lattice. Clustered: + 2 relays = 7.
+        assert_eq!(cells[0].scenario.topology.nodes.len(), 5);
+        assert_eq!(cells[1].scenario.topology.nodes.len(), 6);
+        assert_eq!(cells[2].scenario.topology.nodes.len(), 6);
+        assert_eq!(cells[3].scenario.topology.nodes.len(), 7);
+        assert!(cells[0].config.key().ends_with("det5x3"));
+        assert!(cells[1].config.key().ends_with("|line2"));
+        assert!(cells[2].config.key().ends_with("|grid2x3"));
+        assert!(cells[3].config.key().ends_with("|clustered"));
+        // Every non-star cell hosts relay-capable routes: the line and
+        // clustered layouts carry dedicated relay roles.
+        assert!(cells[1]
+            .scenario
+            .topology
+            .nodes
+            .iter()
+            .any(|n| matches!(n.role, Role::Relay(_))));
+    }
+
+    #[test]
+    #[should_panic(expected = "line layouts host a single VC")]
+    fn multi_vc_line_cells_rejected_at_expansion() {
+        let _ = SweepGrid::new(short_template())
+            .over_topology(&[Layout::Line { hops: 2 }])
+            .over_vcs(&[2])
+            .expand();
+    }
+
+    /// Clustered cells pair the layout with the vcs axis: one cluster
+    /// per hosted VC.
+    #[test]
+    fn clustered_cells_follow_the_vcs_axis() {
+        let cells = SweepGrid::new(short_template())
+            .over_topology(&[Layout::Clustered])
+            .over_vcs(&[1, 2])
+            .over_stars(&[StarShape {
+                sensors: 1,
+                controllers: 2,
+                actuators: 1,
+                head: true,
+            }])
+            .expand();
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells[0].scenario.n_vcs(), 1);
+        assert_eq!(cells[1].scenario.n_vcs(), 2);
+        // 1 + k * (5 members + 2 relays).
+        assert_eq!(cells[0].scenario.topology.nodes.len(), 8);
+        assert_eq!(cells[1].scenario.topology.nodes.len(), 15);
+    }
+
     /// A malformed template fails at grid definition with the cell id,
     /// not hours later inside a worker thread.
     #[test]
@@ -590,6 +778,29 @@ mod tests {
     fn expand_rejects_malformed_template() {
         let mut template = short_template();
         template.topology.nodes.retain(|n| n.role != Role::Gateway);
+        let _ = SweepGrid::new(template).expand();
+    }
+
+    /// Routability is validated at expansion too: a role-complete
+    /// topology whose flows cannot be carried by the physical
+    /// connectivity (a stranded node) is rejected with the cell id
+    /// instead of panicking a worker mid-batch.
+    #[test]
+    #[should_panic(expected = "sweep cell 0 has an unroutable topology")]
+    fn expand_rejects_unroutable_template() {
+        let mut template = short_template();
+        // Strand the focus sensor far out of everyone's radio range.
+        template.topology.nodes[1].position = evm_netsim::Position::new(5000.0, 0.0);
+        let _ = SweepGrid::new(template).expand();
+    }
+
+    /// ...and so is schedulability: a pipeline that cannot fit the
+    /// configured RT-Link cycle fails at expansion.
+    #[test]
+    #[should_panic(expected = "sweep cell 0 cannot schedule its flows")]
+    fn expand_rejects_unschedulable_template() {
+        let mut template = short_template();
+        template.rtlink.slots_per_cycle = 4; // 3 data slots for 8 flows
         let _ = SweepGrid::new(template).expand();
     }
 }

@@ -44,6 +44,9 @@ pub struct CellStats {
     pub ise: f64,
     /// Mean radio current across nodes, mA.
     pub mean_current_ma: f64,
+    /// Deployed node count (relays included) — the topology axis's
+    /// scale column.
+    pub nodes: usize,
     /// Per-VC stats, indexed by `VcId`: `(loop name, actuations,
     /// deadline hit ratio, regulation cost)`.
     pub per_vc: Vec<VcCellStats>,
@@ -122,6 +125,7 @@ impl CellStats {
             e2e_p99_ms: q(0.99),
             ise,
             mean_current_ma: r.mean_node_current_ma().unwrap_or(f64::NAN),
+            nodes: r.meta.nodes,
             per_vc,
         }
     }
@@ -352,7 +356,7 @@ impl SweepReport {
     #[must_use]
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "key,sensors,controllers,actuators,head,loss,burst,detect_threshold,\
+            "key,topology,sensors,controllers,actuators,head,loss,burst,detect_threshold,\
              detect_consecutive,runs,detected_runs,fail_safe_runs,detect_mean_s,\
              failover_mean_s,failover_p50_s,failover_p99_s,hit_ratio,e2e_p50_ms,\
              e2e_p99_ms,ise_mean,mean_current_ma\n",
@@ -363,8 +367,9 @@ impl SweepReport {
             // distinct config points never render identical axis cells.
             let _ = writeln!(
                 out,
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.6},{},{},{},{}",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.6},{},{},{},{}",
                 r.key,
+                c.topo.label(),
                 c.star.sensors,
                 c.star.controllers,
                 c.star.actuators,
@@ -444,6 +449,44 @@ impl SweepReport {
         out
     }
 
+    /// The per-config topology CSV: the layout family, deployment scale
+    /// and pooled QoS of each config point — the row set the multi-hop
+    /// `over_topology` axis reads off (one row per config point, so a
+    /// star-only grid still renders a well-formed single-shape table).
+    #[must_use]
+    pub fn topology_csv(&self) -> String {
+        let mut out = String::from(
+            "key,topology,vcs,nodes,runs,hit_ratio,e2e_p50_ms,e2e_p99_ms,\
+             failover_mean_s,ise_mean,mean_current_ma\n",
+        );
+        // Node counts are identical within a config point (same layout,
+        // same topology): one pass over the cells indexes them by key.
+        let mut nodes_by_key: std::collections::HashMap<String, usize> =
+            std::collections::HashMap::new();
+        for (c, s) in &self.cells {
+            nodes_by_key.entry(c.key()).or_insert(s.nodes);
+        }
+        for r in &self.rows {
+            let nodes = nodes_by_key.get(&r.key).copied().unwrap_or(0);
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{:.6},{},{},{},{},{}",
+                r.key,
+                r.config.topo.label(),
+                r.config.vcs,
+                nodes,
+                r.runs,
+                r.hit_ratio,
+                f3(r.e2e_p50_ms),
+                f3(r.e2e_p99_ms),
+                f3(r.failover_mean_s),
+                f3(r.ise_mean),
+                f3(r.mean_current_ma),
+            );
+        }
+        out
+    }
+
     /// A human-readable markdown summary with the per-config table.
     #[must_use]
     pub fn to_markdown(&self) -> String {
@@ -504,8 +547,9 @@ impl SweepReport {
         out
     }
 
-    /// Writes `{stem}.csv`, `{stem}_cells.csv` and `{stem}.md` under `dir`
-    /// (created if needed) and returns the paths.
+    /// Writes `{stem}.csv`, `{stem}_cells.csv`, `{stem}_vcs.csv`,
+    /// `{stem}_topology.csv` and `{stem}.md` under `dir` (created if
+    /// needed) and returns the paths.
     ///
     /// # Panics
     ///
@@ -516,6 +560,7 @@ impl SweepReport {
             (format!("{stem}.csv"), self.to_csv()),
             (format!("{stem}_cells.csv"), self.cells_csv()),
             (format!("{stem}_vcs.csv"), self.vcs_csv()),
+            (format!("{stem}_topology.csv"), self.topology_csv()),
             (format!("{stem}.md"), self.to_markdown()),
         ];
         targets

@@ -7,14 +7,14 @@
 //!
 //! ```text
 //! cargo run --release --example sweep            # the full grid
-//! cargo run --release --example sweep -- --smoke # tiny CI-sized grid
+//! cargo run --release --example sweep -- --smoke # tiny CI-sized grids
 //! cargo run --release --example sweep -- --threads 2
 //! ```
 
 use std::path::PathBuf;
 use std::time::Instant;
 
-use evm::core::runtime::Scenario;
+use evm::core::runtime::{Layout, Scenario};
 use evm::plant::ActuatorFault;
 use evm::prelude::*;
 use evm::sweep::{available_threads, run_cells, StarShape, SweepGrid, SweepReport};
@@ -30,22 +30,42 @@ fn main() {
             v.parse().expect("--threads takes a number")
         });
 
-    let (grid, stem) = if smoke {
-        // CI-sized: 2 vcs × 2 loss × 2 seeds = 8 cells, 60 s horizon. The
-        // 2-VC cells exercise the multi-VC scheduler + per-VC report rows
-        // on every push.
+    let grids: Vec<(SweepGrid, &str)> = if smoke {
+        // CI-sized: the vcs grid (2 vcs × 2 loss × 2 seeds) exercises
+        // the multi-VC scheduler + per-VC report rows; the topology grid
+        // (4 layouts × 2 seeds) the multi-hop routing pass + topology
+        // rows — line / grid / clustered relay flows on every push.
         let template = Scenario::builder()
             .duration(SimDuration::from_secs(60))
             .fault_at(SimTime::from_secs(15), ActuatorFault::paper_fault())
             .reconfig_epoch(SimDuration::ZERO)
             .build();
-        (
-            SweepGrid::new(template)
-                .over_vcs(&[1, 2])
-                .over_loss(&[0.0, 0.2])
-                .seeds_per_cell(2),
-            "sweep_smoke",
-        )
+        vec![
+            (
+                SweepGrid::new(template.clone())
+                    .over_vcs(&[1, 2])
+                    .over_loss(&[0.0, 0.2])
+                    .seeds_per_cell(2),
+                "sweep_smoke",
+            ),
+            (
+                SweepGrid::new(template)
+                    .over_topology(&[
+                        Layout::Star,
+                        Layout::Line { hops: 2 },
+                        Layout::Grid { w: 2, h: 3 },
+                        Layout::Clustered,
+                    ])
+                    .over_stars(&[StarShape {
+                        sensors: 1,
+                        controllers: 2,
+                        actuators: 1,
+                        head: true,
+                    }])
+                    .seeds_per_cell(2),
+                "sweep_smoke_topo",
+            ),
+        ]
     } else {
         // The statistics grid: 2 topologies × 3 loss × 2 detection × 8
         // seeds = 96 failover runs over a 300 s horizon.
@@ -54,49 +74,51 @@ fn main() {
             .fault_at(SimTime::from_secs(60), ActuatorFault::paper_fault())
             .reconfig_epoch(SimDuration::ZERO)
             .build();
-        (
+        vec![(
             SweepGrid::new(template)
                 .over_stars(&[StarShape::fig5(), StarShape::with_controllers(3)])
                 .over_loss(&[0.0, 0.1, 0.2])
                 .over_detection(&[(5.0, 3), (3.0, 4)])
                 .seeds_per_cell(8),
             "sweep",
-        )
+        )]
     };
 
-    let cells = grid.expand();
-    println!(
-        "sweep: {} cells on {threads} thread(s){}",
-        cells.len(),
-        if smoke { " [smoke]" } else { "" }
-    );
-    let start = Instant::now();
-    let results = run_cells(&cells, threads);
-    let wall = start.elapsed().as_secs_f64();
-    let report = SweepReport::build(&cells, &results);
-
-    println!(
-        "{:<28} {:>5} {:>9} {:>13} {:>10} {:>10}",
-        "config", "runs", "failsafe", "failover p99", "hit ratio", "ISE"
-    );
-    for r in &report.rows {
+    for (grid, stem) in grids {
+        let cells = grid.expand();
         println!(
-            "{:<28} {:>5} {:>9} {:>13.3} {:>10.4} {:>10.1}",
-            r.key, r.runs, r.fail_safe_runs, r.failover_p99_s, r.hit_ratio, r.ise_mean
+            "{stem}: {} cells on {threads} thread(s){}",
+            cells.len(),
+            if smoke { " [smoke]" } else { "" }
+        );
+        let start = Instant::now();
+        let results = run_cells(&cells, threads);
+        let wall = start.elapsed().as_secs_f64();
+        let report = SweepReport::build(&cells, &results);
+
+        println!(
+            "{:<40} {:>5} {:>9} {:>13} {:>10} {:>10}",
+            "config", "runs", "failsafe", "failover p99", "hit ratio", "ISE"
+        );
+        for r in &report.rows {
+            println!(
+                "{:<40} {:>5} {:>9} {:>13.3} {:>10.4} {:>10.1}",
+                r.key, r.runs, r.fail_safe_runs, r.failover_p99_s, r.hit_ratio, r.ise_mean
+            );
+        }
+
+        let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("target/paper_results");
+        for path in report.write(&dir, stem) {
+            println!("-> wrote {}", path.display());
+        }
+        println!(
+            "done: {} runs in {wall:.2} s ({:.0} simulated seconds per wall second)",
+            cells.len(),
+            cells
+                .iter()
+                .map(|c| c.scenario.duration.as_secs_f64())
+                .sum::<f64>()
+                / wall
         );
     }
-
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("target/paper_results");
-    for path in report.write(&dir, stem) {
-        println!("-> wrote {}", path.display());
-    }
-    println!(
-        "done: {} runs in {wall:.2} s ({:.0} simulated seconds per wall second)",
-        cells.len(),
-        cells
-            .iter()
-            .map(|c| c.scenario.duration.as_secs_f64())
-            .sum::<f64>()
-            / wall
-    );
 }
