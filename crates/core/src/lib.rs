@@ -55,9 +55,12 @@ pub use bytecode::{Capsule, ControlLawSpec, Op, Program, Vm, VmEnv, VmError};
 pub use component::{MemberInfo, VirtualComponent};
 pub use error::EvmError;
 pub use health::{DeviationDetector, FaultEvidence, HeartbeatMonitor};
+pub use membership::{elect_head, HeadCandidate, HeartbeatLedger};
 pub use metrics::{NodeEnergy, RunAggregate, RunMeta, RunResult, VcRunStats};
 pub use migration::{MigrationOutcome, MigrationPlan};
 pub use roles::ControllerMode;
-pub use runtime::{Engine, Scenario, ScenarioBuilder, TopologyError, TopologySpec, VcId, VcMap};
+pub use runtime::{
+    Engine, ReroutePolicy, Scenario, ScenarioBuilder, TopologyError, TopologySpec, VcId, VcMap,
+};
 pub use synthesis::{Assignment, BqpInstance, SynthesisProblem};
 pub use transfers::{FaultResponse, ObjectTransfer};

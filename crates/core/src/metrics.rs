@@ -134,6 +134,14 @@ pub struct RunResult {
     /// Per-VC QoS tallies, indexed by `VcId` (one entry per hosted VC;
     /// the global counters above are their sums).
     pub vc_stats: Vec<VcRunStats>,
+    /// Configuration epochs committed during the run (0 = the static
+    /// setup-time program ran unchanged).
+    pub epochs: u64,
+    /// Detection-to-recovery interval of the first runtime reconfiguration:
+    /// from the first node marked down to the first actuation delivered
+    /// after the recomputed epoch was committed. `None` when nothing was
+    /// marked down (or delivery never resumed).
+    pub reroute_latency: Option<SimDuration>,
 }
 
 impl RunResult {
@@ -327,6 +335,8 @@ mod tests {
             deadline_misses: 1,
             actuations: 4,
             node_energy: HashMap::new(),
+            epochs: 0,
+            reroute_latency: None,
             vc_stats: vec![VcRunStats {
                 loop_name: "LC-LTS".into(),
                 actuations: 4,

@@ -97,6 +97,17 @@ pub trait NodeBehavior {
         None
     }
 
+    /// Consumes the behavior, yielding its controller replica if it hosts
+    /// one. The reconfiguration plane uses this to *rehydrate* a node
+    /// after head re-election: a surviving backup's core (detectors, VM
+    /// state, kernel) is lifted out of its `ControllerNode` and wrapped
+    /// in a `HeadNode` — same replica, new duties. Callers must check
+    /// [`NodeBehavior::controller_core`] first: the default drops the
+    /// behavior and returns `None`.
+    fn into_controller_core(self: Box<Self>) -> Option<ControllerCore> {
+        None
+    }
+
     /// The head's control plane, for the head node.
     fn head_plane_mut(&mut self) -> Option<&mut HeadPlane> {
         None

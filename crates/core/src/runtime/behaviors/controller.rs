@@ -438,4 +438,8 @@ impl NodeBehavior for ControllerNode {
     fn controller_core_mut(&mut self) -> Option<&mut ControllerCore> {
         Some(&mut self.core)
     }
+
+    fn into_controller_core(self: Box<Self>) -> Option<ControllerCore> {
+        Some(self.core)
+    }
 }

@@ -147,6 +147,10 @@ impl NodeBehavior for HeadNode {
         Some(&mut self.monitor)
     }
 
+    fn into_controller_core(self: Box<Self>) -> Option<ControllerCore> {
+        Some(self.monitor)
+    }
+
     fn head_plane_mut(&mut self) -> Option<&mut HeadPlane> {
         Some(&mut self.plane)
     }

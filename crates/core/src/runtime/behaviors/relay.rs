@@ -60,6 +60,21 @@ impl RelayCore {
     pub fn jobs(&self) -> &[RelayJob] {
         &self.jobs
     }
+
+    /// Carries pending frames over from a previous epoch's core: every
+    /// job that survives into this core (same upstream, origin and
+    /// semantic) inherits its captured-but-unsent frame. This is what
+    /// makes a no-op epoch swap invisible to the data plane — nothing in
+    /// flight is dropped by reprogramming the forwarders.
+    pub fn migrate_from(&mut self, old: &mut RelayCore) {
+        for (job, slot) in self.jobs.iter().zip(&mut self.pending) {
+            if slot.is_none() {
+                if let Some(i) = old.jobs.iter().position(|j| j == job) {
+                    *slot = old.pending[i].take();
+                }
+            }
+        }
+    }
 }
 
 /// `true` if `msg` is a frame of the logical flow `job` forwards. The
@@ -174,6 +189,29 @@ mod tests {
             },
         );
         assert!(core.take(1).is_some());
+    }
+
+    #[test]
+    fn epoch_migration_carries_surviving_jobs_pendings() {
+        let dl = FlowKind::HilDownlink { vc: 0, tag: 0 };
+        let pb = FlowKind::SensorPublish { vc: 0, tag: 0 };
+        let mut old = RelayCore::new(vec![job(0, 0, dl), job(1, 1, pb)]);
+        let frame = Message::SensorValue {
+            vc: 0,
+            tag: 0,
+            value: 7.0,
+            sampled_at: SimTime::ZERO,
+        };
+        old.offer(NodeId(0), &frame);
+        old.offer(NodeId(1), &frame);
+        // The new epoch keeps the publish job, drops the downlink one and
+        // adds a fresh job: only the survivor inherits its pending frame.
+        let mut new = RelayCore::new(vec![job(1, 1, pb), job(9, 9, dl)]);
+        new.migrate_from(&mut old);
+        assert_eq!(new.take(0), Some(frame));
+        assert_eq!(new.take(1), None);
+        assert_eq!(old.take(1), None, "migrated frames move, not copy");
+        assert!(old.take(0).is_some(), "dropped jobs keep theirs behind");
     }
 
     #[test]

@@ -23,6 +23,7 @@ use crate::component::VirtualComponent;
 use crate::metrics::{NodeEnergy, RunMeta, RunResult, VcRunStats};
 use crate::runtime::behavior::{Effect, NodeBehavior, NodeCtx, Timer};
 use crate::runtime::behaviors::RelayCore;
+use crate::runtime::reconfig::{ReconfigState, ReroutePolicy};
 use crate::runtime::registry::NodeRegistry;
 use crate::runtime::topo::{FlowKind, RoleMap, VcId, VcMap};
 use crate::runtime::{Message, Scenario};
@@ -58,6 +59,10 @@ pub(super) enum Ev {
     DormantDemote {
         target: NodeId,
     },
+    /// Scripted reconfiguration request: recompute the epoch (with the
+    /// current down set, possibly empty) and commit it at the next cycle
+    /// boundary.
+    Reconfigure,
 }
 
 /// The co-simulation engine. Build with [`Engine::new`], run with
@@ -96,6 +101,9 @@ pub struct Engine {
     /// truth; the global `RunResult` counters are derived from these at
     /// the end of the run.
     pub(super) vc_stats: Vec<VcRunStats>,
+    /// The reconfiguration plane: liveness ledger, committed/staged
+    /// epochs, reroute timestamps (see [`super::reconfig`]).
+    pub(super) reconfig: ReconfigState,
 }
 
 impl Engine {
@@ -135,6 +143,22 @@ impl Engine {
     #[must_use]
     pub fn topology(&self) -> &Topology {
         &self.topology
+    }
+
+    /// The committed configuration epoch (0 until a reconfiguration).
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.reconfig.epoch
+    }
+
+    /// The nodes carrying forwarding jobs in the committed epoch, in id
+    /// order (inspection/tests/benches — e.g. picking a loaded forwarder
+    /// to kill without re-deriving the routing pass out of band).
+    #[must_use]
+    pub fn forwarding_nodes(&self) -> Vec<NodeId> {
+        let mut nodes: Vec<NodeId> = self.relay_cores.keys().copied().collect();
+        nodes.sort_unstable();
+        nodes
     }
 
     /// The slot in which `owner` serves `kind`, if scheduled.
@@ -219,11 +243,25 @@ impl Engine {
             actuations: self.vc_stats.iter().map(|s| s.actuations).sum(),
             node_energy,
             vc_stats: self.vc_stats,
+            epochs: self.reconfig.epoch,
+            reroute_latency: self.reconfig.reroute_latency,
         }
     }
 
     pub(super) fn alive(&self, node: NodeId) -> bool {
         self.scenario.fault_plan.node_alive(node, self.now)
+    }
+
+    /// Remaining battery fraction of `node` in `[0, 1]` — the one
+    /// fitness both master arbitration and head election rank
+    /// candidates by, so the two planes can never diverge on how they
+    /// order the same nodes.
+    pub(super) fn battery_fitness(&self, node: NodeId) -> f64 {
+        let consumed = self
+            .meters
+            .get(&node)
+            .map_or(0.0, EnergyMeter::consumed_mah);
+        (1.0 - consumed / Battery::two_aa().capacity_mah()).max(0.0)
     }
 
     pub(super) fn label_of(&self, id: NodeId) -> String {
@@ -279,6 +317,7 @@ impl Engine {
                 }
                 stats.e2e_latencies.push(e2e);
                 stats.actuations += 1;
+                self.note_actuation_for_reroute_clock();
             }
         }
     }
@@ -308,6 +347,7 @@ impl Engine {
             Ev::HeadDecision { suspect } => self.on_head_decision(suspect),
             Ev::MigrationDone { target, suspect } => self.on_migration_done(target, suspect),
             Ev::DormantDemote { target } => self.on_dormant_demote(target),
+            Ev::Reconfigure => self.on_forced_reconfig(),
         }
     }
 
@@ -356,6 +396,7 @@ impl Engine {
         // slot: guard + PHY header airtime.
         let detect = self.scenario.rtlink.guard
             + evm_netsim::frame::airtime_for_bytes(evm_netsim::PHY_HEADER_BYTES);
+        let keepalives = self.scenario.reroute == ReroutePolicy::Heartbeat;
         for (owner, listeners) in assignments {
             if !self.alive(owner) {
                 continue;
@@ -373,6 +414,19 @@ impl Engine {
                     .flatten(),
                 None => None,
             };
+            // Under the heartbeat reroute policy, forwarders and heads
+            // fill otherwise-empty owned slots with a keepalive —
+            // "alive but starved" stays distinguishable from "dead", so
+            // silence is sufficient evidence for marking a node down.
+            let msg = match (msg, kind) {
+                (Some(m), _) => Some(m),
+                (None, Some(FlowKind::Relay { .. } | FlowKind::ControlPlane { .. }))
+                    if keepalives =>
+                {
+                    Some(Message::Heartbeat { from: owner })
+                }
+                (None, _) => None,
+            };
             let Some(msg) = msg else {
                 // Empty slot: listeners still pay the detect window.
                 for l in listeners {
@@ -384,6 +438,13 @@ impl Engine {
                 }
                 continue;
             };
+            // Every frame actually put on the air stamps the liveness
+            // ledger (the heartbeat bookkeeping behind dead-forwarder
+            // detection and head re-election).
+            if keepalives {
+                let (cycle, _) = self.rtlink.slot_at(self.now);
+                self.reconfig.ledger.heard(owner, cycle);
+            }
             let frame = Frame::new(owner, FrameKind::Broadcast, msg.payload_bytes(), 0);
             let airtime = frame.airtime();
             let guard = self.scenario.rtlink.guard;
@@ -422,10 +483,16 @@ impl Engine {
             .push(self.now + self.scenario.rtlink.slot_duration, Ev::Slot);
     }
 
-    /// Cycle-boundary housekeeping: sync reception energy, per-node cycle
-    /// hooks (heartbeat silence checks), and the per-VC per-cycle
+    /// Cycle-boundary housekeeping: epoch commits and heartbeat-silence
+    /// scans (the reconfiguration plane), sync reception energy, per-node
+    /// cycle hooks (heartbeat silence checks), and the per-VC per-cycle
     /// regulation-error samples.
     fn on_cycle_start(&mut self) {
+        // The reconfiguration plane acts strictly at cycle boundaries,
+        // before any transmission of the new cycle: a staged epoch
+        // becomes visible here or never — frames are never torn across
+        // epochs mid-cycle.
+        self.reconfig_on_cycle_start();
         let sync = self.scenario.rtlink.sync_listen;
         let ids: Vec<NodeId> = self.registry.ids().to_vec();
         for &id in &ids {

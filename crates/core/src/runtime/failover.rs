@@ -10,7 +10,7 @@
 //! topologies and any number of concurrent VCs. A failover in one VC
 //! never touches another VC's records, detectors or actuation gates.
 
-use evm_netsim::{Battery, EnergyMeter, NodeId};
+use evm_netsim::NodeId;
 
 use crate::arbitration::{select_master, Candidate};
 use crate::migration::{execute_migration, MigrationPlan};
@@ -123,10 +123,7 @@ impl Engine {
                 Candidate {
                     node: id,
                     eligible: self.alive(id),
-                    battery: {
-                        let consumed = self.meters.get(&id).map_or(0.0, EnergyMeter::consumed_mah);
-                        (1.0 - consumed / Battery::two_aa().capacity_mah()).max(0.0)
-                    },
+                    battery: self.battery_fitness(id),
                     cpu_headroom: 1.0 - c.kernel.utilization(),
                     link_quality: 1.0,
                     warm_replica: c.has_task,

@@ -19,6 +19,8 @@
 //! * [`behaviors`] — one implementation per role (gateway, sensor,
 //!   controller, actuator, head),
 //! * [`registry`] — behaviors keyed by [`evm_netsim::NodeId`],
+//! * [`reconfig`] — the epoch-based reconfiguration plane (the
+//!   [`Reconfigurator`] pipeline plus the driver's liveness triggers),
 //! * `driver` — the deterministic slot-pipeline [`Engine`].
 
 pub mod behavior;
@@ -26,6 +28,7 @@ pub mod behaviors;
 mod driver;
 mod failover;
 mod messages;
+pub mod reconfig;
 pub mod registry;
 mod scenario;
 mod setup;
@@ -34,6 +37,7 @@ pub mod topo;
 pub use behavior::{Effect, NodeBehavior, NodeCtx, Timer};
 pub use driver::Engine;
 pub use messages::Message;
+pub use reconfig::{Epoch, ReconfigError, Reconfigurator, ReroutePolicy};
 pub use scenario::Layout;
 pub use scenario::{Scenario, ScenarioBuilder};
 pub use topo::{

@@ -1,0 +1,565 @@
+//! The epoch-based reconfiguration plane.
+//!
+//! PR 1–4 froze a deployment's routes, slot schedule and head assignment
+//! at construction: one immutable program per run. This module makes the
+//! whole setup-time pipeline (`synth_flows` → `route_flows` →
+//! `SlotSchedule::place_flows` → relay-job programming) re-invokable
+//! mid-run through the [`Reconfigurator`], which produces an [`Epoch`] —
+//! routes, flow semantics, schedule and forwarding jobs — that the driver
+//! swaps in **atomically at an RT-Link cycle boundary** while every piece
+//! of long-lived state (plant, PID integrators, component records,
+//! failover detectors, energy meters) carries over untouched.
+//!
+//! Two triggers drive recomputation, both built on transmission-liveness
+//! bookkeeping ([`crate::membership::HeartbeatLedger`], stamped by the
+//! driver for every frame actually put on the air):
+//!
+//! 1. **Dead forwarder** — any node carrying forwarding jobs (a
+//!    dedicated relay, or a role node lending a hop) that misses more
+//!    than `heartbeat_cycles` consecutive cycles is marked down; routes
+//!    re-run over the surviving [`Topology`] view
+//!    ([`Topology::without_nodes`]) — flows whose endpoints died are
+//!    pruned or retargeted to surviving listeners — and starved hops
+//!    resume through whatever connectivity remains (e.g. a backup relay
+//!    chain).
+//! 2. **Head crash** — a silent head is replaced by
+//!    [`crate::membership::elect_head`] over the VC's surviving backup
+//!    replicas (fittest battery, lowest id on ties); the winner's
+//!    behavior is rehydrated from a controller into a head (keeping its
+//!    replica state), the component record re-seats the head, and the
+//!    control plane (arbitration, failover commits) resumes on the new
+//!    node.
+//!
+//! Everything here is gated on [`ReroutePolicy::Heartbeat`]; under the
+//! default [`ReroutePolicy::Static`] the runtime behaves exactly as
+//! before — no keepalives, no ledger, no epochs — so all pre-existing
+//! flow, schedule and plant-trace goldens stay byte-identical.
+
+use std::collections::{BTreeMap, HashMap};
+
+use evm_mac::rtlink::{Flow, RtLinkConfig, ScheduleError, SlotSchedule};
+use evm_netsim::{NodeId, Topology};
+use evm_sim::{SimDuration, SimTime};
+
+use crate::membership::{elect_head, HeadCandidate, HeartbeatLedger};
+use crate::roles::ControllerMode;
+use crate::runtime::behaviors::{HeadNode, RelayCore};
+use crate::runtime::driver::Engine;
+use crate::runtime::topo::{route_flows, synth_flows, FlowKind, RelayJob, RouteError, VcId, VcMap};
+
+/// When (and whether) the runtime re-routes around failures mid-run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReroutePolicy {
+    /// Routes, schedule and head are frozen at setup — the pre-epoch
+    /// behavior, and the default. A crashed forwarder permanently starves
+    /// every hop routed through it.
+    Static,
+    /// Forwarders and heads transmit keepalives in otherwise-empty owned
+    /// slots; a node silent for more than `heartbeat_cycles` cycles is
+    /// marked down, triggering re-routing (and head re-election) at the
+    /// next cycle boundary.
+    Heartbeat,
+}
+
+impl ReroutePolicy {
+    /// Stable label for report keys and CSV cells.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            ReroutePolicy::Static => "static",
+            ReroutePolicy::Heartbeat => "heartbeat",
+        }
+    }
+}
+
+/// One configuration epoch: everything the driver swaps when the network
+/// is re-programmed mid-run. Produced by [`Reconfigurator::compute`];
+/// epoch 0 is the setup-time configuration.
+#[derive(Debug)]
+pub struct Epoch {
+    /// Monotone epoch sequence number (tags the schedule).
+    pub seq: u64,
+    /// The recomputed slot timetable.
+    pub schedule: SlotSchedule,
+    /// `(slot, owner) → flow semantic` for every scheduled flow.
+    pub flow_kinds: HashMap<(usize, NodeId), FlowKind>,
+    /// Forwarding jobs per node, in emission order.
+    pub jobs: BTreeMap<NodeId, Vec<RelayJob>>,
+}
+
+/// Why an epoch could not be computed. A failed recompute leaves the
+/// previous epoch in force (the run degrades exactly as a static run
+/// would) — it never aborts the simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReconfigError {
+    /// A logical flow has no path over the surviving topology.
+    Unroutable(RouteError),
+    /// The re-routed flow set does not fit the RT-Link cycle.
+    Unschedulable(ScheduleError),
+}
+
+impl std::fmt::Display for ReconfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReconfigError::Unroutable(e) => write!(f, "unroutable: {e}"),
+            ReconfigError::Unschedulable(e) => write!(f, "unschedulable: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReconfigError {}
+
+/// The reusable setup pipeline: role maps in, epoch out. Stateless — the
+/// same inputs always produce the same epoch, which is what makes a
+/// no-op reconfiguration (nothing died) indistinguishable from the
+/// static run.
+pub struct Reconfigurator;
+
+impl Reconfigurator {
+    /// Synthesizes the flow pipeline for `vcs`, routes it over `topology`
+    /// minus the `down` nodes, and places it on a fresh schedule tagged
+    /// with `seq`.
+    ///
+    /// The `down` view is derived from the already-sampled connectivity
+    /// graph ([`Topology::without_nodes`]), so recomputation never draws
+    /// from the channel's RNG stream — a reconfigured run stays exactly
+    /// reproducible.
+    ///
+    /// # Errors
+    ///
+    /// [`ReconfigError`] when a flow cannot be routed over the surviving
+    /// connectivity or the routed set cannot be scheduled.
+    pub fn compute(
+        seq: u64,
+        topology: &Topology,
+        down: &[NodeId],
+        vcs: &VcMap,
+        rtlink: &RtLinkConfig,
+        serial_schedule: bool,
+    ) -> Result<Epoch, ReconfigError> {
+        let view = topology.without_nodes(down);
+        let logical = prune_down_flows(synth_flows(vcs), down);
+        let routed = route_flows(&view, &logical).map_err(ReconfigError::Unroutable)?;
+        let flows: Vec<_> = routed.flows.iter().map(|(f, _)| f.clone()).collect();
+        let (schedule, placed) = if serial_schedule {
+            SlotSchedule::place_flows_serial(rtlink, &flows)
+        } else {
+            SlotSchedule::place_flows(rtlink, &view, &flows)
+        }
+        .map_err(ReconfigError::Unschedulable)?;
+        let flow_kinds = routed
+            .flows
+            .iter()
+            .zip(&placed)
+            .map(|((flow, kind), &slot)| ((slot, flow.src), *kind))
+            .collect();
+        Ok(Epoch {
+            seq,
+            schedule: schedule.with_epoch(seq),
+            flow_kinds,
+            jobs: routed.jobs,
+        })
+    }
+}
+
+/// Rewrites the logical flow list for a set of down nodes, so recompute
+/// succeeds even when a dead node was a flow *endpoint* (a role node
+/// lending a hop, a crashed primary) and not just a forwarder:
+///
+/// * a flow whose **source** is down is dropped (nothing transmits),
+/// * a flow whose **destination** is down retargets to its first
+///   surviving extra listener (a publish keeps serving its subscribers
+///   when the primary receiver dies) or is dropped when none survives,
+/// * down nodes are stripped from listener lists,
+/// * `after` edges re-chain through dropped flows (a dropped flow's
+///   dependents inherit its own dependency), keeping the precedence
+///   graph valid for `route_flows`.
+///
+/// With no down nodes the list passes through untouched — the no-op
+/// identity the atomicity tests pin.
+fn prune_down_flows(logical: Vec<(Flow, FlowKind)>, down: &[NodeId]) -> Vec<(Flow, FlowKind)> {
+    if down.is_empty() {
+        return logical;
+    }
+    // Per original index: the kept flow's new index, or — for dropped
+    // flows — the dependency its dependents should inherit.
+    let mut new_idx: Vec<Option<usize>> = Vec::with_capacity(logical.len());
+    let mut inherited: Vec<Option<usize>> = Vec::with_capacity(logical.len());
+    let mut kept: Vec<(Flow, FlowKind)> = Vec::new();
+    for (flow, kind) in logical {
+        let after = flow.after.and_then(|a| new_idx[a].or(inherited[a]));
+        let mut listeners: Vec<NodeId> = flow
+            .extra_listeners
+            .iter()
+            .copied()
+            .filter(|l| !down.contains(l))
+            .collect();
+        let dst = if down.contains(&flow.dst) {
+            if listeners.is_empty() {
+                None
+            } else {
+                Some(listeners.remove(0))
+            }
+        } else {
+            Some(flow.dst)
+        };
+        match (down.contains(&flow.src), dst) {
+            (false, Some(dst)) => {
+                let mut f = Flow::new(flow.src, dst).with_listeners(listeners);
+                if let Some(a) = after {
+                    f = f.after(a);
+                }
+                new_idx.push(Some(kept.len()));
+                inherited.push(None);
+                kept.push((f, kind));
+            }
+            _ => {
+                new_idx.push(None);
+                inherited.push(after);
+            }
+        }
+    }
+    kept
+}
+
+/// The driver's half of the reconfiguration plane: liveness ledger,
+/// committed/staged epochs, and the detect→commit→recover timestamps the
+/// reports read off.
+#[derive(Debug, Default)]
+pub(super) struct ReconfigState {
+    /// Transmission liveness per node, in cycle counts.
+    pub ledger: HeartbeatLedger,
+    /// The committed epoch (0 = the setup-time configuration).
+    pub epoch: u64,
+    /// A recomputed epoch staged for the next cycle boundary.
+    pub pending: Option<Epoch>,
+    /// When the first node was marked down.
+    pub detect_at: Option<SimTime>,
+    /// When the most recent epoch was committed.
+    pub last_commit_at: Option<SimTime>,
+    /// A down-triggered recompute staged successfully and its recovery
+    /// has not been observed yet. Gates the reroute clock: a *failed*
+    /// recompute (starvation persists) must never let an unrelated later
+    /// commit report a recovery that did not happen.
+    pub awaiting_recovery: bool,
+    /// Detect → first delivered actuation after a post-detection commit.
+    pub reroute_latency: Option<SimDuration>,
+}
+
+impl Engine {
+    /// Reconfiguration housekeeping at every cycle boundary: commit a
+    /// staged epoch, then (under [`ReroutePolicy::Heartbeat`]) scan the
+    /// watched nodes for heartbeat silence and stage a recomputed epoch
+    /// when someone died.
+    ///
+    /// The watch set is exactly the nodes with *active duties* in the
+    /// committed epoch: heads, plus any node carrying forwarding jobs (a
+    /// dedicated relay, or a controller/actuator lending a hop). A node
+    /// without duties — e.g. an idle backup-chain relay — is deliberately
+    /// unwatched: it owns no slots, so silence carries no information
+    /// and would false-mark a live node down (sticky!) the moment a
+    /// route change strips its jobs. Its silence clock starts when an
+    /// epoch first presses it into service ([`Engine::apply_epoch`]'s
+    /// commit-time stamp).
+    pub(super) fn reconfig_on_cycle_start(&mut self) {
+        if let Some(epoch) = self.reconfig.pending.take() {
+            self.apply_epoch(epoch);
+        }
+        if self.scenario.reroute != ReroutePolicy::Heartbeat {
+            return;
+        }
+        let (cycle, _) = self.rtlink.slot_at(self.now);
+        let mut watch: Vec<NodeId> = self
+            .vcs
+            .vcs
+            .iter()
+            .filter_map(|r| r.head)
+            .chain(self.relay_cores.keys().copied())
+            .collect();
+        // Sorted + deduped: the relay-core map iterates in arbitrary
+        // order, and down-marks must trace deterministically.
+        watch.sort_unstable();
+        watch.dedup();
+        let mut newly_down = Vec::new();
+        for node in watch {
+            if !self.reconfig.ledger.is_down(node)
+                && self
+                    .reconfig
+                    .ledger
+                    .silent(node, cycle, self.scenario.heartbeat_cycles)
+            {
+                self.reconfig.ledger.mark_down(node);
+                newly_down.push(node);
+            }
+        }
+        if newly_down.is_empty() {
+            return;
+        }
+        if self.reconfig.detect_at.is_none() {
+            self.reconfig.detect_at = Some(self.now);
+        }
+        for node in newly_down {
+            let label = self.label_of(node);
+            self.trace.log(
+                self.now,
+                "reconfig",
+                format!("{label} missed heartbeats; marked down"),
+            );
+            self.on_node_down(node);
+        }
+        if self.stage_recompute() {
+            self.reconfig.awaiting_recovery = true;
+        }
+    }
+
+    /// Membership consequences of a node marked down: dedicated relays
+    /// leave their VC's record; a dead head triggers re-election.
+    fn on_node_down(&mut self, node: NodeId) {
+        for vc in 0..self.vcs.n_vcs() as VcId {
+            if self.vcs.vc(vc).head == Some(node) {
+                self.reelect_head(vc, node);
+            } else if self.vcs.vc(vc).relays.contains(&node) {
+                self.vcs.vcs[vc as usize].relays.retain(|&r| r != node);
+                self.components[vc as usize].remove_member(node);
+            }
+        }
+    }
+
+    /// Re-elects VC `vc`'s head after `dead` went silent: deterministic
+    /// election over the surviving backup replicas, behavior rehydration
+    /// (the winner's [`super::behaviors::ControllerNode`] becomes a
+    /// [`HeadNode`] around the *same* replica core — detectors, VM state
+    /// and kernel carry over), role-map and component-record updates.
+    fn reelect_head(&mut self, vc: VcId, dead: NodeId) {
+        let candidates: Vec<HeadCandidate> = self
+            .vcs
+            .vc(vc)
+            .controllers
+            .iter()
+            .map(|&id| {
+                let mode = self.components[vc as usize].member(id).and_then(|m| m.mode);
+                HeadCandidate {
+                    node: id,
+                    eligible: mode == Some(ControllerMode::Backup)
+                        && self.alive(id)
+                        && !self.reconfig.ledger.is_down(id),
+                    fitness: self.battery_fitness(id),
+                }
+            })
+            .collect();
+        let Some(new_head) = elect_head(&candidates) else {
+            self.trace.log(
+                self.now,
+                "reconfig",
+                "head lost and no backup survives; control plane stays down",
+            );
+            self.components[vc as usize].remove_member(dead);
+            self.vcs.vcs[vc as usize].head = None;
+            return;
+        };
+        // Rehydrate: the winner keeps its replica core (mode, detectors,
+        // integrator state) but gains the head's control plane.
+        if self.registry.controller(new_head).is_some() {
+            let old = self
+                .registry
+                .take(new_head)
+                .expect("elected head is registered");
+            let core = old
+                .into_controller_core()
+                .expect("elected head hosts a replica core");
+            self.registry
+                .put_back(new_head, Box::new(HeadNode::new(core)));
+        }
+        {
+            let roles = &mut self.vcs.vcs[vc as usize];
+            roles.head = Some(new_head);
+            roles.controllers.retain(|&c| c != new_head);
+        }
+        let record = &mut self.components[vc as usize];
+        record.remove_member(dead);
+        record.set_head(new_head);
+        let (dead_label, new_label) = (self.label_of(dead), self.label_of(new_head));
+        self.trace.log(
+            self.now,
+            "reconfig",
+            format!("head {dead_label} lost; {new_label} re-elected head"),
+        );
+    }
+
+    /// Recomputes the epoch over the surviving topology and stages it for
+    /// the next cycle boundary; returns whether staging succeeded. A
+    /// failed recompute (no alternate path, cycle too short) leaves the
+    /// current epoch in force.
+    pub(super) fn stage_recompute(&mut self) -> bool {
+        let seq = self.reconfig.epoch + 1;
+        let down = self.reconfig.ledger.down_nodes();
+        match Reconfigurator::compute(
+            seq,
+            &self.topology,
+            &down,
+            &self.vcs,
+            &self.scenario.rtlink,
+            self.scenario.serial_schedule,
+        ) {
+            Ok(epoch) => {
+                self.trace.log(
+                    self.now,
+                    "reconfig",
+                    format!(
+                        "epoch {seq} staged: {} scheduled flows over {} slots",
+                        epoch.flow_kinds.len(),
+                        epoch.schedule.max_slot().map_or(0, |s| s + 1),
+                    ),
+                );
+                self.reconfig.pending = Some(epoch);
+                true
+            }
+            Err(e) => {
+                self.trace
+                    .log(self.now, "reconfig", format!("reroute failed: {e}"));
+                false
+            }
+        }
+    }
+
+    /// Commits a staged epoch: swaps schedule, flow semantics and relay
+    /// programs in one step. Pending frames of forwarding jobs that
+    /// survive into the new epoch migrate with it, so a no-op swap is
+    /// invisible to the data plane.
+    fn apply_epoch(&mut self, epoch: Epoch) {
+        let mut cores: HashMap<NodeId, RelayCore> = epoch
+            .jobs
+            .into_iter()
+            .map(|(id, jobs)| (id, RelayCore::new(jobs)))
+            .collect();
+        for (id, core) in &mut cores {
+            if let Some(old) = self.relay_cores.get_mut(id) {
+                core.migrate_from(old);
+            }
+        }
+        self.relay_cores = cores;
+        self.schedule = epoch.schedule;
+        self.flow_kinds = epoch.flow_kinds;
+        self.reconfig.epoch = epoch.seq;
+        self.reconfig.last_commit_at = Some(self.now);
+        // Start the silence clock for every forwarder of the new epoch:
+        // a node first pressed into service here may never have
+        // transmitted (an idle backup chain), and never-heard nodes are
+        // exempt from silence detection — without a commit-time stamp, a
+        // backup that died *before* gaining jobs could starve the new
+        // routes forever undetected. (Stamps are max-monotone, so this
+        // never rolls a live node's liveness back.)
+        if self.scenario.reroute == ReroutePolicy::Heartbeat {
+            let (cycle, _) = self.rtlink.slot_at(self.now);
+            let carriers: Vec<NodeId> = self.relay_cores.keys().copied().collect();
+            for node in carriers {
+                self.reconfig.ledger.heard(node, cycle);
+            }
+        }
+        self.trace.log(
+            self.now,
+            "reconfig",
+            format!("epoch {} committed", epoch.seq),
+        );
+    }
+
+    /// A scripted reconfiguration request (`force_reconfig_at`): stage a
+    /// recompute with the current down set — possibly empty, the no-op
+    /// case the atomicity tests pin — to commit at the next boundary.
+    pub(super) fn on_forced_reconfig(&mut self) {
+        let _ = self.stage_recompute();
+    }
+
+    /// Actuation hook for the recovery clock: the first delivery after
+    /// the *detection-triggered* epoch commit closes the
+    /// detect→reroute→delivery interval reported as the reroute latency.
+    /// Gated on `awaiting_recovery` so a failed reroute (starvation
+    /// persists) never lets an unrelated later commit claim a recovery.
+    pub(super) fn note_actuation_for_reroute_clock(&mut self) {
+        if !self.reconfig.awaiting_recovery || self.reconfig.reroute_latency.is_some() {
+            return;
+        }
+        let (Some(detect), Some(commit)) = (self.reconfig.detect_at, self.reconfig.last_commit_at)
+        else {
+            return;
+        };
+        if commit >= detect {
+            self.reconfig.reroute_latency = Some(self.now.saturating_since(detect));
+            self.reconfig.awaiting_recovery = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::topo::TopologySpec;
+    use evm_netsim::{Channel, ChannelConfig};
+    use evm_sim::SimRng;
+
+    fn fig5_parts() -> (Topology, VcMap) {
+        let mut ch = Channel::new(ChannelConfig::default(), SimRng::seed_from(1));
+        TopologySpec::fig5().resolve(&mut ch)
+    }
+
+    /// An empty down set is the identity: epoch 0 from the
+    /// Reconfigurator equals the plain setup pipeline, flow for flow.
+    #[test]
+    fn empty_down_set_reproduces_the_setup_epoch() {
+        let (topology, vcs) = fig5_parts();
+        let cfg = evm_mac::RtLinkConfig::default();
+        let epoch = Reconfigurator::compute(0, &topology, &[], &vcs, &cfg, false).unwrap();
+        let routed = route_flows(&topology, &synth_flows(&vcs)).unwrap();
+        assert_eq!(epoch.seq, 0);
+        assert_eq!(epoch.flow_kinds.len(), routed.flows.len());
+        assert_eq!(epoch.jobs, routed.jobs);
+        assert_eq!(epoch.schedule.epoch(), 0);
+    }
+
+    /// Pruning a down endpoint: flows sourced at the dead node drop,
+    /// flows addressed to it retarget to their first surviving listener,
+    /// and the `after` chain stays valid (routable + schedulable).
+    #[test]
+    fn prune_retargets_publishes_when_the_primary_receiver_dies() {
+        let (topology, vcs) = fig5_parts();
+        let cfg = evm_mac::RtLinkConfig::default();
+        // Fig. 5: Ctrl-A = node 2 is the primary — the PV publish's dst
+        // and a ControlPublish source.
+        let primary = vcs.vc(0).primary();
+        let epoch = Reconfigurator::compute(1, &topology, &[primary], &vcs, &cfg, false).unwrap();
+        assert_eq!(epoch.schedule.epoch(), 1);
+        for (&(_, owner), kind) in &epoch.flow_kinds {
+            assert_ne!(owner, primary, "dead node still owns a slot: {kind:?}");
+        }
+        // The PV publish survives, retargeted at the first backup.
+        let publish_slots = epoch
+            .flow_kinds
+            .values()
+            .filter(|k| matches!(k, FlowKind::SensorPublish { vc: 0, tag: 0 }))
+            .count();
+        assert_eq!(publish_slots, 1, "PV publish retargeted, not dropped");
+        // One ControlPublish (the backup's) remains of the original two.
+        let outputs = epoch
+            .flow_kinds
+            .values()
+            .filter(|k| matches!(k, FlowKind::ControlPublish { vc: 0 }))
+            .count();
+        assert_eq!(outputs, 1);
+    }
+
+    /// A down node nobody else can reach around fails recompute with a
+    /// typed error instead of panicking (the driver then keeps the old
+    /// epoch).
+    #[test]
+    fn unroutable_survivors_report_instead_of_panicking() {
+        let mut ch = Channel::new(ChannelConfig::default(), SimRng::seed_from(1));
+        let spec = TopologySpec::line(2, 1, 1, 1, false, crate::runtime::topo::LINE_SPACING_M);
+        let (topology, vcs) = spec.resolve(&mut ch);
+        let cfg = evm_mac::RtLinkConfig::default();
+        // R1 (node 4) is the only bridge to the sensor: no backup chain.
+        let err =
+            Reconfigurator::compute(1, &topology, &[NodeId(4)], &vcs, &cfg, false).unwrap_err();
+        assert!(matches!(err, ReconfigError::Unroutable(_)), "{err}");
+        assert!(format!("{err}").contains("unroutable"));
+    }
+}

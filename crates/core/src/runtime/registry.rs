@@ -68,4 +68,29 @@ impl NodeRegistry {
     pub fn head_plane_mut(&mut self, head: NodeId) -> Option<&mut HeadPlane> {
         self.nodes.get_mut(&head).and_then(|n| n.head_plane_mut())
     }
+
+    /// Lifts a behavior out for rehydration (the registration order is
+    /// kept — the id stays a member of the registry and must be given a
+    /// replacement via [`NodeRegistry::put_back`]).
+    pub fn take(&mut self, id: NodeId) -> Option<Box<dyn NodeBehavior>> {
+        self.nodes.remove(&id)
+    }
+
+    /// Re-seats a behavior taken with [`NodeRegistry::take`] (possibly a
+    /// different type wrapping the same state — how a controller becomes
+    /// a head after re-election).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was never registered or still holds a behavior.
+    pub fn put_back(&mut self, id: NodeId, behavior: Box<dyn NodeBehavior>) {
+        assert!(
+            self.order.contains(&id),
+            "put_back rehydrates registered ids only: {id}"
+        );
+        assert!(
+            self.nodes.insert(id, behavior).is_none(),
+            "duplicate behavior for {id}"
+        );
+    }
 }

@@ -5,6 +5,7 @@ use evm_netsim::{ChannelConfig, FaultPlan};
 use evm_plant::{ActuatorFault, ControlLoopSpec};
 use evm_sim::{SimDuration, SimTime};
 
+use crate::runtime::reconfig::ReroutePolicy;
 use crate::runtime::topo::{
     TopologySpec, VcId, CLUSTER_HOP_M, CLUSTER_RING_M, GRID_SPACING_M, LINE_SPACING_M, MAX_VCS,
 };
@@ -89,6 +90,16 @@ pub struct Scenario {
     /// that a burst of frame losses is not mistaken for a crash: at loss
     /// rate p the false-alarm rate per cycle is p^n.
     pub heartbeat_cycles: u64,
+    /// Runtime re-routing policy: `Static` (default) freezes routes,
+    /// schedule and head at setup; `Heartbeat` re-routes around dead
+    /// forwarders and re-elects a crashed head mid-run (the epoch-based
+    /// reconfiguration plane).
+    pub reroute: ReroutePolicy,
+    /// Scripted reconfiguration requests: at each instant the engine
+    /// recomputes the epoch (with whatever down set it has, possibly
+    /// empty) and commits it at the next cycle boundary. Test/bench knob
+    /// for epoch atomicity and no-op-swap identity.
+    pub force_reconfig: Vec<SimTime>,
     /// Scripted controller fault on VC 0's primary.
     pub fault: Option<(SimTime, ActuatorFault)>,
     /// Scripted controller fault on VC 0's *first backup* (double-fault
@@ -147,6 +158,8 @@ impl Scenario {
             demote_dormant_after: SimDuration::from_secs(200),
             warm_backup: true,
             heartbeat_cycles: 16,
+            reroute: ReroutePolicy::Static,
+            force_reconfig: Vec::new(),
             fault: None,
             backup_fault: None,
             fail_safe_value: 0.0,
@@ -265,6 +278,7 @@ struct StarParams {
     actuators: usize,
     head: bool,
     radius_m: f64,
+    backup_relays: usize,
 }
 
 impl StarParams {
@@ -278,6 +292,7 @@ impl StarParams {
             actuators: 1,
             head: true,
             radius_m: 15.0,
+            backup_relays: 0,
         }
     }
 }
@@ -429,6 +444,34 @@ impl ScenarioBuilder {
         );
         self.star.layout = Layout::Clustered;
         self.star.vcs = k;
+        self
+    }
+
+    /// Adds `n` redundant relay chains beside the primary one (line and
+    /// clustered layouts): geometrically parallel forwarders the routing
+    /// pass ignores while the primary chain lives — BFS tie-breaks prefer
+    /// the lower-id primaries — but which runtime re-routing
+    /// ([`ScenarioBuilder::reroute`]) falls back to when a primary relay
+    /// dies. Rejected at build time for layouts without a dedicated
+    /// chain (star, grid).
+    #[must_use]
+    pub fn backup_relays(mut self, n: usize) -> Self {
+        self.star.backup_relays = n;
+        self
+    }
+
+    /// Sets the runtime re-routing policy ([`Scenario::reroute`]).
+    #[must_use]
+    pub fn reroute(mut self, policy: ReroutePolicy) -> Self {
+        self.inner.reroute = policy;
+        self
+    }
+
+    /// Scripts a reconfiguration request at `at` (commits at the next
+    /// cycle boundary) — the epoch-atomicity test/bench knob.
+    #[must_use]
+    pub fn force_reconfig_at(mut self, at: SimTime) -> Self {
+        self.inner.force_reconfig.push(at);
         self
     }
 
@@ -587,27 +630,38 @@ impl ScenarioBuilder {
                 );
             }
             self.inner.topology = match p.layout {
-                Layout::Star => TopologySpec::multi_star(
-                    p.vcs,
-                    p.sensors,
-                    p.controllers,
-                    p.actuators,
-                    p.head,
-                    p.radius_m,
-                ),
+                Layout::Star => {
+                    assert!(
+                        p.backup_relays == 0,
+                        "backup relays apply to line/clustered layouts"
+                    );
+                    TopologySpec::multi_star(
+                        p.vcs,
+                        p.sensors,
+                        p.controllers,
+                        p.actuators,
+                        p.head,
+                        p.radius_m,
+                    )
+                }
                 Layout::Line { hops } => {
                     assert!(p.vcs == 1, "line layouts host a single VC");
-                    TopologySpec::line(
+                    TopologySpec::line_with_backups(
                         hops,
                         p.sensors,
                         p.controllers,
                         p.actuators,
                         p.head,
                         LINE_SPACING_M,
+                        p.backup_relays,
                     )
                 }
                 Layout::Grid { w, h } => {
                     assert!(p.vcs == 1, "grid layouts host a single VC");
+                    assert!(
+                        p.backup_relays == 0,
+                        "backup relays apply to line/clustered layouts"
+                    );
                     TopologySpec::grid(
                         w,
                         h,
@@ -618,7 +672,7 @@ impl ScenarioBuilder {
                         GRID_SPACING_M,
                     )
                 }
-                Layout::Clustered => TopologySpec::clustered(
+                Layout::Clustered => TopologySpec::clustered_with_backups(
                     p.vcs,
                     p.sensors,
                     p.controllers,
@@ -626,6 +680,7 @@ impl ScenarioBuilder {
                     p.head,
                     CLUSTER_HOP_M,
                     CLUSTER_RING_M,
+                    p.backup_relays,
                 ),
             };
             if self.star.vcs != self.inner.n_vcs() {

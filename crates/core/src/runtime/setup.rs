@@ -4,7 +4,7 @@
 
 use std::collections::HashMap;
 
-use evm_mac::rtlink::{RtLink, SlotSchedule};
+use evm_mac::rtlink::RtLink;
 use evm_netsim::{Channel, EnergyMeter, RadioPowerModel};
 use evm_plant::{GasPlant, LocalController, RegisterMap};
 use evm_sim::{EventQueue, SimDuration, SimRng, SimTime, TimeSeries, Trace};
@@ -19,8 +19,9 @@ use crate::runtime::behaviors::{
     RelayNode, ReplicaParams, SensorNode,
 };
 use crate::runtime::driver::{Engine, Ev};
+use crate::runtime::reconfig::{ReconfigError, ReconfigState, Reconfigurator};
 use crate::runtime::registry::NodeRegistry;
-use crate::runtime::topo::{route_flows, synth_flows, FlowKind, VcId};
+use crate::runtime::topo::VcId;
 use crate::runtime::Scenario;
 
 /// Everything VC-specific the node loop below needs, prepared once per VC.
@@ -88,28 +89,27 @@ impl Engine {
             );
         }
 
-        // --- Schedule synthesis from the role-derived flow pipeline ----
-        // Logical single-hop flows, then the multi-hop routing pass: on a
-        // fully-connected star the routed list is byte-identical to the
-        // logical one; elsewhere flows expand into relay hop chains.
-        let logical = synth_flows(&vcs);
-        let routed = route_flows(&topology, &logical)
-            .unwrap_or_else(|e| panic!("topology flows must route: {e}"));
-        let flows: Vec<_> = routed.flows.iter().map(|(f, _)| f.clone()).collect();
-        let (schedule, placed) = if scenario.serial_schedule {
-            SlotSchedule::place_flows_serial(&scenario.rtlink, &flows)
-                .expect("topology flows must schedule")
-        } else {
-            SlotSchedule::place_flows(&scenario.rtlink, &topology, &flows)
-                .expect("topology flows must schedule")
+        // --- Epoch 0 from the role-derived flow pipeline ---------------
+        // The same Reconfigurator the runtime re-invokes mid-run builds
+        // the setup-time configuration: logical single-hop flows, the
+        // multi-hop routing pass (on a fully-connected star the routed
+        // list is byte-identical to the logical one; elsewhere flows
+        // expand into relay hop chains), then slot placement.
+        let epoch0 = match Reconfigurator::compute(
+            0,
+            &topology,
+            &[],
+            &vcs,
+            &scenario.rtlink,
+            scenario.serial_schedule,
+        ) {
+            Ok(epoch) => epoch,
+            Err(ReconfigError::Unroutable(e)) => panic!("topology flows must route: {e}"),
+            Err(ReconfigError::Unschedulable(e)) => panic!("topology flows must schedule: {e}"),
         };
-        let flow_kinds: HashMap<(usize, evm_netsim::NodeId), FlowKind> = routed
-            .flows
-            .iter()
-            .zip(&placed)
-            .map(|((flow, kind), &slot)| ((slot, flow.src), *kind))
-            .collect();
-        let relay_cores: HashMap<evm_netsim::NodeId, RelayCore> = routed
+        let schedule = epoch0.schedule;
+        let flow_kinds = epoch0.flow_kinds;
+        let relay_cores: HashMap<evm_netsim::NodeId, RelayCore> = epoch0
             .jobs
             .into_iter()
             .map(|(id, jobs)| (id, RelayCore::new(jobs)))
@@ -330,6 +330,7 @@ impl Engine {
             err_series,
             meters,
             vc_stats,
+            reconfig: ReconfigState::default(),
             scenario,
         };
 
@@ -365,6 +366,9 @@ impl Engine {
         }
         for &(vc, at) in &engine.scenario.primary_crashes {
             engine.queue.push(at, Ev::CrashPrimary { vc });
+        }
+        for &at in &engine.scenario.force_reconfig {
+            engine.queue.push(at, Ev::Reconfigure);
         }
         Ok(engine)
     }

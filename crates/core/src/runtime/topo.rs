@@ -307,6 +307,33 @@ impl TopologySpec {
         head: bool,
         spacing_m: f64,
     ) -> Self {
+        TopologySpec::line_with_backups(hops, sensors, controllers, actuators, head, spacing_m, 0)
+    }
+
+    /// [`TopologySpec::line`] plus `backups` redundant relay chains: for
+    /// each backup `b`, forwarders `RB1..` mirror the primary relays at a
+    /// `0.25·spacing·b` y-offset, so every primary hop has a geometric
+    /// twin (at the default 40 m spacing the first backup chain's links
+    /// are ≈41.2 m — still in the loss-free band). The routing pass's
+    /// deterministic BFS prefers the lower-id primaries while they live;
+    /// the backups exist for the runtime reconfiguration plane to re-route
+    /// through when a primary forwarder dies. Backup ids follow the
+    /// primary relays.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `hops >= 1` and there is at least one sensor and one
+    /// controller.
+    #[must_use]
+    pub fn line_with_backups(
+        hops: usize,
+        sensors: usize,
+        controllers: usize,
+        actuators: usize,
+        head: bool,
+        spacing_m: f64,
+        backups: usize,
+    ) -> Self {
         assert!(hops >= 1, "a line needs at least one hop to the sensor");
         assert!(sensors >= 1, "a control loop needs its focus sensor");
         assert!(controllers >= 1, "a control loop needs a controller");
@@ -344,6 +371,20 @@ impl TopologySpec {
                 format!("R{k}"),
                 Position::new(-(k as f64) * d, 0.0),
             ));
+        }
+        for b in 1..=backups {
+            for k in 1..hops {
+                let label = if b == 1 {
+                    format!("RB{k}")
+                } else {
+                    format!("RB{b}.{k}")
+                };
+                roles.push((
+                    Role::Relay(((hops - 1) * b + k - 1) as u8),
+                    label,
+                    Position::new(-(k as f64) * d, 0.25 * d * b as f64),
+                ));
+            }
         }
         TopologySpec::assemble_single_vc(roles)
     }
@@ -451,6 +492,43 @@ impl TopologySpec {
         hop_m: f64,
         ring_m: f64,
     ) -> Self {
+        TopologySpec::clustered_with_backups(
+            clusters,
+            sensors,
+            controllers,
+            actuators,
+            head,
+            hop_m,
+            ring_m,
+            0,
+        )
+    }
+
+    /// [`TopologySpec::clustered`] plus `backups` redundant relay chains
+    /// per cluster: backup forwarders `RB1`/`RB2` shadow the cluster's
+    /// two-relay chain at small perpendicular offsets (10 m at the first
+    /// hop, 0.5 m at the second — calibrated so every backup link stays
+    /// in the loss-free band at the default 40 m hop). BFS tie-breaks
+    /// keep routes on the lower-id primaries; the backups carry the
+    /// cluster after a primary relay dies and the reconfiguration plane
+    /// re-routes. Backup ids follow each cluster's primary relays.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= clusters <= MAX_VCS` and each cluster has at
+    /// least one sensor and one controller.
+    #[must_use]
+    #[allow(clippy::too_many_arguments)]
+    pub fn clustered_with_backups(
+        clusters: usize,
+        sensors: usize,
+        controllers: usize,
+        actuators: usize,
+        head: bool,
+        hop_m: f64,
+        ring_m: f64,
+        backups: usize,
+    ) -> Self {
         assert!(
             (1..=MAX_VCS).contains(&clusters),
             "cluster count out of 1..={MAX_VCS}: {clusters}"
@@ -520,6 +598,29 @@ impl TopologySpec {
                     register: None,
                 });
                 next_id += 1;
+            }
+            // Redundant chains at small perpendicular offsets (the unit
+            // normal of the cluster's ray): geometric twins of the
+            // primaries that the reconfiguration plane re-routes through.
+            let (nx, ny) = (-dy, dx);
+            for b in 1..=backups {
+                for (r, dist, off) in [(0u8, hop_m, 10.0), (1u8, 2.0 * hop_m, 0.5)] {
+                    let off = off * b as f64;
+                    let label = if b == 1 {
+                        format!("{prefix}RB{}", r + 1)
+                    } else {
+                        format!("{prefix}RB{b}.{}", r + 1)
+                    };
+                    nodes.push(NodeSpec {
+                        id: NodeId(next_id),
+                        vc,
+                        role: Role::Relay(2 * b as u8 + r),
+                        label,
+                        position: Position::new(dist * dx + off * nx, dist * dy + off * ny),
+                        register: None,
+                    });
+                    next_id += 1;
+                }
             }
         }
         TopologySpec { nodes }

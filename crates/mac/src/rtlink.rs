@@ -160,15 +160,23 @@ pub struct SlotSchedule {
     /// under spatial reuse.
     slots: HashMap<usize, Vec<SlotAssignment>>,
     slots_per_cycle: usize,
+    /// Configuration epoch this schedule belongs to. Epoch 0 is the
+    /// setup-time schedule; a runtime reconfiguration installs a
+    /// recomputed schedule tagged with the next epoch at a cycle
+    /// boundary, so every transmission of one cycle provably comes from
+    /// one epoch's timetable.
+    epoch: u64,
 }
 
 impl SlotSchedule {
-    /// Creates an empty schedule for a cycle of `slots_per_cycle` slots.
+    /// Creates an empty schedule for a cycle of `slots_per_cycle` slots
+    /// (epoch 0).
     #[must_use]
     pub fn new(slots_per_cycle: usize) -> Self {
         SlotSchedule {
             slots: HashMap::new(),
             slots_per_cycle,
+            epoch: 0,
         }
     }
 
@@ -176,6 +184,19 @@ impl SlotSchedule {
     #[must_use]
     pub fn slots_per_cycle(&self) -> usize {
         self.slots_per_cycle
+    }
+
+    /// The configuration epoch this schedule was synthesized for.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Tags the schedule with the configuration epoch that produced it.
+    #[must_use]
+    pub fn with_epoch(mut self, epoch: u64) -> Self {
+        self.epoch = epoch;
+        self
     }
 
     /// Adds an assignment.
@@ -582,6 +603,24 @@ mod tests {
             &[NodeKind::Sensor, NodeKind::Controller, NodeKind::Actuator],
             &mut ch,
         )
+    }
+
+    /// Schedules are born in epoch 0 and carry whatever epoch the
+    /// reconfiguration plane tags them with; the tag never disturbs the
+    /// assignments.
+    #[test]
+    fn epoch_tag_rides_the_schedule() {
+        let schedule = SlotSchedule::new(8);
+        assert_eq!(schedule.epoch(), 0);
+        let mut tagged = schedule.with_epoch(3);
+        assert_eq!(tagged.epoch(), 3);
+        tagged.assign(SlotAssignment {
+            slot: 1,
+            owner: NodeId(1),
+            listeners: vec![NodeId(2)],
+        });
+        assert_eq!(tagged.epoch(), 3);
+        assert_eq!(tagged.in_slot(1).len(), 1);
     }
 
     /// Two distant clusters that allow spatial slot reuse.

@@ -228,6 +228,39 @@ impl Topology {
             .map(|n| n.id)
             .collect()
     }
+
+    /// The surviving sub-topology after removing `dead` nodes: same nodes
+    /// and links minus everything touching a removed id. Derived from the
+    /// already-sampled connectivity graph — no channel re-query, so a
+    /// mid-run view of a deployment with crashed nodes never perturbs the
+    /// channel's RNG stream (runtime re-routing depends on this).
+    #[must_use]
+    pub fn without_nodes(&self, dead: &[NodeId]) -> Topology {
+        let nodes: Vec<NodeInfo> = self
+            .nodes
+            .iter()
+            .filter(|n| !dead.contains(&n.id))
+            .cloned()
+            .collect();
+        let by_id = nodes.iter().enumerate().map(|(i, n)| (n.id, i)).collect();
+        let neighbors = nodes
+            .iter()
+            .map(|n| {
+                let nbs: Vec<NodeId> = self
+                    .neighbors(n.id)
+                    .iter()
+                    .copied()
+                    .filter(|nb| !dead.contains(nb))
+                    .collect();
+                (n.id, nbs)
+            })
+            .collect();
+        Topology {
+            nodes,
+            by_id,
+            neighbors,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -399,6 +432,31 @@ mod tests {
         assert_eq!(p1.last(), Some(&NodeId(8)));
         for w in p1.windows(2) {
             assert!(topo.are_neighbors(w[0], w[1]), "{:?} not a link", w);
+        }
+    }
+
+    /// `without_nodes` is the node-down view re-routing runs over: the
+    /// dead node and every link touching it vanish, surviving links keep
+    /// their order, and the original topology is untouched.
+    #[test]
+    fn without_nodes_removes_node_and_incident_links() {
+        let topo = line(5, 40.0);
+        let cut = topo.without_nodes(&[NodeId(1)]);
+        assert_eq!(cut.len(), 4);
+        assert!(cut.node(NodeId(1)).is_none());
+        assert!(!cut.neighbors(NodeId(0)).contains(&NodeId(1)));
+        assert!(!cut.neighbors(NodeId(2)).contains(&NodeId(1)));
+        // The cut partitions the line: 0 is stranded, 2-3-4 survive.
+        assert_eq!(cut.hops(NodeId(0), NodeId(4)), None);
+        assert_eq!(cut.hops(NodeId(2), NodeId(4)), Some(2));
+        // The original is untouched (the engine keeps the physical view).
+        assert_eq!(topo.len(), 5);
+        assert_eq!(topo.hops(NodeId(0), NodeId(4)), Some(4));
+        // Removing nothing is an identity view.
+        let same = topo.without_nodes(&[]);
+        assert_eq!(same.len(), topo.len());
+        for n in topo.nodes() {
+            assert_eq!(same.neighbors(n.id), topo.neighbors(n.id));
         }
     }
 

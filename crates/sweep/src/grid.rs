@@ -11,8 +11,8 @@
 //! results are reproducible no matter which thread runs which cell.
 
 use evm_core::runtime::{
-    Layout, Role, Scenario, TopologySpec, CLUSTER_HOP_M, CLUSTER_RING_M, GRID_SPACING_M,
-    LINE_SPACING_M,
+    Layout, ReroutePolicy, Role, Scenario, TopologySpec, CLUSTER_HOP_M, CLUSTER_RING_M,
+    GRID_SPACING_M, LINE_SPACING_M,
 };
 use evm_netsim::GilbertElliott;
 use evm_sim::derive_seed;
@@ -163,6 +163,8 @@ pub struct CellConfig {
     pub detect_threshold: f64,
     /// Consecutive anomalies to confirm a fault.
     pub detect_consecutive: u32,
+    /// Runtime re-routing policy of the cell.
+    pub reroute: ReroutePolicy,
     /// Seed-replicate index within the config point.
     pub rep: u32,
     /// The derived per-cell RNG seed.
@@ -183,8 +185,15 @@ impl CellConfig {
         } else {
             format!("|{}", self.topo.label())
         };
+        // The reroute suffix appears only off the static default, for the
+        // same reason.
+        let reroute = if self.reroute == ReroutePolicy::Static {
+            String::new()
+        } else {
+            format!("|{}", self.reroute.label())
+        };
         format!(
-            "{}v{}|loss{}|{}|det{}x{}{topo}",
+            "{}v{}|loss{}|{}|det{}x{}{topo}{reroute}",
             self.star.label(),
             self.vcs,
             self.loss,
@@ -219,9 +228,11 @@ pub struct SweepGrid {
     loss: Option<Vec<f64>>,
     burst: Option<Vec<BurstSpec>>,
     detection: Option<Vec<(f64, u32)>>,
+    reroute: Option<Vec<ReroutePolicy>>,
     seeds_per_cell: u32,
     base_seed: u64,
     radius_m: f64,
+    backup_relays: usize,
 }
 
 impl SweepGrid {
@@ -238,9 +249,11 @@ impl SweepGrid {
             loss: None,
             burst: None,
             detection: None,
+            reroute: None,
             seeds_per_cell: 1,
             base_seed,
             radius_m: 15.0,
+            backup_relays: 0,
         }
     }
 
@@ -317,6 +330,17 @@ impl SweepGrid {
         self
     }
 
+    /// Sweeps the runtime re-routing policy (static vs heartbeat) — the
+    /// reconfiguration-plane axis: the same crash script runs frozen and
+    /// self-healing side by side, and the report's reconfiguration
+    /// columns (epochs, reroute latency) separate the two.
+    #[must_use]
+    pub fn over_reroute(mut self, policies: &[ReroutePolicy]) -> Self {
+        assert!(!policies.is_empty(), "empty axis");
+        self.reroute = Some(policies.to_vec());
+        self
+    }
+
     /// Number of seed replicates per config point (≥ 1).
     #[must_use]
     pub fn seeds_per_cell(mut self, n: u32) -> Self {
@@ -339,6 +363,18 @@ impl SweepGrid {
         self
     }
 
+    /// Redundant relay chains added when a topology axis rebuilds line or
+    /// clustered cells (a rebuilt topology does not inherit the
+    /// template's chains — `StarShape` carries role counts only, so a
+    /// reroute-policy sweep over rebuilt multi-hop cells must ask for its
+    /// redundancy here or the heartbeat rows would misreport as
+    /// "reroute failed").
+    #[must_use]
+    pub fn backup_relays(mut self, n: usize) -> Self {
+        self.backup_relays = n;
+        self
+    }
+
     /// Number of cells the grid expands to.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -349,6 +385,7 @@ impl SweepGrid {
             * ax(self.loss.as_ref().map(Vec::len))
             * ax(self.burst.as_ref().map(Vec::len))
             * ax(self.detection.as_ref().map(Vec::len))
+            * ax(self.reroute.as_ref().map(Vec::len))
             * self.seeds_per_cell as usize
     }
 
@@ -360,7 +397,8 @@ impl SweepGrid {
 
     /// Expands the cartesian product into the work-list, in a fixed axis
     /// order (topology → vcs → stars → loss → burst → detection →
-    /// replicate). Cell ids and seeds depend only on the grid definition.
+    /// reroute → replicate). Cell ids and seeds depend only on the grid
+    /// definition.
     ///
     /// Every cell's topology is validated here, so a malformed template
     /// fails fast at grid definition (with the cell id and the typed
@@ -372,6 +410,18 @@ impl SweepGrid {
     /// Panics if any cell's topology spec is malformed.
     #[must_use]
     pub fn expand(&self) -> Vec<SweepCell> {
+        // The backup-relay knob only acts when cells rebuild their
+        // topology; silently dropping it would produce exactly the
+        // "reroute failed" misreporting it exists to prevent.
+        assert!(
+            self.backup_relays == 0
+                || self.topo.is_some()
+                || self.vcs.is_some()
+                || self.stars.is_some(),
+            "backup_relays needs a topology-rebuilding axis (over_topology/over_vcs/\
+             over_stars); without one, bake the chains into the template via \
+             ScenarioBuilder::backup_relays"
+        );
         let topo_axis: Vec<Option<Layout>> = match &self.topo {
             Some(v) => v.iter().copied().map(Some).collect(),
             None => vec![None],
@@ -398,6 +448,10 @@ impl SweepGrid {
                 self.template.detect_consecutive,
             )]
         });
+        let reroutes = self
+            .reroute
+            .clone()
+            .unwrap_or_else(|| vec![self.template.reroute]);
 
         let template_shape = StarShape::of_spec(&self.template.topology);
         let template_vcs = self.template.n_vcs();
@@ -408,48 +462,53 @@ impl SweepGrid {
                     for &loss in &losses {
                         for burst in &bursts {
                             for &(threshold, consecutive) in &detection {
-                                for rep in 0..self.seeds_per_cell {
-                                    let id = cells.len();
-                                    let seed = derive_seed(self.base_seed, id as u64);
-                                    let mut scenario = self.template.clone();
-                                    // Any varied topology axis rebuilds the
-                                    // topology (a vcs value also re-derives
-                                    // the hosting manifest).
-                                    if topo.is_some() || vcs.is_some() || star.is_some() {
-                                        let s = star.unwrap_or(template_shape);
-                                        let n = vcs.unwrap_or(template_vcs);
-                                        scenario.topology = build_topology(
+                                for &reroute in &reroutes {
+                                    for rep in 0..self.seeds_per_cell {
+                                        let id = cells.len();
+                                        let seed = derive_seed(self.base_seed, id as u64);
+                                        let mut scenario = self.template.clone();
+                                        // Any varied topology axis rebuilds the
+                                        // topology (a vcs value also re-derives
+                                        // the hosting manifest).
+                                        if topo.is_some() || vcs.is_some() || star.is_some() {
+                                            let s = star.unwrap_or(template_shape);
+                                            let n = vcs.unwrap_or(template_vcs);
+                                            scenario.topology = build_topology(
+                                                id,
+                                                topo.unwrap_or(Layout::Star),
+                                                n,
+                                                s,
+                                                self.radius_m,
+                                                self.backup_relays,
+                                            );
+                                            scenario.host_vcs(n);
+                                        }
+                                        scenario.extra_loss = loss;
+                                        if let Some(b) = burst {
+                                            scenario.channel.burst = b.to_process();
+                                        }
+                                        scenario.detect_threshold = threshold;
+                                        scenario.detect_consecutive = consecutive;
+                                        scenario.reroute = reroute;
+                                        scenario.seed = seed;
+                                        validate_cell(id, &scenario);
+                                        cells.push(SweepCell {
                                             id,
-                                            topo.unwrap_or(Layout::Star),
-                                            n,
-                                            s,
-                                            self.radius_m,
-                                        );
-                                        scenario.host_vcs(n);
+                                            config: CellConfig {
+                                                topo: topo.unwrap_or(Layout::Star),
+                                                vcs: vcs.unwrap_or(template_vcs),
+                                                star: star.unwrap_or(template_shape),
+                                                loss,
+                                                burst: *burst,
+                                                detect_threshold: threshold,
+                                                detect_consecutive: consecutive,
+                                                reroute,
+                                                rep,
+                                                seed,
+                                            },
+                                            scenario,
+                                        });
                                     }
-                                    scenario.extra_loss = loss;
-                                    if let Some(b) = burst {
-                                        scenario.channel.burst = b.to_process();
-                                    }
-                                    scenario.detect_threshold = threshold;
-                                    scenario.detect_consecutive = consecutive;
-                                    scenario.seed = seed;
-                                    validate_cell(id, &scenario);
-                                    cells.push(SweepCell {
-                                        id,
-                                        config: CellConfig {
-                                            topo: topo.unwrap_or(Layout::Star),
-                                            vcs: vcs.unwrap_or(template_vcs),
-                                            star: star.unwrap_or(template_shape),
-                                            loss,
-                                            burst: *burst,
-                                            detect_threshold: threshold,
-                                            detect_consecutive: consecutive,
-                                            rep,
-                                            seed,
-                                        },
-                                        scenario,
-                                    });
                                 }
                             }
                         }
@@ -499,9 +558,14 @@ fn build_topology(
     vcs: usize,
     s: StarShape,
     radius_m: f64,
+    backup_relays: usize,
 ) -> TopologySpec {
     match layout {
         Layout::Star => {
+            assert!(
+                backup_relays == 0,
+                "sweep cell {id}: backup relays apply to line/clustered layouts"
+            );
             TopologySpec::multi_star(vcs, s.sensors, s.controllers, s.actuators, s.head, radius_m)
         }
         Layout::Line { hops } => {
@@ -509,19 +573,24 @@ fn build_topology(
                 vcs == 1,
                 "sweep cell {id}: line layouts host a single VC, got {vcs}"
             );
-            TopologySpec::line(
+            TopologySpec::line_with_backups(
                 hops,
                 s.sensors,
                 s.controllers,
                 s.actuators,
                 s.head,
                 LINE_SPACING_M,
+                backup_relays,
             )
         }
         Layout::Grid { w, h } => {
             assert!(
                 vcs == 1,
                 "sweep cell {id}: grid layouts host a single VC, got {vcs}"
+            );
+            assert!(
+                backup_relays == 0,
+                "sweep cell {id}: backup relays apply to line/clustered layouts"
             );
             TopologySpec::grid(
                 w,
@@ -533,7 +602,7 @@ fn build_topology(
                 GRID_SPACING_M,
             )
         }
-        Layout::Clustered => TopologySpec::clustered(
+        Layout::Clustered => TopologySpec::clustered_with_backups(
             vcs,
             s.sensors,
             s.controllers,
@@ -541,6 +610,7 @@ fn build_topology(
             s.head,
             CLUSTER_HOP_M,
             CLUSTER_RING_M,
+            backup_relays,
         ),
     }
 }
@@ -769,6 +839,73 @@ mod tests {
         // 1 + k * (5 members + 2 relays).
         assert_eq!(cells[0].scenario.topology.nodes.len(), 8);
         assert_eq!(cells[1].scenario.topology.nodes.len(), 15);
+    }
+
+    /// The `over_reroute` axis rewrites the policy knob per cell; static
+    /// cells keep their historical keys while heartbeat cells grow a
+    /// suffix, so pre-existing star-grid goldens never move.
+    #[test]
+    fn reroute_axis_rewrites_policy_and_suffixes_keys() {
+        let cells = SweepGrid::new(short_template())
+            .over_reroute(&[ReroutePolicy::Static, ReroutePolicy::Heartbeat])
+            .seeds_per_cell(2)
+            .expand();
+        assert_eq!(cells.len(), 4);
+        assert_eq!(cells[0].scenario.reroute, ReroutePolicy::Static);
+        assert_eq!(cells[2].scenario.reroute, ReroutePolicy::Heartbeat);
+        assert!(!cells[0].config.key().contains("static"));
+        assert!(cells[2].config.key().ends_with("|heartbeat"));
+        // Replicates pool within a policy, never across.
+        assert_eq!(cells[0].config.key(), cells[1].config.key());
+        assert_ne!(cells[1].config.key(), cells[2].config.key());
+    }
+
+    /// Rebuilt multi-hop cells keep their redundancy when the grid asks
+    /// for it: `backup_relays` threads through the topology axis, so a
+    /// reroute sweep over rebuilt line cells still has a chain to fall
+    /// back to.
+    #[test]
+    fn backup_relays_thread_through_topology_rebuilds() {
+        let cells = SweepGrid::new(short_template())
+            .over_topology(&[Layout::Line { hops: 2 }])
+            .over_stars(&[StarShape {
+                sensors: 1,
+                controllers: 2,
+                actuators: 1,
+                head: true,
+            }])
+            .backup_relays(1)
+            .expand();
+        assert!(cells[0]
+            .scenario
+            .topology
+            .nodes
+            .iter()
+            .any(|n| n.label == "RB1"));
+        // Without the knob, rebuilt cells have no backup chain.
+        let bare = SweepGrid::new(short_template())
+            .over_topology(&[Layout::Line { hops: 2 }])
+            .over_stars(&[StarShape {
+                sensors: 1,
+                controllers: 2,
+                actuators: 1,
+                head: true,
+            }])
+            .expand();
+        assert!(!bare[0]
+            .scenario
+            .topology
+            .nodes
+            .iter()
+            .any(|n| n.label.starts_with("RB")));
+    }
+
+    /// `backup_relays` without a rebuild axis would be silently dropped —
+    /// rejected at expansion instead.
+    #[test]
+    #[should_panic(expected = "backup_relays needs a topology-rebuilding axis")]
+    fn backup_relays_without_rebuild_axis_rejected() {
+        let _ = SweepGrid::new(short_template()).backup_relays(1).expand();
     }
 
     /// A malformed template fails at grid definition with the cell id,

@@ -47,6 +47,11 @@ pub struct CellStats {
     /// Deployed node count (relays included) — the topology axis's
     /// scale column.
     pub nodes: usize,
+    /// Configuration epochs committed during the run (0 = static).
+    pub epochs: u64,
+    /// Detect → reroute → first-delivered-frame latency of the first
+    /// runtime reconfiguration, in RT-Link cycles (NaN when none).
+    pub reroute_cycles: f64,
     /// Per-VC stats, indexed by `VcId`: `(loop name, actuations,
     /// deadline hit ratio, regulation cost)`.
     pub per_vc: Vec<VcCellStats>,
@@ -126,6 +131,10 @@ impl CellStats {
             ise,
             mean_current_ma: r.mean_node_current_ma().unwrap_or(f64::NAN),
             nodes: r.meta.nodes,
+            epochs: r.epochs,
+            reroute_cycles: r.reroute_latency.map_or(f64::NAN, |d| {
+                d.as_secs_f64() / s.rtlink.cycle_duration().as_secs_f64()
+            }),
             per_vc,
         }
     }
@@ -162,6 +171,11 @@ pub struct SweepRow {
     pub ise_mean: f64,
     /// Mean radio current across replicates, mA.
     pub mean_current_ma: f64,
+    /// Mean configuration epochs committed per run (0 = static rows).
+    pub epochs_mean: f64,
+    /// Mean reroute latency over the replicates that rerouted, in
+    /// RT-Link cycles (NaN when none did).
+    pub reroute_cycles_mean: f64,
 }
 
 /// One (config point, Virtual Component) row: a config point's seed
@@ -321,6 +335,12 @@ impl SweepReport {
                 let failovers: Vec<f64> = stats.iter().filter_map(|s| s.failover_s).collect();
                 let ises: Vec<f64> = stats.iter().map(|s| s.ise).collect();
                 let currents: Vec<f64> = stats.iter().map(|s| s.mean_current_ma).collect();
+                let epochs: Vec<f64> = stats.iter().map(|s| s.epochs as f64).collect();
+                let reroutes: Vec<f64> = stats
+                    .iter()
+                    .map(|s| s.reroute_cycles)
+                    .filter(|c| !c.is_nan())
+                    .collect();
                 let q = |p: f64| {
                     pooled
                         .e2e_quantile(p)
@@ -341,6 +361,8 @@ impl SweepReport {
                     e2e_p99_ms: q(0.99),
                     ise_mean: mean(&ises),
                     mean_current_ma: mean(&currents),
+                    epochs_mean: mean(&epochs),
+                    reroute_cycles_mean: mean(&reroutes),
                 }
             })
             .collect();
@@ -357,9 +379,9 @@ impl SweepReport {
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
             "key,topology,sensors,controllers,actuators,head,loss,burst,detect_threshold,\
-             detect_consecutive,runs,detected_runs,fail_safe_runs,detect_mean_s,\
+             detect_consecutive,reroute,runs,detected_runs,fail_safe_runs,detect_mean_s,\
              failover_mean_s,failover_p50_s,failover_p99_s,hit_ratio,e2e_p50_ms,\
-             e2e_p99_ms,ise_mean,mean_current_ma\n",
+             e2e_p99_ms,ise_mean,mean_current_ma,epochs_mean,reroute_cycles_mean\n",
         );
         for r in &self.rows {
             let c = &r.config;
@@ -367,7 +389,7 @@ impl SweepReport {
             // distinct config points never render identical axis cells.
             let _ = writeln!(
                 out,
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.6},{},{},{},{}",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.6},{},{},{},{},{},{}",
                 r.key,
                 c.topo.label(),
                 c.star.sensors,
@@ -378,6 +400,7 @@ impl SweepReport {
                 c.burst.map_or_else(|| "chan".to_string(), |b| b.label()),
                 c.detect_threshold,
                 c.detect_consecutive,
+                c.reroute.label(),
                 r.runs,
                 r.detected_runs,
                 r.fail_safe_runs,
@@ -390,6 +413,8 @@ impl SweepReport {
                 f3(r.e2e_p99_ms),
                 f3(r.ise_mean),
                 f3(r.mean_current_ma),
+                f3(r.epochs_mean),
+                f3(r.reroute_cycles_mean),
             );
         }
         out
@@ -401,13 +426,14 @@ impl SweepReport {
     pub fn cells_csv(&self) -> String {
         let mut out = String::from(
             "cell_id,key,rep,seed,detect_s,commit_s,failover_s,fail_safe,hit_ratio,\
-             actuations,deadline_misses,e2e_p50_ms,e2e_p99_ms,ise,mean_current_ma\n",
+             actuations,deadline_misses,e2e_p50_ms,e2e_p99_ms,ise,mean_current_ma,\
+             epochs,reroute_cycles\n",
         );
         for (i, (config, s)) in self.cells.iter().enumerate() {
             let opt = |v: Option<f64>| v.map_or_else(|| "nan".to_string(), f3);
             let _ = writeln!(
                 out,
-                "{},{},{},{},{},{},{},{},{:.6},{},{},{},{},{},{}",
+                "{},{},{},{},{},{},{},{},{:.6},{},{},{},{},{},{},{},{}",
                 i,
                 config.key(),
                 config.rep,
@@ -423,6 +449,8 @@ impl SweepReport {
                 f3(s.e2e_p99_ms),
                 f3(s.ise),
                 f3(s.mean_current_ma),
+                s.epochs,
+                f3(s.reroute_cycles),
             );
         }
         out
@@ -482,6 +510,33 @@ impl SweepReport {
                 f3(r.failover_mean_s),
                 f3(r.ise_mean),
                 f3(r.mean_current_ma),
+            );
+        }
+        out
+    }
+
+    /// The per-config reconfiguration CSV: the reroute policy and the
+    /// epoch/latency columns of each config point — the row set the
+    /// `over_reroute` axis reads off (one row per config point, so a
+    /// static-only grid still renders a well-formed table of zeros).
+    #[must_use]
+    pub fn reconfig_csv(&self) -> String {
+        let mut out = String::from(
+            "key,reroute,runs,epochs_mean,reroute_cycles_mean,detect_mean_s,\
+             hit_ratio,ise_mean\n",
+        );
+        for r in &self.rows {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{},{:.6},{}",
+                r.key,
+                r.config.reroute.label(),
+                r.runs,
+                f3(r.epochs_mean),
+                f3(r.reroute_cycles_mean),
+                f3(r.detect_mean_s),
+                r.hit_ratio,
+                f3(r.ise_mean),
             );
         }
         out
@@ -548,8 +603,8 @@ impl SweepReport {
     }
 
     /// Writes `{stem}.csv`, `{stem}_cells.csv`, `{stem}_vcs.csv`,
-    /// `{stem}_topology.csv` and `{stem}.md` under `dir` (created if
-    /// needed) and returns the paths.
+    /// `{stem}_topology.csv`, `{stem}_reconfig.csv` and `{stem}.md`
+    /// under `dir` (created if needed) and returns the paths.
     ///
     /// # Panics
     ///
@@ -561,6 +616,7 @@ impl SweepReport {
             (format!("{stem}_cells.csv"), self.cells_csv()),
             (format!("{stem}_vcs.csv"), self.vcs_csv()),
             (format!("{stem}_topology.csv"), self.topology_csv()),
+            (format!("{stem}_reconfig.csv"), self.reconfig_csv()),
             (format!("{stem}.md"), self.to_markdown()),
         ];
         targets
@@ -650,6 +706,49 @@ mod tests {
             let core_ms = agg.e2e_quantile(q).unwrap().as_secs_f64() * 1e3;
             assert!((quantile(&sample_ms, q) - core_ms).abs() < 1e-9, "q={q}");
         }
+    }
+
+    /// The reconfiguration columns through a real reroute: a relay-kill
+    /// template over the `over_reroute` axis yields zero epochs on the
+    /// static row and one epoch (with a finite cycle latency) on the
+    /// heartbeat row — and the `_reconfig.csv` view carries both.
+    #[test]
+    fn reroute_axis_cells_report_epochs_and_latency() {
+        use evm_core::runtime::{ReroutePolicy, ScenarioBuilder};
+        use evm_netsim::NodeId;
+        use evm_sim::SimTime;
+        let template = ScenarioBuilder::star()
+            .line(2)
+            .sensors(1)
+            .controllers(2)
+            .actuators(1)
+            .head(true)
+            .backup_relays(1)
+            .crash_node_at(NodeId(6), SimTime::from_secs(10))
+            .duration(SimDuration::from_secs(40))
+            .build();
+        let cells = SweepGrid::new(template)
+            .over_reroute(&[ReroutePolicy::Static, ReroutePolicy::Heartbeat])
+            .expand();
+        let results = run_cells(&cells, 1);
+        let report = SweepReport::build(&cells, &results);
+        assert_eq!(report.rows.len(), 2);
+        let (stat, hb) = (&report.rows[0], &report.rows[1]);
+        assert_eq!(stat.config.reroute, ReroutePolicy::Static);
+        assert_eq!(stat.epochs_mean, 0.0);
+        assert!(stat.reroute_cycles_mean.is_nan());
+        assert_eq!(hb.config.reroute, ReroutePolicy::Heartbeat);
+        assert_eq!(hb.epochs_mean, 1.0);
+        assert!(
+            hb.reroute_cycles_mean > 0.0 && hb.reroute_cycles_mean < 32.0,
+            "reroute latency {} cycles",
+            hb.reroute_cycles_mean
+        );
+        // The dedicated view renders one row per config point.
+        let csv = report.reconfig_csv();
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.contains(",static,"));
+        assert!(csv.contains(",heartbeat,"));
     }
 
     #[test]

@@ -14,7 +14,8 @@
 use std::path::PathBuf;
 use std::time::Instant;
 
-use evm::core::runtime::{Layout, Scenario};
+use evm::core::runtime::{Layout, ReroutePolicy, Scenario, ScenarioBuilder};
+use evm::netsim::NodeId;
 use evm::plant::ActuatorFault;
 use evm::prelude::*;
 use evm::sweep::{available_threads, run_cells, StarShape, SweepGrid, SweepReport};
@@ -64,6 +65,52 @@ fn main() {
                     }])
                     .seeds_per_cell(2),
                 "sweep_smoke_topo",
+            ),
+            // Reconfiguration-plane smoke: a forwarder-kill and a
+            // head-kill on the redundant 2-hop line, each swept over the
+            // reroute-policy axis — static starves (or loses the control
+            // plane) while heartbeat reroutes/re-elects; the epochs and
+            // reroute-latency columns land in the _reconfig.csv artifact.
+            (
+                SweepGrid::new(
+                    // Ids: GW=0, S1=1, Ctrl-A=2, Ctrl-B=3, A1=4, Head=5,
+                    // R1=6, RB1=7. Kill the primary forwarder R1.
+                    ScenarioBuilder::star()
+                        .line(2)
+                        .sensors(1)
+                        .controllers(2)
+                        .actuators(1)
+                        .head(true)
+                        .backup_relays(1)
+                        .crash_node_at(NodeId(6), SimTime::from_secs(15))
+                        .duration(SimDuration::from_secs(60))
+                        .build(),
+                )
+                .over_reroute(&[ReroutePolicy::Static, ReroutePolicy::Heartbeat])
+                .seeds_per_cell(2),
+                "sweep_smoke_fwdkill",
+            ),
+            (
+                SweepGrid::new(
+                    // Three replicas so a backup survives re-election;
+                    // ids: GW=0, S1=1, Ctrl-A..C=2..4, A1=5, Head=6,
+                    // R1=7, RB1=8. Kill the head, then fault the primary.
+                    ScenarioBuilder::star()
+                        .line(2)
+                        .sensors(1)
+                        .controllers(3)
+                        .actuators(1)
+                        .head(true)
+                        .backup_relays(1)
+                        .crash_node_at(NodeId(6), SimTime::from_secs(10))
+                        .fault_at(SimTime::from_secs(30), ActuatorFault::paper_fault())
+                        .reconfig_epoch(SimDuration::ZERO)
+                        .duration(SimDuration::from_secs(60))
+                        .build(),
+                )
+                .over_reroute(&[ReroutePolicy::Static, ReroutePolicy::Heartbeat])
+                .seeds_per_cell(2),
+                "sweep_smoke_headkill",
             ),
         ]
     } else {

@@ -238,6 +238,57 @@ fn relay_loss_starves_the_loop_without_spurious_failover() {
     assert!(!trace.contains("fail-safe"));
 }
 
+/// The recovering twin of the starvation pin above: same crash, but the
+/// topology carries a backup relay chain and the scenario opts into
+/// `ReroutePolicy::Heartbeat`. The dead forwarder is detected by missed
+/// relay heartbeats, routes re-run over the survivors, and delivery
+/// resumes within a bounded number of cycles — while the static policy
+/// on the *same* redundant topology still starves, isolating the reroute
+/// policy as the only variable.
+#[test]
+fn relay_loss_recovers_under_heartbeat_reroute_policy() {
+    use evm::core::runtime::ReroutePolicy;
+    // R1 = node 6, RB1 = node 7 with one backup chain.
+    let build = |policy: ReroutePolicy| {
+        line_scenario()
+            .backup_relays(1)
+            .reroute(policy)
+            .crash_node_at(NodeId(6), SimTime::from_secs(10))
+            .duration(SimDuration::from_secs(300))
+            .build()
+    };
+    let s = build(ReroutePolicy::Heartbeat);
+    assert_eq!(s.topology.nodes[6].label, "R1");
+    assert_eq!(s.topology.nodes[7].label, "RB1");
+    let cycle = s.rtlink.cycle_duration();
+    let bound = cycle * (s.heartbeat_cycles + 5);
+
+    let rerouted = Engine::new(s).run();
+    let starved = Engine::new(build(ReroutePolicy::Static)).run();
+
+    // Static on the redundant topology: frozen at the pre-crash count.
+    assert_eq!(starved.actuations, 40);
+    assert_eq!(starved.epochs, 0);
+    // Heartbeat: detection + one recomputed epoch, bounded recovery.
+    assert_eq!(rerouted.epochs, 1);
+    let down = rerouted.event_time("R1 missed heartbeats").expect("detect");
+    assert!(
+        down.saturating_since(SimTime::from_secs(10)) <= bound,
+        "detection at {down}"
+    );
+    let reroute = rerouted.reroute_latency.expect("delivery resumed");
+    assert!(reroute <= cycle * 3, "recovery {reroute} after detection");
+    // The loop re-regulates through RB1 for the rest of the horizon.
+    assert!(rerouted.actuations > 1000, "{}", rerouted.actuations);
+    let err = rerouted.series("Err.LC-LTS").last_value().unwrap();
+    assert!(err.abs() < 0.2, "steady-state error {err}");
+    // Still no spurious failover: a dead relay is a routing problem, not
+    // a controller fault.
+    let trace = rerouted.trace.render();
+    assert!(!trace.contains("-> Active"), "no spurious promotion");
+    assert!(!trace.contains("fail-safe"));
+}
+
 fn clustered_scenario(serial: bool) -> Scenario {
     let mut s = ScenarioBuilder::star()
         .clustered(2)
