@@ -1,8 +1,18 @@
-//! The stack-machine interpreter.
+//! The stack-machine interpreter — the semantic *oracle* for the tiered
+//! execution engine.
+//!
+//! [`Vm::run`] dispatches on [`Tier`]: `Interp` executes the stack
+//! program directly (this file), `Fused` runs the superinstruction
+//! rewrite from [`super::fuse`], and `Compiled` runs the closure chain
+//! from [`super::compile`] (falling back to `Fused` for programs the
+//! register-IR lowering rejects). Whatever the tier, results, gas,
+//! variable snapshots and trap behavior are bit-identical to this
+//! interpreter.
 
-use std::collections::HashMap;
 use std::fmt;
 
+use super::compile::{self, CompiledProgram};
+use super::fuse::{self, FusedProgram};
 use super::isa::{Op, Program};
 
 /// Maximum data-stack depth (mirrors the 8-bit platform's tight RAM).
@@ -10,7 +20,48 @@ pub const MAX_STACK: usize = 32;
 /// Number of task-local variables.
 pub const N_VARS: usize = 32;
 /// Maximum call depth.
-const MAX_CALLS: usize = 8;
+pub(crate) const MAX_CALLS: usize = 8;
+
+/// The fixed extension-word dispatch table: direct indexing, no hashing.
+pub(crate) type ExtTable = [Option<Program>; 256];
+
+/// Which execution engine a [`Vm`] uses.
+///
+/// All tiers are observationally identical (results, gas, variables,
+/// traps, environment effects); they differ only in speed. `Interp` is
+/// the oracle and the default, so existing goldens never move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Tier {
+    /// The stack interpreter in this module (the oracle).
+    #[default]
+    Interp,
+    /// Superinstruction fusion: hot stack idioms in one dispatch.
+    Fused,
+    /// Register IR lowered to a chain of boxed closures; programs that
+    /// do not lower (e.g. `call`/`ext`) fall back to [`Tier::Fused`].
+    Compiled,
+}
+
+impl Tier {
+    /// Every tier, oracle first — handy for differential loops.
+    pub const ALL: [Tier; 3] = [Tier::Interp, Tier::Fused, Tier::Compiled];
+
+    /// Short lower-case label used in sweep keys and bench rows.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Tier::Interp => "interp",
+            Tier::Fused => "fused",
+            Tier::Compiled => "compiled",
+        }
+    }
+}
+
+impl fmt::Display for Tier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
 
 /// Runtime faults the interpreter traps.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -120,15 +171,49 @@ impl VmEnv for NullEnv {
     }
 }
 
+/// Per-program artifacts for the non-oracle tiers, rebuilt lazily
+/// whenever a different program is installed (capsule-install time in
+/// the runtime: the controller runs one control-law program per task).
+#[derive(Debug)]
+struct Prepared {
+    source: Program,
+    /// Cache id of the last program recognized as equal to `source` —
+    /// the O(1) hit test, updated when a content-equal program with a
+    /// different id shows up.
+    source_id: u64,
+    fused: FusedProgram,
+    compiled: Option<CompiledProgram>,
+}
+
 /// The persistent virtual machine for one task: variables survive across
 /// invocations (that is where PID integrators live), and the extension
 /// dictionary can grow at runtime.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Vm {
     vars: [f64; N_VARS],
-    extensions: HashMap<u8, Program>,
+    extensions: Box<ExtTable>,
     gas_limit: u64,
     gas_used_last: u64,
+    tier: Tier,
+    prepared: Option<Prepared>,
+    /// Register file reused by the compiled tier across invocations.
+    scratch: Vec<f64>,
+}
+
+impl Clone for Vm {
+    fn clone(&self) -> Self {
+        // The prepared artifacts are a cache (closures are not Clone);
+        // the clone rebuilds them on its first non-oracle run.
+        Vm {
+            vars: self.vars,
+            extensions: self.extensions.clone(),
+            gas_limit: self.gas_limit,
+            gas_used_last: self.gas_used_last,
+            tier: self.tier,
+            prepared: None,
+            scratch: Vec::new(),
+        }
+    }
 }
 
 impl Vm {
@@ -139,19 +224,43 @@ impl Vm {
     /// Panics if `gas_limit` is zero.
     #[must_use]
     pub fn new(gas_limit: u64) -> Self {
+        Self::with_tier(gas_limit, Tier::Interp)
+    }
+
+    /// Creates a VM with the given gas budget and execution tier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gas_limit` is zero.
+    #[must_use]
+    pub fn with_tier(gas_limit: u64, tier: Tier) -> Self {
         assert!(gas_limit > 0, "gas limit must be positive");
         Vm {
             vars: [0.0; N_VARS],
-            extensions: HashMap::new(),
+            extensions: Box::new(std::array::from_fn(|_| None)),
             gas_limit,
             gas_used_last: 0,
+            tier,
+            prepared: None,
+            scratch: Vec::new(),
         }
+    }
+
+    /// The execution tier this VM runs capsules on.
+    #[must_use]
+    pub fn tier(&self) -> Tier {
+        self.tier
+    }
+
+    /// Switches the execution tier (takes effect on the next run).
+    pub fn set_tier(&mut self, tier: Tier) {
+        self.tier = tier;
     }
 
     /// Registers (or replaces) extension word `n` — the runtime ISA
     /// extension mechanism. Returns the previous definition, if any.
     pub fn register_extension(&mut self, n: u8, body: Program) -> Option<Program> {
-        self.extensions.insert(n, body)
+        self.extensions[n as usize].replace(body)
     }
 
     /// Gas consumed by the last invocation.
@@ -197,19 +306,64 @@ impl Vm {
     /// Any [`VmError`]; stores executed before the fault remain visible in
     /// the task-local variables (as on the real machine).
     pub fn run(&mut self, program: &Program, env: &mut dyn VmEnv) -> Result<f64, VmError> {
-        let mut vars = self.vars;
         let mut gas = 0u64;
-        let result = exec(
-            program,
-            &self.extensions,
-            &mut vars,
-            self.gas_limit,
-            &mut gas,
-            env,
-        );
-        self.vars = vars;
+        let result = match self.tier {
+            Tier::Interp => exec(
+                program,
+                &self.extensions,
+                &mut self.vars,
+                self.gas_limit,
+                &mut gas,
+                env,
+            ),
+            Tier::Fused | Tier::Compiled => {
+                self.prepare(program);
+                let prepared = self.prepared.as_ref().expect("prepared above");
+                match (&prepared.compiled, self.tier) {
+                    (Some(compiled), Tier::Compiled) => compile::run(
+                        compiled,
+                        &mut self.scratch,
+                        &mut self.vars,
+                        self.gas_limit,
+                        &mut gas,
+                        env,
+                    ),
+                    _ => fuse::exec_fused(
+                        &prepared.fused,
+                        &self.extensions,
+                        &mut self.vars,
+                        self.gas_limit,
+                        &mut gas,
+                        env,
+                    ),
+                }
+            }
+        };
         self.gas_used_last = gas;
         result
+    }
+
+    /// Rebuilds the fused/compiled artifacts iff `program` differs from
+    /// the one prepared last. The steady-state hit is O(1): programs are
+    /// immutable and carry a construction-unique cache id, so an id
+    /// match proves content equality without walking the instruction
+    /// list. A content-equal program built separately (different id)
+    /// deep-compares once, then its id is remembered.
+    fn prepare(&mut self, program: &Program) {
+        match &mut self.prepared {
+            Some(p) if p.source_id == program.cache_id() => {}
+            Some(p) if p.source.len() == program.len() && p.source == *program => {
+                p.source_id = program.cache_id();
+            }
+            _ => {
+                self.prepared = Some(Prepared {
+                    source: program.clone(),
+                    source_id: program.cache_id(),
+                    fused: fuse::fuse(program),
+                    compiled: compile::compile(program),
+                });
+            }
+        }
     }
 }
 
@@ -223,7 +377,7 @@ enum FrameRef {
 #[allow(clippy::too_many_lines)]
 fn exec(
     program: &Program,
-    extensions: &HashMap<u8, Program>,
+    extensions: &ExtTable,
     vars: &mut [f64; N_VARS],
     gas_limit: u64,
     gas_out: &mut u64,
@@ -232,7 +386,9 @@ fn exec(
     let code = |f: FrameRef| -> &Program {
         match f {
             FrameRef::Main => program,
-            FrameRef::Ext(n) => &extensions[&n],
+            FrameRef::Ext(n) => extensions[n as usize]
+                .as_ref()
+                .expect("checked at ext dispatch"),
         }
     };
     {
@@ -435,7 +591,7 @@ fn exec(
                     if calls.len() >= MAX_CALLS {
                         return Err(VmError::CallDepthExceeded);
                     }
-                    if !extensions.contains_key(&n) {
+                    if extensions[n as usize].is_none() {
                         return Err(VmError::UnknownExtension);
                     }
                     calls.push((frame, pc));

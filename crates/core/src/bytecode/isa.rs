@@ -98,16 +98,49 @@ pub enum Op {
 }
 
 /// A sequence of instructions plus its byte encoding.
-#[derive(Debug, Clone, PartialEq, Default)]
+///
+/// Programs are immutable after construction and carry a
+/// construction-unique cache id, so the tiered VM can recognize "same
+/// program as last run" in O(1) instead of re-comparing the whole
+/// instruction list on every capsule invocation. Equality (and the wire
+/// encoding) ignore the id: two programs with the same instructions are
+/// equal, and clones share their original's id.
+#[derive(Debug, Clone)]
 pub struct Program {
     ops: Vec<Op>,
+    id: u64,
 }
+
+impl PartialEq for Program {
+    fn eq(&self, other: &Self) -> bool {
+        self.ops == other.ops
+    }
+}
+
+impl Default for Program {
+    fn default() -> Self {
+        Program::new(Vec::new())
+    }
+}
+
+/// Next [`Program::cache_id`]; 0 is never issued, so it can mean
+/// "no program cached yet".
+static NEXT_PROGRAM_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
 
 impl Program {
     /// Creates a program from instructions.
     #[must_use]
     pub fn new(ops: Vec<Op>) -> Self {
-        Program { ops }
+        let id = NEXT_PROGRAM_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        Program { ops, id }
+    }
+
+    /// The construction-unique id: equal ids imply equal instructions
+    /// (programs are immutable), but equal instructions built separately
+    /// get distinct ids. A cache key, not part of program identity.
+    #[must_use]
+    pub(crate) fn cache_id(&self) -> u64 {
+        self.id
     }
 
     /// The instructions.
@@ -151,7 +184,7 @@ impl Program {
             ops.push(op);
             i += used;
         }
-        Ok(Program { ops })
+        Ok(Program::new(ops))
     }
 }
 

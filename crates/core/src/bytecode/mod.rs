@@ -7,17 +7,28 @@
 //! triggering task operations. Execution is **gas-metered**: a capsule
 //! declares its worst-case instruction count, the kernel converts that to
 //! WCET for the schedulability gate, and the interpreter enforces it.
+//!
+//! Execution is **tiered** ([`Tier`]): the stack interpreter in
+//! [`interp`] is the semantic oracle; [`fuse`] rewrites hot stack
+//! idioms into superinstructions; [`regir`] lowers the stack program to
+//! a register IR which [`compile`] turns into a chain of boxed
+//! closures. All tiers are bit-identical in results, gas, variables and
+//! traps — only speed differs.
 
 mod asm;
 mod builder;
 mod capsule;
+mod compile;
+mod fuse;
 mod interp;
 mod isa;
+mod regir;
 
 pub use asm::{assemble, disassemble, AsmError};
 pub use builder::{
     compile_control_law, control_law_gas_budget, integrator_of, ControlLawSpec, VAR_INTEGRATOR,
 };
 pub use capsule::{Capability, Capsule, CapsuleId};
-pub use interp::{NullEnv, Vm, VmEnv, VmError, MAX_STACK, N_VARS};
+pub use compile::{compiles, ModbusCachedEnv};
+pub use interp::{NullEnv, Tier, Vm, VmEnv, VmError, MAX_STACK, N_VARS};
 pub use isa::{Op, Program};

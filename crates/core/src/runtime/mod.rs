@@ -34,6 +34,7 @@ mod scenario;
 mod setup;
 pub mod topo;
 
+pub use crate::bytecode::Tier;
 pub use behavior::{Effect, NodeBehavior, NodeCtx, Timer};
 pub use driver::Engine;
 pub use messages::Message;

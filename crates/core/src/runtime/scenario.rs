@@ -5,6 +5,7 @@ use evm_netsim::{ChannelConfig, FaultPlan};
 use evm_plant::{ActuatorFault, ControlLoopSpec};
 use evm_sim::{SimDuration, SimTime};
 
+use crate::bytecode::Tier;
 use crate::runtime::reconfig::ReroutePolicy;
 use crate::runtime::topo::{
     TopologySpec, VcId, CLUSTER_HOP_M, CLUSTER_RING_M, GRID_SPACING_M, LINE_SPACING_M, MAX_VCS,
@@ -95,6 +96,10 @@ pub struct Scenario {
     /// forwarders and re-elects a crashed head mid-run (the epoch-based
     /// reconfiguration plane).
     pub reroute: ReroutePolicy,
+    /// Execution tier every controller VM runs capsules on. `Interp`
+    /// (the oracle, default) keeps every golden byte-identical; the
+    /// other tiers are bit-identical by contract and only faster.
+    pub tier: Tier,
     /// Scripted reconfiguration requests: at each instant the engine
     /// recomputes the epoch (with whatever down set it has, possibly
     /// empty) and commits it at the next cycle boundary. Test/bench knob
@@ -159,6 +164,7 @@ impl Scenario {
             warm_backup: true,
             heartbeat_cycles: 16,
             reroute: ReroutePolicy::Static,
+            tier: Tier::Interp,
             force_reconfig: Vec::new(),
             fault: None,
             backup_fault: None,
@@ -464,6 +470,13 @@ impl ScenarioBuilder {
     #[must_use]
     pub fn reroute(mut self, policy: ReroutePolicy) -> Self {
         self.inner.reroute = policy;
+        self
+    }
+
+    /// Sets the VM execution tier ([`Scenario::tier`]).
+    #[must_use]
+    pub fn tier(mut self, tier: Tier) -> Self {
+        self.inner.tier = tier;
         self
     }
 

@@ -149,6 +149,7 @@ impl Engine {
                         hb_timeout: scenario.rtlink.cycle_duration() * scenario.heartbeat_cycles,
                         period: SimDuration::from_secs_f64(spec.period_s),
                         primary: vcs.vc(vc).primary(),
+                        tier: scenario.tier,
                     },
                     primary: vcs.vc(vc).primary(),
                     act_register,

@@ -11,7 +11,7 @@
 //! results are reproducible no matter which thread runs which cell.
 
 use evm_core::runtime::{
-    Layout, ReroutePolicy, Role, Scenario, TopologySpec, CLUSTER_HOP_M, CLUSTER_RING_M,
+    Layout, ReroutePolicy, Role, Scenario, Tier, TopologySpec, CLUSTER_HOP_M, CLUSTER_RING_M,
     GRID_SPACING_M, LINE_SPACING_M,
 };
 use evm_netsim::GilbertElliott;
@@ -165,6 +165,8 @@ pub struct CellConfig {
     pub detect_consecutive: u32,
     /// Runtime re-routing policy of the cell.
     pub reroute: ReroutePolicy,
+    /// VM execution tier every controller replica runs capsules on.
+    pub tier: Tier,
     /// Seed-replicate index within the config point.
     pub rep: u32,
     /// The derived per-cell RNG seed.
@@ -192,8 +194,15 @@ impl CellConfig {
         } else {
             format!("|{}", self.reroute.label())
         };
+        // Likewise the tier suffix: interp cells (the oracle default)
+        // keep their historical keys, so tier axes never move goldens.
+        let tier = if self.tier == Tier::Interp {
+            String::new()
+        } else {
+            format!("|{}", self.tier.label())
+        };
         format!(
-            "{}v{}|loss{}|{}|det{}x{}{topo}{reroute}",
+            "{}v{}|loss{}|{}|det{}x{}{topo}{reroute}{tier}",
             self.star.label(),
             self.vcs,
             self.loss,
@@ -229,6 +238,7 @@ pub struct SweepGrid {
     burst: Option<Vec<BurstSpec>>,
     detection: Option<Vec<(f64, u32)>>,
     reroute: Option<Vec<ReroutePolicy>>,
+    tier: Option<Vec<Tier>>,
     seeds_per_cell: u32,
     base_seed: u64,
     radius_m: f64,
@@ -250,6 +260,7 @@ impl SweepGrid {
             burst: None,
             detection: None,
             reroute: None,
+            tier: None,
             seeds_per_cell: 1,
             base_seed,
             radius_m: 15.0,
@@ -341,6 +352,18 @@ impl SweepGrid {
         self
     }
 
+    /// Sweeps the VM execution tier (interp / fused / compiled) — the
+    /// tiered-execution axis: the same scenario runs on the oracle
+    /// interpreter and the optimized tiers side by side. Every metric
+    /// must agree across tier rows (the tiers are bit-identical by
+    /// contract); only wall-clock differs.
+    #[must_use]
+    pub fn over_tier(mut self, tiers: &[Tier]) -> Self {
+        assert!(!tiers.is_empty(), "empty axis");
+        self.tier = Some(tiers.to_vec());
+        self
+    }
+
     /// Number of seed replicates per config point (≥ 1).
     #[must_use]
     pub fn seeds_per_cell(mut self, n: u32) -> Self {
@@ -386,6 +409,7 @@ impl SweepGrid {
             * ax(self.burst.as_ref().map(Vec::len))
             * ax(self.detection.as_ref().map(Vec::len))
             * ax(self.reroute.as_ref().map(Vec::len))
+            * ax(self.tier.as_ref().map(Vec::len))
             * self.seeds_per_cell as usize
     }
 
@@ -397,8 +421,8 @@ impl SweepGrid {
 
     /// Expands the cartesian product into the work-list, in a fixed axis
     /// order (topology → vcs → stars → loss → burst → detection →
-    /// reroute → replicate). Cell ids and seeds depend only on the grid
-    /// definition.
+    /// reroute → tier → replicate). Cell ids and seeds depend only on
+    /// the grid definition.
     ///
     /// Every cell's topology is validated here, so a malformed template
     /// fails fast at grid definition (with the cell id and the typed
@@ -452,6 +476,10 @@ impl SweepGrid {
             .reroute
             .clone()
             .unwrap_or_else(|| vec![self.template.reroute]);
+        let tiers = self
+            .tier
+            .clone()
+            .unwrap_or_else(|| vec![self.template.tier]);
 
         let template_shape = StarShape::of_spec(&self.template.topology);
         let template_vcs = self.template.n_vcs();
@@ -463,51 +491,55 @@ impl SweepGrid {
                         for burst in &bursts {
                             for &(threshold, consecutive) in &detection {
                                 for &reroute in &reroutes {
-                                    for rep in 0..self.seeds_per_cell {
-                                        let id = cells.len();
-                                        let seed = derive_seed(self.base_seed, id as u64);
-                                        let mut scenario = self.template.clone();
-                                        // Any varied topology axis rebuilds the
-                                        // topology (a vcs value also re-derives
-                                        // the hosting manifest).
-                                        if topo.is_some() || vcs.is_some() || star.is_some() {
-                                            let s = star.unwrap_or(template_shape);
-                                            let n = vcs.unwrap_or(template_vcs);
-                                            scenario.topology = build_topology(
+                                    for &tier in &tiers {
+                                        for rep in 0..self.seeds_per_cell {
+                                            let id = cells.len();
+                                            let seed = derive_seed(self.base_seed, id as u64);
+                                            let mut scenario = self.template.clone();
+                                            // Any varied topology axis rebuilds
+                                            // the topology (a vcs value also
+                                            // re-derives the hosting manifest).
+                                            if topo.is_some() || vcs.is_some() || star.is_some() {
+                                                let s = star.unwrap_or(template_shape);
+                                                let n = vcs.unwrap_or(template_vcs);
+                                                scenario.topology = build_topology(
+                                                    id,
+                                                    topo.unwrap_or(Layout::Star),
+                                                    n,
+                                                    s,
+                                                    self.radius_m,
+                                                    self.backup_relays,
+                                                );
+                                                scenario.host_vcs(n);
+                                            }
+                                            scenario.extra_loss = loss;
+                                            if let Some(b) = burst {
+                                                scenario.channel.burst = b.to_process();
+                                            }
+                                            scenario.detect_threshold = threshold;
+                                            scenario.detect_consecutive = consecutive;
+                                            scenario.reroute = reroute;
+                                            scenario.tier = tier;
+                                            scenario.seed = seed;
+                                            validate_cell(id, &scenario);
+                                            cells.push(SweepCell {
                                                 id,
-                                                topo.unwrap_or(Layout::Star),
-                                                n,
-                                                s,
-                                                self.radius_m,
-                                                self.backup_relays,
-                                            );
-                                            scenario.host_vcs(n);
+                                                config: CellConfig {
+                                                    topo: topo.unwrap_or(Layout::Star),
+                                                    vcs: vcs.unwrap_or(template_vcs),
+                                                    star: star.unwrap_or(template_shape),
+                                                    loss,
+                                                    burst: *burst,
+                                                    detect_threshold: threshold,
+                                                    detect_consecutive: consecutive,
+                                                    reroute,
+                                                    tier,
+                                                    rep,
+                                                    seed,
+                                                },
+                                                scenario,
+                                            });
                                         }
-                                        scenario.extra_loss = loss;
-                                        if let Some(b) = burst {
-                                            scenario.channel.burst = b.to_process();
-                                        }
-                                        scenario.detect_threshold = threshold;
-                                        scenario.detect_consecutive = consecutive;
-                                        scenario.reroute = reroute;
-                                        scenario.seed = seed;
-                                        validate_cell(id, &scenario);
-                                        cells.push(SweepCell {
-                                            id,
-                                            config: CellConfig {
-                                                topo: topo.unwrap_or(Layout::Star),
-                                                vcs: vcs.unwrap_or(template_vcs),
-                                                star: star.unwrap_or(template_shape),
-                                                loss,
-                                                burst: *burst,
-                                                detect_threshold: threshold,
-                                                detect_consecutive: consecutive,
-                                                reroute,
-                                                rep,
-                                                seed,
-                                            },
-                                            scenario,
-                                        });
                                     }
                                 }
                             }
@@ -858,6 +890,31 @@ mod tests {
         // Replicates pool within a policy, never across.
         assert_eq!(cells[0].config.key(), cells[1].config.key());
         assert_ne!(cells[1].config.key(), cells[2].config.key());
+    }
+
+    /// The `over_tier` axis rewrites the VM tier knob per cell; interp
+    /// cells (the oracle default) keep their historical keys while the
+    /// optimized tiers grow a suffix, so tier sweeps never move
+    /// pre-existing goldens.
+    #[test]
+    fn tier_axis_rewrites_vm_tier_and_suffixes_keys() {
+        let cells = SweepGrid::new(short_template())
+            .over_tier(&[Tier::Interp, Tier::Fused, Tier::Compiled])
+            .seeds_per_cell(2)
+            .expand();
+        assert_eq!(cells.len(), 6);
+        assert_eq!(cells[0].scenario.tier, Tier::Interp);
+        assert_eq!(cells[2].scenario.tier, Tier::Fused);
+        assert_eq!(cells[4].scenario.tier, Tier::Compiled);
+        assert!(!cells[0].config.key().contains("interp"));
+        assert!(cells[2].config.key().ends_with("|fused"));
+        assert!(cells[4].config.key().ends_with("|compiled"));
+        // Replicates pool within a tier, never across.
+        assert_eq!(cells[0].config.key(), cells[1].config.key());
+        assert_ne!(cells[1].config.key(), cells[2].config.key());
+        // Without the axis, cells inherit the template tier (interp).
+        let bare = SweepGrid::new(short_template()).expand();
+        assert_eq!(bare[0].config.tier, Tier::Interp);
     }
 
     /// Rebuilt multi-hop cells keep their redundancy when the grid asks
