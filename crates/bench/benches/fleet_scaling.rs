@@ -1,0 +1,200 @@
+//! E18 — fleet scaling: one engine process hosting 1 → 10 000 Virtual
+//! Components.
+//!
+//! The fleet deployment ([`ScenarioBuilder::fleet`]) puts `n` VCs on a
+//! serial RT-Link schedule with 8× slot headroom, and this bench times
+//! whole engine runs at each fleet size, reporting simulated slots per
+//! wall-clock second. At every size up to 1k VCs the legacy per-slot
+//! event stream is timed on the identical scenario, so the table
+//! carries the event-driven cursor's speedup directly; at 10k only the
+//! cursor runs (the per-slot driver is the reason this bench exists).
+//! A second row family stretches the same fleet to a 1024× headroom
+//! (≈ 0.1 % duty cycle — low-power TDMA territory), where idle slots
+//! dominate the legacy driver's wall time and the cursor's batch-skip
+//! pays in full.
+//!
+//! Asserted: the 10k-VC run completes; the cursor's slots/sec is at
+//! least 10× legacy at 1k VCs on the sparse schedule; and at 100 VCs
+//! the two steppings produce **equal** [`evm_core::RunResult`]s —
+//! speed is the only difference.
+//!
+//! Writes `fleet_scaling.csv` and `fleet_scaling.json`. Pass `--smoke`
+//! for the CI-sized run (1 / 100 / 1000 VCs, same files).
+
+use std::time::Instant;
+
+use evm_bench::{banner, f, row, write_result};
+use evm_core::runtime::{Engine, Scenario, SlotStepping};
+use evm_core::RunResult;
+
+/// Fleet scenario sized for benching: enough cycles for a stable
+/// measurement at small `n`, two cycles at 10k (≈ 480k slots).
+fn scenario(n: usize, stepping: SlotStepping) -> Scenario {
+    let mut s = Scenario::builder().fleet(n).stepping(stepping).build();
+    let spc = s.rtlink.slots_per_cycle as u64;
+    let cycles = (200_000 / spc).clamp(2, 100);
+    s.duration = s.rtlink.cycle_duration() * cycles;
+    s
+}
+
+/// The ultra-sparse variant: the same fleet, stretched to a 1024×
+/// slot-count headroom (≈ 0.1 % duty cycle — low-power TDMA territory,
+/// where a node transmits for milliseconds and sleeps for minutes).
+/// The serial schedule packs the same occupied slots at the front of
+/// the cycle; everything added is idle air the cursor never visits and
+/// the legacy driver pays one queue event for.
+fn sparse_scenario(n: usize, stepping: SlotStepping) -> Scenario {
+    let mut s = Scenario::builder().fleet(n).stepping(stepping).build();
+    s.rtlink.slots_per_cycle = 1024 * (3 * n + 1);
+    let cycle = s.rtlink.cycle_duration();
+    s.sample_every = cycle / 4;
+    // Engine throughput is the quantity under test, not plant fidelity:
+    // integrate the (unconditionally stable) plant at cycle/64 so the
+    // physics cost stays constant as the cycle stretches.
+    s.plant_dt = s.plant_dt.max(cycle / 64);
+    s.duration = cycle * 2;
+    s
+}
+
+/// Runs a pre-built scenario, returning `(wall_s, slots, result)`.
+/// Engine construction stays outside the timed region — setup cost is
+/// not what this bench measures.
+fn timed(s: Scenario) -> (f64, u64, RunResult) {
+    let slots = s.duration / s.rtlink.slot_duration;
+    let engine = Engine::new(s);
+    let start = Instant::now();
+    let r = engine.run();
+    (start.elapsed().as_secs_f64(), slots, r)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    banner(
+        "E18",
+        if smoke {
+            "fleet scaling: slots/sec, 1 -> 1k VCs (smoke)"
+        } else {
+            "fleet scaling: slots/sec, 1 -> 10k VCs"
+        },
+    );
+    let sizes: &[usize] = if smoke {
+        &[1, 100, 1_000]
+    } else {
+        &[1, 10, 100, 1_000, 10_000]
+    };
+
+    // Differential spot check: at 100 VCs both steppings produce the
+    // same result, byte for byte.
+    {
+        let legacy = Engine::new(scenario(100, SlotStepping::Legacy)).run();
+        let event = Engine::new(scenario(100, SlotStepping::EventDriven)).run();
+        assert!(legacy.actuations > 0, "fleet run must actuate");
+        assert!(event == legacy, "steppings diverged at 100 VCs");
+    }
+
+    println!(
+        "{}",
+        row(&[
+            "vcs".into(),
+            "nodes".into(),
+            "slots".into(),
+            "event [s]".into(),
+            "event slots/s".into(),
+            "legacy slots/s".into(),
+            "speedup".into(),
+        ])
+    );
+    let mut csv = String::from(
+        "schedule,vcs,nodes,slots,event_wall_s,event_slots_per_s,legacy_slots_per_s,speedup\n",
+    );
+    let mut json_rows = Vec::new();
+    let mut speedup_at_1k = f64::NAN;
+    let mut run_row = |kind: &str, n: usize, event: Scenario, legacy: Option<Scenario>| {
+        let (event_wall, slots, r) = timed(event);
+        assert!(r.actuations > 0, "{kind} fleet of {n} must actuate");
+        let event_rate = slots as f64 / event_wall;
+        let legacy_rate = legacy.map(|s| {
+            let (legacy_wall, _, lr) = timed(s);
+            assert!(lr.actuations > 0, "legacy {kind} fleet of {n} must actuate");
+            slots as f64 / legacy_wall
+        });
+        let speedup = legacy_rate.map(|l| event_rate / l);
+        println!(
+            "{}",
+            row(&[
+                format!("{kind}/{n}"),
+                format!("{}", r.meta.nodes),
+                format!("{slots}"),
+                f(event_wall),
+                f(event_rate),
+                legacy_rate.map_or_else(|| "-".into(), f),
+                speedup.map_or_else(|| "-".into(), f),
+            ])
+        );
+        csv.push_str(&format!(
+            "{kind},{n},{},{slots},{event_wall:.4},{event_rate:.1},{},{}\n",
+            r.meta.nodes,
+            legacy_rate.map_or_else(String::new, |v| format!("{v:.1}")),
+            speedup.map_or_else(String::new, |v| format!("{v:.2}")),
+        ));
+        json_rows.push((
+            kind.to_string(),
+            n,
+            r.meta.nodes,
+            slots,
+            event_wall,
+            event_rate,
+            speedup,
+        ));
+        speedup
+    };
+
+    // Dense rows: the default fleet shape (8× headroom) at every size.
+    // The legacy driver pays one queue event per slot; at 10k VCs (240k
+    // slots/cycle) that is the regime this PR retires, so the baseline
+    // is only timed up to 1k.
+    for &n in sizes {
+        let legacy = (n <= 1_000).then(|| scenario(n, SlotStepping::Legacy));
+        run_row("dense", n, scenario(n, SlotStepping::EventDriven), legacy);
+    }
+
+    // Sparse rows: the 1024× headroom shape, where idle air dominates
+    // and the cursor's batch-skip is the whole game. This is the
+    // headline speedup — the dense rows share their wall time between
+    // slot advancement and per-cycle node work, which no stepping
+    // strategy can skip.
+    for &n in &[100usize, 1_000] {
+        let s = run_row(
+            "sparse",
+            n,
+            sparse_scenario(n, SlotStepping::EventDriven),
+            Some(sparse_scenario(n, SlotStepping::Legacy)),
+        );
+        if n == 1_000 {
+            speedup_at_1k = s.expect("legacy timed at 1k");
+        }
+    }
+
+    assert!(
+        speedup_at_1k >= 10.0,
+        "event-driven cursor must be >= 10x legacy at 1k VCs on the \
+         sparse schedule (got {speedup_at_1k:.2}x)"
+    );
+
+    write_result("fleet_scaling.csv", &csv);
+    let mut out = String::from("{\n  \"bench\": \"fleet_scaling\",\n");
+    out.push_str(&format!("  \"smoke\": {smoke},\n  \"rows\": [\n"));
+    for (i, (kind, n, nodes, slots, wall, rate, speedup)) in json_rows.iter().enumerate() {
+        let comma = if i + 1 == json_rows.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"schedule\": \"{kind}\", \"vcs\": {n}, \"nodes\": {nodes}, \
+             \"slots\": {slots}, \"event_wall_s\": {wall:.4}, \
+             \"event_slots_per_s\": {rate:.1}, \"speedup_vs_legacy\": {}}}{comma}\n",
+            speedup.map_or_else(|| "null".into(), |v| format!("{v:.2}")),
+        ));
+    }
+    out.push_str(&format!(
+        "  ],\n  \"speedup_at_1k_sparse\": {speedup_at_1k:.2}\n}}\n"
+    ));
+    write_result("fleet_scaling.json", &out);
+}

@@ -92,7 +92,7 @@ fn main() {
         let max_err = (0..vcs)
             .map(|k| {
                 let name = &r.vc_stats[k].loop_name;
-                let scale = spec.vc_loop(k as u8).setpoint.abs().max(1.0);
+                let scale = spec.vc_loop(k as evm_core::VcId).setpoint.abs().max(1.0);
                 r.series(&format!("Err.{name}"))
                     .window(SimTime::from_secs(100), SimTime::from_secs(120))
                     .stats()

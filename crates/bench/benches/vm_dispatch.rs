@@ -18,8 +18,8 @@ use std::time::Instant;
 
 use evm_bench::{banner, f, row, write_result};
 use evm_core::bytecode::{
-    compile_control_law, control_law_gas_budget, ControlLawSpec, ModbusCachedEnv, NullEnv, Op,
-    Program, Tier, Vm,
+    compile_control_law, control_law_gas_budget, ControlLawSpec, ModbusBatchEnv, ModbusCachedEnv,
+    NullEnv, Op, Program, Tier, Vm,
 };
 use evm_plant::{lts_level_loop, GasPlant, LocalController, PlantConfig, RegisterMap};
 
@@ -167,6 +167,25 @@ fn main() {
         env.lookups()
     );
 
+    // Batched ModBus environment: ports resolved to bound registers at
+    // construction, inputs polled in one pass per run, writes through
+    // the bound holdings — zero address lookups in steady state.
+    let mut plant = GasPlant::new(PlantConfig::default());
+    let mut env = ModbusBatchEnv::new(
+        &mut plant,
+        &regmap,
+        &["LTS.LiquidPct"],
+        &["LTSLiqValve.Cmd"],
+    );
+    let mut vm = Vm::with_tier(control_law_gas_budget(&pid), Tier::Compiled);
+    let ns = time_ns_per_iter(10_000 / scale, runs, || {
+        env.begin_run();
+        env.emissions.clear();
+        let r = vm.run(black_box(&pid), &mut env).unwrap();
+        black_box(r);
+    });
+    record("pid_capsule_modbus_batched", ns, pid.len() as f64);
+
     // Capsule encode/decode: the migration serialization path
     // (tier-independent — programs migrate as stack bytecode).
     let bytes = pid.encode();
@@ -215,8 +234,12 @@ fn main() {
         speedup("pid_capsule", "pid_capsule_fused")
     ));
     out.push_str(&format!(
-        "    \"pid_compiled_vs_interp\": {:.3}\n",
+        "    \"pid_compiled_vs_interp\": {:.3},\n",
         speedup("pid_capsule", "pid_capsule_compiled")
+    ));
+    out.push_str(&format!(
+        "    \"modbus_batched_vs_cached\": {:.3}\n",
+        speedup("pid_capsule_modbus_compiled", "pid_capsule_modbus_batched")
     ));
     out.push_str("  }\n}\n");
     write_result("vm_dispatch.json", &out);

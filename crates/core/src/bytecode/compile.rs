@@ -26,7 +26,7 @@
 
 use std::fmt;
 
-use evm_plant::{Plant, RegisterMap};
+use evm_plant::{read_bound, write_bound, BoundRegister, Plant, RegisterMap};
 
 use super::fuse::BinSel;
 use super::interp::{VmEnv, VmError, N_VARS};
@@ -1211,6 +1211,103 @@ impl VmEnv for ModbusCachedEnv<'_> {
         self.regmap
             .write_scaled(&mut *self.plant, addr, value)
             .map_err(|_| VmError::PortFault)
+    }
+
+    fn emit(&mut self, ch: u8, value: f64) {
+        self.emissions.push((ch, value));
+    }
+
+    fn clock_s(&self) -> f64 {
+        self.now_s
+    }
+}
+
+/// A [`VmEnv`] that **batches** ModBus traffic: every port is resolved
+/// to a [`BoundRegister`] once at construction, and the first sensor
+/// read of a capsule run prefetches *all* bound input registers in one
+/// pass — the software image of a ModBus read-multiple transaction —
+/// serving subsequent reads from the local buffer. Writes go straight
+/// through the bound holding registers, so steady state performs zero
+/// address lookups: one batched poll plus direct writes per run.
+///
+/// Call [`ModbusBatchEnv::begin_run`] before each capsule invocation to
+/// invalidate the previous run's poll (plant state moves between runs).
+pub struct ModbusBatchEnv<'a> {
+    plant: &'a mut dyn Plant,
+    sensors: Vec<Option<BoundRegister>>,
+    actuators: Vec<Option<BoundRegister>>,
+    batch: Vec<f64>,
+    fresh: bool,
+    /// Clock served to the program, seconds.
+    pub now_s: f64,
+    /// Emissions recorded for the caller, `(channel, value)`.
+    pub emissions: Vec<(u8, f64)>,
+}
+
+impl<'a> ModbusBatchEnv<'a> {
+    /// Binds sensor port `i` to `sensor_tags[i]` (an input register
+    /// tag) and actuator port `i` to `actuator_tags[i]` (a holding
+    /// register tag), resolving every binding now. Unresolvable tags
+    /// leave the port unbound and fault on first access.
+    pub fn new(
+        plant: &'a mut dyn Plant,
+        regmap: &RegisterMap,
+        sensor_tags: &[&str],
+        actuator_tags: &[&str],
+    ) -> Self {
+        let sensors: Vec<_> = sensor_tags
+            .iter()
+            .map(|t| regmap.input_register_of(t).and_then(|a| regmap.bind(a)))
+            .collect();
+        let actuators = actuator_tags
+            .iter()
+            .map(|t| regmap.holding_register_of(t).and_then(|a| regmap.bind(a)))
+            .collect();
+        let batch = vec![0.0; sensors.len()];
+        ModbusBatchEnv {
+            plant,
+            sensors,
+            actuators,
+            batch,
+            fresh: false,
+            now_s: 0.0,
+            emissions: Vec::new(),
+        }
+    }
+
+    /// Invalidates the previous run's input poll; the next sensor read
+    /// re-polls the whole bound set.
+    pub fn begin_run(&mut self) {
+        self.fresh = false;
+    }
+}
+
+impl VmEnv for ModbusBatchEnv<'_> {
+    fn read_sensor(&mut self, port: u8) -> Result<f64, VmError> {
+        if !self.fresh {
+            // One batched poll covering every bound input register.
+            for (i, reg) in self.sensors.iter().enumerate() {
+                if let Some(reg) = reg {
+                    self.batch[i] =
+                        read_bound(&*self.plant, reg).map_err(|_| VmError::PortFault)?;
+                }
+            }
+            self.fresh = true;
+        }
+        let i = port as usize;
+        match self.sensors.get(i) {
+            Some(Some(_)) => Ok(self.batch[i]),
+            _ => Err(VmError::PortFault),
+        }
+    }
+
+    fn write_actuator(&mut self, port: u8, value: f64) -> Result<(), VmError> {
+        let reg = self
+            .actuators
+            .get(port as usize)
+            .and_then(Option::as_ref)
+            .ok_or(VmError::PortFault)?;
+        write_bound(&mut *self.plant, reg, value).map_err(|_| VmError::PortFault)
     }
 
     fn emit(&mut self, ch: u8, value: f64) {

@@ -29,6 +29,6 @@ pub use builder::{
     compile_control_law, control_law_gas_budget, integrator_of, ControlLawSpec, VAR_INTEGRATOR,
 };
 pub use capsule::{Capability, Capsule, CapsuleId};
-pub use compile::{compiles, ModbusCachedEnv};
+pub use compile::{compiles, ModbusBatchEnv, ModbusCachedEnv};
 pub use interp::{NullEnv, Tier, Vm, VmEnv, VmError, MAX_STACK, N_VARS};
 pub use isa::{Op, Program};

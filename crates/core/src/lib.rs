@@ -60,7 +60,8 @@ pub use metrics::{NodeEnergy, RunAggregate, RunMeta, RunResult, VcRunStats};
 pub use migration::{MigrationOutcome, MigrationPlan};
 pub use roles::ControllerMode;
 pub use runtime::{
-    Engine, ReroutePolicy, Scenario, ScenarioBuilder, TopologyError, TopologySpec, VcId, VcMap,
+    Engine, ReroutePolicy, Scenario, ScenarioBuilder, SlotStepping, TopologyError, TopologySpec,
+    VcId, VcMap,
 };
 pub use synthesis::{Assignment, BqpInstance, SynthesisProblem};
 pub use transfers::{FaultResponse, ObjectTransfer};

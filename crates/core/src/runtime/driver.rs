@@ -9,10 +9,21 @@
 //! [`VcId`], so several Virtual Components share one RT-Link cycle
 //! without observing each other.
 //!
+//! Two slot-stepping strategies share one slot body
+//! ([`SlotStepping`]): the legacy driver arms one `Ev::Slot` per slot
+//! unconditionally, while the event-driven cursor walks a per-epoch
+//! [`SlotTable`] and jumps straight to the next occupied slot or cycle
+//! boundary, reserving the queue sequence numbers the legacy re-arms
+//! would have consumed so both strategies produce byte-identical runs.
+//! The steady state is allocation-free: node state lives in dense
+//! topology-indexed tables, labels are interned at setup, and dispatch
+//! effects/timers drain into reusable scratch buffers.
+//!
 //! Construction lives in [`super::setup`]; the heads' fault plane
 //! (arbitration, migration, failover commits) in [`super::failover`].
 
 use std::collections::HashMap;
+use std::mem;
 
 use evm_mac::rtlink::{RtLink, SlotSchedule};
 use evm_netsim::{Battery, Channel, EnergyMeter, Frame, FrameKind, NodeId, RadioState, Topology};
@@ -25,8 +36,12 @@ use crate::runtime::behavior::{Effect, NodeBehavior, NodeCtx, Timer};
 use crate::runtime::behaviors::RelayCore;
 use crate::runtime::reconfig::{ReconfigState, ReroutePolicy};
 use crate::runtime::registry::NodeRegistry;
+use crate::runtime::scenario::SlotStepping;
 use crate::runtime::topo::{FlowKind, RoleMap, VcId, VcMap};
 use crate::runtime::{Message, Scenario};
+
+/// Sentinel in [`Engine::node_index`] for raw ids outside the topology.
+pub(super) const NO_NODE: u32 = u32::MAX;
 
 /// Driver events. The fault plane (`super::failover`) schedules the
 /// arbitration/migration ones.
@@ -65,8 +80,83 @@ pub(super) enum Ev {
     Reconfigure,
 }
 
+/// One scheduled transmission, with its flow semantic resolved once per
+/// epoch instead of per slot.
+#[derive(Debug)]
+struct SlotEntry {
+    owner: NodeId,
+    kind: Option<FlowKind>,
+    listeners: Vec<NodeId>,
+}
+
+/// Per-epoch slot occupancy: the schedule flattened into contiguous
+/// entry ranges per slot, plus a next-occupied-slot index so the
+/// event-driven cursor can jump over empty stretches in O(1). Rebuilt
+/// whenever an epoch commits (`schedule` / `flow_kinds` change).
+#[derive(Debug, Default)]
+pub(super) struct SlotTable {
+    /// `entries` range per slot (`slots_per_cycle` rows).
+    per_slot: Vec<(u32, u32)>,
+    entries: Vec<SlotEntry>,
+    /// `next_occ[s]` = smallest occupied slot `>= s`, or
+    /// `slots_per_cycle` if none; `slots_per_cycle + 1` rows so the
+    /// lookup from `s + 1` stays in bounds.
+    next_occ: Vec<u32>,
+}
+
+impl SlotTable {
+    /// Flattens `schedule` + `flow_kinds` for one epoch.
+    pub(super) fn build(
+        spc: usize,
+        schedule: &SlotSchedule,
+        flow_kinds: &HashMap<(usize, NodeId), FlowKind>,
+    ) -> Self {
+        let mut per_slot = Vec::with_capacity(spc);
+        let mut entries = Vec::new();
+        for slot in 0..spc {
+            let lo = u32::try_from(entries.len()).expect("schedule fits u32");
+            for a in schedule.in_slot(slot) {
+                entries.push(SlotEntry {
+                    owner: a.owner,
+                    kind: flow_kinds.get(&(slot, a.owner)).copied(),
+                    listeners: a.listeners.clone(),
+                });
+            }
+            let hi = u32::try_from(entries.len()).expect("schedule fits u32");
+            per_slot.push((lo, hi));
+        }
+        let mut next_occ = vec![u32::try_from(spc).expect("slot count fits u32"); spc + 1];
+        for slot in (0..spc).rev() {
+            next_occ[slot] = if per_slot[slot].0 != per_slot[slot].1 {
+                u32::try_from(slot).expect("slot fits u32")
+            } else {
+                next_occ[slot + 1]
+            };
+        }
+        SlotTable {
+            per_slot,
+            entries,
+            next_occ,
+        }
+    }
+
+    fn is_occupied(&self, slot: usize) -> bool {
+        self.per_slot[slot].0 != self.per_slot[slot].1
+    }
+
+    /// Virtual-slot distance from unoccupied `slot` to the next stop:
+    /// the next occupied slot in this cycle, else the cycle boundary
+    /// (slot 0 always fires — sync plus cycle-start housekeeping).
+    fn slots_until_stop(&self, slot: usize) -> u64 {
+        let spc = self.per_slot.len() as u64;
+        let next = u64::from(self.next_occ[slot + 1]).min(spc);
+        next - slot as u64
+    }
+}
+
 /// The co-simulation engine. Build with [`Engine::new`], run with
-/// [`Engine::run`].
+/// [`Engine::run`] (or incrementally with [`Engine::run_until`] +
+/// [`Engine::finalize`]).
 pub struct Engine {
     pub(super) scenario: Scenario,
     pub(super) plant: GasPlant,
@@ -77,11 +167,15 @@ pub struct Engine {
     pub(super) vcs: VcMap,
     pub(super) rtlink: RtLink,
     pub(super) schedule: SlotSchedule,
-    /// `(slot, owner) → flow semantic` for every scheduled flow.
+    /// `(slot, owner) → flow semantic` for every scheduled flow (the
+    /// cold, inspectable copy; the hot loop reads [`Engine::slot_table`]).
     pub(super) flow_kinds: HashMap<(usize, NodeId), FlowKind>,
     /// Store-and-forward state per forwarding node ([`FlowKind::Relay`]
-    /// slots transmit from here, not from the node's behavior).
-    pub(super) relay_cores: HashMap<NodeId, RelayCore>,
+    /// slots transmit from here, not from the node's behavior), indexed
+    /// like [`Engine::meters`].
+    pub(super) relay_cores: Vec<Option<RelayCore>>,
+    /// Nodes carrying forwarding jobs in the committed epoch, id-sorted.
+    pub(super) forwarders: Vec<NodeId>,
     /// One Virtual Component record per hosted loop, indexed by `VcId`.
     pub(super) components: Vec<VirtualComponent>,
     pub(super) rng: SimRng,
@@ -95,8 +189,38 @@ pub struct Engine {
     /// Per-VC per-cycle regulation-error traces (`Err.<loop>` series):
     /// `(pv tag, setpoint, series)`, indexed by `VcId`.
     pub(super) err_series: Vec<(String, f64, TimeSeries)>,
-    /// Radio energy meters per node.
-    pub(super) meters: HashMap<NodeId, EnergyMeter>,
+    /// Radio energy meters, one per topology node, in topology order.
+    pub(super) meters: Vec<EnergyMeter>,
+    /// Topology node ids in topology order — the dense index space
+    /// shared by [`Engine::meters`], [`Engine::relay_cores`] and
+    /// [`Engine::labels`].
+    pub(super) node_ids: Vec<NodeId>,
+    /// Raw id → dense index ([`NO_NODE`] for ids outside the topology).
+    pub(super) node_index: Vec<u32>,
+    /// Interned node labels, by dense index — `NodeCtx.label` borrows
+    /// from here instead of allocating per dispatch.
+    pub(super) labels: Vec<String>,
+    /// Per-epoch slot occupancy for the hot loop (see [`SlotTable`]).
+    pub(super) slot_table: SlotTable,
+    /// Dispatch scratch: effects drain here and are reused, so the
+    /// steady state never allocates.
+    pub(super) fx_effects: Vec<Effect>,
+    /// Dispatch scratch for timers (see [`Engine::fx_effects`]).
+    pub(super) fx_timers: Vec<(SimTime, Timer)>,
+    /// Cycle-start scratch for the registry id snapshot.
+    pub(super) scratch_ids: Vec<NodeId>,
+    /// Heartbeat-scan scratch: the watch set (heads + forwarders).
+    pub(super) scratch_watch: Vec<NodeId>,
+    /// Heartbeat-scan scratch: nodes marked down this cycle.
+    pub(super) scratch_down: Vec<NodeId>,
+    /// Event-driven slot cursor: index of the next virtual slot event.
+    pub(super) vslot_k: u64,
+    /// Boundary time of the next virtual slot event.
+    pub(super) vslot_time: SimTime,
+    /// Queue sequence number reserved for the next virtual slot event —
+    /// keeps same-instant ordering against real queue entries identical
+    /// to the legacy `Ev::Slot` chain.
+    pub(super) vslot_seq: u64,
     /// Per-VC QoS tallies, indexed by `VcId` — the single source of
     /// truth; the global `RunResult` counters are derived from these at
     /// the end of the run.
@@ -156,9 +280,7 @@ impl Engine {
     /// to kill without re-deriving the routing pass out of band).
     #[must_use]
     pub fn forwarding_nodes(&self) -> Vec<NodeId> {
-        let mut nodes: Vec<NodeId> = self.relay_cores.keys().copied().collect();
-        nodes.sort_unstable();
-        nodes
+        self.forwarders.clone()
     }
 
     /// The slot in which `owner` serves `kind`, if scheduled.
@@ -170,35 +292,152 @@ impl Engine {
             .map(|(&(slot, _), _)| slot)
     }
 
+    /// Dense index of `id` in the topology tables, if deployed.
+    #[inline]
+    pub(super) fn dense_ix(&self, id: NodeId) -> Option<usize> {
+        match self.node_index.get(id.raw() as usize) {
+            Some(&ix) if ix != NO_NODE => Some(ix as usize),
+            _ => None,
+        }
+    }
+
+    /// The radio energy meter of `id`, if deployed.
+    #[inline]
+    pub(super) fn meter(&self, id: NodeId) -> Option<&EnergyMeter> {
+        self.dense_ix(id).map(|ix| &self.meters[ix])
+    }
+
+    /// Mutable access to the radio energy meter of `id`, if deployed.
+    #[inline]
+    pub(super) fn meter_mut(&mut self, id: NodeId) -> Option<&mut EnergyMeter> {
+        match self.dense_ix(id) {
+            Some(ix) => Some(&mut self.meters[ix]),
+            None => None,
+        }
+    }
+
     /// Runs the scenario to completion and returns the results.
     #[must_use]
     pub fn run(mut self) -> RunResult {
         let end = SimTime::ZERO + self.scenario.duration;
-        while let Some((t, ev)) = self.queue.pop() {
-            if t >= end {
+        self.run_until(end);
+        self.finalize()
+    }
+
+    /// Advances the simulation up to (but excluding) `until`: every
+    /// event and slot strictly before `until` is processed. The engine
+    /// can be advanced again with a later horizon, or closed out with
+    /// [`Engine::finalize`]; [`Engine::run`] is exactly
+    /// `run_until(start + duration)` followed by `finalize()`.
+    pub fn run_until(&mut self, until: SimTime) {
+        match self.scenario.stepping {
+            SlotStepping::Legacy => self.run_until_legacy(until),
+            SlotStepping::EventDriven => self.run_until_cursor(until),
+        }
+    }
+
+    /// Legacy stepping: pure event-queue pump; `Ev::Slot` re-arms itself.
+    fn run_until_legacy(&mut self, until: SimTime) {
+        while let Some(t) = self.queue.peek_time() {
+            if t >= until {
                 break;
             }
+            let (t, ev) = self.queue.pop().expect("peeked event");
             self.now = t;
             self.handle(ev);
-            debug_assert!(
-                self.components
-                    .iter()
-                    .all(VirtualComponent::invariant_single_active),
-                "single-active invariant violated at {t}"
-            );
+            self.debug_check_invariants();
         }
-        // Close out energy accounting: everything not spent on the radio
-        // was deep sleep.
+    }
+
+    /// Event-driven stepping: the slot cursor races the queue head; the
+    /// earlier of the two fires. Empty slots are batch-skipped up to the
+    /// next occupied slot, cycle boundary or queue event, reserving the
+    /// queue sequence numbers the legacy `Ev::Slot` re-arms would have
+    /// consumed so every same-instant ordering decision is identical.
+    fn run_until_cursor(&mut self, until: SimTime) {
+        let dur = self.scenario.rtlink.slot_duration;
+        let spc = self.scenario.rtlink.slots_per_cycle as u64;
+        loop {
+            let head = self.queue.peek_entry();
+            let slot_first = match head {
+                None => true,
+                Some((qt, qseq)) => (self.vslot_time, self.vslot_seq) < (qt, qseq),
+            };
+            if !slot_first {
+                let (qt, _) = head.expect("queue event ordered first");
+                if qt >= until {
+                    break;
+                }
+                let (t, ev) = self.queue.pop().expect("peeked event");
+                self.now = t;
+                self.handle(ev);
+                self.debug_check_invariants();
+                continue;
+            }
+            if self.vslot_time >= until {
+                break;
+            }
+            let slot = usize::try_from(self.vslot_k % spc).expect("slot fits usize");
+            if slot == 0 || self.slot_table.is_occupied(slot) {
+                let cycle = self.vslot_k / spc;
+                self.now = self.vslot_time;
+                self.on_slot_body(cycle, slot);
+                // The legacy driver re-arms `Ev::Slot` here; reserve the
+                // same sequence number so later pushes order identically.
+                self.vslot_k += 1;
+                self.vslot_time += dur;
+                self.vslot_seq = self.queue.skip_seq();
+                self.debug_check_invariants();
+            } else {
+                // Batch-skip the empty stretch. Only slots that provably
+                // fire before both the queue head and `until` may be
+                // skipped (`.max(1)`: this slot already won the race).
+                let horizon = match head {
+                    Some((qt, _)) => qt.min(until),
+                    None => until,
+                };
+                let span = horizon.saturating_since(self.vslot_time);
+                let whole = span / dur;
+                let n_time = if (span % dur).is_zero() {
+                    whole
+                } else {
+                    whole + 1
+                };
+                let n = self.slot_table.slots_until_stop(slot).min(n_time).max(1);
+                self.vslot_k += n;
+                self.vslot_time += dur * n;
+                self.vslot_seq = self.queue.skip_seqs(n);
+            }
+        }
+    }
+
+    #[inline]
+    fn debug_check_invariants(&self) {
+        debug_assert!(
+            self.components
+                .iter()
+                .all(VirtualComponent::invariant_single_active),
+            "single-active invariant violated at {}",
+            self.now
+        );
+    }
+
+    /// Closes out energy accounting (everything not spent on the radio
+    /// was deep sleep) and extracts the [`RunResult`].
+    #[must_use]
+    pub fn finalize(self) -> RunResult {
         let total = self.scenario.duration;
+        let mut meters = self.meters;
         let node_energy = self
-            .meters
-            .iter_mut()
-            .map(|(id, m)| {
+            .node_ids
+            .iter()
+            .zip(meters.iter_mut())
+            .map(|(&id, m)| {
                 let accounted = m.total_time();
                 m.add(RadioState::Sleep, total.saturating_sub(accounted));
                 let label = self
                     .topology
-                    .node(*id)
+                    .node(id)
                     .map_or_else(|| id.to_string(), |n| n.label.clone());
                 let avg = m.average_current_ma();
                 (
@@ -257,10 +496,7 @@ impl Engine {
     /// candidates by, so the two planes can never diverge on how they
     /// order the same nodes.
     pub(super) fn battery_fitness(&self, node: NodeId) -> f64 {
-        let consumed = self
-            .meters
-            .get(&node)
-            .map_or(0.0, EnergyMeter::consumed_mah);
+        let consumed = self.meter(node).map_or(0.0, EnergyMeter::consumed_mah);
         (1.0 - consumed / Battery::two_aa().capacity_mah()).max(0.0)
     }
 
@@ -277,31 +513,42 @@ impl Engine {
         id: NodeId,
         f: impl FnOnce(&mut dyn NodeBehavior, &mut NodeCtx<'_>) -> R,
     ) -> Option<R> {
-        let label = self.label_of(id);
-        let mut effects = Vec::new();
-        let mut timers = Vec::new();
-        let out = {
-            let node = self.registry.get_mut(id)?;
-            let mut ctx = NodeCtx {
-                now: self.now,
-                id,
-                label: &label,
-                vcs: &self.vcs,
-                rng: &mut self.rng,
-                trace: &mut self.trace,
-                plant: &mut self.plant,
-                regmap: &self.regmap,
-                effects: &mut effects,
-                timers: &mut timers,
-            };
-            f(node, &mut ctx)
+        let mut effects = mem::take(&mut self.fx_effects);
+        let mut timers = mem::take(&mut self.fx_timers);
+        let out = match self.registry.get_mut(id) {
+            None => {
+                self.fx_effects = effects;
+                self.fx_timers = timers;
+                return None;
+            }
+            Some(node) => {
+                let label: &str = match self.node_index.get(id.raw() as usize) {
+                    Some(&ix) if ix != NO_NODE => &self.labels[ix as usize],
+                    _ => "?",
+                };
+                let mut ctx = NodeCtx {
+                    now: self.now,
+                    id,
+                    label,
+                    vcs: &self.vcs,
+                    rng: &mut self.rng,
+                    trace: &mut self.trace,
+                    plant: &mut self.plant,
+                    regmap: &self.regmap,
+                    effects: &mut effects,
+                    timers: &mut timers,
+                };
+                f(node, &mut ctx)
+            }
         };
-        for (at, timer) in timers {
+        for (at, timer) in timers.drain(..) {
             self.queue.push(at, Ev::NodeTimer { node: id, timer });
         }
-        for effect in effects {
+        self.fx_timers = timers;
+        for effect in effects.drain(..) {
             self.apply_effect(effect);
         }
+        self.fx_effects = effects;
         Some(out)
     }
 
@@ -333,8 +580,10 @@ impl Engine {
                 // frames for its scheduled forwarding slots, *and* still
                 // consumes the frame itself (a controller lending a hop
                 // also hears the PV it forwards).
-                if let Some(core) = self.relay_cores.get_mut(&to) {
-                    core.offer(from, &msg);
+                if let Some(ix) = self.dense_ix(to) {
+                    if let Some(core) = self.relay_cores[ix].as_mut() {
+                        core.offer(from, &msg);
+                    }
                 }
                 self.dispatch(to, |n, ctx| n.on_deliver(&msg, ctx));
             }
@@ -380,35 +629,45 @@ impl Engine {
             .push(self.now + self.scenario.sample_every, Ev::Sample);
     }
 
-    /// Processes all transmissions of the slot that starts now.
+    /// Legacy stepping entry: one `Ev::Slot` per slot, re-armed
+    /// unconditionally.
     fn on_slot(&mut self) {
-        let (_cycle, slot) = self.rtlink.slot_at(self.now);
+        let (cycle, slot) = self.rtlink.slot_at(self.now);
+        self.on_slot_body(cycle, slot);
+        self.queue
+            .push(self.now + self.scenario.rtlink.slot_duration, Ev::Slot);
+    }
+
+    /// Processes all transmissions of `slot` (in `cycle`), starting now.
+    fn on_slot_body(&mut self, cycle: u64, slot: usize) {
         if slot == 0 {
             self.on_cycle_start();
         }
-        let assignments: Vec<(NodeId, Vec<NodeId>)> = self
-            .schedule
-            .in_slot(slot)
-            .iter()
-            .map(|a| (a.owner, a.listeners.clone()))
-            .collect();
         // Detect window a listener pays before shutting down on an empty
         // slot: guard + PHY header airtime.
         let detect = self.scenario.rtlink.guard
             + evm_netsim::frame::airtime_for_bytes(evm_netsim::PHY_HEADER_BYTES);
         let keepalives = self.scenario.reroute == ReroutePolicy::Heartbeat;
-        for (owner, listeners) in assignments {
+        // Lift the table out for the slot so behaviors can be dispatched
+        // while iterating it; nothing mid-slot rebuilds it (epoch commits
+        // happen in `on_cycle_start`, above).
+        let table = mem::take(&mut self.slot_table);
+        let (lo, hi) = table.per_slot[slot];
+        for e in &table.entries[lo as usize..hi as usize] {
+            let owner = e.owner;
             if !self.alive(owner) {
                 continue;
             }
-            let kind = self.flow_kinds.get(&(slot, owner)).copied();
+            let kind = e.kind;
             let msg = match kind {
                 // Forwarding slots transmit the captured frame from the
                 // owner's relay core; everything else asks the behavior.
-                Some(FlowKind::Relay { job, .. }) => self
-                    .relay_cores
-                    .get_mut(&owner)
-                    .and_then(|c| c.take(job as usize)),
+                Some(FlowKind::Relay { job, .. }) => match self.dense_ix(owner) {
+                    Some(ix) => self.relay_cores[ix]
+                        .as_mut()
+                        .and_then(|c| c.take(job as usize)),
+                    None => None,
+                },
                 Some(k) => self
                     .dispatch(owner, |n, ctx| n.take_outgoing(k, ctx))
                     .flatten(),
@@ -429,9 +688,9 @@ impl Engine {
             };
             let Some(msg) = msg else {
                 // Empty slot: listeners still pay the detect window.
-                for l in listeners {
+                for &l in &e.listeners {
                     if self.alive(l) {
-                        if let Some(m) = self.meters.get_mut(&l) {
+                        if let Some(m) = self.meter_mut(l) {
                             m.add(RadioState::Listen, detect);
                         }
                     }
@@ -442,21 +701,20 @@ impl Engine {
             // ledger (the heartbeat bookkeeping behind dead-forwarder
             // detection and head re-election).
             if keepalives {
-                let (cycle, _) = self.rtlink.slot_at(self.now);
                 self.reconfig.ledger.heard(owner, cycle);
             }
             let frame = Frame::new(owner, FrameKind::Broadcast, msg.payload_bytes(), 0);
             let airtime = frame.airtime();
             let guard = self.scenario.rtlink.guard;
-            if let Some(m) = self.meters.get_mut(&owner) {
+            if let Some(m) = self.meter_mut(owner) {
                 m.add(RadioState::Idle, guard);
                 m.add(RadioState::Tx, airtime);
             }
-            for to in listeners {
+            for &to in &e.listeners {
                 if !self.alive(to) {
                     continue;
                 }
-                if let Some(m) = self.meters.get_mut(&to) {
+                if let Some(m) = self.meter_mut(to) {
                     m.add(RadioState::Rx, guard + airtime);
                 }
                 if !self.scenario.fault_plan.link_usable(owner, to, self.now) {
@@ -479,8 +737,7 @@ impl Engine {
                 );
             }
         }
-        self.queue
-            .push(self.now + self.scenario.rtlink.slot_duration, Ev::Slot);
+        self.slot_table = table;
     }
 
     /// Cycle-boundary housekeeping: epoch commits and heartbeat-silence
@@ -494,19 +751,22 @@ impl Engine {
         // epochs mid-cycle.
         self.reconfig_on_cycle_start();
         let sync = self.scenario.rtlink.sync_listen;
-        let ids: Vec<NodeId> = self.registry.ids().to_vec();
+        let mut ids = mem::take(&mut self.scratch_ids);
+        ids.clear();
+        ids.extend_from_slice(self.registry.ids());
         for &id in &ids {
             if self.alive(id) {
-                if let Some(m) = self.meters.get_mut(&id) {
+                if let Some(m) = self.meter_mut(id) {
                     m.add(RadioState::Rx, sync);
                 }
             }
         }
-        for id in ids {
+        for &id in &ids {
             if self.alive(id) {
                 self.dispatch(id, |n, ctx| n.on_cycle_start(ctx));
             }
         }
+        self.scratch_ids = ids;
         // One regulation-error sample per VC per RT-Link cycle — the
         // per-cycle error trace the multi-VC isolation contract is pinned
         // on (a fault in one VC must leave every other VC's trace

@@ -40,7 +40,7 @@ pub use driver::Engine;
 pub use messages::Message;
 pub use reconfig::{Epoch, ReconfigError, Reconfigurator, ReroutePolicy};
 pub use scenario::Layout;
-pub use scenario::{Scenario, ScenarioBuilder};
+pub use scenario::{Scenario, ScenarioBuilder, SlotStepping};
 pub use topo::{
     monitor_register, route_flows, synth_flows, FlowKind, NodeSpec, RelayJob, Role, RoleMap,
     RouteError, RoutedFlows, TopologyError, TopologySpec, VcId, VcMap, CLUSTER_HOP_M,

@@ -36,6 +36,7 @@
 //! flow, schedule and plant-trace goldens stay byte-identical.
 
 use std::collections::{BTreeMap, HashMap};
+use std::mem;
 
 use evm_mac::rtlink::{Flow, RtLinkConfig, ScheduleError, SlotSchedule};
 use evm_netsim::{NodeId, Topology};
@@ -44,7 +45,7 @@ use evm_sim::{SimDuration, SimTime};
 use crate::membership::{elect_head, HeadCandidate, HeartbeatLedger};
 use crate::roles::ControllerMode;
 use crate::runtime::behaviors::{HeadNode, RelayCore};
-use crate::runtime::driver::Engine;
+use crate::runtime::driver::{Engine, SlotTable};
 use crate::runtime::topo::{route_flows, synth_flows, FlowKind, RelayJob, RouteError, VcId, VcMap};
 
 /// When (and whether) the runtime re-routes around failures mid-run.
@@ -269,19 +270,18 @@ impl Engine {
             return;
         }
         let (cycle, _) = self.rtlink.slot_at(self.now);
-        let mut watch: Vec<NodeId> = self
-            .vcs
-            .vcs
-            .iter()
-            .filter_map(|r| r.head)
-            .chain(self.relay_cores.keys().copied())
-            .collect();
-        // Sorted + deduped: the relay-core map iterates in arbitrary
-        // order, and down-marks must trace deterministically.
+        // The scan runs every cycle on every heartbeat deployment, so its
+        // two working lists live in reusable engine scratch.
+        let mut watch = mem::take(&mut self.scratch_watch);
+        watch.clear();
+        watch.extend(self.vcs.vcs.iter().filter_map(|r| r.head));
+        watch.extend_from_slice(&self.forwarders);
+        // Sorted + deduped: down-marks must trace deterministically.
         watch.sort_unstable();
         watch.dedup();
-        let mut newly_down = Vec::new();
-        for node in watch {
+        let mut newly_down = mem::take(&mut self.scratch_down);
+        newly_down.clear();
+        for &node in &watch {
             if !self.reconfig.ledger.is_down(node)
                 && self
                     .reconfig
@@ -292,13 +292,15 @@ impl Engine {
                 newly_down.push(node);
             }
         }
+        self.scratch_watch = watch;
         if newly_down.is_empty() {
+            self.scratch_down = newly_down;
             return;
         }
         if self.reconfig.detect_at.is_none() {
             self.reconfig.detect_at = Some(self.now);
         }
-        for node in newly_down {
+        for &node in &newly_down {
             let label = self.label_of(node);
             self.trace.log(
                 self.now,
@@ -307,6 +309,7 @@ impl Engine {
             );
             self.on_node_down(node);
         }
+        self.scratch_down = newly_down;
         if self.stage_recompute() {
             self.reconfig.awaiting_recovery = true;
         }
@@ -427,19 +430,28 @@ impl Engine {
     /// survive into the new epoch migrate with it, so a no-op swap is
     /// invisible to the data plane.
     fn apply_epoch(&mut self, epoch: Epoch) {
-        let mut cores: HashMap<NodeId, RelayCore> = epoch
-            .jobs
-            .into_iter()
-            .map(|(id, jobs)| (id, RelayCore::new(jobs)))
-            .collect();
-        for (id, core) in &mut cores {
-            if let Some(old) = self.relay_cores.get_mut(id) {
+        let mut cores: Vec<Option<RelayCore>> = (0..self.node_ids.len()).map(|_| None).collect();
+        let mut forwarders: Vec<NodeId> = Vec::with_capacity(epoch.jobs.len());
+        for (id, jobs) in epoch.jobs {
+            let mut core = RelayCore::new(jobs);
+            let ix = self.dense_ix(id).expect("forwarder is a topology node");
+            if let Some(old) = self.relay_cores[ix].as_mut() {
                 core.migrate_from(old);
             }
+            cores[ix] = Some(core);
+            forwarders.push(id);
         }
         self.relay_cores = cores;
+        self.forwarders = forwarders;
         self.schedule = epoch.schedule;
         self.flow_kinds = epoch.flow_kinds;
+        // The hot loop reads the flattened occupancy table, not the
+        // schedule maps — rebuild it with every commit.
+        self.slot_table = SlotTable::build(
+            self.scenario.rtlink.slots_per_cycle,
+            &self.schedule,
+            &self.flow_kinds,
+        );
         self.reconfig.epoch = epoch.seq;
         self.reconfig.last_commit_at = Some(self.now);
         // Start the silence clock for every forwarder of the new epoch:
@@ -451,8 +463,8 @@ impl Engine {
         // never rolls a live node's liveness back.)
         if self.scenario.reroute == ReroutePolicy::Heartbeat {
             let (cycle, _) = self.rtlink.slot_at(self.now);
-            let carriers: Vec<NodeId> = self.relay_cores.keys().copied().collect();
-            for node in carriers {
+            for i in 0..self.forwarders.len() {
+                let node = self.forwarders[i];
                 self.reconfig.ledger.heard(node, cycle);
             }
         }

@@ -52,6 +52,35 @@ impl Layout {
     }
 }
 
+/// How the engine advances RT-Link slots.
+///
+/// Both modes share the same per-slot body and produce byte-identical
+/// [`crate::metrics::RunResult`]s (pinned by the stepping differential
+/// suite); they differ only in how the next slot is reached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SlotStepping {
+    /// Push an `Ev::Slot` event every slot, occupied or not — the
+    /// pre-fleet behavior, kept as the differential baseline. Idle slots
+    /// cost a heap push/pop each, which dominates at fleet scale.
+    Legacy,
+    /// Advance a virtual slot cursor over the epoch's occupancy table,
+    /// batch-skipping empty slots (reserving their event sequence
+    /// numbers so ordering stays exactly as if each had fired).
+    #[default]
+    EventDriven,
+}
+
+impl SlotStepping {
+    /// Stable label for report keys and CSV cells.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            SlotStepping::Legacy => "legacy",
+            SlotStepping::EventDriven => "event",
+        }
+    }
+}
+
 /// A fully specified co-simulation run.
 #[derive(Debug, Clone)]
 pub struct Scenario {
@@ -100,6 +129,10 @@ pub struct Scenario {
     /// (the oracle, default) keeps every golden byte-identical; the
     /// other tiers are bit-identical by contract and only faster.
     pub tier: Tier,
+    /// Slot-advancement strategy. `EventDriven` (default) skips empty
+    /// slots via the occupancy-table cursor; `Legacy` fires an event per
+    /// slot. Byte-identical results by contract.
+    pub stepping: SlotStepping,
     /// Scripted reconfiguration requests: at each instant the engine
     /// recomputes the epoch (with whatever down set it has, possibly
     /// empty) and commits it at the next cycle boundary. Test/bench knob
@@ -165,6 +198,7 @@ impl Scenario {
             heartbeat_cycles: 16,
             reroute: ReroutePolicy::Static,
             tier: Tier::Interp,
+            stepping: SlotStepping::EventDriven,
             force_reconfig: Vec::new(),
             fault: None,
             backup_fault: None,
@@ -247,6 +281,45 @@ impl Scenario {
             let tag = self.vc_loop(vc as VcId).pv_tag.clone();
             if !self.sampled_tags.contains(&tag) {
                 self.sampled_tags.push(tag);
+            }
+        }
+        self.primary_crashes.retain(|&(vc, _)| (vc as usize) < n);
+    }
+
+    /// Re-derives the hosting manifest for an `n`-VC **fleet**
+    /// deployment ([`TopologySpec::fleet`]): VC `k` hosts canonical loop
+    /// `k % MAX_VCS`, with instance-suffixed names (`LC-LTS#1`, …) past
+    /// the first eight so every `Err.<loop>` series key stays unique.
+    /// The first eight VCs carry the unsuffixed canonical loops, so the
+    /// plant's local-control subtraction works exactly as in
+    /// [`Scenario::host_vcs`]. Every hosted PV tag (at most the eight
+    /// canonical ones) is added to [`Scenario::sampled_tags`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn host_fleet(&mut self, n: usize) {
+        assert!(n >= 1, "a fleet hosts at least one VC");
+        let outgoing: Vec<String> = self
+            .extra_vc_loops
+            .iter()
+            .map(|l| l.pv_tag.clone())
+            .collect();
+        self.sampled_tags.retain(|t| !outgoing.contains(t));
+        let canon = evm_plant::vc_host_loops();
+        self.focus_loop = canon[0].clone();
+        self.extra_vc_loops = (1..n)
+            .map(|k| {
+                let mut l = canon[k % MAX_VCS].clone();
+                if k >= MAX_VCS {
+                    l.name = format!("{}#{}", l.name, k / MAX_VCS);
+                }
+                l
+            })
+            .collect();
+        for l in canon.iter().take(n) {
+            if !self.sampled_tags.contains(&l.pv_tag) {
+                self.sampled_tags.push(l.pv_tag.clone());
             }
         }
         self.primary_crashes.retain(|&(vc, _)| (vc as usize) < n);
@@ -480,6 +553,44 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Sets the slot-advancement strategy ([`Scenario::stepping`]).
+    #[must_use]
+    pub fn stepping(mut self, stepping: SlotStepping) -> Self {
+        self.inner.stepping = stepping;
+        self
+    }
+
+    /// Switches to an `n`-VC fleet deployment: the explicit
+    /// [`TopologySpec::fleet`] topology, the cycled hosting manifest
+    /// ([`Scenario::host_fleet`]), a serial (sparse) schedule with an
+    /// 8× slot-count headroom — the deliberately idle-slot-heavy shape
+    /// the event-driven cursor exploits — and sampling + plant
+    /// integration periods scaled to the (now very long) cycle, so
+    /// result memory and plant-physics cost stay bounded at 10k VCs.
+    /// The plant step is capped at 10 s: the discretizations are
+    /// unconditionally stable, and no fleet loop samples faster than a
+    /// quarter cycle, so sub-second integration buys nothing there.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= n <= 32000`.
+    #[must_use]
+    pub fn fleet(mut self, n: usize) -> Self {
+        self.inner.topology = TopologySpec::fleet(n);
+        self.explicit_topology = true;
+        self.inner.serial_schedule = true;
+        let spc = (8 * (3 * n + 1)).max(25);
+        self.inner.rtlink.slots_per_cycle = spc;
+        let cycle = self.inner.rtlink.slot_duration * spc as u64;
+        self.inner.sample_every = cycle / 4;
+        self.inner.plant_dt = self
+            .inner
+            .plant_dt
+            .max((cycle / 64).min(SimDuration::from_secs(10)));
+        self.inner.host_fleet(n);
+        self
+    }
+
     /// Scripts a reconfiguration request at `at` (commits at the next
     /// cycle boundary) — the epoch-atomicity test/bench knob.
     #[must_use]
@@ -551,7 +662,7 @@ impl ScenarioBuilder {
 
     /// Crashes VC `vc`'s primary node at `at` (per-VC fault injection).
     #[must_use]
-    pub fn crash_vc_primary_at(mut self, vc: u8, at: SimTime) -> Self {
+    pub fn crash_vc_primary_at(mut self, vc: VcId, at: SimTime) -> Self {
         self.inner.primary_crashes.push((vc, at));
         self
     }

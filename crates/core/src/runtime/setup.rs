@@ -1,11 +1,17 @@
 //! Engine construction: resolve the topology, synthesize the shared
 //! schedule, and instantiate one behavior per role — per Virtual
 //! Component.
+//!
+//! Construction is fleet-aware: role lookups go through a node→duty
+//! index built once (instead of per-node scans over every VC), identical
+//! control laws compile once and are shared, and the hot-loop state the
+//! driver reads every slot (meters, relay cores, labels, slot occupancy)
+//! is laid out in dense topology-indexed tables.
 
 use std::collections::HashMap;
 
 use evm_mac::rtlink::RtLink;
-use evm_netsim::{Channel, EnergyMeter, RadioPowerModel};
+use evm_netsim::{Channel, EnergyMeter, NodeId, RadioPowerModel};
 use evm_plant::{GasPlant, LocalController, RegisterMap};
 use evm_sim::{EventQueue, SimDuration, SimRng, SimTime, TimeSeries, Trace};
 
@@ -18,9 +24,10 @@ use crate::runtime::behaviors::{
     ActuationGate, ActuatorNode, ControllerCore, ControllerNode, GatewayNode, HeadNode, RelayCore,
     RelayNode, ReplicaParams, SensorNode,
 };
-use crate::runtime::driver::{Engine, Ev};
+use crate::runtime::driver::{Engine, Ev, SlotTable, NO_NODE};
 use crate::runtime::reconfig::{ReconfigError, ReconfigState, Reconfigurator};
 use crate::runtime::registry::NodeRegistry;
+use crate::runtime::scenario::SlotStepping;
 use crate::runtime::topo::VcId;
 use crate::runtime::Scenario;
 
@@ -29,11 +36,24 @@ struct VcPlan {
     program: Program,
     gas: u64,
     params: ReplicaParams,
-    primary: evm_netsim::NodeId,
+    primary: NodeId,
     act_register: u16,
     pv_tag: String,
     setpoint: f64,
     loop_name: String,
+}
+
+/// The single wireless duty a non-gateway node holds (roles are disjoint
+/// across VCs by construction — every [`crate::runtime::NodeSpec`] names
+/// exactly one role). Indexing duties once replaces the per-node
+/// role-map scans, which are quadratic in fleet deployments.
+#[derive(Clone, Copy)]
+enum Duty {
+    Head(VcId),
+    Sensor(VcId, u8),
+    Relay,
+    Controller(VcId),
+    Actuator(VcId),
 }
 
 impl Engine {
@@ -68,6 +88,7 @@ impl Engine {
     /// Scenario-level configuration errors (manifest/VC-count mismatch,
     /// fault targeting an unhosted VC, unschedulable flow pipeline) still
     /// panic.
+    #[allow(clippy::too_many_lines)]
     pub fn try_new(scenario: Scenario) -> Result<Self, crate::runtime::TopologyError> {
         let mut rng = SimRng::seed_from(scenario.seed);
         let mut channel = Channel::new(scenario.channel.clone(), rng.fork(1));
@@ -89,6 +110,19 @@ impl Engine {
             );
         }
 
+        // --- Dense node tables (the driver's hot-loop index space) -----
+        let node_ids: Vec<NodeId> = topology.nodes().iter().map(|n| n.id).collect();
+        let max_raw = node_ids
+            .iter()
+            .map(|id| id.raw() as usize)
+            .max()
+            .unwrap_or(0);
+        let mut node_index = vec![NO_NODE; max_raw + 1];
+        for (ix, id) in node_ids.iter().enumerate() {
+            node_index[id.raw() as usize] = u32::try_from(ix).expect("node count fits u32");
+        }
+        let labels: Vec<String> = topology.nodes().iter().map(|n| n.label.clone()).collect();
+
         // --- Epoch 0 from the role-derived flow pipeline ---------------
         // The same Reconfigurator the runtime re-invokes mid-run builds
         // the setup-time configuration: logical single-hop flows, the
@@ -109,22 +143,36 @@ impl Engine {
         };
         let schedule = epoch0.schedule;
         let flow_kinds = epoch0.flow_kinds;
-        let relay_cores: HashMap<evm_netsim::NodeId, RelayCore> = epoch0
-            .jobs
-            .into_iter()
-            .map(|(id, jobs)| (id, RelayCore::new(jobs)))
-            .collect();
+        let mut relay_cores: Vec<Option<RelayCore>> = (0..node_ids.len()).map(|_| None).collect();
+        let mut forwarders: Vec<NodeId> = Vec::with_capacity(epoch0.jobs.len());
+        for (id, jobs) in epoch0.jobs {
+            let ix = node_index[id.raw() as usize] as usize;
+            relay_cores[ix] = Some(RelayCore::new(jobs));
+            forwarders.push(id);
+        }
+        let slot_table = SlotTable::build(scenario.rtlink.slots_per_cycle, &schedule, &flow_kinds);
 
         let regmap = RegisterMap::gas_plant_standard();
 
         // --- Per-VC plans: compiled law, task params, registers --------
+        // Identical laws (fleet deployments host clones of the standard
+        // loops) compile once; [`Program`] clones share their original's
+        // cache id, so downstream prepared-artifact caches also hit.
+        let mut law_cache: Vec<(ControlLawSpec, Program, u64)> = Vec::new();
         let plans: Vec<VcPlan> = (0..vcs.n_vcs())
             .map(|k| {
                 let vc = k as VcId;
                 let spec = scenario.vc_loop(vc);
                 let law = ControlLawSpec::from_loop(spec);
-                let program = compile_control_law(&law);
-                let gas = control_law_gas_budget(&program);
+                let (program, gas) = match law_cache.iter().find(|(l, _, _)| *l == law) {
+                    Some((_, p, g)) => (p.clone(), *g),
+                    None => {
+                        let program = compile_control_law(&law);
+                        let gas = control_law_gas_budget(&program);
+                        law_cache.push((law, program.clone(), gas));
+                        (program, gas)
+                    }
+                };
                 // The focus sensor's downlink register must agree with the
                 // loop the VC hosts — a misconfigured manifest is caught
                 // here rather than silently regulating the wrong PV.
@@ -169,6 +217,29 @@ impl Engine {
             .map(LocalController::new)
             .collect();
 
+        // --- Node → duty index (roles are disjoint across VCs) ---------
+        let mut duty: HashMap<NodeId, Duty> = HashMap::new();
+        for r in &vcs.vcs {
+            if let Some(h) = r.head {
+                duty.insert(h, Duty::Head(r.vc));
+            }
+            for (tag, &s) in r.sensors.iter().enumerate() {
+                duty.insert(
+                    s,
+                    Duty::Sensor(r.vc, u8::try_from(tag).expect("tag fits u8")),
+                );
+            }
+            for &c in &r.controllers {
+                duty.insert(c, Duty::Controller(r.vc));
+            }
+            for &a in &r.actuators {
+                duty.insert(a, Duty::Actuator(r.vc));
+            }
+            for &rl in &r.relays {
+                duty.insert(rl, Duty::Relay);
+            }
+        }
+
         // --- Node behaviors --------------------------------------------
         let b_mode = if scenario.warm_backup {
             ControllerMode::Backup
@@ -196,83 +267,100 @@ impl Engine {
                     act_registers,
                     gates,
                 ))
-            } else if let Some(vc) = vcs.vc_of_head(id) {
-                // A head always runs a monitor replica of its VC's law: it
-                // observes the data plane and can detect output deviations
-                // itself, which is what makes cold-standby deployments
-                // (no warm backup computing) still fail over.
-                let p = &plans[vc as usize];
-                Box::new(HeadNode::new(ControllerCore::new(
-                    id,
-                    vc,
-                    ControllerMode::Backup,
-                    true,
-                    &p.program,
-                    p.gas,
-                    &p.params,
-                )))
-            } else if let Some((vc, tag)) = vcs.sensor_of(id) {
-                Box::new(SensorNode::new(vc, tag))
-            } else if vcs.vc_of_relay(id).is_some() {
-                // Dedicated forwarders: their duties live in the routed
-                // relay cores, not the behavior.
-                Box::new(RelayNode)
-            } else if let Some(vc) = vcs.vc_of_controller(id) {
-                let p = &plans[vc as usize];
-                let (mode, hosts_task) = if id == p.primary {
-                    (ControllerMode::Active, true)
-                } else {
-                    (b_mode, scenario.warm_backup)
-                };
-                Box::new(ControllerNode::new(ControllerCore::new(
-                    id, vc, mode, hosts_task, &p.program, p.gas, &p.params,
-                )))
             } else {
-                let vc = vcs
-                    .vc_of_actuator(id)
-                    .expect("node must hold a role in some VC");
-                Box::new(ActuatorNode::new(vc, plans[vc as usize].primary))
+                match duty.get(&id).copied() {
+                    // A head always runs a monitor replica of its VC's
+                    // law: it observes the data plane and can detect
+                    // output deviations itself, which is what makes
+                    // cold-standby deployments (no warm backup computing)
+                    // still fail over.
+                    Some(Duty::Head(vc)) => {
+                        let p = &plans[vc as usize];
+                        Box::new(HeadNode::new(ControllerCore::new(
+                            id,
+                            vc,
+                            ControllerMode::Backup,
+                            true,
+                            &p.program,
+                            p.gas,
+                            &p.params,
+                        )))
+                    }
+                    Some(Duty::Sensor(vc, tag)) => Box::new(SensorNode::new(vc, tag)),
+                    // Dedicated forwarders: their duties live in the
+                    // routed relay cores, not the behavior.
+                    Some(Duty::Relay) => Box::new(RelayNode),
+                    Some(Duty::Controller(vc)) => {
+                        let p = &plans[vc as usize];
+                        let (mode, hosts_task) = if id == p.primary {
+                            (ControllerMode::Active, true)
+                        } else {
+                            (b_mode, scenario.warm_backup)
+                        };
+                        Box::new(ControllerNode::new(ControllerCore::new(
+                            id, vc, mode, hosts_task, &p.program, p.gas, &p.params,
+                        )))
+                    }
+                    Some(Duty::Actuator(vc)) => {
+                        Box::new(ActuatorNode::new(vc, plans[vc as usize].primary))
+                    }
+                    None => panic!("node must hold a role in some VC"),
+                }
             };
             registry.insert(id, behavior);
         }
 
         // --- Virtual components (one record per hosted loop) -----------
-        let components: Vec<VirtualComponent> = vcs
+        // Built by a single pass over the topology (members land in
+        // topology order within each record, exactly as the per-VC scans
+        // produced).
+        let mut components: Vec<VirtualComponent> = vcs
             .vcs
             .iter()
-            .map(|roles| {
-                let vc = roles.vc;
-                let mut record = VirtualComponent::new(plans[vc as usize].loop_name.clone());
-                for n in topology.nodes() {
-                    let in_vc = n.id == vcs.gateway
-                        || roles.head == Some(n.id)
-                        || roles.sensors.contains(&n.id)
-                        || roles.controllers.contains(&n.id)
-                        || roles.actuators.contains(&n.id)
-                        || roles.relays.contains(&n.id);
-                    if !in_vc {
-                        continue;
-                    }
-                    let mode = if n.id == roles.primary() {
-                        Some(ControllerMode::Active)
-                    } else if roles.is_controller(n.id) {
-                        Some(b_mode)
-                    } else {
-                        None
-                    };
+            .map(|roles| VirtualComponent::new(plans[roles.vc as usize].loop_name.clone()))
+            .collect();
+        for n in topology.nodes() {
+            if n.id == vcs.gateway {
+                for record in &mut components {
                     record.add_member(MemberInfo {
                         node: n.id,
                         kind: n.kind,
-                        mode,
+                        mode: None,
                         capsules: vec![],
                     });
                 }
-                if let Some(head) = roles.head {
-                    record.set_head(head);
+                continue;
+            }
+            let Some(&d) = duty.get(&n.id) else { continue };
+            let (vc, mode) = match d {
+                Duty::Controller(vc) => {
+                    let mode = if n.id == vcs.vc(vc).primary() {
+                        ControllerMode::Active
+                    } else {
+                        b_mode
+                    };
+                    (vc, Some(mode))
                 }
-                record
-            })
-            .collect();
+                Duty::Head(vc) | Duty::Sensor(vc, _) | Duty::Actuator(vc) => (vc, None),
+                Duty::Relay => {
+                    let vc = vcs
+                        .vc_of_relay(n.id)
+                        .expect("relay duty implies relay role");
+                    (vc, None)
+                }
+            };
+            components[vc as usize].add_member(MemberInfo {
+                node: n.id,
+                kind: n.kind,
+                mode,
+                capsules: vec![],
+            });
+        }
+        for roles in &vcs.vcs {
+            if let Some(head) = roles.head {
+                components[roles.vc as usize].set_head(head);
+            }
+        }
 
         let series = scenario
             .sampled_tags
@@ -303,10 +391,9 @@ impl Engine {
                 ..VcRunStats::default()
             })
             .collect();
-        let meters = topology
-            .nodes()
+        let meters = node_ids
             .iter()
-            .map(|n| (n.id, EnergyMeter::new(RadioPowerModel::cc2420())))
+            .map(|_| EnergyMeter::new(RadioPowerModel::cc2420()))
             .collect();
 
         let mut engine = Engine {
@@ -320,6 +407,7 @@ impl Engine {
             schedule,
             flow_kinds,
             relay_cores,
+            forwarders,
             components,
             rng,
             trace: Trace::new(),
@@ -330,6 +418,18 @@ impl Engine {
             mode_series,
             err_series,
             meters,
+            node_ids,
+            node_index,
+            labels,
+            slot_table,
+            fx_effects: Vec::with_capacity(8),
+            fx_timers: Vec::with_capacity(8),
+            scratch_ids: Vec::new(),
+            scratch_watch: Vec::new(),
+            scratch_down: Vec::new(),
+            vslot_k: 1,
+            vslot_time: SimTime::ZERO + scenario.rtlink.slot_duration,
+            vslot_seq: 0,
             vc_stats,
             reconfig: ReconfigState::default(),
             scenario,
@@ -352,12 +452,37 @@ impl Engine {
             }
         }
 
-        // Seed events.
+        // Capacity reservations: once warmed, the steady-state hot loop
+        // never touches the allocator (pinned by the alloc-count test).
+        let duration = engine.scenario.duration;
+        let samples = usize::try_from(duration / engine.scenario.sample_every + 2)
+            .expect("sample count fits usize");
+        for s in engine.series.values_mut() {
+            s.reserve(samples);
+        }
+        for (_, s) in &mut engine.mode_series {
+            s.reserve(samples);
+        }
+        let cycles = usize::try_from(duration / engine.scenario.rtlink.cycle_duration() + 2)
+            .expect("cycle count fits usize");
+        for (_, _, s) in &mut engine.err_series {
+            s.reserve(cycles);
+        }
+        for st in &mut engine.vc_stats {
+            st.e2e_latencies.reserve(cycles);
+        }
+        engine.queue.reserve(64 + 4 * engine.node_ids.len());
+        engine.scratch_ids.reserve(engine.node_ids.len());
+
+        // Seed events. Under event-driven stepping the slot chain is a
+        // cursor, not queue traffic: reserve the sequence number the
+        // legacy `Ev::Slot` push would have taken so same-instant
+        // orderings match the legacy driver exactly.
         engine.queue.push(SimTime::ZERO, Ev::PlantStep);
-        engine.queue.push(
-            SimTime::ZERO + engine.scenario.rtlink.slot_duration,
-            Ev::Slot,
-        );
+        match engine.scenario.stepping {
+            SlotStepping::Legacy => engine.queue.push(engine.vslot_time, Ev::Slot),
+            SlotStepping::EventDriven => engine.vslot_seq = engine.queue.skip_seq(),
+        }
         engine.queue.push(SimTime::ZERO, Ev::Sample);
         if let Some((at, _)) = engine.scenario.fault {
             engine.queue.push(at, Ev::InjectFault);

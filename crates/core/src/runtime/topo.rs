@@ -27,8 +27,10 @@ use evm_mac::rtlink::Flow;
 use evm_netsim::{Channel, NodeId, NodeInfo, NodeKind, Position, Topology};
 
 /// Identifies one Virtual Component hosted by the deployment (dense,
-/// starting at 0; VC 0 is the focus loop).
-pub type VcId = u8;
+/// starting at 0; VC 0 is the focus loop). `u16` so a fleet deployment
+/// can host tens of thousands of VCs in one process; the star family
+/// stays bounded by [`MAX_VCS`].
+pub type VcId = u16;
 
 /// The largest VC pool one deployment can host — bounded by the eight
 /// plant loops of §4.2 ([`evm_plant::vc_host_loops`]).
@@ -158,6 +160,12 @@ fn controller_label(prefix: &str, i: usize) -> String {
 pub struct TopologySpec {
     /// The node set. The gateway must be present exactly once.
     pub nodes: Vec<NodeSpec>,
+    /// Explicit bidirectional links. `None` (the default everywhere but
+    /// fleet deployments) derives connectivity from the channel model;
+    /// `Some` bypasses the O(n²) derivation and uses exactly these links
+    /// — required at fleet scale, where channel-derived adjacency would
+    /// also mesh every co-located cell together.
+    pub links: Option<Vec<(NodeId, NodeId)>>,
 }
 
 impl TopologySpec {
@@ -220,7 +228,7 @@ impl TopologySpec {
         assert!(sensors >= 1, "a control loop needs its focus sensor");
         assert!(controllers >= 1, "a control loop needs a controller");
         let mut roles: Vec<(VcId, Role, String)> = Vec::new();
-        for vc in 0..vcs as u8 {
+        for vc in 0..vcs as VcId {
             let prefix = if vc == 0 {
                 String::new()
             } else {
@@ -266,7 +274,7 @@ impl TopologySpec {
                 register,
             });
         }
-        TopologySpec { nodes }
+        TopologySpec { nodes, links: None }
     }
 
     /// The degenerate three-node Virtual Component: gateway, one sensor,
@@ -545,7 +553,7 @@ impl TopologySpec {
         }];
         let members = sensors + controllers + actuators + usize::from(head);
         let mut next_id = 1u16;
-        for vc in 0..clusters as u8 {
+        for vc in 0..clusters as VcId {
             let prefix = if vc == 0 {
                 String::new()
             } else {
@@ -623,7 +631,73 @@ impl TopologySpec {
                 }
             }
         }
-        TopologySpec { nodes }
+        TopologySpec { nodes, links: None }
+    }
+
+    /// A fleet deployment: one shared gateway and `n` minimal Virtual
+    /// Components (focus sensor + one controller each, no head, no
+    /// actuator — the gateway is every VC's actuation endpoint), built
+    /// for the 10k-VC scale the fleet engine targets. VC `k`'s pair sits
+    /// at angle `2πk/n` on a 12 m ring; ids are `S = 1 + 2k`,
+    /// `C = 2 + 2k`; labels `Fk.S` / `Fk.C`. Each VC's sensor reads the
+    /// focus register of canonical loop `k % MAX_VCS`
+    /// ([`VC_FOCUS_REGISTERS`]), mirroring the cycled loop hosting of
+    /// `Scenario::fleet`.
+    ///
+    /// Connectivity is **explicit** (`links`): gateway↔sensor,
+    /// gateway↔controller and sensor↔controller per VC — every flow is
+    /// single-hop, and the O(n²) channel derivation (which would mesh
+    /// all co-located cells) is bypassed.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= n <= 32000` (node ids are `u16`).
+    #[must_use]
+    pub fn fleet(n: usize) -> Self {
+        assert!(
+            (1..=32_000).contains(&n),
+            "fleet size out of 1..=32000: {n}"
+        );
+        let mut nodes = Vec::with_capacity(1 + 2 * n);
+        let mut links = Vec::with_capacity(3 * n);
+        nodes.push(NodeSpec {
+            id: NodeId(0),
+            vc: 0,
+            role: Role::Gateway,
+            label: "GW".to_string(),
+            position: Position::new(0.0, 0.0),
+            register: None,
+        });
+        for k in 0..n {
+            let vc = k as VcId;
+            let angle = 2.0 * std::f64::consts::PI * k as f64 / n as f64;
+            let pos = Position::new(12.0 * angle.cos(), 12.0 * angle.sin());
+            let sensor = NodeId((1 + 2 * k) as u16);
+            let ctrl = NodeId((2 + 2 * k) as u16);
+            nodes.push(NodeSpec {
+                id: sensor,
+                vc,
+                role: Role::Sensor(0),
+                label: format!("F{k}.S"),
+                position: pos,
+                register: Some(VC_FOCUS_REGISTERS[k % MAX_VCS]),
+            });
+            nodes.push(NodeSpec {
+                id: ctrl,
+                vc,
+                role: Role::Controller(0),
+                label: format!("F{k}.C"),
+                position: pos,
+                register: None,
+            });
+            links.push((NodeId(0), sensor));
+            links.push((NodeId(0), ctrl));
+            links.push((sensor, ctrl));
+        }
+        TopologySpec {
+            nodes,
+            links: Some(links),
+        }
     }
 
     /// Shared assembly for the single-VC multi-hop generators: prepends
@@ -653,7 +727,7 @@ impl TopologySpec {
                 register,
             });
         }
-        TopologySpec { nodes }
+        TopologySpec { nodes, links: None }
     }
 
     /// Number of Virtual Components the spec hosts (1 + highest VC tag).
@@ -682,7 +756,10 @@ impl TopologySpec {
             .iter()
             .map(|n| NodeInfo::new(n.id, n.role.kind(), n.position, n.label.clone()))
             .collect();
-        let topology = Topology::derive(infos, channel);
+        let topology = match &self.links {
+            Some(links) => Topology::with_links(infos, links),
+            None => Topology::derive(infos, channel),
+        };
         Ok((topology, map))
     }
 
@@ -850,7 +927,7 @@ impl VcMap {
 
         let n_vcs = spec.n_vcs();
         let mut vcs = Vec::with_capacity(n_vcs);
-        for vc in 0..n_vcs as u8 {
+        for vc in 0..n_vcs as VcId {
             let mut head = None;
             let mut sensors: Vec<(u8, NodeId, u16)> = Vec::new();
             let mut controllers: Vec<(u8, NodeId)> = Vec::new();

@@ -1,0 +1,91 @@
+//! Zero-alloc contract for the fleet hot loop.
+//!
+//! Once an engine is warmed — every capsule prepared on its tier, every
+//! series/queue reservation made at setup — the steady-state slot loop
+//! must not touch the heap at all: no per-slot clones, no label
+//! `String`s, no dispatch scratch growth. This test installs a counting
+//! global allocator, warms a fault-free compiled-tier run, then steps
+//! several more seconds of simulated time and asserts that **zero**
+//! allocations and **zero** deallocations happened in the window.
+//!
+//! A single `#[test]` covers both steppings sequentially: the counters
+//! are process-global, so concurrent tests would pollute each other's
+//! windows.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+use evm_core::runtime::{Engine, Scenario, ScenarioBuilder, SlotStepping};
+use evm_core::Tier;
+use evm_sim::{SimDuration, SimTime};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static DEALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        DEALLOCS.fetch_add(1, Relaxed);
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// A fault-free single-VC star on the compiled tier: the steady state
+/// is pure slot traffic — samples, capsule runs, actuations,
+/// keepalives — with no failover or reconfiguration churn.
+fn scenario(stepping: SlotStepping) -> Scenario {
+    ScenarioBuilder::star()
+        .tier(Tier::Compiled)
+        .stepping(stepping)
+        .duration(SimDuration::from_secs(30))
+        .build()
+}
+
+fn assert_zero_alloc_steady_state(stepping: SlotStepping) {
+    let mut engine = Engine::new(scenario(stepping));
+    // Warm: ~40 RT-Link cycles — every capsule compiled and cached,
+    // every lazily-grown structure at its steady footprint.
+    engine.run_until(SimTime::from_secs(10));
+
+    let allocs_before = ALLOCS.load(Relaxed);
+    let deallocs_before = DEALLOCS.load(Relaxed);
+    engine.run_until(SimTime::from_secs(20));
+    let allocs = ALLOCS.load(Relaxed) - allocs_before;
+    let deallocs = DEALLOCS.load(Relaxed) - deallocs_before;
+
+    let result = engine.finalize();
+    assert!(result.actuations > 50, "run must exercise the loop");
+    assert_eq!(
+        allocs, 0,
+        "{stepping:?}: warmed steady state must not allocate"
+    );
+    assert_eq!(
+        deallocs, 0,
+        "{stepping:?}: warmed steady state must not free"
+    );
+}
+
+#[test]
+fn warmed_hot_loop_never_touches_the_heap() {
+    assert_zero_alloc_steady_state(SlotStepping::EventDriven);
+    assert_zero_alloc_steady_state(SlotStepping::Legacy);
+}

@@ -1,0 +1,147 @@
+//! Differential pin: event-driven slot advancement vs. the legacy
+//! per-slot event stream.
+//!
+//! The fleet-scale hot loop (occupancy-table cursor, dense node state,
+//! scratch-buffer dispatch) must be a pure performance change: for any
+//! scenario, the whole [`evm_core::RunResult`] — series, traces, QoS
+//! metrics, energy, per-VC stats — is **byte-identical** between
+//! [`SlotStepping::Legacy`] and [`SlotStepping::EventDriven`]. Each
+//! test here runs one scenario family under both steppings and compares
+//! the results structurally, with a vacuity floor on actuations so a
+//! silently-dead run can never pass.
+
+use evm_core::runtime::{Engine, ReroutePolicy, Role, Scenario, ScenarioBuilder, SlotStepping};
+use evm_core::RunResult;
+use evm_netsim::NodeId;
+use evm_sim::{SimDuration, SimTime};
+
+/// Runs `make()`'s scenario under both steppings and returns
+/// `(legacy, event_driven)` after asserting the run is non-trivial.
+fn run_both(make: impl Fn() -> Scenario) -> (RunResult, RunResult) {
+    let run_at = |stepping: SlotStepping| {
+        let mut s = make();
+        s.stepping = stepping;
+        Engine::new(s).run()
+    };
+    let legacy = run_at(SlotStepping::Legacy);
+    assert!(legacy.actuations > 20, "run must exercise the loop");
+    let event = run_at(SlotStepping::EventDriven);
+    (legacy, event)
+}
+
+/// The first dedicated relay that carries forwarding jobs in the
+/// engine's own epoch-0 routes — the only kind of victim whose crash
+/// forces a heartbeat reroute.
+fn loaded_relay(s: &Scenario) -> NodeId {
+    let carriers = Engine::new(s.clone()).forwarding_nodes();
+    s.topology
+        .nodes
+        .iter()
+        .find(|n| matches!(n.role, Role::Relay(_)) && carriers.contains(&n.id))
+        .map(|n| n.id)
+        .expect("a dedicated relay carries jobs")
+}
+
+/// Fig. 5 baseline: the paper's single-hop testbed with the default
+/// fault plan (primary-controller actuator fault at 30 s).
+#[test]
+fn fig5_identical_across_steppings() {
+    let (legacy, event) = run_both(|| {
+        let mut s = Scenario::baseline();
+        s.duration = SimDuration::from_secs(90);
+        s
+    });
+    assert!(
+        event == legacy,
+        "event-driven stepping changed the Fig. 5 run"
+    );
+}
+
+/// Multi-hop line: relay flows spanning two hops, serial schedule.
+#[test]
+fn line_identical_across_steppings() {
+    let (legacy, event) = run_both(|| {
+        ScenarioBuilder::star()
+            .line(2)
+            .sensors(1)
+            .controllers(2)
+            .actuators(1)
+            .head(true)
+            .duration(SimDuration::from_secs(60))
+            .build()
+    });
+    assert!(
+        event == legacy,
+        "event-driven stepping changed the line run"
+    );
+}
+
+/// 3x3 grid: lattice routing where the controller itself forwards.
+#[test]
+fn grid_identical_across_steppings() {
+    let (legacy, event) = run_both(|| {
+        ScenarioBuilder::star()
+            .grid(3, 3)
+            .sensors(1)
+            .controllers(1)
+            .actuators(1)
+            .head(true)
+            .slots_per_cycle(33)
+            .duration(SimDuration::from_secs(60))
+            .build()
+    });
+    assert!(
+        event == legacy,
+        "event-driven stepping changed the grid run"
+    );
+}
+
+/// Heartbeat reroute: a loaded forwarder dies mid-run, the heartbeat
+/// scan marks it down, and an epoch swap re-routes around it. The
+/// cursor must replicate the legacy run through the epoch-table
+/// rebuild and the post-swap occupancy change.
+#[test]
+fn heartbeat_reroute_identical_across_steppings() {
+    let base = || {
+        ScenarioBuilder::star()
+            .reroute(ReroutePolicy::Heartbeat)
+            .line(2)
+            .sensors(1)
+            .controllers(2)
+            .actuators(1)
+            .head(true)
+            .backup_relays(1)
+            .duration(SimDuration::from_secs(90))
+            .build()
+    };
+    let victim = loaded_relay(&base());
+    let (legacy, event) = run_both(|| {
+        let mut s = base();
+        s.fault_plan.add_crash(evm_netsim::NodeCrash::permanent(
+            victim,
+            SimTime::from_secs(30),
+        ));
+        s
+    });
+    assert!(
+        event == legacy,
+        "event-driven stepping changed the heartbeat-reroute run"
+    );
+}
+
+/// Two VCs sharing one gateway, with VC 1's primary controller crashing
+/// mid-run (failover path + per-VC stats under the dense node tables).
+#[test]
+fn two_vc_crash_identical_across_steppings() {
+    let (legacy, event) = run_both(|| {
+        ScenarioBuilder::star()
+            .vcs(2)
+            .crash_vc_primary_at(1, SimTime::from_secs(30))
+            .duration(SimDuration::from_secs(90))
+            .build()
+    });
+    assert!(
+        event == legacy,
+        "event-driven stepping changed the 2-VC crash run"
+    );
+}

@@ -60,6 +60,44 @@ impl Topology {
         }
     }
 
+    /// Builds a topology from node descriptions and an **explicit** link
+    /// list, bypassing the channel-derived adjacency. Each `(a, b)` pair
+    /// becomes one bidirectional link. Fleet-scale deployments use this:
+    /// deriving adjacency is O(n²) channel queries and would mesh every
+    /// co-located cell together, while the fleet schedule wants exactly
+    /// the per-cell links.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two nodes share a [`NodeId`] or a link references an
+    /// unknown id.
+    #[must_use]
+    pub fn with_links(nodes: Vec<NodeInfo>, links: &[(NodeId, NodeId)]) -> Self {
+        let mut by_id = HashMap::new();
+        for (i, n) in nodes.iter().enumerate() {
+            let prev = by_id.insert(n.id, i);
+            assert!(prev.is_none(), "duplicate node id {}", n.id);
+        }
+        let mut neighbors: HashMap<NodeId, Vec<NodeId>> =
+            nodes.iter().map(|n| (n.id, Vec::new())).collect();
+        for &(a, b) in links {
+            assert!(by_id.contains_key(&a), "link references unknown id {a}");
+            assert!(by_id.contains_key(&b), "link references unknown id {b}");
+            assert!(a != b, "self-link on id {a}");
+            neighbors.get_mut(&a).expect("known id").push(b);
+            neighbors.get_mut(&b).expect("known id").push(a);
+        }
+        for v in neighbors.values_mut() {
+            v.sort_unstable();
+            v.dedup();
+        }
+        Topology {
+            nodes,
+            by_id,
+            neighbors,
+        }
+    }
+
     /// Builds the paper's Fig. 5 testbed shape: a gateway at the origin and
     /// `n` nodes on a circle of radius `radius_m` around it, all mutually
     /// in range for a reasonable channel.
@@ -126,10 +164,12 @@ impl Topology {
         self.neighbors.get(&id).map(Vec::as_slice).unwrap_or(&[])
     }
 
-    /// `true` if `a` and `b` share a usable link.
+    /// `true` if `a` and `b` share a usable link. Binary search: every
+    /// constructor leaves neighbor lists sorted and deduplicated, and at
+    /// fleet scale a gateway's list holds tens of thousands of entries.
     #[must_use]
     pub fn are_neighbors(&self, a: NodeId, b: NodeId) -> bool {
-        self.neighbors(a).contains(&b)
+        self.neighbors(a).binary_search(&b).is_ok()
     }
 
     /// Hop count of the shortest path from `from` to `to` (BFS), or `None`
@@ -458,6 +498,35 @@ mod tests {
         for n in topo.nodes() {
             assert_eq!(same.neighbors(n.id), topo.neighbors(n.id));
         }
+    }
+
+    /// Explicit-adjacency construction: links come from the caller, not
+    /// the channel, duplicates collapse, and far-apart nodes still link.
+    #[test]
+    fn with_links_uses_exactly_the_given_links() {
+        let infos = vec![
+            NodeInfo::new(NodeId(0), NodeKind::Gateway, Position::new(0.0, 0.0), "gw"),
+            NodeInfo::new(NodeId(1), NodeKind::Sensor, Position::new(5000.0, 0.0), "s"),
+            NodeInfo::new(
+                NodeId(2),
+                NodeKind::Controller,
+                Position::new(0.0, 5000.0),
+                "c",
+            ),
+        ];
+        let topo = Topology::with_links(
+            infos,
+            &[
+                (NodeId(0), NodeId(1)),
+                (NodeId(1), NodeId(0)), // duplicate, reversed
+                (NodeId(1), NodeId(2)),
+            ],
+        );
+        assert_eq!(topo.neighbors(NodeId(0)), &[NodeId(1)]);
+        assert_eq!(topo.neighbors(NodeId(1)), &[NodeId(0), NodeId(2)]);
+        assert!(!topo.are_neighbors(NodeId(0), NodeId(2)));
+        assert_eq!(topo.hops(NodeId(0), NodeId(2)), Some(2));
+        assert!(topo.is_fully_connected());
     }
 
     #[test]

@@ -209,7 +209,13 @@ impl GasPlant {
     }
 
     fn publish(&mut self, key: &str, value: f64) {
-        self.tags.insert(key.to_string(), value);
+        // Update in place: after the first cycle every tag exists, and
+        // re-inserting would re-allocate the key `String` on each step.
+        if let Some(slot) = self.tags.get_mut(key) {
+            *slot = value;
+        } else {
+            self.tags.insert(key.to_string(), value);
+        }
     }
 }
 

@@ -43,6 +43,65 @@ struct RegisterEntry {
     writable: bool,
 }
 
+/// A register binding resolved once against a [`RegisterMap`]: the
+/// address, scaling and backing tag are captured so steady-state access
+/// skips the per-call map lookup entirely. This is what a real gateway
+/// does when it assembles a cyclic poll list — resolve the addresses at
+/// configuration time, then run pure register transactions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundRegister {
+    /// The bound register address.
+    pub addr: u16,
+    /// Engineering value = raw × scale + offset.
+    pub scale: f64,
+    /// Engineering offset.
+    pub offset: f64,
+    /// `true` for holding (writable) registers.
+    pub writable: bool,
+    /// The plant tag behind the register.
+    pub tag: String,
+}
+
+/// Reads a bound register in engineering units, quantized through the
+/// 16-bit wire exactly like [`RegisterMap::read_scaled`].
+///
+/// # Errors
+///
+/// [`ModbusError::TagMissing`] if the plant no longer has the tag.
+pub fn read_bound(plant: &dyn Plant, reg: &BoundRegister) -> Result<f64, ModbusError> {
+    let v = plant
+        .read_tag(&reg.tag)
+        .ok_or_else(|| ModbusError::TagMissing(reg.tag.clone()))?;
+    let raw = ((v - reg.offset) / reg.scale)
+        .round()
+        .clamp(0.0, f64::from(u16::MAX)) as u16;
+    Ok(f64::from(raw) * reg.scale + reg.offset)
+}
+
+/// Writes a bound holding register in engineering units, quantized
+/// through the wire exactly like [`RegisterMap::write_scaled`].
+///
+/// # Errors
+///
+/// [`ModbusError::ReadOnly`] for an input binding, or
+/// [`ModbusError::TagMissing`] if the plant rejects the tag.
+pub fn write_bound(
+    plant: &mut dyn Plant,
+    reg: &BoundRegister,
+    value: f64,
+) -> Result<(), ModbusError> {
+    if !reg.writable {
+        return Err(ModbusError::ReadOnly(reg.addr));
+    }
+    let raw = ((value - reg.offset) / reg.scale)
+        .round()
+        .clamp(0.0, f64::from(u16::MAX));
+    let quantized = raw * reg.scale + reg.offset;
+    plant
+        .write_tag(&reg.tag, quantized)
+        .map_err(|_| ModbusError::TagMissing(reg.tag.clone()))
+}
+
 /// A ModBus register map over a [`Plant`]'s tags.
 #[derive(Debug, Clone, Default)]
 pub struct RegisterMap {
@@ -118,6 +177,19 @@ impl RegisterMap {
             .iter()
             .find(|(_, e)| e.writable && e.tag == tag)
             .map(|(&addr, _)| addr)
+    }
+
+    /// Resolves a register address into a [`BoundRegister`] carrying its
+    /// scaling and backing tag, for lookup-free steady-state access.
+    #[must_use]
+    pub fn bind(&self, addr: u16) -> Option<BoundRegister> {
+        self.regs.get(&addr).map(|e| BoundRegister {
+            addr,
+            scale: e.scale,
+            offset: e.offset,
+            writable: e.writable,
+            tag: e.tag.clone(),
+        })
     }
 
     /// Reads a register: fetches the tag, applies scaling, clamps into the
@@ -259,6 +331,29 @@ mod tests {
             m.write_scaled(&mut plant, 30001, 1.0).unwrap_err(),
             ModbusError::ReadOnly(30001)
         );
+    }
+
+    #[test]
+    fn bound_register_matches_scaled_paths() {
+        let mut plant = GasPlant::default();
+        let m = RegisterMap::gas_plant_standard();
+        let pv = m.bind(30001).expect("input bound");
+        assert_eq!(pv.tag, "LTS.LiquidPct");
+        assert!(!pv.writable);
+        assert_eq!(
+            read_bound(&plant, &pv).unwrap(),
+            m.read_scaled(&plant, 30001).unwrap()
+        );
+        let cmd = m.bind(40002).expect("holding bound");
+        assert!(cmd.writable);
+        write_bound(&mut plant, &cmd, 75.004).unwrap();
+        let via_map = m.read_scaled(&plant, 30012);
+        assert!(via_map.is_ok(), "write landed through the bound register");
+        assert_eq!(
+            write_bound(&mut plant, &pv, 1.0).unwrap_err(),
+            ModbusError::ReadOnly(30001)
+        );
+        assert_eq!(m.bind(12345), None);
     }
 
     #[test]

@@ -48,10 +48,7 @@ impl FlashResult {
 /// `Σ zᵢ(Kᵢ−1)/(1 + V(Kᵢ−1)) = 0`.
 #[must_use]
 pub fn flash(z: &Composition, t_k: f64, p_kpa: f64) -> FlashResult {
-    let k: Vec<f64> = Component::ALL
-        .iter()
-        .map(|&c| wilson_k(c, t_k, p_kpa))
-        .collect();
+    let k: [f64; N_COMPONENTS] = std::array::from_fn(|i| wilson_k(Component::ALL[i], t_k, p_kpa));
 
     let rr = |v: f64| -> f64 {
         Component::ALL

@@ -89,6 +89,44 @@ impl<E> EventQueue<E> {
         self.heap.peek().map(|Reverse(e)| e.at)
     }
 
+    /// The `(time, sequence)` key of the earliest pending event, if any.
+    ///
+    /// Together with [`EventQueue::skip_seq`] this lets a caller maintain
+    /// a *virtual* event outside the heap and still order it exactly as
+    /// if it had been pushed: compare `(at, seq)` tuples.
+    #[must_use]
+    pub fn peek_entry(&self) -> Option<(SimTime, u64)> {
+        self.heap.peek().map(|Reverse(e)| (e.at, e.seq))
+    }
+
+    /// Consumes one sequence number without pushing an event, returning
+    /// the number consumed — the seq a [`EventQueue::push`] at this point
+    /// would have been assigned. Lets a caller keep a recurring event
+    /// *virtual* (outside the heap) while preserving the exact tie-break
+    /// order a pushed event would have had.
+    pub fn skip_seq(&mut self) -> u64 {
+        let s = self.seq;
+        self.seq += 1;
+        s
+    }
+
+    /// Consumes `n` sequence numbers (n ≥ 1) without pushing events,
+    /// returning the **last** one consumed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn skip_seqs(&mut self, n: u64) -> u64 {
+        assert!(n >= 1, "must skip at least one sequence number");
+        self.seq += n;
+        self.seq - 1
+    }
+
+    /// Reserves heap capacity for at least `additional` more events.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
+    }
+
     /// Number of pending events.
     #[must_use]
     pub fn len(&self) -> usize {

@@ -54,6 +54,13 @@ impl TimeSeries {
         &self.name
     }
 
+    /// Reserves capacity for at least `additional` more samples — lets a
+    /// long-running engine pre-size its result buffers so steady-state
+    /// sampling never reallocates.
+    pub fn reserve(&mut self, additional: usize) {
+        self.samples.reserve(additional);
+    }
+
     /// Appends a sample.
     ///
     /// # Panics

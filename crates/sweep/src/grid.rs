@@ -11,8 +11,8 @@
 //! results are reproducible no matter which thread runs which cell.
 
 use evm_core::runtime::{
-    Layout, ReroutePolicy, Role, Scenario, Tier, TopologySpec, CLUSTER_HOP_M, CLUSTER_RING_M,
-    GRID_SPACING_M, LINE_SPACING_M,
+    Layout, ReroutePolicy, Role, Scenario, SlotStepping, Tier, TopologySpec, CLUSTER_HOP_M,
+    CLUSTER_RING_M, GRID_SPACING_M, LINE_SPACING_M,
 };
 use evm_netsim::GilbertElliott;
 use evm_sim::derive_seed;
@@ -167,6 +167,8 @@ pub struct CellConfig {
     pub reroute: ReroutePolicy,
     /// VM execution tier every controller replica runs capsules on.
     pub tier: Tier,
+    /// Slot-advancement strategy of the cell's engine.
+    pub stepping: SlotStepping,
     /// Seed-replicate index within the config point.
     pub rep: u32,
     /// The derived per-cell RNG seed.
@@ -201,8 +203,15 @@ impl CellConfig {
         } else {
             format!("|{}", self.tier.label())
         };
+        // And the stepping suffix: event-driven (the default cursor)
+        // keeps the historical keys; only legacy rows grow one.
+        let stepping = if self.stepping == SlotStepping::EventDriven {
+            String::new()
+        } else {
+            format!("|{}", self.stepping.label())
+        };
         format!(
-            "{}v{}|loss{}|{}|det{}x{}{topo}{reroute}{tier}",
+            "{}v{}|loss{}|{}|det{}x{}{topo}{reroute}{tier}{stepping}",
             self.star.label(),
             self.vcs,
             self.loss,
@@ -239,6 +248,7 @@ pub struct SweepGrid {
     detection: Option<Vec<(f64, u32)>>,
     reroute: Option<Vec<ReroutePolicy>>,
     tier: Option<Vec<Tier>>,
+    stepping: Option<Vec<SlotStepping>>,
     seeds_per_cell: u32,
     base_seed: u64,
     radius_m: f64,
@@ -261,6 +271,7 @@ impl SweepGrid {
             detection: None,
             reroute: None,
             tier: None,
+            stepping: None,
             seeds_per_cell: 1,
             base_seed,
             radius_m: 15.0,
@@ -364,6 +375,17 @@ impl SweepGrid {
         self
     }
 
+    /// Sweeps the slot-advancement strategy (legacy per-slot events vs
+    /// the event-driven occupancy cursor) — the fleet hot-loop axis:
+    /// every metric must agree across stepping rows (the cursor is
+    /// byte-identical by contract); only wall-clock differs.
+    #[must_use]
+    pub fn over_stepping(mut self, steppings: &[SlotStepping]) -> Self {
+        assert!(!steppings.is_empty(), "empty axis");
+        self.stepping = Some(steppings.to_vec());
+        self
+    }
+
     /// Number of seed replicates per config point (≥ 1).
     #[must_use]
     pub fn seeds_per_cell(mut self, n: u32) -> Self {
@@ -410,6 +432,7 @@ impl SweepGrid {
             * ax(self.detection.as_ref().map(Vec::len))
             * ax(self.reroute.as_ref().map(Vec::len))
             * ax(self.tier.as_ref().map(Vec::len))
+            * ax(self.stepping.as_ref().map(Vec::len))
             * self.seeds_per_cell as usize
     }
 
@@ -421,8 +444,8 @@ impl SweepGrid {
 
     /// Expands the cartesian product into the work-list, in a fixed axis
     /// order (topology → vcs → stars → loss → burst → detection →
-    /// reroute → tier → replicate). Cell ids and seeds depend only on
-    /// the grid definition.
+    /// reroute → tier → stepping → replicate). Cell ids and seeds
+    /// depend only on the grid definition.
     ///
     /// Every cell's topology is validated here, so a malformed template
     /// fails fast at grid definition (with the cell id and the typed
@@ -480,6 +503,10 @@ impl SweepGrid {
             .tier
             .clone()
             .unwrap_or_else(|| vec![self.template.tier]);
+        let steppings = self
+            .stepping
+            .clone()
+            .unwrap_or_else(|| vec![self.template.stepping]);
 
         let template_shape = StarShape::of_spec(&self.template.topology);
         let template_vcs = self.template.n_vcs();
@@ -492,53 +519,58 @@ impl SweepGrid {
                             for &(threshold, consecutive) in &detection {
                                 for &reroute in &reroutes {
                                     for &tier in &tiers {
-                                        for rep in 0..self.seeds_per_cell {
-                                            let id = cells.len();
-                                            let seed = derive_seed(self.base_seed, id as u64);
-                                            let mut scenario = self.template.clone();
-                                            // Any varied topology axis rebuilds
-                                            // the topology (a vcs value also
-                                            // re-derives the hosting manifest).
-                                            if topo.is_some() || vcs.is_some() || star.is_some() {
-                                                let s = star.unwrap_or(template_shape);
-                                                let n = vcs.unwrap_or(template_vcs);
-                                                scenario.topology = build_topology(
+                                        for &stepping in &steppings {
+                                            for rep in 0..self.seeds_per_cell {
+                                                let id = cells.len();
+                                                let seed = derive_seed(self.base_seed, id as u64);
+                                                let mut scenario = self.template.clone();
+                                                // Any varied topology axis rebuilds
+                                                // the topology (a vcs value also
+                                                // re-derives the hosting manifest).
+                                                if topo.is_some() || vcs.is_some() || star.is_some()
+                                                {
+                                                    let s = star.unwrap_or(template_shape);
+                                                    let n = vcs.unwrap_or(template_vcs);
+                                                    scenario.topology = build_topology(
+                                                        id,
+                                                        topo.unwrap_or(Layout::Star),
+                                                        n,
+                                                        s,
+                                                        self.radius_m,
+                                                        self.backup_relays,
+                                                    );
+                                                    scenario.host_vcs(n);
+                                                }
+                                                scenario.extra_loss = loss;
+                                                if let Some(b) = burst {
+                                                    scenario.channel.burst = b.to_process();
+                                                }
+                                                scenario.detect_threshold = threshold;
+                                                scenario.detect_consecutive = consecutive;
+                                                scenario.reroute = reroute;
+                                                scenario.tier = tier;
+                                                scenario.stepping = stepping;
+                                                scenario.seed = seed;
+                                                validate_cell(id, &scenario);
+                                                cells.push(SweepCell {
                                                     id,
-                                                    topo.unwrap_or(Layout::Star),
-                                                    n,
-                                                    s,
-                                                    self.radius_m,
-                                                    self.backup_relays,
-                                                );
-                                                scenario.host_vcs(n);
+                                                    config: CellConfig {
+                                                        topo: topo.unwrap_or(Layout::Star),
+                                                        vcs: vcs.unwrap_or(template_vcs),
+                                                        star: star.unwrap_or(template_shape),
+                                                        loss,
+                                                        burst: *burst,
+                                                        detect_threshold: threshold,
+                                                        detect_consecutive: consecutive,
+                                                        reroute,
+                                                        tier,
+                                                        stepping,
+                                                        rep,
+                                                        seed,
+                                                    },
+                                                    scenario,
+                                                });
                                             }
-                                            scenario.extra_loss = loss;
-                                            if let Some(b) = burst {
-                                                scenario.channel.burst = b.to_process();
-                                            }
-                                            scenario.detect_threshold = threshold;
-                                            scenario.detect_consecutive = consecutive;
-                                            scenario.reroute = reroute;
-                                            scenario.tier = tier;
-                                            scenario.seed = seed;
-                                            validate_cell(id, &scenario);
-                                            cells.push(SweepCell {
-                                                id,
-                                                config: CellConfig {
-                                                    topo: topo.unwrap_or(Layout::Star),
-                                                    vcs: vcs.unwrap_or(template_vcs),
-                                                    star: star.unwrap_or(template_shape),
-                                                    loss,
-                                                    burst: *burst,
-                                                    detect_threshold: threshold,
-                                                    detect_consecutive: consecutive,
-                                                    reroute,
-                                                    tier,
-                                                    rep,
-                                                    seed,
-                                                },
-                                                scenario,
-                                            });
                                         }
                                     }
                                 }
@@ -915,6 +947,29 @@ mod tests {
         // Without the axis, cells inherit the template tier (interp).
         let bare = SweepGrid::new(short_template()).expand();
         assert_eq!(bare[0].config.tier, Tier::Interp);
+    }
+
+    /// The `over_stepping` axis rewrites the slot-advancement knob per
+    /// cell; event-driven cells (the default cursor) keep their
+    /// historical keys while legacy rows grow a suffix, so stepping
+    /// sweeps never move goldens.
+    #[test]
+    fn stepping_axis_rewrites_knob_and_suffixes_keys() {
+        let cells = SweepGrid::new(short_template())
+            .over_stepping(&[SlotStepping::EventDriven, SlotStepping::Legacy])
+            .seeds_per_cell(2)
+            .expand();
+        assert_eq!(cells.len(), 4);
+        assert_eq!(cells[0].scenario.stepping, SlotStepping::EventDriven);
+        assert_eq!(cells[2].scenario.stepping, SlotStepping::Legacy);
+        assert!(!cells[0].config.key().contains("event"));
+        assert!(cells[2].config.key().ends_with("|legacy"));
+        // Replicates pool within a stepping, never across.
+        assert_eq!(cells[0].config.key(), cells[1].config.key());
+        assert_ne!(cells[1].config.key(), cells[2].config.key());
+        // Without the axis, cells inherit the template stepping.
+        let bare = SweepGrid::new(short_template()).expand();
+        assert_eq!(bare[0].config.stepping, SlotStepping::EventDriven);
     }
 
     /// Rebuilt multi-hop cells keep their redundancy when the grid asks

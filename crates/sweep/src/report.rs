@@ -105,7 +105,7 @@ impl CellStats {
             .iter()
             .enumerate()
             .map(|(k, vs)| {
-                let spec = s.vc_loop(k as u8);
+                let spec = s.vc_loop(k as evm_core::VcId);
                 let vc_ise = r.series.get(&spec.pv_tag).map_or(f64::NAN, |ts| {
                     ts.window(from, SimTime::ZERO + s.duration)
                         .integral_squared_error(spec.setpoint)
@@ -186,7 +186,7 @@ pub struct VcRow {
     /// The config-point key ([`CellConfig::key`]).
     pub key: String,
     /// The Virtual Component within the config point.
-    pub vc: u8,
+    pub vc: evm_core::VcId,
     /// The loop this VC hosts.
     pub loop_name: String,
     /// Replicates pooled into this row.
@@ -305,7 +305,7 @@ impl SweepReport {
                 let ises: Vec<f64> = shares.iter().map(|s| s.ise).collect();
                 vc_rows.push(VcRow {
                     key: key.clone(),
-                    vc: vc as u8,
+                    vc: vc as evm_core::VcId,
                     loop_name: shares
                         .first()
                         .map_or_else(String::new, |s| s.loop_name.clone()),
