@@ -32,8 +32,26 @@ pub enum EvmError {
     NoViableMaster,
     /// A migration attempt exhausted its retry budget.
     MigrationTimeout {
-        /// Frames that never got through.
+        /// Frames that never got through, *including* the chunk that was
+        /// in flight when the retry budget ran out.
         frames_remaining: usize,
+        /// Retransmissions actually sent before giving up (the initial
+        /// transmission of a chunk is not a retry).
+        retries: usize,
+    },
+    /// A received capsule's version is not a strict upgrade over the
+    /// resident one ("receivers only accept upgrades").
+    StaleCapsule {
+        /// Version carried by the arriving capsule.
+        incoming: u16,
+        /// Version already resident on the host.
+        resident: u16,
+    },
+    /// A migration plan's parameters are unusable (e.g. zero transfer
+    /// slots per cycle).
+    InvalidMigrationPlan {
+        /// What made the plan invalid.
+        reason: String,
     },
     /// Referenced an unknown virtual-component member.
     UnknownMember(NodeId),
@@ -51,8 +69,23 @@ impl fmt::Display for EvmError {
                 write!(f, "{node} lacks capability {capability}")
             }
             EvmError::NoViableMaster => write!(f, "no viable master candidate"),
-            EvmError::MigrationTimeout { frames_remaining } => {
-                write!(f, "migration timed out with {frames_remaining} frames left")
+            EvmError::MigrationTimeout {
+                frames_remaining,
+                retries,
+            } => {
+                write!(
+                    f,
+                    "migration timed out with {frames_remaining} frames left after {retries} retries"
+                )
+            }
+            EvmError::StaleCapsule { incoming, resident } => {
+                write!(
+                    f,
+                    "capsule v{incoming} rejected: resident v{resident} (receivers only accept upgrades)"
+                )
+            }
+            EvmError::InvalidMigrationPlan { reason } => {
+                write!(f, "invalid migration plan: {reason}")
             }
             EvmError::UnknownMember(n) => write!(f, "unknown member {n}"),
         }

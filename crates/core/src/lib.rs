@@ -56,8 +56,8 @@ pub use component::{MemberInfo, VirtualComponent};
 pub use error::EvmError;
 pub use health::{DeviationDetector, FaultEvidence, HeartbeatMonitor};
 pub use membership::{elect_head, HeadCandidate, HeartbeatLedger};
-pub use metrics::{NodeEnergy, RunAggregate, RunMeta, RunResult, VcRunStats};
-pub use migration::{MigrationOutcome, MigrationPlan};
+pub use metrics::{MigrationRecord, NodeEnergy, RunAggregate, RunMeta, RunResult, VcRunStats};
+pub use migration::{admit_arrival, CapsuleImage, MigrationOutcome, MigrationPlan};
 pub use roles::ControllerMode;
 pub use runtime::{
     Engine, ReroutePolicy, Scenario, ScenarioBuilder, SlotStepping, TopologyError, TopologySpec,

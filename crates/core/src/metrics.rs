@@ -2,7 +2,33 @@
 
 use std::collections::HashMap;
 
+use evm_netsim::NodeId;
 use evm_sim::{SimDuration, SimTime, TimeSeries, Trace};
+
+/// One completed live capsule migration: what moved, where, and what it
+/// cost on the air. `latency` is the shipment clock — transfer start
+/// (head re-election) to attested activation on the receiving host —
+/// i.e. the measured Fig. 6b failover-latency contribution, a function
+/// of image size × transfer-slot budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MigrationRecord {
+    /// The migrating Virtual Component.
+    pub vc: u16,
+    /// Shipping node (the VC's primary replica).
+    pub from: NodeId,
+    /// Receiving node (the newly elected head).
+    pub to: NodeId,
+    /// Serialized image size, bytes (code + vars + metadata + padding).
+    pub image_bytes: usize,
+    /// Fragments the image split into.
+    pub frames: usize,
+    /// Frames actually put on the air, retransmissions included.
+    pub frames_sent: usize,
+    /// Retransmissions among those.
+    pub retries: usize,
+    /// Transfer start → attested activation.
+    pub latency: SimDuration,
+}
 
 /// Per-node radio energy summary for one run.
 #[derive(Debug, Clone, PartialEq)]
@@ -142,6 +168,10 @@ pub struct RunResult {
     /// after the recomputed epoch was committed. `None` when nothing was
     /// marked down (or delivery never resumed).
     pub reroute_latency: Option<SimDuration>,
+    /// Live capsule migrations completed during the run, in completion
+    /// order (empty unless the scenario reserved transfer slots and a
+    /// head re-election shipped a capsule).
+    pub migrations: Vec<MigrationRecord>,
 }
 
 impl RunResult {
@@ -337,6 +367,7 @@ mod tests {
             node_energy: HashMap::new(),
             epochs: 0,
             reroute_latency: None,
+            migrations: Vec::new(),
             vc_stats: vec![VcRunStats {
                 loop_name: "LC-LTS".into(),
                 actuations: 4,

@@ -46,6 +46,9 @@ pub struct ControllerCore {
     pub kernel: Kernel,
     /// `true` once the focus task image is resident and admitted.
     pub has_task: bool,
+    /// Version of the resident focus capsule (`None` until one is
+    /// resident). The arrival gate only accepts strict upgrades over it.
+    pub capsule_version: Option<u16>,
     latest_pv: Option<(f64, SimTime)>,
     computing: bool,
     /// Computed output awaiting this node's TX slot.
@@ -104,6 +107,7 @@ impl ControllerCore {
             program: program.clone(),
             kernel,
             has_task,
+            capsule_version: if has_task { Some(1) } else { None },
             latest_pv: None,
             computing: false,
             pending_output: None,
@@ -423,7 +427,12 @@ impl NodeBehavior for ControllerNode {
                         .apply_reconfig(promote, demote, ctx.now, ctx.label, ctx.trace);
                 }
             }
-            Message::FaultAlert { .. } | Message::FailSafe { .. } | Message::ActuateFwd { .. } => {}
+            // Capsule fragments are reassembled by the engine's transfer
+            // plane, not by the behavior layer.
+            Message::FaultAlert { .. }
+            | Message::FailSafe { .. }
+            | Message::ActuateFwd { .. }
+            | Message::CapsuleChunk { .. } => {}
         }
     }
 

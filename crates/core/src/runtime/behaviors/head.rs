@@ -129,7 +129,10 @@ impl NodeBehavior for HeadNode {
             Message::FaultAlert { suspect, observer } => {
                 ctx.effects.push(Effect::Alert { suspect, observer });
             }
-            Message::Reconfig { .. } | Message::FailSafe { .. } | Message::ActuateFwd { .. } => {}
+            Message::Reconfig { .. }
+            | Message::FailSafe { .. }
+            | Message::ActuateFwd { .. }
+            | Message::CapsuleChunk { .. } => {}
         }
     }
 

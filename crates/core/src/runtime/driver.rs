@@ -228,6 +228,13 @@ pub struct Engine {
     /// The reconfiguration plane: liveness ledger, committed/staged
     /// epochs, reroute timestamps (see [`super::reconfig`]).
     pub(super) reconfig: ReconfigState,
+    /// The authoritative capsule per VC (what a live migration ships),
+    /// indexed by `VcId`. Version bumps happen at migration start.
+    pub(super) capsules: Vec<crate::bytecode::Capsule>,
+    /// The in-flight capsule transfer, if any (see [`super::xfer`]).
+    pub(super) xfer: Option<crate::runtime::xfer::ActiveTransfer>,
+    /// Completed capsule migrations, in completion order.
+    pub(super) migrations: Vec<crate::metrics::MigrationRecord>,
 }
 
 impl Engine {
@@ -484,6 +491,7 @@ impl Engine {
             vc_stats: self.vc_stats,
             epochs: self.reconfig.epoch,
             reroute_latency: self.reconfig.reroute_latency,
+            migrations: self.migrations,
         }
     }
 
@@ -575,6 +583,12 @@ impl Engine {
             Ev::Slot => self.on_slot(),
             Ev::Sample => self.on_sample(),
             Ev::Deliver { to, from, msg } => {
+                // Capsule fragments belong to the engine's transfer
+                // plane, not the behavior layer: consume them here.
+                if let Message::CapsuleChunk { vc, seq, .. } = msg {
+                    self.on_chunk_delivered(to, from, vc, seq);
+                    return;
+                }
                 // The forwarding capability sits beside the behavior:
                 // any node with routed relay jobs captures matching
                 // frames for its scheduled forwarding slots, *and* still
@@ -668,6 +682,10 @@ impl Engine {
                         .and_then(|c| c.take(job as usize)),
                     None => None,
                 },
+                // Dedicated transfer slots transmit from the engine's
+                // transfer plane; idle (no migration in flight) they stay
+                // silent — never keepalive-filled.
+                Some(FlowKind::Transfer { vc }) => self.take_transfer_chunk(vc, owner),
                 Some(k) => self
                     .dispatch(owner, |n, ctx| n.take_outgoing(k, ctx))
                     .flatten(),

@@ -159,12 +159,24 @@ impl Engine {
         if warm {
             self.commit_failover(target, suspect);
         } else {
-            // Cold standby: migrate the task image first.
-            let plan = MigrationPlan::new(
+            // Cold standby: migrate the task image first. A bad slot
+            // budget is a configuration error to surface in the trace,
+            // not a reason to abort the run mid-flight.
+            let plan = match MigrationPlan::try_new(
                 &evm_rtos::TaskImage::typical_control_task(),
                 1,
                 self.rtlink.config().cycle_duration(),
-            );
+            ) {
+                Ok(plan) => plan,
+                Err(e) => {
+                    self.trace
+                        .log(self.now, "migration", format!("failed: {e}"));
+                    if let Some(plane) = self.registry.head_plane_mut(head) {
+                        plane.decision_pending = false;
+                    }
+                    return;
+                }
+            };
             let outcome = execute_migration(&plan, self.scenario.extra_loss, 100, &mut self.rng);
             match outcome {
                 Ok(out) => {

@@ -75,6 +75,20 @@ pub enum Message {
         /// PV timestamp carried through for latency accounting.
         pv_sampled_at: SimTime,
     },
+    /// One fragment of a capsule image in flight over the epoch's
+    /// dedicated transfer slots (live task migration). The receiver
+    /// reassembles fragments in `seq` order and attests the capsule only
+    /// once all `total` fragments verified.
+    CapsuleChunk {
+        /// The Virtual Component whose capsule is migrating.
+        vc: VcId,
+        /// Fragment index, `0..total`.
+        seq: u16,
+        /// Total fragments of this image.
+        total: u16,
+        /// Payload bytes carried by this fragment.
+        len: u8,
+    },
 }
 
 impl Message {
@@ -90,6 +104,8 @@ impl Message {
             Message::Heartbeat { .. } => 4,
             Message::FailSafe { .. } => 9,
             Message::ActuateFwd { .. } => 14,
+            // Fragment header (seq, total, len) + the carried image bytes.
+            Message::CapsuleChunk { len, .. } => 7 + *len as usize,
         }
     }
 }

@@ -21,6 +21,8 @@
 //! * [`registry`] — behaviors keyed by [`evm_netsim::NodeId`],
 //! * [`reconfig`] — the epoch-based reconfiguration plane (the
 //!   [`Reconfigurator`] pipeline plus the driver's liveness triggers),
+//! * `xfer` — the live capsule-transfer plane: chunked, acked capsule
+//!   shipment over the epoch's dedicated transfer slots,
 //! * `driver` — the deterministic slot-pipeline [`Engine`].
 
 pub mod behavior;
@@ -33,6 +35,7 @@ pub mod registry;
 mod scenario;
 mod setup;
 pub mod topo;
+mod xfer;
 
 pub use crate::bytecode::Tier;
 pub use behavior::{Effect, NodeBehavior, NodeCtx, Timer};

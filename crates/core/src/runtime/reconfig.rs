@@ -126,10 +126,18 @@ impl Reconfigurator {
     /// from the channel's RNG stream — a reconfigured run stays exactly
     /// reproducible.
     ///
+    /// With `transfer_slots > 0`, every VC whose (surviving) primary
+    /// controller has at least one surviving peer additionally gets that
+    /// many dedicated [`FlowKind::Transfer`] slots appended after the
+    /// control pipeline — the bulk lane a live capsule migration ships
+    /// its fragments over. `transfer_slots == 0` reproduces the previous
+    /// schedules byte for byte.
+    ///
     /// # Errors
     ///
     /// [`ReconfigError`] when a flow cannot be routed over the surviving
-    /// connectivity or the routed set cannot be scheduled.
+    /// connectivity or the routed set (plus any transfer reservation)
+    /// cannot be scheduled.
     pub fn compute(
         seq: u64,
         topology: &Topology,
@@ -137,23 +145,55 @@ impl Reconfigurator {
         vcs: &VcMap,
         rtlink: &RtLinkConfig,
         serial_schedule: bool,
+        transfer_slots: usize,
     ) -> Result<Epoch, ReconfigError> {
         let view = topology.without_nodes(down);
         let logical = prune_down_flows(synth_flows(vcs), down);
         let routed = route_flows(&view, &logical).map_err(ReconfigError::Unroutable)?;
         let flows: Vec<_> = routed.flows.iter().map(|(f, _)| f.clone()).collect();
-        let (schedule, placed) = if serial_schedule {
+        let (mut schedule, placed) = if serial_schedule {
             SlotSchedule::place_flows_serial(rtlink, &flows)
         } else {
             SlotSchedule::place_flows(rtlink, &view, &flows)
         }
         .map_err(ReconfigError::Unschedulable)?;
-        let flow_kinds = routed
+        let mut flow_kinds: HashMap<(usize, NodeId), FlowKind> = routed
             .flows
             .iter()
             .zip(&placed)
             .map(|((flow, kind), &slot)| ((slot, flow.src), *kind))
             .collect();
+        if transfer_slots > 0 {
+            for vc in 0..vcs.n_vcs() as VcId {
+                let roles = vcs.vc(vc);
+                // The transfer lane's owner is the VC's primary replica —
+                // the node holding the authoritative capsule state a
+                // migration ships. A down primary has nothing to ship.
+                let Some(&src) = roles.controllers.first() else {
+                    continue;
+                };
+                if down.contains(&src) {
+                    continue;
+                }
+                let mut listeners: Vec<NodeId> = roles
+                    .head
+                    .into_iter()
+                    .chain(roles.controllers.iter().copied())
+                    .filter(|&n| n != src && !down.contains(&n))
+                    .collect();
+                listeners.sort_unstable();
+                listeners.dedup();
+                if listeners.is_empty() {
+                    continue;
+                }
+                let reserved = schedule
+                    .reserve_transfer_slots(src, &listeners, transfer_slots)
+                    .map_err(ReconfigError::Unschedulable)?;
+                for slot in reserved {
+                    flow_kinds.insert((slot, src), FlowKind::Transfer { vc });
+                }
+            }
+        }
         Ok(Epoch {
             seq,
             schedule: schedule.with_epoch(seq),
@@ -387,6 +427,13 @@ impl Engine {
             "reconfig",
             format!("head {dead_label} lost; {new_label} re-elected head"),
         );
+        // With a transfer lane reserved, a head re-election doesn't just
+        // re-point roles — it *ships the capsule*: the primary serializes
+        // its versioned capsule plus interpreter state and streams it to
+        // the new head over the dedicated transfer slots (see
+        // `super::xfer`). Without transfer slots this is a no-op, which
+        // keeps the pre-migration goldens byte-identical.
+        self.start_capsule_transfer(vc, new_head);
     }
 
     /// Recomputes the epoch over the surviving topology and stages it for
@@ -403,6 +450,7 @@ impl Engine {
             &self.vcs,
             &self.scenario.rtlink,
             self.scenario.serial_schedule,
+            self.scenario.transfer_slots,
         ) {
             Ok(epoch) => {
                 self.trace.log(
@@ -520,7 +568,7 @@ mod tests {
     fn empty_down_set_reproduces_the_setup_epoch() {
         let (topology, vcs) = fig5_parts();
         let cfg = evm_mac::RtLinkConfig::default();
-        let epoch = Reconfigurator::compute(0, &topology, &[], &vcs, &cfg, false).unwrap();
+        let epoch = Reconfigurator::compute(0, &topology, &[], &vcs, &cfg, false, 0).unwrap();
         let routed = route_flows(&topology, &synth_flows(&vcs)).unwrap();
         assert_eq!(epoch.seq, 0);
         assert_eq!(epoch.flow_kinds.len(), routed.flows.len());
@@ -538,7 +586,8 @@ mod tests {
         // Fig. 5: Ctrl-A = node 2 is the primary — the PV publish's dst
         // and a ControlPublish source.
         let primary = vcs.vc(0).primary();
-        let epoch = Reconfigurator::compute(1, &topology, &[primary], &vcs, &cfg, false).unwrap();
+        let epoch =
+            Reconfigurator::compute(1, &topology, &[primary], &vcs, &cfg, false, 0).unwrap();
         assert_eq!(epoch.schedule.epoch(), 1);
         for (&(_, owner), kind) in &epoch.flow_kinds {
             assert_ne!(owner, primary, "dead node still owns a slot: {kind:?}");
@@ -559,6 +608,40 @@ mod tests {
         assert_eq!(outputs, 1);
     }
 
+    /// `transfer_slots > 0` appends a per-VC bulk lane after the control
+    /// pipeline: slots owned by the primary, tagged
+    /// [`FlowKind::Transfer`], listened to by the head and peers; with 0
+    /// the epoch is unchanged.
+    #[test]
+    fn transfer_slots_are_reserved_per_vc() {
+        let (topology, vcs) = fig5_parts();
+        let cfg = evm_mac::RtLinkConfig::default();
+        let plain = Reconfigurator::compute(0, &topology, &[], &vcs, &cfg, false, 0).unwrap();
+        let with_lane = Reconfigurator::compute(0, &topology, &[], &vcs, &cfg, false, 2).unwrap();
+        let transfers: Vec<_> = with_lane
+            .flow_kinds
+            .iter()
+            .filter(|(_, k)| matches!(k, FlowKind::Transfer { .. }))
+            .collect();
+        assert_eq!(transfers.len(), 2 * vcs.n_vcs(), "2 slots per VC");
+        let pipeline_end = plain.schedule.max_slot().unwrap();
+        let primary = vcs.vc(0).primary();
+        for (&(slot, owner), _) in &transfers {
+            assert!(slot > pipeline_end, "transfer lane follows the pipeline");
+            assert_eq!(owner, primary, "primary owns the lane (single VC)");
+            let asg = &with_lane.schedule.in_slot(slot)[0];
+            assert!(
+                asg.listeners.contains(&vcs.vc(0).head.unwrap()),
+                "head listens on the transfer lane"
+            );
+        }
+        // The control pipeline itself is untouched by the reservation.
+        assert_eq!(plain.flow_kinds.len() + 2, with_lane.flow_kinds.len());
+        for (key, kind) in &plain.flow_kinds {
+            assert_eq!(with_lane.flow_kinds.get(key), Some(kind));
+        }
+    }
+
     /// A down node nobody else can reach around fails recompute with a
     /// typed error instead of panicking (the driver then keeps the old
     /// epoch).
@@ -570,7 +653,7 @@ mod tests {
         let cfg = evm_mac::RtLinkConfig::default();
         // R1 (node 4) is the only bridge to the sensor: no backup chain.
         let err =
-            Reconfigurator::compute(1, &topology, &[NodeId(4)], &vcs, &cfg, false).unwrap_err();
+            Reconfigurator::compute(1, &topology, &[NodeId(4)], &vcs, &cfg, false, 0).unwrap_err();
         assert!(matches!(err, ReconfigError::Unroutable(_)), "{err}");
         assert!(format!("{err}").contains("unroutable"));
     }

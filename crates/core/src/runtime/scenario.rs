@@ -159,6 +159,28 @@ pub struct Scenario {
     /// Gaussian measurement noise added at the gateway's sensor reads
     /// (engineering units of the focus PV).
     pub sensor_noise_std: f64,
+    /// Dedicated capsule-transfer slots appended to each VC's epoch
+    /// schedule. 0 (the default) disables live capsule migration — the
+    /// schedule, RNG stream and every golden stay byte-identical. With
+    /// `n > 0` under [`ReroutePolicy::Heartbeat`], a head re-election
+    /// ships the active capsule + interpreter state to the new head over
+    /// these slots, chunk by chunk with per-frame ack/retransmit.
+    pub transfer_slots: usize,
+    /// Extra bytes padded onto every shipped capsule image (checkpoint
+    /// blobs, logs) — the sweepable image-size knob behind Fig. 6b's
+    /// size × slot-budget failover latency.
+    pub capsule_pad_bytes: usize,
+    /// Per-chunk retransmission budget of a live capsule transfer (the
+    /// initial transmission is free).
+    pub migration_max_retries: usize,
+    /// Fault-injection knob: the chunk with this sequence number arrives
+    /// corrupted (one bit flipped in flight) exactly once; the receiver
+    /// must drop it and the sender retransmit.
+    pub corrupt_transfer_chunk: Option<usize>,
+    /// Fault-injection knob: the sender's gas budget is tampered *after*
+    /// the digest is computed — arrival attestation must reject the
+    /// capsule.
+    pub tamper_gas_budget: bool,
     /// Node/link fault script.
     pub fault_plan: FaultPlan,
     /// Plant tags to sample into the result series.
@@ -207,6 +229,11 @@ impl Scenario {
             serial_schedule: false,
             extra_loss: 0.0,
             sensor_noise_std: 0.0,
+            transfer_slots: 0,
+            capsule_pad_bytes: 0,
+            migration_max_retries: 8,
+            corrupt_transfer_chunk: None,
+            tamper_gas_budget: false,
             fault_plan: FaultPlan::none(),
             sampled_tags: vec![
                 "LTS.LiquidPct".into(),
@@ -720,6 +747,48 @@ impl ScenarioBuilder {
     pub fn sensor_noise(mut self, std: f64) -> Self {
         assert!(std >= 0.0, "noise std must be non-negative");
         self.inner.sensor_noise_std = std;
+        self
+    }
+
+    /// Reserves `n` dedicated capsule-transfer slots per VC in every
+    /// epoch schedule, enabling live capsule migration on head
+    /// re-election (0 = disabled, the default).
+    #[must_use]
+    pub fn transfer_slots(mut self, n: usize) -> Self {
+        self.inner.transfer_slots = n;
+        self
+    }
+
+    /// Pads every shipped capsule image with `bytes` extra bytes — the
+    /// image-size axis of the failover-latency sweep.
+    #[must_use]
+    pub fn capsule_pad_bytes(mut self, bytes: usize) -> Self {
+        self.inner.capsule_pad_bytes = bytes;
+        self
+    }
+
+    /// Sets the per-chunk retransmission budget of live capsule
+    /// transfers.
+    #[must_use]
+    pub fn migration_max_retries(mut self, n: usize) -> Self {
+        self.inner.migration_max_retries = n;
+        self
+    }
+
+    /// Fault injection: corrupts chunk `seq` of the next live transfer
+    /// exactly once in flight (the receiver must drop it and the sender
+    /// retransmit).
+    #[must_use]
+    pub fn corrupt_transfer_chunk(mut self, seq: usize) -> Self {
+        self.inner.corrupt_transfer_chunk = Some(seq);
+        self
+    }
+
+    /// Fault injection: tampers the shipped capsule's gas budget after
+    /// its digest is advertised, so arrival attestation must reject it.
+    #[must_use]
+    pub fn tamper_gas_budget(mut self) -> Self {
+        self.inner.tamper_gas_budget = true;
         self
     }
 

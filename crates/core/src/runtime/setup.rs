@@ -15,7 +15,10 @@ use evm_netsim::{Channel, EnergyMeter, NodeId, RadioPowerModel};
 use evm_plant::{GasPlant, LocalController, RegisterMap};
 use evm_sim::{EventQueue, SimDuration, SimRng, SimTime, TimeSeries, Trace};
 
-use crate::bytecode::{compile_control_law, control_law_gas_budget, ControlLawSpec, Program};
+use crate::bytecode::{
+    compile_control_law, control_law_gas_budget, Capability, Capsule, CapsuleId, ControlLawSpec,
+    Program,
+};
 use crate::component::{MemberInfo, VirtualComponent};
 use crate::metrics::VcRunStats;
 use crate::roles::ControllerMode;
@@ -30,6 +33,7 @@ use crate::runtime::registry::NodeRegistry;
 use crate::runtime::scenario::SlotStepping;
 use crate::runtime::topo::VcId;
 use crate::runtime::Scenario;
+use crate::transfers::ObjectTransfer;
 
 /// Everything VC-specific the node loop below needs, prepared once per VC.
 struct VcPlan {
@@ -136,6 +140,7 @@ impl Engine {
             &vcs,
             &scenario.rtlink,
             scenario.serial_schedule,
+            scenario.transfer_slots,
         ) {
             Ok(epoch) => epoch,
             Err(ReconfigError::Unroutable(e)) => panic!("topology flows must route: {e}"),
@@ -360,7 +365,36 @@ impl Engine {
             if let Some(head) = roles.head {
                 components[roles.vc as usize].set_head(head);
             }
+            // Capsule-migration relationships: the primary may ship its
+            // capsule to any replica peer (head included). The transfer
+            // plane consults these records before starting a migration.
+            let primary = roles.primary();
+            for peer in roles.controllers.iter().copied().chain(roles.head) {
+                if peer != primary {
+                    components[roles.vc as usize].add_transfer(ObjectTransfer::Directional {
+                        from: primary,
+                        to: peer,
+                    });
+                }
+            }
         }
+
+        // The authoritative capsule each VC would ship on a live
+        // migration: the compiled law wrapped with its budget and the
+        // capabilities a computing replica needs, version 1 at boot.
+        let capsules: Vec<Capsule> = plans
+            .iter()
+            .enumerate()
+            .map(|(vc, p)| {
+                Capsule::new(
+                    CapsuleId(u32::try_from(vc).expect("vc fits u32")),
+                    1,
+                    p.program.clone(),
+                    p.gas,
+                    vec![Capability::ControllerRole, Capability::DataPlane],
+                )
+            })
+            .collect();
 
         let series = scenario
             .sampled_tags
@@ -432,6 +466,9 @@ impl Engine {
             vslot_seq: 0,
             vc_stats,
             reconfig: ReconfigState::default(),
+            capsules,
+            xfer: None,
+            migrations: Vec::new(),
             scenario,
         };
 

@@ -1117,6 +1117,14 @@ pub enum FlowKind {
         /// Index into the owner's forwarding-job list.
         job: u8,
     },
+    /// Dedicated capsule-transfer slot: the owner ships one fragment of a
+    /// migrating capsule image per cycle (live task migration over the
+    /// reconfiguration plane). Idle when no transfer is in flight — never
+    /// backfilled with keepalives.
+    Transfer {
+        /// The Virtual Component whose capsule may migrate here.
+        vc: VcId,
+    },
 }
 
 impl FlowKind {
@@ -1129,7 +1137,8 @@ impl FlowKind {
             | FlowKind::ControlPublish { vc }
             | FlowKind::ActuateForward { vc }
             | FlowKind::ControlPlane { vc }
-            | FlowKind::Relay { vc, .. } => vc,
+            | FlowKind::Relay { vc, .. }
+            | FlowKind::Transfer { vc } => vc,
         }
     }
 }

@@ -1,0 +1,357 @@
+//! The live capsule-transfer plane.
+//!
+//! When a head re-election fires under
+//! [`super::reconfig::ReroutePolicy::Heartbeat`] and the scenario
+//! reserved transfer slots, the VC's primary serializes its capsule plus
+//! the interpreter's resumable variable state into a
+//! [`CapsuleImage`], fragments it into
+//! [`Message::CapsuleChunk`] frames, and ships one fragment per
+//! dedicated [`crate::runtime::topo::FlowKind::Transfer`] slot with
+//! stop-and-wait acknowledgment and retransmission. When the final
+//! fragment verifies, the receiver runs the arrival gate
+//! ([`admit_arrival`]: attestation, version monotonicity, capability
+//! check), passes kernel admission if the task is not yet resident, and
+//! resumes the interpreter from the transferred variable file — so
+//! failover latency becomes a measured function of image size ×
+//! transfer-slot budget (the Fig. 6b axis).
+//!
+//! With `transfer_slots == 0` (the default) none of this code runs: no
+//! slots carry [`crate::runtime::topo::FlowKind::Transfer`], no frames
+//! are emitted, no RNG draws happen — every pre-existing golden stays
+//! byte-identical.
+
+use evm_netsim::NodeId;
+use evm_sim::SimTime;
+
+use crate::attest::{capsule_digest, AttestationKey};
+use crate::bytecode::{Capability, N_VARS};
+use crate::error::EvmError;
+use crate::metrics::MigrationRecord;
+use crate::migration::{admit_arrival, chunk_capacity, CapsuleImage};
+use crate::runtime::driver::Engine;
+use crate::runtime::topo::VcId;
+use crate::runtime::Message;
+
+/// One capsule shipment in flight: a stop-and-wait state machine over
+/// the epoch's transfer lane. Sender and receiver sides share this
+/// record (the engine owns both ends of the simulated link).
+#[derive(Debug)]
+pub(super) struct ActiveTransfer {
+    /// The migrating Virtual Component.
+    pub vc: VcId,
+    /// Shipping node (owns the transfer slots).
+    pub src: NodeId,
+    /// Receiving node (the newly elected head).
+    pub dst: NodeId,
+    /// The serialized capsule + interpreter state.
+    pub image: CapsuleImage,
+    /// Total fragments the image splits into.
+    pub total: usize,
+    /// Next fragment the receiver expects (== fragments verified).
+    pub next_chunk: usize,
+    /// The current fragment was transmitted and awaits its ack.
+    pub awaiting_ack: bool,
+    /// Retransmissions already spent on the current fragment.
+    pub retries_this_chunk: usize,
+    /// Frames put on the air so far, retransmissions included.
+    pub frames_sent: usize,
+    /// Retransmissions across the whole shipment.
+    pub retries: usize,
+    /// When the shipment started (for the failover-latency record).
+    pub started_at: SimTime,
+    /// Scripted one-shot in-flight corruption still pending (fragment
+    /// sequence number).
+    pub corrupt_pending: Option<usize>,
+}
+
+/// What a delivered fragment did to the transfer state machine.
+enum ChunkOutcome {
+    /// Not addressed to this transfer (overheard, stale, duplicate).
+    Ignore,
+    /// Scripted corruption consumed the fragment; no ack goes back.
+    Corrupted(usize),
+    /// Fragment verified but the ack was lost; the sender will re-send.
+    AckLost(usize),
+    /// Fragment verified and acked; more to come.
+    Advance,
+    /// The final fragment verified — run the arrival gate.
+    Complete,
+}
+
+impl Engine {
+    /// Starts a live capsule shipment for `vc` toward `dst` (the newly
+    /// elected head): validates the component's transfer relationships,
+    /// bumps the authoritative capsule version (receivers only accept
+    /// upgrades), snapshots the primary's interpreter state and computes
+    /// the advertised digest the receiver will attest against. A no-op
+    /// when the scenario reserved no transfer slots.
+    pub(super) fn start_capsule_transfer(&mut self, vc: VcId, dst: NodeId) {
+        if self.scenario.transfer_slots == 0 {
+            return;
+        }
+        if self.xfer.is_some() {
+            self.trace.log(
+                self.now,
+                "migrate",
+                "transfer lane busy; capsule migration skipped",
+            );
+            return;
+        }
+        let Some(&src) = self.vcs.vc(vc).controllers.first() else {
+            return;
+        };
+        if src == dst || !self.alive(src) {
+            return;
+        }
+        // The Virtual Component is *defined* by its object-transfer
+        // relationships: a shipment the records do not permit never
+        // starts.
+        let permitted = self.components[vc as usize]
+            .transfers()
+            .iter()
+            .any(|t| t.permits(src, dst, self.now, true));
+        let (src_label, dst_label) = (self.label_of(src), self.label_of(dst));
+        if !permitted {
+            self.trace.log(
+                self.now,
+                "migrate",
+                format!("no transfer relationship {src_label} -> {dst_label}; migration refused"),
+            );
+            return;
+        }
+        let Some(vars) = self.registry.controller(src).map(|c| c.snapshot_vars()) else {
+            return;
+        };
+        // Receivers only accept strict upgrades, so every shipment is a
+        // new version of the authoritative capsule.
+        self.capsules[vc as usize].version += 1;
+        let mut shipped = self.capsules[vc as usize].clone();
+        let advertised_digest = capsule_digest(&shipped, AttestationKey::for_vc(vc));
+        if self.scenario.tamper_gas_budget {
+            // Scripted attack: inflate the WCET budget *after* the digest
+            // was advertised — arrival attestation must catch this.
+            shipped.gas_budget = shipped.gas_budget.saturating_mul(16).max(1);
+        }
+        let image = CapsuleImage {
+            capsule: shipped,
+            vars: vars.to_vec(),
+            advertised_digest,
+            pad_bytes: self.scenario.capsule_pad_bytes,
+        };
+        let total = image.frames();
+        self.trace.log(
+            self.now,
+            "migrate",
+            format!(
+                "capsule v{} ({} B, {total} frames) {src_label} -> {dst_label}: transfer started",
+                image.capsule.version,
+                image.size_bytes(),
+            ),
+        );
+        self.xfer = Some(ActiveTransfer {
+            vc,
+            src,
+            dst,
+            image,
+            total,
+            next_chunk: 0,
+            awaiting_ack: false,
+            retries_this_chunk: 0,
+            frames_sent: 0,
+            retries: 0,
+            started_at: self.now,
+            corrupt_pending: self.scenario.corrupt_transfer_chunk,
+        });
+    }
+
+    /// What `owner` transmits in a [`FlowKind::Transfer`] slot for `vc`:
+    /// the current fragment of the in-flight shipment (a retransmission
+    /// if the previous copy went unacked), or nothing when the lane is
+    /// idle. A fragment that exhausts its retransmission budget abandons
+    /// the whole shipment with a [`EvmError::MigrationTimeout`] trace —
+    /// the budget is checked *before* booking another retry, so a
+    /// shipment with budget `n` sends each fragment at most `n + 1`
+    /// times.
+    ///
+    /// [`FlowKind::Transfer`]: crate::runtime::topo::FlowKind::Transfer
+    pub(super) fn take_transfer_chunk(&mut self, vc: VcId, owner: NodeId) -> Option<Message> {
+        let give_up = {
+            let xfer = self.xfer.as_mut()?;
+            if xfer.vc != vc || xfer.src != owner || xfer.next_chunk >= xfer.total {
+                return None;
+            }
+            if xfer.awaiting_ack {
+                if xfer.retries_this_chunk >= self.scenario.migration_max_retries {
+                    true
+                } else {
+                    xfer.retries_this_chunk += 1;
+                    xfer.retries += 1;
+                    false
+                }
+            } else {
+                false
+            }
+        };
+        if give_up {
+            let xfer = self.xfer.take().expect("transfer checked in flight");
+            let (src_label, dst_label) = (self.label_of(xfer.src), self.label_of(xfer.dst));
+            let err = EvmError::MigrationTimeout {
+                frames_remaining: xfer.total - xfer.next_chunk,
+                retries: xfer.retries,
+            };
+            self.trace.log(
+                self.now,
+                "migrate",
+                format!("transfer {src_label} -> {dst_label} abandoned: {err}"),
+            );
+            return None;
+        }
+        let xfer = self.xfer.as_mut().expect("transfer checked in flight");
+        let seq = xfer.next_chunk;
+        let len = (xfer.image.size_bytes() - seq * chunk_capacity()).min(chunk_capacity());
+        xfer.awaiting_ack = true;
+        xfer.frames_sent += 1;
+        Some(Message::CapsuleChunk {
+            vc,
+            seq: u16::try_from(seq).expect("fragment count fits u16"),
+            total: u16::try_from(xfer.total).expect("fragment count fits u16"),
+            len: u8::try_from(len).expect("chunk capacity fits u8"),
+        })
+    }
+
+    /// A [`Message::CapsuleChunk`] landed on `to`: advance the
+    /// stop-and-wait machine. Only the addressed receiver's copy of the
+    /// expected fragment counts — every other listener overhears and
+    /// drops it. The ack back to the sender crosses the same lossy
+    /// medium, so it is subject to the scenario's extra loss too; a lost
+    /// ack leaves the fragment unacknowledged and the sender re-sends it
+    /// (the receiver-side duplicate is then ignored by the `seq` check).
+    pub(super) fn on_chunk_delivered(&mut self, to: NodeId, from: NodeId, vc: VcId, seq: u16) {
+        let outcome = {
+            let Some(xfer) = self.xfer.as_mut() else {
+                return;
+            };
+            let seq = usize::from(seq);
+            if xfer.vc != vc || xfer.src != from || xfer.dst != to || seq != xfer.next_chunk {
+                ChunkOutcome::Ignore
+            } else if xfer.corrupt_pending == Some(seq) {
+                xfer.corrupt_pending = None;
+                ChunkOutcome::Corrupted(seq)
+            } else if self.rng.chance(self.scenario.extra_loss) {
+                ChunkOutcome::AckLost(seq)
+            } else {
+                xfer.next_chunk += 1;
+                xfer.awaiting_ack = false;
+                xfer.retries_this_chunk = 0;
+                if xfer.next_chunk == xfer.total {
+                    ChunkOutcome::Complete
+                } else {
+                    ChunkOutcome::Advance
+                }
+            }
+        };
+        match outcome {
+            ChunkOutcome::Ignore | ChunkOutcome::Advance => {}
+            ChunkOutcome::Corrupted(seq) => {
+                // The fragment CRC fails on a corrupted copy, so the
+                // receiver drops it without acking — the sender's
+                // retransmission, not this copy, gets activated.
+                let dst_label = self.label_of(to);
+                self.trace.log(
+                    self.now,
+                    "migrate",
+                    format!("chunk {seq} corrupted in flight; {dst_label} dropped it unacked"),
+                );
+            }
+            ChunkOutcome::AckLost(seq) => {
+                self.trace.log(
+                    self.now,
+                    "migrate",
+                    format!("chunk {seq} ack lost; sender will retransmit"),
+                );
+            }
+            ChunkOutcome::Complete => self.finish_transfer(),
+        }
+    }
+
+    /// All fragments verified: run the arrival gate (attestation →
+    /// version monotonicity → capability check), then kernel admission
+    /// for hosts without the resident task, then resume the interpreter
+    /// from the transferred variable file. A rejection at any gate
+    /// leaves the receiver's resident state untouched.
+    fn finish_transfer(&mut self) {
+        let xfer = self.xfer.take().expect("transfer just completed");
+        let resident = self
+            .registry
+            .controller(xfer.dst)
+            .and_then(|c| c.capsule_version);
+        // What a replica host provides: it computes the law and publishes
+        // on the data plane.
+        let host_caps = [Capability::ControllerRole, Capability::DataPlane];
+        let dst_label = self.label_of(xfer.dst);
+        if let Err(e) = admit_arrival(
+            &xfer.image.capsule,
+            xfer.image.advertised_digest,
+            resident,
+            &host_caps,
+            xfer.dst,
+            AttestationKey::for_vc(xfer.vc),
+        ) {
+            self.trace.log(
+                self.now,
+                "migrate",
+                format!(
+                    "{dst_label} rejected capsule v{}: {e}",
+                    xfer.image.capsule.version
+                ),
+            );
+            return;
+        }
+        let Some(core) = self.registry.controller_mut(xfer.dst) else {
+            self.trace.log(
+                self.now,
+                "migrate",
+                format!("{dst_label} hosts no replica core; capsule dropped"),
+            );
+            return;
+        };
+        if !core.has_task && !core.admit_focus_task() {
+            self.trace.log(
+                self.now,
+                "migrate",
+                format!("{dst_label} kernel refused the migrated task (admission)"),
+            );
+            return;
+        }
+        let mut vars = [0.0f64; N_VARS];
+        for (slot, v) in vars.iter_mut().zip(&xfer.image.vars) {
+            *slot = *v;
+        }
+        core.restore_vars(vars);
+        core.capsule_version = Some(xfer.image.capsule.version);
+        let latency = self.now.saturating_since(xfer.started_at);
+        self.trace.log(
+            self.now,
+            "migrate",
+            format!(
+                "capsule v{} attested and activated on {dst_label} \
+                 ({} B in {} frames, {} retries, {:.3} s)",
+                xfer.image.capsule.version,
+                xfer.image.size_bytes(),
+                xfer.frames_sent,
+                xfer.retries,
+                latency.as_secs_f64(),
+            ),
+        );
+        self.migrations.push(MigrationRecord {
+            vc: xfer.vc,
+            from: xfer.src,
+            to: xfer.dst,
+            image_bytes: xfer.image.size_bytes(),
+            frames: xfer.total,
+            frames_sent: xfer.frames_sent,
+            retries: xfer.retries,
+            latency,
+        });
+    }
+}

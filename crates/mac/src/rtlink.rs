@@ -232,6 +232,42 @@ impl SlotSchedule {
         self.slots.keys().copied().max()
     }
 
+    /// Appends `n` dedicated transfer slots immediately after the last
+    /// placed slot, all owned by `owner` with `listeners` receiving.
+    /// Transfer slots carry bulk capsule/object fragments (live task
+    /// migration) and are deliberately placed *after* the control
+    /// pipeline, so a migration in progress never delays the
+    /// sense→compute→actuate chain. Returns the reserved slot indices in
+    /// ascending order. Calling again (e.g. for another Virtual
+    /// Component) appends after the previous reservation.
+    ///
+    /// # Errors
+    ///
+    /// [`ScheduleError::OutOfSlots`] if the cycle runs out of slots; the
+    /// reported index is the reservation (0-based) that did not fit.
+    pub fn reserve_transfer_slots(
+        &mut self,
+        owner: NodeId,
+        listeners: &[NodeId],
+        n: usize,
+    ) -> Result<Vec<usize>, ScheduleError> {
+        let first = self.max_slot().unwrap_or(0) + 1;
+        let mut reserved = Vec::with_capacity(n);
+        for i in 0..n {
+            let slot = first + i;
+            if slot >= self.slots_per_cycle {
+                return Err(ScheduleError::OutOfSlots { flow: i });
+            }
+            self.assign(SlotAssignment {
+                slot,
+                owner,
+                listeners: listeners.to_vec(),
+            });
+            reserved.push(slot);
+        }
+        Ok(reserved)
+    }
+
     /// The slots in which `node` transmits.
     #[must_use]
     pub fn owned_slots(&self, node: NodeId) -> Vec<usize> {
@@ -741,6 +777,47 @@ mod tests {
         let bad = vec![Flow::new(NodeId(1), NodeId(2)).after(0)];
         let err = SlotSchedule::place_flows_serial(&cfg, &bad).unwrap_err();
         assert_eq!(err, ScheduleError::BadPrecedence { flow: 0 });
+    }
+
+    #[test]
+    fn transfer_slots_append_after_pipeline() {
+        let topo = star_topology();
+        let cfg = RtLinkConfig::default();
+        let flows = vec![
+            Flow::new(NodeId(1), NodeId::GATEWAY),
+            Flow::new(NodeId(2), NodeId::GATEWAY).after(0),
+        ];
+        let (mut schedule, placed) = SlotSchedule::place_flows(&cfg, &topo, &flows).unwrap();
+        let pipeline_end = *placed.iter().max().unwrap();
+        let reserved = schedule
+            .reserve_transfer_slots(NodeId(1), &[NodeId(2), NodeId(3)], 3)
+            .unwrap();
+        assert_eq!(reserved.len(), 3);
+        assert!(reserved[0] > pipeline_end, "transfers follow the pipeline");
+        assert_eq!(reserved[2], reserved[0] + 2, "contiguous reservation");
+        for &s in &reserved {
+            assert_eq!(schedule.in_slot(s)[0].owner, NodeId(1));
+            assert!(schedule.in_slot(s)[0].listeners.contains(&NodeId(3)));
+        }
+        // A second reservation (another VC) appends after the first.
+        let more = schedule
+            .reserve_transfer_slots(NodeId(2), &[NodeId(1)], 1)
+            .unwrap();
+        assert_eq!(more, vec![reserved[2] + 1]);
+    }
+
+    #[test]
+    fn transfer_reservation_reports_overflow() {
+        let mut schedule = SlotSchedule::new(4);
+        schedule.assign(SlotAssignment {
+            slot: 2,
+            owner: NodeId(1),
+            listeners: vec![NodeId(2)],
+        });
+        let err = schedule
+            .reserve_transfer_slots(NodeId(1), &[NodeId(2)], 2)
+            .unwrap_err();
+        assert_eq!(err, ScheduleError::OutOfSlots { flow: 1 });
     }
 
     #[test]

@@ -169,6 +169,12 @@ pub struct CellConfig {
     pub tier: Tier,
     /// Slot-advancement strategy of the cell's engine.
     pub stepping: SlotStepping,
+    /// Synthetic padding (bytes) appended to the migrated capsule image —
+    /// the Fig. 6(b) image-size axis.
+    pub capsule_pad: usize,
+    /// Per-cycle transfer-slot budget of the capsule-migration lane
+    /// (0 disables migration).
+    pub transfer_slots: usize,
     /// Seed-replicate index within the config point.
     pub rep: u32,
     /// The derived per-cell RNG seed.
@@ -210,8 +216,20 @@ impl CellConfig {
         } else {
             format!("|{}", self.stepping.label())
         };
+        // Migration suffixes appear only off the disabled defaults, so
+        // pre-migration grids (and their goldens) render unchanged.
+        let cap = if self.capsule_pad == 0 {
+            String::new()
+        } else {
+            format!("|cap{}", self.capsule_pad)
+        };
+        let xfer = if self.transfer_slots == 0 {
+            String::new()
+        } else {
+            format!("|xfer{}", self.transfer_slots)
+        };
         format!(
-            "{}v{}|loss{}|{}|det{}x{}{topo}{reroute}{tier}{stepping}",
+            "{}v{}|loss{}|{}|det{}x{}{topo}{reroute}{tier}{stepping}{cap}{xfer}",
             self.star.label(),
             self.vcs,
             self.loss,
@@ -249,6 +267,8 @@ pub struct SweepGrid {
     reroute: Option<Vec<ReroutePolicy>>,
     tier: Option<Vec<Tier>>,
     stepping: Option<Vec<SlotStepping>>,
+    capsule_pad: Option<Vec<usize>>,
+    transfer_slots: Option<Vec<usize>>,
     seeds_per_cell: u32,
     base_seed: u64,
     radius_m: f64,
@@ -272,6 +292,8 @@ impl SweepGrid {
             reroute: None,
             tier: None,
             stepping: None,
+            capsule_pad: None,
+            transfer_slots: None,
             seeds_per_cell: 1,
             base_seed,
             radius_m: 15.0,
@@ -386,6 +408,26 @@ impl SweepGrid {
         self
     }
 
+    /// Sweeps the synthetic padding appended to the migrated capsule
+    /// image — the Fig. 6(b) image-size axis. Pads only matter in cells
+    /// whose transfer lane is enabled and whose script triggers a
+    /// migration.
+    #[must_use]
+    pub fn over_capsule_size(mut self, pads: &[usize]) -> Self {
+        assert!(!pads.is_empty(), "empty axis");
+        self.capsule_pad = Some(pads.to_vec());
+        self
+    }
+
+    /// Sweeps the per-cycle transfer-slot budget of the capsule-migration
+    /// lane (0 keeps migration disabled — the historical default).
+    #[must_use]
+    pub fn over_transfer_slots(mut self, budgets: &[usize]) -> Self {
+        assert!(!budgets.is_empty(), "empty axis");
+        self.transfer_slots = Some(budgets.to_vec());
+        self
+    }
+
     /// Number of seed replicates per config point (≥ 1).
     #[must_use]
     pub fn seeds_per_cell(mut self, n: u32) -> Self {
@@ -433,6 +475,8 @@ impl SweepGrid {
             * ax(self.reroute.as_ref().map(Vec::len))
             * ax(self.tier.as_ref().map(Vec::len))
             * ax(self.stepping.as_ref().map(Vec::len))
+            * ax(self.capsule_pad.as_ref().map(Vec::len))
+            * ax(self.transfer_slots.as_ref().map(Vec::len))
             * self.seeds_per_cell as usize
     }
 
@@ -444,8 +488,8 @@ impl SweepGrid {
 
     /// Expands the cartesian product into the work-list, in a fixed axis
     /// order (topology → vcs → stars → loss → burst → detection →
-    /// reroute → tier → stepping → replicate). Cell ids and seeds
-    /// depend only on the grid definition.
+    /// reroute → tier → stepping → capsule size → transfer slots →
+    /// replicate). Cell ids and seeds depend only on the grid definition.
     ///
     /// Every cell's topology is validated here, so a malformed template
     /// fails fast at grid definition (with the cell id and the typed
@@ -507,6 +551,14 @@ impl SweepGrid {
             .stepping
             .clone()
             .unwrap_or_else(|| vec![self.template.stepping]);
+        let pads = self
+            .capsule_pad
+            .clone()
+            .unwrap_or_else(|| vec![self.template.capsule_pad_bytes]);
+        let budgets = self
+            .transfer_slots
+            .clone()
+            .unwrap_or_else(|| vec![self.template.transfer_slots]);
 
         let template_shape = StarShape::of_spec(&self.template.topology);
         let template_vcs = self.template.n_vcs();
@@ -520,56 +572,68 @@ impl SweepGrid {
                                 for &reroute in &reroutes {
                                     for &tier in &tiers {
                                         for &stepping in &steppings {
-                                            for rep in 0..self.seeds_per_cell {
-                                                let id = cells.len();
-                                                let seed = derive_seed(self.base_seed, id as u64);
-                                                let mut scenario = self.template.clone();
-                                                // Any varied topology axis rebuilds
-                                                // the topology (a vcs value also
-                                                // re-derives the hosting manifest).
-                                                if topo.is_some() || vcs.is_some() || star.is_some()
-                                                {
-                                                    let s = star.unwrap_or(template_shape);
-                                                    let n = vcs.unwrap_or(template_vcs);
-                                                    scenario.topology = build_topology(
-                                                        id,
-                                                        topo.unwrap_or(Layout::Star),
-                                                        n,
-                                                        s,
-                                                        self.radius_m,
-                                                        self.backup_relays,
-                                                    );
-                                                    scenario.host_vcs(n);
+                                            for &pad in &pads {
+                                                for &budget in &budgets {
+                                                    for rep in 0..self.seeds_per_cell {
+                                                        let id = cells.len();
+                                                        let seed =
+                                                            derive_seed(self.base_seed, id as u64);
+                                                        let mut scenario = self.template.clone();
+                                                        // Any varied topology axis rebuilds
+                                                        // the topology (a vcs value also
+                                                        // re-derives the hosting manifest).
+                                                        if topo.is_some()
+                                                            || vcs.is_some()
+                                                            || star.is_some()
+                                                        {
+                                                            let s = star.unwrap_or(template_shape);
+                                                            let n = vcs.unwrap_or(template_vcs);
+                                                            scenario.topology = build_topology(
+                                                                id,
+                                                                topo.unwrap_or(Layout::Star),
+                                                                n,
+                                                                s,
+                                                                self.radius_m,
+                                                                self.backup_relays,
+                                                            );
+                                                            scenario.host_vcs(n);
+                                                        }
+                                                        scenario.extra_loss = loss;
+                                                        if let Some(b) = burst {
+                                                            scenario.channel.burst = b.to_process();
+                                                        }
+                                                        scenario.detect_threshold = threshold;
+                                                        scenario.detect_consecutive = consecutive;
+                                                        scenario.reroute = reroute;
+                                                        scenario.tier = tier;
+                                                        scenario.stepping = stepping;
+                                                        scenario.capsule_pad_bytes = pad;
+                                                        scenario.transfer_slots = budget;
+                                                        scenario.seed = seed;
+                                                        validate_cell(id, &scenario);
+                                                        cells.push(SweepCell {
+                                                            id,
+                                                            config: CellConfig {
+                                                                topo: topo.unwrap_or(Layout::Star),
+                                                                vcs: vcs.unwrap_or(template_vcs),
+                                                                star: star
+                                                                    .unwrap_or(template_shape),
+                                                                loss,
+                                                                burst: *burst,
+                                                                detect_threshold: threshold,
+                                                                detect_consecutive: consecutive,
+                                                                reroute,
+                                                                tier,
+                                                                stepping,
+                                                                capsule_pad: pad,
+                                                                transfer_slots: budget,
+                                                                rep,
+                                                                seed,
+                                                            },
+                                                            scenario,
+                                                        });
+                                                    }
                                                 }
-                                                scenario.extra_loss = loss;
-                                                if let Some(b) = burst {
-                                                    scenario.channel.burst = b.to_process();
-                                                }
-                                                scenario.detect_threshold = threshold;
-                                                scenario.detect_consecutive = consecutive;
-                                                scenario.reroute = reroute;
-                                                scenario.tier = tier;
-                                                scenario.stepping = stepping;
-                                                scenario.seed = seed;
-                                                validate_cell(id, &scenario);
-                                                cells.push(SweepCell {
-                                                    id,
-                                                    config: CellConfig {
-                                                        topo: topo.unwrap_or(Layout::Star),
-                                                        vcs: vcs.unwrap_or(template_vcs),
-                                                        star: star.unwrap_or(template_shape),
-                                                        loss,
-                                                        burst: *burst,
-                                                        detect_threshold: threshold,
-                                                        detect_consecutive: consecutive,
-                                                        reroute,
-                                                        tier,
-                                                        stepping,
-                                                        rep,
-                                                        seed,
-                                                    },
-                                                    scenario,
-                                                });
                                             }
                                         }
                                     }
@@ -604,12 +668,40 @@ fn validate_cell(id: usize, scenario: &Scenario) {
         };
     let flows: Vec<_> = routed.flows.into_iter().map(|(f, _)| f).collect();
     let placed = if scenario.serial_schedule {
-        evm_mac::rtlink::SlotSchedule::place_flows_serial(&scenario.rtlink, &flows).map(|_| ())
+        evm_mac::rtlink::SlotSchedule::place_flows_serial(&scenario.rtlink, &flows)
     } else {
-        evm_mac::rtlink::SlotSchedule::place_flows(&scenario.rtlink, &topology, &flows).map(|_| ())
+        evm_mac::rtlink::SlotSchedule::place_flows(&scenario.rtlink, &topology, &flows)
     };
-    if let Err(e) = placed {
-        panic!("sweep cell {id} cannot schedule its flows: {e}");
+    let mut schedule = match placed {
+        Ok((s, _order)) => s,
+        Err(e) => panic!("sweep cell {id} cannot schedule its flows: {e}"),
+    };
+    // The migration lane reserves its slots after the pipeline at engine
+    // setup; mirror that reservation so an overflowing budget fails here
+    // with the cell id, not inside a worker.
+    if scenario.transfer_slots > 0 {
+        for vc in 0..map.n_vcs() {
+            let roles = map.vc(vc as evm_core::runtime::VcId);
+            let Some(&src) = roles.controllers.first() else {
+                continue;
+            };
+            let mut listeners: Vec<_> = roles
+                .head
+                .into_iter()
+                .chain(roles.controllers.iter().copied())
+                .filter(|&n| n != src)
+                .collect();
+            listeners.sort_unstable();
+            listeners.dedup();
+            if listeners.is_empty() {
+                continue;
+            }
+            if let Err(e) =
+                schedule.reserve_transfer_slots(src, &listeners, scenario.transfer_slots)
+            {
+                panic!("sweep cell {id} cannot reserve its transfer slots: {e}");
+            }
+        }
     }
 }
 
@@ -970,6 +1062,49 @@ mod tests {
         // Without the axis, cells inherit the template stepping.
         let bare = SweepGrid::new(short_template()).expand();
         assert_eq!(bare[0].config.stepping, SlotStepping::EventDriven);
+    }
+
+    /// The migration axes rewrite the capsule-pad and transfer-slot
+    /// knobs per cell; disabled cells (pad 0, budget 0 — the historical
+    /// defaults) keep their keys, so migration sweeps never move
+    /// pre-existing goldens.
+    #[test]
+    fn migration_axes_rewrite_knobs_and_suffix_keys() {
+        let cells = SweepGrid::new(short_template())
+            .over_capsule_size(&[0, 256])
+            .over_transfer_slots(&[0, 2])
+            .seeds_per_cell(2)
+            .expand();
+        assert_eq!(cells.len(), 8);
+        // Axis order: capsule size is outer, transfer slots inner.
+        assert_eq!(cells[0].scenario.capsule_pad_bytes, 0);
+        assert_eq!(cells[0].scenario.transfer_slots, 0);
+        assert_eq!(cells[2].scenario.transfer_slots, 2);
+        assert_eq!(cells[4].scenario.capsule_pad_bytes, 256);
+        // Defaults keep the historical key; off-default cells grow
+        // |cap{n} / |xfer{n} suffixes.
+        assert!(!cells[0].config.key().contains("cap"));
+        assert!(!cells[0].config.key().contains("xfer"));
+        assert!(cells[2].config.key().ends_with("|xfer2"));
+        assert!(cells[4].config.key().ends_with("|cap256"));
+        assert!(cells[6].config.key().ends_with("|cap256|xfer2"));
+        // Replicates pool within a config point, never across.
+        assert_eq!(cells[0].config.key(), cells[1].config.key());
+        assert_ne!(cells[1].config.key(), cells[2].config.key());
+        // Without the axes, cells inherit the (disabled) template knobs.
+        let bare = SweepGrid::new(short_template()).expand();
+        assert_eq!(bare[0].config.capsule_pad, 0);
+        assert_eq!(bare[0].config.transfer_slots, 0);
+    }
+
+    /// A transfer budget that cannot fit after the pipeline fails at
+    /// expansion with the cell id, mirroring engine setup.
+    #[test]
+    #[should_panic(expected = "sweep cell 0 cannot reserve its transfer slots")]
+    fn overflowing_transfer_budget_rejected_at_expansion() {
+        let _ = SweepGrid::new(short_template())
+            .over_transfer_slots(&[500])
+            .expand();
     }
 
     /// Rebuilt multi-hop cells keep their redundancy when the grid asks

@@ -122,6 +122,32 @@ fn main() {
                 .seeds_per_cell(2),
                 "sweep_smoke_headkill",
             ),
+            // Capsule-migration smoke: the head-kill with the transfer
+            // lane enabled, swept over image size × slot budget — the
+            // Fig. 6(b) axes. Every cell must complete one attested
+            // migration, and the measured transfer latency must scale
+            // with image size and shrink with slot budget (asserted
+            // below); the records land in the report artifacts.
+            (
+                SweepGrid::new(
+                    ScenarioBuilder::star()
+                        .line(2)
+                        .sensors(1)
+                        .controllers(3)
+                        .actuators(1)
+                        .head(true)
+                        .backup_relays(1)
+                        .reroute(ReroutePolicy::Heartbeat)
+                        .crash_node_at(NodeId(6), SimTime::from_secs(10))
+                        .reconfig_epoch(SimDuration::ZERO)
+                        .duration(SimDuration::from_secs(60))
+                        .build(),
+                )
+                .over_capsule_size(&[0, 512])
+                .over_transfer_slots(&[1, 2])
+                .seeds_per_cell(2),
+                "sweep_smoke_migration",
+            ),
         ]
     } else {
         // The statistics grid: 2 topologies × 3 loss × 2 detection × 8
@@ -186,6 +212,41 @@ fn main() {
                 "tier sweep report depends on thread count"
             );
             println!("tier rows metric-identical; serial/parallel reports byte-identical");
+        }
+
+        if stem == "sweep_smoke_migration" {
+            // Every heartbeat head-kill cell ships exactly one capsule,
+            // and the measured latency is a function of image size ×
+            // slot budget: bigger images cost more, wider lanes cost
+            // less.
+            let mean_latency = |pad: usize, slots: usize| -> f64 {
+                let runs: Vec<f64> = cells
+                    .iter()
+                    .zip(&results)
+                    .filter(|(c, _)| {
+                        c.config.capsule_pad == pad && c.config.transfer_slots == slots
+                    })
+                    .map(|(c, r)| {
+                        assert_eq!(
+                            r.migrations.len(),
+                            1,
+                            "cell {} completed no migration",
+                            c.id
+                        );
+                        r.migrations[0].latency.as_secs_f64()
+                    })
+                    .collect();
+                assert!(!runs.is_empty(), "no cells at cap{pad}/xfer{slots}");
+                runs.iter().sum::<f64>() / runs.len() as f64
+            };
+            let (small, big) = (mean_latency(0, 1), mean_latency(512, 1));
+            let wide = mean_latency(512, 2);
+            assert!(big > small, "512 B image not slower: {big} vs {small}");
+            assert!(wide < big, "2 slots not faster: {wide} vs {big}");
+            println!(
+                "migration latency: {small:.3} s (0 B x1) -> {big:.3} s (512 B x1) \
+                 -> {wide:.3} s (512 B x2)"
+            );
         }
 
         let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("target/paper_results");

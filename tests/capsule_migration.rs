@@ -1,0 +1,171 @@
+//! Cross-crate integration: live capsule migration over the
+//! reconfiguration plane.
+//!
+//! Pins the tentpole claims of the migration PR:
+//!
+//! 1. **Attested arrival** — a head re-election under
+//!    `ReroutePolicy::Heartbeat` ships the primary's capsule image over
+//!    scheduled transfer slots; the new host attests the digest, checks
+//!    version monotonicity and capabilities, and resumes the interpreter
+//!    from the transferred variable state.
+//! 2. **Retransmission** — a corrupted chunk is dropped unacked by the
+//!    receiver and retransmitted by the stop-and-wait sender; the
+//!    migration still completes, with `frames_sent > frames`.
+//! 3. **Tamper rejection** — a capsule whose gas budget was inflated
+//!    after digest computation is rejected at attestation and never
+//!    activates.
+//! 4. **Default-off** — with `transfer_slots = 0` (the default) nothing
+//!    migrates and every physical observable is byte-identical to the
+//!    pre-migration engine.
+
+use evm::core::runtime::{Engine, ReroutePolicy, Scenario, ScenarioBuilder};
+use evm::netsim::NodeId;
+use evm::prelude::*;
+
+/// Head-kill scenario: GW=0, S1=1, Ctrl-A=2, Ctrl-B=3, Ctrl-C=4, A1=5,
+/// Head=6, R1=7, RB1=8. Killing the head under Heartbeat re-elects
+/// Ctrl-B, which triggers the capsule transfer Ctrl-A -> Ctrl-B.
+fn head_kill() -> ScenarioBuilder {
+    ScenarioBuilder::star()
+        .line(2)
+        .sensors(1)
+        .controllers(3)
+        .actuators(1)
+        .head(true)
+        .backup_relays(1)
+        .reroute(ReroutePolicy::Heartbeat)
+        .crash_node_at(NodeId(6), SimTime::from_secs(30))
+        .reconfig_epoch(SimDuration::ZERO)
+        .duration(SimDuration::from_secs(120))
+}
+
+#[test]
+fn head_reelection_migrates_the_capsule_and_attests_on_arrival() {
+    let s = head_kill().transfer_slots(2).build();
+    assert_eq!(s.topology.nodes[6].label, "Head");
+    let r = Engine::new(s).run();
+
+    // The re-election happened and triggered exactly one migration.
+    r.event_time("re-elected head").expect("re-election");
+    let started = r.event_time("transfer started").expect("transfer starts");
+    let activated = r
+        .event_time("attested and activated")
+        .expect("attested arrival");
+    assert!(activated > started);
+    assert_eq!(r.migrations.len(), 1, "exactly one migration record");
+
+    let m = &r.migrations[0];
+    assert_eq!(m.vc, 0);
+    assert_eq!(m.from, NodeId(2), "shipped from the primary (Ctrl-A)");
+    assert_eq!(m.to, NodeId(3), "to the re-elected head (Ctrl-B)");
+    assert!(m.image_bytes > 0);
+    assert!(m.frames >= 1);
+    assert_eq!(
+        m.frames_sent, m.frames,
+        "lossless default: no retransmissions"
+    );
+    assert_eq!(m.retries, 0);
+    assert!(m.latency > SimDuration::ZERO);
+    // Stop-and-wait over n transfer slots per cycle: each frame takes at
+    // most one cycle, so latency is bounded by frames x cycle.
+    let cycle = Scenario::baseline().rtlink.cycle_duration();
+    assert!(
+        m.latency <= cycle * m.frames as u64,
+        "latency {} exceeds {} frames x cycle",
+        m.latency,
+        m.frames
+    );
+}
+
+#[test]
+fn corrupted_chunk_is_retransmitted_and_migration_still_completes() {
+    let s = head_kill()
+        .transfer_slots(2)
+        .corrupt_transfer_chunk(1)
+        .build();
+    let r = Engine::new(s).run();
+
+    r.event_time("corrupted in flight")
+        .expect("corruption traced");
+    r.event_time("attested and activated")
+        .expect("migration completes despite the corrupted chunk");
+    assert_eq!(r.migrations.len(), 1);
+    let m = &r.migrations[0];
+    assert!(
+        m.frames_sent > m.frames,
+        "the dropped chunk was retransmitted ({} sent, {} needed)",
+        m.frames_sent,
+        m.frames
+    );
+    assert!(m.retries >= 1);
+}
+
+#[test]
+fn tampered_gas_budget_is_rejected_at_attestation() {
+    let s = head_kill().transfer_slots(2).tamper_gas_budget().build();
+    let r = Engine::new(s).run();
+
+    r.event_time("transfer started").expect("transfer starts");
+    r.event_time("rejected capsule")
+        .expect("attestation rejects");
+    assert!(
+        r.event_time("attested and activated").is_none(),
+        "a tampered capsule must never activate"
+    );
+    assert!(r.migrations.is_empty(), "no migration record on rejection");
+}
+
+#[test]
+fn migrated_state_continuity_preserves_regulation() {
+    // The capsule arrives with the primary's integrator snapshot; the
+    // loop keeps regulating to setpoint after the transfer.
+    let s = head_kill()
+        .transfer_slots(2)
+        .duration(SimDuration::from_secs(300))
+        .build();
+    let r = Engine::new(s).run();
+    r.event_time("attested and activated").expect("migration");
+    let pv = r.series("LTS.LiquidPct").last_value().unwrap();
+    assert!((pv - 50.0).abs() < 0.5, "PV {pv} regulated after migration");
+}
+
+#[test]
+fn default_transfer_budget_disables_migration_entirely() {
+    // Same head-kill, default transfer_slots = 0: the re-election still
+    // happens but no capsule ships, and the run is byte-identical to the
+    // engine without the migration plane.
+    let r = Engine::new(head_kill().build()).run();
+    r.event_time("re-elected head").expect("re-election");
+    assert!(r.event_time("transfer started").is_none());
+    assert!(r.migrations.is_empty());
+}
+
+#[test]
+fn transfer_slots_off_is_byte_identical_under_failures() {
+    // transfer_slots only *adds* slots after the pipeline; with the lane
+    // enabled but no failure, nothing ships and physics are unchanged.
+    let base = ScenarioBuilder::star()
+        .line(2)
+        .sensors(1)
+        .controllers(2)
+        .actuators(1)
+        .head(true)
+        .backup_relays(1)
+        .reroute(ReroutePolicy::Heartbeat)
+        .duration(SimDuration::from_secs(120));
+    let plain = Engine::new(base.clone().build()).run();
+    let laned = Engine::new(base.transfer_slots(2).build()).run();
+    assert_eq!(laned.series, plain.series);
+    assert_eq!(laned.actuations, plain.actuations);
+    assert!(laned.migrations.is_empty());
+}
+
+#[test]
+fn scenario_defaults_keep_migration_off() {
+    let s = Scenario::baseline();
+    assert_eq!(s.transfer_slots, 0);
+    assert_eq!(s.capsule_pad_bytes, 0);
+    assert_eq!(s.migration_max_retries, 8);
+    assert_eq!(s.corrupt_transfer_chunk, None);
+    assert!(!s.tamper_gas_budget);
+}
