@@ -98,7 +98,7 @@ impl Capsule {
     /// Size of the capsule's code on the wire, bytes.
     #[must_use]
     pub fn code_size_bytes(&self) -> usize {
-        self.program.encode().len()
+        self.program.encoded_len()
     }
 
     /// Simulates transport corruption (tests / fault injection): flips one

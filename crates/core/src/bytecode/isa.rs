@@ -164,11 +164,20 @@ impl Program {
     /// Serializes to the wire format (what migration actually moves).
     #[must_use]
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(self.ops.len() * 2);
+        let mut out = Vec::with_capacity(self.encoded_len());
         for op in &self.ops {
             encode_op(op, &mut out);
         }
         out
+    }
+
+    /// Wire-format length in bytes, without building the encoding.
+    /// Callers that only need the size (image sizing, per-chunk length
+    /// math in the transfer hot loop) must not pay an allocation per
+    /// query.
+    #[must_use]
+    pub fn encoded_len(&self) -> usize {
+        self.ops.iter().map(encoded_op_len).sum()
     }
 
     /// Parses the wire format back into a program.
@@ -300,6 +309,23 @@ fn encode_op(op: &Op, out: &mut Vec<u8>) {
     }
 }
 
+/// Encoded size of one instruction: opcode byte plus its operand, if
+/// any. Must stay in lockstep with [`encode_op`] — pinned by the
+/// `encoded_len_matches_encoding` test below.
+fn encoded_op_len(op: &Op) -> usize {
+    match *op {
+        Op::Push(_) => 9,
+        Op::Jmp(_) | Op::Jz(_) | Op::Call(_) => 3,
+        Op::Load(_)
+        | Op::Store(_)
+        | Op::ReadSensor(_)
+        | Op::WriteActuator(_)
+        | Op::Emit(_)
+        | Op::Ext(_) => 2,
+        _ => 1,
+    }
+}
+
 fn decode_op(bytes: &[u8]) -> Result<(Op, usize), String> {
     let opcode = *bytes.first().ok_or("empty input")?;
     let need = |n: usize| -> Result<&[u8], String> {
@@ -391,6 +417,17 @@ mod tests {
             Op::Ext(7),
             Op::Halt,
         ]
+    }
+
+    #[test]
+    fn encoded_len_matches_encoding() {
+        let p = Program::new(sample_ops());
+        assert_eq!(p.encoded_len(), p.encode().len());
+        for op in p.ops() {
+            let mut bytes = Vec::new();
+            encode_op(op, &mut bytes);
+            assert_eq!(encoded_op_len(op), bytes.len(), "op {op}");
+        }
     }
 
     #[test]

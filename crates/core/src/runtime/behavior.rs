@@ -74,6 +74,16 @@ pub trait NodeBehavior {
     /// transmissions — heartbeat silence checks live here.
     fn on_cycle_start(&mut self, _ctx: &mut NodeCtx<'_>) {}
 
+    /// `true` if this behavior's [`NodeBehavior::on_cycle_start`] does
+    /// anything. The cycle plan only dispatches the hook to behaviors
+    /// that return `true` here; the default no-op hook is skipped. Must
+    /// be invariant for the life of the behavior (rehydration may swap
+    /// the behavior type, which rebuilds nothing — controller ↔ head
+    /// both return `true`, so membership is stable across re-election).
+    fn has_cycle_hook(&self) -> bool {
+        false
+    }
+
     /// What this node transmits in a slot scheduled for `kind`, if
     /// anything. Returning `None` leaves the slot empty (listeners still
     /// pay the detect window).

@@ -355,6 +355,10 @@ impl ControllerNode {
 }
 
 impl NodeBehavior for ControllerNode {
+    fn has_cycle_hook(&self) -> bool {
+        true
+    }
+
     fn on_cycle_start(&mut self, ctx: &mut NodeCtx<'_>) {
         // Backups raise heartbeat-timeout alerts; the Active replica has
         // no one to watch (its own silence is what others detect).

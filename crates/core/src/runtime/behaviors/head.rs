@@ -55,6 +55,10 @@ impl HeadNode {
 }
 
 impl NodeBehavior for HeadNode {
+    fn has_cycle_hook(&self) -> bool {
+        true
+    }
+
     fn on_cycle_start(&mut self, ctx: &mut NodeCtx<'_>) {
         // The monitor's heartbeat check short-circuits the alert frame (it
         // would be addressed to this very node).

@@ -34,9 +34,10 @@ use crate::component::VirtualComponent;
 use crate::metrics::{NodeEnergy, RunMeta, RunResult, VcRunStats};
 use crate::runtime::behavior::{Effect, NodeBehavior, NodeCtx, Timer};
 use crate::runtime::behaviors::RelayCore;
+use crate::runtime::plan::CyclePlan;
 use crate::runtime::reconfig::{ReconfigState, ReroutePolicy};
 use crate::runtime::registry::NodeRegistry;
-use crate::runtime::scenario::SlotStepping;
+use crate::runtime::scenario::{CyclePlanMode, SlotStepping};
 use crate::runtime::topo::{FlowKind, RoleMap, VcId, VcMap};
 use crate::runtime::{Message, Scenario};
 
@@ -53,6 +54,18 @@ pub(super) enum Ev {
     Deliver {
         to: NodeId,
         from: NodeId,
+        msg: Message,
+    },
+    /// One transmission's whole delivered-listener set, folded into a
+    /// single event carrying one shared message image (planned mode).
+    /// `entry` indexes the generation-`gen` plan; bit `i` of `mask`
+    /// selects listener `i` of that entry. Reserves the sequence numbers
+    /// of the per-listener `Deliver`s it replaces, so ordering against
+    /// every other event is identical to the direct path.
+    Broadcast {
+        gen: u64,
+        entry: u32,
+        mask: u64,
         msg: Message,
     },
     NodeTimer {
@@ -83,10 +96,10 @@ pub(super) enum Ev {
 /// One scheduled transmission, with its flow semantic resolved once per
 /// epoch instead of per slot.
 #[derive(Debug)]
-struct SlotEntry {
-    owner: NodeId,
-    kind: Option<FlowKind>,
-    listeners: Vec<NodeId>,
+pub(super) struct SlotEntry {
+    pub(super) owner: NodeId,
+    pub(super) kind: Option<FlowKind>,
+    pub(super) listeners: Vec<NodeId>,
 }
 
 /// Per-epoch slot occupancy: the schedule flattened into contiguous
@@ -96,8 +109,8 @@ struct SlotEntry {
 #[derive(Debug, Default)]
 pub(super) struct SlotTable {
     /// `entries` range per slot (`slots_per_cycle` rows).
-    per_slot: Vec<(u32, u32)>,
-    entries: Vec<SlotEntry>,
+    pub(super) per_slot: Vec<(u32, u32)>,
+    pub(super) entries: Vec<SlotEntry>,
     /// `next_occ[s]` = smallest occupied slot `>= s`, or
     /// `slots_per_cycle` if none; `slots_per_cycle + 1` rows so the
     /// lookup from `s + 1` stays in bounds.
@@ -202,13 +215,17 @@ pub struct Engine {
     pub(super) labels: Vec<String>,
     /// Per-epoch slot occupancy for the hot loop (see [`SlotTable`]).
     pub(super) slot_table: SlotTable,
+    /// The epoch-compiled cycle plan the planned slot body runs from
+    /// (see [`super::plan`]); rebuilt wherever [`Engine::slot_table`] is.
+    pub(super) plan: CyclePlan,
+    /// The retired previous plan generation — in-flight folded
+    /// broadcasts pushed just before an epoch commit resolve here.
+    pub(super) plan_prev: CyclePlan,
     /// Dispatch scratch: effects drain here and are reused, so the
     /// steady state never allocates.
     pub(super) fx_effects: Vec<Effect>,
     /// Dispatch scratch for timers (see [`Engine::fx_effects`]).
     pub(super) fx_timers: Vec<(SimTime, Timer)>,
-    /// Cycle-start scratch for the registry id snapshot.
-    pub(super) scratch_ids: Vec<NodeId>,
     /// Heartbeat-scan scratch: the watch set (heads + forwarders).
     pub(super) scratch_watch: Vec<NodeId>,
     /// Heartbeat-scan scratch: nodes marked down this cycle.
@@ -435,17 +452,15 @@ impl Engine {
     pub fn finalize(self) -> RunResult {
         let total = self.scenario.duration;
         let mut meters = self.meters;
+        // Labels were interned at setup in topology (= meter) order:
+        // hand them over instead of re-cloning from the topology.
         let node_energy = self
-            .node_ids
-            .iter()
+            .labels
+            .into_iter()
             .zip(meters.iter_mut())
-            .map(|(&id, m)| {
+            .map(|(label, m)| {
                 let accounted = m.total_time();
                 m.add(RadioState::Sleep, total.saturating_sub(accounted));
-                let label = self
-                    .topology
-                    .node(id)
-                    .map_or_else(|| id.to_string(), |n| n.label.clone());
                 let avg = m.average_current_ma();
                 (
                     label,
@@ -509,9 +524,10 @@ impl Engine {
     }
 
     pub(super) fn label_of(&self, id: NodeId) -> String {
-        self.topology
-            .node(id)
-            .map_or_else(|| id.to_string(), |n| n.label.clone())
+        match self.dense_ix(id) {
+            Some(ix) => self.labels[ix].clone(),
+            None => id.to_string(),
+        }
     }
 
     /// Runs one behavior callback with a scoped [`NodeCtx`], then applies
@@ -601,6 +617,12 @@ impl Engine {
                 }
                 self.dispatch(to, |n, ctx| n.on_deliver(&msg, ctx));
             }
+            Ev::Broadcast {
+                gen,
+                entry,
+                mask,
+                msg,
+            } => self.on_broadcast_delivered(gen, entry, mask, &msg),
             Ev::NodeTimer { node, timer } => {
                 self.dispatch(node, |n, ctx| n.on_timer(timer, ctx));
             }
@@ -654,8 +676,18 @@ impl Engine {
 
     /// Processes all transmissions of `slot` (in `cycle`), starting now.
     fn on_slot_body(&mut self, cycle: u64, slot: usize) {
+        match self.scenario.plan {
+            CyclePlanMode::Planned => self.on_slot_body_planned(cycle, slot),
+            CyclePlanMode::Direct => self.on_slot_body_direct(cycle, slot),
+        }
+    }
+
+    /// Direct slot body: re-resolves every slot-invariant term from the
+    /// live structures per slot — the pre-plan behavior, kept verbatim
+    /// as the differential oracle for [`Engine::on_slot_body_planned`].
+    fn on_slot_body_direct(&mut self, cycle: u64, slot: usize) {
         if slot == 0 {
-            self.on_cycle_start();
+            self.on_cycle_start_direct();
         }
         // Detect window a listener pays before shutting down on an empty
         // slot: guard + PHY header airtime.
@@ -758,33 +790,191 @@ impl Engine {
         self.slot_table = table;
     }
 
+    /// Planned slot body: runs the epoch-compiled [`CyclePlan`] — dense
+    /// indices, distances, channel budgets and airtime constants all
+    /// pre-resolved — consuming the RNG streams draw-for-draw like
+    /// [`Engine::on_slot_body_direct`]. Delivered listener sets fold
+    /// into one [`Ev::Broadcast`] per transmission (one shared message
+    /// image), reserving the per-listener sequence numbers the direct
+    /// path would have consumed.
+    fn on_slot_body_planned(&mut self, cycle: u64, slot: usize) {
+        if slot == 0 {
+            self.on_cycle_start_planned();
+        }
+        let guard = self.scenario.rtlink.guard;
+        // Lift the plan out for the slot so behaviors can be dispatched
+        // while iterating it; nothing mid-slot rebuilds it (epoch commits
+        // happen in `on_cycle_start_planned`, above).
+        let plan = mem::take(&mut self.plan);
+        let (lo, hi) = plan.per_slot[slot];
+        for eix in lo..hi {
+            let e = &plan.entries[eix as usize];
+            let owner = e.owner;
+            if !self.alive(owner) {
+                continue;
+            }
+            let msg = match e.kind {
+                Some(FlowKind::Relay { job, .. }) => self.relay_cores[e.owner_ix as usize]
+                    .as_mut()
+                    .and_then(|c| c.take(job as usize)),
+                Some(FlowKind::Transfer { vc }) => self.take_transfer_chunk(vc, owner),
+                Some(k) => self
+                    .dispatch(owner, |n, ctx| n.take_outgoing(k, ctx))
+                    .flatten(),
+                None => None,
+            };
+            let msg = match msg {
+                Some(m) => Some(m),
+                None if e.keepalive_eligible => Some(Message::Heartbeat { from: owner }),
+                None => None,
+            };
+            let listeners = &plan.listeners[e.lo as usize..e.hi as usize];
+            let Some(msg) = msg else {
+                // Empty slot: listeners still pay the detect window.
+                for l in listeners {
+                    if self.alive(l.id) {
+                        self.meters[l.ix as usize].add(RadioState::Listen, plan.detect);
+                    }
+                }
+                continue;
+            };
+            if plan.keepalives {
+                self.reconfig.ledger.heard(owner, cycle);
+            }
+            let air_bytes = evm_netsim::PHY_HEADER_BYTES
+                + evm_netsim::frame::MAC_HEADER_BYTES
+                + msg.payload_bytes();
+            let airtime = evm_netsim::frame::airtime_for_bytes(air_bytes);
+            let m = &mut self.meters[e.owner_ix as usize];
+            m.add(RadioState::Idle, guard);
+            m.add(RadioState::Tx, airtime);
+            // Fold delivered listeners into one event when they fit the
+            // mask; wider listener sets (not seen in practice) fall back
+            // to the direct path's per-listener pushes.
+            let fold = listeners.len() <= 64;
+            let mut mask = 0u64;
+            let mut delivered = 0u64;
+            for (i, l) in listeners.iter().enumerate() {
+                if !self.alive(l.id) {
+                    continue;
+                }
+                self.meters[l.ix as usize].add(RadioState::Rx, guard + airtime);
+                if !self.scenario.fault_plan.link_usable(owner, l.id, self.now) {
+                    continue;
+                }
+                let received = match l.budget {
+                    Some(b) => self.channel.sample_delivery_budget(l.burst, b, air_bytes),
+                    None => {
+                        // Shadowed link: the realization is drawn lazily
+                        // from the channel RNG, so sample unbudgeted.
+                        let frame = Frame::new(owner, FrameKind::Broadcast, msg.payload_bytes(), 0);
+                        self.channel.sample_delivery(&frame, l.id, l.distance)
+                    }
+                };
+                if !received {
+                    continue;
+                }
+                if self.rng.chance(self.scenario.extra_loss) {
+                    continue;
+                }
+                if fold {
+                    mask |= 1u64 << i;
+                    delivered += 1;
+                } else {
+                    self.queue.push(
+                        self.now + guard + airtime,
+                        Ev::Deliver {
+                            to: l.id,
+                            from: owner,
+                            msg: msg.clone(),
+                        },
+                    );
+                }
+            }
+            if fold && delivered > 0 {
+                self.queue.push(
+                    self.now + guard + airtime,
+                    Ev::Broadcast {
+                        gen: plan.generation,
+                        entry: eix,
+                        mask,
+                        msg,
+                    },
+                );
+                if delivered > 1 {
+                    // Reserve the sequence numbers of the per-listener
+                    // deliveries this event folded.
+                    self.queue.skip_seqs(delivered - 1);
+                }
+            }
+        }
+        self.plan = plan;
+    }
+
+    /// Delivers one folded broadcast: dispatches each masked listener in
+    /// listener order, exactly as the equivalent run of per-listener
+    /// [`Ev::Deliver`]s would have (their contiguous sequence numbers
+    /// admit no interleaving).
+    fn on_broadcast_delivered(&mut self, gen: u64, entry: u32, mask: u64, msg: &Message) {
+        let current = self.plan.generation == gen;
+        let plan = if current {
+            mem::take(&mut self.plan)
+        } else {
+            mem::take(&mut self.plan_prev)
+        };
+        debug_assert_eq!(plan.generation, gen, "broadcast outlived its plan");
+        let e = &plan.entries[entry as usize];
+        let from = e.owner;
+        let listeners = &plan.listeners[e.lo as usize..e.hi as usize];
+        for (i, l) in listeners.iter().enumerate() {
+            if mask & (1u64 << i) == 0 {
+                continue;
+            }
+            let to = l.id;
+            // Mirror the `Ev::Deliver` arm: capsule fragments go to the
+            // transfer plane, everything else is offered to the relay
+            // core and dispatched to the behavior.
+            if let Message::CapsuleChunk { vc, seq, .. } = *msg {
+                self.on_chunk_delivered(to, from, vc, seq);
+                continue;
+            }
+            if let Some(core) = self.relay_cores[l.ix as usize].as_mut() {
+                core.offer(from, msg);
+            }
+            self.dispatch(to, |n, ctx| n.on_deliver(msg, ctx));
+        }
+        if current {
+            self.plan = plan;
+        } else {
+            self.plan_prev = plan;
+        }
+    }
+
     /// Cycle-boundary housekeeping: epoch commits and heartbeat-silence
     /// scans (the reconfiguration plane), sync reception energy, per-node
     /// cycle hooks (heartbeat silence checks), and the per-VC per-cycle
     /// regulation-error samples.
-    fn on_cycle_start(&mut self) {
+    fn on_cycle_start_direct(&mut self) {
         // The reconfiguration plane acts strictly at cycle boundaries,
         // before any transmission of the new cycle: a staged epoch
         // becomes visible here or never — frames are never torn across
         // epochs mid-cycle.
         self.reconfig_on_cycle_start();
         let sync = self.scenario.rtlink.sync_listen;
-        let mut ids = mem::take(&mut self.scratch_ids);
-        ids.clear();
-        ids.extend_from_slice(self.registry.ids());
-        for &id in &ids {
+        // Registration order is topology order, so the registry scans
+        // are index loops over the dense tables.
+        for ix in 0..self.node_ids.len() {
+            let id = self.node_ids[ix];
             if self.alive(id) {
-                if let Some(m) = self.meter_mut(id) {
-                    m.add(RadioState::Rx, sync);
-                }
+                self.meters[ix].add(RadioState::Rx, sync);
             }
         }
-        for &id in &ids {
+        for ix in 0..self.node_ids.len() {
+            let id = self.node_ids[ix];
             if self.alive(id) {
                 self.dispatch(id, |n, ctx| n.on_cycle_start(ctx));
             }
         }
-        self.scratch_ids = ids;
         // One regulation-error sample per VC per RT-Link cycle — the
         // per-cycle error trace the multi-VC isolation contract is pinned
         // on (a fault in one VC must leave every other VC's trace
@@ -794,5 +984,40 @@ impl Engine {
                 series.push(self.now, pv - *setpoint);
             }
         }
+    }
+
+    /// [`Engine::on_cycle_start_direct`] run from the plan: the meter
+    /// stamp and the cycle hook fuse into one pass (byte-identical — the
+    /// hooks draw no RNG and touch no meters, so stamping and
+    /// dispatching interleaved observes the same state as two scans),
+    /// only hook-bearing nodes are dispatched (the rest are no-ops by
+    /// [`NodeBehavior::has_cycle_hook`]), and the regulation-error
+    /// samples read pre-bound plant-tag handles.
+    fn on_cycle_start_planned(&mut self) {
+        self.reconfig_on_cycle_start();
+        let sync = self.scenario.rtlink.sync_listen;
+        let plan = mem::take(&mut self.plan);
+        let mut next_hook = 0usize;
+        for ix in 0..self.node_ids.len() {
+            let hooked = plan.hooks.get(next_hook).copied()
+                == Some(u32::try_from(ix).expect("dense index fits u32"));
+            if hooked {
+                next_hook += 1;
+            }
+            let id = self.node_ids[ix];
+            if !self.alive(id) {
+                continue;
+            }
+            self.meters[ix].add(RadioState::Rx, sync);
+            if hooked {
+                self.dispatch(id, |n, ctx| n.on_cycle_start(ctx));
+            }
+        }
+        for ((_, setpoint, series), tag) in self.err_series.iter_mut().zip(&plan.err_tags) {
+            if let Some(tag) = tag {
+                series.push(self.now, self.plant.read_bound(*tag) - *setpoint);
+            }
+        }
+        self.plan = plan;
     }
 }

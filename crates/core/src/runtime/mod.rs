@@ -30,6 +30,7 @@ pub mod behaviors;
 mod driver;
 mod failover;
 mod messages;
+mod plan;
 pub mod reconfig;
 pub mod registry;
 mod scenario;
@@ -43,7 +44,7 @@ pub use driver::Engine;
 pub use messages::Message;
 pub use reconfig::{Epoch, ReconfigError, Reconfigurator, ReroutePolicy};
 pub use scenario::Layout;
-pub use scenario::{Scenario, ScenarioBuilder, SlotStepping};
+pub use scenario::{CyclePlanMode, Scenario, ScenarioBuilder, SlotStepping};
 pub use topo::{
     monitor_register, route_flows, synth_flows, FlowKind, NodeSpec, RelayJob, Role, RoleMap,
     RouteError, RoutedFlows, TopologyError, TopologySpec, VcId, VcMap, CLUSTER_HOP_M,

@@ -500,6 +500,9 @@ impl Engine {
             &self.schedule,
             &self.flow_kinds,
         );
+        // ... and the compiled cycle plan is lowered from the table:
+        // same commit, same boundary (see `super::plan`).
+        self.rebuild_plan();
         self.reconfig.epoch = epoch.seq;
         self.reconfig.last_commit_at = Some(self.now);
         // Start the silence clock for every forwarder of the new epoch:

@@ -1,19 +1,30 @@
 //! The node registry: behaviors keyed by [`NodeId`].
 
-use std::collections::HashMap;
-
 use evm_netsim::NodeId;
 
 use crate::runtime::behavior::NodeBehavior;
 use crate::runtime::behaviors::{ControllerCore, HeadPlane};
 
+/// Sentinel for "id not registered" in the sparse index.
+const NO_SLOT: u32 = u32::MAX;
+
 /// Owns every node behavior, with a deterministic iteration order (the
 /// topology's node order) so event handling never depends on hash-map
 /// iteration.
+///
+/// Storage is dense: behaviors live in a `Vec` parallel to the
+/// registration order, reached through a sparse `NodeId → slot` index —
+/// a lookup is two array reads, not a hash. The registry sits on the
+/// engine's hottest dispatch path (once per occupied slot and once per
+/// delivery), where hashing every id dominated the lookup cost.
 #[derive(Default)]
 pub struct NodeRegistry {
     order: Vec<NodeId>,
-    nodes: HashMap<NodeId, Box<dyn NodeBehavior>>,
+    /// `NodeId::raw() → slot` in `behaviors`; `NO_SLOT` if unregistered.
+    index: Vec<u32>,
+    /// Parallel to `order`; `None` while a behavior is lifted out for
+    /// rehydration ([`NodeRegistry::take`]).
+    behaviors: Vec<Option<Box<dyn NodeBehavior>>>,
 }
 
 impl NodeRegistry {
@@ -23,17 +34,28 @@ impl NodeRegistry {
         NodeRegistry::default()
     }
 
+    #[inline]
+    fn slot(&self, id: NodeId) -> Option<usize> {
+        match self.index.get(id.raw() as usize) {
+            Some(&s) if s != NO_SLOT => Some(s as usize),
+            _ => None,
+        }
+    }
+
     /// Registers a behavior for `id`.
     ///
     /// # Panics
     ///
     /// Panics if `id` is already registered.
     pub fn insert(&mut self, id: NodeId, behavior: Box<dyn NodeBehavior>) {
-        assert!(
-            self.nodes.insert(id, behavior).is_none(),
-            "duplicate behavior for {id}"
-        );
+        assert!(self.slot(id).is_none(), "duplicate behavior for {id}");
+        let raw = id.raw() as usize;
+        if raw >= self.index.len() {
+            self.index.resize(raw + 1, NO_SLOT);
+        }
+        self.index[raw] = u32::try_from(self.order.len()).expect("registry fits u32");
         self.order.push(id);
+        self.behaviors.push(Some(behavior));
     }
 
     /// Node ids in registration (topology) order.
@@ -43,9 +65,15 @@ impl NodeRegistry {
     }
 
     /// The behavior for `id`, if registered.
-    pub fn get_mut(&mut self, id: NodeId) -> Option<&mut dyn NodeBehavior> {
-        match self.nodes.get_mut(&id) {
-            Some(b) => Some(&mut **b),
+    #[must_use]
+    pub fn get(&self, id: NodeId) -> Option<&dyn NodeBehavior> {
+        self.slot(id).and_then(|s| self.behaviors[s].as_deref())
+    }
+
+    /// Mutable access to the behavior for `id`, if registered.
+    pub fn get_mut(&mut self, id: NodeId) -> Option<&mut (dyn NodeBehavior + 'static)> {
+        match self.slot(id) {
+            Some(s) => self.behaviors[s].as_deref_mut(),
             None => None,
         }
     }
@@ -54,26 +82,24 @@ impl NodeRegistry {
     /// head's monitor).
     #[must_use]
     pub fn controller(&self, id: NodeId) -> Option<&ControllerCore> {
-        self.nodes.get(&id).and_then(|n| n.controller_core())
+        self.get(id).and_then(NodeBehavior::controller_core)
     }
 
     /// Mutable controller replica access.
     pub fn controller_mut(&mut self, id: NodeId) -> Option<&mut ControllerCore> {
-        self.nodes
-            .get_mut(&id)
-            .and_then(|n| n.controller_core_mut())
+        self.get_mut(id).and_then(|n| n.controller_core_mut())
     }
 
     /// The head's control plane.
     pub fn head_plane_mut(&mut self, head: NodeId) -> Option<&mut HeadPlane> {
-        self.nodes.get_mut(&head).and_then(|n| n.head_plane_mut())
+        self.get_mut(head).and_then(|n| n.head_plane_mut())
     }
 
     /// Lifts a behavior out for rehydration (the registration order is
     /// kept — the id stays a member of the registry and must be given a
     /// replacement via [`NodeRegistry::put_back`]).
     pub fn take(&mut self, id: NodeId) -> Option<Box<dyn NodeBehavior>> {
-        self.nodes.remove(&id)
+        self.slot(id).and_then(|s| self.behaviors[s].take())
     }
 
     /// Re-seats a behavior taken with [`NodeRegistry::take`] (possibly a
@@ -84,12 +110,11 @@ impl NodeRegistry {
     ///
     /// Panics if `id` was never registered or still holds a behavior.
     pub fn put_back(&mut self, id: NodeId, behavior: Box<dyn NodeBehavior>) {
+        let s = self
+            .slot(id)
+            .unwrap_or_else(|| panic!("put_back rehydrates registered ids only: {id}"));
         assert!(
-            self.order.contains(&id),
-            "put_back rehydrates registered ids only: {id}"
-        );
-        assert!(
-            self.nodes.insert(id, behavior).is_none(),
+            self.behaviors[s].replace(behavior).is_none(),
             "duplicate behavior for {id}"
         );
     }

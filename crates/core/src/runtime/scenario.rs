@@ -81,6 +81,35 @@ impl SlotStepping {
     }
 }
 
+/// How the engine executes an occupied slot (and the cycle boundary).
+///
+/// Both modes produce byte-identical [`crate::metrics::RunResult`]s
+/// (pinned by the plan differential suite); they differ only in how much
+/// slot-invariant work is resolved ahead of time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CyclePlanMode {
+    /// Execute from the epoch-compiled `CyclePlan`: dense indices,
+    /// per-link distances and channel budgets, airtime constants, the
+    /// cycle-start hook list and bound plant tags are all pre-resolved at
+    /// epoch commit, so the hot path is reduced to the RNG draws.
+    #[default]
+    Planned,
+    /// Re-resolve everything per slot from the live structures — the
+    /// pre-plan behavior, kept as the differential oracle.
+    Direct,
+}
+
+impl CyclePlanMode {
+    /// Stable label for report keys and CSV cells.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            CyclePlanMode::Planned => "planned",
+            CyclePlanMode::Direct => "direct",
+        }
+    }
+}
+
 /// A fully specified co-simulation run.
 #[derive(Debug, Clone)]
 pub struct Scenario {
@@ -133,6 +162,10 @@ pub struct Scenario {
     /// slots via the occupancy-table cursor; `Legacy` fires an event per
     /// slot. Byte-identical results by contract.
     pub stepping: SlotStepping,
+    /// Occupied-slot execution strategy. `Planned` (default) runs from
+    /// the epoch-compiled cycle plan; `Direct` re-resolves everything per
+    /// slot. Byte-identical results by contract.
+    pub plan: CyclePlanMode,
     /// Scripted reconfiguration requests: at each instant the engine
     /// recomputes the epoch (with whatever down set it has, possibly
     /// empty) and commits it at the next cycle boundary. Test/bench knob
@@ -221,6 +254,7 @@ impl Scenario {
             reroute: ReroutePolicy::Static,
             tier: Tier::Interp,
             stepping: SlotStepping::EventDriven,
+            plan: CyclePlanMode::Planned,
             force_reconfig: Vec::new(),
             fault: None,
             backup_fault: None,
@@ -584,6 +618,13 @@ impl ScenarioBuilder {
     #[must_use]
     pub fn stepping(mut self, stepping: SlotStepping) -> Self {
         self.inner.stepping = stepping;
+        self
+    }
+
+    /// Sets the occupied-slot execution strategy ([`Scenario::plan`]).
+    #[must_use]
+    pub fn plan(mut self, plan: CyclePlanMode) -> Self {
+        self.inner.plan = plan;
         self
     }
 

@@ -28,6 +28,7 @@ use crate::runtime::behaviors::{
     RelayNode, ReplicaParams, SensorNode,
 };
 use crate::runtime::driver::{Engine, Ev, SlotTable, NO_NODE};
+use crate::runtime::plan::CyclePlan;
 use crate::runtime::reconfig::{ReconfigError, ReconfigState, Reconfigurator};
 use crate::runtime::registry::NodeRegistry;
 use crate::runtime::scenario::SlotStepping;
@@ -456,9 +457,10 @@ impl Engine {
             node_index,
             labels,
             slot_table,
+            plan: CyclePlan::default(),
+            plan_prev: CyclePlan::default(),
             fx_effects: Vec::with_capacity(8),
             fx_timers: Vec::with_capacity(8),
-            scratch_ids: Vec::new(),
             scratch_watch: Vec::new(),
             scratch_down: Vec::new(),
             vslot_k: 1,
@@ -509,7 +511,10 @@ impl Engine {
             st.e2e_latencies.reserve(cycles);
         }
         engine.queue.reserve(64 + 4 * engine.node_ids.len());
-        engine.scratch_ids.reserve(engine.node_ids.len());
+
+        // Compile the setup epoch's cycle plan (draws no RNG; built in
+        // both plan modes so engine state stays uniform).
+        engine.rebuild_plan();
 
         // Seed events. Under event-driven stepping the slot chain is a
         // cursor, not queue traffic: reserve the sequence number the

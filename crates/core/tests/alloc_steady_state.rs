@@ -1,22 +1,33 @@
 //! Zero-alloc contract for the fleet hot loop.
 //!
 //! Once an engine is warmed — every capsule prepared on its tier, every
-//! series/queue reservation made at setup — the steady-state slot loop
-//! must not touch the heap at all: no per-slot clones, no label
-//! `String`s, no dispatch scratch growth. This test installs a counting
-//! global allocator, warms a fault-free compiled-tier run, then steps
-//! several more seconds of simulated time and asserts that **zero**
-//! allocations and **zero** deallocations happened in the window.
+//! series/queue reservation made at setup, the cycle plan compiled —
+//! the steady-state slot loop must not touch the heap at all: no
+//! per-slot clones, no label `String`s, no dispatch scratch growth, no
+//! per-listener message copies. This test installs a counting global
+//! allocator, warms a compiled-tier run, then steps several more
+//! seconds of simulated time and asserts that **zero** allocations and
+//! **zero** deallocations happened in the window.
 //!
-//! A single `#[test]` covers both steppings sequentially: the counters
+//! Covered windows: both steppings on the planned path, the direct
+//! oracle, and a planned run with a live capsule migration in flight —
+//! multi-listener folded broadcasts with a `CapsuleChunk` crossing the
+//! window every cycle (the image is padded so the stop-and-wait
+//! shipment spans the whole measured window; its start and completion
+//! both land outside it).
+//!
+//! A single `#[test]` covers all windows sequentially: the counters
 //! are process-global, so concurrent tests would pollute each other's
 //! windows.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 
-use evm_core::runtime::{Engine, Scenario, ScenarioBuilder, SlotStepping};
+use evm_core::runtime::{
+    CyclePlanMode, Engine, ReroutePolicy, Scenario, ScenarioBuilder, SlotStepping,
+};
 use evm_core::Tier;
+use evm_netsim::NodeId;
 use evm_sim::{SimDuration, SimTime};
 
 struct CountingAlloc;
@@ -52,16 +63,35 @@ static GLOBAL: CountingAlloc = CountingAlloc;
 /// A fault-free single-VC star on the compiled tier: the steady state
 /// is pure slot traffic — samples, capsule runs, actuations,
 /// keepalives — with no failover or reconfiguration churn.
-fn scenario(stepping: SlotStepping) -> Scenario {
+fn scenario(stepping: SlotStepping, plan: CyclePlanMode) -> Scenario {
     ScenarioBuilder::star()
         .tier(Tier::Compiled)
         .stepping(stepping)
+        .plan(plan)
         .duration(SimDuration::from_secs(30))
         .build()
 }
 
-fn assert_zero_alloc_steady_state(stepping: SlotStepping) {
-    let mut engine = Engine::new(scenario(stepping));
+/// The same star with the head killed early and a padded capsule
+/// migration crawling over one transfer slot per cycle: the crash,
+/// silence detection, re-election and epoch commit (plan rebuild) all
+/// land before the measured window opens at 10 s, and the 16 KiB image
+/// at ~4 cycles/s keeps `CapsuleChunk` folded broadcasts in flight well
+/// past its close at 20 s — loss-free, so no retransmit/corruption
+/// trace lines allocate inside the window.
+fn migration_scenario() -> Scenario {
+    ScenarioBuilder::star()
+        .tier(Tier::Compiled)
+        .reroute(ReroutePolicy::Heartbeat)
+        .transfer_slots(1)
+        .capsule_pad_bytes(16384)
+        .crash_node_at(NodeId(6), SimTime::from_secs(2))
+        .duration(SimDuration::from_secs(30))
+        .build()
+}
+
+fn assert_zero_alloc_steady_state(label: &str, s: Scenario) {
+    let mut engine = Engine::new(s);
     // Warm: ~40 RT-Link cycles — every capsule compiled and cached,
     // every lazily-grown structure at its steady footprint.
     engine.run_until(SimTime::from_secs(10));
@@ -73,19 +103,44 @@ fn assert_zero_alloc_steady_state(stepping: SlotStepping) {
     let deallocs = DEALLOCS.load(Relaxed) - deallocs_before;
 
     let result = engine.finalize();
-    assert!(result.actuations > 50, "run must exercise the loop");
-    assert_eq!(
-        allocs, 0,
-        "{stepping:?}: warmed steady state must not allocate"
+    assert!(
+        result.actuations > 50,
+        "{label}: run must exercise the loop"
     );
-    assert_eq!(
-        deallocs, 0,
-        "{stepping:?}: warmed steady state must not free"
-    );
+    assert_eq!(allocs, 0, "{label}: warmed steady state must not allocate");
+    assert_eq!(deallocs, 0, "{label}: warmed steady state must not free");
 }
 
 #[test]
 fn warmed_hot_loop_never_touches_the_heap() {
-    assert_zero_alloc_steady_state(SlotStepping::EventDriven);
-    assert_zero_alloc_steady_state(SlotStepping::Legacy);
+    assert_zero_alloc_steady_state(
+        "event+planned",
+        scenario(SlotStepping::EventDriven, CyclePlanMode::Planned),
+    );
+    assert_zero_alloc_steady_state(
+        "legacy+planned",
+        scenario(SlotStepping::Legacy, CyclePlanMode::Planned),
+    );
+    assert_zero_alloc_steady_state(
+        "event+direct",
+        scenario(SlotStepping::EventDriven, CyclePlanMode::Direct),
+    );
+    let migration = migration_scenario();
+    {
+        // The shipment must actually span the window, or the chunk leg
+        // was never measured: pin that it is still unfinished at 30 s.
+        let r = Engine::new(migration.clone()).run();
+        assert!(
+            r.migrations.is_empty(),
+            "padded transfer must outlast the run (else shrink the pad)"
+        );
+        assert!(
+            r.trace
+                .entries()
+                .iter()
+                .any(|e| e.message.contains("transfer started")),
+            "the head kill must start a live migration"
+        );
+    }
+    assert_zero_alloc_steady_state("migration-in-flight planned", migration);
 }

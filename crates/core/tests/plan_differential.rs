@@ -1,0 +1,167 @@
+//! Differential pin: the epoch-compiled cycle plan vs. the direct slot
+//! body.
+//!
+//! The planned path (dense indices, precomputed distances and channel
+//! budgets, folded broadcast delivery, the cycle-start hook list, bound
+//! plant tags) must be a pure performance change: for any scenario, the
+//! whole [`evm_core::RunResult`] — series, traces, QoS metrics, energy,
+//! per-VC stats — is **byte-identical** between
+//! [`CyclePlanMode::Planned`] and [`CyclePlanMode::Direct`]. Each test
+//! runs one scenario family under both modes and compares the results
+//! structurally, with a vacuity floor on actuations so a silently-dead
+//! run can never pass.
+
+use evm_core::runtime::{CyclePlanMode, Engine, ReroutePolicy, Role, Scenario, ScenarioBuilder};
+use evm_core::RunResult;
+use evm_netsim::NodeId;
+use evm_sim::{SimDuration, SimTime};
+
+/// Runs `make()`'s scenario under both plan modes and returns
+/// `(direct, planned)` after asserting the run is non-trivial.
+fn run_both(make: impl Fn() -> Scenario) -> (RunResult, RunResult) {
+    let run_at = |plan: CyclePlanMode| {
+        let mut s = make();
+        s.plan = plan;
+        Engine::new(s).run()
+    };
+    let direct = run_at(CyclePlanMode::Direct);
+    assert!(direct.actuations > 20, "run must exercise the loop");
+    let planned = run_at(CyclePlanMode::Planned);
+    (direct, planned)
+}
+
+/// The first dedicated relay that carries forwarding jobs in the
+/// engine's own epoch-0 routes.
+fn loaded_relay(s: &Scenario) -> NodeId {
+    let carriers = Engine::new(s.clone()).forwarding_nodes();
+    s.topology
+        .nodes
+        .iter()
+        .find(|n| matches!(n.role, Role::Relay(_)) && carriers.contains(&n.id))
+        .map(|n| n.id)
+        .expect("a dedicated relay carries jobs")
+}
+
+/// Fig. 5 baseline: the paper's single-hop testbed with the default
+/// fault plan (primary-controller actuator fault at 30 s).
+#[test]
+fn fig5_identical_across_plan_modes() {
+    let (direct, planned) = run_both(|| {
+        let mut s = Scenario::baseline();
+        s.duration = SimDuration::from_secs(90);
+        s
+    });
+    assert!(planned == direct, "cycle plan changed the Fig. 5 run");
+}
+
+/// Multi-hop line: relay flows spanning two hops, serial schedule.
+#[test]
+fn line_identical_across_plan_modes() {
+    let (direct, planned) = run_both(|| {
+        ScenarioBuilder::star()
+            .line(2)
+            .sensors(1)
+            .controllers(2)
+            .actuators(1)
+            .head(true)
+            .duration(SimDuration::from_secs(60))
+            .build()
+    });
+    assert!(planned == direct, "cycle plan changed the line run");
+}
+
+/// 3x3 grid: lattice routing where the controller itself forwards.
+#[test]
+fn grid_identical_across_plan_modes() {
+    let (direct, planned) = run_both(|| {
+        ScenarioBuilder::star()
+            .grid(3, 3)
+            .sensors(1)
+            .controllers(1)
+            .actuators(1)
+            .head(true)
+            .slots_per_cycle(33)
+            .duration(SimDuration::from_secs(60))
+            .build()
+    });
+    assert!(planned == direct, "cycle plan changed the grid run");
+}
+
+/// Heartbeat reroute: a loaded forwarder dies mid-run and an epoch swap
+/// re-routes around it. The plan must be rebuilt at the commit boundary
+/// and keepalive fills / liveness stamps must match the direct path.
+#[test]
+fn heartbeat_reroute_identical_across_plan_modes() {
+    let base = || {
+        ScenarioBuilder::star()
+            .reroute(ReroutePolicy::Heartbeat)
+            .line(2)
+            .sensors(1)
+            .controllers(2)
+            .actuators(1)
+            .head(true)
+            .backup_relays(1)
+            .duration(SimDuration::from_secs(90))
+            .build()
+    };
+    let victim = loaded_relay(&base());
+    let (direct, planned) = run_both(|| {
+        let mut s = base();
+        s.fault_plan.add_crash(evm_netsim::NodeCrash::permanent(
+            victim,
+            SimTime::from_secs(30),
+        ));
+        s
+    });
+    assert!(
+        planned == direct,
+        "cycle plan changed the heartbeat-reroute run"
+    );
+}
+
+/// Head-kill live migration: the head crashes, re-election ships the
+/// capsule over dedicated transfer slots chunk by chunk. Exercises the
+/// `CapsuleChunk` leg of folded broadcast delivery and the ack/loss RNG
+/// draws across an epoch swap.
+#[test]
+fn head_kill_migration_identical_across_plan_modes() {
+    let make = || {
+        ScenarioBuilder::star()
+            .reroute(ReroutePolicy::Heartbeat)
+            .line(2)
+            .sensors(1)
+            .controllers(3)
+            .actuators(1)
+            .head(true)
+            .backup_relays(1)
+            .transfer_slots(2)
+            .capsule_pad_bytes(512)
+            .crash_node_at(NodeId(6), SimTime::from_secs(10))
+            .duration(SimDuration::from_secs(90))
+            .build()
+    };
+    let (direct, planned) = run_both(make);
+    assert_eq!(
+        direct.migrations.len(),
+        1,
+        "the head kill must complete a live migration"
+    );
+    assert!(
+        planned == direct,
+        "cycle plan changed the head-kill migration run"
+    );
+}
+
+/// Two VCs sharing one gateway, with VC 1's primary controller crashing
+/// mid-run (failover path + per-VC stats under the dense node tables).
+#[test]
+fn two_vc_crash_identical_across_plan_modes() {
+    let (direct, planned) = run_both(|| {
+        ScenarioBuilder::star()
+            .vcs(2)
+            .crash_vc_primary_at(1, SimTime::from_secs(30))
+            .duration(SimDuration::from_secs(90))
+            .build()
+    });
+    assert!(planned == direct, "cycle plan changed the 2-VC crash run");
+}

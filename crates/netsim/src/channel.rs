@@ -64,18 +64,43 @@ impl ChannelConfig {
     }
 }
 
+/// The deterministic per-link half of [`Channel::sample_delivery`],
+/// precomputed once per epoch: the bit error rate implied by the link's
+/// SNR at its (fixed) distance. [`Channel::sample_delivery_budget`]
+/// re-derives the frame-length-dependent PER from it with exactly the
+/// arithmetic [`Channel::packet_error_rate`] uses, so a budgeted sample
+/// is bit-identical to the unbudgeted one.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkBudget {
+    ber: f64,
+}
+
+/// An interned handle to one directed link's burst-process state — a
+/// dense index resolved once (per epoch, by the cycle-plan compiler)
+/// so the delivery hot path reaches the state with an array read
+/// instead of hashing the link pair on every sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BurstSlot(u32);
+
 /// The shared radio medium.
 ///
 /// Stateless with respect to node positions (those live in the topology);
 /// stateful per directed link for shadowing realizations and burst
 /// processes, so the same link keeps the same character over a run.
+/// Burst states live in a dense pool reached through the link-pair
+/// index; interning a link ([`Channel::burst_slot`]) draws no RNG and
+/// creates the same default state lazy first use would, so eager
+/// interning never perturbs a run.
 #[derive(Debug)]
 pub struct Channel {
     config: ChannelConfig,
     /// Frozen shadowing realization per (src, dst) pair.
     shadowing_db: HashMap<(NodeId, NodeId), f64>,
-    /// Burst process per (src, dst) pair.
-    bursts: HashMap<(NodeId, NodeId), GilbertElliott>,
+    /// Burst-state pool index per (src, dst) pair.
+    burst_index: HashMap<(NodeId, NodeId), u32>,
+    /// The burst states, dense; reached via `burst_index` or an
+    /// interned [`BurstSlot`].
+    burst_states: Vec<GilbertElliott>,
     rng: SimRng,
 }
 
@@ -86,7 +111,8 @@ impl Channel {
         Channel {
             config,
             shadowing_db: HashMap::new(),
-            bursts: HashMap::new(),
+            burst_index: HashMap::new(),
+            burst_states: Vec::new(),
             rng,
         }
     }
@@ -148,15 +174,76 @@ impl Channel {
         if self.rng.chance(per) {
             return false;
         }
-        let default = self.config.burst.clone();
-        let burst = self.bursts.entry(link).or_insert(default);
-        !burst.sample_loss(&mut self.rng)
+        let ix = self.burst_ix(link);
+        !self.burst_states[ix].sample_loss(&mut self.rng)
+    }
+
+    /// The pool slot of `link`'s burst state, interning it (with the
+    /// config's default process) on first sight. Creation draws no RNG,
+    /// so interning early is indistinguishable from lazy first use.
+    fn burst_ix(&mut self, link: (NodeId, NodeId)) -> usize {
+        use std::collections::hash_map::Entry;
+        match self.burst_index.entry(link) {
+            Entry::Occupied(e) => *e.get() as usize,
+            Entry::Vacant(v) => {
+                let ix = self.burst_states.len();
+                v.insert(u32::try_from(ix).expect("burst pool fits u32"));
+                self.burst_states.push(self.config.burst.clone());
+                ix
+            }
+        }
+    }
+
+    /// Interns `link`'s burst state and returns its dense handle, for
+    /// hot paths that sample the same link every cycle
+    /// ([`Channel::sample_delivery_budget`]).
+    pub fn burst_slot(&mut self, link: (NodeId, NodeId)) -> BurstSlot {
+        BurstSlot(u32::try_from(self.burst_ix(link)).expect("burst pool fits u32"))
+    }
+
+    /// Precomputes the deterministic half of [`sample_delivery`] for a link
+    /// at a fixed distance.
+    ///
+    /// Returns `None` when shadowing is enabled: the shadowing realization
+    /// is drawn lazily from the channel RNG on first use of a link, so
+    /// resolving it eagerly here would reorder draws relative to the
+    /// unbudgeted path. Callers must fall back to [`sample_delivery`] for
+    /// those links.
+    ///
+    /// [`sample_delivery`]: Channel::sample_delivery
+    pub fn link_budget(&mut self, link: (NodeId, NodeId), d: f64) -> Option<LinkBudget> {
+        if self.config.shadowing_sigma_db > 0.0 {
+            return None;
+        }
+        Some(LinkBudget {
+            ber: oqpsk_ber(self.snr_db(link, d)),
+        })
+    }
+
+    /// [`sample_delivery`] with the deterministic per-link terms taken from
+    /// a precomputed [`LinkBudget`]: only the frame-length-dependent PER is
+    /// derived here, then the identical RNG draw sequence runs (PER chance,
+    /// then the link's burst process).
+    ///
+    /// [`sample_delivery`]: Channel::sample_delivery
+    pub fn sample_delivery_budget(
+        &mut self,
+        slot: BurstSlot,
+        budget: LinkBudget,
+        air_bytes: usize,
+    ) -> bool {
+        let per = 1.0 - (1.0 - budget.ber).powi((air_bytes * 8) as i32);
+        if self.rng.chance(per) {
+            return false;
+        }
+        !self.burst_states[slot.0 as usize].sample_loss(&mut self.rng)
     }
 
     /// Replaces the burst process of one directed link (used by fault
     /// injection to degrade a specific link mid-run).
     pub fn set_link_burst(&mut self, link: (NodeId, NodeId), process: GilbertElliott) {
-        self.bursts.insert(link, process);
+        let ix = self.burst_ix(link);
+        self.burst_states[ix] = process;
     }
 }
 
@@ -267,6 +354,29 @@ mod tests {
         c.set_link_burst((NodeId(1), NodeId(2)), GilbertElliott::bernoulli(1.0));
         let f = Frame::new(NodeId(1), FrameKind::Unicast(NodeId(2)), 8, 0);
         assert!(!c.sample_delivery(&f, NodeId(2), 5.0));
+    }
+
+    #[test]
+    fn budgeted_delivery_matches_unbudgeted_draw_for_draw() {
+        let mut direct = Channel::new(ChannelConfig::default(), SimRng::seed_from(31));
+        let mut planned = Channel::new(ChannelConfig::default(), SimRng::seed_from(31));
+        let link = (NodeId(1), NodeId(2));
+        let budget = planned
+            .link_budget(link, 42.0)
+            .expect("no shadowing: budget must exist");
+        let slot = planned.burst_slot(link);
+        let f = Frame::new(NodeId(1), FrameKind::Broadcast, 8, 0);
+        for i in 0..500 {
+            let a = direct.sample_delivery(&f, NodeId(2), 42.0);
+            let b = planned.sample_delivery_budget(slot, budget, f.air_bytes());
+            assert_eq!(a, b, "draw {i} diverged");
+        }
+    }
+
+    #[test]
+    fn shadowed_links_have_no_budget() {
+        let mut c = Channel::new(ChannelConfig::industrial(), SimRng::seed_from(5));
+        assert!(c.link_budget((NodeId(1), NodeId(2)), 10.0).is_none());
     }
 
     #[test]

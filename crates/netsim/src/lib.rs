@@ -30,7 +30,7 @@ pub mod node;
 pub mod topology;
 
 pub use battery::Battery;
-pub use channel::{Channel, ChannelConfig};
+pub use channel::{BurstSlot, Channel, ChannelConfig, LinkBudget};
 pub use energy::{EnergyMeter, RadioPowerModel, RadioState};
 pub use fault::{FaultPlan, LinkBlackout, NodeCrash};
 pub use frame::{Frame, FrameKind, PHY_HEADER_BYTES, RADIO_BITRATE_BPS};

@@ -91,11 +91,23 @@ pub struct GasPlant {
     /// exchanger, one-step delay for a stable explicit solution).
     lts_vapor_prev: Stream,
 
-    /// Latest published measurements.
-    tags: HashMap<String, f64>,
+    /// Tag name → slot in `tag_values`. Assigned on first publish and
+    /// stable for the life of the plant, so a [`BoundTag`] handle stays
+    /// valid across steps.
+    tag_index: HashMap<String, usize>,
+    /// Latest published measurements, indexed by `tag_index`.
+    tag_values: Vec<f64>,
     /// Elapsed simulation time, s.
     elapsed_s: f64,
 }
+
+/// A pre-resolved handle to one published plant tag.
+///
+/// Obtained from [`GasPlant::bind_tag`] once, then read with
+/// [`GasPlant::read_bound`] without the per-read string hash of
+/// [`Plant::read_tag`]. Handles never go stale: tag slots are append-only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BoundTag(usize);
 
 impl GasPlant {
     /// Builds and calibrates the plant at its steady operating point.
@@ -175,7 +187,8 @@ impl GasPlant {
             reboiler_duty_pct: 60.0,
             condenser_duty_pct: 60.0,
             lts_vapor_prev,
-            tags: HashMap::new(),
+            tag_index: HashMap::new(),
+            tag_values: Vec::new(),
             elapsed_s: 0.0,
         };
         // Publish a consistent initial tag snapshot.
@@ -211,11 +224,28 @@ impl GasPlant {
     fn publish(&mut self, key: &str, value: f64) {
         // Update in place: after the first cycle every tag exists, and
         // re-inserting would re-allocate the key `String` on each step.
-        if let Some(slot) = self.tags.get_mut(key) {
-            *slot = value;
+        if let Some(&ix) = self.tag_index.get(key) {
+            self.tag_values[ix] = value;
         } else {
-            self.tags.insert(key.to_string(), value);
+            self.tag_index
+                .insert(key.to_string(), self.tag_values.len());
+            self.tag_values.push(value);
         }
+    }
+
+    /// Resolves a published tag name to a reusable [`BoundTag`] handle.
+    ///
+    /// Returns `None` for unknown tags. The constructor publishes a full
+    /// snapshot, so every measurement tag is bindable from step zero.
+    #[must_use]
+    pub fn bind_tag(&self, tag: &str) -> Option<BoundTag> {
+        self.tag_index.get(tag).copied().map(BoundTag)
+    }
+
+    /// Reads the latest value of a tag through its pre-resolved handle.
+    #[must_use]
+    pub fn read_bound(&self, slot: BoundTag) -> f64 {
+        self.tag_values[slot.0]
     }
 }
 
@@ -334,7 +364,7 @@ impl Plant for GasPlant {
     }
 
     fn read_tag(&self, tag: &str) -> Option<f64> {
-        self.tags.get(tag).copied()
+        self.tag_index.get(tag).map(|&ix| self.tag_values[ix])
     }
 
     fn write_tag(&mut self, tag: &str, value: f64) -> Result<(), String> {
@@ -347,7 +377,7 @@ impl Plant for GasPlant {
             "DistillateValve.Cmd" => self.distillate_valve.command(value),
             "ReboilerDuty.Cmd" => self.reboiler_duty_pct = value.clamp(0.0, 100.0),
             "CondenserDuty.Cmd" => self.condenser_duty_pct = value.clamp(0.0, 100.0),
-            other if self.tags.contains_key(other) => {
+            other if self.tag_index.contains_key(other) => {
                 return Err(format!("tag is read-only: {other}"));
             }
             other => return Err(format!("unknown tag: {other}")),
@@ -356,7 +386,7 @@ impl Plant for GasPlant {
     }
 
     fn tags(&self) -> Vec<String> {
-        let mut v: Vec<String> = self.tags.keys().cloned().collect();
+        let mut v: Vec<String> = self.tag_index.keys().cloned().collect();
         v.extend(ACTUATOR_TAGS.iter().map(|s| s.to_string()));
         v.sort();
         v.dedup();
@@ -457,6 +487,23 @@ mod tests {
         assert!(p.write_tag("LTS.LiquidPct", 1.0).is_err(), "read-only");
         assert!(p.write_tag("No.Such.Tag", 1.0).is_err());
         assert!(p.tags().len() > 20);
+    }
+
+    #[test]
+    fn bound_tags_track_read_tag() {
+        let mut p = GasPlant::default();
+        let slot = p.bind_tag("LTS.LiquidPct").expect("tag exists at step 0");
+        assert!(p.bind_tag("No.Such.Tag").is_none());
+        assert_eq!(p.read_bound(slot), p.read_tag("LTS.LiquidPct").unwrap());
+        p.write_tag("LTSLiqValve.Cmd", 75.0).unwrap();
+        for _ in 0..300 {
+            p.step(0.1);
+        }
+        assert_eq!(
+            p.read_bound(slot),
+            p.read_tag("LTS.LiquidPct").unwrap(),
+            "handle must track the live value across steps"
+        );
     }
 
     #[test]

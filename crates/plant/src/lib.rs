@@ -41,7 +41,7 @@ pub use control::{
     lts_level_loop, standard_loops, vc_host_loops, ControlLoopSpec, LocalController,
 };
 pub use faults::ActuatorFault;
-pub use gasplant::{GasPlant, PlantConfig};
+pub use gasplant::{BoundTag, GasPlant, PlantConfig};
 pub use modbus::{read_bound, write_bound, BoundRegister, ModbusError, RegisterMap};
 pub use pid::{PidController, PidParams, SecondOrderFilter};
 pub use stream::Stream;

@@ -11,8 +11,8 @@
 //! results are reproducible no matter which thread runs which cell.
 
 use evm_core::runtime::{
-    Layout, ReroutePolicy, Role, Scenario, SlotStepping, Tier, TopologySpec, CLUSTER_HOP_M,
-    CLUSTER_RING_M, GRID_SPACING_M, LINE_SPACING_M,
+    CyclePlanMode, Layout, ReroutePolicy, Role, Scenario, SlotStepping, Tier, TopologySpec,
+    CLUSTER_HOP_M, CLUSTER_RING_M, GRID_SPACING_M, LINE_SPACING_M,
 };
 use evm_netsim::GilbertElliott;
 use evm_sim::derive_seed;
@@ -169,6 +169,8 @@ pub struct CellConfig {
     pub tier: Tier,
     /// Slot-advancement strategy of the cell's engine.
     pub stepping: SlotStepping,
+    /// Occupied-slot execution strategy of the cell's engine.
+    pub plan: CyclePlanMode,
     /// Synthetic padding (bytes) appended to the migrated capsule image —
     /// the Fig. 6(b) image-size axis.
     pub capsule_pad: usize,
@@ -216,6 +218,13 @@ impl CellConfig {
         } else {
             format!("|{}", self.stepping.label())
         };
+        // And the plan suffix: planned (the default compiled cycle plan)
+        // keeps the historical keys; only direct-oracle rows grow one.
+        let plan = if self.plan == CyclePlanMode::Planned {
+            String::new()
+        } else {
+            format!("|{}", self.plan.label())
+        };
         // Migration suffixes appear only off the disabled defaults, so
         // pre-migration grids (and their goldens) render unchanged.
         let cap = if self.capsule_pad == 0 {
@@ -229,7 +238,7 @@ impl CellConfig {
             format!("|xfer{}", self.transfer_slots)
         };
         format!(
-            "{}v{}|loss{}|{}|det{}x{}{topo}{reroute}{tier}{stepping}{cap}{xfer}",
+            "{}v{}|loss{}|{}|det{}x{}{topo}{reroute}{tier}{stepping}{plan}{cap}{xfer}",
             self.star.label(),
             self.vcs,
             self.loss,
@@ -267,6 +276,7 @@ pub struct SweepGrid {
     reroute: Option<Vec<ReroutePolicy>>,
     tier: Option<Vec<Tier>>,
     stepping: Option<Vec<SlotStepping>>,
+    plan: Option<Vec<CyclePlanMode>>,
     capsule_pad: Option<Vec<usize>>,
     transfer_slots: Option<Vec<usize>>,
     seeds_per_cell: u32,
@@ -292,6 +302,7 @@ impl SweepGrid {
             reroute: None,
             tier: None,
             stepping: None,
+            plan: None,
             capsule_pad: None,
             transfer_slots: None,
             seeds_per_cell: 1,
@@ -408,6 +419,17 @@ impl SweepGrid {
         self
     }
 
+    /// Sweeps the occupied-slot execution strategy (the epoch-compiled
+    /// cycle plan vs the direct per-slot oracle) — the dispatch-floor
+    /// axis: every metric must agree across plan rows (the plan is
+    /// byte-identical by contract); only wall-clock differs.
+    #[must_use]
+    pub fn over_plan(mut self, plans: &[CyclePlanMode]) -> Self {
+        assert!(!plans.is_empty(), "empty axis");
+        self.plan = Some(plans.to_vec());
+        self
+    }
+
     /// Sweeps the synthetic padding appended to the migrated capsule
     /// image — the Fig. 6(b) image-size axis. Pads only matter in cells
     /// whose transfer lane is enabled and whose script triggers a
@@ -475,6 +497,7 @@ impl SweepGrid {
             * ax(self.reroute.as_ref().map(Vec::len))
             * ax(self.tier.as_ref().map(Vec::len))
             * ax(self.stepping.as_ref().map(Vec::len))
+            * ax(self.plan.as_ref().map(Vec::len))
             * ax(self.capsule_pad.as_ref().map(Vec::len))
             * ax(self.transfer_slots.as_ref().map(Vec::len))
             * self.seeds_per_cell as usize
@@ -488,8 +511,9 @@ impl SweepGrid {
 
     /// Expands the cartesian product into the work-list, in a fixed axis
     /// order (topology → vcs → stars → loss → burst → detection →
-    /// reroute → tier → stepping → capsule size → transfer slots →
-    /// replicate). Cell ids and seeds depend only on the grid definition.
+    /// reroute → tier → stepping → plan → capsule size → transfer
+    /// slots → replicate). Cell ids and seeds depend only on the grid
+    /// definition.
     ///
     /// Every cell's topology is validated here, so a malformed template
     /// fails fast at grid definition (with the cell id and the typed
@@ -551,6 +575,10 @@ impl SweepGrid {
             .stepping
             .clone()
             .unwrap_or_else(|| vec![self.template.stepping]);
+        let plans = self
+            .plan
+            .clone()
+            .unwrap_or_else(|| vec![self.template.plan]);
         let pads = self
             .capsule_pad
             .clone()
@@ -572,66 +600,78 @@ impl SweepGrid {
                                 for &reroute in &reroutes {
                                     for &tier in &tiers {
                                         for &stepping in &steppings {
-                                            for &pad in &pads {
-                                                for &budget in &budgets {
-                                                    for rep in 0..self.seeds_per_cell {
-                                                        let id = cells.len();
-                                                        let seed =
-                                                            derive_seed(self.base_seed, id as u64);
-                                                        let mut scenario = self.template.clone();
-                                                        // Any varied topology axis rebuilds
-                                                        // the topology (a vcs value also
-                                                        // re-derives the hosting manifest).
-                                                        if topo.is_some()
-                                                            || vcs.is_some()
-                                                            || star.is_some()
-                                                        {
-                                                            let s = star.unwrap_or(template_shape);
-                                                            let n = vcs.unwrap_or(template_vcs);
-                                                            scenario.topology = build_topology(
-                                                                id,
-                                                                topo.unwrap_or(Layout::Star),
-                                                                n,
-                                                                s,
-                                                                self.radius_m,
-                                                                self.backup_relays,
+                                            for &plan in &plans {
+                                                for &pad in &pads {
+                                                    for &budget in &budgets {
+                                                        for rep in 0..self.seeds_per_cell {
+                                                            let id = cells.len();
+                                                            let seed = derive_seed(
+                                                                self.base_seed,
+                                                                id as u64,
                                                             );
-                                                            scenario.host_vcs(n);
+                                                            let mut scenario =
+                                                                self.template.clone();
+                                                            // Any varied topology axis rebuilds
+                                                            // the topology (a vcs value also
+                                                            // re-derives the hosting manifest).
+                                                            if topo.is_some()
+                                                                || vcs.is_some()
+                                                                || star.is_some()
+                                                            {
+                                                                let s =
+                                                                    star.unwrap_or(template_shape);
+                                                                let n = vcs.unwrap_or(template_vcs);
+                                                                scenario.topology = build_topology(
+                                                                    id,
+                                                                    topo.unwrap_or(Layout::Star),
+                                                                    n,
+                                                                    s,
+                                                                    self.radius_m,
+                                                                    self.backup_relays,
+                                                                );
+                                                                scenario.host_vcs(n);
+                                                            }
+                                                            scenario.extra_loss = loss;
+                                                            if let Some(b) = burst {
+                                                                scenario.channel.burst =
+                                                                    b.to_process();
+                                                            }
+                                                            scenario.detect_threshold = threshold;
+                                                            scenario.detect_consecutive =
+                                                                consecutive;
+                                                            scenario.reroute = reroute;
+                                                            scenario.tier = tier;
+                                                            scenario.stepping = stepping;
+                                                            scenario.plan = plan;
+                                                            scenario.capsule_pad_bytes = pad;
+                                                            scenario.transfer_slots = budget;
+                                                            scenario.seed = seed;
+                                                            validate_cell(id, &scenario);
+                                                            cells.push(SweepCell {
+                                                                id,
+                                                                config: CellConfig {
+                                                                    topo: topo
+                                                                        .unwrap_or(Layout::Star),
+                                                                    vcs: vcs
+                                                                        .unwrap_or(template_vcs),
+                                                                    star: star
+                                                                        .unwrap_or(template_shape),
+                                                                    loss,
+                                                                    burst: *burst,
+                                                                    detect_threshold: threshold,
+                                                                    detect_consecutive: consecutive,
+                                                                    reroute,
+                                                                    tier,
+                                                                    stepping,
+                                                                    plan,
+                                                                    capsule_pad: pad,
+                                                                    transfer_slots: budget,
+                                                                    rep,
+                                                                    seed,
+                                                                },
+                                                                scenario,
+                                                            });
                                                         }
-                                                        scenario.extra_loss = loss;
-                                                        if let Some(b) = burst {
-                                                            scenario.channel.burst = b.to_process();
-                                                        }
-                                                        scenario.detect_threshold = threshold;
-                                                        scenario.detect_consecutive = consecutive;
-                                                        scenario.reroute = reroute;
-                                                        scenario.tier = tier;
-                                                        scenario.stepping = stepping;
-                                                        scenario.capsule_pad_bytes = pad;
-                                                        scenario.transfer_slots = budget;
-                                                        scenario.seed = seed;
-                                                        validate_cell(id, &scenario);
-                                                        cells.push(SweepCell {
-                                                            id,
-                                                            config: CellConfig {
-                                                                topo: topo.unwrap_or(Layout::Star),
-                                                                vcs: vcs.unwrap_or(template_vcs),
-                                                                star: star
-                                                                    .unwrap_or(template_shape),
-                                                                loss,
-                                                                burst: *burst,
-                                                                detect_threshold: threshold,
-                                                                detect_consecutive: consecutive,
-                                                                reroute,
-                                                                tier,
-                                                                stepping,
-                                                                capsule_pad: pad,
-                                                                transfer_slots: budget,
-                                                                rep,
-                                                                seed,
-                                                            },
-                                                            scenario,
-                                                        });
                                                     }
                                                 }
                                             }
@@ -1062,6 +1102,29 @@ mod tests {
         // Without the axis, cells inherit the template stepping.
         let bare = SweepGrid::new(short_template()).expand();
         assert_eq!(bare[0].config.stepping, SlotStepping::EventDriven);
+    }
+
+    /// The `over_plan` axis rewrites the occupied-slot execution knob
+    /// per cell; planned cells (the default compiled plan) keep their
+    /// historical keys while direct-oracle rows grow a suffix, so plan
+    /// sweeps never move goldens.
+    #[test]
+    fn plan_axis_rewrites_knob_and_suffixes_keys() {
+        let cells = SweepGrid::new(short_template())
+            .over_plan(&[CyclePlanMode::Planned, CyclePlanMode::Direct])
+            .seeds_per_cell(2)
+            .expand();
+        assert_eq!(cells.len(), 4);
+        assert_eq!(cells[0].scenario.plan, CyclePlanMode::Planned);
+        assert_eq!(cells[2].scenario.plan, CyclePlanMode::Direct);
+        assert!(!cells[0].config.key().contains("planned"));
+        assert!(cells[2].config.key().ends_with("|direct"));
+        // Replicates pool within a plan mode, never across.
+        assert_eq!(cells[0].config.key(), cells[1].config.key());
+        assert_ne!(cells[1].config.key(), cells[2].config.key());
+        // Without the axis, cells inherit the template plan.
+        let bare = SweepGrid::new(short_template()).expand();
+        assert_eq!(bare[0].config.plan, CyclePlanMode::Planned);
     }
 
     /// The migration axes rewrite the capsule-pad and transfer-slot
